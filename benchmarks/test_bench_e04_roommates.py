@@ -1,0 +1,71 @@
+"""E04 — Section III.B worked lists: the roommates walkthroughs.
+
+Claims reproduced:
+* left-hand-side lists: the final matching is (m, u'), (m', w), (w', u);
+* right-hand-side lists: u's reduced list empties — no stable matching,
+  and the witness the solver reports is u itself.
+"""
+
+import pytest
+
+from repro.exceptions import NoStableMatchingError
+from repro.kpartite.existence import solve_binary
+from repro.model.examples import sec3b_left_instance, sec3b_right_instance
+from repro.model.members import Member
+
+from benchmarks.conftest import print_table
+
+
+def test_e04_left_hand_side(benchmark):
+    inst = sec3b_left_instance()
+    result = benchmark(solve_binary, inst)
+    assert result.pairs == (
+        (Member(0, 0), Member(2, 1)),  # (m, u')
+        (Member(0, 1), Member(1, 0)),  # (m', w)
+        (Member(1, 1), Member(2, 0)),  # (w', u)
+    )
+    print_table(
+        "E04 LHS matching",
+        ["pair", "paper"],
+        [
+            [f"({inst.name(a)}, {inst.name(b)})", expected]
+            for (a, b), expected in zip(result.pairs, ["(m, u')", "(m', w)", "(w', u)"])
+        ],
+    )
+
+
+def test_e04_right_hand_side(benchmark):
+    inst = sec3b_right_instance()
+
+    def run():
+        try:
+            solve_binary(inst)
+        except NoStableMatchingError as exc:
+            return exc.witness
+        return None
+
+    witness = benchmark(run)
+    assert witness == Member(2, 0), "paper: u's reduced list empties"
+    print_table(
+        "E04 RHS outcome",
+        ["verdict", "witness", "paper"],
+        [["no stable matching", inst.name(witness), "u (list emptied)"]],
+    )
+
+
+def test_e04_phase1_reduces_lists(benchmark):
+    """The LHS walkthrough ends phase 1 with singleton reduced lists."""
+    from repro.kpartite.reduction import to_roommates
+    from repro.roommates.irving import IrvingSolver
+
+    inst = sec3b_left_instance()
+    rm = to_roommates(inst)
+
+    def run():
+        solver = IrvingSolver(rm)
+        return solver.run_phase1()
+
+    table = benchmark(run)
+    assert all(len(lst) == 1 for lst in table.values()), (
+        "paper: 'Eventually, each reduced list includes one element'"
+    )

@@ -1,0 +1,92 @@
+"""E07 — Section IV.B: different binding trees, different stable matchings.
+
+Claims reproduced:
+* the Figure 3 instance: bindings (M-U, U-W) give {(m, w', u'),
+  (m', w, u)} and (M-U, M-W) give {(m, w, u'), (m', w', u)} — distinct
+  from the (M-W, W-U) result;
+* over all k^(k-2) trees on a random instance, several distinct stable
+  matchings arise (and per Cayley there are k^(k-2) trees to try);
+* ablation: edge orientation (who proposes) shifts happiness toward
+  the proposer side.
+"""
+
+from repro.analysis.complexity import tree_diversity
+from repro.analysis.counting import cayley_count
+from repro.analysis.metrics import kary_gender_costs
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.model.examples import figure3_instance
+from repro.model.generators import random_instance
+from repro.model.members import Member
+
+from benchmarks.conftest import print_table
+
+
+def test_e07_figure3_tree_variants(benchmark):
+    inst = figure3_instance()
+
+    def run():
+        return {
+            "M-W,W-U": iterative_binding(inst, BindingTree(3, [(0, 1), (1, 2)])).matching,
+            "M-U,U-W": iterative_binding(inst, BindingTree(3, [(0, 2), (2, 1)])).matching,
+            "M-U,M-W": iterative_binding(inst, BindingTree(3, [(0, 2), (0, 1)])).matching,
+        }
+
+    matchings = benchmark(run)
+    assert matchings["M-U,U-W"].tuples() == [
+        (Member(0, 0), Member(1, 1), Member(2, 1)),  # (m, w', u')
+        (Member(0, 1), Member(1, 0), Member(2, 0)),  # (m', w, u)
+    ]
+    assert matchings["M-U,M-W"].tuples() == [
+        (Member(0, 0), Member(1, 0), Member(2, 1)),  # (m, w, u')
+        (Member(0, 1), Member(1, 1), Member(2, 0)),  # (m', w', u)
+    ]
+    distinct = len({tuple(m.tuples()) for m in matchings.values()})
+    assert distinct == 3
+    print_table(
+        "E07 Figure 3 under different binding trees",
+        ["bindings", "families"],
+        [[name, m.format().replace("\n", "  ")] for name, m in matchings.items()],
+    )
+
+
+def test_e07_diversity_across_all_trees(benchmark):
+    def run():
+        return [tree_diversity(k, 4, seed=11) for k in (3, 4)]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for rep in reports:
+        assert rep["trees_tried"] == cayley_count(rep["k"])
+        assert rep["distinct_matchings"] >= 2
+        rows.append([rep["k"], rep["trees_tried"], rep["distinct_matchings"]])
+    print_table(
+        "E07 matching diversity over all binding trees (n=4)",
+        ["k", "trees (k^(k-2))", "distinct stable matchings"],
+        rows,
+    )
+
+
+def test_e07_orientation_ablation(benchmark):
+    """Proposer-optimality: orienting the single k=2 binding toward a
+    gender lowers that gender's cost on average."""
+    trials = 20
+
+    def run():
+        a_cost_when_proposing = 0
+        a_cost_when_responding = 0
+        for seed in range(trials):
+            inst = random_instance(2, 12, seed=seed)
+            fwd = iterative_binding(inst, BindingTree(2, [(0, 1)])).matching
+            rev = iterative_binding(inst, BindingTree(2, [(1, 0)])).matching
+            a_cost_when_proposing += kary_gender_costs(fwd)[0]
+            a_cost_when_responding += kary_gender_costs(rev)[0]
+        return a_cost_when_proposing, a_cost_when_responding
+
+    proposing, responding = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert proposing <= responding
+    print_table(
+        "E07 orientation ablation (gender-0 total rank cost, 20 trials)",
+        ["gender 0 proposes", "gender 0 responds"],
+        [[proposing, responding]],
+    )

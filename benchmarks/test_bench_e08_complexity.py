@@ -1,0 +1,71 @@
+"""E08 — Theorem 3: the (k-1)·n² proposal bound for iterative binding.
+
+Claims reproduced:
+* total proposals never exceed (k-1)·n² across a (k, n) sweep;
+* the measured/bound ratio curve (random workloads sit well below the
+  bound; the master-list workload approaches n(n+1)/2 per binding).
+"""
+
+from repro.analysis.complexity import binding_proposal_sweep
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.model.generators import master_list_instance, random_instance
+
+from benchmarks.conftest import print_table
+
+
+def test_e08_theorem3_sweep(benchmark):
+    def run():
+        return binding_proposal_sweep([2, 3, 4, 6, 8], [8, 16, 32], trials=3, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for row in rows:
+        assert row.extra["max"] <= row.bound, row.params
+        table.append(
+            [
+                row.params["k"],
+                row.params["n"],
+                round(row.measured, 1),
+                int(row.bound),
+                round(row.ratio, 3),
+            ]
+        )
+    print_table(
+        "E08 Theorem 3: proposals vs (k-1)n² bound (random workload)",
+        ["k", "n", "mean proposals", "bound", "ratio"],
+        table,
+    )
+
+
+def test_e08_master_list_stress(benchmark):
+    """Master-list preferences force ~n²/2 proposals per binding."""
+    k, n = 4, 32
+
+    def run():
+        inst = master_list_instance(k, n, seed=1, noise=0.0)
+        return iterative_binding(inst, BindingTree.chain(k))
+
+    result = benchmark(run)
+    expected = (k - 1) * n * (n + 1) // 2
+    assert result.total_proposals == expected
+    assert result.total_proposals <= (k - 1) * n * n
+    print_table(
+        "E08 master-list workload",
+        ["k", "n", "proposals", "exact expectation", "bound"],
+        [[k, n, result.total_proposals, expected, (k - 1) * n * n]],
+    )
+
+
+def test_e08_engine_ablation(benchmark):
+    """Design ablation: textbook vs vectorized engine — identical
+    matching, different constants."""
+    inst = random_instance(3, 128, seed=3)
+    tree = BindingTree.chain(3)
+
+    def run():
+        return iterative_binding(inst, tree, engine="textbook").matching
+
+    textbook = benchmark(run)
+    vectorized = iterative_binding(inst, tree, engine="vectorized").matching
+    assert textbook == vectorized

@@ -1,0 +1,105 @@
+"""E09 — Theorem 4: k-1 binding rounds is tight.
+
+Claims reproduced:
+* **upper direction** (more than k-1 bindings): with the paper's cyclic
+  preference orders, the three pairwise-stable bindings of the cycle
+  M-W, W-U, U-M are mutually inconsistent — no way to compose them into
+  families;
+* **lower direction** (fewer than k-1 bindings): an unbound component
+  attached obliviously is destabilized by adversarial cross-component
+  preferences;
+* reproduction finding: the *strong* reading of the lower direction
+  ("some instance makes every completion unstable") is false at
+  k=3, n=2 — verified exhaustively over all 4^6 essentially distinct
+  instances.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.core.kary_matching import KAryMatching
+from repro.core.stability import find_blocking_family
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.model.generators import (
+    component_adversarial_instance,
+    exhaustive_component_search,
+    theorem4_cyclic_instance,
+)
+from repro.model.members import Member
+
+from benchmarks.conftest import print_table
+
+
+def test_e09_cycle_bindings_inconsistent(benchmark):
+    """k bindings force a cycle; the cyclic instance admits no
+    consistent composition of its three stable bindings."""
+    inst = theorem4_cyclic_instance()
+    edges = [(0, 1), (1, 2), (2, 0)]
+
+    def run():
+        per_edge = []
+        for g, h in edges:
+            view = inst.bipartite_view(g, h)
+            per_edge.append(
+                list(all_stable_matchings(view.proposer_prefs, view.responder_prefs))
+            )
+        consistent = 0
+        for mw, wu, um in itertools.product(*per_edge):
+            if all(um[wu[mw[i]]] == i for i in range(inst.n)):
+                consistent += 1
+        return [len(x) for x in per_edge], consistent
+
+    sizes, consistent = benchmark(run)
+    assert consistent == 0
+    print_table(
+        "E09a cyclic bindings M-W, W-U, U-M",
+        ["edge", "stable matchings"],
+        [["M-W", sizes[0]], ["W-U", sizes[1]], ["U-M", sizes[2]],
+         ["consistent triples", consistent]],
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_e09_oblivious_completion_unstable(benchmark, n):
+    """k-2 bindings: the adversary defeats the oblivious attachment.
+
+    Uses the library's forest-binding API: bind genders 0-1 only, then
+    attach gender 2 obliviously by index."""
+    from repro.core.forest_binding import (
+        BindingForest,
+        complete_matching,
+        forest_binding,
+    )
+
+    inst = component_adversarial_instance(n)
+
+    def run():
+        partial = forest_binding(inst, BindingForest(3, [(0, 1)]))
+        matching = complete_matching(inst, partial, policy="by_index")
+        return find_blocking_family(inst, matching)
+
+    witness = benchmark(run)
+    assert witness is not None
+    print_table(
+        f"E09b oblivious completion (n={n})",
+        ["blocking family", "source families"],
+        [[
+            ", ".join(inst.name(m) for m in witness.members),
+            witness.source_families,
+        ]],
+    )
+
+
+@pytest.mark.slow
+def test_e09_strong_reading_impossible(benchmark):
+    """Reproduction finding: no k=3, n=2 instance makes EVERY completion
+    of every stable 0-1 binding unstable (exhaustive search)."""
+    result = benchmark.pedantic(exhaustive_component_search, rounds=1, iterations=1)
+    assert result is None
+    print_table(
+        "E09c exhaustive search for a universally-uncompletable instance",
+        ["search space", "found"],
+        [["4^6 = 4096 instances x all completions", "none (strong reading false)"]],
+    )

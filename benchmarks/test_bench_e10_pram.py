@@ -1,0 +1,70 @@
+"""E10 — Corollary 1: EREW PRAM binding rounds equal Δ(T).
+
+Claims reproduced:
+* for every binding tree shape, the optimal conflict-free schedule uses
+  exactly Δ rounds, so the simulated makespan is Δ·n² iteration units
+  (k-1 processors, worst-case n² cost per binding);
+* the star (Δ = k-1) degenerates to the sequential bound (k-1)·n²
+  while the chain (Δ = 2) achieves 2·n².
+"""
+
+import pytest
+
+from repro.analysis.complexity import parallel_rounds_sweep
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.model.generators import random_instance
+from repro.parallel.pram import simulate_schedule
+from repro.parallel.schedule import greedy_tree_schedule
+
+from benchmarks.conftest import print_table
+
+
+def test_e10_rounds_equal_delta(benchmark):
+    def run():
+        return parallel_rounds_sweep([3, 4, 6, 8, 10], n=16, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for row in rows:
+        assert row.measured == row.bound  # rounds == Δ
+        assert row.extra["makespan"] <= row.extra["makespan_bound"]
+        table.append(
+            [
+                row.params["k"],
+                row.params["shape"],
+                int(row.bound),
+                int(row.measured),
+                int(row.extra["makespan"]),
+                int(row.extra["makespan_bound"]),
+            ]
+        )
+    print_table(
+        "E10 Corollary 1: EREW rounds and makespan (n=16)",
+        ["k", "tree", "Δ", "rounds", "makespan", "Δ·n² bound"],
+        table,
+    )
+
+
+def test_e10_measured_costs(benchmark):
+    """Same simulation but with *measured* proposal counts as costs."""
+    k, n = 6, 32
+    inst = random_instance(k, n, seed=4)
+    tree = BindingTree.chain(k)
+    result = iterative_binding(inst, tree)
+    costs = {
+        edge: float(res.proposals)
+        for edge, res in zip(tree.edges, result.edge_results)
+    }
+
+    def run():
+        return simulate_schedule(greedy_tree_schedule(tree), cost=costs)
+
+    report = benchmark(run)
+    assert report.makespan <= result.total_proposals  # parallelism helps
+    assert report.speedup > 1
+    print_table(
+        "E10 measured-cost simulation (chain, k=6, n=32)",
+        ["total work", "makespan", "speedup"],
+        [[int(report.total_work), int(report.makespan), round(report.speedup, 2)]],
+    )

@@ -1,0 +1,73 @@
+"""E13 — Cayley's formula and Figure 6: counting binding trees.
+
+Claims reproduced:
+* there are k^(k-2) distinct binding trees (Cayley), verified by Prüfer
+  enumeration for k ≤ 6;
+* T(k) = (k-1)·T(k-1) = (k-1)! priority-based binding trees; T(4) = 6
+  (Figure 6 draws all six);
+* the priority-constructible trees are exactly the bitonic trees.
+"""
+
+from repro.analysis.counting import (
+    cayley_count,
+    count_priority_trees,
+    enumerate_labeled_trees,
+)
+from repro.core.binding_tree import BindingTree
+from repro.core.priority_binding import enumerate_priority_trees
+
+from benchmarks.conftest import print_table
+
+
+def test_e13_cayley(benchmark):
+    def run():
+        return {k: sum(1 for _ in enumerate_labeled_trees(k)) for k in (2, 3, 4, 5, 6)}
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for k, count in counts.items():
+        assert count == cayley_count(k)
+        rows.append([k, count, cayley_count(k)])
+    print_table("E13 Cayley: labeled trees on k genders", ["k", "enumerated", "k^(k-2)"], rows)
+
+
+def test_e13_priority_trees(benchmark):
+    def run():
+        return {k: list(enumerate_priority_trees(k)) for k in (2, 3, 4, 5, 6)}
+
+    trees = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for k, ts in trees.items():
+        assert len(ts) == count_priority_trees(k)
+        rows.append([k, len(ts), count_priority_trees(k)])
+    assert len(trees[4]) == 6  # Figure 6
+    print_table(
+        "E13 Figure 6: priority-based binding trees",
+        ["k", "enumerated", "(k-1)!"],
+        rows,
+    )
+
+
+def test_e13_priority_equals_bitonic(benchmark):
+    def run():
+        out = {}
+        for k in (3, 4, 5):
+            prio = {t.undirected_edges() for t in enumerate_priority_trees(k)}
+            bitonic = {
+                t.undirected_edges()
+                for t in BindingTree.all_trees(k)
+                if t.is_bitonic()
+            }
+            out[k] = (prio, bitonic)
+        return out
+
+    sets = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for k, (prio, bitonic) in sets.items():
+        assert prio == bitonic
+        rows.append([k, len(prio), cayley_count(k)])
+    print_table(
+        "E13 bitonic trees among all trees",
+        ["k", "bitonic (=priority) trees", "all trees"],
+        rows,
+    )

@@ -1,0 +1,88 @@
+"""E14 — Figure 5 + Theorem 5: weakened blocking families and bitonic trees.
+
+Claims reproduced:
+* Figure 5(a): a non-bitonic binding tree can leave a *weakened*
+  blocking family in the output (concrete searched instance);
+* Figure 5(b) / Theorem 5: a bitonic tree never does — verified over a
+  random sweep under the proof-faithful "mutual" semantics;
+* reproduction finding: under the paper's *literal* lead-only text the
+  theorem fails; the sweep quantifies how often.
+"""
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.priority_binding import priority_binding
+from repro.core.stability import (
+    find_weakened_blocking_family,
+    is_stable_kary,
+)
+from repro.model.examples import FIG5_BAD_TREE, FIG5_GOOD_TREE, figure5_scenario
+from repro.model.generators import random_instance
+
+from benchmarks.conftest import print_table
+
+
+def test_e14_figure5_scenario(benchmark):
+    inst, witness = figure5_scenario()
+    bad = BindingTree(4, FIG5_BAD_TREE)
+    good = BindingTree(4, FIG5_GOOD_TREE)
+
+    def run():
+        bad_m = iterative_binding(inst, bad).matching
+        good_m = iterative_binding(inst, good).matching
+        return (
+            find_weakened_blocking_family(inst, bad_m),
+            find_weakened_blocking_family(inst, good_m),
+            bad_m,
+            good_m,
+        )
+
+    bad_w, good_w, bad_m, good_m = benchmark(run)
+    assert not bad.is_bitonic() and good.is_bitonic()
+    assert bad_w is not None, "Figure 5(a): weakened blocking family survives"
+    assert good_w is None, "Figure 5(b)/Theorem 5: bitonic tree is safe"
+    # Theorem 2 still holds for both trees
+    assert is_stable_kary(inst, bad_m) and is_stable_kary(inst, good_m)
+    print_table(
+        "E14 Figure 5 scenario (k=4, n=2)",
+        ["tree", "bitonic", "weakened blocking family"],
+        [
+            ["(a) 4-1-2-3", "no", ", ".join(inst.name(m) for m in bad_w.members)],
+            ["(b) 1-3-4-2", "yes", "none"],
+        ],
+    )
+
+
+def test_e14_theorem5_sweep(benchmark):
+    trials = 60
+    bad = BindingTree(4, FIG5_BAD_TREE)
+
+    def run():
+        mutual_bad = mutual_good = literal_good = 0
+        for seed in range(trials):
+            inst = random_instance(4, 3, seed=seed)
+            good_m = priority_binding(inst).matching
+            bad_m = iterative_binding(inst, bad).matching
+            if find_weakened_blocking_family(inst, bad_m, semantics="mutual"):
+                mutual_bad += 1
+            if find_weakened_blocking_family(inst, good_m, semantics="mutual"):
+                mutual_good += 1
+            if find_weakened_blocking_family(inst, good_m, semantics="literal"):
+                literal_good += 1
+        return mutual_bad, mutual_good, literal_good
+
+    mutual_bad, mutual_good, literal_good = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert mutual_good == 0, "Theorem 5 must hold under mutual semantics"
+    assert mutual_bad > 0, "non-bitonic trees must fail sometimes"
+    assert literal_good > 0, "reproduction finding: literal text breaks Thm 5"
+    print_table(
+        f"E14 weakened-instability rate over {trials} random k=4, n=3 instances",
+        ["tree / semantics", "violations"],
+        [
+            ["non-bitonic, mutual", mutual_bad],
+            ["bitonic (Alg 2), mutual", mutual_good],
+            ["bitonic (Alg 2), literal text", literal_good],
+        ],
+    )

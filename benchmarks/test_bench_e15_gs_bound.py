@@ -1,0 +1,77 @@
+"""E15 — background bound: distributed GS solves the SMP in ≤ n²
+accumulated proposals.
+
+Claims reproduced:
+* distributed and sequential GS produce identical matchings with
+  identical proposal counts under the round-synchronous schedule;
+* proposals stay ≤ n² across workloads; the master-list family tracks
+  n(n+1)/2, i.e. the Θ(n²) growth that Theorem 3 inherits.
+"""
+
+import pytest
+
+from repro.analysis.complexity import gs_proposal_sweep
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.distributed.distributed_gs import run_distributed_gs
+from repro.model.generators import identical_preferences_smp, random_smp
+
+from benchmarks.conftest import print_table
+
+
+def test_e15_proposal_sweep(benchmark):
+    def run():
+        rows = {}
+        for workload in ("random", "identical", "cyclic"):
+            rows[workload] = gs_proposal_sweep(
+                [8, 16, 32, 64, 128], trials=3, seed=0, workload=workload
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for workload, series in rows.items():
+        for row in series:
+            assert row.extra["max"] <= row.bound
+            table.append(
+                [workload, row.params["n"], round(row.measured, 1),
+                 int(row.bound), round(row.ratio, 3)]
+            )
+    print_table(
+        "E15 GS proposals vs n² bound",
+        ["workload", "n", "mean proposals", "n²", "ratio"],
+        table,
+    )
+    # master list == n(n+1)/2 exactly
+    for row in rows["identical"]:
+        n = row.params["n"]
+        assert row.measured == n * (n + 1) / 2
+
+
+@pytest.mark.parametrize("n", [8, 24])
+def test_e15_distributed_accounting(benchmark, n):
+    inst = random_smp(n, seed=n)
+    view = inst.bipartite_view(0, 1)
+
+    def run():
+        return run_distributed_gs(view.proposer_prefs, view.responder_prefs)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=2)
+    seq = gale_shapley(view.proposer_prefs, view.responder_prefs, engine="rounds")
+    assert report.matching == seq.matching
+    assert report.proposals == seq.proposals
+    assert report.proposals <= n * n
+    print_table(
+        f"E15 distributed GS (n={n})",
+        ["rounds", "messages", "proposals", "n² bound"],
+        [[report.rounds, report.messages, report.proposals, n * n]],
+    )
+
+
+def test_e15_gs_scaling(benchmark):
+    """Timing anchor for the vectorized engine at n=512."""
+    inst = random_smp(512, seed=2)
+    view = inst.bipartite_view(0, 1)
+    res = benchmark(
+        gale_shapley, view.proposer_prefs, view.responder_prefs, engine="vectorized"
+    )
+    assert res.proposals <= 512 * 512

@@ -1,0 +1,102 @@
+"""E16 (extension) — the NP-complete comparators vs Algorithm 1.
+
+The paper's positioning claim, made executable: the cited
+multi-dimensional SMP formulations (cyclic preferences, combination
+preferences — both NP-complete in general, the latter without
+guaranteed existence) versus the paper's k-ary model (polynomial,
+always solvable by Theorem 2).
+
+Measured quantities:
+* existence rate of stable matchings per model on random instances;
+* runtime growth of the exact searches vs Algorithm 1 at the same n.
+"""
+
+import time
+
+from repro.baselines.combination3dsm import (
+    random_combination_instance,
+    solve_combination_exhaustive,
+)
+from repro.baselines.cyclic3dsm import (
+    cyclic_from_kpartite,
+    is_stable_cyclic,
+    solve_cyclic_exhaustive,
+)
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import is_stable_kary
+from repro.model.generators import random_instance
+
+from benchmarks.conftest import print_table
+
+
+def test_e16_existence_rates(benchmark):
+    trials = 40
+
+    def run():
+        rows = []
+        for n in (2, 3):
+            kary_ok = cyclic_ok = comb_ok = 0
+            for seed in range(trials):
+                kinst = random_instance(3, n, seed=seed)
+                res = iterative_binding(kinst, BindingTree.chain(3))
+                kary_ok += is_stable_kary(kinst, res.matching)
+                cyc = cyclic_from_kpartite(kinst)
+                cyclic_ok += solve_cyclic_exhaustive(cyc) is not None
+                comb = random_combination_instance(n, seed=seed)
+                comb_ok += solve_combination_exhaustive(comb) is not None
+            rows.append([n, f"{kary_ok}/{trials}", f"{cyclic_ok}/{trials}",
+                         f"{comb_ok}/{trials}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E16 stable-matching existence on random instances",
+        ["n", "k-ary (Alg 1)", "cyclic 3DSM", "combination 3DSM"],
+        rows,
+    )
+    for row in rows:
+        assert row[1].startswith(str(40))  # Theorem 2: always
+    # combination nonexistence is a property of the model, demonstrated
+    # in tests/test_baselines.py over a wider sweep; here we only claim
+    # k-ary totality.
+
+
+def test_e16_runtime_growth(benchmark):
+    """Exact-search cost explodes while Algorithm 1 stays polynomial."""
+
+    def run():
+        rows = []
+        for n in (2, 3, 4, 5):
+            kinst = random_instance(3, n, seed=n)
+            t0 = time.perf_counter()
+            iterative_binding(kinst, BindingTree.chain(3))
+            t_kary = time.perf_counter() - t0
+
+            cyc = cyclic_from_kpartite(kinst)
+            t0 = time.perf_counter()
+            found = solve_cyclic_exhaustive(cyc)
+            t_cyc = time.perf_counter() - t0
+            rows.append(
+                [n, f"{t_kary * 1e3:.2f}", f"{t_cyc * 1e3:.2f}",
+                 "yes" if found else "no"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E16 runtime (ms): Algorithm 1 vs exhaustive cyclic search",
+        ["n", "k-ary binding", "cyclic exact search", "cyclic stable found"],
+        rows,
+    )
+    # the exact search at n=5 must already dwarf binding at n=5
+    assert float(rows[-1][2]) > float(rows[-1][1])
+
+
+def test_e16_cyclic_verifier_cost(benchmark):
+    """Even *verifying* cyclic stability is O(n³); anchor its cost."""
+    kinst = random_instance(3, 24, seed=9)
+    cyc = cyclic_from_kpartite(kinst)
+    sigma = list(range(24))
+    tau = list(range(24))
+    benchmark(is_stable_cyclic, cyc, sigma, tau)

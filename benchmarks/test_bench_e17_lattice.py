@@ -1,0 +1,99 @@
+"""E17 (extension) — the stable-matching lattice and egalitarian optima.
+
+Extends E05: the roommates machinery's rotations generate the *entire*
+lattice of stable matchings, so instead of merely alternating
+loop-breaking sides we can pick the globally best compromise.
+
+Measured quantities:
+* lattice sizes and rotation counts (cyclic family: n matchings, n-1
+  rotations);
+* egalitarian-optimal cost vs man-optimal / woman-optimal / alternating
+  policies.
+"""
+
+import numpy as np
+
+from repro.bipartite.fairness import matching_costs
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.lattice import (
+    all_rotations,
+    count_stable_matchings_lattice,
+    egalitarian_stable_matching,
+    minimum_regret_stable_matching,
+    sex_equal_stable_matching,
+)
+from repro.kpartite.fairness import solve_smp_fair
+from repro.model.generators import cyclic_smp, random_smp
+
+from benchmarks.conftest import print_table
+
+
+def test_e17_lattice_structure(benchmark):
+    def run():
+        rows = []
+        for n in (4, 6, 8, 10):
+            v = cyclic_smp(n).bipartite_view(0, 1)
+            count = count_stable_matchings_lattice(v.proposer_prefs, v.responder_prefs)
+            rots = len(all_rotations(v.proposer_prefs, v.responder_prefs))
+            rows.append([f"cyclic n={n}", count, rots])
+        for seed in (0, 1, 2):
+            v = random_smp(8, seed=seed).bipartite_view(0, 1)
+            count = count_stable_matchings_lattice(v.proposer_prefs, v.responder_prefs)
+            rots = len(all_rotations(v.proposer_prefs, v.responder_prefs))
+            rows.append([f"random n=8 seed={seed}", count, rots])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        if row[0].startswith("cyclic"):
+            n = int(row[0].split("=")[1])
+            assert row[1] == n and row[2] == n - 1
+    print_table(
+        "E17 lattice sizes",
+        ["instance", "stable matchings", "rotations"],
+        rows,
+    )
+
+
+def test_e17_egalitarian_vs_policies(benchmark):
+    n, trials = 10, 10
+
+    def run():
+        agg = {"man_optimal": [], "woman_optimal": [], "alternate": [],
+               "egalitarian": [], "min_regret": [], "sex_equal": []}
+        for seed in range(trials):
+            inst = random_smp(n, seed=500 + seed)
+            v = inst.bipartite_view(0, 1)
+            p, r = v.proposer_prefs, v.responder_prefs
+            for policy in ("man_optimal", "woman_optimal", "alternate"):
+                agg[policy].append(solve_smp_fair(inst, policy=policy).costs.egalitarian)
+            _, ecost = egalitarian_stable_matching(p, r)
+            agg["egalitarian"].append(ecost)
+            m, _ = minimum_regret_stable_matching(p, r)
+            agg["min_regret"].append(matching_costs(p, r, list(m)).egalitarian)
+            m, _ = sex_equal_stable_matching(p, r)
+            agg["sex_equal"].append(matching_costs(p, r, list(m)).egalitarian)
+        return agg
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(float(np.mean(vs)), 2)] for k, vs in agg.items()]
+    print_table(
+        f"E17 mean egalitarian cost over {trials} random n={n} markets",
+        ["selector", "mean egalitarian cost"],
+        rows,
+    )
+    # the egalitarian optimum must dominate every policy, per instance
+    for policy in ("man_optimal", "woman_optimal", "alternate"):
+        for e, other in zip(agg["egalitarian"], agg[policy]):
+            assert e <= other
+
+
+def test_e17_enumeration_throughput(benchmark):
+    """Timing anchor: full lattice enumeration on a random market."""
+    v = random_smp(12, seed=77).bipartite_view(0, 1)
+
+    def run():
+        return count_stable_matchings_lattice(v.proposer_prefs, v.responder_prefs)
+
+    count = benchmark(run)
+    assert count >= 1

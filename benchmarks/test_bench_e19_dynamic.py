@@ -1,0 +1,94 @@
+"""E19 (extension) — incremental re-binding under preference churn.
+
+The paper's ideal-environment assumption (static population, fixed
+preferences) relaxed: a preference update touches at most one binding
+edge, so refreshing the matching re-runs one GS instead of k-1.
+
+Measured quantities:
+* bindings reused vs re-run under random single-list churn (expected
+  reuse fraction = (k-2)/(k-1) for updates on bound pairs, higher once
+  unbound-pair updates are included);
+* wall-clock of incremental refresh vs from-scratch Algorithm 1.
+"""
+
+import time
+
+from repro.core.binding_tree import BindingTree
+from repro.core.dynamic import DynamicBindingSession
+from repro.core.iterative_binding import iterative_binding
+from repro.model.generators import master_list_instance, random_instance
+from repro.model.members import Member
+from repro.utils.rng import as_rng
+
+from benchmarks.conftest import print_table
+
+
+def test_e19_reuse_fraction(benchmark):
+    k, n, updates = 8, 16, 60
+
+    def run():
+        rng = as_rng(0)
+        session = DynamicBindingSession(random_instance(k, n, seed=1))
+        session.matching()
+        for _ in range(updates):
+            g = int(rng.integers(k))
+            h = (g + 1 + int(rng.integers(k - 1))) % k
+            session.update_preferences(
+                Member(g, int(rng.integers(n))), h, rng.permutation(n).tolist()
+            )
+            session.matching()
+        return dict(session.stats)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = stats["bindings_run"] + stats["bindings_reused"]
+    reuse = stats["bindings_reused"] / total
+    print_table(
+        f"E19 churn reuse (k={k}, n={n}, {updates} updates, chain tree)",
+        ["bindings run", "bindings reused", "reuse fraction"],
+        [[stats["bindings_run"], stats["bindings_reused"], round(reuse, 3)]],
+    )
+    # a chain binds k-1 of the k(k-1)/2 gender pairs; unbound updates
+    # cost nothing and bound updates re-run exactly one edge, so reuse
+    # must dominate strongly
+    assert reuse > 0.8
+    # correctness spot-check against from-scratch
+    rng = as_rng(5)
+    session = DynamicBindingSession(random_instance(4, 6, seed=2))
+    for _ in range(10):
+        g = int(rng.integers(4))
+        h = (g + 1) % 4
+        session.update_preferences(
+            Member(g, int(rng.integers(6))), h, rng.permutation(6).tolist()
+        )
+    assert session.matching() == iterative_binding(
+        session.instance(), session.tree
+    ).matching
+
+
+def test_e19_refresh_latency(benchmark):
+    """One bound-pair update: incremental refresh vs full Algorithm 1
+    on a compute-heavy (master-list) workload."""
+    k, n = 6, 128
+    inst = master_list_instance(k, n, seed=3, noise=0.2)
+    tree = BindingTree.chain(k)
+    session = DynamicBindingSession(inst, tree=tree)
+    session.matching()
+
+    def incremental():
+        session.update_preferences(Member(2, 0), 3, list(range(n)))
+        return session.matching()
+
+    benchmark(incremental)
+
+    t0 = time.perf_counter()
+    iterative_binding(session.instance(), tree)
+    full = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    incremental()
+    inc = time.perf_counter() - t0
+    print_table(
+        f"E19 refresh latency (k={k}, n={n})",
+        ["full rebind (s)", "incremental (s)", "ratio"],
+        [[round(full, 4), round(inc, 4), round(inc / full, 3)]],
+    )
+    assert inc < full

@@ -1,0 +1,73 @@
+"""E21 (extension) — Algorithm 1 as a pure message-passing system.
+
+Corollaries 1 and 2 restated without shared memory: all bindings of a
+schedule round run as concurrent GS protocols in one synchronous
+network, so the end-to-end *network* round count is the distributed
+makespan.  Measured: phases per tree shape, network rounds, messages,
+and the parallel saving over one-binding-at-a-time execution.
+"""
+
+from repro.core.binding_tree import BindingTree
+from repro.distributed.distributed_binding import run_distributed_binding
+from repro.model.generators import random_instance
+from repro.parallel.schedule import even_odd_chain_schedule, sequential_schedule
+
+from benchmarks.conftest import print_table
+
+
+def test_e21_phases_by_tree_shape(benchmark):
+    n = 8
+
+    def run():
+        rows = []
+        for k, shape, tree in (
+            (6, "chain", BindingTree.chain(6)),
+            (6, "star", BindingTree.star(6)),
+            (6, "random", BindingTree.random(6, seed=1)),
+        ):
+            inst = random_instance(k, n, seed=k)
+            dist = run_distributed_binding(inst, tree)
+            rows.append(
+                [
+                    shape,
+                    tree.max_degree,
+                    len(dist.network_rounds),
+                    dist.total_network_rounds,
+                    dist.messages,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for shape, delta, phases, *_ in rows:
+        assert phases == delta  # Corollary 1, message-level
+    print_table(
+        f"E21 distributed binding phases (k=6, n={n})",
+        ["tree", "Δ", "phases", "network rounds", "messages"],
+        rows,
+    )
+
+
+def test_e21_parallel_network_saving(benchmark):
+    k, n = 8, 10
+    inst = random_instance(k, n, seed=3)
+    tree = BindingTree.chain(k)
+
+    def run():
+        par = run_distributed_binding(inst, tree, schedule=even_odd_chain_schedule(tree))
+        seq = run_distributed_binding(inst, tree, schedule=sequential_schedule(tree))
+        return par, seq
+
+    par, seq = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert par.matching == seq.matching
+    assert par.total_network_rounds < seq.total_network_rounds
+    print_table(
+        f"E21 network makespan, chain k={k}, n={n}",
+        ["schedule", "phases", "network rounds", "messages"],
+        [
+            ["even-odd (Cor. 2)", len(par.network_rounds), par.total_network_rounds,
+             par.messages],
+            ["sequential", len(seq.network_rounds), seq.total_network_rounds,
+             seq.messages],
+        ],
+    )

@@ -1,0 +1,82 @@
+"""E22 (extension) — life after Theorem 1: almost-stable matchings.
+
+When no stable binary matching exists (the Theorem 1 societies), how
+close can a perfect matching get?  Measured: the provably-minimum
+blocking-pair count of the adversarial family across (k, n), and how
+often cheap local search reaches that optimum.
+"""
+
+from repro.kpartite.almost_stable import (
+    min_blocking_matching_exact,
+    min_blocking_matching_local,
+)
+from repro.model.generators import theorem1_instance
+
+from benchmarks.conftest import print_table
+
+
+def test_e22_minimum_instability_of_theorem1_family(benchmark):
+    cases = [(3, 2), (4, 2), (3, 4)]
+
+    def run():
+        rows = []
+        for k, n in cases:
+            inst = theorem1_instance(k, n, seed=31 * k + n)
+            exact = min_blocking_matching_exact(inst, linearization="global")
+            rows.append([k, n, exact.blocking_count, exact.evaluated])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, n, blocking, _ in rows:
+        assert blocking >= 1  # Theorem 1: never perfectly stable
+    print_table(
+        "E22 minimum blocking pairs of the Theorem 1 family (exact)",
+        ["k", "n", "min blocking pairs", "matchings enumerated"],
+        rows,
+    )
+
+
+def test_e22_local_search_quality(benchmark):
+    trials = 8
+    k, n = 3, 2
+
+    def run():
+        hits = 0
+        gaps = []
+        for seed in range(trials):
+            inst = theorem1_instance(k, n, seed=seed)
+            exact = min_blocking_matching_exact(inst, linearization="global")
+            local = min_blocking_matching_local(
+                inst, linearization="global", restarts=8, seed=seed
+            )
+            gaps.append(local.blocking_count - exact.blocking_count)
+            hits += local.blocking_count == exact.blocking_count
+        return hits, gaps
+
+    hits, gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(g >= 0 for g in gaps)
+    print_table(
+        f"E22 local search vs exact optimum ({trials} Theorem-1 instances)",
+        ["optimum matched", "mean gap"],
+        [[f"{hits}/{trials}", round(sum(gaps) / len(gaps), 2)]],
+    )
+    assert hits >= trials // 2
+
+
+def test_e22_larger_instance_feasible(benchmark):
+    """Local search scales where enumeration cannot (k=5, n=4: the
+    exact space has ~10^8 pairings)."""
+    inst = theorem1_instance(5, 4, seed=9)
+
+    def run():
+        return min_blocking_matching_local(
+            inst, linearization="global", restarts=2, max_steps=40, seed=0
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.blocking_count >= 1
+    print_table(
+        "E22 local search at k=5, n=4",
+        ["blocking pairs (incumbent)", "candidates scored"],
+        [[result.blocking_count, result.evaluated]],
+    )

@@ -1,0 +1,76 @@
+"""E23 (extension) — workload characterization: preference structure
+drives matching cost.
+
+Ties the instance analytics to the algorithmic quantities the paper
+tracks: list agreement / popularity concentration (how much raters
+agree) against GS proposal counts and responder happiness.  The classic
+theory says correlation breeds competition: as agreement rises from
+random (~0) to master-list (1.0), proposals climb toward n(n+1)/2 and
+the responder side's happiness collapses.
+"""
+
+import numpy as np
+
+from repro.analysis.statistics import instance_stats
+from repro.bipartite.fairness import matching_costs
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.model.generators import master_list_instance, random_instance
+
+from benchmarks.conftest import print_table
+
+
+def test_e23_agreement_vs_competition(benchmark):
+    n, trials = 24, 6
+    noises = [None, 3.0, 1.0, 0.3, 0.0]  # None = uniform random
+
+    def run():
+        rows = []
+        for noise in noises:
+            agree_vals, proposals, responder_costs = [], [], []
+            for seed in range(trials):
+                if noise is None:
+                    inst = random_instance(2, n, seed=seed)
+                    label = "random"
+                else:
+                    inst = master_list_instance(2, n, seed=seed, noise=noise)
+                    label = f"master noise={noise}"
+                stats = instance_stats(inst)
+                agree_vals.append(stats.mean_list_agreement)
+                view = inst.bipartite_view(0, 1)
+                res = gale_shapley(view.proposer_prefs, view.responder_prefs)
+                proposals.append(res.proposals)
+                responder_costs.append(
+                    matching_costs(
+                        view.proposer_prefs, view.responder_prefs, res.matching
+                    ).responder
+                )
+            rows.append(
+                [
+                    label,
+                    round(float(np.mean(agree_vals)), 3),
+                    round(float(np.mean(proposals)), 1),
+                    round(float(np.mean(responder_costs)), 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"E23 agreement -> competition (n={n}, {trials} trials each)",
+        ["workload", "mean list agreement", "mean GS proposals", "responder cost"],
+        rows,
+    )
+    # monotone story: agreement and proposals both rise from random to
+    # noise-free master lists; the noise-free extreme is exact
+    agreements = [row[1] for row in rows]
+    assert agreements[0] < 0.2 and agreements[-1] == 1.0
+    assert rows[-1][2] == n * (n + 1) / 2
+    assert rows[-1][2] > rows[0][2]
+    assert rows[-1][3] >= rows[0][3]
+
+
+def test_e23_stats_cost(benchmark):
+    """Timing anchor for the analytics on a larger instance."""
+    inst = master_list_instance(3, 32, seed=1, noise=0.5)
+    stats = benchmark(instance_stats, inst)
+    assert 0 < stats.mean_list_agreement < 1

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Procedurally fair stable marriages via the roommates machinery.
+
+Gale-Shapley is provably biased toward the proposing side.  Section
+III.B of the paper fixes this by letting *both* sides propose (the
+stable roommates formulation) and alternating which side's "loop" gets
+broken in phase 2.
+
+This script quantifies the bias and the fix on random marriage markets:
+for each policy we report the man cost, woman cost, their gap
+(sex-equality cost) and the egalitarian total.
+
+Run:  python examples/fair_smp.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bipartite.fairness import matching_costs
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.kpartite.fairness import solve_smp_fair
+from repro.model.examples import figure2_smp_instance
+from repro.model.generators import random_smp
+
+
+def figure2_demo() -> None:
+    print("=" * 60)
+    print("Figure 2's deadlock instance (2 men, 2 women)")
+    print("=" * 60)
+    inst = figure2_smp_instance()
+    print(inst.format_preferences())
+    for policy in ("man_optimal", "woman_optimal", "alternate"):
+        r = solve_smp_fair(inst, policy=policy)
+        pairs = ", ".join(f"(m{i}, w{j})" for i, j in enumerate(r.matching))
+        print(
+            f"{policy:14s}: {pairs}   man-cost={r.costs.proposer} "
+            f"woman-cost={r.costs.responder}"
+        )
+    print()
+
+
+def market_sweep(n: int = 40, trials: int = 25) -> None:
+    print("=" * 60)
+    print(f"random markets: n={n}, {trials} trials, mean costs")
+    print("=" * 60)
+    rows: dict[str, list] = {
+        "gs_man_proposing": [],
+        "man_optimal": [],
+        "woman_optimal": [],
+        "alternate": [],
+    }
+    for seed in range(trials):
+        inst = random_smp(n, seed=seed)
+        view = inst.bipartite_view(0, 1)
+        gs = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        rows["gs_man_proposing"].append(
+            matching_costs(view.proposer_prefs, view.responder_prefs, gs.matching)
+        )
+        for policy in ("man_optimal", "woman_optimal", "alternate"):
+            rows[policy].append(solve_smp_fair(inst, policy=policy).costs)
+
+    header = f"{'policy':18s} {'man':>8s} {'woman':>8s} {'gap':>8s} {'total':>8s}"
+    print(header)
+    print("-" * len(header))
+    for policy, costs in rows.items():
+        man = np.mean([c.proposer for c in costs])
+        woman = np.mean([c.responder for c in costs])
+        gap = np.mean([c.sex_equality for c in costs])
+        total = np.mean([c.egalitarian for c in costs])
+        print(f"{policy:18s} {man:8.1f} {woman:8.1f} {gap:8.1f} {total:8.1f}")
+
+    print(
+        "\nreading: man-proposing GS and 'man_optimal' coincide; the\n"
+        "alternating policy trades a little proposer happiness for a\n"
+        "much smaller man/woman gap — the paper's procedural fairness."
+    )
+
+
+if __name__ == "__main__":
+    figure2_demo()
+    market_sweep()

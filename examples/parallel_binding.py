@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Parallel iterative binding: schedules, PRAM model, real processes.
+
+Reproduces Section IV.C interactively:
+
+* Corollary 1 — any binding tree schedules into Δ conflict-free rounds
+  (star is worst, chain best);
+* Corollary 2 / Figure 4 — the even-odd chain schedule finishes in 2
+  rounds;
+* CREW emulation — log₂Δ replication rounds buy a single binding round;
+* real wall clock — a process pool vs serial vs (GIL-bound) threads.
+
+Run:  python examples/parallel_binding.py          # quick model-level demo
+      python examples/parallel_binding.py --real   # adds wall-clock runs
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.model.generators import random_instance
+from repro.parallel.executor import run_bindings_parallel
+from repro.parallel.pram import one_round_schedule, simulate_schedule
+from repro.parallel.replication import replication_rounds, replication_schedule
+from repro.parallel.schedule import even_odd_chain_schedule, greedy_tree_schedule
+
+
+def model_level_demo(k: int = 8, n: int = 32) -> None:
+    print("=" * 64)
+    print(f"PRAM cost model, k={k} genders, n={n} members (cost n^2/binding)")
+    print("=" * 64)
+    shapes = {
+        "star": repro.BindingTree.star(k),
+        "random": repro.BindingTree.random(k, seed=1),
+        "chain": repro.BindingTree.chain(k),
+    }
+    print(f"{'tree':8s} {'Δ':>3s} {'rounds':>7s} {'makespan':>9s} {'speedup':>8s}")
+    for name, tree in shapes.items():
+        report = simulate_schedule(greedy_tree_schedule(tree), n=n)
+        print(
+            f"{name:8s} {tree.max_degree:3d} {report.n_rounds:7d} "
+            f"{int(report.makespan):9d} {report.speedup:8.2f}"
+        )
+
+    chain = shapes["chain"]
+    eo = even_odd_chain_schedule(chain)
+    print(f"\neven-odd chain schedule (Figure 4): {eo.n_rounds} rounds")
+    for i, edges in enumerate(eo.rounds, 1):
+        print(f"  round {i}: {list(edges)}")
+
+    star = shapes["star"]
+    delta = star.max_degree
+    plan = replication_schedule(delta)
+    replicated = simulate_schedule(
+        one_round_schedule(star), model="EREW", copies=delta, n=n
+    )
+    print(
+        f"\nCREW emulation for the star: {replication_rounds(delta)} replication "
+        f"rounds (Δ={delta}), then 1 binding round of {int(replicated.makespan)} units"
+    )
+    print(f"  copy plan: {[list(r) for r in plan.rounds]}")
+
+
+def wall_clock_demo(k: int = 5, n: int = 700) -> None:
+    print()
+    print("=" * 64)
+    print(f"real execution, k={k}, n={n} (master-list workload, textbook engine)")
+    print("=" * 64)
+    # master-list preferences force ~n²/2 proposals per binding, so the
+    # compute dominates process startup and pickling — random instances
+    # only cost ~n·ln n proposals and would hide the parallelism.
+    from repro.model.generators import master_list_instance
+
+    inst = master_list_instance(k, n, seed=3, noise=0.0)
+    tree = repro.BindingTree.chain(k)
+    schedule = even_odd_chain_schedule(tree)
+
+    results = {}
+    for backend in ("serial", "thread", "process"):
+        report = run_bindings_parallel(
+            inst, tree, schedule=schedule, backend=backend, max_workers=k - 1
+        )
+        results[backend] = report
+        print(f"{backend:8s}: {report.total_seconds:7.3f}s "
+              f"(rounds: {[f'{s:.3f}' for s in report.round_seconds]})")
+
+    base = results["serial"]
+    for backend in ("thread", "process"):
+        assert results[backend].matching == base.matching
+        speedup = base.total_seconds / max(results[backend].total_seconds, 1e-9)
+        note = "(GIL caps this near 1x)" if backend == "thread" else ""
+        print(f"{backend} speedup over serial: {speedup:.2f}x {note}")
+
+    import os
+
+    cpus = len(os.sched_getaffinity(0))
+    if cpus < 2:
+        print(
+            f"\nNOTE: this host exposes {cpus} CPU — physical parallelism is "
+            "impossible,\nso expect ~1x (threads) and <1x (process overhead). "
+            "On a multi-core host\nthe process pool approaches the Corollary-2 "
+            "2-round speedup."
+        )
+
+
+if __name__ == "__main__":
+    model_level_demo()
+    if "--real" in sys.argv:
+        wall_clock_demo()
+    else:
+        print("\n(pass --real for wall-clock process/thread measurements)")

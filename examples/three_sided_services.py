@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Three-sided networking services: clients, servers, channels.
+
+The paper cites "cyclic stable matching for three-sided networking
+services" (Cui & Jia) as the systems application of multi-gender
+matching: a session needs a *client*, a *server* and a *channel*, and
+each party ranks the others (latency, load, bandwidth...).  Existing
+cyclic/combination formulations are NP-complete; the paper's k-ary
+model with per-gender preference lists makes the problem tractable.
+
+This script synthesizes a service scenario:
+
+* clients rank servers by latency and channels by bandwidth;
+* servers rank clients by revenue and channels by cost;
+* channels rank both by utilization fit;
+
+then forms stable (client, server, channel) sessions via iterative
+binding, compares tree choices, and verifies no coalition of parties
+would defect (no blocking family).
+
+Run:  python examples/three_sided_services.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.metrics import kary_costs
+from repro.model.instance import KPartiteInstance
+
+CLIENT, SERVER, CHANNEL = 0, 1, 2
+GENDER_NAMES = ("client", "server", "channel")
+
+
+def build_service_instance(n: int, seed: int) -> KPartiteInstance:
+    """Derive preference lists from synthetic latency/cost matrices."""
+    rng = np.random.default_rng(seed)
+    latency = rng.uniform(1, 50, size=(n, n))  # client x server (ms)
+    bandwidth = rng.uniform(10, 1000, size=(n, n))  # client x channel (Mbps)
+    revenue = rng.uniform(1, 100, size=(n, n))  # server x client ($)
+    chan_cost = rng.uniform(1, 10, size=(n, n))  # server x channel
+    util_fit_c = rng.uniform(0, 1, size=(n, n))  # channel x client
+    util_fit_s = rng.uniform(0, 1, size=(n, n))  # channel x server
+
+    pref = np.full((3, n, 3, n), -1, dtype=np.int32)
+    for i in range(n):
+        pref[CLIENT, i, SERVER] = np.argsort(latency[i])  # lower latency first
+        pref[CLIENT, i, CHANNEL] = np.argsort(-bandwidth[i])  # higher bw first
+        pref[SERVER, i, CLIENT] = np.argsort(-revenue[i])
+        pref[SERVER, i, CHANNEL] = np.argsort(chan_cost[i])
+        pref[CHANNEL, i, CLIENT] = np.argsort(-util_fit_c[i])
+        pref[CHANNEL, i, SERVER] = np.argsort(-util_fit_s[i])
+    return KPartiteInstance.from_arrays(
+        pref, validate=False, gender_names=GENDER_NAMES
+    )
+
+
+def main() -> None:
+    n = 12
+    inst = build_service_instance(n, seed=2026)
+    print(f"service pool: {n} clients, {n} servers, {n} channels\n")
+
+    # compare the three binding-tree shapes the operator could pick
+    trees = {
+        "client-server, server-channel": repro.BindingTree(3, [(CLIENT, SERVER), (SERVER, CHANNEL)]),
+        "client-server, client-channel": repro.BindingTree(3, [(CLIENT, SERVER), (CLIENT, CHANNEL)]),
+        "server-channel, channel-client": repro.BindingTree(3, [(SERVER, CHANNEL), (CHANNEL, CLIENT)]),
+    }
+    print(f"{'binding plan':38s} {'client':>7s} {'server':>7s} {'channel':>8s} {'total':>6s}")
+    best_name, best_result, best_cost = None, None, None
+    for name, tree in trees.items():
+        result = repro.iterative_binding(inst, tree)
+        assert repro.is_stable_kary(inst, result.matching), "no coalition defects"
+        costs = kary_costs(result.matching)
+        print(
+            f"{name:38s} {costs.gender_costs[0]:7d} {costs.gender_costs[1]:7d} "
+            f"{costs.gender_costs[2]:8d} {costs.egalitarian:6d}"
+        )
+        if best_cost is None or costs.egalitarian < best_cost:
+            best_name, best_result, best_cost = name, result, costs.egalitarian
+
+    print(f"\nbest plan by total cost: {best_name}")
+    print("\nfirst five sessions of the best plan:")
+    for tup in best_result.matching.tuples()[:5]:
+        print("  session: " + ", ".join(inst.name(m) for m in tup))
+
+    # parallel deployment: with k=3 the chain's two bindings share the
+    # middle gender, so EREW needs 2 rounds; replicating the shared
+    # gender's data (CREW emulation) collapses them into one round.
+    from repro.parallel.pram import one_round_schedule, simulate_schedule
+    from repro.parallel.schedule import even_odd_chain_schedule
+
+    chain = repro.BindingTree.chain(3)
+    erew = simulate_schedule(even_odd_chain_schedule(chain), n=n)
+    crew = simulate_schedule(one_round_schedule(chain), model="CREW", n=n)
+    print(
+        f"\nparallel plan: EREW {erew.n_rounds} rounds "
+        f"(makespan {int(erew.makespan)} units) vs CREW 1 round "
+        f"(makespan {int(crew.makespan)} units)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which must build a wheel) fail; keeping a setup.py lets
+``pip install -e .`` use the classic ``setup.py develop`` path.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""repro — Stable Matching Beyond Bipartite Graphs.
+
+A production-quality reproduction of Jie Wu's IPPS 2016 paper: binary
+and k-ary stable matching in complete balanced k-partite graphs.
+
+Quickstart
+----------
+>>> import repro
+>>> inst = repro.random_instance(k=3, n=8, seed=42)
+>>> result = repro.iterative_binding(inst, repro.BindingTree.chain(3))
+>>> repro.is_stable_kary(inst, result.matching)
+True
+>>> result.total_proposals <= result.proposal_bound   # Theorem 3
+True
+
+Layers (see DESIGN.md for the full map):
+
+* :mod:`repro.model` — instances, preference lists, generators;
+* :mod:`repro.bipartite` — Gale-Shapley engines and bipartite metrics;
+* :mod:`repro.roommates` — Irving's stable-roommates algorithm;
+* :mod:`repro.kpartite` — binary matching in k-partite graphs (Sec III);
+* :mod:`repro.core` — k-ary matching by iterative binding (Sec IV);
+* :mod:`repro.parallel` — binding schedules, PRAM model, real executor;
+* :mod:`repro.distributed` — distributed GS on a message simulator;
+* :mod:`repro.analysis` — metrics, counting, experiment sweeps.
+"""
+
+from repro.exceptions import (
+    ReproError,
+    InvalidInstanceError,
+    InvalidBindingTreeError,
+    InvalidMatchingError,
+    NoStableMatchingError,
+    ScheduleConflictError,
+    SimulationError,
+)
+from repro.model import (
+    Member,
+    KPartiteInstance,
+    random_instance,
+    master_list_instance,
+    theorem1_instance,
+    random_smp,
+    instance_to_json,
+    instance_from_json,
+)
+from repro.bipartite import gale_shapley, GSResult, is_stable, blocking_pairs
+from repro.roommates import RoommatesInstance, solve_roommates
+from repro.kpartite import solve_binary, has_stable_binary, solve_smp_fair
+from repro.core import (
+    BindingTree,
+    KAryMatching,
+    BindingResult,
+    iterative_binding,
+    priority_binding,
+    find_blocking_family,
+    find_weakened_blocking_family,
+    is_stable_kary,
+    is_weakened_stable_kary,
+)
+from repro.parallel import run_bindings_parallel, greedy_tree_schedule, simulate_schedule
+from repro.distributed import run_distributed_gs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidBindingTreeError",
+    "InvalidMatchingError",
+    "NoStableMatchingError",
+    "ScheduleConflictError",
+    "SimulationError",
+    # model
+    "Member",
+    "KPartiteInstance",
+    "random_instance",
+    "master_list_instance",
+    "theorem1_instance",
+    "random_smp",
+    "instance_to_json",
+    "instance_from_json",
+    # bipartite
+    "gale_shapley",
+    "GSResult",
+    "is_stable",
+    "blocking_pairs",
+    # roommates
+    "RoommatesInstance",
+    "solve_roommates",
+    # kpartite binary
+    "solve_binary",
+    "has_stable_binary",
+    "solve_smp_fair",
+    # core k-ary
+    "BindingTree",
+    "KAryMatching",
+    "BindingResult",
+    "iterative_binding",
+    "priority_binding",
+    "find_blocking_family",
+    "find_weakened_blocking_family",
+    "is_stable_kary",
+    "is_weakened_stable_kary",
+    # parallel / distributed
+    "run_bindings_parallel",
+    "greedy_tree_schedule",
+    "simulate_schedule",
+    "run_distributed_gs",
+]

@@ -1,0 +1,71 @@
+"""Analysis utilities: metrics, counting, complexity sweeps.
+
+Glue between the algorithmic layers and the experiment harness in
+``benchmarks/``: happiness metrics for k-ary matchings, tree-counting
+formulas with exhaustive verification, and the parameter sweeps that
+regenerate the paper's quantitative claims.
+"""
+
+from repro.analysis.counting import (
+    cayley_count,
+    count_priority_trees,
+    enumerate_labeled_trees,
+    enumerate_kary_matchings,
+    enumerate_perfect_binary_matchings,
+    count_perfect_binary_matchings,
+    prufer_to_tree,
+    tree_to_prufer,
+)
+from repro.analysis.metrics import (
+    kary_member_cost,
+    kary_gender_costs,
+    kary_egalitarian_cost,
+    kary_regret,
+    KaryCosts,
+    kary_costs,
+)
+from repro.analysis.report import format_table, format_series, format_comparison
+from repro.analysis.statistics import (
+    mutual_first_choices,
+    popularity_concentration,
+    mean_agreement,
+    InstanceStats,
+    instance_stats,
+)
+from repro.analysis.complexity import (
+    SweepRow,
+    binding_proposal_sweep,
+    gs_proposal_sweep,
+    parallel_rounds_sweep,
+    tree_diversity,
+)
+
+__all__ = [
+    "cayley_count",
+    "count_priority_trees",
+    "enumerate_labeled_trees",
+    "enumerate_kary_matchings",
+    "enumerate_perfect_binary_matchings",
+    "count_perfect_binary_matchings",
+    "prufer_to_tree",
+    "tree_to_prufer",
+    "kary_member_cost",
+    "kary_gender_costs",
+    "kary_egalitarian_cost",
+    "kary_regret",
+    "KaryCosts",
+    "kary_costs",
+    "format_table",
+    "format_series",
+    "format_comparison",
+    "mutual_first_choices",
+    "popularity_concentration",
+    "mean_agreement",
+    "InstanceStats",
+    "instance_stats",
+    "SweepRow",
+    "binding_proposal_sweep",
+    "gs_proposal_sweep",
+    "parallel_rounds_sweep",
+    "tree_diversity",
+]

@@ -1,0 +1,195 @@
+"""Parameter sweeps behind the quantitative experiments.
+
+Each function returns a list of :class:`SweepRow` — plain records with
+the parameters, the measured quantity, and the paper's bound — which
+the benchmark harness prints as the tables/series of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.model.generators import random_instance
+from repro.parallel.pram import PRAMModel, simulate_schedule
+from repro.parallel.schedule import greedy_tree_schedule
+from repro.utils.rng import as_rng, spawn_rngs
+
+__all__ = [
+    "SweepRow",
+    "gs_proposal_sweep",
+    "binding_proposal_sweep",
+    "parallel_rounds_sweep",
+    "tree_diversity",
+]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One measured data point of a sweep."""
+
+    params: dict[str, object]
+    measured: float
+    bound: float | None = None
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / bound — how tight the paper's bound is in practice."""
+        if self.bound in (None, 0):
+            return None
+        return self.measured / float(self.bound)
+
+
+def gs_proposal_sweep(
+    sizes: Sequence[int],
+    *,
+    trials: int = 5,
+    seed: int | None = 0,
+    workload: str = "random",
+) -> list[SweepRow]:
+    """Measured GS proposals vs the n² bound (E15's series).
+
+    ``workload``: ``"random"`` (uniform lists), ``"identical"`` (master
+    list: n(n+1)/2 proposals exactly) or ``"cyclic"``.
+    """
+    from repro.model.generators import cyclic_smp, identical_preferences_smp, random_smp
+
+    rows: list[SweepRow] = []
+    rng = as_rng(seed)
+    for n in sizes:
+        counts = []
+        for _ in range(trials):
+            if workload == "random":
+                inst = random_smp(n, rng)
+            elif workload == "identical":
+                inst = identical_preferences_smp(n)
+            elif workload == "cyclic":
+                inst = cyclic_smp(n)
+            else:
+                raise ValueError(f"unknown workload {workload!r}")
+            view = inst.bipartite_view(0, 1)
+            counts.append(
+                gale_shapley(view.proposer_prefs, view.responder_prefs).proposals
+            )
+        rows.append(
+            SweepRow(
+                params={"n": n, "workload": workload},
+                measured=float(np.mean(counts)),
+                bound=float(n * n),
+                extra={"max": max(counts), "min": min(counts)},
+            )
+        )
+    return rows
+
+
+def binding_proposal_sweep(
+    ks: Sequence[int],
+    ns: Sequence[int],
+    *,
+    trials: int = 3,
+    seed: int | None = 0,
+    tree_shape: str = "random",
+) -> list[SweepRow]:
+    """Measured Algorithm 1 proposals vs Theorem 3's (k-1)·n² bound."""
+    rows: list[SweepRow] = []
+    rng = as_rng(seed)
+    for k in ks:
+        for n in ns:
+            counts = []
+            for trial_rng in spawn_rngs(rng, trials):
+                inst = random_instance(k, n, trial_rng)
+                if tree_shape == "random":
+                    tree = BindingTree.random(k, trial_rng)
+                elif tree_shape == "chain":
+                    tree = BindingTree.chain(k)
+                elif tree_shape == "star":
+                    tree = BindingTree.star(k)
+                else:
+                    raise ValueError(f"unknown tree shape {tree_shape!r}")
+                counts.append(iterative_binding(inst, tree).total_proposals)
+            rows.append(
+                SweepRow(
+                    params={"k": k, "n": n, "tree": tree_shape},
+                    measured=float(np.mean(counts)),
+                    bound=float((k - 1) * n * n),
+                    extra={"max": max(counts)},
+                )
+            )
+    return rows
+
+
+def parallel_rounds_sweep(
+    ks: Sequence[int],
+    *,
+    n: int = 16,
+    seed: int | None = 0,
+    model: PRAMModel | str = PRAMModel.EREW,
+) -> list[SweepRow]:
+    """Scheduled binding rounds per tree shape vs Δ (Corollary 1's claim).
+
+    For each k, reports (shape, Δ, rounds, makespan) for the star,
+    chain, and a random tree; ``measured`` is the round count and
+    ``bound`` is Δ — Corollary 1 says they coincide.
+    """
+    rows: list[SweepRow] = []
+    rng = as_rng(seed)
+    for k in ks:
+        shapes = {
+            "chain": BindingTree.chain(k),
+            "star": BindingTree.star(k),
+            "random": BindingTree.random(k, rng),
+        }
+        for shape, tree in shapes.items():
+            schedule = greedy_tree_schedule(tree)
+            report = simulate_schedule(schedule, model=model, n=n)
+            rows.append(
+                SweepRow(
+                    params={"k": k, "shape": shape, "n": n},
+                    measured=float(report.n_rounds),
+                    bound=float(tree.max_degree),
+                    extra={
+                        "makespan": report.makespan,
+                        "makespan_bound": tree.max_degree * n * n,
+                        "speedup": report.speedup,
+                    },
+                )
+            )
+    return rows
+
+
+def tree_diversity(
+    k: int,
+    n: int,
+    *,
+    seed: int | None = 0,
+    max_trees: int | None = None,
+) -> dict[str, object]:
+    """How many distinct stable matchings do different binding trees
+    produce on one random instance (Section IV.B's observation)?
+
+    Enumerates all k^(k-2) trees (or the first ``max_trees``), runs
+    Algorithm 1 on each, and fingerprints the resulting matchings.
+    """
+    inst = random_instance(k, n, seed)
+    seen: dict[tuple, list[tuple[tuple[int, int], ...]]] = {}
+    count = 0
+    for tree in BindingTree.all_trees(k):
+        if max_trees is not None and count >= max_trees:
+            break
+        count += 1
+        result = iterative_binding(inst, tree)
+        key = tuple(tuple(m) for tup in result.matching.tuples() for m in tup)
+        seen.setdefault(key, []).append(tree.edges)
+    return {
+        "k": k,
+        "n": n,
+        "trees_tried": count,
+        "distinct_matchings": len(seen),
+        "matchings": seen,
+    }

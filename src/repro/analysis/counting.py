@@ -1,0 +1,176 @@
+"""Counting and enumeration: trees, pairings, k-ary matchings.
+
+Backs three quantitative claims of the paper:
+
+* Cayley's formula — there are k^(k-2) distinct binding trees on k
+  genders (Section IV.B), enumerated here via Prüfer sequences;
+* T(k) = (k-1)! priority-based binding trees (Section IV.D, Fig. 6);
+* Example 2's counts — the balanced tripartite graph on 2+2+2 nodes has
+  8 perfect binary pairings and 4 ternary matchings.
+
+Enumerators are exact and exponential; they exist to *verify* formulas
+on small k and n, not to scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.model.members import Member
+
+__all__ = [
+    "cayley_count",
+    "prufer_to_tree",
+    "tree_to_prufer",
+    "enumerate_labeled_trees",
+    "count_priority_trees",
+    "enumerate_kary_matchings",
+    "enumerate_perfect_binary_matchings",
+    "count_perfect_binary_matchings",
+]
+
+
+def cayley_count(k: int) -> int:
+    """Number of labeled trees on k nodes: k^(k-2) (k >= 1)."""
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if k <= 2:
+        return 1
+    return k ** (k - 2)
+
+
+def prufer_to_tree(seq: Sequence[int], k: int) -> list[tuple[int, int]]:
+    """Decode a Prüfer sequence of length k-2 into a tree's edge list.
+
+    Edges are returned as (small, large) pairs, sorted, so equal trees
+    compare equal.
+    """
+    if k < 2:
+        raise ValueError(f"need k >= 2 nodes, got {k}")
+    if len(seq) != k - 2:
+        raise ValueError(f"Prüfer sequence for k={k} must have length {k - 2}")
+    if any(not 0 <= x < k for x in seq):
+        raise ValueError(f"Prüfer entries must be node labels 0..{k - 1}")
+    degree = [1] * k
+    for x in seq:
+        degree[x] += 1
+    edges: list[tuple[int, int]] = []
+    # iterate smallest-leaf first, as in the canonical decoding
+    import heapq
+
+    leaves = [i for i in range(k) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for x in seq:
+        leaf = heapq.heappop(leaves)
+        edges.append((min(leaf, x), max(leaf, x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((min(u, v), max(u, v)))
+    return sorted(edges)
+
+
+def tree_to_prufer(edges: Sequence[tuple[int, int]], k: int) -> list[int]:
+    """Encode a tree (edge list on nodes 0..k-1) as its Prüfer sequence."""
+    if len(edges) != k - 1:
+        raise ValueError(f"a tree on {k} nodes has {k - 1} edges, got {len(edges)}")
+    adj: dict[int, set[int]] = {i: set() for i in range(k)}
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    import heapq
+
+    leaves = [i for i in range(k) if len(adj[i]) == 1]
+    heapq.heapify(leaves)
+    seq: list[int] = []
+    for _ in range(k - 2):
+        leaf = heapq.heappop(leaves)
+        (nbr,) = adj[leaf]
+        seq.append(nbr)
+        adj[nbr].discard(leaf)
+        adj[leaf].clear()
+        if len(adj[nbr]) == 1:
+            heapq.heappush(leaves, nbr)
+    return seq
+
+
+def enumerate_labeled_trees(k: int) -> Iterator[list[tuple[int, int]]]:
+    """Yield every labeled tree on k nodes (k^(k-2) of them) as sorted
+    edge lists, via the Prüfer bijection."""
+    if k == 1:
+        yield []
+        return
+    if k == 2:
+        yield [(0, 1)]
+        return
+    for seq in itertools.product(range(k), repeat=k - 2):
+        yield prufer_to_tree(seq, k)
+
+
+def count_priority_trees(k: int) -> int:
+    """T(k) = (k-1)!: the number of priority-based binding trees.
+
+    Recurrence from the paper: T(k) = (k-1)·T(k-1), T(2) = T(1) = 1 —
+    each new node (added in decreasing priority order) attaches to any
+    of the existing nodes.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    return math.factorial(k - 1)
+
+
+def enumerate_kary_matchings(k: int, n: int) -> Iterator[list[tuple[Member, ...]]]:
+    """Yield every k-ary matching of a balanced k-partite graph.
+
+    A k-ary matching is n disjoint k-tuples, one member per gender per
+    tuple.  Fixing gender 0's members to tuples 0..n-1 in order, the
+    matchings correspond to (k-1)-tuples of permutations: (n!)^(k-1)
+    in total — 4 for Example 2's k=3, n=2.
+    """
+    if k < 1 or n < 0:
+        raise ValueError(f"invalid (k, n) = ({k}, {n})")
+    perms = list(itertools.permutations(range(n)))
+    for combo in itertools.product(perms, repeat=k - 1):
+        yield [
+            tuple([Member(0, t)] + [Member(g + 1, combo[g][t]) for g in range(k - 1)])
+            for t in range(n)
+        ]
+
+
+def enumerate_perfect_binary_matchings(
+    k: int, n: int
+) -> Iterator[list[tuple[Member, Member]]]:
+    """Yield every perfect *binary* matching of the complete balanced
+    k-partite graph (pairs must span two distinct genders).
+
+    Example 2: k=3, n=2 gives exactly 8 pairings.  Yields nothing when
+    k·n is odd (no perfect matching can exist).
+    """
+    members = [Member(g, i) for g in range(k) for i in range(n)]
+    if (len(members)) % 2 == 1:
+        return
+
+    def rec(remaining: tuple[Member, ...]) -> Iterator[list[tuple[Member, Member]]]:
+        if not remaining:
+            yield []
+            return
+        head = remaining[0]
+        rest = remaining[1:]
+        for idx, other in enumerate(rest):
+            if other.gender == head.gender:
+                continue
+            sub = rest[:idx] + rest[idx + 1 :]
+            for tail in rec(sub):
+                yield [(head, other)] + tail
+
+    yield from rec(tuple(members))
+
+
+def count_perfect_binary_matchings(k: int, n: int) -> int:
+    """Number of perfect binary matchings of the complete balanced
+    k-partite graph (exhaustive; keep k·n small)."""
+    return sum(1 for _ in enumerate_perfect_binary_matchings(k, n))

@@ -1,0 +1,84 @@
+"""Happiness metrics for k-ary matchings.
+
+Generalizes the bipartite costs: a member's cost is the sum of the
+ranks it assigns its k-1 family partners; a gender's cost aggregates
+its members.  Used by the tree-diversity and orientation-ablation
+experiments (E07) to show *which* gender each binding tree favors —
+the k-ary analogue of GS's proposer bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.model.members import Member
+
+if TYPE_CHECKING:  # annotation-only: avoids the core <-> analysis cycle
+    from repro.core.kary_matching import KAryMatching
+
+__all__ = [
+    "kary_member_cost",
+    "kary_gender_costs",
+    "kary_egalitarian_cost",
+    "kary_regret",
+    "KaryCosts",
+    "kary_costs",
+]
+
+
+def kary_member_cost(matching: KAryMatching, member: Member) -> int:
+    """Sum of ranks ``member`` assigns its k-1 family partners."""
+    inst = matching.instance
+    return sum(
+        inst.rank(member, matching.partner(member, h))
+        for h in range(inst.k)
+        if h != member.gender
+    )
+
+
+def kary_gender_costs(matching: KAryMatching) -> list[int]:
+    """Total member cost per gender (index = gender)."""
+    inst = matching.instance
+    return [
+        sum(kary_member_cost(matching, Member(g, i)) for i in range(inst.n))
+        for g in range(inst.k)
+    ]
+
+
+def kary_egalitarian_cost(matching: KAryMatching) -> int:
+    """Sum of all members' costs (lower = happier overall)."""
+    return int(sum(kary_gender_costs(matching)))
+
+
+def kary_regret(matching: KAryMatching) -> int:
+    """The worst single rank any member assigns any of its partners."""
+    inst = matching.instance
+    worst = 0
+    for m in inst.members():
+        for h in range(inst.k):
+            if h == m.gender:
+                continue
+            worst = max(worst, inst.rank(m, matching.partner(m, h)))
+    return worst
+
+
+@dataclass(frozen=True)
+class KaryCosts:
+    """All k-ary metrics at once."""
+
+    gender_costs: tuple[int, ...]
+    egalitarian: int
+    regret: int
+    spread: int  # max gender cost - min gender cost (inter-gender fairness)
+
+
+def kary_costs(matching: KAryMatching) -> KaryCosts:
+    """Compute every k-ary metric for ``matching``."""
+    per_gender = kary_gender_costs(matching)
+    return KaryCosts(
+        gender_costs=tuple(per_gender),
+        egalitarian=int(sum(per_gender)),
+        regret=kary_regret(matching),
+        spread=int(max(per_gender) - min(per_gender)),
+    )

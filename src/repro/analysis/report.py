@@ -1,0 +1,110 @@
+"""Plain-text rendering of experiment results: tables and bar series.
+
+The benchmark harness and example scripts print their regenerated paper
+artifacts through these helpers so EXPERIMENTS.md snippets, bench
+output, and example output all share one format.  Text-only by design —
+the repository has no plotting dependency, and every figure in the
+paper is reproducible as numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_comparison"]
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule.
+
+    >>> print(format_table("t", ["a", "bb"], [[1, 2]]))
+    === t ===
+    a  bb
+    -----
+    1  2
+    """
+    cells = [[str(x) for x in row] for row in rows]
+    for row in cells:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} cells but header has {len(header)}"
+            )
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    head = "  ".join(str(h).ljust(w) for h, w in zip(header, widths)).rstrip()
+    lines = [f"=== {title} ===", head, "-" * len(head)]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    points: Mapping[object, float] | Sequence[tuple[object, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart of a labeled numeric series.
+
+    Bars scale to the maximum value; zero and negative values render as
+    empty bars (magnitude charts only).
+
+    >>> print(format_series("s", [("a", 2.0), ("b", 4.0)], width=4))
+    === s ===
+    a  ##    2
+    b  ####  4
+    """
+    if isinstance(points, Mapping):
+        items = list(points.items())
+    else:
+        items = list(points)
+    if not items:
+        return f"=== {title} ===\n(no data)"
+    labels = [str(k) for k, _ in items]
+    values = [float(v) for _, v in items]
+    peak = max(max(values), 0.0)
+    label_w = max(len(s) for s in labels)
+    lines = [f"=== {title} ==="]
+    for label, value in zip(labels, values):
+        bar_len = int(round(width * value / peak)) if peak > 0 and value > 0 else 0
+        shown = f"{value:g}{unit}"
+        lines.append(f"{label.ljust(label_w)}  {('#' * bar_len).ljust(width)}  {shown}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str,
+    baseline_name: str,
+    baseline: float,
+    others: Mapping[str, float] | Sequence[tuple[str, float]],
+    *,
+    higher_is_better: bool = False,
+) -> str:
+    """Relative comparison against a baseline (ratios annotated).
+
+    >>> print(format_comparison("c", "serial", 2.0, [("parallel", 1.0)]))
+    === c ===
+    serial    2 (baseline)
+    parallel  1 (0.50x)
+    """
+    if isinstance(others, Mapping):
+        items = list(others.items())
+    else:
+        items = list(others)
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    label_w = max(len(baseline_name), *(len(k) for k, _ in items)) if items else len(
+        baseline_name
+    )
+    lines = [f"=== {title} ===", f"{baseline_name.ljust(label_w)}  {baseline:g} (baseline)"]
+    for name, value in items:
+        ratio = value / baseline
+        lines.append(f"{name.ljust(label_w)}  {value:g} ({ratio:.2f}x)")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Instance analytics: how competitive is a preference system?
+
+Stable-matching behaviour is driven by preference *correlation*: when
+everyone agrees (master lists) competition maximizes proposal counts
+and nukes responder happiness; when tastes are idiosyncratic, almost
+everyone gets a high choice.  These statistics quantify where an
+instance sits on that axis, for experiment narration and workload
+sanity checks:
+
+* :func:`mutual_first_choices` — pairs who rank each other first (these
+  marry in every stable matching);
+* :func:`popularity_concentration` — per (rater-gender, rated-gender)
+  block, how concentrated first-choices are on few members (normalized
+  Herfindahl index: 0 = uniform, 1 = everyone's first choice is the
+  same member);
+* :func:`mean_agreement` — average Kendall-tau-style agreement between
+  the lists of two raters of the same gender over another gender
+  (0 = independent, 1 = identical master list, negative = contrarian).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+
+__all__ = [
+    "mutual_first_choices",
+    "popularity_concentration",
+    "mean_agreement",
+    "InstanceStats",
+    "instance_stats",
+]
+
+
+def mutual_first_choices(instance: KPartiteInstance) -> list[tuple[Member, Member]]:
+    """All cross-gender pairs who are each other's first choice.
+
+    Such a pair is matched in *every* stable binary matching of the two
+    genders, and by proposer-optimality in every GS binding of the edge.
+    """
+    out = []
+    for g in range(instance.k):
+        for h in range(g + 1, instance.k):
+            for i in range(instance.n):
+                a = Member(g, i)
+                b = instance.top(a, h)
+                if instance.top(b, g) == a:
+                    out.append((a, b))
+    return out
+
+
+def popularity_concentration(instance: KPartiteInstance) -> dict[tuple[int, int], float]:
+    """Normalized Herfindahl index of first-choice shares per block.
+
+    Key ``(g, h)``: how concentrated gender g's first choices over
+    gender h are.  0 means perfectly spread (everyone tops a different
+    member, only possible when shares are uniform), 1 means unanimous.
+    """
+    n = instance.n
+    out: dict[tuple[int, int], float] = {}
+    for g in range(instance.k):
+        for h in range(instance.k):
+            if g == h:
+                continue
+            counts = [0] * n
+            for i in range(n):
+                counts[instance.top(Member(g, i), h).index] += 1
+            shares = [c / n for c in counts]
+            hhi = sum(s * s for s in shares)
+            # normalize from [1/n, 1] to [0, 1]
+            out[(g, h)] = (hhi - 1 / n) / (1 - 1 / n) if n > 1 else 1.0
+    return out
+
+
+def _pair_agreement(list_a: list[int], list_b: list[int]) -> float:
+    """Kendall-tau-style agreement of two rankings (values in [-1, 1])."""
+    n = len(list_a)
+    if n < 2:
+        return 1.0
+    pos_a = {x: r for r, x in enumerate(list_a)}
+    pos_b = {x: r for r, x in enumerate(list_b)}
+    concordant = discordant = 0
+    for x, y in itertools.combinations(range(n), 2):
+        same = (pos_a[x] - pos_a[y]) * (pos_b[x] - pos_b[y])
+        if same > 0:
+            concordant += 1
+        else:
+            discordant += 1
+    total = concordant + discordant
+    return (concordant - discordant) / total
+
+
+def mean_agreement(instance: KPartiteInstance) -> dict[tuple[int, int], float]:
+    """Mean pairwise rank agreement among gender g's raters of gender h.
+
+    1.0 for master lists, ~0 for independent random lists.
+    """
+    out: dict[tuple[int, int], float] = {}
+    for g in range(instance.k):
+        for h in range(instance.k):
+            if g == h:
+                continue
+            lists = [
+                [m.index for m in instance.preference_list(Member(g, i), h)]
+                for i in range(instance.n)
+            ]
+            if len(lists) < 2:
+                out[(g, h)] = 1.0
+                continue
+            vals = [
+                _pair_agreement(a, b) for a, b in itertools.combinations(lists, 2)
+            ]
+            out[(g, h)] = sum(vals) / len(vals)
+    return out
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Bundle of all instance analytics."""
+
+    mutual_first_pairs: int
+    max_popularity_concentration: float
+    mean_popularity_concentration: float
+    mean_list_agreement: float
+
+
+def instance_stats(instance: KPartiteInstance) -> InstanceStats:
+    """Compute every analytic at once."""
+    conc = popularity_concentration(instance)
+    agree = mean_agreement(instance)
+    return InstanceStats(
+        mutual_first_pairs=len(mutual_first_choices(instance)),
+        max_popularity_concentration=max(conc.values()),
+        mean_popularity_concentration=sum(conc.values()) / len(conc),
+        mean_list_agreement=sum(agree.values()) / len(agree),
+    )

@@ -1,0 +1,49 @@
+"""Baselines: the NP-complete multi-dimensional SMP formulations.
+
+The paper positions its k-ary model against the existing
+three-dimensional extensions it cites — and the contrast *is* the
+contribution: those formulations are NP-complete while per-gender
+binary preferences keep everything polynomial.  To make the comparison
+executable we implement both classic formulations as exact
+(exponential-time) solvers:
+
+* :mod:`repro.baselines.cyclic3dsm` — **cyclic preferences**
+  (Ng & Hirschberg's variation; also Cui & Jia's networking model):
+  gender A ranks B, B ranks C, C ranks A; a triple blocks when each
+  member improves along the cycle;
+* :mod:`repro.baselines.combination3dsm` — **combination preferences**
+  (Ng & Hirschberg): each member ranks all n² pairs of the other two
+  genders.
+
+Benchmark E16 runs them against Algorithm 1 on the same instances.
+"""
+
+from repro.baselines.cyclic3dsm import (
+    CyclicInstance,
+    cyclic_blocking_triples,
+    is_stable_cyclic,
+    solve_cyclic_exhaustive,
+    random_cyclic_instance,
+    cyclic_from_kpartite,
+)
+from repro.baselines.combination3dsm import (
+    CombinationInstance,
+    combination_blocking_triples,
+    is_stable_combination,
+    solve_combination_exhaustive,
+    random_combination_instance,
+)
+
+__all__ = [
+    "CyclicInstance",
+    "cyclic_blocking_triples",
+    "is_stable_cyclic",
+    "solve_cyclic_exhaustive",
+    "random_cyclic_instance",
+    "cyclic_from_kpartite",
+    "CombinationInstance",
+    "combination_blocking_triples",
+    "is_stable_combination",
+    "solve_combination_exhaustive",
+    "random_combination_instance",
+]

@@ -1,0 +1,164 @@
+"""Combination-preference three-dimensional stable matching.
+
+Ng & Hirschberg's first model, quoted by the paper: "each member of a
+gender has a preference order for all combination of the other two
+genders, which have n² combinations."  A triple (a, b, c) blocks a
+matching iff **each** of a, b, c strictly prefers its pair of new
+partners (as a combination) to its current pair.
+
+Deciding existence is NP-complete; the exact solver below is the
+obvious (n!)²-candidate search.  The model's *input* is already
+quadratic per member (n² ranked pairs), which benchmark E16 contrasts
+with the paper's 2n-entry per-member lists.
+
+Pair encoding: the combination (x, y) — partner x from the nearer
+gender, y from the farther — is index ``x * n + y``:
+
+* A ranks (b, c) pairs as ``b * n + c``;
+* B ranks (a, c) pairs as ``a * n + c``;
+* C ranks (a, b) pairs as ``a * n + b``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError, InvalidMatchingError
+from repro.utils.ordering import rank_array
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "CombinationInstance",
+    "combination_blocking_triples",
+    "is_stable_combination",
+    "solve_combination_exhaustive",
+    "random_combination_instance",
+]
+
+
+@dataclass(frozen=True)
+class CombinationInstance:
+    """A combination-preference 3DSM instance.
+
+    Attributes
+    ----------
+    a_prefs, b_prefs, c_prefs:
+        ``(n, n²)`` matrices; row i is agent i's strict order over the
+        n² encoded pairs (see module docstring), best first.
+    """
+
+    a_prefs: np.ndarray
+    b_prefs: np.ndarray
+    c_prefs: np.ndarray
+
+    def __post_init__(self) -> None:
+        shapes = set()
+        for name in ("a_prefs", "b_prefs", "c_prefs"):
+            arr = np.asarray(getattr(self, name), dtype=np.int64)
+            object.__setattr__(self, name, arr)
+            if arr.ndim != 2 or arr.shape[1] != arr.shape[0] ** 2:
+                raise InvalidInstanceError(
+                    f"{name} must have shape (n, n^2), got {arr.shape}"
+                )
+            for row in arr:
+                try:
+                    rank_array(row.tolist())
+                except ValueError as exc:
+                    raise InvalidInstanceError(f"{name}: {exc}") from exc
+            shapes.add(arr.shape)
+        if len(shapes) != 1:
+            raise InvalidInstanceError("all three matrices must share one n")
+
+    @property
+    def n(self) -> int:
+        return int(self.a_prefs.shape[0])
+
+    def ranks(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Rank matrices (agent, encoded pair) for the three genders."""
+        return tuple(
+            np.array([rank_array(row.tolist()) for row in mat])
+            for mat in (self.a_prefs, self.b_prefs, self.c_prefs)
+        )  # type: ignore[return-value]
+
+
+def random_combination_instance(
+    n: int, seed: int | None | np.random.Generator = None
+) -> CombinationInstance:
+    """Uniform random combination-preference instance."""
+    rng = as_rng(seed)
+    return CombinationInstance(
+        a_prefs=np.array([rng.permutation(n * n) for _ in range(n)]),
+        b_prefs=np.array([rng.permutation(n * n) for _ in range(n)]),
+        c_prefs=np.array([rng.permutation(n * n) for _ in range(n)]),
+    )
+
+
+def _triples(sigma: list[int], tau: list[int]) -> list[tuple[int, int, int]]:
+    """Matching triples (a, b, c) from sigma: A->B and tau: B->C."""
+    return [(a, sigma[a], tau[sigma[a]]) for a in range(len(sigma))]
+
+
+def combination_blocking_triples(
+    inst: CombinationInstance, sigma, tau
+) -> list[tuple[int, int, int]]:
+    """All blocking triples under combination preferences.  O(n³)."""
+    n = inst.n
+    sigma = [int(x) for x in sigma]
+    tau = [int(x) for x in tau]
+    if sorted(sigma) != list(range(n)) or sorted(tau) != list(range(n)):
+        raise InvalidMatchingError("sigma and tau must be permutations of range(n)")
+    ra, rb, rc = inst.ranks()
+    cur_pair_a = [0] * n
+    cur_pair_b = [0] * n
+    cur_pair_c = [0] * n
+    for a, b, c in _triples(sigma, tau):
+        cur_pair_a[a] = ra[a, b * n + c]
+        cur_pair_b[b] = rb[b, a * n + c]
+        cur_pair_c[c] = rc[c, a * n + b]
+    current = set(_triples(sigma, tau))
+    out = []
+    for a in range(n):
+        for b in range(n):
+            for c in range(n):
+                if (a, b, c) in current:
+                    continue
+                if (
+                    ra[a, b * n + c] < cur_pair_a[a]
+                    and rb[b, a * n + c] < cur_pair_b[b]
+                    and rc[c, a * n + b] < cur_pair_c[c]
+                ):
+                    out.append((a, b, c))
+    return out
+
+
+def is_stable_combination(inst: CombinationInstance, sigma, tau) -> bool:
+    """True iff no combination blocking triple exists."""
+    return not combination_blocking_triples(inst, sigma, tau)
+
+
+def solve_combination_exhaustive(
+    inst: CombinationInstance, *, max_nodes: int | None = None
+) -> tuple[list[int], list[int]] | None:
+    """Exact (n!)²-candidate search; None if no stable matching exists.
+
+    Unlike the paper's k-ary model (Theorem 2: always solvable), the
+    combination model admits instances with **no** stable matching at
+    all — our E16 benchmark finds such instances among random n = 2
+    draws — which together with NP-completeness of the decision problem
+    is exactly the contrast the paper draws.
+    """
+    n = inst.n
+    examined = 0
+    for sigma in itertools.permutations(range(n)):
+        for tau in itertools.permutations(range(n)):
+            examined += 1
+            if max_nodes is not None and examined > max_nodes:
+                raise RuntimeError(
+                    f"exhausted node budget ({max_nodes}) without a verdict"
+                )
+            if is_stable_combination(inst, sigma, tau):
+                return list(sigma), list(tau)
+    return None

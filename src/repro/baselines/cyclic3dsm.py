@@ -1,0 +1,182 @@
+"""Cyclic three-dimensional stable matching (c3DSM).
+
+Model: three genders A, B, C of n agents; A-agents rank only B-agents,
+B-agents rank only C-agents, C-agents rank only A-agents ("the
+preference rating is cyclic among genders").  A matching is n disjoint
+triples (a, b, c).  A triple (a, b, c) **blocks** M iff
+
+* a strictly prefers b to its current B-partner, and
+* b strictly prefers c to its current C-partner, and
+* c strictly prefers a to its current A-partner.
+
+Deciding existence for variants of this model is NP-complete (Huang;
+Ng & Hirschberg), which is exactly why the paper's per-gender binary
+model matters.  The solver here is an exact exponential backtracking
+search over (σ: A→B, τ: B→C) permutation pairs with incremental
+pruning — fine for the n ≤ 6 scales of benchmark E16, hopeless beyond,
+which is the point being demonstrated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError, InvalidMatchingError
+from repro.model.instance import KPartiteInstance
+from repro.utils.ordering import rank_array
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "CyclicInstance",
+    "cyclic_blocking_triples",
+    "is_stable_cyclic",
+    "solve_cyclic_exhaustive",
+    "random_cyclic_instance",
+    "cyclic_from_kpartite",
+]
+
+
+@dataclass(frozen=True)
+class CyclicInstance:
+    """A c3DSM instance.
+
+    Attributes
+    ----------
+    a_over_b, b_over_c, c_over_a:
+        ``(n, n)`` preference matrices, best first: row i of ``a_over_b``
+        is A-agent i's ranking of B-agents, etc.
+    """
+
+    a_over_b: np.ndarray
+    b_over_c: np.ndarray
+    c_over_a: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("a_over_b", "b_over_c", "c_over_a"):
+            arr = np.asarray(getattr(self, name), dtype=np.int64)
+            object.__setattr__(self, name, arr)
+            if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+                raise InvalidInstanceError(f"{name} must be square, got {arr.shape}")
+            for row in arr:
+                try:
+                    rank_array(row.tolist())
+                except ValueError as exc:
+                    raise InvalidInstanceError(f"{name}: {exc}") from exc
+        if not (self.a_over_b.shape == self.b_over_c.shape == self.c_over_a.shape):
+            raise InvalidInstanceError("all three matrices must share one n")
+
+    @property
+    def n(self) -> int:
+        return int(self.a_over_b.shape[0])
+
+    def ranks(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Inverse-permutation rank matrices for the three relations."""
+        return tuple(
+            np.array([rank_array(row.tolist()) for row in mat])
+            for mat in (self.a_over_b, self.b_over_c, self.c_over_a)
+        )  # type: ignore[return-value]
+
+
+def random_cyclic_instance(
+    n: int, seed: int | None | np.random.Generator = None
+) -> CyclicInstance:
+    """Uniform random c3DSM instance."""
+    rng = as_rng(seed)
+    return CyclicInstance(
+        a_over_b=np.array([rng.permutation(n) for _ in range(n)]),
+        b_over_c=np.array([rng.permutation(n) for _ in range(n)]),
+        c_over_a=np.array([rng.permutation(n) for _ in range(n)]),
+    )
+
+
+def cyclic_from_kpartite(instance: KPartiteInstance) -> CyclicInstance:
+    """Project a k=3 per-gender instance onto the cyclic model.
+
+    Keeps A's list over B, B's over C, C's over A and *discards* the
+    other three lists — the information the cyclic formulation cannot
+    express.  Used by E16 to run both models on "the same" workload.
+    """
+    if instance.k != 3:
+        raise InvalidInstanceError(f"cyclic model needs k=3, got k={instance.k}")
+    pref = instance.pref_array()
+    return CyclicInstance(
+        a_over_b=pref[0, :, 1, :].astype(np.int64),
+        b_over_c=pref[1, :, 2, :].astype(np.int64),
+        c_over_a=pref[2, :, 0, :].astype(np.int64),
+    )
+
+
+def _validate_matching(inst: CyclicInstance, sigma, tau) -> tuple[list[int], list[int]]:
+    n = inst.n
+    sigma = [int(x) for x in sigma]
+    tau = [int(x) for x in tau]
+    if sorted(sigma) != list(range(n)) or sorted(tau) != list(range(n)):
+        raise InvalidMatchingError("sigma and tau must be permutations of range(n)")
+    return sigma, tau
+
+
+def cyclic_blocking_triples(
+    inst: CyclicInstance, sigma, tau
+) -> list[tuple[int, int, int]]:
+    """All blocking triples of the matching (a_i, b_{sigma[i]},
+    c_{tau[sigma[i]]}).
+
+    ``sigma`` maps A-agents to B-partners; ``tau`` maps B-agents to
+    C-partners (so the triples are determined).  O(n³).
+    """
+    sigma, tau = _validate_matching(inst, sigma, tau)
+    ra, rb, rc = inst.ranks()
+    n = inst.n
+    # current partner ranks
+    a_cur = [ra[i, sigma[i]] for i in range(n)]
+    b_cur = [rb[j, tau[j]] for j in range(n)]
+    inv_sigma = [0] * n
+    for i, j in enumerate(sigma):
+        inv_sigma[j] = i
+    inv_tau = [0] * n
+    for j, c in enumerate(tau):
+        inv_tau[c] = j
+    c_cur = [rc[c, inv_sigma[inv_tau[c]]] for c in range(n)]
+    out = []
+    for a in range(n):
+        for b in range(n):
+            if ra[a, b] >= a_cur[a]:
+                continue
+            for c in range(n):
+                if rb[b, c] >= b_cur[b]:
+                    continue
+                if rc[c, a] < c_cur[c]:
+                    out.append((a, b, c))
+    return out
+
+
+def is_stable_cyclic(inst: CyclicInstance, sigma, tau) -> bool:
+    """True iff the matching has no cyclic blocking triple."""
+    return not cyclic_blocking_triples(inst, sigma, tau)
+
+
+def solve_cyclic_exhaustive(
+    inst: CyclicInstance, *, max_nodes: int | None = None
+) -> tuple[list[int], list[int]] | None:
+    """Exact search for a stable c3DSM matching; None if none exists.
+
+    Iterates candidate (sigma, tau) permutation pairs — (n!)² of them —
+    with an early blocking check after sigma is fixed.  ``max_nodes``
+    caps the number of full candidates examined (raises RuntimeError on
+    exhaustion) so benchmarks can bound runtime explicitly.
+    """
+    n = inst.n
+    examined = 0
+    for sigma in itertools.permutations(range(n)):
+        for tau in itertools.permutations(range(n)):
+            examined += 1
+            if max_nodes is not None and examined > max_nodes:
+                raise RuntimeError(
+                    f"exhausted node budget ({max_nodes}) without a verdict"
+                )
+            if is_stable_cyclic(inst, sigma, tau):
+                return list(sigma), list(tau)
+    return None

@@ -1,0 +1,90 @@
+"""Classic bipartite stable matching (the Gale-Shapley substrate).
+
+Everything here operates on *raw arrays* — ``(n, n)`` integer preference
+matrices, one row per participant, best first — so the same engines can
+be reused by every higher layer: a binding edge of Algorithm 1, the
+distributed simulator, and the parallel executor all hand slices of a
+:class:`repro.model.KPartiteInstance` (via ``bipartite_view``) straight
+to these functions.
+
+Three interchangeable engines produce the identical proposer-optimal
+matching:
+
+* ``"textbook"`` — the classic free-list algorithm, O(n²);
+* ``"rounds"`` — round-synchronous proposals (all free proposers act
+  each round; the distributed algorithm's schedule);
+* ``"vectorized"`` — the round-synchronous engine with NumPy batch
+  operations per round (fastest for large n).
+"""
+
+from repro.bipartite.gale_shapley import GSResult, gale_shapley, ENGINES
+from repro.bipartite.verify import blocking_pairs, is_stable, assert_perfect
+from repro.bipartite.enumerate import all_stable_matchings, count_stable_matchings
+from repro.bipartite.lattice import (
+    all_stable_matchings_lattice,
+    count_stable_matchings_lattice,
+    all_rotations,
+    egalitarian_stable_matching,
+    minimum_regret_stable_matching,
+    sex_equal_stable_matching,
+)
+from repro.bipartite.facade import stable_marriage, CRITERIA
+from repro.bipartite.strategy import (
+    MisreportResult,
+    best_misreport,
+    proposer_truthfulness_holds,
+)
+from repro.bipartite.hospitals import (
+    HRInstance,
+    HRResult,
+    hospitals_residents,
+    hr_blocking_pairs,
+    is_stable_hr,
+    random_hr_instance,
+    couples_violations,
+)
+from repro.bipartite.fairness import (
+    proposer_cost,
+    responder_cost,
+    egalitarian_cost,
+    sex_equality_cost,
+    regret,
+    MatchingCosts,
+    matching_costs,
+)
+
+__all__ = [
+    "GSResult",
+    "gale_shapley",
+    "ENGINES",
+    "blocking_pairs",
+    "is_stable",
+    "assert_perfect",
+    "all_stable_matchings",
+    "count_stable_matchings",
+    "all_stable_matchings_lattice",
+    "count_stable_matchings_lattice",
+    "all_rotations",
+    "egalitarian_stable_matching",
+    "minimum_regret_stable_matching",
+    "sex_equal_stable_matching",
+    "proposer_cost",
+    "responder_cost",
+    "egalitarian_cost",
+    "sex_equality_cost",
+    "regret",
+    "MatchingCosts",
+    "matching_costs",
+    "stable_marriage",
+    "CRITERIA",
+    "MisreportResult",
+    "best_misreport",
+    "proposer_truthfulness_holds",
+    "HRInstance",
+    "HRResult",
+    "hospitals_residents",
+    "hr_blocking_pairs",
+    "is_stable_hr",
+    "random_hr_instance",
+    "couples_violations",
+]

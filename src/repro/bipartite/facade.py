@@ -1,0 +1,62 @@
+"""One-call stable marriage with a selectable optimality criterion.
+
+Downstream users usually want *a* stable matching with a particular
+flavour, not the full engine/lattice/policy zoo.  This facade wraps the
+lot:
+
+>>> from repro.bipartite.facade import stable_marriage
+>>> stable_marriage([[0, 1], [1, 0]], [[1, 0], [0, 1]], optimal="proposer")
+(0, 1)
+>>> stable_marriage([[0, 1], [1, 0]], [[1, 0], [0, 1]], optimal="responder")
+(1, 0)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.lattice import (
+    egalitarian_stable_matching,
+    minimum_regret_stable_matching,
+    sex_equal_stable_matching,
+)
+
+__all__ = ["stable_marriage", "CRITERIA"]
+
+#: Supported optimality criteria.
+CRITERIA = ("proposer", "responder", "egalitarian", "min_regret", "sex_equal")
+
+
+def stable_marriage(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    *,
+    optimal: str = "proposer",
+) -> tuple[int, ...]:
+    """Return a stable matching (proposer index -> responder index).
+
+    ``optimal`` selects which stable matching:
+
+    * ``"proposer"`` — proposer-optimal (plain GS, O(n²));
+    * ``"responder"`` — responder-optimal (GS with roles swapped);
+    * ``"egalitarian"`` / ``"min_regret"`` / ``"sex_equal"`` — the
+      lattice optima (exact, output-polynomial — they enumerate the
+      stable set, so reserve them for moderate n or small lattices).
+    """
+    if optimal == "proposer":
+        return gale_shapley(proposer_prefs, responder_prefs).matching
+    if optimal == "responder":
+        inv = gale_shapley(responder_prefs, proposer_prefs).matching
+        n = len(inv)
+        out = [0] * n
+        for responder, proposer in enumerate(inv):
+            out[proposer] = responder
+        return tuple(out)
+    if optimal == "egalitarian":
+        return egalitarian_stable_matching(proposer_prefs, responder_prefs)[0]
+    if optimal == "min_regret":
+        return minimum_regret_stable_matching(proposer_prefs, responder_prefs)[0]
+    if optimal == "sex_equal":
+        return sex_equal_stable_matching(proposer_prefs, responder_prefs)[0]
+    raise ValueError(f"unknown criterion {optimal!r}; choose from {CRITERIA}")

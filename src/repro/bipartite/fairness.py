@@ -1,0 +1,133 @@
+"""Fairness and happiness metrics for bipartite matchings.
+
+The paper motivates the roommates-based SMP solver of Section III.B
+with the observation that man-proposing GS "favors men over women in
+terms of preferential happiness".  These metrics quantify that:
+
+* :func:`proposer_cost` / :func:`responder_cost` — sum of the ranks each
+  side assigns to its partner (0 = everyone got their first choice);
+* :func:`egalitarian_cost` — total of both (lower = happier society);
+* :func:`sex_equality_cost` — absolute gap between the sides (lower =
+  fairer);
+* :func:`regret` — the worst rank anyone suffers.
+
+All ranks are 0-based: a cost of 0 means universal first choices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bipartite.verify import as_matching_array
+from repro.utils.ordering import rank_array
+
+__all__ = [
+    "proposer_cost",
+    "responder_cost",
+    "egalitarian_cost",
+    "sex_equality_cost",
+    "regret",
+    "MatchingCosts",
+    "matching_costs",
+]
+
+
+def _ranks(prefs: np.ndarray) -> np.ndarray:
+    p = np.asarray(prefs, dtype=np.int64)
+    return np.array([rank_array(row.tolist()) for row in p])
+
+
+def proposer_cost(
+    proposer_prefs: np.ndarray, matching: Sequence[int] | Mapping[int, int]
+) -> int:
+    """Sum over proposers of the rank each assigns its partner."""
+    p_rank = _ranks(proposer_prefs)
+    match = as_matching_array(matching, p_rank.shape[0])
+    return int(p_rank[np.arange(len(match)), match].sum())
+
+
+def responder_cost(
+    responder_prefs: np.ndarray, matching: Sequence[int] | Mapping[int, int]
+) -> int:
+    """Sum over responders of the rank each assigns its partner."""
+    r_rank = _ranks(responder_prefs)
+    match = as_matching_array(matching, r_rank.shape[0])
+    inv = np.empty(len(match), dtype=np.int64)
+    inv[match] = np.arange(len(match))
+    return int(r_rank[np.arange(len(match)), inv].sum())
+
+
+def egalitarian_cost(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    matching: Sequence[int] | Mapping[int, int],
+) -> int:
+    """Total happiness cost of both sides (lower is better)."""
+    return proposer_cost(proposer_prefs, matching) + responder_cost(responder_prefs, matching)
+
+
+def sex_equality_cost(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    matching: Sequence[int] | Mapping[int, int],
+) -> int:
+    """|proposer_cost - responder_cost|: the paper's gender-unfairness gap."""
+    return abs(
+        proposer_cost(proposer_prefs, matching) - responder_cost(responder_prefs, matching)
+    )
+
+
+def regret(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    matching: Sequence[int] | Mapping[int, int],
+) -> int:
+    """The maximum rank any participant (either side) assigns its partner."""
+    p_rank = _ranks(proposer_prefs)
+    r_rank = _ranks(responder_prefs)
+    match = as_matching_array(matching, p_rank.shape[0])
+    inv = np.empty(len(match), dtype=np.int64)
+    inv[match] = np.arange(len(match))
+    worst_p = int(p_rank[np.arange(len(match)), match].max())
+    worst_r = int(r_rank[np.arange(len(match)), inv].max())
+    return max(worst_p, worst_r)
+
+
+@dataclass(frozen=True)
+class MatchingCosts:
+    """Bundle of all fairness metrics for one matching."""
+
+    proposer: int
+    responder: int
+    egalitarian: int
+    sex_equality: int
+    regret: int
+
+
+def matching_costs(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    matching: Sequence[int] | Mapping[int, int],
+) -> MatchingCosts:
+    """Compute every metric at once (single rank-matrix construction)."""
+    p_rank = _ranks(proposer_prefs)
+    r_rank = _ranks(responder_prefs)
+    match = as_matching_array(matching, p_rank.shape[0])
+    inv = np.empty(len(match), dtype=np.int64)
+    inv[match] = np.arange(len(match))
+    pc = int(p_rank[np.arange(len(match)), match].sum())
+    rc = int(r_rank[np.arange(len(match)), inv].sum())
+    worst = max(
+        int(p_rank[np.arange(len(match)), match].max()),
+        int(r_rank[np.arange(len(match)), inv].max()),
+    )
+    return MatchingCosts(
+        proposer=pc,
+        responder=rc,
+        egalitarian=pc + rc,
+        sex_equality=abs(pc - rc),
+        regret=worst,
+    )

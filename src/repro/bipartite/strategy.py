@@ -1,0 +1,137 @@
+"""Strategic behaviour under Gale-Shapley: who can lie profitably?
+
+Classic mechanism-design companions to the paper's fairness discussion
+(man-proposing GS "favors men over women"):
+
+* **proposers cannot gain by misreporting** (Dubins & Freedman; Roth) —
+  truth-telling is a dominant strategy for the proposing side;
+* **responders can**: a responder may truncate/permute its list so the
+  proposer-optimal outcome improves for it — the flip side of receiving
+  the pessimal stable partner.
+
+Both facts become *executable* here: :func:`best_misreport` brute-forces
+every alternative list for one participant (factorial — keep n small)
+and reports the best achievable partner under truthful behaviour of
+everyone else, measured against the participant's **true** preferences.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.exceptions import InvalidInstanceError
+
+__all__ = ["MisreportResult", "best_misreport", "proposer_truthfulness_holds"]
+
+
+@dataclass(frozen=True)
+class MisreportResult:
+    """Outcome of the exhaustive misreport search for one participant.
+
+    Attributes
+    ----------
+    side:
+        ``"proposer"`` or ``"responder"``.
+    agent:
+        The participant whose reports were varied.
+    truthful_rank:
+        Rank (by the agent's true list, 0 best) of its partner when
+        everyone reports truthfully.
+    best_rank:
+        Best partner rank achievable by any unilateral misreport.
+    best_report:
+        A report achieving ``best_rank`` (the truthful list if no lie
+        helps).
+    gain:
+        ``truthful_rank - best_rank`` (> 0 iff lying pays).
+    """
+
+    side: str
+    agent: int
+    truthful_rank: int
+    best_rank: int
+    best_report: tuple[int, ...]
+    gain: int
+
+
+def _partner_rank_true(
+    true_list: np.ndarray, partner: int
+) -> int:
+    return int(np.where(true_list == partner)[0][0])
+
+
+def best_misreport(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    *,
+    side: str,
+    agent: int,
+) -> MisreportResult:
+    """Exhaustively search ``agent``'s possible preference reports.
+
+    Everyone else reports truthfully; the mechanism is man-proposing
+    (proposer-optimal) GS.  Complexity n! per call — intended for the
+    n ≤ 6 experiment sizes.
+
+    >>> # a responder in Example 1 (variant b) gains nothing at n=2 ...
+    >>> best_misreport([[0, 1], [1, 0]], [[1, 0], [0, 1]],
+    ...                side="responder", agent=0).gain
+    0
+    """
+    p = np.asarray(proposer_prefs, dtype=np.int64)
+    r = np.asarray(responder_prefs, dtype=np.int64)
+    n = p.shape[0]
+    if side not in ("proposer", "responder"):
+        raise InvalidInstanceError(f"side must be proposer/responder, got {side!r}")
+    if not 0 <= agent < n:
+        raise InvalidInstanceError(f"agent {agent} out of range for n={n}")
+
+    def outcome_rank(p_mat: np.ndarray, r_mat: np.ndarray) -> int:
+        res = gale_shapley(p_mat, r_mat)
+        if side == "proposer":
+            return _partner_rank_true(p[agent], res.matching[agent])
+        partner = res.inverse()[agent]
+        return _partner_rank_true(r[agent], partner)
+
+    truthful = outcome_rank(p, r)
+    best_rank = truthful
+    best_report = tuple(
+        (p if side == "proposer" else r)[agent].tolist()
+    )
+    for report in itertools.permutations(range(n)):
+        if side == "proposer":
+            trial_p = p.copy()
+            trial_p[agent] = report
+            rank = outcome_rank(trial_p, r)
+        else:
+            trial_r = r.copy()
+            trial_r[agent] = report
+            rank = outcome_rank(p, trial_r)
+        if rank < best_rank:
+            best_rank = rank
+            best_report = tuple(report)
+    return MisreportResult(
+        side=side,
+        agent=agent,
+        truthful_rank=truthful,
+        best_rank=best_rank,
+        best_report=best_report,
+        gain=truthful - best_rank,
+    )
+
+
+def proposer_truthfulness_holds(
+    proposer_prefs: np.ndarray, responder_prefs: np.ndarray
+) -> bool:
+    """Check Dubins-Freedman on one instance: no proposer gains by any
+    unilateral misreport (exhaustive; n! per proposer)."""
+    n = np.asarray(proposer_prefs).shape[0]
+    return all(
+        best_misreport(proposer_prefs, responder_prefs, side="proposer", agent=i).gain
+        == 0
+        for i in range(n)
+    )

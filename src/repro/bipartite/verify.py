@@ -1,0 +1,88 @@
+"""Stability verification for bipartite matchings.
+
+The definition being checked is the paper's (Section I): matching M is
+unstable iff there exist two matched pairs (m, w), (m', w') such that m
+prefers w' to w **and** w' prefers m to m'.  :func:`blocking_pairs`
+returns every such (m, w') witness; :func:`is_stable` is the boolean.
+
+A vectorized O(n²) check is used: build the rank matrices once, then a
+single boolean outer comparison finds all blocking pairs at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidMatchingError
+from repro.utils.ordering import rank_array
+
+__all__ = ["blocking_pairs", "is_stable", "assert_perfect", "as_matching_array"]
+
+
+def as_matching_array(matching: Sequence[int] | Mapping[int, int], n: int) -> np.ndarray:
+    """Normalize a matching (sequence or dict proposer->responder) to an array.
+
+    Validates that it is a perfect matching: a bijection from proposers
+    to responders.
+    """
+    if isinstance(matching, Mapping):
+        arr = np.full(n, -1, dtype=np.int64)
+        for i, j in matching.items():
+            if not 0 <= int(i) < n:
+                raise InvalidMatchingError(f"proposer index {i} out of range")
+            arr[int(i)] = int(j)
+    else:
+        arr = np.asarray(list(matching), dtype=np.int64)
+    if arr.shape != (n,):
+        raise InvalidMatchingError(f"matching must cover all {n} proposers, got {arr.shape}")
+    if sorted(arr.tolist()) != list(range(n)):
+        raise InvalidMatchingError(
+            f"matching is not a bijection onto responders: {arr.tolist()}"
+        )
+    return arr
+
+
+def assert_perfect(matching: Sequence[int] | Mapping[int, int], n: int) -> None:
+    """Raise :class:`InvalidMatchingError` unless ``matching`` is perfect."""
+    as_matching_array(matching, n)
+
+
+def blocking_pairs(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    matching: Sequence[int] | Mapping[int, int],
+) -> list[tuple[int, int]]:
+    """All blocking pairs ``(proposer i, responder j)`` of ``matching``.
+
+    A pair blocks iff i prefers j to its current partner and j prefers i
+    to its current partner.  Complexity O(n²) time and space.
+
+    >>> blocking_pairs([[0, 1], [0, 1]], [[1, 0], [1, 0]], [0, 1])
+    [(1, 0)]
+    """
+    p = np.asarray(proposer_prefs, dtype=np.int64)
+    r = np.asarray(responder_prefs, dtype=np.int64)
+    n = p.shape[0]
+    match = as_matching_array(matching, n)
+    p_rank = np.array([rank_array(row.tolist()) for row in p])
+    r_rank = np.array([rank_array(row.tolist()) for row in r])
+    inv = np.empty(n, dtype=np.int64)
+    inv[match] = np.arange(n)
+    # proposer i's rank of its partner, broadcast against all responders
+    own_p = p_rank[np.arange(n), match][:, None]  # (n, 1)
+    own_r = r_rank[np.arange(n), inv][None, :]  # (1, n) indexed by responder
+    better_for_p = p_rank < own_p  # i strictly prefers j to partner
+    better_for_r = r_rank.T < own_r  # j strictly prefers i to partner (transposed to (i, j))
+    block = better_for_p & better_for_r
+    return [(int(i), int(j)) for i, j in zip(*np.nonzero(block))]
+
+
+def is_stable(
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    matching: Sequence[int] | Mapping[int, int],
+) -> bool:
+    """True iff ``matching`` has no blocking pair."""
+    return not blocking_pairs(proposer_prefs, responder_prefs, matching)

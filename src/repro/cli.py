@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro`` / ``repro-match``.
+
+Subcommands
+-----------
+``generate``
+    Write a random (or adversarial) instance to JSON.
+``solve-kary``
+    Run Algorithm 1 (or the priority-aware Algorithm 2) on a JSON
+    instance; print the families and instrumentation.
+``solve-binary``
+    Run the Section III roommates-based binary solver; prints the pairs
+    or the non-existence witness.
+``solve-fair``
+    Roommates-based fair SMP solving with selectable loop-breaking
+    policy (k = 2 instances).
+``lattice``
+    Enumerate the stable-matching lattice of a k = 2 instance and print
+    the egalitarian / min-regret / sex-equal optima.
+``verify``
+    Check a (instance, matching) pair for strong/weakened stability.
+``info``
+    Summarize an instance file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.priority_binding import priority_binding
+from repro.core.stability import find_blocking_family, find_weakened_blocking_family
+from repro.exceptions import NoStableMatchingError, ReproError
+from repro.kpartite.existence import solve_binary
+from repro.model.generators import random_instance, theorem1_instance
+from repro.model.members import Member
+from repro.model.serialize import (
+    instance_from_json,
+    instance_to_json,
+    matching_from_dict,
+    matching_to_dict,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-match",
+        description="Stable matching in k-partite graphs (Wu, IPPS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an instance as JSON")
+    gen.add_argument("-k", type=int, required=True, help="number of genders")
+    gen.add_argument("-n", type=int, required=True, help="members per gender")
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument(
+        "--family",
+        choices=("random", "theorem1"),
+        default="random",
+        help="'theorem1' builds the no-stable-binary adversarial family",
+    )
+    gen.add_argument("-o", "--output", type=Path, default=None, help="default: stdout")
+
+    kary = sub.add_parser("solve-kary", help="Algorithm 1 / 2 on a JSON instance")
+    kary.add_argument("instance", type=Path)
+    kary.add_argument(
+        "--tree",
+        default="chain",
+        help="chain | star | random | comma list of 'a-b' edges (a proposes)",
+    )
+    kary.add_argument("--seed", type=int, default=None, help="for --tree random")
+    kary.add_argument(
+        "--priority",
+        action="store_true",
+        help="use Algorithm 2 (bitonic tree, priorities = gender index)",
+    )
+    kary.add_argument("-o", "--output", type=Path, default=None, help="matching JSON out")
+
+    binary = sub.add_parser("solve-binary", help="Section III binary matching")
+    binary.add_argument("instance", type=Path)
+    binary.add_argument(
+        "--linearization",
+        choices=("auto", "global", "round_robin", "priority"),
+        default="auto",
+    )
+
+    fair = sub.add_parser(
+        "solve-fair", help="roommates-based fair SMP (k=2 instances only)"
+    )
+    fair.add_argument("instance", type=Path)
+    fair.add_argument(
+        "--policy",
+        choices=("man_optimal", "woman_optimal", "alternate"),
+        default="alternate",
+    )
+
+    lattice = sub.add_parser(
+        "lattice", help="stable-matching lattice report (k=2 instances only)"
+    )
+    lattice.add_argument("instance", type=Path)
+    lattice.add_argument(
+        "--max-print", type=int, default=8, help="print at most this many matchings"
+    )
+
+    verify = sub.add_parser("verify", help="stability-check a matching")
+    verify.add_argument("instance", type=Path)
+    verify.add_argument("matching", type=Path)
+    verify.add_argument(
+        "--weakened",
+        action="store_true",
+        help="also check the weakened (lead-member) condition",
+    )
+
+    info = sub.add_parser("info", help="summarize an instance file")
+    info.add_argument("instance", type=Path)
+    return parser
+
+
+def _load_instance(path: Path):
+    from repro.exceptions import InvalidInstanceError
+
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise InvalidInstanceError(f"cannot read {path}: {exc}") from exc
+    try:
+        return instance_from_json(text)
+    except (ValueError, TypeError, KeyError) as exc:
+        if isinstance(exc, InvalidInstanceError):
+            raise
+        raise InvalidInstanceError(f"{path} is not a valid instance file: {exc}") from exc
+
+
+def _parse_tree(spec: str, k: int, seed: int | None) -> BindingTree:
+    if spec == "chain":
+        return BindingTree.chain(k)
+    if spec == "star":
+        return BindingTree.star(k)
+    if spec == "random":
+        return BindingTree.random(k, seed)
+    from repro.exceptions import InvalidBindingTreeError
+
+    edges = []
+    for part in spec.split(","):
+        a, sep, b = part.partition("-")
+        try:
+            if not sep:
+                raise ValueError("missing '-'")
+            edges.append((int(a), int(b)))
+        except ValueError as exc:
+            raise InvalidBindingTreeError(
+                f"bad tree spec {spec!r}: expected chain|star|random or "
+                f"comma-separated 'a-b' edges ({exc})"
+            ) from exc
+    return BindingTree(k, edges)
+
+
+def _emit(text: str, output: Path | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        output.write_text(text + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            if args.family == "theorem1":
+                inst = theorem1_instance(args.k, args.n, args.seed)
+            else:
+                inst = random_instance(args.k, args.n, args.seed)
+            _emit(instance_to_json(inst, indent=2), args.output)
+        elif args.command == "solve-kary":
+            inst = _load_instance(args.instance)
+            if args.priority:
+                result = priority_binding(inst)
+            else:
+                tree = _parse_tree(args.tree, inst.k, args.seed)
+                result = iterative_binding(inst, tree)
+            print(f"binding tree edges: {list(result.tree.edges)}")
+            print(
+                f"proposals: {result.total_proposals} "
+                f"(Theorem 3 bound: {result.proposal_bound})"
+            )
+            print(result.matching.format())
+            if args.output is not None:
+                args.output.write_text(
+                    json.dumps(matching_to_dict(result.matching), indent=2) + "\n"
+                )
+        elif args.command == "solve-binary":
+            inst = _load_instance(args.instance)
+            try:
+                result = solve_binary(inst, linearization=args.linearization)
+            except NoStableMatchingError as exc:
+                print(f"NO stable binary matching: {exc}")
+                return 1
+            for a, b in result.pairs:
+                print(f"({inst.name(a)}, {inst.name(b)})")
+            print(f"proposals: {result.roommates.proposals}")
+        elif args.command == "solve-fair":
+            from repro.kpartite.fairness import solve_smp_fair
+
+            inst = _load_instance(args.instance)
+            result = solve_smp_fair(inst, policy=args.policy)
+            for i, j in enumerate(result.matching):
+                print(f"({inst.name(Member(0, i))}, {inst.name(Member(1, j))})")
+            c = result.costs
+            print(
+                f"policy={result.policy} man-cost={c.proposer} "
+                f"woman-cost={c.responder} gap={c.sex_equality} total={c.egalitarian}"
+            )
+        elif args.command == "lattice":
+            from repro.bipartite.lattice import (
+                all_stable_matchings_lattice,
+                egalitarian_stable_matching,
+                minimum_regret_stable_matching,
+                sex_equal_stable_matching,
+            )
+            from repro.exceptions import InvalidInstanceError
+
+            inst = _load_instance(args.instance)
+            if inst.k != 2:
+                raise InvalidInstanceError(
+                    f"lattice reports need a bipartite instance, got k={inst.k}"
+                )
+            view = inst.bipartite_view(0, 1)
+            p_, r_ = view.proposer_prefs, view.responder_prefs
+            matchings = list(all_stable_matchings_lattice(p_, r_))
+            print(f"stable matchings: {len(matchings)}")
+            for m in matchings[: args.max_print]:
+                print("  " + ", ".join(f"(a{i}, b{j})" for i, j in enumerate(m)))
+            if len(matchings) > args.max_print:
+                print(f"  ... and {len(matchings) - args.max_print} more")
+            for label, fn in (
+                ("egalitarian", egalitarian_stable_matching),
+                ("min-regret", minimum_regret_stable_matching),
+                ("sex-equal", sex_equal_stable_matching),
+            ):
+                matching, score = fn(p_, r_)
+                print(f"{label}: {matching} (score {score})")
+        elif args.command == "verify":
+            inst = _load_instance(args.instance)
+            from repro.exceptions import InvalidMatchingError
+
+            try:
+                payload = json.loads(args.matching.read_text())
+            except (OSError, ValueError) as exc:
+                raise InvalidMatchingError(
+                    f"cannot read matching file {args.matching}: {exc}"
+                ) from exc
+            matching = matching_from_dict(inst, payload)
+            witness = find_blocking_family(inst, matching)
+            if witness is None:
+                print("strong-stable: yes")
+            else:
+                print(f"strong-stable: NO; blocking family {witness.members}")
+                return 1
+            if args.weakened:
+                weak = find_weakened_blocking_family(inst, matching)
+                if weak is None:
+                    print("weakened-stable: yes")
+                else:
+                    print(f"weakened-stable: NO; blocking family {weak.members}")
+                    return 1
+        elif args.command == "info":
+            inst = _load_instance(args.instance)
+            print(f"k={inst.k} genders, n={inst.n} members each")
+            print(f"gender names: {', '.join(inst.gender_names)}")
+            print(f"explicit global order: {inst.has_global_order}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

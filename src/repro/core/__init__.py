@@ -1,0 +1,69 @@
+"""Core contribution: stable k-ary matching via iterative binding.
+
+This package implements Section IV of the paper:
+
+* :class:`BindingTree` — spanning trees on the gender set, with Prüfer
+  enumeration (Cayley's k^(k-2)), chains, stars, and bitonicity tests;
+* :func:`iterative_binding` — Algorithm 1: k-1 pairwise Gale-Shapley
+  bindings along a tree, merged into k-tuples by the equivalence
+  relation "in the same matching tuple" (Theorem 2: always stable);
+* :func:`priority_binding` — Algorithm 2: the priority-aware variant
+  that grows a *bitonic* tree, guaranteeing stability even under the
+  weakened (lead-member) blocking condition (Theorem 5);
+* :mod:`repro.core.stability` — exhaustive/pruned searches for strong
+  and weakened blocking families, plus the fast per-edge certificates
+  used in Theorem 2's proof.
+"""
+
+from repro.core.binding_tree import BindingTree
+from repro.core.kary_matching import KAryMatching
+from repro.core.iterative_binding import BindingResult, iterative_binding
+from repro.core.priority_binding import (
+    priority_binding,
+    build_priority_tree,
+    enumerate_priority_trees,
+)
+from repro.core.dynamic import DynamicBindingSession
+from repro.core.forest_binding import (
+    BindingForest,
+    PartialFamilies,
+    forest_binding,
+    complete_matching,
+)
+from repro.core.tree_search import TreeSearchResult, best_binding_tree, OBJECTIVES
+from repro.core.stability import (
+    BlockingFamily,
+    find_blocking_family,
+    find_weakened_blocking_family,
+    find_quorum_blocking_family,
+    is_stable_kary,
+    is_weakened_stable_kary,
+    blocking_pairs_between,
+    certify_tree_stability,
+)
+
+__all__ = [
+    "BindingTree",
+    "DynamicBindingSession",
+    "BindingForest",
+    "PartialFamilies",
+    "forest_binding",
+    "complete_matching",
+    "TreeSearchResult",
+    "best_binding_tree",
+    "OBJECTIVES",
+    "KAryMatching",
+    "BindingResult",
+    "iterative_binding",
+    "priority_binding",
+    "build_priority_tree",
+    "enumerate_priority_trees",
+    "BlockingFamily",
+    "find_blocking_family",
+    "find_weakened_blocking_family",
+    "find_quorum_blocking_family",
+    "is_stable_kary",
+    "is_weakened_stable_kary",
+    "blocking_pairs_between",
+    "certify_tree_stability",
+]

@@ -1,0 +1,235 @@
+"""Binding trees: spanning trees over the gender set.
+
+Algorithm 1 applies one Gale-Shapley binding per edge of a spanning
+tree T on the genders.  The *shape* of T never affects stability
+(Theorem 2) but drives everything else the paper studies:
+
+* which stable matching comes out (different trees, different
+  matchings — Section IV.B);
+* how many trees there are (Cayley: k^(k-2));
+* how parallelizable the bindings are (Corollary 1: Δ(T) rounds on an
+  EREW PRAM; Corollary 2: a chain needs 2);
+* whether the weakened blocking condition is survived (Theorem 5:
+  bitonic trees only).
+
+Edges are **ordered and oriented**: ``(proposer_gender,
+responder_gender)`` in binding order, since GS favors the proposer side.
+Two trees with the same undirected edge set but different orientations
+or orderings compare equal under :meth:`BindingTree.undirected_edges`
+but may produce different matchings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidBindingTreeError
+from repro.utils.ordering import is_bitonic
+from repro.utils.rng import as_rng
+
+__all__ = ["BindingTree"]
+
+
+class BindingTree:
+    """A spanning tree on genders ``0..k-1`` with oriented, ordered edges.
+
+    Parameters
+    ----------
+    k:
+        Number of genders.
+    edges:
+        ``k-1`` pairs ``(proposer, responder)``.  They must form a
+        spanning tree (connected, acyclic) of the k genders.
+
+    Examples
+    --------
+    >>> t = BindingTree.chain(4)
+    >>> t.edges
+    ((0, 1), (1, 2), (2, 3))
+    >>> t.max_degree
+    2
+    >>> BindingTree.star(4).max_degree
+    3
+    """
+
+    __slots__ = ("k", "edges", "_adj")
+
+    def __init__(self, k: int, edges: Sequence[tuple[int, int]]) -> None:
+        if k < 2:
+            raise InvalidBindingTreeError(f"a binding tree needs k >= 2 genders, got {k}")
+        edges = tuple((int(a), int(b)) for a, b in edges)
+        if len(edges) != k - 1:
+            raise InvalidBindingTreeError(
+                f"a spanning tree on {k} genders has {k - 1} edges, got {len(edges)}"
+            )
+        adj: dict[int, list[int]] = {g: [] for g in range(k)}
+        seen: set[frozenset[int]] = set()
+        for a, b in edges:
+            if not (0 <= a < k and 0 <= b < k):
+                raise InvalidBindingTreeError(f"edge ({a}, {b}) references unknown gender")
+            if a == b:
+                raise InvalidBindingTreeError(f"self-loop on gender {a}")
+            key = frozenset((a, b))
+            if key in seen:
+                raise InvalidBindingTreeError(f"duplicate edge between {a} and {b}")
+            seen.add(key)
+            adj[a].append(b)
+            adj[b].append(a)
+        # connectivity check (k-1 edges + connected => tree)
+        stack, visited = [0], {0}
+        while stack:
+            g = stack.pop()
+            for nb in adj[g]:
+                if nb not in visited:
+                    visited.add(nb)
+                    stack.append(nb)
+        if len(visited) != k:
+            missing = sorted(set(range(k)) - visited)
+            raise InvalidBindingTreeError(
+                f"edges do not span all genders; unreachable: {missing}"
+            )
+        self.k = k
+        self.edges = edges
+        self._adj = {g: tuple(nbs) for g, nbs in adj.items()}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def chain(cls, k: int, order: Sequence[int] | None = None) -> "BindingTree":
+        """The linear binding tree (Δ = 2, Corollary 2's shape).
+
+        ``order`` permutes the genders along the chain; default is
+        ``0-1-2-...``.
+        """
+        if order is None:
+            order = list(range(k))
+        order = [int(g) for g in order]
+        if sorted(order) != list(range(k)):
+            raise InvalidBindingTreeError(f"order must permute 0..{k - 1}, got {order}")
+        return cls(k, [(order[i], order[i + 1]) for i in range(k - 1)])
+
+    @classmethod
+    def star(cls, k: int, center: int = 0) -> "BindingTree":
+        """The star tree: every binding shares ``center`` (Δ = k-1)."""
+        if not 0 <= center < k:
+            raise InvalidBindingTreeError(f"center {center} out of range for k={k}")
+        return cls(k, [(center, g) for g in range(k) if g != center])
+
+    @classmethod
+    def random(cls, k: int, seed: int | None | np.random.Generator = None) -> "BindingTree":
+        """Uniform random labeled tree (via a random Prüfer sequence)."""
+        rng = as_rng(seed)
+        if k == 2:
+            return cls(2, [(0, 1)])
+        from repro.analysis.counting import prufer_to_tree
+
+        seq = rng.integers(0, k, size=k - 2).tolist()
+        return cls(k, prufer_to_tree(seq, k))
+
+    @classmethod
+    def all_trees(cls, k: int) -> Iterator["BindingTree"]:
+        """Every labeled spanning tree on k genders (k^(k-2) of them)."""
+        from repro.analysis.counting import enumerate_labeled_trees
+
+        for edges in enumerate_labeled_trees(k):
+            yield cls(k, edges)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def max_degree(self) -> int:
+        """Δ(T): the parallel bottleneck of Corollary 1."""
+        return max(len(nbs) for nbs in self._adj.values())
+
+    def degree(self, gender: int) -> int:
+        """Number of bindings gender participates in."""
+        return len(self._adj[gender])
+
+    def neighbors(self, gender: int) -> tuple[int, ...]:
+        """Genders directly bound to ``gender``."""
+        return self._adj[gender]
+
+    def undirected_edges(self) -> frozenset[frozenset[int]]:
+        """The edge set ignoring orientation and order."""
+        return frozenset(frozenset(e) for e in self.edges)
+
+    def path_between(self, a: int, b: int) -> list[int]:
+        """The unique tree path from gender ``a`` to gender ``b``."""
+        if not (0 <= a < self.k and 0 <= b < self.k):
+            raise InvalidBindingTreeError(f"genders ({a}, {b}) out of range")
+        parent: dict[int, int] = {a: a}
+        stack = [a]
+        while stack:
+            g = stack.pop()
+            if g == b:
+                break
+            for nb in self._adj[g]:
+                if nb not in parent:
+                    parent[nb] = g
+                    stack.append(nb)
+        path = [b]
+        while path[-1] != a:
+            path.append(parent[path[-1]])
+        return path[::-1]
+
+    def is_bitonic(self, priorities: Sequence[int] | None = None) -> bool:
+        """Theorem 5's condition: every node-to-node path is a bitonic
+        priority sequence.
+
+        ``priorities[g]`` scores gender g (strict; defaults to the
+        gender index itself, matching the paper's numbering where
+        higher number = higher priority).
+        """
+        if priorities is None:
+            priorities = list(range(self.k))
+        if len(priorities) != self.k or len(set(priorities)) != self.k:
+            raise InvalidBindingTreeError(
+                f"priorities must be {self.k} distinct values, got {priorities}"
+            )
+        for a in range(self.k):
+            for b in range(a + 1, self.k):
+                seq = [priorities[g] for g in self.path_between(a, b)]
+                if not is_bitonic(seq):
+                    return False
+        return True
+
+    def reordered_for_binding(self) -> "BindingTree":
+        """Same tree, edges reordered so each binds into the connected
+        component grown so far (the incremental order Algorithm 1's
+        'does not cause a cycle in T' loop would discover)."""
+        remaining = list(self.edges)
+        ordered: list[tuple[int, int]] = []
+        reached = {self.edges[0][0]}
+        while remaining:
+            for idx, (a, b) in enumerate(remaining):
+                if a in reached or b in reached:
+                    reached.update((a, b))
+                    ordered.append(remaining.pop(idx))
+                    break
+            else:  # pragma: no cover - unreachable for a valid tree
+                raise InvalidBindingTreeError("edge set is disconnected")
+        return BindingTree(self.k, ordered)
+
+    def to_prufer(self) -> list[int]:
+        """Prüfer encoding of the undirected tree."""
+        from repro.analysis.counting import tree_to_prufer
+
+        und = sorted(tuple(sorted(e)) for e in self.edges)
+        return tree_to_prufer(und, self.k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BindingTree(k={self.k}, edges={list(self.edges)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BindingTree):
+            return NotImplemented
+        return self.k == other.k and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.edges))

@@ -1,0 +1,184 @@
+"""Binding *forests*: what happens with fewer than k-1 bindings.
+
+Theorem 4's lower direction studies Algorithm 1 run with only k-2 (or
+fewer) bindings: the gender set splits into components, and completing
+the partial families into k-tuples requires attaching components
+**without any binding** — i.e. obliviously with respect to
+cross-component preferences.  This module makes that regime a
+first-class object instead of experiment-local code:
+
+* :class:`BindingForest` — any cycle-free edge set on the genders
+  (a spanning tree is the k-1-edge special case);
+* :func:`forest_binding` — run GS on every edge and return the
+  *partial* families (one per component, sized by component);
+* :func:`complete_matching` — attach components into full k-tuples by
+  an oblivious policy (``"by_index"`` or seeded ``"random"``), exactly
+  the completions the Theorem 4 experiment destabilizes.
+
+The stability caveat is the whole point: completions are **not**
+guaranteed stable (that is Theorem 4); callers should verify with
+:func:`repro.core.stability.find_blocking_family`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bipartite.gale_shapley import GSResult
+from repro.core.iterative_binding import binding_pairs_for_edge
+from repro.core.kary_matching import KAryMatching
+from repro.exceptions import InvalidBindingTreeError, InvalidMatchingError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.utils.rng import as_rng
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["BindingForest", "PartialFamilies", "forest_binding", "complete_matching"]
+
+
+class BindingForest:
+    """A cycle-free set of oriented binding edges on genders 0..k-1.
+
+    Unlike :class:`~repro.core.binding_tree.BindingTree`, the edge set
+    may be empty or leave genders disconnected — that is the regime
+    under study.
+    """
+
+    __slots__ = ("k", "edges", "_components")
+
+    def __init__(self, k: int, edges: Sequence[tuple[int, int]]) -> None:
+        if k < 2:
+            raise InvalidBindingTreeError(f"need k >= 2 genders, got {k}")
+        edges = tuple((int(a), int(b)) for a, b in edges)
+        uf = UnionFind(range(k))
+        seen: set[frozenset[int]] = set()
+        for a, b in edges:
+            if not (0 <= a < k and 0 <= b < k):
+                raise InvalidBindingTreeError(f"edge ({a}, {b}) references unknown gender")
+            if a == b:
+                raise InvalidBindingTreeError(f"self-loop on gender {a}")
+            key = frozenset((a, b))
+            if key in seen:
+                raise InvalidBindingTreeError(f"duplicate edge between {a} and {b}")
+            seen.add(key)
+            if not uf.union(a, b):
+                raise InvalidBindingTreeError(
+                    f"edge ({a}, {b}) closes a cycle; forests must be acyclic"
+                )
+        self.k = k
+        self.edges = edges
+        self._components = tuple(tuple(sorted(g)) for g in uf.groups())
+
+    @property
+    def components(self) -> tuple[tuple[int, ...], ...]:
+        """Gender components, each sorted, in first-seen order."""
+        return self._components
+
+    @property
+    def is_spanning(self) -> bool:
+        """True iff the forest is a spanning tree (one component)."""
+        return len(self._components) == 1
+
+
+@dataclass(frozen=True)
+class PartialFamilies:
+    """Output of binding along a forest: families per gender component.
+
+    Attributes
+    ----------
+    forest:
+        The binding forest used.
+    groups:
+        ``groups[c]`` — the n partial families of component c, each a
+        tuple of members covering exactly the component's genders.
+    edge_results:
+        Per-edge GS statistics, in forest edge order.
+    """
+
+    forest: BindingForest
+    groups: tuple[tuple[tuple[Member, ...], ...], ...]
+    edge_results: tuple[GSResult, ...]
+
+
+def forest_binding(
+    instance: KPartiteInstance,
+    forest: BindingForest,
+    *,
+    engine: str = "textbook",
+) -> PartialFamilies:
+    """Run GS on every forest edge; return per-component partial families."""
+    if forest.k != instance.k:
+        raise InvalidBindingTreeError(
+            f"forest has k={forest.k}, instance has k={instance.k}"
+        )
+    uf = UnionFind(instance.members())
+    results = []
+    for proposer, responder in forest.edges:
+        pairs, res = binding_pairs_for_edge(instance, proposer, responder, engine=engine)
+        results.append(res)
+        for a, b in pairs:
+            uf.union(a, b)
+    by_component: dict[tuple[int, ...], list[tuple[Member, ...]]] = {
+        comp: [] for comp in forest.components
+    }
+    comp_of_gender = {
+        g: comp for comp in forest.components for g in comp
+    }
+    for group in uf.groups():
+        members = tuple(sorted(group))
+        comp = comp_of_gender[members[0].gender]
+        if tuple(sorted(m.gender for m in members)) != comp:
+            raise InvalidMatchingError(
+                f"partial family {members} does not cover component {comp}"
+            )
+        by_component[comp].append(members)
+    return PartialFamilies(
+        forest=forest,
+        groups=tuple(tuple(by_component[comp]) for comp in forest.components),
+        edge_results=tuple(results),
+    )
+
+
+def complete_matching(
+    instance: KPartiteInstance,
+    partial: PartialFamilies,
+    *,
+    policy: str = "by_index",
+    seed: int | None | np.random.Generator = None,
+) -> KAryMatching:
+    """Obliviously glue components into full k-tuples.
+
+    ``policy``:
+
+    * ``"by_index"`` — the t-th partial family of every component joins
+      tuple t (ordered by each component's lowest-gender member index);
+    * ``"random"`` — a seeded uniform permutation per component.
+
+    The attachment never consults cross-component preferences — by
+    construction there is no binding to consult — which is precisely
+    why Theorem 4 says the result can always be destabilized.
+    """
+    n = instance.n
+    rng = as_rng(seed)
+    aligned: list[list[tuple[Member, ...]]] = []
+    for comp_groups in partial.groups:
+        ordered = sorted(comp_groups, key=lambda fam: fam[0].index)
+        if policy == "by_index":
+            aligned.append(list(ordered))
+        elif policy == "random":
+            perm = rng.permutation(n)
+            aligned.append([ordered[int(p)] for p in perm])
+        else:
+            raise InvalidMatchingError(
+                f"unknown completion policy {policy!r}; use 'by_index' or 'random'"
+            )
+    tuples = []
+    for t in range(n):
+        members: list[Member] = []
+        for comp_groups in aligned:
+            members.extend(comp_groups[t])
+        tuples.append(tuple(members))
+    return KAryMatching.from_tuples(instance, tuples)

@@ -1,0 +1,180 @@
+"""K-ary matchings: n disjoint k-tuples, one member per gender each.
+
+The matching is stored as a dense ``(n, k)`` array — ``families[t, g]``
+is the index of the gender-g member of tuple t — plus the inverse
+``tuple_of[g, i]`` lookup, so partner queries are O(1).
+
+Construction from *pairs* implements Algorithm 1's final step: derive
+equivalence classes of the relation "in the same matching tuple" from
+the matched pairs P (reflexive/symmetric/transitive closure via
+union-find) and check each class holds exactly one member per gender.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidMatchingError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["KAryMatching"]
+
+
+class KAryMatching:
+    """A perfect k-ary matching of a balanced k-partite instance.
+
+    Examples
+    --------
+    >>> from repro.model.examples import figure3_instance
+    >>> inst = figure3_instance()
+    >>> m = KAryMatching.from_pairs(inst, [
+    ...     (Member(0, 0), Member(1, 0)), (Member(0, 1), Member(1, 1)),
+    ...     (Member(1, 0), Member(2, 0)), (Member(1, 1), Member(2, 1))])
+    >>> m.partner(Member(0, 0), 2)
+    Member(gender=2, index=0)
+    >>> m.family_of(Member(2, 1))
+    (Member(gender=0, index=1), Member(gender=1, index=1), Member(gender=2, index=1))
+    """
+
+    __slots__ = ("instance", "families", "_tuple_of")
+
+    def __init__(self, instance: KPartiteInstance, families: np.ndarray) -> None:
+        fam = np.asarray(families, dtype=np.int64)
+        n, k = instance.n, instance.k
+        if fam.shape != (n, k):
+            raise InvalidMatchingError(
+                f"families must have shape (n={n}, k={k}), got {fam.shape}"
+            )
+        for g in range(k):
+            col = sorted(fam[:, g].tolist())
+            if col != list(range(n)):
+                raise InvalidMatchingError(
+                    f"gender {g} column is not a permutation of members: {col}"
+                )
+        self.instance = instance
+        self.families = fam
+        tuple_of = np.empty((k, n), dtype=np.int64)
+        for t in range(n):
+            for g in range(k):
+                tuple_of[g, fam[t, g]] = t
+        self._tuple_of = tuple_of
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls, instance: KPartiteInstance, tuples: Iterable[Sequence[Member]]
+    ) -> "KAryMatching":
+        """Build from explicit k-tuples of members (any member order)."""
+        n, k = instance.n, instance.k
+        fam = np.full((n, k), -1, dtype=np.int64)
+        for t, tup in enumerate(tuples):
+            if t >= n:
+                raise InvalidMatchingError(f"more than n={n} tuples supplied")
+            members = [Member(*m) for m in tup]
+            if sorted(m.gender for m in members) != list(range(k)):
+                raise InvalidMatchingError(
+                    f"tuple {t} must contain exactly one member of each gender, "
+                    f"got {members}"
+                )
+            for m in members:
+                fam[t, m.gender] = m.index
+        if np.any(fam < 0):
+            raise InvalidMatchingError(f"expected n={n} tuples")
+        return cls(instance, fam)
+
+    @classmethod
+    def from_pairs(
+        cls, instance: KPartiteInstance, pairs: Iterable[tuple[Member, Member]]
+    ) -> "KAryMatching":
+        """Algorithm 1, line 7: equivalence classes of matched pairs.
+
+        Raises :class:`InvalidMatchingError` if the classes are not
+        proper k-tuples (which happens exactly when the bindings do not
+        form a spanning tree — e.g. a gender left unbound, or two
+        members of one gender glued together by a binding cycle).
+        """
+        uf = UnionFind(instance.members())
+        for a, b in pairs:
+            a, b = Member(*a), Member(*b)
+            if a.gender == b.gender:
+                raise InvalidMatchingError(f"pair ({a}, {b}) is within gender {a.gender}")
+            uf.union(a, b)
+        groups = uf.groups()
+        if len(groups) != instance.n:
+            raise InvalidMatchingError(
+                f"equivalence relation yields {len(groups)} classes, expected "
+                f"n={instance.n}; the bindings do not form a spanning tree"
+            )
+        return cls.from_tuples(instance, groups)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return int(self.families.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.families.shape[1])
+
+    def tuple_index(self, member: Member) -> int:
+        """Index of the family containing ``member``."""
+        g, i = member
+        return int(self._tuple_of[g, i])
+
+    def tuple_index_array(self) -> np.ndarray:
+        """Read-only ``(k, n)`` lookup: family index of member (g, i).
+
+        Shared (not copied) — treat as immutable.  This is the bulk
+        companion of :meth:`tuple_index` used by the stability oracles.
+        """
+        return self._tuple_of
+
+    def family_of(self, member: Member) -> tuple[Member, ...]:
+        """The full k-tuple containing ``member``, ordered by gender."""
+        t = self.tuple_index(member)
+        return tuple(Member(g, int(self.families[t, g])) for g in range(self.k))
+
+    def partner(self, member: Member, gender: int) -> Member:
+        """``member``'s family co-member of the given gender."""
+        if gender == member.gender:
+            raise InvalidMatchingError(
+                f"{member} has no partner within its own gender {gender}"
+            )
+        t = self.tuple_index(member)
+        return Member(gender, int(self.families[t, gender]))
+
+    def tuples(self) -> list[tuple[Member, ...]]:
+        """All families, ordered by gender-0 member index."""
+        order = np.argsort(self.families[:, 0])
+        return [
+            tuple(Member(g, int(self.families[t, g])) for g in range(self.k))
+            for t in order
+        ]
+
+    def format(self) -> str:
+        """Human-readable list of families."""
+        name = self.instance.name
+        return "\n".join(
+            "(" + ", ".join(name(m) for m in tup) + ")" for tup in self.tuples()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KAryMatching(k={self.k}, n={self.n})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KAryMatching):
+            return NotImplemented
+        return self.instance == other.instance and self.tuples() == other.tuples()
+
+    def __hash__(self) -> int:
+        return hash((self.instance, tuple(self.tuples())))

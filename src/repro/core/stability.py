@@ -1,0 +1,380 @@
+"""Stability oracles for k-ary matchings: strong and weakened.
+
+Definitions (Sections II.C and IV.D):
+
+* **strong blocking family** — a k-tuple, drawn from k' ≥ 2 existing
+  families, in which *every* member strictly prefers every member from
+  a *different* source family to its current partner of that gender
+  (members from the same source family — a "same-family group" — are
+  never compared with each other);
+* **weakened blocking family** — same shape, but only the **lead
+  member** of each same-family group (the one whose gender has the
+  highest priority) must prefer all other-group members to its current
+  partners.  Every strong blocking family is also a weakened one, so
+  weakened-stability implies strong-stability.
+
+The searches are branch-and-bound DFS over one member per gender with
+incremental mutual-improvement pruning; pairwise improvement matrices
+are precomputed with NumPy so the inner test is an array lookup.
+Worst case is O(n^k) — these are *verification oracles* for experiment
+sizes, not production solvers (Theorem 2/5 make solving easy; checking
+is the expensive direction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binding_tree import BindingTree
+from repro.core.kary_matching import KAryMatching
+from repro.exceptions import InvalidInstanceError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+
+__all__ = [
+    "BlockingFamily",
+    "find_blocking_family",
+    "find_weakened_blocking_family",
+    "is_stable_kary",
+    "is_weakened_stable_kary",
+    "blocking_pairs_between",
+    "certify_tree_stability",
+]
+
+
+@dataclass(frozen=True)
+class BlockingFamily:
+    """A witness of instability.
+
+    Attributes
+    ----------
+    members:
+        One member per gender, ordered by gender index.
+    source_families:
+        ``source_families[g]`` is the index (in the blocked matching) of
+        the existing family that contributed ``members[g]``.
+    kind:
+        ``"strong"`` or ``"weakened"``.
+    leads:
+        For weakened witnesses, the lead member of each same-family
+        group (empty for strong witnesses, where everyone is checked).
+    """
+
+    members: tuple[Member, ...]
+    source_families: tuple[int, ...]
+    kind: str
+    leads: tuple[Member, ...] = ()
+
+    @property
+    def group_count(self) -> int:
+        """k' — how many existing families the witness draws from."""
+        return len(set(self.source_families))
+
+
+def _improvement_matrices(
+    instance: KPartiteInstance, matching: KAryMatching
+) -> np.ndarray:
+    """``improves[h, g, j, i]`` — does member (h, j) strictly prefer
+    member (g, i) to its current gender-g partner?  (h == g rows are
+    False.)"""
+    k, n = instance.k, instance.n
+    ranks = instance.rank_tensor()  # (k, n, k, n)
+    improves = np.zeros((k, k, n, n), dtype=bool)
+    for h in range(k):
+        for g in range(k):
+            if h == g:
+                continue
+            # partner of (h, j) in gender g:
+            partner_idx = matching.families[matching.tuple_index_array()[h, np.arange(n)], g]
+            partner_rank = ranks[h, np.arange(n), g, partner_idx]
+            improves[h, g] = ranks[h, :, g, :] < partner_rank[:, None]
+    return improves
+
+
+def find_blocking_family(
+    instance: KPartiteInstance, matching: KAryMatching
+) -> BlockingFamily | None:
+    """Search for a **strong** blocking family; ``None`` means stable.
+
+    DFS assigns one member per gender (gender order 0..k-1), pruning as
+    soon as a cross-family pair fails mutual improvement.  Exponential
+    worst case; intended for verification at experiment sizes.
+    """
+    k, n = instance.k, instance.n
+    improves = _improvement_matrices(instance, matching)
+    fam_of = matching.tuple_index_array()  # (k, n) -> family index
+    chosen_idx = [0] * k
+    chosen_fam = [0] * k
+
+    def rec(g: int) -> tuple[Member, ...] | None:
+        if g == k:
+            if len(set(chosen_fam)) < 2:
+                return None
+            return tuple(Member(h, chosen_idx[h]) for h in range(k))
+        for i in range(n):
+            f = int(fam_of[g, i])
+            ok = True
+            for h in range(g):
+                j = chosen_idx[h]
+                if chosen_fam[h] == f:
+                    continue
+                if not (improves[h, g, j, i] and improves[g, h, i, j]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            chosen_idx[g] = i
+            chosen_fam[g] = f
+            hit = rec(g + 1)
+            if hit is not None:
+                return hit
+        return None
+
+    witness = rec(0)
+    if witness is None:
+        return None
+    return BlockingFamily(
+        members=witness,
+        source_families=tuple(int(fam_of[m.gender, m.index]) for m in witness),
+        kind="strong",
+    )
+
+
+def find_weakened_blocking_family(
+    instance: KPartiteInstance,
+    matching: KAryMatching,
+    priorities: Sequence[int] | None = None,
+    *,
+    semantics: str = "mutual",
+) -> BlockingFamily | None:
+    """Search for a **weakened** blocking family (Section IV.D).
+
+    Genders are assigned in decreasing ``priorities`` order so that the
+    first member placed from each source family is that group's lead.
+    ``None`` means the matching is weakened-stable (hence also strongly
+    stable, since every strong blocking family is a weakened one).
+
+    Semantics — a reproduction finding
+    ----------------------------------
+    The paper's text ("we only require that members from lead genders
+    ... prefer other members over the existing match") constrains
+    **only the leads' preferences**.  Under that ``"literal"`` reading,
+    Theorem 5 is *false*: bitonic-tree matchings admit weakened
+    blocking families in which a lead's higher-priority tree neighbour
+    simply does not reciprocate (benchmark E14 exhibits concrete
+    counterexamples).  The theorem's *proof*, however, silently uses
+    the reciprocal direction — the blocking pair (i, k) it derives
+    needs the non-lead k to prefer the lead i.  The ``"mutual"``
+    semantics adds exactly that missing requirement (every member must
+    prefer the *leads* of other groups), and under it Theorem 5 holds,
+    as E14 verifies exhaustively.  Default is ``"mutual"``.
+    """
+    k, n = instance.k, instance.n
+    if priorities is None:
+        priorities = list(range(k))
+    if len(priorities) != k or len(set(priorities)) != k:
+        raise InvalidInstanceError(
+            f"priorities must be {k} distinct values, got {list(priorities)}"
+        )
+    if semantics not in ("literal", "mutual"):
+        raise ValueError(
+            f"semantics must be 'literal' or 'mutual', got {semantics!r}"
+        )
+    mutual = semantics == "mutual"
+    order = sorted(range(k), key=lambda g: -priorities[g])
+    improves = _improvement_matrices(instance, matching)
+    fam_of = matching.tuple_index_array()
+    chosen: list[tuple[int, int, int, bool]] = []  # (gender, index, family, is_lead)
+
+    def rec(step: int) -> tuple[Member, ...] | None:
+        if step == k:
+            if len({f for _, _, f, _ in chosen}) < 2:
+                return None
+            members = sorted((g, i) for g, i, _, _ in chosen)
+            return tuple(Member(g, i) for g, i in members)
+        g = order[step]
+        for i in range(n):
+            f = int(fam_of[g, i])
+            is_lead = all(cf != f for _, _, cf, _ in chosen)
+            ok = True
+            for h, j, cf, lead_h in chosen:
+                if cf == f:
+                    continue
+                # a lead's own preferences must approve every other-group
+                # member; under "mutual", other-group members must also
+                # approve the lead.
+                if lead_h and not improves[h, g, j, i]:
+                    ok = False
+                    break
+                if is_lead and not improves[g, h, i, j]:
+                    ok = False
+                    break
+                if mutual and lead_h and not improves[g, h, i, j]:
+                    ok = False
+                    break
+                if mutual and is_lead and not improves[h, g, j, i]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            chosen.append((g, i, f, is_lead))
+            hit = rec(step + 1)
+            if hit is not None:
+                return hit
+            chosen.pop()
+        return None
+
+    witness = rec(0)
+    if witness is None:
+        return None
+    source = tuple(int(fam_of[m.gender, m.index]) for m in witness)
+    # reconstruct leads: per source family, the member with max priority
+    leads: list[Member] = []
+    for f in sorted(set(source)):
+        group = [m for m in witness if int(fam_of[m.gender, m.index]) == f]
+        leads.append(max(group, key=lambda m: priorities[m.gender]))
+    return BlockingFamily(
+        members=witness, source_families=source, kind="weakened", leads=tuple(leads)
+    )
+
+
+def is_stable_kary(instance: KPartiteInstance, matching: KAryMatching) -> bool:
+    """True iff no strong blocking family exists."""
+    return find_blocking_family(instance, matching) is None
+
+
+def is_weakened_stable_kary(
+    instance: KPartiteInstance,
+    matching: KAryMatching,
+    priorities: Sequence[int] | None = None,
+    *,
+    semantics: str = "mutual",
+) -> bool:
+    """True iff no weakened blocking family exists for the priorities.
+
+    See :func:`find_weakened_blocking_family` for the ``semantics``
+    choice (``"mutual"`` default, under which Theorem 5 holds).
+    """
+    return (
+        find_weakened_blocking_family(instance, matching, priorities, semantics=semantics)
+        is None
+    )
+
+
+def find_quorum_blocking_family(
+    instance: KPartiteInstance,
+    matching: KAryMatching,
+    quorum: int,
+    priorities: Sequence[int] | None = None,
+) -> BlockingFamily | None:
+    """Quorum-relaxed weakened blocking (the paper's future-work lead).
+
+    The conclusion proposes "quorum-based approaches to relax unstable
+    conditions".  We formalize it as: a candidate family drawn from
+    k' >= 2 same-family groups blocks iff there is a set S of at least
+    ``min(quorum, k')`` groups such that
+
+    * the lead of every group in S prefers each member from *other*
+      groups (in S or not) to its current partner of that gender, and
+    * every member from outside a group in S prefers the leads of the
+      S-groups to its current partners (the reciprocal condition that
+      makes Theorem 5's proof sound — see
+      :func:`find_weakened_blocking_family`).
+
+    ``quorum >= k'`` for every k' recovers the mutual weakened
+    condition; smaller quorums admit strictly more blocking families,
+    so stability gets strictly harder — benchmark E18 measures how the
+    bitonic-tree guarantee degrades as the quorum shrinks.
+
+    Exhaustive O(n^k · 2^k) evaluation — a verification oracle for
+    experiment sizes only.
+    """
+    import itertools
+
+    k, n = instance.k, instance.n
+    if quorum < 1:
+        raise InvalidInstanceError(f"quorum must be >= 1, got {quorum}")
+    if priorities is None:
+        priorities = list(range(k))
+    if len(priorities) != k or len(set(priorities)) != k:
+        raise InvalidInstanceError(
+            f"priorities must be {k} distinct values, got {list(priorities)}"
+        )
+    improves = _improvement_matrices(instance, matching)
+    fam_of = matching.tuple_index_array()
+
+    for combo in itertools.product(range(n), repeat=k):
+        members = tuple(Member(g, i) for g, i in enumerate(combo))
+        fams = [int(fam_of[g, i]) for g, i in enumerate(combo)]
+        groups = sorted(set(fams))
+        if len(groups) < 2:
+            continue
+        lead_of = {
+            f: max(
+                (m for m, mf in zip(members, fams) if mf == f),
+                key=lambda m: priorities[m.gender],
+            )
+            for f in groups
+        }
+        need = min(quorum, len(groups))
+
+        def group_ok(f: int) -> bool:
+            lead = lead_of[f]
+            for other, of in zip(members, fams):
+                if of == f:
+                    continue
+                # lead approves every other-group member ...
+                if not improves[lead.gender, other.gender, lead.index, other.index]:
+                    return False
+                # ... and is approved back (mutual / proof-faithful)
+                if not improves[other.gender, lead.gender, other.index, lead.index]:
+                    return False
+            return True
+
+        willing = [f for f in groups if group_ok(f)]
+        if len(willing) >= need:
+            return BlockingFamily(
+                members=members,
+                source_families=tuple(fams),
+                kind=f"quorum-{quorum}",
+                leads=tuple(lead_of[f] for f in sorted(willing)[:need]),
+            )
+    return None
+
+
+def blocking_pairs_between(
+    instance: KPartiteInstance, matching: KAryMatching, g: int, h: int
+) -> list[tuple[Member, Member]]:
+    """Cross-family pairs (a ∈ G_g, b ∈ G_h) who mutually prefer each
+    other to their current partners — the pairwise witnesses used in
+    Theorem 2's proof."""
+    if g == h:
+        raise InvalidInstanceError("blocking pairs need two distinct genders")
+    improves = _improvement_matrices(instance, matching)
+    fam_of = matching.tuple_index_array()
+    n = instance.n
+    mutual = improves[g, h] & improves[h, g].T  # (n, n): [i, j]
+    same_family = fam_of[g][:, None] == fam_of[h][None, :]
+    mutual &= ~same_family
+    return [
+        (Member(g, int(i)), Member(h, int(j))) for i, j in zip(*np.nonzero(mutual))
+    ]
+
+
+def certify_tree_stability(
+    instance: KPartiteInstance, matching: KAryMatching, tree: BindingTree
+) -> bool:
+    """Fast sufficient certificate from Theorem 2's proof: if no tree
+    edge admits a blocking pair, no strong blocking family exists.
+
+    (The converse direction — a strong blocking family always induces a
+    blocking pair on some tree edge between two adjacent same-family
+    groups — is what makes this a complete certificate for matchings
+    produced by iterative binding on ``tree``.)
+    """
+    return all(
+        not blocking_pairs_between(instance, matching, a, b) for a, b in tree.edges
+    )

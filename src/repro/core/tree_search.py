@@ -1,0 +1,169 @@
+"""Binding-tree optimization: pick the tree that fits an objective.
+
+Section IV.B observes that "different bindings may generate different
+stable k-ary matchings" — k^(k-2) trees (times orientations) give a
+*design space*, not just a correctness degree of freedom.  This module
+searches it:
+
+* :func:`best_binding_tree` — exhaustive over all labeled trees (small
+  k) or random Prüfer sampling (larger k), optionally over both
+  orientations of every edge, minimizing a pluggable objective;
+* built-in objectives: ``"egalitarian"`` (total rank cost),
+  ``"regret"`` (worst single rank), ``"spread"`` (max-min gender cost —
+  inter-gender fairness).
+
+Every candidate is a genuine Algorithm-1 run, so the winner comes with
+its stable matching attached; stability is free (Theorem 2), only
+*quality* varies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import KaryCosts, kary_costs
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import BindingResult, iterative_binding
+from repro.exceptions import InvalidInstanceError
+from repro.model.instance import KPartiteInstance
+from repro.utils.rng import as_rng
+
+__all__ = ["TreeSearchResult", "best_binding_tree", "OBJECTIVES"]
+
+Objective = Callable[[KaryCosts], float]
+
+OBJECTIVES: dict[str, Objective] = {
+    "egalitarian": lambda c: float(c.egalitarian),
+    # regret ties broken by total cost so the winner is deterministic
+    "regret": lambda c: float(c.regret) + float(c.egalitarian) / 10**6,
+    "spread": lambda c: float(c.spread),
+}
+
+
+@dataclass(frozen=True)
+class TreeSearchResult:
+    """Winner of a binding-tree search.
+
+    Attributes
+    ----------
+    result:
+        The winning Algorithm-1 run (tree + matching + stats).
+    score:
+        Objective value of the winner (lower is better).
+    candidates:
+        Number of (tree, orientation) candidates evaluated.
+    scores:
+        Every candidate's score, in evaluation order (for dispersion
+        analysis).
+    """
+
+    result: BindingResult
+    score: float
+    candidates: int
+    scores: tuple[float, ...]
+
+    @property
+    def matching(self):  # noqa: D401 - convenience passthrough
+        """The winning stable matching."""
+        return self.result.matching
+
+
+def _orientations(tree: BindingTree) -> Iterator[BindingTree]:
+    """Both orientations per edge — 2^(k-1) variants of one tree."""
+    import itertools
+
+    edges = tree.edges
+    for flips in itertools.product((False, True), repeat=len(edges)):
+        yield BindingTree(
+            tree.k,
+            [
+                (b, a) if flip else (a, b)
+                for (a, b), flip in zip(edges, flips)
+            ],
+        )
+
+
+def best_binding_tree(
+    instance: KPartiteInstance,
+    *,
+    objective: str | Objective = "egalitarian",
+    orientations: bool = False,
+    max_candidates: int | None = None,
+    seed: int | None | np.random.Generator = None,
+    engine: str = "textbook",
+) -> TreeSearchResult:
+    """Search binding trees for the best stable matching.
+
+    Parameters
+    ----------
+    instance:
+        The k-partite instance.
+    objective:
+        Objective name from :data:`OBJECTIVES` or a callable
+        ``KaryCosts -> float`` (minimized).
+    orientations:
+        Also vary who proposes on each edge (multiplies candidates by
+        2^(k-1)).
+    max_candidates:
+        If set, sample that many random trees (uniform via Prüfer)
+        instead of enumerating all k^(k-2) — the knob that keeps large
+        k affordable.  Ties are broken by first occurrence, so results
+        are deterministic for a given seed.
+    seed:
+        RNG for sampling mode.
+
+    >>> from repro.model.generators import random_instance
+    >>> inst = random_instance(3, 4, seed=0)
+    >>> found = best_binding_tree(inst)
+    >>> found.candidates
+    3
+    """
+    if callable(objective):
+        score_fn = objective
+    else:
+        try:
+            score_fn = OBJECTIVES[objective]
+        except KeyError:
+            raise InvalidInstanceError(
+                f"unknown objective {objective!r}; choose from {sorted(OBJECTIVES)}"
+            ) from None
+
+    def tree_stream() -> Iterator[BindingTree]:
+        if max_candidates is None:
+            yield from BindingTree.all_trees(instance.k)
+        else:
+            rng = as_rng(seed)
+            seen: set[tuple] = set()
+            emitted = 0
+            attempts = 0
+            while emitted < max_candidates and attempts < 50 * max_candidates:
+                attempts += 1
+                tree = BindingTree.random(instance.k, rng)
+                key = tuple(sorted(tuple(sorted(e)) for e in tree.edges))
+                if key in seen:
+                    continue
+                seen.add(key)
+                emitted += 1
+                yield tree
+
+    best: BindingResult | None = None
+    best_score = float("inf")
+    scores: list[float] = []
+    candidates = 0
+    for base_tree in tree_stream():
+        variants = _orientations(base_tree) if orientations else (base_tree,)
+        for tree in variants:
+            candidates += 1
+            result = iterative_binding(instance, tree, engine=engine)
+            s = float(score_fn(kary_costs(result.matching)))
+            scores.append(s)
+            if s < best_score:
+                best, best_score = result, s
+    if best is None:
+        raise InvalidInstanceError("no candidate trees were evaluated")
+    return TreeSearchResult(
+        result=best, score=best_score, candidates=candidates, scores=tuple(scores)
+    )

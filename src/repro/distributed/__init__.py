@@ -1,0 +1,29 @@
+"""Distributed Gale-Shapley over a synchronous message-passing substrate.
+
+The paper recalls that Gale and Shapley "provided a distributed
+algorithm, where men propose to women iteratively ... solved in at most
+n² accumulative proposals."  We reproduce that algorithm literally:
+every participant is an independent node that only communicates by
+messages; a synchronous network simulator delivers each round's
+messages at the start of the next round and counts everything.
+"""
+
+from repro.distributed.simulator import Node, SyncNetwork, Message
+from repro.distributed.distributed_gs import (
+    DistributedGSReport,
+    run_distributed_gs,
+)
+from repro.distributed.distributed_binding import (
+    DistributedBindingReport,
+    run_distributed_binding,
+)
+
+__all__ = [
+    "Node",
+    "SyncNetwork",
+    "Message",
+    "DistributedGSReport",
+    "run_distributed_gs",
+    "DistributedBindingReport",
+    "run_distributed_binding",
+]

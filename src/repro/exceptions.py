@@ -1,0 +1,79 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Errors are split along the two axes users care about:
+
+* *input* problems (malformed preferences, unbalanced instances, bad
+  binding trees) raise :class:`InvalidInstanceError` /
+  :class:`InvalidBindingTreeError` / :class:`InvalidMatchingError`;
+* *outcome* problems (a stable matching provably does not exist, which is
+  an expected result for k-partite binary matching per Theorem 1) raise
+  :class:`NoStableMatchingError`.
+
+``NoStableMatchingError`` deliberately carries the witness that proves
+non-existence (the participant whose reduced list emptied during Irving's
+algorithm) so experiments can report *why* an instance is unsolvable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidBindingTreeError",
+    "InvalidMatchingError",
+    "NoStableMatchingError",
+    "ScheduleConflictError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all :mod:`repro` errors."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """A problem instance violates a structural requirement.
+
+    Examples: unbalanced gender sizes, a preference list that is not a
+    permutation of the opposite set, duplicate member names.
+    """
+
+
+class InvalidBindingTreeError(ReproError, ValueError):
+    """A binding tree is not a valid spanning tree of the gender set.
+
+    Raised for cycles, disconnected edge sets, self-loops, edges that
+    reference unknown genders, or (for priority-aware binding) trees that
+    fail the bitonic requirement when one was demanded.
+    """
+
+
+class InvalidMatchingError(ReproError, ValueError):
+    """A matching object is structurally inconsistent with its instance.
+
+    Examples: a member appears in two tuples, a tuple misses a gender,
+    a matching references unknown members.
+    """
+
+
+class NoStableMatchingError(ReproError):
+    """No stable matching exists for the given instance.
+
+    This is an *expected, informative* outcome for binary matching in
+    k-partite graphs with k > 2 (Theorem 1 of the paper).  The ``witness``
+    attribute names a participant whose reduced preference list became
+    empty in Irving's algorithm, which certifies non-existence.
+    """
+
+    def __init__(self, message: str, witness: object | None = None) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+class ScheduleConflictError(ReproError, RuntimeError):
+    """A parallel schedule assigned conflicting resource access in a round."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The distributed / PRAM simulator reached an inconsistent state."""

@@ -1,0 +1,60 @@
+"""Binary (pairwise) stable matching in k-partite graphs — Section III.
+
+The pipeline: a :class:`repro.model.KPartiteInstance` is linearized
+(each member's per-gender lists become one global order, footnote 4),
+reduced to a stable-roommates instance with incomplete lists (same-
+gender members are simply unacceptable), and solved with Irving's
+algorithm.  Theorem 1 says this *fails* for some preferences whenever
+k > 2; the solver reports that outcome precisely via
+:class:`~repro.exceptions.NoStableMatchingError`.
+
+The same machinery applied to k = 2 gives the paper's fair alternative
+to Gale-Shapley: both sides propose, and phase-2 loop breaking can
+alternate between man-oriented and woman-oriented for procedural
+fairness (:func:`solve_smp_fair`).
+"""
+
+from repro.kpartite.reduction import (
+    member_id,
+    id_to_member,
+    linearize_member,
+    linearize_instance,
+    to_roommates,
+    LINEARIZATIONS,
+)
+from repro.kpartite.existence import (
+    BinaryMatchingResult,
+    solve_binary,
+    has_stable_binary,
+    binary_blocking_pairs,
+    is_stable_binary,
+    exhaustive_stable_binary_exists,
+)
+from repro.kpartite.fairness import solve_smp_fair, SMPFairResult
+from repro.kpartite.almost_stable import (
+    AlmostStableResult,
+    min_blocking_matching_exact,
+    min_blocking_matching_local,
+)
+from repro.kpartite.examples import self_matching_pariah_instance
+
+__all__ = [
+    "member_id",
+    "id_to_member",
+    "linearize_member",
+    "linearize_instance",
+    "to_roommates",
+    "LINEARIZATIONS",
+    "BinaryMatchingResult",
+    "solve_binary",
+    "has_stable_binary",
+    "binary_blocking_pairs",
+    "is_stable_binary",
+    "exhaustive_stable_binary_exists",
+    "solve_smp_fair",
+    "SMPFairResult",
+    "AlmostStableResult",
+    "min_blocking_matching_exact",
+    "min_blocking_matching_local",
+    "self_matching_pariah_instance",
+]

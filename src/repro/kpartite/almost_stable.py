@@ -1,0 +1,197 @@
+"""Almost-stable binary matchings: minimize blocking pairs when
+stability is impossible.
+
+Theorem 1 says a society with k > 2 genders may have *no* stable
+pairwise matching — but people still pair up.  The standard relaxation
+(Abraham, Biró & Manlove's "almost stable" matchings) asks for a
+perfect matching with the **fewest blocking pairs**.  Finding it is
+NP-hard in general; we provide:
+
+* :func:`min_blocking_matching_exact` — exhaustive over all perfect
+  binary matchings (tiny instances; uses the same enumeration as the
+  Theorem 1 cross-checks);
+* :func:`min_blocking_matching_local` — repeated-restart local search
+  (pair-swap neighbourhood) for larger instances, with the measured
+  blocking count reported honestly rather than claimed optimal.
+
+Both score matchings with the same global-order semantics as
+:func:`repro.kpartite.existence.binary_blocking_pairs`, so an output
+with score 0 *is* a stable matching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.counting import enumerate_perfect_binary_matchings
+from repro.exceptions import InvalidInstanceError
+from repro.kpartite.existence import binary_blocking_pairs
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "AlmostStableResult",
+    "min_blocking_matching_exact",
+    "min_blocking_matching_local",
+]
+
+
+@dataclass(frozen=True)
+class AlmostStableResult:
+    """An (approximately) least-unstable perfect binary matching.
+
+    Attributes
+    ----------
+    pairs:
+        The matching.
+    blocking_count:
+        Its number of blocking pairs (0 ⇔ genuinely stable).
+    exact:
+        Whether the result is provably optimal (exhaustive mode) or a
+        local-search incumbent.
+    evaluated:
+        How many candidate matchings were scored.
+    """
+
+    pairs: tuple[tuple[Member, Member], ...]
+    blocking_count: int
+    exact: bool
+    evaluated: int
+
+
+def _score(instance, pairs, linearization, priorities) -> int:
+    return len(
+        binary_blocking_pairs(
+            instance, pairs, linearization=linearization, priorities=priorities
+        )
+    )
+
+
+def min_blocking_matching_exact(
+    instance: KPartiteInstance,
+    *,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> AlmostStableResult:
+    """Provably minimize blocking pairs by exhaustive enumeration.
+
+    Exponential in k·n — the Theorem 1 experiment sizes (k·n ≤ 12) are
+    the intended domain.
+    """
+    best: tuple[tuple[Member, Member], ...] | None = None
+    best_score: int | None = None
+    evaluated = 0
+    for pairing in enumerate_perfect_binary_matchings(instance.k, instance.n):
+        evaluated += 1
+        score = _score(instance, pairing, linearization, priorities)
+        if best_score is None or score < best_score:
+            best, best_score = tuple(tuple(p) for p in pairing), score
+            if best_score == 0:
+                break
+    if best is None:
+        raise InvalidInstanceError(
+            "no perfect binary matching exists (odd total membership?)"
+        )
+    return AlmostStableResult(
+        pairs=best, blocking_count=int(best_score), exact=True, evaluated=evaluated
+    )
+
+
+def _random_perfect_matching(
+    instance: KPartiteInstance, rng: np.random.Generator
+) -> list[tuple[Member, Member]] | None:
+    """Greedy randomized perfect binary matching (None on dead end)."""
+    members = [Member(g, i) for g in range(instance.k) for i in range(instance.n)]
+    rng.shuffle(members)  # type: ignore[arg-type]
+    pairs: list[tuple[Member, Member]] = []
+    free = list(members)
+    while free:
+        a = free.pop()
+        choices = [i for i, b in enumerate(free) if b.gender != a.gender]
+        if not choices:
+            return None
+        idx = choices[int(rng.integers(len(choices)))]
+        pairs.append((a, free.pop(idx)))
+    return pairs
+
+
+def min_blocking_matching_local(
+    instance: KPartiteInstance,
+    *,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+    restarts: int = 5,
+    max_steps: int = 200,
+    seed: int | None | np.random.Generator = None,
+) -> AlmostStableResult:
+    """Local search: 2-pair swap neighbourhood, first-improvement,
+    random restarts.
+
+    From each random perfect matching, repeatedly try swapping the
+    partners of two pairs (both re-pairings of {a, b} x {c, d} that
+    keep genders distinct) and accept the first strict improvement;
+    stop at a local optimum or ``max_steps``.  Returns the best
+    incumbent over all restarts — ``exact=False`` unless it happens to
+    reach 0 blocking pairs (which *is* a certificate of stability).
+    """
+    if (instance.k * instance.n) % 2 != 0:
+        raise InvalidInstanceError("odd total membership: no perfect matching")
+    rng = as_rng(seed)
+    best: tuple[tuple[Member, Member], ...] | None = None
+    best_score: int | None = None
+    evaluated = 0
+    for _ in range(max(1, restarts)):
+        pairs = None
+        for _ in range(50):
+            pairs = _random_perfect_matching(instance, rng)
+            if pairs is not None:
+                break
+        if pairs is None:
+            continue
+        score = _score(instance, pairs, linearization, priorities)
+        evaluated += 1
+        for _ in range(max_steps):
+            improved = False
+            order = rng.permutation(len(pairs))
+            for ii in range(len(pairs)):
+                for jj in range(ii + 1, len(pairs)):
+                    i, j = int(order[ii]), int(order[jj])
+                    (a, b), (c, d) = pairs[i], pairs[j]
+                    for new_i, new_j in (((a, d), (c, b)), ((a, c), (b, d))):
+                        if (
+                            new_i[0].gender == new_i[1].gender
+                            or new_j[0].gender == new_j[1].gender
+                        ):
+                            continue
+                        trial = list(pairs)
+                        trial[i], trial[j] = new_i, new_j
+                        trial_score = _score(
+                            instance, trial, linearization, priorities
+                        )
+                        evaluated += 1
+                        if trial_score < score:
+                            pairs, score = trial, trial_score
+                            improved = True
+                            break
+                    if improved:
+                        break
+                if improved:
+                    break
+            if not improved or score == 0:
+                break
+        if best_score is None or score < best_score:
+            best = tuple(tuple(p) for p in pairs)
+            best_score = score
+        if best_score == 0:
+            break
+    assert best is not None and best_score is not None
+    return AlmostStableResult(
+        pairs=best,
+        blocking_count=int(best_score),
+        exact=best_score == 0,
+        evaluated=evaluated,
+    )

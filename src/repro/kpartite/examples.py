@@ -1,0 +1,65 @@
+"""Section III.A's self-matching extension, as a roommates instance.
+
+The paper briefly allows some genders to self-match ("nodes in part U
+can be paired with nodes in U itself") and shows the answer stays
+negative: with W = {w, w'}, M = {m, m'}, U = {u, u'} where "w, w', m,
+m', and u are ranked as the top by m, m', u, w, and w', respectively"
+and u' is ranked last by everyone, u' being paired with *anyone* is
+unstable.
+
+Self-matching steps outside :class:`repro.model.KPartiteInstance` (whose
+members never rank their own gender), so the example is expressed
+directly at the roommates level where "gender" is only an acceptability
+pattern.
+"""
+
+from __future__ import annotations
+
+from repro.roommates.instance import RoommatesInstance
+
+__all__ = ["self_matching_pariah_instance"]
+
+#: Participant order of the instance below.
+_LABELS = ("m", "m'", "w", "w'", "u", "u'")
+
+
+def self_matching_pariah_instance() -> RoommatesInstance:
+    """The Section III.A self-matching counterexample (6 participants).
+
+    Ids: 0=m, 1=m', 2=w, 3=w', 4=u, 5=u'.  Gender U (ids 4, 5) may
+    self-match, so u and u' rank each other too; M and W stay two-gender
+    (no same-gender entries).  The required structure:
+
+    * top choices form the 5-cycle m->w->m'->w'->u->m
+      (top(m)=w, top(w)=m', top(m')=w', top(w')=u, top(u)=m);
+    * u' (id 5) is ranked **last** by every participant;
+    * remaining positions are filled in id order (arbitrary — the
+      argument only uses the two rules above).
+
+    Whoever is matched with u' has a partner (their top-ranker) who
+    prefers them to its own match, and they prefer that top-ranker to
+    u' — a blocking pair, so no stable matching exists regardless of
+    whether the pairing uses self-matching.
+    """
+    tops = {0: 2, 2: 1, 1: 3, 3: 4, 4: 0}
+    acceptable = {
+        0: [2, 3, 4, 5],        # m  : W and U
+        1: [2, 3, 4, 5],        # m' : W and U
+        2: [0, 1, 4, 5],        # w  : M and U
+        3: [0, 1, 4, 5],        # w' : M and U
+        4: [0, 1, 2, 3, 5],     # u  : M, W and own gender
+        5: [0, 1, 2, 3, 4],     # u' : M, W and own gender
+    }
+    prefs: list[list[int]] = []
+    for p in range(6):
+        others = list(acceptable[p])
+        order: list[int] = []
+        if p in tops:
+            order.append(tops[p])
+        for q in others:
+            if q not in order and q != 5:
+                order.append(q)
+        if 5 in others:
+            order.append(5)  # the pariah goes last
+        prefs.append(order)
+    return RoommatesInstance(prefs, labels=_LABELS, symmetrize=False)

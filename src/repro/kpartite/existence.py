@@ -1,0 +1,210 @@
+"""Existence detection and solving for k-partite binary matching.
+
+:func:`solve_binary` is the Section III.B procedure end to end:
+linearize, reduce to roommates, run Irving.  Stability of the result is
+judged against the *same* global orders used for the reduction — a
+blocking pair is two members of different genders who each prefer the
+other (under their global order) to their current partner, whatever
+gender that partner has.
+
+:func:`exhaustive_stable_binary_exists` cross-checks Irving's verdict by
+enumerating every perfect binary matching (tiny instances only); the
+Theorem 1 benchmark uses it to confirm that "no stable matching" really
+means none, not just that the algorithm missed one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidMatchingError, NoStableMatchingError
+from repro.kpartite.reduction import (
+    id_to_member,
+    linearize_instance,
+    to_roommates,
+)
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.roommates.irving import RoommatesResult, solve_roommates
+from repro.roommates.policies import PivotPolicy
+
+__all__ = [
+    "BinaryMatchingResult",
+    "solve_binary",
+    "has_stable_binary",
+    "binary_blocking_pairs",
+    "is_stable_binary",
+    "exhaustive_stable_binary_exists",
+]
+
+
+@dataclass(frozen=True)
+class BinaryMatchingResult:
+    """A stable binary matching of a k-partite instance.
+
+    Attributes
+    ----------
+    pairs:
+        The matched pairs as (member, member) tuples, sorted.
+    roommates:
+        The underlying Irving run (proposal counts, rotations, tables).
+    linearization:
+        Which global-order strategy produced the roommates lists.
+    """
+
+    pairs: tuple[tuple[Member, Member], ...]
+    roommates: RoommatesResult
+    linearization: str
+
+    def partner(self, member: Member) -> Member:
+        """The member matched with ``member``."""
+        for a, b in self.pairs:
+            if a == member:
+                return b
+            if b == member:
+                return a
+        raise InvalidMatchingError(f"{member!r} not in matching")
+
+    def as_dict(self) -> dict[Member, Member]:
+        """Symmetric partner map."""
+        out: dict[Member, Member] = {}
+        for a, b in self.pairs:
+            out[a] = b
+            out[b] = a
+        return out
+
+
+def solve_binary(
+    instance: KPartiteInstance,
+    *,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+    pivot_policy: str | PivotPolicy = "min",
+) -> BinaryMatchingResult:
+    """Find a stable binary matching, or raise
+    :class:`~repro.exceptions.NoStableMatchingError`.
+
+    The witness attached to the error is the :class:`Member` whose
+    reduced list emptied, mirroring the paper's right-hand-side III.B
+    walkthrough where u's list empties.
+    """
+    rm = to_roommates(instance, linearization, priorities)
+    try:
+        result = solve_roommates(rm, pivot_policy=pivot_policy)
+    except NoStableMatchingError as exc:
+        if isinstance(exc.witness, int):
+            member = id_to_member(exc.witness, instance.n)
+            raise NoStableMatchingError(
+                f"no stable binary matching: reduced list of "
+                f"{instance.name(member)} emptied",
+                witness=member,
+            ) from exc
+        raise
+    pairs = sorted(
+        {
+            tuple(sorted((id_to_member(p, instance.n), id_to_member(q, instance.n))))
+            for p, q in result.matching.items()
+        }
+    )
+    return BinaryMatchingResult(
+        pairs=tuple(pairs), roommates=result, linearization=linearization
+    )
+
+
+def has_stable_binary(
+    instance: KPartiteInstance,
+    *,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> bool:
+    """True iff a stable binary matching exists (under the linearization)."""
+    try:
+        solve_binary(instance, linearization=linearization, priorities=priorities)
+    except NoStableMatchingError:
+        return False
+    return True
+
+
+def _partner_map(
+    instance: KPartiteInstance, pairs: Sequence[tuple[Member, Member]]
+) -> dict[Member, Member]:
+    out: dict[Member, Member] = {}
+    for a, b in pairs:
+        if a.gender == b.gender:
+            raise InvalidMatchingError(f"pair ({a}, {b}) is within one gender")
+        for x, y in ((a, b), (b, a)):
+            if x in out:
+                raise InvalidMatchingError(f"{x} appears in two pairs")
+            out[x] = y
+    missing = [m for m in instance.members() if m not in out]
+    if missing:
+        raise InvalidMatchingError(f"matching leaves members unmatched: {missing}")
+    return out
+
+
+def binary_blocking_pairs(
+    instance: KPartiteInstance,
+    pairs: Sequence[tuple[Member, Member]],
+    *,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> list[tuple[Member, Member]]:
+    """All blocking pairs of a perfect binary matching.
+
+    A pair (x, y), x and y of different genders and not matched to each
+    other, blocks iff x globally prefers y to its partner and vice
+    versa.  Global comparison uses the same linearization as solving.
+    """
+    partner = _partner_map(instance, pairs)
+    orders = linearize_instance(instance, linearization, priorities)
+    gpos = {
+        m: {other: r for r, other in enumerate(order)} for m, order in orders.items()
+    }
+    members = list(instance.members())
+    out: list[tuple[Member, Member]] = []
+    for i, x in enumerate(members):
+        for y in members[i + 1 :]:
+            if y.gender == x.gender or partner[x] == y:
+                continue
+            if (
+                gpos[x][y] < gpos[x][partner[x]]
+                and gpos[y][x] < gpos[y][partner[y]]
+            ):
+                out.append((x, y))
+    return out
+
+
+def is_stable_binary(
+    instance: KPartiteInstance,
+    pairs: Sequence[tuple[Member, Member]],
+    *,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> bool:
+    """True iff the binary matching has no blocking pair."""
+    return not binary_blocking_pairs(
+        instance, pairs, linearization=linearization, priorities=priorities
+    )
+
+
+def exhaustive_stable_binary_exists(
+    instance: KPartiteInstance,
+    *,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> bool:
+    """Ground-truth existence check by brute-force enumeration.
+
+    Enumerates every perfect binary matching of the complete k-partite
+    graph and tests stability.  Exponential — use only for k·n ≲ 12
+    (the Theorem 1 cross-check sizes).
+    """
+    from repro.analysis.counting import enumerate_perfect_binary_matchings
+
+    for pairing in enumerate_perfect_binary_matchings(instance.k, instance.n):
+        if is_stable_binary(
+            instance, pairing, linearization=linearization, priorities=priorities
+        ):
+            return True
+    return False

@@ -1,0 +1,105 @@
+"""Fair SMP solving via the roommates machinery (Section III.B, end).
+
+Man-proposing Gale-Shapley is man-optimal; the paper's remedy lets
+"both men and women propose at the same time" — i.e. solve the SMP as a
+stable roommates instance — and then breaks phase-2 loops alternately
+on the men's and the women's side for *procedural fairness*.
+
+:func:`solve_smp_fair` packages that: policy ``"man_optimal"`` /
+``"woman_optimal"`` force one side's best stable matching, and
+``"alternate"`` alternates loop-breaking sides (the paper's proposal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bipartite.fairness import MatchingCosts, matching_costs
+from repro.exceptions import InvalidInstanceError
+from repro.kpartite.reduction import to_roommates
+from repro.model.instance import KPartiteInstance
+from repro.roommates.irving import RoommatesResult, solve_roommates
+from repro.roommates.policies import (
+    PivotPolicy,
+    make_alternating_policy,
+    make_side_policy,
+)
+
+__all__ = ["SMPFairResult", "solve_smp_fair"]
+
+_POLICIES = ("man_optimal", "woman_optimal", "alternate")
+
+
+@dataclass(frozen=True)
+class SMPFairResult:
+    """Outcome of the roommates-based SMP solver.
+
+    Attributes
+    ----------
+    matching:
+        ``matching[i]`` = index (within gender 1) of the partner of
+        proposer i (gender 0) — same convention as
+        :class:`repro.bipartite.GSResult`.
+    costs:
+        All fairness metrics of the produced matching.
+    roommates:
+        The underlying Irving run.
+    policy:
+        The loop-breaking policy used.
+    """
+
+    matching: tuple[int, ...]
+    costs: MatchingCosts
+    roommates: RoommatesResult
+    policy: str
+
+
+def solve_smp_fair(
+    instance: KPartiteInstance,
+    *,
+    policy: str | PivotPolicy = "alternate",
+) -> SMPFairResult:
+    """Solve a k=2 instance through the roommates reduction.
+
+    Notes
+    -----
+    A bipartite instance *always* has a stable matching (Gale-Shapley),
+    so unlike the k > 2 case this never raises
+    :class:`~repro.exceptions.NoStableMatchingError`.
+
+    * ``"man_optimal"`` starts rotations among the women (demoting women
+      first leaves men on their best stable partners);
+    * ``"woman_optimal"`` starts rotations among the men;
+    * ``"alternate"`` alternates starting sides, beginning with the men
+      (so the first eliminated loop is man-oriented, favoring women —
+      matching the paper's narration of Figure 2).
+    """
+    if instance.k != 2:
+        raise InvalidInstanceError(
+            f"solve_smp_fair expects a bipartite instance, got k={instance.k}"
+        )
+    n = instance.n
+    men = range(0, n)
+    women = range(n, 2 * n)
+    if callable(policy):
+        pivot: str | PivotPolicy = policy
+        policy_name = getattr(policy, "__name__", "custom")
+    elif policy == "man_optimal":
+        pivot = make_side_policy(women)
+        policy_name = policy
+    elif policy == "woman_optimal":
+        pivot = make_side_policy(men)
+        policy_name = policy
+    elif policy == "alternate":
+        pivot = make_alternating_policy(men, women)
+        policy_name = policy
+    else:
+        raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
+    rm = to_roommates(instance)
+    result = solve_roommates(rm, pivot_policy=pivot)
+    matching = tuple(result.matching[i] - n for i in range(n))
+    view = instance.bipartite_view(0, 1)
+    costs = matching_costs(view.proposer_prefs, view.responder_prefs, matching)
+    return SMPFairResult(
+        matching=matching, costs=costs, roommates=result, policy=policy_name
+    )

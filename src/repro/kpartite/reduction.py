@@ -1,0 +1,115 @@
+"""Reduction: k-partite binary matching -> stable roommates.
+
+Binary matching in a k-partite graph is "a special case of the stable
+roommates problem with incomplete preference lists" (Section III.B):
+flatten all k·n members into one population; each member's roommates
+list is its *global* preference order over all other-gender members
+(own-gender members are omitted — that is the incompleteness).
+
+Per-gender lists alone only define a partial order (footnote 4), so a
+**linearization** turns them into the required total order:
+
+``"global"``
+    Use the explicit global order stored on the instance (error if
+    absent) — the paper's Section III examples supply one directly.
+``"round_robin"``
+    Interleave per-gender lists rank-by-rank: every first choice
+    precedes every second choice.
+``"priority"``
+    Concatenate per-gender lists in decreasing gender priority: any
+    member of a higher-priority gender beats all of a lower one.
+``"auto"``
+    ``"global"`` when the instance has one, else ``"round_robin"``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.roommates.instance import RoommatesInstance
+from repro.utils.ordering import concatenate_by_priority, round_robin_merge
+
+__all__ = [
+    "member_id",
+    "id_to_member",
+    "linearize_member",
+    "linearize_instance",
+    "to_roommates",
+    "LINEARIZATIONS",
+]
+
+LINEARIZATIONS = ("auto", "global", "round_robin", "priority")
+
+
+def member_id(member: Member, n: int) -> int:
+    """Flatten a member to its roommates participant id: gender·n + index."""
+    return member.gender * n + member.index
+
+
+def id_to_member(pid: int, n: int) -> Member:
+    """Inverse of :func:`member_id`."""
+    return Member(pid // n, pid % n)
+
+
+def linearize_member(
+    instance: KPartiteInstance,
+    member: Member,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> list[Member]:
+    """Produce ``member``'s single global order over other-gender members."""
+    if linearization not in LINEARIZATIONS:
+        raise InvalidInstanceError(
+            f"unknown linearization {linearization!r}; choose from {LINEARIZATIONS}"
+        )
+    if linearization == "auto":
+        linearization = "global" if instance.has_global_order else "round_robin"
+    if linearization == "global":
+        return instance.global_order(member)
+    other_genders = [h for h in range(instance.k) if h != member.gender]
+    lists = [instance.preference_list(member, h) for h in other_genders]
+    if linearization == "round_robin":
+        return round_robin_merge(lists)
+    # priority
+    if priorities is None:
+        priorities = list(range(instance.k))
+    if len(priorities) != instance.k:
+        raise InvalidInstanceError(
+            f"priorities must have length k={instance.k}, got {len(priorities)}"
+        )
+    return concatenate_by_priority(lists, [priorities[h] for h in other_genders])
+
+
+def linearize_instance(
+    instance: KPartiteInstance,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> dict[Member, list[Member]]:
+    """Global order for every member of the instance."""
+    return {
+        m: linearize_member(instance, m, linearization, priorities)
+        for m in instance.members()
+    }
+
+
+def to_roommates(
+    instance: KPartiteInstance,
+    linearization: str = "auto",
+    priorities: Sequence[int] | None = None,
+) -> RoommatesInstance:
+    """Reduce the k-partite binary matching problem to stable roommates.
+
+    Participant ids follow :func:`member_id`; labels use the instance's
+    member names so solver diagnostics stay readable.
+    """
+    n = instance.n
+    orders = linearize_instance(instance, linearization, priorities)
+    prefs = [[0]] * (instance.k * n)
+    labels = [""] * (instance.k * n)
+    for m, order in orders.items():
+        prefs[member_id(m, n)] = [member_id(x, n) for x in order]
+        labels[member_id(m, n)] = instance.name(m)
+    return RoommatesInstance(prefs, labels=labels, symmetrize=False)

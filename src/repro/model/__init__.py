@@ -1,0 +1,66 @@
+"""Problem model: genders, members, preferences, instances, generators.
+
+This package is the shared substrate every algorithm in the library
+builds on.  The central object is :class:`KPartiteInstance`: a complete,
+balanced k-partite graph in which each member holds one strict preference
+list *per other gender* (the paper's preference model, Section II.B).
+
+Helper layers:
+
+* :mod:`repro.model.generators` — random, correlated and adversarial
+  instance families (including the Theorem 1 construction);
+* :mod:`repro.model.examples` — the paper's worked examples, verbatim;
+* :mod:`repro.model.serialize` — JSON round-tripping for instances and
+  matchings.
+"""
+
+from repro.model.members import Member, member_name, parse_member
+from repro.model.instance import KPartiteInstance, BipartiteView
+from repro.model.generators import (
+    random_instance,
+    master_list_instance,
+    theorem1_instance,
+    theorem4_cyclic_instance,
+    identical_preferences_smp,
+    cyclic_smp,
+    random_smp,
+)
+from repro.model.transform import (
+    relabel_members,
+    permute_genders,
+    restrict_members,
+    relabel_matching,
+)
+from repro.model.serialize import (
+    instance_to_dict,
+    instance_from_dict,
+    instance_to_json,
+    instance_from_json,
+    matching_to_dict,
+    matching_from_dict,
+)
+
+__all__ = [
+    "Member",
+    "member_name",
+    "parse_member",
+    "KPartiteInstance",
+    "BipartiteView",
+    "random_instance",
+    "master_list_instance",
+    "theorem1_instance",
+    "theorem4_cyclic_instance",
+    "identical_preferences_smp",
+    "cyclic_smp",
+    "random_smp",
+    "instance_to_dict",
+    "instance_from_dict",
+    "instance_to_json",
+    "instance_from_json",
+    "relabel_members",
+    "permute_genders",
+    "restrict_members",
+    "relabel_matching",
+    "matching_to_dict",
+    "matching_from_dict",
+]

@@ -1,0 +1,235 @@
+"""The paper's worked examples, as executable instances.
+
+Every figure or inline example in the paper that defines concrete
+preference lists is reproduced here verbatim (or, where the original
+figure is only partially specified, completed consistently with the
+surrounding text — each such completion is documented on the function).
+
+Naming convention: genders are given the paper's letters (``m``, ``w``,
+``u``...), member 0 of gender "m" is the paper's ``m`` and member 1 is
+``m'``.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+
+import numpy as np
+
+from repro.model.generators import random_instance
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "example1_instance",
+    "figure2_smp_instance",
+    "figure3_instance",
+    "sec3b_left_instance",
+    "sec3b_right_instance",
+    "figure5_scenario",
+    "FIG5_BAD_TREE",
+    "FIG5_GOOD_TREE",
+]
+
+#: Figure 5(a): the non-bitonic path 4-1-2-3 (0-based: 3-0-1-2).  With
+#: priorities equal to gender indices, the path sequence (3,0,1,2)
+#: decreases then increases, so the tree is NOT bitonic and cannot
+#: guarantee weakened stability.
+FIG5_BAD_TREE: tuple[tuple[int, int], ...] = ((3, 0), (0, 1), (1, 2))
+
+#: Figure 5(b): the bitonic path 1-3-4-2 (0-based: 0-2-3-1).  Every
+#: node-to-node priority sequence rises then falls, so Theorem 5 applies.
+FIG5_GOOD_TREE: tuple[tuple[int, int], ...] = ((0, 2), (2, 3), (3, 1))
+
+
+def example1_instance(variant: str = "a") -> KPartiteInstance:
+    """Example 1 of the paper: two 2x2 SMP preference systems.
+
+    Variant ``"a"``::
+
+        m : w w'      m': w w'
+        w : m' m      w': m' m
+
+    GS (men proposing) yields (m', w), (m, w') — "neither m nor w' is
+    happy" but the matching is stable.
+
+    Variant ``"b"``::
+
+        m : w w'      m': w' w
+        w : m' m      w': m m'
+
+    GS (men proposing) yields the man-optimal (m, w), (m', w'); the
+    woman-optimal (m, w'), (m', w) is stable too but never produced by
+    man-proposing GS — the paper's unfairness illustration.
+    """
+    if variant == "a":
+        men = [[None, [0, 1]], [None, [0, 1]]]
+        women = [[[1, 0], None], [[1, 0], None]]
+    elif variant == "b":
+        men = [[None, [0, 1]], [None, [1, 0]]]
+        women = [[[1, 0], None], [[0, 1], None]]
+    else:
+        raise ValueError(f"variant must be 'a' or 'b', got {variant!r}")
+    return KPartiteInstance.from_per_gender_lists([men, women], gender_names=("m", "w"))
+
+
+def figure2_smp_instance() -> KPartiteInstance:
+    """Figure 2's circular-proposal deadlock instance.
+
+    Identical preference structure to :func:`example1_instance` variant
+    ``"b"``: after roommates phase 1 each participant holds their first
+    choice and waits in the 4-cycle m -> w -> m' -> w' -> m.  Exposed as
+    its own function because Section III.B uses it to demonstrate
+    loop-breaking and procedural fairness.
+    """
+    return example1_instance("b")
+
+
+def figure3_instance() -> KPartiteInstance:
+    """The balanced tripartite instance of Figure 3.
+
+    The figure tabulates ranks (1 = higher) for M = {m, m'},
+    W = {w, w'}, U = {u, u'}.  The text pins down the U/M block: "both u
+    and u' rank m higher than m', although m ranks u' higher and m'
+    ranks u higher", and the outcome: binding M-W then W-U produces the
+    ternary matching {(m, w, u), (m', w', u')}.  The M/W and W/U blocks
+    (not fully legible in the source scan) are completed in the unique
+    symmetric way consistent with that outcome under proposer-side GS:
+    mutual first choices (m, w), (m', w'), (w, u), (w', u').
+    """
+    m_rows = [
+        # over M,  over W,   over U       (rank tables, 0 = best)
+        [None, [0, 1], [1, 0]],  # m :  w > w',  u' > u
+        [None, [1, 0], [0, 1]],  # m':  w' > w,  u > u'
+    ]
+    w_rows = [
+        [[0, 1], None, [0, 1]],  # w :  m > m',  u > u'
+        [[1, 0], None, [1, 0]],  # w':  m' > m,  u' > u
+    ]
+    u_rows = [
+        [[0, 1], [0, 1], None],  # u :  m > m',  w > w'
+        [[0, 1], [1, 0], None],  # u':  m > m',  w' > w
+    ]
+    return KPartiteInstance.from_rank_tables(
+        [m_rows, w_rows, u_rows], gender_names=("m", "w", "u")
+    )
+
+
+def _global_instance_from_names(
+    table: dict[str, str], gender_names: tuple[str, ...]
+) -> KPartiteInstance:
+    """Build a tripartite n=2 instance from paper-style global lists.
+
+    ``table`` maps a member name like ``"m'"`` to a space-free string of
+    ordered member names, e.g. ``"u'ww'u"``.
+    """
+    k = len(gender_names)
+    n = 2
+
+    def parse(name: str) -> Member:
+        prime = name.endswith("'")
+        letter = name[:-1] if prime else name
+        return Member(gender_names.index(letter), 1 if prime else 0)
+
+    def tokenize(s: str) -> list[Member]:
+        out = []
+        i = 0
+        while i < len(s):
+            if i + 1 < len(s) and s[i + 1] == "'":
+                out.append(parse(s[i : i + 2]))
+                i += 2
+            else:
+                out.append(parse(s[i]))
+                i += 1
+        return out
+
+    pref = np.full((k, n, k, n), -1, dtype=np.int32)
+    global_order: list[list[list[Member]]] = [[[] for _ in range(n)] for _ in range(k)]
+    for name, order_str in table.items():
+        g, i = parse(name)
+        order = tokenize(order_str)
+        global_order[g][i] = order
+        for h in range(k):
+            if h == g:
+                continue
+            pref[g, i, h] = [mm.index for mm in order if mm.gender == h]
+    return KPartiteInstance.from_arrays(
+        pref, validate=True, gender_names=gender_names, global_order=global_order
+    )
+
+
+def sec3b_left_instance() -> KPartiteInstance:
+    """Section III.B, left-hand-side preference lists (global orders).
+
+    The paper traces the roommates proposal sequence to the stable
+    binary matching {(m, u'), (m', w), (w', u)}.
+    """
+    return _global_instance_from_names(
+        {
+            "m": "u'ww'u",
+            "m'": "u'wuw'",
+            "w": "mm'u'u",
+            "w'": "m'muu'",
+            "u": "mm'w'w",
+            "u'": "mww'm'",
+        },
+        gender_names=("m", "w", "u"),
+    )
+
+
+def sec3b_right_instance() -> KPartiteInstance:
+    """Section III.B, right-hand-side preference lists (global orders).
+
+    The paper shows u's reduced list empties during the roommates
+    procedure: **no stable binary matching exists**.
+    """
+    return _global_instance_from_names(
+        {
+            "m": "w'u'uw",
+            "m'": "w'wuu'",
+            "w": "m'muu'",
+            "w'": "mm'uu'",
+            "u": "mm'ww'",
+            "u'": "mw'wm'",
+        },
+        gender_names=("m", "w", "u"),
+    )
+
+
+@functools.lru_cache(maxsize=4)
+def figure5_scenario(seed: int = 0) -> tuple[KPartiteInstance, object]:
+    """A concrete realization of the Figure 5 instability scenario.
+
+    Figure 5 is schematic: it shows a 4-gender binding tree (a) under
+    which a *weakened* blocking family survives iterative binding, and a
+    bitonic tree (b) that prevents it.  The paper gives no preference
+    numbers, so we search deterministic pseudo-random k=4, n=2 instances
+    (gender priority = gender index) for one where binding along
+    :data:`FIG5_BAD_TREE` leaves a weakened blocking family.  Theorem 5
+    guarantees :data:`FIG5_GOOD_TREE` never does, which callers should
+    (and our tests do) verify on the same instance.
+
+    Returns
+    -------
+    (instance, witness):
+        The instance and the weakened blocking family found under the
+        bad tree (a :class:`repro.core.stability.BlockingFamily`).
+    """
+    from repro.core.binding_tree import BindingTree
+    from repro.core.iterative_binding import iterative_binding
+    from repro.core.stability import find_weakened_blocking_family
+
+    rng = as_rng(seed)
+    bad = BindingTree(4, FIG5_BAD_TREE)
+    for attempt in itertools.count():
+        if attempt > 20000:  # pragma: no cover - search is expected to succeed fast
+            raise AssertionError("could not realize the Figure 5 scenario")
+        inst = random_instance(4, 2, rng)
+        result = iterative_binding(inst, tree=bad)
+        witness = find_weakened_blocking_family(
+            inst, result.matching, priorities=list(range(4))
+        )
+        if witness is not None:
+            return inst, witness

@@ -1,0 +1,381 @@
+"""Instance generators: random, correlated, worst-case and adversarial.
+
+Besides uniform-random workloads, this module implements the paper's
+constructive arguments as reusable generators:
+
+* :func:`theorem1_instance` — the Theorem 1 preference family under which
+  **no stable binary matching exists** in a balanced k-partite graph with
+  k > 2 (one "pariah" node ranked last by everyone; every node of the
+  other k-1 genders ranked globally top by exactly one node of a
+  different gender among them);
+* :func:`theorem4_cyclic_instance` — the Section IV.B cyclic preference
+  orders showing that *k* bindings (one more than the spanning tree's
+  k-1) cannot all be pairwise-stable simultaneously;
+* :func:`component_adversarial_instance` — a searched instance showing
+  that *k-2* bindings (one fewer) leave cross-component blocking
+  families no matter how the unbound gender is attached (Theorem 4's
+  other direction);
+* :func:`identical_preferences_smp` / :func:`cyclic_smp` — bipartite
+  families exercising the Θ(n²) proposal behaviour of Gale-Shapley that
+  Theorem 3's (k-1)n² bound inherits.
+
+All stochastic generators take ``seed`` per :func:`repro.utils.as_rng`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "random_instance",
+    "random_global_instance",
+    "master_list_instance",
+    "society_instance",
+    "theorem1_instance",
+    "theorem4_cyclic_instance",
+    "component_adversarial_instance",
+    "exhaustive_component_search",
+    "identical_preferences_smp",
+    "cyclic_smp",
+    "random_smp",
+]
+
+
+def _check_kn(k: int, n: int) -> None:
+    if k < 2:
+        raise InvalidInstanceError(f"k must be at least 2, got {k}")
+    if n < 1:
+        raise InvalidInstanceError(f"n must be at least 1, got {n}")
+
+
+def random_instance(
+    k: int, n: int, seed: int | None | np.random.Generator = None
+) -> KPartiteInstance:
+    """Uniform-random balanced k-partite instance.
+
+    Every per-gender preference list is an independent uniform random
+    permutation.  This is the default workload for Theorems 2/3/5 sweeps.
+    """
+    _check_kn(k, n)
+    rng = as_rng(seed)
+    pref = np.full((k, n, k, n), -1, dtype=np.int32)
+    for g in range(k):
+        for h in range(k):
+            if h == g:
+                continue
+            for i in range(n):
+                pref[g, i, h] = rng.permutation(n)
+    return KPartiteInstance.from_arrays(pref, validate=False)
+
+
+def random_global_instance(
+    k: int, n: int, seed: int | None | np.random.Generator = None
+) -> KPartiteInstance:
+    """Random instance that also carries an explicit random global order.
+
+    Each member draws one uniform permutation over all (k-1)·n
+    other-gender members; the per-gender lists are its projections.
+    This is the natural workload for the **binary** matching experiments
+    of Section III, where a single total order is required.
+    """
+    _check_kn(k, n)
+    rng = as_rng(seed)
+    pref = np.full((k, n, k, n), -1, dtype=np.int32)
+    global_order: list[list[list[Member]]] = []
+    for g in range(k):
+        rows: list[list[Member]] = []
+        for i in range(n):
+            others = [Member(h, j) for h in range(k) if h != g for j in range(n)]
+            order = [others[t] for t in rng.permutation(len(others))]
+            rows.append(order)
+            for h in range(k):
+                if h == g:
+                    continue
+                pref[g, i, h] = [m.index for m in order if m.gender == h]
+        global_order.append(rows)
+    return KPartiteInstance.from_arrays(pref, validate=False, global_order=global_order)
+
+
+def master_list_instance(
+    k: int,
+    n: int,
+    seed: int | None | np.random.Generator = None,
+    *,
+    noise: float = 0.0,
+) -> KPartiteInstance:
+    """Correlated instance: each gender has a hidden popularity order.
+
+    All raters rank gender ``h`` by a shared per-gender popularity score,
+    perturbed per rater by Gaussian noise of standard deviation
+    ``noise`` (0 ⇒ everyone agrees, the classic "master list" model that
+    maximizes competition in Gale-Shapley).
+    """
+    _check_kn(k, n)
+    if noise < 0:
+        raise InvalidInstanceError(f"noise must be non-negative, got {noise}")
+    rng = as_rng(seed)
+    popularity = rng.normal(size=(k, n))
+    pref = np.full((k, n, k, n), -1, dtype=np.int32)
+    for g in range(k):
+        for h in range(k):
+            if h == g:
+                continue
+            for i in range(n):
+                score = popularity[h] + (rng.normal(size=n) * noise if noise else 0.0)
+                pref[g, i, h] = np.argsort(-score, kind="stable")
+    return KPartiteInstance.from_arrays(pref, validate=False)
+
+
+def society_instance(
+    k: int,
+    n: int,
+    seed: int | None | np.random.Generator = None,
+    *,
+    popularity_weight: float = 1.0,
+    taste_weight: float = 1.0,
+) -> KPartiteInstance:
+    """Synthetic "society with k genders" workload (Section III.A app).
+
+    Stands in for real demographic preference data (unavailable): each
+    member's attractiveness is a latent scalar; each rater mixes the
+    shared attractiveness signal (``popularity_weight``) with an
+    idiosyncratic taste draw (``taste_weight``).  Setting
+    ``popularity_weight=0`` recovers :func:`random_instance`;
+    ``taste_weight=0`` recovers :func:`master_list_instance`.
+    """
+    _check_kn(k, n)
+    rng = as_rng(seed)
+    attract = rng.normal(size=(k, n))
+    pref = np.full((k, n, k, n), -1, dtype=np.int32)
+    for g in range(k):
+        for h in range(k):
+            if h == g:
+                continue
+            for i in range(n):
+                score = popularity_weight * attract[h] + taste_weight * rng.normal(size=n)
+                pref[g, i, h] = np.argsort(-score, kind="stable")
+    return KPartiteInstance.from_arrays(pref, validate=False)
+
+
+def theorem1_instance(
+    k: int, n: int, seed: int | None | np.random.Generator = None
+) -> KPartiteInstance:
+    """The Theorem 1 adversarial family: no stable binary matching.
+
+    Construction (following the proof):
+
+    1. node ``u = (0, 0)`` is ranked **globally last** by every node of
+       every other gender;
+    2. the genders ``1..k-1`` form a cycle ``t -> t+1`` (wrapping) and
+       member ``(t, i)`` ranks ``(t+1 (mod), i)`` as its **global top**,
+       so each node of genders ``1..k-1`` is ranked top by exactly one
+       node from a different gender among those k-1 genders;
+    3. all remaining positions are filled uniformly at random.
+
+    The returned instance carries the global order explicitly (binary
+    matching in Section III operates on global orders).  Requires
+    ``k >= 3`` and an even total number of nodes ``k*n`` so a perfect
+    matching exists (the theorem's hypothesis).
+    """
+    _check_kn(k, n)
+    if k < 3:
+        raise InvalidInstanceError("Theorem 1 applies to k >= 3 (k = 2 is always stable)")
+    if (k * n) % 2 != 0:
+        raise InvalidInstanceError(
+            f"Theorem 1 assumes an even number of nodes; k*n = {k * n} is odd"
+        )
+    rng = as_rng(seed)
+    pariah = Member(0, 0)
+    pref = np.full((k, n, k, n), -1, dtype=np.int32)
+    global_order: list[list[list[Member]]] = []
+    for g in range(k):
+        rows: list[list[Member]] = []
+        for i in range(n):
+            others = [Member(h, j) for h in range(k) if h != g for j in range(n)]
+            rng.shuffle(others)  # type: ignore[arg-type]
+            order = list(others)
+            if g != 0:
+                # rule 1: the pariah goes last.
+                order.remove(pariah)
+                order.append(pariah)
+                # rule 2: (g, i)'s global top is its cycle successor.
+                succ_gender = g % (k - 1) + 1  # cycles through 1..k-1
+                top = Member(succ_gender, i)
+                order.remove(top)
+                order.insert(0, top)
+            rows.append(order)
+            for h in range(k):
+                if h == g:
+                    continue
+                pref[g, i, h] = [m.index for m in order if m.gender == h]
+        global_order.append(rows)
+    return KPartiteInstance.from_arrays(pref, validate=False, global_order=global_order)
+
+
+def theorem4_cyclic_instance() -> KPartiteInstance:
+    """The Section IV.B cyclic preference orders (k = 3, n = 2).
+
+    Verbatim from the paper (``x: y`` meaning x ranks y over the other
+    member of y's gender)::
+
+        m : w     m' : w     w : m     w' : m'
+        w : u     w' : u     u : w     u' : w'
+        m : u     m' : u     u : m'    u' : m'
+
+    Genders: 0 = M (m, m'), 1 = W (w, w'), 2 = U (u, u').  Used to show
+    that three mutually consistent pairwise-stable bindings (a binding
+    *cycle* M-W, W-U, U-M) cannot coexist, i.e. more than k-1 bindings
+    may be impossible (Theorem 4).
+    """
+    # prefs[g][i][h]: list over gender h, best first.
+    m_ = [[None, [0, 1], [0, 1]], [None, [0, 1], [0, 1]]]  # m, m'
+    w_ = [[[0, 1], None, [0, 1]], [[1, 0], None, [0, 1]]]  # w, w'
+    u_ = [[[1, 0], [0, 1], None], [[1, 0], [1, 0], None]]  # u, u'
+    return KPartiteInstance.from_per_gender_lists(
+        [m_, w_, u_], gender_names=("m", "w", "u")
+    )
+
+
+def component_adversarial_instance(n: int = 2) -> KPartiteInstance:
+    """A k=3 instance defeating any *oblivious* completion of a single
+    binding (Theorem 4's lower direction, faithfully quantified).
+
+    With only k-2 bindings the gender set splits into components and the
+    unbound component must be attached **without any binding** — i.e.
+    obliviously, not consulting cross-component preferences.  The paper
+    argues such a matching "will cause instability by assigning
+    appropriate preference orders among members from different
+    components": the adversary moves *after* the attachment rule is
+    fixed.  This generator plays that adversary against the natural rule
+    "attach u_i to the i-th pair of the GS(M, W) binding":
+
+    * m_i and w_i are mutual first choices, so GS(0, 1) always pairs
+      them — families become (m_i, w_i, u_i);
+    * m_1 and w_1 both rank u_0 first, and u_0 ranks m_1 and w_1 first
+      — so (m_1, w_1, u_0) is a strong blocking family of that output.
+
+    A genuinely *stronger* reading — preferences making **every**
+    completion unstable — is impossible: exhaustive search over all
+    4^6 essentially-distinct k=3, n=2 instances finds none (benchmark
+    E09 re-verifies), and in general a stable completion always exists
+    because the pairs-vs-U subproblem is an SMP under any linear
+    extension of the pairs' conjunctive preferences.  DESIGN.md and
+    EXPERIMENTS.md record this reproduction finding.
+    """
+    if n < 2:
+        raise InvalidInstanceError(f"need n >= 2 to exhibit instability, got {n}")
+    pref = np.full((3, n, 3, n), -1, dtype=np.int32)
+    aligned = list(range(n))
+    for i in range(n):
+        # M and W: mutual first choices m_i <-> w_i, rest in index order.
+        own_first = [i] + [j for j in aligned if j != i]
+        pref[0, i, 1] = own_first
+        pref[1, i, 0] = own_first
+        # U ranks M and W assortatively (u_i likes m_i, w_i first) so the
+        # identity attachment looks "reasonable" yet is still blocked.
+        pref[2, i, 0] = own_first
+        pref[2, i, 1] = own_first
+        # M and W rank U assortatively too ...
+        pref[0, i, 2] = own_first
+        pref[1, i, 2] = own_first
+    # ... except the adversarial twist: m_1/w_1 put u_0 first, u_0 puts
+    # m_1/w_1 first.
+    pref[0, 1, 2] = [0, 1] + [j for j in aligned if j > 1]
+    pref[1, 1, 2] = [0, 1] + [j for j in aligned if j > 1]
+    pref[2, 0, 0] = [1, 0] + [j for j in aligned if j > 1]
+    pref[2, 0, 1] = [1, 0] + [j for j in aligned if j > 1]
+    return KPartiteInstance.from_arrays(pref, validate=False)
+
+
+def exhaustive_component_search(n: int = 2) -> KPartiteInstance | None:
+    """Search all 4^6 essentially-distinct k=3, n=2 instances for one
+    where **every** completion of every stable GS(0, 1) binding is
+    unstable.
+
+    Returns ``None`` — provably, for n=2 — which is the reproduction
+    finding attached to Theorem 4: only the oblivious-attachment reading
+    of its lower direction is true.  Kept as an executable artifact for
+    benchmark E09.
+    """
+    from repro.bipartite.enumerate import all_stable_matchings
+    from repro.core.kary_matching import KAryMatching
+    from repro.core.stability import find_blocking_family
+
+    if n != 2:
+        raise InvalidInstanceError("the exhaustive search is defined for n=2")
+    orders = [(0, 1), (1, 0)]
+    for bits in itertools.product(range(4), repeat=6):
+        pref = np.full((3, n, 3, n), -1, dtype=np.int32)
+        for slot, code in enumerate(bits):
+            g, i = divmod(slot, 2)
+            others = [h for h in range(3) if h != g]
+            pref[g, i, others[0]] = orders[code & 1]
+            pref[g, i, others[1]] = orders[(code >> 1) & 1]
+        inst = KPartiteInstance.from_arrays(pref, validate=False)
+        view = inst.bipartite_view(0, 1)
+        ok = True
+        for pairing in all_stable_matchings(view.proposer_prefs, view.responder_prefs):
+            for perm in itertools.permutations(range(n)):
+                tuples = []
+                for pair_idx, (i, j) in enumerate(sorted(pairing.items())):
+                    tuples.append(
+                        (Member(0, i), Member(1, j), Member(2, perm[pair_idx]))
+                    )
+                matching = KAryMatching.from_tuples(inst, tuples)
+                if find_blocking_family(inst, matching) is None:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            return inst
+    return None
+
+
+# ----------------------------------------------------------------------
+# bipartite (k = 2) workload families
+# ----------------------------------------------------------------------
+
+
+def identical_preferences_smp(n: int) -> KPartiteInstance:
+    """SMP where everyone agrees: all proposers and all responders share
+    one master list.
+
+    Forces maximal competition: Gale-Shapley performs
+    n + (n-1) + ... + 1 = n(n+1)/2 proposals, exhibiting the Θ(n²)
+    growth behind Theorem 3's (k-1)n² bound.
+    """
+    _check_kn(2, n)
+    base = list(range(n))
+    pref = np.full((2, n, 2, n), -1, dtype=np.int32)
+    pref[0, :, 1] = base
+    pref[1, :, 0] = base
+    return KPartiteInstance.from_arrays(pref, validate=False)
+
+
+def cyclic_smp(n: int) -> KPartiteInstance:
+    """Latin-square SMP: proposer i ranks ``i, i+1, ...`` (cyclic);
+    responder j ranks ``j+1, j+2, ...`` (cyclic).
+
+    A structured family with n rotations and n distinct stable matchings;
+    useful both as a GS workload and for the fairness experiments (every
+    participant is someone's first choice).
+    """
+    _check_kn(2, n)
+    pref = np.full((2, n, 2, n), -1, dtype=np.int32)
+    for i in range(n):
+        pref[0, i, 1] = [(i + t) % n for t in range(n)]
+        pref[1, i, 0] = [(i + 1 + t) % n for t in range(n)]
+    return KPartiteInstance.from_arrays(pref, validate=False)
+
+
+def random_smp(n: int, seed: int | None | np.random.Generator = None) -> KPartiteInstance:
+    """Uniform-random bipartite (k = 2) instance."""
+    return random_instance(2, n, seed)

@@ -1,0 +1,479 @@
+"""Balanced complete k-partite instances with per-gender preference lists.
+
+The paper's preference model (Section II.B): a balanced k-partite graph
+has k disjoint *genders* of n members each; every member keeps a strict
+preference list over the n members of **each** other gender — k-1
+separate orders, not one order over combinations.  This is what
+distinguishes the paper from the NP-complete multi-dimensional SMP
+variants it cites (Ng & Hirschberg, Huang): preferences stay binary.
+
+:class:`KPartiteInstance` stores those lists as dense NumPy arrays plus
+pre-computed rank (inverse permutation) arrays so stability checks and
+Gale-Shapley runs do O(1)-time preference comparisons.
+
+An instance may additionally carry a *global order* per member — a single
+strict total order over all (k-1)·n members of other genders.  Global
+orders are what the **binary** matching sections (III) need; footnote 4
+of the paper notes the per-gender orders only form a partial order that
+"can be converted into a global total order in various ways".  When a
+global order is supplied it must be consistent with (project onto) the
+per-gender lists; when absent, linearization strategies in
+:mod:`repro.kpartite.reduction` synthesize one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.model.members import DEFAULT_GENDER_NAMES, Member, member_name
+from repro.utils.ordering import rank_array
+
+__all__ = ["KPartiteInstance", "BipartiteView"]
+
+
+@dataclass(frozen=True)
+class BipartiteView:
+    """A two-gender slice of a k-partite instance, in raw-array form.
+
+    This is the hand-off format between the model layer and the
+    Gale-Shapley substrate (:mod:`repro.bipartite`): plain ``(n, n)``
+    integer arrays, picklable and NumPy-friendly, with ranks
+    pre-inverted.
+
+    Attributes
+    ----------
+    proposer_gender, responder_gender:
+        Gender indices of the two sides.
+    proposer_prefs:
+        ``proposer_prefs[i]`` is proposer i's preference list over
+        responder indices (best first).
+    responder_prefs:
+        ``responder_prefs[j]`` is responder j's preference list over
+        proposer indices (best first).
+    proposer_ranks, responder_ranks:
+        Inverse permutations: ``proposer_ranks[i, j]`` is the position of
+        responder ``j`` in proposer ``i``'s list (lower = better).
+    """
+
+    proposer_gender: int
+    responder_gender: int
+    proposer_prefs: np.ndarray
+    responder_prefs: np.ndarray
+    proposer_ranks: np.ndarray
+    responder_ranks: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of members on each side."""
+        return int(self.proposer_prefs.shape[0])
+
+    def swapped(self) -> "BipartiteView":
+        """The same slice with proposer and responder roles exchanged."""
+        return BipartiteView(
+            proposer_gender=self.responder_gender,
+            responder_gender=self.proposer_gender,
+            proposer_prefs=self.responder_prefs,
+            responder_prefs=self.proposer_prefs,
+            proposer_ranks=self.responder_ranks,
+            responder_ranks=self.proposer_ranks,
+        )
+
+
+class KPartiteInstance:
+    """A complete, balanced k-partite preference system.
+
+    Parameters
+    ----------
+    prefs:
+        Nested sequence ``prefs[g][i][h]``: the preference list (a
+        permutation of ``range(n)``, best first) that member ``i`` of
+        gender ``g`` holds over gender ``h``.  The diagonal entry
+        ``prefs[g][i][g]`` must be ``None`` (or an empty list) — members
+        never rank their own gender in the base model.
+    gender_names:
+        Optional display names for the genders (defaults to
+        ``a, b, c, ...``).
+    global_order:
+        Optional nested sequence ``global_order[g][i]``: a list of
+        :class:`Member` covering every member of every other gender
+        exactly once, best first.  Must project onto ``prefs``.
+    validate:
+        Skip validation only for trusted, performance-critical callers
+        (e.g. generators that construct permutations by design).
+
+    Examples
+    --------
+    >>> inst = KPartiteInstance.from_per_gender_lists([
+    ...     [[None, [0, 1]], [None, [1, 0]]],   # gender 0: 2 members
+    ...     [[[1, 0], None], [[0, 1], None]],   # gender 1: 2 members
+    ... ])
+    >>> inst.k, inst.n
+    (2, 2)
+    >>> inst.rank(Member(0, 0), Member(1, 1))
+    1
+    """
+
+    __slots__ = ("k", "n", "_pref", "_rank", "gender_names", "_global_order")
+
+    def __init__(
+        self,
+        prefs: Sequence[Sequence[Sequence[Sequence[int] | None]]] | np.ndarray,
+        *,
+        gender_names: Sequence[str] | None = None,
+        global_order: Sequence[Sequence[Sequence[Member]]] | None = None,
+        validate: bool = True,
+    ) -> None:
+        pref = _to_pref_array(prefs)
+        k, n = int(pref.shape[0]), int(pref.shape[1])
+        self.k = k
+        self.n = n
+        self._pref = pref
+        self._rank = _build_ranks(pref, validate=validate)
+        if gender_names is None:
+            gender_names = tuple(
+                DEFAULT_GENDER_NAMES[g] if g < len(DEFAULT_GENDER_NAMES) else f"g{g}"
+                for g in range(k)
+            )
+        else:
+            gender_names = tuple(str(s) for s in gender_names)
+            if len(gender_names) != k:
+                raise InvalidInstanceError(
+                    f"got {len(gender_names)} gender names for k={k} genders"
+                )
+            if len(set(gender_names)) != k:
+                raise InvalidInstanceError("gender names must be unique")
+        self.gender_names = gender_names
+        if global_order is not None:
+            global_order = tuple(
+                tuple(tuple(Member(*m) for m in row) for row in gender_rows)
+                for gender_rows in global_order
+            )
+        self._global_order = global_order
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_per_gender_lists(
+        cls,
+        lists: Sequence[Sequence[Sequence[Sequence[int] | None]]],
+        **kwargs: object,
+    ) -> "KPartiteInstance":
+        """Build from nested Python lists (see class docstring layout)."""
+        return cls(lists, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_rank_tables(
+        cls,
+        tables: Sequence[Sequence[Sequence[Sequence[int] | None]]],
+        **kwargs: object,
+    ) -> "KPartiteInstance":
+        """Build from *rank* tables instead of preference lists.
+
+        ``tables[g][i][h][j]`` is the rank (0 = best) that member
+        ``(g, i)`` assigns to member ``(h, j)``.  This is the layout of
+        the paper's Figure 3, which tabulates ranks rather than ordered
+        lists.
+        """
+        k = len(tables)
+        n = len(tables[0]) if k else 0
+        prefs: list[list[list[list[int] | None]]] = []
+        for g in range(k):
+            rows: list[list[list[int] | None]] = []
+            for i in range(n):
+                row: list[list[int] | None] = []
+                for h in range(k):
+                    cell = tables[g][i][h]
+                    if h == g or cell is None:
+                        row.append(None)
+                        continue
+                    ranks = list(cell)
+                    if sorted(ranks) != list(range(len(ranks))):
+                        raise InvalidInstanceError(
+                            f"rank table for member ({g},{i}) over gender {h} "
+                            f"is not a permutation of 0..{len(ranks) - 1}: {ranks}"
+                        )
+                    order = sorted(range(len(ranks)), key=lambda j: ranks[j])
+                    row.append(order)
+                rows.append(row)
+            prefs.append(rows)
+        return cls(prefs, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_arrays(
+        cls, pref: np.ndarray, *, validate: bool = True, **kwargs: object
+    ) -> "KPartiteInstance":
+        """Build from a pre-shaped ``(k, n, k, n)`` preference array."""
+        return cls(pref, validate=validate, **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def members(self, gender: int | None = None) -> Iterator[Member]:
+        """Iterate over all members, or the members of one gender."""
+        genders = range(self.k) if gender is None else (self._check_gender(gender),)
+        for g in genders:
+            for i in range(self.n):
+                yield Member(g, i)
+
+    def name(self, member: Member) -> str:
+        """Display name of ``member`` using this instance's gender names."""
+        g, i = member
+        if 0 <= g < self.k and len(self.gender_names[g]) == 1:
+            return f"{self.gender_names[g]}{i}"
+        return member_name(Member(g, i))
+
+    def preference_list(self, member: Member, gender: int) -> list[Member]:
+        """``member``'s strict order over the members of ``gender``."""
+        g, i = self._check_member(member)
+        h = self._check_gender(gender)
+        if h == g:
+            raise InvalidInstanceError(
+                f"member {self.name(member)} holds no list over its own gender"
+            )
+        return [Member(h, int(j)) for j in self._pref[g, i, h]]
+
+    def rank(self, member: Member, other: Member) -> int:
+        """Position of ``other`` in ``member``'s list over ``other``'s gender.
+
+        0 is the most preferred.  Raises for same-gender queries.
+        """
+        g, i = self._check_member(member)
+        h, j = self._check_member(other)
+        if h == g:
+            raise InvalidInstanceError(
+                f"{self.name(member)} and {self.name(other)} share gender {g}; "
+                "no rank is defined within a gender"
+            )
+        return int(self._rank[g, i, h, j])
+
+    def prefers(self, member: Member, a: Member, b: Member) -> bool:
+        """True iff ``member`` strictly prefers ``a`` to ``b``.
+
+        ``a`` and ``b`` must belong to the same gender (which must differ
+        from ``member``'s): the paper's preference model never compares
+        across genders without an explicit global order.
+        """
+        if a.gender != b.gender:
+            raise InvalidInstanceError(
+                f"cannot compare across genders {a.gender} and {b.gender} "
+                "with per-gender lists; use a global order"
+            )
+        return self.rank(member, a) < self.rank(member, b)
+
+    def top(self, member: Member, gender: int) -> Member:
+        """``member``'s most preferred member of ``gender``."""
+        g, i = self._check_member(member)
+        h = self._check_gender(gender)
+        if h == g:
+            raise InvalidInstanceError("no top choice within one's own gender")
+        return Member(h, int(self._pref[g, i, h, 0]))
+
+    @property
+    def has_global_order(self) -> bool:
+        """Whether an explicit per-member global order was supplied."""
+        return self._global_order is not None
+
+    def global_order(self, member: Member) -> list[Member]:
+        """The member's explicit global order (if supplied at build time)."""
+        if self._global_order is None:
+            raise InvalidInstanceError(
+                "instance carries no explicit global order; "
+                "use repro.kpartite.reduction to synthesize one"
+            )
+        g, i = self._check_member(member)
+        return list(self._global_order[g][i])
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def bipartite_view(self, proposer_gender: int, responder_gender: int) -> BipartiteView:
+        """Raw-array slice for a GS binding between two genders."""
+        g = self._check_gender(proposer_gender)
+        h = self._check_gender(responder_gender)
+        if g == h:
+            raise InvalidInstanceError(f"binding requires two distinct genders, got {g}-{h}")
+        return BipartiteView(
+            proposer_gender=g,
+            responder_gender=h,
+            proposer_prefs=self._pref[g, :, h, :],
+            responder_prefs=self._pref[h, :, g, :],
+            proposer_ranks=self._rank[g, :, h, :],
+            responder_ranks=self._rank[h, :, g, :],
+        )
+
+    def pref_array(self) -> np.ndarray:
+        """Read-only ``(k, n, k, n)`` preference array (shared, not copied)."""
+        return self._pref
+
+    def rank_tensor(self) -> np.ndarray:
+        """Read-only ``(k, n, k, n)`` rank array (shared, not copied)."""
+        return self._rank
+
+    # ------------------------------------------------------------------
+    # rendering / comparison
+    # ------------------------------------------------------------------
+
+    def format_preferences(self) -> str:
+        """Human-readable multi-line dump of every preference list."""
+        lines = []
+        for m in self.members():
+            parts = []
+            for h in range(self.k):
+                if h == m.gender:
+                    continue
+                ordered = " ".join(self.name(x) for x in self.preference_list(m, h))
+                parts.append(ordered)
+            lines.append(f"{self.name(m)} : {' | '.join(parts)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KPartiteInstance(k={self.k}, n={self.n}, genders={self.gender_names})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KPartiteInstance):
+            return NotImplemented
+        return (
+            self.k == other.k
+            and self.n == other.n
+            and self.gender_names == other.gender_names
+            and np.array_equal(self._pref, other._pref)
+            and self._global_order == other._global_order
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.n, self.gender_names, self._pref.tobytes()))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _check_gender(self, g: int) -> int:
+        if not 0 <= g < self.k:
+            raise InvalidInstanceError(f"gender {g} out of range for k={self.k}")
+        return int(g)
+
+    def _check_member(self, member: Member) -> tuple[int, int]:
+        g, i = member
+        if not (0 <= g < self.k and 0 <= i < self.n):
+            raise InvalidInstanceError(
+                f"member {member!r} out of range for k={self.k}, n={self.n}"
+            )
+        return int(g), int(i)
+
+    def _validate(self) -> None:
+        if self.k < 2:
+            raise InvalidInstanceError(f"need at least 2 genders, got k={self.k}")
+        if self.n < 1:
+            raise InvalidInstanceError(f"need at least 1 member per gender, got n={self.n}")
+        if self._global_order is not None:
+            self._validate_global_order()
+
+    def _validate_global_order(self) -> None:
+        assert self._global_order is not None
+        if len(self._global_order) != self.k or any(
+            len(rows) != self.n for rows in self._global_order
+        ):
+            raise InvalidInstanceError("global_order shape must be (k, n)")
+        for g in range(self.k):
+            for i in range(self.n):
+                order = self._global_order[g][i]
+                expected = {(h, j) for h in range(self.k) if h != g for j in range(self.n)}
+                if {(m.gender, m.index) for m in order} != expected or len(order) != len(
+                    expected
+                ):
+                    raise InvalidInstanceError(
+                        f"global order of {self.name(Member(g, i))} must cover every "
+                        "other-gender member exactly once"
+                    )
+                # projection consistency: restricting the global order to one
+                # gender must reproduce the per-gender list.
+                for h in range(self.k):
+                    if h == g:
+                        continue
+                    projected = [m for m in order if m.gender == h]
+                    declared = self.preference_list(Member(g, i), h)
+                    if projected != declared:
+                        raise InvalidInstanceError(
+                            f"global order of {self.name(Member(g, i))} disagrees with "
+                            f"its per-gender list over gender {h}: "
+                            f"{[self.name(x) for x in projected]} vs "
+                            f"{[self.name(x) for x in declared]}"
+                        )
+
+
+def _to_pref_array(prefs: object) -> np.ndarray:
+    """Normalize nested lists / arrays to an int32 ``(k, n, k, n)`` array."""
+    if isinstance(prefs, np.ndarray):
+        arr = prefs.astype(np.int32, copy=False)
+        if arr.ndim != 4 or arr.shape[0] != arr.shape[2] or arr.shape[1] != arr.shape[3]:
+            raise InvalidInstanceError(
+                f"preference array must have shape (k, n, k, n), got {arr.shape}"
+            )
+        return arr
+    if not isinstance(prefs, Sequence) or isinstance(prefs, (str, bytes, Mapping)):
+        raise InvalidInstanceError(f"unsupported preference container: {type(prefs)!r}")
+    k = len(prefs)
+    if k == 0:
+        raise InvalidInstanceError("empty preference structure")
+    n = len(prefs[0])
+    arr = np.full((k, n, k, n), -1, dtype=np.int32)
+    for g in range(k):
+        if len(prefs[g]) != n:
+            raise InvalidInstanceError(
+                f"gender {g} has {len(prefs[g])} members, expected n={n} (balanced)"
+            )
+        for i in range(n):
+            row = prefs[g][i]
+            if len(row) != k:
+                raise InvalidInstanceError(
+                    f"member ({g},{i}) lists preferences over {len(row)} genders, "
+                    f"expected k={k}"
+                )
+            for h in range(k):
+                cell = row[h]
+                if h == g:
+                    if cell not in (None, [], ()):
+                        raise InvalidInstanceError(
+                            f"member ({g},{i}) must not rank its own gender "
+                            "in the base model (pass None)"
+                        )
+                    continue
+                if cell is None or len(cell) != n:
+                    raise InvalidInstanceError(
+                        f"member ({g},{i}) must rank all {n} members of gender {h}"
+                    )
+                arr[g, i, h] = cell
+    return arr
+
+
+def _build_ranks(pref: np.ndarray, *, validate: bool) -> np.ndarray:
+    """Invert each preference row into a rank row; validate permutations."""
+    k, n = pref.shape[0], pref.shape[1]
+    rank = np.full_like(pref, -1)
+    for g in range(k):
+        for h in range(k):
+            if h == g:
+                continue
+            block = pref[g, :, h, :]
+            if validate:
+                for i in range(n):
+                    try:
+                        rank[g, i, h, :] = rank_array(block[i].tolist())
+                    except ValueError as exc:
+                        raise InvalidInstanceError(
+                            f"member ({g},{i}) has an invalid list over gender {h}: {exc}"
+                        ) from exc
+            else:
+                rows = np.arange(n)[:, None]
+                rank[g, rows, h, block] = np.arange(n)[None, :]
+    return rank

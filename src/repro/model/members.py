@@ -1,0 +1,73 @@
+"""Member identity: a (gender, index) pair with human-readable rendering.
+
+Members are deliberately *value objects* — plain named tuples — so that
+the hot algorithmic loops can treat them as dictionary keys, put them in
+union-find structures, and pickle them across process boundaries without
+custom reducers.  All heavier metadata (display names) lives on the
+instance, not the member.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+__all__ = ["Member", "member_name", "parse_member", "DEFAULT_GENDER_NAMES"]
+
+#: Gender letters used for default display names: gender 0 member 1 is
+#: ``"a1"``, gender 2 member 0 is ``"c0"``.  Falls back to ``g<g>m<i>``
+#: beyond 26 genders.
+DEFAULT_GENDER_NAMES = "abcdefghijklmnopqrstuvwxyz"
+
+_MEMBER_RE = re.compile(r"^(?:([a-z])(\d+)|g(\d+)m(\d+))$")
+
+
+class Member(NamedTuple):
+    """A member of a k-partite instance, identified by gender and index.
+
+    Attributes
+    ----------
+    gender:
+        Index of the disjoint set (gender) this member belongs to,
+        ``0 <= gender < k``.
+    index:
+        Index of the member within its gender, ``0 <= index < n``.
+    """
+
+    gender: int
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return member_name(self)
+
+
+def member_name(member: Member) -> str:
+    """Default compact display name for ``member``.
+
+    >>> member_name(Member(0, 1))
+    'a1'
+    >>> member_name(Member(30, 2))
+    'g30m2'
+    """
+    g, i = member
+    if 0 <= g < len(DEFAULT_GENDER_NAMES):
+        return f"{DEFAULT_GENDER_NAMES[g]}{i}"
+    return f"g{g}m{i}"
+
+
+def parse_member(text: str) -> Member:
+    """Inverse of :func:`member_name`.
+
+    Accepts both the compact (``"b3"``) and explicit (``"g1m3"``) forms.
+
+    >>> parse_member("b3")
+    Member(gender=1, index=3)
+    >>> parse_member("g12m0")
+    Member(gender=12, index=0)
+    """
+    m = _MEMBER_RE.match(text.strip())
+    if m is None:
+        raise ValueError(f"cannot parse member name: {text!r}")
+    if m.group(1) is not None:
+        return Member(DEFAULT_GENDER_NAMES.index(m.group(1)), int(m.group(2)))
+    return Member(int(m.group(3)), int(m.group(4)))

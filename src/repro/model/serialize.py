@@ -1,0 +1,126 @@
+"""JSON serialization for instances and k-ary matchings.
+
+The on-disk schema is deliberately plain JSON (no pickle) so instances
+can be produced or consumed by other tools and checked into test
+fixtures::
+
+    {
+      "k": 3, "n": 2,
+      "gender_names": ["m", "w", "u"],
+      "prefs": [[[null, [0,1], [0,1]], ...], ...],   # prefs[g][i][h]
+      "global_order": [[[[1,0], [2,0], ...], ...]]   # optional, [gender, index] pairs
+    }
+
+Matchings serialize as a list of k-tuples of ``[gender, index]`` pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import InvalidInstanceError, InvalidMatchingError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "instance_to_json",
+    "instance_from_json",
+    "matching_to_dict",
+    "matching_from_dict",
+]
+
+
+def instance_to_dict(instance: KPartiteInstance) -> dict[str, Any]:
+    """Plain-JSON-compatible dict for an instance."""
+    k, n = instance.k, instance.n
+    prefs: list[list[list[list[int] | None]]] = []
+    for g in range(k):
+        rows: list[list[list[int] | None]] = []
+        for i in range(n):
+            row: list[list[int] | None] = []
+            for h in range(k):
+                if h == g:
+                    row.append(None)
+                else:
+                    row.append(
+                        [m.index for m in instance.preference_list(Member(g, i), h)]
+                    )
+            rows.append(row)
+        prefs.append(rows)
+    out: dict[str, Any] = {
+        "k": k,
+        "n": n,
+        "gender_names": list(instance.gender_names),
+        "prefs": prefs,
+    }
+    if instance.has_global_order:
+        out["global_order"] = [
+            [
+                [[m.gender, m.index] for m in instance.global_order(Member(g, i))]
+                for i in range(n)
+            ]
+            for g in range(k)
+        ]
+    return out
+
+
+def instance_from_dict(data: dict[str, Any]) -> KPartiteInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"instance document must be a JSON object, got {type(data).__name__}"
+        )
+    try:
+        prefs = data["prefs"]
+    except KeyError:
+        raise InvalidInstanceError("instance dict lacks 'prefs'") from None
+    global_order = None
+    if data.get("global_order") is not None:
+        global_order = [
+            [[Member(int(g), int(i)) for g, i in row] for row in gender_rows]
+            for gender_rows in data["global_order"]
+        ]
+    inst = KPartiteInstance.from_per_gender_lists(
+        prefs,
+        gender_names=data.get("gender_names"),
+        global_order=global_order,
+    )
+    for key in ("k", "n"):
+        if key in data and int(data[key]) != getattr(inst, key):
+            raise InvalidInstanceError(
+                f"declared {key}={data[key]} but prefs imply {key}={getattr(inst, key)}"
+            )
+    return inst
+
+
+def instance_to_json(instance: KPartiteInstance, **dump_kwargs: Any) -> str:
+    """Serialize an instance to a JSON string."""
+    return json.dumps(instance_to_dict(instance), **dump_kwargs)
+
+
+def instance_from_json(text: str) -> KPartiteInstance:
+    """Parse an instance from a JSON string."""
+    return instance_from_dict(json.loads(text))
+
+
+def matching_to_dict(matching: "Any") -> dict[str, Any]:
+    """Serialize a :class:`repro.core.KAryMatching`."""
+    return {
+        "tuples": [[[m.gender, m.index] for m in tup] for tup in matching.tuples()]
+    }
+
+
+def matching_from_dict(instance: KPartiteInstance, data: dict[str, Any]) -> "Any":
+    """Deserialize a matching against its instance."""
+    from repro.core.kary_matching import KAryMatching
+
+    try:
+        tuples = data["tuples"]
+    except KeyError:
+        raise InvalidMatchingError("matching dict lacks 'tuples'") from None
+    return KAryMatching.from_tuples(
+        instance, [[Member(int(g), int(i)) for g, i in tup] for tup in tuples]
+    )

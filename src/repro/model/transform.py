@@ -1,0 +1,157 @@
+"""Instance transformations: relabeling, gender permutation, restriction.
+
+These are the symmetry operations of the model, used three ways:
+
+* **property testing** — stability is invariant under relabeling, so
+  ``solve(transform(inst)) == transform(solve(inst))`` is a strong
+  end-to-end oracle that needs no expected output;
+* **canonicalization** — deduplicating instances in searches (the
+  Theorem 4 exhaustive search works modulo member relabeling);
+* **experiment plumbing** — restricting to sub-populations.
+
+All functions return new instances; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+
+__all__ = [
+    "relabel_members",
+    "permute_genders",
+    "restrict_members",
+    "relabel_matching",
+]
+
+
+def _check_perm(perm: Sequence[int], size: int, what: str) -> list[int]:
+    perm = [int(x) for x in perm]
+    if sorted(perm) != list(range(size)):
+        raise InvalidInstanceError(
+            f"{what} must be a permutation of range({size}), got {perm}"
+        )
+    return perm
+
+
+def relabel_members(
+    instance: KPartiteInstance, relabeling: Mapping[int, Sequence[int]]
+) -> KPartiteInstance:
+    """Rename members within genders: member i of gender g becomes
+    member ``relabeling[g][i]``.
+
+    Genders absent from ``relabeling`` keep their identity labels.
+    Preference *contents* are rewritten consistently, so the transformed
+    instance is isomorphic to the original.
+    """
+    k, n = instance.k, instance.n
+    maps = {}
+    for g in range(k):
+        maps[g] = _check_perm(
+            relabeling.get(g, range(n)), n, f"relabeling for gender {g}"
+        )
+    old = instance.pref_array()
+    new = np.full_like(old, -1)
+    for g in range(k):
+        for h in range(k):
+            if g == h:
+                continue
+            to_h = np.array(maps[h])
+            for i in range(n):
+                # row moves to the member's new index; entries renamed
+                new[g, maps[g][i], h] = to_h[old[g, i, h]]
+    return KPartiteInstance.from_arrays(
+        new, validate=False, gender_names=instance.gender_names
+    )
+
+
+def permute_genders(
+    instance: KPartiteInstance, gender_perm: Sequence[int]
+) -> KPartiteInstance:
+    """Rename genders: gender g becomes gender ``gender_perm[g]``.
+
+    Gender display names travel with their genders.
+    """
+    k, n = instance.k, instance.n
+    perm = _check_perm(gender_perm, k, "gender permutation")
+    old = instance.pref_array()
+    new = np.full_like(old, -1)
+    for g in range(k):
+        for h in range(k):
+            if g == h:
+                continue
+            new[perm[g], :, perm[h], :] = old[g, :, h, :]
+    names = [""] * k
+    for g in range(k):
+        names[perm[g]] = instance.gender_names[g]
+    return KPartiteInstance.from_arrays(new, validate=False, gender_names=names)
+
+
+def restrict_members(
+    instance: KPartiteInstance, keep: Sequence[Sequence[int]]
+) -> KPartiteInstance:
+    """Restrict to sub-populations: ``keep[g]`` lists the (distinct)
+    member indices of gender g to retain — the same count per gender,
+    preserving balance.  Preference lists are filtered and reindexed.
+    """
+    k, n = instance.k, instance.n
+    if len(keep) != k:
+        raise InvalidInstanceError(f"keep must list members for all {k} genders")
+    sizes = {len(row) for row in keep}
+    if len(sizes) != 1:
+        raise InvalidInstanceError(
+            f"restriction must stay balanced; got sizes {sorted(len(r) for r in keep)}"
+        )
+    m = sizes.pop()
+    if m < 1:
+        raise InvalidInstanceError("cannot restrict to zero members")
+    index_of = []
+    for g, row in enumerate(keep):
+        row = [int(x) for x in row]
+        if len(set(row)) != len(row) or any(not 0 <= x < n for x in row):
+            raise InvalidInstanceError(f"keep[{g}] must be distinct valid indices")
+        index_of.append({old: new for new, old in enumerate(row)})
+    old = instance.pref_array()
+    new = np.full((k, m, k, m), -1, dtype=old.dtype)
+    for g in range(k):
+        for h in range(k):
+            if g == h:
+                continue
+            for new_i, old_i in enumerate(keep[g]):
+                filtered = [
+                    index_of[h][x] for x in old[g, old_i, h].tolist() if x in index_of[h]
+                ]
+                new[g, new_i, h] = filtered
+    return KPartiteInstance.from_arrays(
+        new, validate=False, gender_names=instance.gender_names
+    )
+
+
+def relabel_matching(
+    matching: "object",
+    relabeled_instance: KPartiteInstance,
+    relabeling: Mapping[int, Sequence[int]],
+) -> "object":
+    """Apply a member relabeling to a :class:`repro.core.KAryMatching`
+    (for invariance checks).
+
+    ``relabeled_instance`` must be ``relabel_members(matching.instance,
+    relabeling)``.  Imported lazily to keep the model layer free of
+    upward dependencies.
+    """
+    from repro.core.kary_matching import KAryMatching
+    k = matching.k
+    maps = {
+        g: _check_perm(relabeling.get(g, range(matching.n)), matching.n, "relabeling")
+        for g in range(k)
+    }
+    tuples = [
+        tuple(Member(m.gender, maps[m.gender][m.index]) for m in tup)
+        for tup in matching.tuples()
+    ]
+    return KAryMatching.from_tuples(relabeled_instance, tuples)

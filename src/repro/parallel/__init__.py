@@ -1,0 +1,62 @@
+"""Parallel binding (Section IV.C): schedules, PRAM model, real executor.
+
+The paper's parallelism lives at the *binding-tree level*: the k-1
+Gale-Shapley bindings are independent tasks whose only shared state is
+each gender's (read-only) preference data.  Three layers reproduce the
+section:
+
+* :mod:`repro.parallel.schedule` — conflict-free rounds of bindings:
+  greedy tree edge coloring achieves Δ(T) rounds (Corollary 1), the
+  even-odd chain schedule achieves 2 (Corollary 2 / Figure 4);
+* :mod:`repro.parallel.pram` — an EREW/CREW PRAM cost-model simulator
+  that validates a schedule's access discipline and reports makespan in
+  GS-iteration units (the substitute for the paper's idealized PRAM);
+* :mod:`repro.parallel.replication` — the log₂Δ data-doubling schedule
+  that lets EREW emulate CREW and finish all bindings in one round;
+* :mod:`repro.parallel.executor` — a real ``ProcessPoolExecutor``
+  runner for wall-clock speedups (process-based because CPython threads
+  cannot speed up this CPU-bound workload).
+"""
+
+from repro.parallel.schedule import (
+    Schedule,
+    greedy_tree_schedule,
+    even_odd_chain_schedule,
+    sequential_schedule,
+    validate_schedule,
+)
+from repro.parallel.pram import PRAMModel, PRAMReport, simulate_schedule, one_round_schedule
+from repro.parallel.machine import (
+    AccessModel,
+    Op,
+    PRAMMachine,
+    broadcast_doubling_program,
+    broadcast_naive_program,
+    sum_reduction_program,
+    binding_read_program,
+)
+from repro.parallel.replication import replication_rounds, replication_schedule
+from repro.parallel.executor import ParallelBindingReport, run_bindings_parallel
+
+__all__ = [
+    "Schedule",
+    "greedy_tree_schedule",
+    "even_odd_chain_schedule",
+    "sequential_schedule",
+    "validate_schedule",
+    "PRAMModel",
+    "PRAMReport",
+    "simulate_schedule",
+    "one_round_schedule",
+    "AccessModel",
+    "Op",
+    "PRAMMachine",
+    "broadcast_doubling_program",
+    "broadcast_naive_program",
+    "sum_reduction_program",
+    "binding_read_program",
+    "replication_rounds",
+    "replication_schedule",
+    "ParallelBindingReport",
+    "run_bindings_parallel",
+]

@@ -1,0 +1,174 @@
+"""Real parallel execution of independent bindings.
+
+The bindings inside one schedule round share no mutable state, so they
+are embarrassingly parallel.  CPython's GIL prevents *thread* speedup
+for this CPU-bound work, so the default backend is a process pool; the
+worker receives plain NumPy arrays (cheap to pickle) and returns the
+matched pairs plus instrumentation.
+
+Backends:
+
+* ``"process"`` — ``concurrent.futures.ProcessPoolExecutor`` (true
+  parallelism; per-task pickling overhead, worthwhile for large n);
+* ``"thread"`` — ``ThreadPoolExecutor`` (kept for measurement: shows
+  the GIL ceiling explicitly in benchmark E11);
+* ``"serial"`` — run rounds in order in-process (baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bipartite.gale_shapley import GSResult, gale_shapley
+from repro.core.binding_tree import BindingTree
+from repro.core.kary_matching import KAryMatching
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.parallel.schedule import Schedule, greedy_tree_schedule, validate_schedule
+
+__all__ = ["ParallelBindingReport", "run_bindings_parallel"]
+
+BACKENDS = ("process", "thread", "serial")
+
+
+def _bind_worker(
+    args: tuple[tuple[int, int], np.ndarray, np.ndarray, str]
+) -> tuple[tuple[int, int], tuple[int, ...], int, int]:
+    """Top-level worker (must be picklable): run one binding."""
+    edge, p_prefs, r_prefs, engine = args
+    res = gale_shapley(p_prefs, r_prefs, engine=engine)
+    return edge, res.matching, res.proposals, res.rounds
+
+
+@dataclass(frozen=True)
+class ParallelBindingReport:
+    """Outcome and timing of a parallel iterative-binding run.
+
+    Attributes
+    ----------
+    matching:
+        The stable k-ary matching (identical to the serial Algorithm 1
+        result for the same tree and engine).
+    schedule:
+        The round structure that was executed.
+    backend:
+        ``"process"``, ``"thread"`` or ``"serial"``.
+    round_seconds:
+        Wall-clock duration of each round.
+    total_seconds:
+        End-to-end wall clock (excludes pool startup when a pre-warmed
+        pool is reused).
+    edge_results:
+        Per-edge GS statistics keyed by (proposer, responder).
+    """
+
+    matching: KAryMatching
+    schedule: Schedule
+    backend: str
+    max_workers: int
+    round_seconds: tuple[float, ...]
+    total_seconds: float
+    edge_results: dict[tuple[int, int], GSResult]
+
+    @property
+    def total_proposals(self) -> int:
+        return sum(r.proposals for r in self.edge_results.values())
+
+
+def run_bindings_parallel(
+    instance: KPartiteInstance,
+    tree: BindingTree | None = None,
+    *,
+    schedule: Schedule | None = None,
+    backend: str = "process",
+    max_workers: int | None = None,
+    engine: str = "textbook",
+    pool: Executor | None = None,
+) -> ParallelBindingReport:
+    """Execute Algorithm 1 with each round's bindings run concurrently.
+
+    Parameters
+    ----------
+    instance, tree:
+        As in :func:`repro.core.iterative_binding`; ``tree`` defaults to
+        the chain (the Δ=2 shape Corollary 2 favors).
+    schedule:
+        Round structure; defaults to :func:`greedy_tree_schedule` (Δ
+        rounds).
+    backend:
+        ``"process"`` (default), ``"thread"``, or ``"serial"``.
+    max_workers:
+        Pool size; defaults to the paper's k-1 processors.
+    pool:
+        Optionally reuse an existing executor (avoids per-call process
+        startup in benchmarks); ``backend`` is then ignored.
+    """
+    if tree is None:
+        tree = BindingTree.chain(instance.k)
+    if schedule is None:
+        schedule = greedy_tree_schedule(tree)
+    if schedule.tree is not tree and schedule.tree != tree:
+        raise ValueError("schedule was built for a different tree")
+    validate_schedule(schedule, copies=len(tree.edges) or 1)
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if max_workers is None:
+        max_workers = max(1, instance.k - 1)
+
+    def tasks_for(edges: tuple[tuple[int, int], ...]):
+        out = []
+        for edge in edges:
+            view = instance.bipartite_view(*edge)
+            out.append(
+                (edge, np.ascontiguousarray(view.proposer_prefs),
+                 np.ascontiguousarray(view.responder_prefs), engine)
+            )
+        return out
+
+    edge_results: dict[tuple[int, int], GSResult] = {}
+    pairs: list[tuple[Member, Member]] = []
+    round_seconds: list[float] = []
+
+    owned_pool: Executor | None = None
+    try:
+        if pool is None and backend == "process":
+            pool = owned_pool = ProcessPoolExecutor(max_workers=max_workers)
+        elif pool is None and backend == "thread":
+            pool = owned_pool = ThreadPoolExecutor(max_workers=max_workers)
+        start_all = time.perf_counter()
+        for edges in schedule.rounds:
+            start = time.perf_counter()
+            if pool is None:  # serial
+                outcomes = [_bind_worker(t) for t in tasks_for(edges)]
+            else:
+                outcomes = list(pool.map(_bind_worker, tasks_for(edges)))
+            round_seconds.append(time.perf_counter() - start)
+            for edge, matching, proposals, rounds in outcomes:
+                edge_results[edge] = GSResult(
+                    matching=tuple(matching),
+                    proposals=proposals,
+                    rounds=rounds,
+                    engine=engine,
+                )
+                pg, rg = edge
+                pairs.extend(
+                    (Member(pg, i), Member(rg, j)) for i, j in enumerate(matching)
+                )
+        total = time.perf_counter() - start_all
+    finally:
+        if owned_pool is not None:
+            owned_pool.shutdown()
+    matching = KAryMatching.from_pairs(instance, pairs)
+    return ParallelBindingReport(
+        matching=matching,
+        schedule=schedule,
+        backend=backend if pool is None or owned_pool is not None else "custom",
+        max_workers=max_workers,
+        round_seconds=tuple(round_seconds),
+        total_seconds=total,
+        edge_results=edge_results,
+    )

@@ -1,0 +1,282 @@
+"""An instruction-level PRAM machine with memory-access conflict checks.
+
+:mod:`repro.parallel.pram` models Section IV.C at *task* granularity
+(one binding = one task).  This module goes one level down: a
+synchronous shared-memory machine whose processors execute lockstep
+steps, each split into a **read phase** and a **write phase**, with the
+access discipline enforced per memory cell:
+
+* EREW — within one step, no cell may be read by two processors, nor
+  written by two processors;
+* CREW — concurrent reads allowed, writes still exclusive.
+
+Programs are per-processor generators: each ``yield Op(reads=...)``
+suspends until the machine supplies the read values, then the program
+computes and yields (or returns) its writes.  The machine validates
+every phase and counts steps, so the paper's claims become *machine
+checkable*: the one-step CREW broadcast is rejected by an EREW machine
+(read conflict on the source cell), while the ⌈log₂ n⌉ doubling
+broadcast passes; the one-round star-tree binding plan is rejected by
+EREW (the hub gender's block is read by k-1 processors) and accepted by
+CREW.
+
+This is deliberately a *model* machine — values are Python objects and
+"computation" is arbitrary — because what the experiments measure is
+steps and conflicts, not ALU throughput.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator, Iterable, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ScheduleConflictError, SimulationError
+
+__all__ = [
+    "AccessModel",
+    "Op",
+    "PRAMMachine",
+    "broadcast_doubling_program",
+    "broadcast_naive_program",
+    "sum_reduction_program",
+    "binding_read_program",
+]
+
+
+class AccessModel(Enum):
+    """Memory access discipline."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One machine step of one processor.
+
+    Attributes
+    ----------
+    reads:
+        Cell addresses to read this step; their values are sent back
+        into the generator as a tuple, in order.
+    writes:
+        ``(address, value)`` pairs applied in this step's write phase
+        (the values were computed from the *previous* step's reads —
+        standard PRAM semantics where reads precede writes).
+    """
+
+    reads: tuple[int, ...] = ()
+    writes: tuple[tuple[int, object], ...] = ()
+
+
+Program = Generator[Op, tuple, None]
+ProgramFactory = Callable[[int], Program]
+
+
+@dataclass
+class PRAMMachine:
+    """A synchronous PRAM with ``n_processors`` and ``memory_size`` cells.
+
+    Examples
+    --------
+    >>> machine = PRAMMachine(2, 4, model="EREW")
+    >>> machine.memory[0] = 42
+    >>> machine.run(broadcast_doubling_program(4))  # 2 doublings x (read, write)
+    4
+    >>> machine.memory
+    [42, 42, 42, 42]
+    """
+
+    n_processors: int
+    memory_size: int
+    model: AccessModel | str = AccessModel.EREW
+    memory: list = field(default_factory=list)
+    steps: int = 0
+    reads_served: int = 0
+    writes_applied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise SimulationError("need at least one processor")
+        if self.memory_size < 0:
+            raise SimulationError("memory size must be non-negative")
+        if not isinstance(self.model, AccessModel):
+            self.model = AccessModel(self.model)
+        if not self.memory:
+            self.memory = [0] * self.memory_size
+
+    def _check_addr(self, addr: int, what: str) -> None:
+        if not 0 <= addr < self.memory_size:
+            raise SimulationError(f"{what} of cell {addr} outside memory")
+
+    def run(self, factory: ProgramFactory, *, max_steps: int = 10_000) -> int:
+        """Run one program instance per processor to completion.
+
+        Returns the number of synchronous steps executed.  Raises
+        :class:`ScheduleConflictError` on an access violation and
+        :class:`SimulationError` on runaway programs or bad addresses.
+        """
+        programs: list[Program | None] = [
+            factory(pid) for pid in range(self.n_processors)
+        ]
+        pending: list[Op | None] = []
+        for pid, prog in enumerate(programs):
+            try:
+                pending.append(next(prog))  # type: ignore[arg-type]
+            except StopIteration:
+                programs[pid] = None
+                pending.append(None)
+        while any(p is not None for p in programs):
+            if self.steps >= max_steps:
+                raise SimulationError(f"program exceeded {max_steps} steps")
+            self.steps += 1
+            # --- read phase ---------------------------------------
+            readers: dict[int, int] = {}
+            for pid, op in enumerate(pending):
+                if op is None:
+                    continue
+                for addr in op.reads:
+                    self._check_addr(addr, f"processor {pid} read")
+                    if addr in readers and self.model is AccessModel.EREW:
+                        raise ScheduleConflictError(
+                            f"EREW read conflict on cell {addr}: processors "
+                            f"{readers[addr]} and {pid} in step {self.steps}"
+                        )
+                    readers.setdefault(addr, pid)
+            read_values = [
+                tuple(self.memory[a] for a in op.reads) if op is not None else ()
+                for op in pending
+            ]
+            self.reads_served += sum(len(op.reads) for op in pending if op)
+            # --- write phase --------------------------------------
+            writers: dict[int, int] = {}
+            staged: list[tuple[int, object]] = []
+            for pid, op in enumerate(pending):
+                if op is None:
+                    continue
+                for addr, value in op.writes:
+                    self._check_addr(addr, f"processor {pid} write")
+                    if addr in writers:
+                        raise ScheduleConflictError(
+                            f"write conflict on cell {addr}: processors "
+                            f"{writers[addr]} and {pid} in step {self.steps}"
+                        )
+                    writers[addr] = pid
+                    staged.append((addr, value))
+            for addr, value in staged:
+                self.memory[addr] = value
+            self.writes_applied += len(staged)
+            # --- advance programs ---------------------------------
+            for pid, prog in enumerate(programs):
+                if prog is None:
+                    continue
+                try:
+                    pending[pid] = prog.send(read_values[pid])
+                except StopIteration:
+                    programs[pid] = None
+                    pending[pid] = None
+        return self.steps
+
+
+# ----------------------------------------------------------------------
+# reference programs
+# ----------------------------------------------------------------------
+
+
+def broadcast_doubling_program(delta: int) -> ProgramFactory:
+    """EREW-legal broadcast of cell 0 into cells 0..delta-1 by doubling.
+
+    Step r: processor p < 2^r reads cell p and writes cell p + 2^r.
+    Finishes in ⌈log₂ delta⌉ steps (matching
+    :func:`repro.parallel.replication.replication_rounds`).
+    """
+
+    def factory(pid: int) -> Program:
+        def prog() -> Program:
+            have = 1
+            while have < delta:
+                target = pid + have
+                if pid < have and target < delta:
+                    (value,) = yield Op(reads=(pid,))
+                    yield Op(writes=((target, value),))
+                else:
+                    yield Op()  # idle this doubling round (stay in sync)
+                    yield Op()
+                have *= 2
+
+        return prog()
+
+    return factory
+
+
+def broadcast_naive_program(delta: int) -> ProgramFactory:
+    """The one-step CREW broadcast: every processor reads cell 0 at once.
+
+    Legal under CREW; an EREW machine must raise
+    :class:`ScheduleConflictError` when delta > 1 — the machine-level
+    content of Section IV.C's replication discussion.
+    """
+
+    def factory(pid: int) -> Program:
+        def prog() -> Program:
+            if pid < delta:
+                (value,) = yield Op(reads=(0,))
+                if pid > 0:
+                    yield Op(writes=((pid, value),))
+
+        return prog()
+
+    return factory
+
+
+def sum_reduction_program(n: int) -> ProgramFactory:
+    """Classic ⌈log₂ n⌉ tree reduction: cell 0 ends with sum(memory[:n]).
+
+    Step r (stride s = 2^r): processor p with p ≡ 0 (mod 2s) and
+    p + s < n reads cells p and p + s, then writes their sum to p.
+    """
+
+    def factory(pid: int) -> Program:
+        def prog() -> Program:
+            stride = 1
+            while stride < n:
+                active = pid % (2 * stride) == 0 and pid + stride < n
+                if active:
+                    mine, other = yield Op(reads=(pid, pid + stride))
+                    yield Op(writes=((pid, mine + other),))
+                else:
+                    yield Op()
+                    yield Op()
+                stride *= 2
+
+        return prog()
+
+    return factory
+
+
+def binding_read_program(
+    edges: Sequence[tuple[int, int]], rounds: Iterable[Sequence[int]]
+) -> ProgramFactory:
+    """Model one binding per processor reading its two genders' blocks.
+
+    ``edges[p]`` is processor p's binding; gender g's preference block
+    is memory cell g.  ``rounds`` schedules which processors act in each
+    step (indices into ``edges``).  Under EREW, two same-step bindings
+    sharing a gender raise :class:`ScheduleConflictError` — the
+    machine-level statement of Corollary 1's Δ-round requirement.
+    """
+    schedule = [tuple(r) for r in rounds]
+
+    def factory(pid: int) -> Program:
+        def prog() -> Program:
+            for active in schedule:
+                if pid < len(edges) and pid in active:
+                    g, h = edges[pid]
+                    yield Op(reads=(g, h))
+                else:
+                    yield Op()
+
+        return prog()
+
+    return factory

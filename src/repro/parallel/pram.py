@@ -1,0 +1,161 @@
+"""PRAM cost-model simulator for binding schedules.
+
+The paper analyzes Section IV.C on an idealized PRAM; no such machine
+exists, so we reproduce the *quantities* of Corollaries 1 and 2 with an
+explicit cost model:
+
+* a binding GS(i, j) is a task that **reads** the preference data of
+  genders i and j and costs (by default) n² iteration units — the
+  worst-case proposal count;
+* under **EREW**, each gender's data block (or each of its ``copies``
+  replicas) can be read by at most one binding per round — violating
+  schedules raise :class:`ScheduleConflictError`;
+* under **CREW**, concurrent reads are free, so any set of bindings may
+  share a round (each binding writes only its private pair list);
+* at most ``processors`` tasks run simultaneously; an over-full round
+  is list-scheduled greedily onto the processors.
+
+The report's ``makespan`` is the end-to-end iteration count, directly
+comparable to Corollary 1's Δ·n² and Theorem 3's (k-1)·n².
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.parallel.schedule import Schedule, validate_schedule
+
+__all__ = ["PRAMModel", "PRAMReport", "simulate_schedule", "one_round_schedule"]
+
+EdgeCost = Callable[[tuple[int, int]], float]
+
+
+class PRAMModel(enum.Enum):
+    """Memory access discipline of the simulated PRAM."""
+
+    EREW = "EREW"  # exclusive read, exclusive write
+    CREW = "CREW"  # concurrent read, exclusive write
+
+
+@dataclass(frozen=True)
+class PRAMReport:
+    """Simulation outcome.
+
+    Attributes
+    ----------
+    model, processors, copies:
+        Simulation parameters.
+    n_rounds:
+        Schedule rounds executed.
+    round_makespans:
+        Iteration units consumed by each round (max over its
+        processors' loads).
+    makespan:
+        Total iteration units end to end (sum of round makespans).
+    total_work:
+        Sum of all task costs (what one processor would need).
+    """
+
+    model: PRAMModel
+    processors: int
+    copies: int
+    n_rounds: int
+    round_makespans: tuple[float, ...]
+    makespan: float
+    total_work: float
+
+    @property
+    def speedup(self) -> float:
+        """Ideal-model speedup over sequential execution."""
+        return self.total_work / self.makespan if self.makespan else 1.0
+
+
+def one_round_schedule(tree) -> Schedule:
+    """All k-1 bindings in a single round (valid under CREW, or under
+    EREW with ≥ Δ data copies per gender)."""
+    return Schedule(tree=tree, rounds=(tuple(tree.edges),))
+
+
+def _resolve_cost(
+    cost: float | Mapping[tuple[int, int], float] | EdgeCost, edge: tuple[int, int]
+) -> float:
+    if callable(cost):
+        return float(cost(edge))
+    if isinstance(cost, Mapping):
+        return float(cost[edge])
+    return float(cost)
+
+
+def simulate_schedule(
+    schedule: Schedule,
+    *,
+    model: PRAMModel | str = PRAMModel.EREW,
+    processors: int | None = None,
+    copies: int = 1,
+    n: int | None = None,
+    cost: float | Mapping[tuple[int, int], float] | EdgeCost | None = None,
+) -> PRAMReport:
+    """Simulate a binding schedule on the PRAM cost model.
+
+    Parameters
+    ----------
+    schedule:
+        The rounds of bindings to execute.
+    model:
+        ``EREW`` (validate exclusive access per copy) or ``CREW``.
+    processors:
+        Available processors; defaults to k-1 (the paper's setting).
+    copies:
+        Data replicas per gender (EREW only; see
+        :mod:`repro.parallel.replication`).
+    n:
+        Members per gender; used for the default n² cost.
+    cost:
+        Per-edge cost override: scalar, mapping, or callable.  Pass the
+        *measured* proposal counts of a real run to get measured
+        makespans instead of worst-case ones.
+
+    Raises
+    ------
+    ScheduleConflictError:
+        If an EREW round over-subscribes a gender's data copies.
+    """
+    model = PRAMModel(model) if not isinstance(model, PRAMModel) else model
+    k = schedule.tree.k
+    if processors is None:
+        processors = k - 1
+    if processors < 1:
+        raise ValueError(f"processors must be >= 1, got {processors}")
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    if cost is None:
+        if n is None:
+            raise ValueError("provide n for the default n² cost, or an explicit cost")
+        cost = float(n * n)
+    if model is PRAMModel.EREW:
+        validate_schedule(schedule, copies=copies)
+    else:
+        validate_schedule(schedule, copies=len(schedule.tree.edges) or 1)
+
+    round_makespans: list[float] = []
+    total_work = 0.0
+    for edges in schedule.rounds:
+        costs = sorted((_resolve_cost(cost, e) for e in edges), reverse=True)
+        total_work += sum(costs)
+        # greedy list scheduling onto `processors` identical machines
+        loads = [0.0] * min(processors, max(len(costs), 1))
+        for c in costs:
+            idx = loads.index(min(loads))
+            loads[idx] += c
+        round_makespans.append(max(loads) if costs else 0.0)
+    return PRAMReport(
+        model=model,
+        processors=processors,
+        copies=copies,
+        n_rounds=len(schedule.rounds),
+        round_makespans=tuple(round_makespans),
+        makespan=sum(round_makespans),
+        total_work=total_work,
+    )

@@ -1,0 +1,77 @@
+"""Data replication: EREW emulation of CREW (Section IV.C, last remark).
+
+"With log Δ rounds of data replication ... EREW PRAM can emulate CREW
+PRAM as each of Δ copies through Δ rounds of replication can be read
+simultaneously."  Concretely: each round, every existing copy of a
+gender's data is read once and written to one fresh copy, doubling the
+copy count — an EREW-legal broadcast.  After ceil(log₂ Δ) rounds there
+are ≥ Δ copies, so all bindings incident to any gender can proceed in
+one round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ScheduleConflictError
+
+__all__ = ["replication_rounds", "ReplicationPlan", "replication_schedule"]
+
+
+def replication_rounds(delta: int) -> int:
+    """Number of doubling rounds needed to reach ``delta`` copies."""
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    return math.ceil(math.log2(delta)) if delta > 1 else 0
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """An explicit EREW-legal doubling schedule.
+
+    ``rounds[r]`` is a list of (source_copy, dest_copy) transfers; copy
+    0 is the original.  Every source appears at most once per round
+    (exclusive read) and every destination exactly once overall
+    (exclusive write).
+    """
+
+    target_copies: int
+    rounds: tuple[tuple[tuple[int, int], ...], ...]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def copies_after(self, round_index: int) -> int:
+        """Copies existing after the first ``round_index`` rounds."""
+        count = 1
+        for r in self.rounds[:round_index]:
+            count += len(r)
+        return count
+
+
+def replication_schedule(delta: int) -> ReplicationPlan:
+    """Build the doubling plan reaching at least ``delta`` copies.
+
+    >>> plan = replication_schedule(4)
+    >>> plan.n_rounds
+    2
+    >>> plan.rounds
+    (((0, 1),), ((0, 2), (1, 3)))
+    """
+    n_rounds = replication_rounds(delta)
+    rounds: list[tuple[tuple[int, int], ...]] = []
+    have = 1
+    for _ in range(n_rounds):
+        grow = min(have, delta - have)
+        transfers = tuple((src, have + src) for src in range(grow))
+        # EREW check: each source read once, each destination fresh
+        sources = [s for s, _ in transfers]
+        if len(set(sources)) != len(sources):  # pragma: no cover - by construction
+            raise ScheduleConflictError("replication round re-reads a copy")
+        rounds.append(transfers)
+        have += grow
+    plan = ReplicationPlan(target_copies=have, rounds=tuple(rounds))
+    assert plan.target_copies >= delta
+    return plan

@@ -1,0 +1,158 @@
+"""Binding schedules: grouping tree edges into conflict-free rounds.
+
+Without data replication, a gender's data can serve **one** binding per
+round, so a round is a *matching in the binding tree* (no two edges
+sharing a gender).  The minimum number of rounds is the tree's
+chromatic index, which for trees equals the maximum degree Δ — hence
+Corollary 1's Δ·n² bound.  For a chain, Δ = 2 and the even-odd pairing
+of Figure 4 realizes the optimum (Corollary 2).
+
+:func:`greedy_tree_schedule` computes an optimal Δ-round schedule for
+any tree by root-first edge coloring (each edge takes the smallest
+color unused by the edges already colored at its two endpoints; on a
+tree this never needs more than Δ colors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.binding_tree import BindingTree
+from repro.exceptions import ScheduleConflictError
+
+__all__ = [
+    "Schedule",
+    "greedy_tree_schedule",
+    "even_odd_chain_schedule",
+    "sequential_schedule",
+    "validate_schedule",
+]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Bindings grouped into synchronous rounds.
+
+    ``rounds[r]`` lists the (proposer, responder) edges executed
+    concurrently in round r.
+    """
+
+    tree: BindingTree
+    rounds: tuple[tuple[tuple[int, int], ...], ...]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def max_parallelism(self) -> int:
+        """Largest number of simultaneous bindings in any round."""
+        return max((len(r) for r in self.rounds), default=0)
+
+    def edge_count(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+
+def validate_schedule(schedule: Schedule, *, copies: int = 1) -> None:
+    """Check the schedule covers each tree edge exactly once, and that no
+    round uses any gender more than ``copies`` times.
+
+    ``copies`` models data replication: with c copies of every gender's
+    data, a gender can serve c bindings per round (Section IV.C's CREW
+    emulation).  Raises :class:`ScheduleConflictError` on violation.
+    """
+    scheduled = [e for r in schedule.rounds for e in r]
+    want = sorted(tuple(sorted(e)) for e in schedule.tree.edges)
+    got = sorted(tuple(sorted(e)) for e in scheduled)
+    if want != got:
+        raise ScheduleConflictError(
+            f"schedule covers edges {got}, tree has {want}"
+        )
+    for r, edges in enumerate(schedule.rounds):
+        load: dict[int, int] = {}
+        for a, b in edges:
+            load[a] = load.get(a, 0) + 1
+            load[b] = load.get(b, 0) + 1
+        for g, uses in load.items():
+            if uses > copies:
+                raise ScheduleConflictError(
+                    f"round {r} uses gender {g} in {uses} bindings but only "
+                    f"{copies} data cop{'y' if copies == 1 else 'ies'} exist"
+                )
+
+
+def sequential_schedule(tree: BindingTree) -> Schedule:
+    """One binding per round — the serial baseline (k-1 rounds)."""
+    return Schedule(tree=tree, rounds=tuple((e,) for e in tree.edges))
+
+
+def greedy_tree_schedule(tree: BindingTree) -> Schedule:
+    """Optimal Δ-round schedule for any binding tree.
+
+    Classic tree edge coloring: BFS from gender 0; each edge to a child
+    receives the smallest color different from the parent edge's color
+    and from colors already given to its siblings.  Uses exactly Δ
+    colors, matching Corollary 1's bound.
+    """
+    color_of: dict[frozenset[int], int] = {}
+    parent_color: dict[int, int] = {0: -1}
+    order = [0]
+    seen = {0}
+    qi = 0
+    while qi < len(order):
+        g = order[qi]
+        qi += 1
+        next_color = 0
+        for nb in tree.neighbors(g):
+            if nb in seen:
+                continue
+            if next_color == parent_color[g]:
+                next_color += 1
+            color_of[frozenset((g, nb))] = next_color
+            parent_color[nb] = next_color
+            next_color += 1
+            seen.add(nb)
+            order.append(nb)
+    n_colors = max(color_of.values()) + 1 if color_of else 0
+    rounds: list[list[tuple[int, int]]] = [[] for _ in range(n_colors)]
+    for edge in tree.edges:  # keep original orientation
+        rounds[color_of[frozenset(edge)]].append(edge)
+    schedule = Schedule(tree=tree, rounds=tuple(tuple(r) for r in rounds))
+    validate_schedule(schedule)
+    assert schedule.n_rounds == tree.max_degree, (
+        f"greedy tree coloring used {schedule.n_rounds} rounds on a tree "
+        f"with Δ={tree.max_degree}"
+    )
+    return schedule
+
+
+def even_odd_chain_schedule(tree: BindingTree) -> Schedule:
+    """Figure 4's two-round schedule for a chain binding tree.
+
+    Round 1 binds each even-positioned gender with its left neighbor,
+    round 2 with its right neighbor.  Requires the tree to be a path;
+    raises :class:`ScheduleConflictError` otherwise.
+    """
+    if tree.max_degree > 2:
+        raise ScheduleConflictError(
+            f"even-odd scheduling needs a chain; tree has Δ={tree.max_degree}"
+        )
+    # recover the path order
+    ends = [g for g in range(tree.k) if tree.degree(g) == 1]
+    start = min(ends) if ends else 0
+    path = [start]
+    prev = -1
+    while len(path) < tree.k:
+        nxt = [nb for nb in tree.neighbors(path[-1]) if nb != prev]
+        prev = path[-1]
+        path.append(nxt[0])
+    oriented = {frozenset(e): e for e in tree.edges}
+    evens: list[tuple[int, int]] = []
+    odds: list[tuple[int, int]] = []
+    for pos in range(tree.k - 1):
+        edge = oriented[frozenset((path[pos], path[pos + 1]))]
+        (evens if pos % 2 == 0 else odds).append(edge)
+    rounds = tuple(r for r in (tuple(evens), tuple(odds)) if r)
+    schedule = Schedule(tree=tree, rounds=rounds)
+    validate_schedule(schedule)
+    return schedule

@@ -1,0 +1,57 @@
+"""Stable Roommates with incomplete lists (Irving's algorithm).
+
+Section III.B of the paper reduces *binary* matching in k-partite graphs
+to "a special case of the stable roommates problem with incomplete
+preference lists" and solves it with Irving's two-phase algorithm:
+
+* **phase 1** — a proposal sequence with eager bidirectional pruning
+  that reduces every preference list; an emptied list certifies that no
+  (perfect) stable matching exists;
+* **phase 2** — repeated exposure and elimination of rotations ("loops
+  of alternating first and second preferences") until every list is a
+  singleton (a stable matching) or empties (none exists).
+
+The choice of *which* loop to break is a policy hook
+(:mod:`repro.roommates.policies`); the paper uses it for procedural
+fairness between men and women when the roommates machinery is applied
+to the classic SMP.
+"""
+
+from repro.roommates.instance import RoommatesInstance
+from repro.roommates.irving import (
+    IrvingSolver,
+    RoommatesResult,
+    Rotation,
+    solve_roommates,
+    stable_roommates_exists,
+)
+from repro.roommates.policies import (
+    make_side_policy,
+    make_alternating_policy,
+    min_id_policy,
+    max_id_policy,
+)
+from repro.roommates.verify import blocking_pairs_roommates, is_stable_roommates
+from repro.roommates.enumerate import (
+    enumerate_perfect_matchings,
+    all_stable_roommate_matchings,
+    count_stable_roommate_matchings,
+)
+
+__all__ = [
+    "RoommatesInstance",
+    "IrvingSolver",
+    "RoommatesResult",
+    "Rotation",
+    "solve_roommates",
+    "stable_roommates_exists",
+    "make_side_policy",
+    "make_alternating_policy",
+    "min_id_policy",
+    "max_id_policy",
+    "blocking_pairs_roommates",
+    "is_stable_roommates",
+    "enumerate_perfect_matchings",
+    "all_stable_roommate_matchings",
+    "count_stable_roommate_matchings",
+]

@@ -1,0 +1,71 @@
+"""Exhaustive enumeration for stable roommates (ground truth, small n).
+
+Counterpart of :mod:`repro.bipartite.enumerate` for the one-population
+problem: enumerate every perfect matching on mutually acceptable pairs,
+filter by stability.  Exponential ((n-1)!! matchings) — this is the
+oracle the Irving solver is validated against, and the engine behind
+the almost-stable relaxation's exact mode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.roommates.instance import RoommatesInstance
+
+__all__ = [
+    "enumerate_perfect_matchings",
+    "all_stable_roommate_matchings",
+    "count_stable_roommate_matchings",
+]
+
+
+def enumerate_perfect_matchings(
+    instance: RoommatesInstance,
+) -> Iterator[dict[int, int]]:
+    """Yield every perfect matching on mutually acceptable pairs.
+
+    Matchings are symmetric dicts; none are yielded when n is odd or
+    acceptability makes perfection impossible.
+
+    >>> inst = RoommatesInstance([[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]])
+    >>> sum(1 for _ in enumerate_perfect_matchings(inst))
+    3
+    """
+    n = instance.n
+
+    def rec(remaining: tuple[int, ...]) -> Iterator[dict[int, int]]:
+        if not remaining:
+            yield {}
+            return
+        p = remaining[0]
+        rest = remaining[1:]
+        for q in rest:
+            if not instance.is_acceptable(p, q):
+                continue
+            sub = tuple(x for x in rest if x != q)
+            for tail in rec(sub):
+                tail = dict(tail)
+                tail[p] = q
+                tail[q] = p
+                yield tail
+
+    if n % 2 == 1:
+        return
+    yield from rec(tuple(range(n)))
+
+
+def all_stable_roommate_matchings(
+    instance: RoommatesInstance,
+) -> Iterator[dict[int, int]]:
+    """Yield every *stable* perfect matching (exhaustive filter)."""
+    from repro.roommates.verify import blocking_pairs_roommates
+
+    for matching in enumerate_perfect_matchings(instance):
+        if not blocking_pairs_roommates(instance, matching):
+            yield matching
+
+
+def count_stable_roommate_matchings(instance: RoommatesInstance) -> int:
+    """Number of stable perfect matchings (exhaustive)."""
+    return sum(1 for _ in all_stable_roommate_matchings(instance))

@@ -1,0 +1,141 @@
+"""Roommates problem instances: one gender, possibly incomplete lists.
+
+A :class:`RoommatesInstance` holds, for each of N participants
+(identified by integers ``0..N-1``), a strict preference list over a
+subset of the others.  Incompleteness encodes *unacceptability*: in the
+k-partite reduction, members of one's own gender simply never appear.
+
+Acceptability is made **mutual** at construction (a pair can only match
+by mutual consent): if q lists p but p does not list q, the entry is
+dropped from q's list too.  Pass ``symmetrize=False`` to make asymmetric
+input an error instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import InvalidInstanceError
+
+__all__ = ["RoommatesInstance"]
+
+
+class RoommatesInstance:
+    """An instance of the stable roommates problem.
+
+    Parameters
+    ----------
+    prefs:
+        ``prefs[p]`` is participant p's strict preference list over
+        other participant ids, best first.  Lists may be incomplete.
+    labels:
+        Optional display names, one per participant.
+    symmetrize:
+        If True (default), silently drop one-sided entries so that
+        acceptability is mutual.  If False, one-sided entries raise
+        :class:`InvalidInstanceError`.
+
+    Examples
+    --------
+    >>> inst = RoommatesInstance([[1], [0, 2], [0]])   # 1 lists 2, unrequited
+    >>> inst.preference_list(1)
+    [0]
+    >>> inst.is_acceptable(1, 2)
+    False
+    """
+
+    __slots__ = ("n", "_prefs", "_rank", "labels")
+
+    def __init__(
+        self,
+        prefs: Sequence[Sequence[int]],
+        *,
+        labels: Sequence[str] | None = None,
+        symmetrize: bool = True,
+    ) -> None:
+        n = len(prefs)
+        self.n = n
+        cleaned: list[list[int]] = []
+        for p, row in enumerate(prefs):
+            row = [int(q) for q in row]
+            if any(not 0 <= q < n for q in row):
+                raise InvalidInstanceError(f"participant {p} lists an out-of-range id")
+            if p in row:
+                raise InvalidInstanceError(f"participant {p} lists itself")
+            if len(set(row)) != len(row):
+                raise InvalidInstanceError(f"participant {p} has duplicate entries")
+            cleaned.append(row)
+        # enforce mutual acceptability
+        accepts = [set(row) for row in cleaned]
+        for p in range(n):
+            mutual = [q for q in cleaned[p] if p in accepts[q]]
+            if not symmetrize and len(mutual) != len(cleaned[p]):
+                dropped = [q for q in cleaned[p] if p not in accepts[q]]
+                raise InvalidInstanceError(
+                    f"participant {p} lists {dropped} who do not list it back "
+                    "(pass symmetrize=True to drop such entries)"
+                )
+            cleaned[p] = mutual
+        self._prefs = tuple(tuple(row) for row in cleaned)
+        self._rank: tuple[dict[int, int], ...] = tuple(
+            {q: pos for pos, q in enumerate(row)} for row in cleaned
+        )
+        if labels is not None:
+            labels = tuple(str(s) for s in labels)
+            if len(labels) != n:
+                raise InvalidInstanceError(f"got {len(labels)} labels for {n} participants")
+        else:
+            labels = tuple(f"p{p}" for p in range(n))
+        self.labels = labels
+
+    @classmethod
+    def complete(cls, prefs: Sequence[Sequence[int]], **kwargs: object) -> "RoommatesInstance":
+        """Build a classic (complete-list) SR instance, validating that
+        each list ranks *every* other participant."""
+        inst = cls(prefs, **kwargs)  # type: ignore[arg-type]
+        for p in range(inst.n):
+            if len(inst.preference_list(p)) != inst.n - 1:
+                raise InvalidInstanceError(
+                    f"participant {p} ranks {len(inst.preference_list(p))} of "
+                    f"{inst.n - 1} others; complete instance required"
+                )
+        return inst
+
+    def preference_list(self, p: int) -> list[int]:
+        """p's acceptable partners, best first."""
+        return list(self._prefs[p])
+
+    def rank(self, p: int, q: int) -> int:
+        """Position of q in p's list (0 = best). Raises if unacceptable."""
+        try:
+            return self._rank[p][q]
+        except KeyError:
+            raise InvalidInstanceError(
+                f"{self.labels[q]} is not acceptable to {self.labels[p]}"
+            ) from None
+
+    def is_acceptable(self, p: int, q: int) -> bool:
+        """True iff p and q may be matched (mutual by construction)."""
+        return q in self._rank[p]
+
+    def prefers(self, p: int, a: int, b: int) -> bool:
+        """True iff p strictly prefers a to b (both must be acceptable)."""
+        return self.rank(p, a) < self.rank(p, b)
+
+    def format(self) -> str:
+        """Human-readable dump of every preference list."""
+        return "\n".join(
+            f"{self.labels[p]} : {' '.join(self.labels[q] for q in self._prefs[p])}"
+            for p in range(self.n)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoommatesInstance(n={self.n})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoommatesInstance):
+            return NotImplemented
+        return self._prefs == other._prefs and self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash((self._prefs, self.labels))

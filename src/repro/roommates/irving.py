@@ -1,0 +1,338 @@
+"""Irving's two-phase algorithm for stable roommates (incomplete lists).
+
+Terminology and invariants (Gusfield & Irving 1989, adapted to the
+paper's Section III.B narration):
+
+* every participant p *proposes* along its list; the participant
+  currently holding p's proposal is ``fiance[p]`` and equals the first
+  entry of p's reduced list;
+* conversely p holds the proposal of ``suitor[p]``, which equals the
+  **last** entry of p's reduced list (because accepting a proposal
+  prunes everyone ranked below the accepted suitor — the paper's
+  "remove all persons ranked lower" rule — bidirectionally);
+* a *rotation* is the paper's "loop of alternating first and second
+  preferences": x_{i+1} = last(y_i), y_i = second(x_i); eliminating it
+  makes each x_i "reject his first preference and go with his second".
+
+The solver targets **perfect** stable matchings (everyone matched),
+which is the paper's setting; an emptied reduced list raises
+:class:`~repro.exceptions.NoStableMatchingError` carrying the witness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import NoStableMatchingError, SimulationError
+from repro.roommates.instance import RoommatesInstance
+from repro.roommates.policies import resolve_policy
+
+__all__ = ["Rotation", "RoommatesResult", "IrvingSolver", "solve_roommates",
+           "stable_roommates_exists"]
+
+PivotPolicy = Callable[[Sequence[int]], int]
+
+
+@dataclass(frozen=True)
+class Rotation:
+    """An exposed rotation: the cyclic part of the second/last chain.
+
+    ``pairs[i] = (x_i, y_i)`` where y_i is x_i's second choice and
+    x_{i+1} is the last entry of y_i's list at exposure time.
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def proposers(self) -> tuple[int, ...]:
+        """The x_i participants — the side that moves to second choices."""
+        return tuple(x for x, _ in self.pairs)
+
+
+@dataclass(frozen=True)
+class RoommatesResult:
+    """Outcome of a successful Irving run.
+
+    Attributes
+    ----------
+    matching:
+        Symmetric partner map: ``matching[p] = q`` iff ``matching[q] = p``.
+    proposals:
+        Total proposals across phase 1 and all post-elimination re-runs.
+    rotations:
+        The rotations eliminated in phase 2, in order.
+    phase1_table:
+        Reduced lists after phase 1 ("the reduced set"), for inspection.
+    """
+
+    matching: dict[int, int]
+    proposals: int
+    rotations: tuple[Rotation, ...]
+    phase1_table: dict[int, tuple[int, ...]]
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """The matching as a sorted list of (low, high) pairs."""
+        return sorted({tuple(sorted((p, q))) for p, q in self.matching.items()})
+
+
+class IrvingSolver:
+    """Stateful solver; use :func:`solve_roommates` unless you need to
+    inspect intermediate tables or drive the phases manually."""
+
+    def __init__(self, instance: RoommatesInstance, *,
+                 pivot_policy: str | PivotPolicy = "min") -> None:
+        self.instance = instance
+        self.policy = resolve_policy(pivot_policy)
+        n = instance.n
+        self._lst = [instance.preference_list(p) for p in range(n)]
+        self._pos = [{q: i for i, q in enumerate(row)} for row in self._lst]
+        self._active = [bytearray([1]) * len(row) for row in self._lst]
+        self._cnt = [len(row) for row in self._lst]
+        self._first_i = [0] * n
+        self._last_i = [len(row) - 1 for row in self._lst]
+        self.fiance = [-1] * n
+        self.suitor = [-1] * n
+        self._free: list[int] = []
+        self.proposals = 0
+        self.rotations: list[Rotation] = []
+        self.phase1_table: dict[int, tuple[int, ...]] | None = None
+
+    def clone(self) -> "IrvingSolver":
+        """Deep-copy the solver state (lists, pointers, engagements).
+
+        Used by the stable-matching lattice enumerator, which explores
+        alternative rotation-elimination orders by branching the table.
+        """
+        other = IrvingSolver.__new__(IrvingSolver)
+        other.instance = self.instance
+        other.policy = self.policy
+        other._lst = self._lst  # immutable per solver: share
+        other._pos = self._pos
+        other._active = [bytearray(a) for a in self._active]
+        other._cnt = list(self._cnt)
+        other._first_i = list(self._first_i)
+        other._last_i = list(self._last_i)
+        other.fiance = list(self.fiance)
+        other.suitor = list(self.suitor)
+        other._free = list(self._free)
+        other.proposals = self.proposals
+        other.rotations = list(self.rotations)
+        other.phase1_table = self.phase1_table
+        return other
+
+    # ------------------------------------------------------------------
+    # reduced-list accessors
+    # ------------------------------------------------------------------
+
+    def reduced_list(self, p: int) -> tuple[int, ...]:
+        """Current reduced preference list of p."""
+        return tuple(q for i, q in enumerate(self._lst[p]) if self._active[p][i])
+
+    def table(self) -> dict[int, tuple[int, ...]]:
+        """Snapshot of every reduced list."""
+        return {p: self.reduced_list(p) for p in range(self.instance.n)}
+
+    def _first(self, p: int) -> int:
+        lst, act = self._lst[p], self._active[p]
+        i = self._first_i[p]
+        while i < len(lst) and not act[i]:
+            i += 1
+        self._first_i[p] = i
+        if i >= len(lst):
+            raise SimulationError(f"first() on empty list of {p}")
+        return lst[i]
+
+    def _last(self, p: int) -> int:
+        lst, act = self._lst[p], self._active[p]
+        i = self._last_i[p]
+        while i >= 0 and not act[i]:
+            i -= 1
+        self._last_i[p] = i
+        if i < 0:
+            raise SimulationError(f"last() on empty list of {p}")
+        return lst[i]
+
+    def _second(self, p: int) -> int:
+        lst, act = self._lst[p], self._active[p]
+        i = self._first_i[p]
+        while i < len(lst) and not act[i]:
+            i += 1
+        i += 1
+        while i < len(lst) and not act[i]:
+            i += 1
+        if i >= len(lst):
+            raise SimulationError(f"second() on list of {p} with fewer than 2 entries")
+        return lst[i]
+
+    # ------------------------------------------------------------------
+    # deletions and proposals
+    # ------------------------------------------------------------------
+
+    def _delete(self, p: int, q: int) -> None:
+        """Bidirectional removal of the pair (p, q); frees broken proposals."""
+        ip = self._pos[p].get(q)
+        if ip is None or not self._active[p][ip]:
+            return
+        iq = self._pos[q][p]
+        self._active[p][ip] = 0
+        self._active[q][iq] = 0
+        self._cnt[p] -= 1
+        self._cnt[q] -= 1
+        if self.fiance[p] == q:
+            self.fiance[p] = -1
+            if self.suitor[q] == p:  # q may already hold a better proposal
+                self.suitor[q] = -1
+            self._free.append(p)
+        if self.fiance[q] == p:
+            self.fiance[q] = -1
+            if self.suitor[p] == q:
+                self.suitor[p] = -1
+            self._free.append(q)
+
+    def _propose_all(self) -> None:
+        """Drain the free stack; every free participant proposes along its
+        reduced list until held (the shared engine of both phases)."""
+        inst = self.instance
+        while self._free:
+            p = self._free.pop()
+            if self.fiance[p] != -1:
+                continue  # stale entry: p got re-engaged by a later event
+            while True:
+                if self._cnt[p] == 0:
+                    raise NoStableMatchingError(
+                        f"reduced list of {inst.labels[p]} is empty: "
+                        "no perfect stable matching exists",
+                        witness=p,
+                    )
+                q = self._first(p)
+                s = self.suitor[q]
+                self.proposals += 1
+                if s == -1 or inst.rank(q, p) < inst.rank(q, s):
+                    # q holds p; prune everyone q likes less than p.
+                    self.fiance[p] = q
+                    self.suitor[q] = p
+                    lst_q, act_q, pos_qp = self._lst[q], self._active[q], self._pos[q][p]
+                    for i in range(len(lst_q) - 1, pos_qp, -1):
+                        if act_q[i]:
+                            self._delete(q, lst_q[i])
+                    break
+                # q prefers its current suitor: the pair (p, q) is dead.
+                # (Unreachable with eager pruning, but kept for safety.)
+                self._delete(p, q)  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def run_phase1(self) -> dict[int, tuple[int, ...]]:
+        """Run the proposal phase; return the reduced table."""
+        n = self.instance.n
+        if n % 2 == 1:
+            raise NoStableMatchingError(
+                f"{n} participants: an odd population admits no perfect matching"
+            )
+        for p in range(n):
+            if self._cnt[p] == 0 and n > 0:
+                raise NoStableMatchingError(
+                    f"{self.instance.labels[p]} finds no one acceptable", witness=p
+                )
+        self._free = list(range(n - 1, -1, -1))
+        self._propose_all()
+        self.phase1_table = self.table()
+        return self.phase1_table
+
+    def _expose_rotation(self, p0: int) -> Rotation:
+        """Follow second/last pointers from p0 until a cycle closes."""
+        chain: list[tuple[int, int]] = []
+        index: dict[int, int] = {}
+        x = p0
+        while x not in index:
+            if self._cnt[x] < 2:
+                raise SimulationError(
+                    f"rotation chain reached {x} with a singleton list; "
+                    "phase-1 invariants are broken"
+                )
+            index[x] = len(chain)
+            y = self._second(x)
+            chain.append((x, y))
+            x = self._last(y)
+        return Rotation(tuple(chain[index[x]:]))
+
+    def _eliminate(self, rotation: Rotation) -> None:
+        """Each y_i rejects the proposal it holds (from x_{i+1})."""
+        targets = [(y, self.suitor[y]) for _, y in rotation.pairs]
+        for y, held in targets:
+            if held == -1:
+                raise SimulationError(f"{y} holds no proposal during elimination")
+            self._delete(y, held)
+
+    def run_phase2(self) -> None:
+        """Eliminate rotations until every list is a singleton."""
+        n = self.instance.n
+        while True:
+            candidates = [p for p in range(n) if self._cnt[p] > 1]
+            if not candidates:
+                return
+            p0 = self.policy(candidates)
+            if p0 not in candidates:
+                raise ValueError(
+                    f"pivot policy returned {p0}, not among candidates {candidates}"
+                )
+            rotation = self._expose_rotation(p0)
+            self.rotations.append(rotation)
+            self._eliminate(rotation)
+            self._propose_all()
+
+    def solve(self) -> RoommatesResult:
+        """Run both phases and extract the matching."""
+        self.run_phase1()
+        self.run_phase2()
+        n = self.instance.n
+        matching: dict[int, int] = {}
+        for p in range(n):
+            if self._cnt[p] != 1:
+                raise SimulationError(f"{p} ended with {self._cnt[p]} entries")
+            matching[p] = self._first(p)
+        for p, q in matching.items():
+            if matching[q] != p:
+                raise SimulationError(f"asymmetric final table at pair ({p}, {q})")
+        assert self.phase1_table is not None
+        return RoommatesResult(
+            matching=matching,
+            proposals=self.proposals,
+            rotations=tuple(self.rotations),
+            phase1_table=self.phase1_table,
+        )
+
+
+def solve_roommates(
+    instance: RoommatesInstance, *, pivot_policy: str | PivotPolicy = "min"
+) -> RoommatesResult:
+    """Find a perfect stable matching or raise
+    :class:`~repro.exceptions.NoStableMatchingError`.
+
+    ``pivot_policy`` chooses where rotation exposure starts in phase 2
+    (the paper's man-oriented vs woman-oriented "loop breaking"); see
+    :mod:`repro.roommates.policies`.
+
+    Examples
+    --------
+    >>> inst = RoommatesInstance.complete([
+    ...     [1, 2, 3], [0, 2, 3], [3, 0, 1], [2, 0, 1]])
+    >>> solve_roommates(inst).pairs()
+    [(0, 1), (2, 3)]
+    """
+    return IrvingSolver(instance, pivot_policy=pivot_policy).solve()
+
+
+def stable_roommates_exists(instance: RoommatesInstance) -> bool:
+    """True iff the instance admits a perfect stable matching."""
+    try:
+        solve_roommates(instance)
+    except NoStableMatchingError:
+        return False
+    return True

@@ -1,0 +1,95 @@
+"""Pivot policies: where phase-2 rotation exposure starts.
+
+Irving's algorithm is correct for *any* choice of the participant whose
+rotation is exposed next, but the choice shapes the matching that comes
+out.  For the SMP-as-roommates reduction of Section III.B the reduced
+lists alternate sides, so a rotation started at a man consists of men —
+eliminating it demotes men to their second choices and the result drifts
+**woman-optimal** (and vice versa).  The paper's procedural fairness is
+exactly :func:`make_alternating_policy` over the two sides.
+
+A policy is any callable taking the non-empty list of eligible
+participant ids (those with more than one entry left) and returning one
+of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Collection, Sequence
+
+__all__ = [
+    "resolve_policy",
+    "min_id_policy",
+    "max_id_policy",
+    "make_side_policy",
+    "make_alternating_policy",
+]
+
+PivotPolicy = Callable[[Sequence[int]], int]
+
+
+def min_id_policy(candidates: Sequence[int]) -> int:
+    """Deterministic default: the lowest eligible id."""
+    return min(candidates)
+
+
+def max_id_policy(candidates: Sequence[int]) -> int:
+    """The highest eligible id."""
+    return max(candidates)
+
+
+def make_side_policy(preferred_side: Collection[int]) -> PivotPolicy:
+    """Prefer pivots from ``preferred_side`` (falling back to anyone).
+
+    Starting rotations on side S demotes S, so this policy *disfavors*
+    ``preferred_side``'s happiness and favors the other side's — pass
+    the men to obtain the woman-optimal drift.
+    """
+    side = frozenset(preferred_side)
+
+    def policy(candidates: Sequence[int]) -> int:
+        on_side = [p for p in candidates if p in side]
+        return min(on_side) if on_side else min(candidates)
+
+    return policy
+
+
+def make_alternating_policy(
+    side_a: Collection[int], side_b: Collection[int]
+) -> PivotPolicy:
+    """Alternate rotation exposure between two sides (procedural fairness).
+
+    The first rotation starts on ``side_a``, the next on ``side_b``, and
+    so on; if the scheduled side has no eligible pivot the other side is
+    used without consuming the turn.
+    """
+    sides = (frozenset(side_a), frozenset(side_b))
+    state = {"turn": 0}
+
+    def policy(candidates: Sequence[int]) -> int:
+        want = sides[state["turn"] % 2]
+        on_side = [p for p in candidates if p in want]
+        if on_side:
+            state["turn"] += 1
+            return min(on_side)
+        return min(candidates)
+
+    return policy
+
+
+_NAMED: dict[str, PivotPolicy] = {
+    "min": min_id_policy,
+    "max": max_id_policy,
+}
+
+
+def resolve_policy(policy: str | PivotPolicy) -> PivotPolicy:
+    """Turn a policy name or callable into a callable."""
+    if callable(policy):
+        return policy
+    try:
+        return _NAMED[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown pivot policy {policy!r}; named policies: {sorted(_NAMED)}"
+        ) from None

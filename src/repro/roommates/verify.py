@@ -1,0 +1,57 @@
+"""Stability verification for roommates matchings.
+
+A perfect matching M of a roommates instance is stable iff no mutually
+acceptable pair (p, q) exists, unmatched to each other, with both
+preferring each other to their M-partners.  Incomplete lists matter
+only through acceptability: a pair absent from each other's lists can
+never block.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import InvalidMatchingError
+from repro.roommates.instance import RoommatesInstance
+
+__all__ = ["blocking_pairs_roommates", "is_stable_roommates", "check_perfect_roommates"]
+
+
+def check_perfect_roommates(
+    instance: RoommatesInstance, matching: Mapping[int, int]
+) -> dict[int, int]:
+    """Validate that ``matching`` is a symmetric perfect matching on
+    mutually acceptable pairs; return it normalized to a plain dict."""
+    n = instance.n
+    norm = {int(p): int(q) for p, q in matching.items()}
+    if sorted(norm) != list(range(n)):
+        raise InvalidMatchingError(f"matching must cover all {n} participants")
+    for p, q in norm.items():
+        if p == q:
+            raise InvalidMatchingError(f"{p} is matched to itself")
+        if norm.get(q) != p:
+            raise InvalidMatchingError(f"matching is asymmetric at ({p}, {q})")
+        if not instance.is_acceptable(p, q):
+            raise InvalidMatchingError(f"pair ({p}, {q}) is not mutually acceptable")
+    return norm
+
+
+def blocking_pairs_roommates(
+    instance: RoommatesInstance, matching: Mapping[int, int]
+) -> list[tuple[int, int]]:
+    """All blocking pairs (p, q), p < q, of a perfect matching."""
+    norm = check_perfect_roommates(instance, matching)
+    out: list[tuple[int, int]] = []
+    for p in range(instance.n):
+        mp = norm[p]
+        for q in instance.preference_list(p):
+            if q <= p or q == mp:
+                continue
+            if instance.prefers(p, q, mp) and instance.prefers(q, p, norm[q]):
+                out.append((p, q))
+    return out
+
+
+def is_stable_roommates(instance: RoommatesInstance, matching: Mapping[int, int]) -> bool:
+    """True iff the perfect matching has no blocking pair."""
+    return not blocking_pairs_roommates(instance, matching)

@@ -1,0 +1,20 @@
+"""Shared low-level utilities: RNG handling, union-find, ordering helpers."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.unionfind import UnionFind
+from repro.utils.ordering import (
+    is_bitonic,
+    is_permutation,
+    rank_array,
+    round_robin_merge,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "UnionFind",
+    "is_bitonic",
+    "is_permutation",
+    "rank_array",
+    "round_robin_merge",
+]

@@ -1,0 +1,136 @@
+"""Ordering helpers: permutation checks, rank arrays, bitonicity, merges.
+
+These primitives back three parts of the paper:
+
+* preference lists are strict total orders, i.e. permutations — validated
+  with :func:`is_permutation` and inverted with :func:`rank_array`;
+* Section IV.D's priority-aware binding relies on *bitonic* sequences
+  (monotonically increasing then decreasing; either phase may be empty) —
+  tested by :func:`is_bitonic`;
+* footnote 4 of the paper notes that per-gender total orders form a
+  partial order that "can be converted into a global total order in
+  various ways" — :func:`round_robin_merge` and
+  :func:`concatenate_by_priority` are two such linearizations used by
+  the k-partite binary-matching reduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+__all__ = [
+    "is_permutation",
+    "rank_array",
+    "is_bitonic",
+    "round_robin_merge",
+    "concatenate_by_priority",
+]
+
+T = TypeVar("T")
+
+
+def is_permutation(seq: Sequence[int], n: int | None = None) -> bool:
+    """True iff ``seq`` is a permutation of ``0..n-1``.
+
+    ``n`` defaults to ``len(seq)``.  An explicit ``n`` different from the
+    sequence length always fails (a preference list must rank *everyone*
+    in the opposite set exactly once).
+    """
+    if n is None:
+        n = len(seq)
+    if len(seq) != n:
+        return False
+    seen = [False] * n
+    for x in seq:
+        if not isinstance(x, (int,)) or isinstance(x, bool):
+            return False
+        if not 0 <= x < n or seen[x]:
+            return False
+        seen[x] = True
+    return True
+
+
+def rank_array(preference: Sequence[int]) -> list[int]:
+    """Invert a preference list into a rank lookup.
+
+    ``rank[x]`` is the position of candidate ``x`` in ``preference``;
+    lower is better.  This is the O(1)-comparison structure every
+    Gale-Shapley responder needs.
+
+    >>> rank_array([2, 0, 1])
+    [1, 2, 0]
+    """
+    rank = [-1] * len(preference)
+    for pos, x in enumerate(preference):
+        if not 0 <= x < len(preference) or rank[x] != -1:
+            raise ValueError(f"preference list is not a permutation: {list(preference)!r}")
+        rank[x] = pos
+    return rank
+
+
+def is_bitonic(seq: Sequence[int | float]) -> bool:
+    """True iff ``seq`` monotonically (strictly) increases then decreases.
+
+    Either phase may be empty, so strictly increasing, strictly
+    decreasing, and single-element sequences are all bitonic — matching
+    the paper's examples: (1,3,4,2), (4,3,2,1) and (1,2,3,4) are bitonic
+    while (4,1,2,3) is not.  Equal adjacent elements are rejected because
+    gender priorities are strict.
+    """
+    n = len(seq)
+    if n <= 1:
+        return True
+    i = 1
+    while i < n and seq[i - 1] < seq[i]:
+        i += 1
+    while i < n and seq[i - 1] > seq[i]:
+        i += 1
+    return i == n
+
+
+def round_robin_merge(lists: Sequence[Sequence[T]]) -> list[T]:
+    """Interleave several lists, taking one element from each in turn.
+
+    Used to linearize per-gender preference lists into a single global
+    order in which the r-th choices of every gender precede all (r+1)-th
+    choices: a member who ranks ``w`` first among women and ``u`` first
+    among undecideds gets global order ``w, u, w2, u2, ...``.
+
+    >>> round_robin_merge([["a", "b"], ["x", "y", "z"]])
+    ['a', 'x', 'b', 'y', 'z']
+    """
+    out: list[T] = []
+    iters = [iter(lst) for lst in lists]
+    while iters:
+        still = []
+        for it in iters:
+            try:
+                out.append(next(it))
+            except StopIteration:
+                continue
+            still.append(it)
+        iters = still
+    return out
+
+
+def concatenate_by_priority(
+    lists: Sequence[Sequence[T]], priorities: Sequence[int] | None = None
+) -> list[T]:
+    """Concatenate lists in decreasing ``priorities`` order.
+
+    The alternative linearization: all members of the highest-priority
+    gender are preferred to every member of lower-priority genders.
+    ``priorities[i]`` scores ``lists[i]``; higher first.  Ties broken by
+    original index for determinism.
+    """
+    if priorities is None:
+        order = range(len(lists))
+    else:
+        if len(priorities) != len(lists):
+            raise ValueError("priorities must align with lists")
+        order = sorted(range(len(lists)), key=lambda i: (-priorities[i], i))
+    out: list[T] = []
+    for i in order:
+        out.extend(lists[i])
+    return out

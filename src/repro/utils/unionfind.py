@@ -1,0 +1,126 @@
+"""Disjoint-set (union-find) structure over hashable items.
+
+Algorithm 1 of the paper converts k-1 rounds of *binary* bindings into
+k-ary matching tuples by taking equivalence classes of the relation
+"in the same matching tuple".  That relation is exactly the transitive
+closure of the matched pairs, so a union-find over members is the natural
+(and near-linear-time) implementation.
+
+The implementation uses union by size and full path compression.  Items
+are arbitrary hashable objects; internally they are interned to dense
+integer ids so the hot loops run over plain lists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path compression.
+
+    Examples
+    --------
+    >>> uf = UnionFind(["a", "b", "c", "d"])
+    >>> uf.union("a", "b")
+    True
+    >>> uf.union("c", "d")
+    True
+    >>> uf.connected("a", "b")
+    True
+    >>> sorted(sorted(g) for g in uf.groups())
+    [['a', 'b'], ['c', 'd']]
+    """
+
+    __slots__ = ("_ids", "_items", "_parent", "_size", "_n_components")
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._items: list[Hashable] = []
+        self._parent: list[int] = []
+        self._size: list[int] = []
+        self._n_components = 0
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        """Number of items tracked."""
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._ids
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._items)
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint groups."""
+        return self._n_components
+
+    def add(self, item: Hashable) -> bool:
+        """Register ``item`` as a singleton group; return False if present."""
+        if item in self._ids:
+            return False
+        self._ids[item] = len(self._items)
+        self._items.append(item)
+        self._parent.append(len(self._parent))
+        self._size.append(1)
+        self._n_components += 1
+        return True
+
+    def _find(self, i: int) -> int:
+        parent = self._parent
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:  # path compression
+            parent[i], i = root, parent[i]
+        return root
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s group."""
+        try:
+            i = self._ids[item]
+        except KeyError:
+            raise KeyError(f"unknown item: {item!r}") from None
+        return self._items[self._find(i)]
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the groups of ``a`` and ``b``; return True if they differed.
+
+        Unknown items are added automatically, which lets Algorithm 1 feed
+        matched pairs straight in without a registration pass.
+        """
+        self.add(a)
+        self.add(b)
+        ra, rb = self._find(self._ids[a]), self._find(self._ids[b])
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._n_components -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True iff ``a`` and ``b`` are in the same group."""
+        return self._find(self._ids[a]) == self._find(self._ids[b])
+
+    def group_size(self, item: Hashable) -> int:
+        """Size of the group containing ``item``."""
+        return self._size[self._find(self._ids[item])]
+
+    def groups(self) -> list[list[Hashable]]:
+        """All groups, each as a list in insertion order.
+
+        The outer list is ordered by first-seen member, making the output
+        deterministic for a deterministic sequence of operations.
+        """
+        by_root: dict[int, list[Hashable]] = {}
+        for i, item in enumerate(self._items):
+            by_root.setdefault(self._find(i), []).append(item)
+        return list(by_root.values())

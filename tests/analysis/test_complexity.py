@@ -1,0 +1,81 @@
+"""Sweep helpers feeding the benchmark harness."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    SweepRow,
+    binding_proposal_sweep,
+    gs_proposal_sweep,
+    parallel_rounds_sweep,
+    tree_diversity,
+)
+
+
+class TestSweepRow:
+    def test_ratio(self):
+        row = SweepRow(params={}, measured=50.0, bound=100.0)
+        assert row.ratio == 0.5
+
+    def test_ratio_without_bound(self):
+        assert SweepRow(params={}, measured=1.0).ratio is None
+
+
+class TestGSProposalSweep:
+    def test_rows_within_bound(self):
+        rows = gs_proposal_sweep([4, 8], trials=2, seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.measured <= row.bound
+
+    def test_identical_workload_exact(self):
+        rows = gs_proposal_sweep([6], trials=1, workload="identical")
+        assert rows[0].measured == 6 * 7 / 2
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            gs_proposal_sweep([4], workload="alien")
+
+
+class TestBindingProposalSweep:
+    def test_theorem3_bound_holds(self):
+        rows = binding_proposal_sweep([3, 4], [4, 8], trials=2, seed=1)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.extra["max"] <= row.bound
+
+    @pytest.mark.parametrize("shape", ["chain", "star", "random"])
+    def test_tree_shapes(self, shape):
+        rows = binding_proposal_sweep([3], [4], trials=1, tree_shape=shape)
+        assert rows[0].params["tree"] == shape
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            binding_proposal_sweep([3], [4], tree_shape="moebius")
+
+
+class TestParallelRoundsSweep:
+    def test_rounds_equal_delta(self):
+        rows = parallel_rounds_sweep([4, 6], n=8, seed=0)
+        for row in rows:
+            assert row.measured == row.bound  # Corollary 1
+            assert row.extra["makespan"] <= row.extra["makespan_bound"]
+
+    def test_shapes_covered(self):
+        rows = parallel_rounds_sweep([5], n=4)
+        assert {r.params["shape"] for r in rows} == {"chain", "star", "random"}
+
+
+class TestTreeDiversity:
+    def test_fig3_like_diversity(self):
+        report = tree_diversity(3, 2, seed=0)
+        assert report["trees_tried"] == 3
+        assert 1 <= report["distinct_matchings"] <= 3
+
+    def test_max_trees_cap(self):
+        report = tree_diversity(4, 2, seed=1, max_trees=5)
+        assert report["trees_tried"] == 5
+
+    def test_matchings_fingerprints_partition_trees(self):
+        report = tree_diversity(3, 3, seed=2)
+        total = sum(len(v) for v in report["matchings"].values())
+        assert total == report["trees_tried"]

@@ -1,0 +1,101 @@
+"""Counting formulas verified against exhaustive enumeration."""
+
+import pytest
+
+from repro.analysis.counting import (
+    cayley_count,
+    count_perfect_binary_matchings,
+    count_priority_trees,
+    enumerate_kary_matchings,
+    enumerate_labeled_trees,
+    enumerate_perfect_binary_matchings,
+    prufer_to_tree,
+    tree_to_prufer,
+)
+
+
+class TestCayley:
+    @pytest.mark.parametrize("k,count", [(1, 1), (2, 1), (3, 3), (4, 16), (5, 125)])
+    def test_formula(self, k, count):
+        assert cayley_count(k) == count
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_enumeration_matches_formula(self, k):
+        trees = list(enumerate_labeled_trees(k))
+        assert len({tuple(t) for t in trees}) == cayley_count(k)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            cayley_count(0)
+
+    def test_trees_are_valid(self):
+        for edges in enumerate_labeled_trees(4):
+            assert len(edges) == 3
+            nodes = {x for e in edges for x in e}
+            assert nodes == {0, 1, 2, 3}
+
+
+class TestPrufer:
+    @pytest.mark.parametrize("seq,k", [((0, 0), 4), ((3, 3, 3), 5), ((), 2)])
+    def test_roundtrip(self, seq, k):
+        edges = prufer_to_tree(list(seq), k)
+        assert tuple(tree_to_prufer(edges, k)) == tuple(seq)
+
+    def test_star_decodes(self):
+        # Prüfer (c, c) on 4 nodes = star at c
+        edges = prufer_to_tree([2, 2], 4)
+        assert all(2 in e for e in edges)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            prufer_to_tree([0], 4)
+
+    def test_bad_labels(self):
+        with pytest.raises(ValueError):
+            prufer_to_tree([9, 0], 4)
+
+    def test_encode_bad_edge_count(self):
+        with pytest.raises(ValueError):
+            tree_to_prufer([(0, 1)], 4)
+
+
+class TestPriorityTrees:
+    @pytest.mark.parametrize("k,count", [(1, 1), (2, 1), (3, 2), (4, 6), (5, 24)])
+    def test_factorial_formula(self, k, count):
+        """T(k) = (k-1)T(k-1) = (k-1)!; T(4) = 6 (Figure 6)."""
+        assert count_priority_trees(k) == count
+
+    def test_recurrence(self):
+        for k in range(2, 8):
+            assert count_priority_trees(k) == (k - 1) * count_priority_trees(k - 1)
+
+
+class TestExample2Counts:
+    def test_eight_binary_pairings(self):
+        """Example 2: K(2,2,2) has exactly 8 perfect binary pairings."""
+        assert count_perfect_binary_matchings(3, 2) == 8
+
+    def test_four_ternary_matchings(self):
+        """Example 2: four possible 3-ary matchings."""
+        assert len(list(enumerate_kary_matchings(3, 2))) == 4
+
+    def test_kary_count_formula(self):
+        # (n!)^(k-1)
+        assert len(list(enumerate_kary_matchings(3, 3))) == 36
+        assert len(list(enumerate_kary_matchings(4, 2))) == 8
+
+    def test_kary_matchings_are_partitions(self):
+        for matching in enumerate_kary_matchings(3, 2):
+            members = [m for tup in matching for m in tup]
+            assert len(members) == len(set(members)) == 6
+
+    def test_binary_pairings_cross_gender(self):
+        for pairing in enumerate_perfect_binary_matchings(3, 2):
+            assert all(a.gender != b.gender for a, b in pairing)
+
+    def test_odd_total_has_no_pairing(self):
+        assert count_perfect_binary_matchings(3, 1) == 0
+
+    def test_bipartite_pairings_count(self):
+        # K(n, n) has n! perfect matchings
+        assert count_perfect_binary_matchings(2, 3) == 6

@@ -1,0 +1,83 @@
+"""k-ary happiness metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    kary_costs,
+    kary_egalitarian_cost,
+    kary_gender_costs,
+    kary_member_cost,
+    kary_regret,
+)
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.kary_matching import KAryMatching
+from repro.model.examples import figure3_instance
+from repro.model.generators import random_instance
+from repro.model.members import Member
+
+
+@pytest.fixture
+def fig3_binding():
+    inst = figure3_instance()
+    return inst, iterative_binding(inst, BindingTree(3, [(0, 1), (1, 2)])).matching
+
+
+class TestMemberCost:
+    def test_fig3_m_cost(self, fig3_binding):
+        inst, matching = fig3_binding
+        # m is with w (m's rank 0) and u (m's rank 1 — m prefers u')
+        assert kary_member_cost(matching, Member(0, 0)) == 1
+
+    def test_fig3_u_cost(self, fig3_binding):
+        inst, matching = fig3_binding
+        # u is with m (rank 0) and w (rank 0)
+        assert kary_member_cost(matching, Member(2, 0)) == 0
+
+    def test_bounds(self):
+        inst = random_instance(3, 4, seed=0)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        for m in inst.members():
+            cost = kary_member_cost(matching, m)
+            assert 0 <= cost <= (inst.k - 1) * (inst.n - 1)
+
+
+class TestAggregates:
+    def test_gender_costs_sum_to_egalitarian(self):
+        inst = random_instance(4, 3, seed=1)
+        matching = iterative_binding(inst, BindingTree.chain(4)).matching
+        assert sum(kary_gender_costs(matching)) == kary_egalitarian_cost(matching)
+
+    def test_regret_is_max_single_rank(self):
+        inst = random_instance(3, 5, seed=2)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        worst = max(
+            inst.rank(m, matching.partner(m, h))
+            for m in inst.members()
+            for h in range(3)
+            if h != m.gender
+        )
+        assert kary_regret(matching) == worst
+
+    def test_kary_costs_bundle(self):
+        inst = random_instance(3, 4, seed=3)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        c = kary_costs(matching)
+        assert c.gender_costs == tuple(kary_gender_costs(matching))
+        assert c.egalitarian == sum(c.gender_costs)
+        assert c.spread == max(c.gender_costs) - min(c.gender_costs)
+        assert c.regret == kary_regret(matching)
+
+    def test_perfect_assortative_costs_zero(self):
+        # mutual-first-choice instance: identity matching costs 0
+        from repro.model.generators import component_adversarial_instance
+
+        inst = component_adversarial_instance(3)
+        # build the all-first-choices matching for genders 0/1 only; U's
+        # preferences were twisted, so restrict the zero check to M-W
+        matching = KAryMatching.from_tuples(
+            inst, [(Member(0, i), Member(1, i), Member(2, i)) for i in range(3)]
+        )
+        costs = kary_gender_costs(matching)
+        # every m_i has w_i at rank 0; u-side ranks vary
+        assert costs[0] <= 2 * 3  # m ranks of W partners are all 0

@@ -1,0 +1,69 @@
+"""Text rendering helpers."""
+
+import pytest
+
+from repro.analysis.report import format_comparison, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table("t", ["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0] == "=== t ==="
+        assert lines[1].startswith("col")
+        assert "bbbb" in lines[4]
+
+    def test_empty_rows(self):
+        out = format_table("empty", ["a"], [])
+        assert "a" in out
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table("t", ["a", "b"], [[1]])
+
+    def test_values_stringified(self):
+        out = format_table("t", ["v"], [[3.5], [None]])
+        assert "3.5" in out and "None" in out
+
+
+class TestFormatSeries:
+    def test_bars_scale_to_peak(self):
+        out = format_series("s", [("a", 2.0), ("b", 4.0)], width=4)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 2
+        assert lines[2].count("#") == 4
+
+    def test_mapping_input(self):
+        out = format_series("s", {"x": 1.0}, width=10)
+        assert "x" in out
+
+    def test_zero_values_empty_bars(self):
+        out = format_series("s", [("a", 0.0), ("b", 1.0)], width=5)
+        assert out.splitlines()[1].count("#") == 0
+
+    def test_all_zero_no_crash(self):
+        out = format_series("s", [("a", 0.0)], width=5)
+        assert "a" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in format_series("s", [])
+
+    def test_unit_suffix(self):
+        out = format_series("s", [("a", 3.0)], unit="ms")
+        assert "3ms" in out
+
+
+class TestFormatComparison:
+    def test_ratios(self):
+        out = format_comparison("c", "serial", 2.0, [("fast", 1.0), ("slow", 4.0)])
+        assert "(0.50x)" in out
+        assert "(2.00x)" in out
+        assert "(baseline)" in out
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            format_comparison("c", "b", 0.0, [("x", 1.0)])
+
+    def test_doctest_shape(self):
+        out = format_comparison("c", "serial", 2.0, [("parallel", 1.0)])
+        assert out.splitlines()[1].startswith("serial")

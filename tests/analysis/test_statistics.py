@@ -1,0 +1,101 @@
+"""Instance analytics."""
+
+import pytest
+
+from repro.analysis.statistics import (
+    instance_stats,
+    mean_agreement,
+    mutual_first_choices,
+    popularity_concentration,
+)
+from repro.model.generators import (
+    component_adversarial_instance,
+    master_list_instance,
+    random_instance,
+)
+from repro.model.members import Member
+
+
+class TestMutualFirstChoices:
+    def test_assortative_instance_has_all_pairs(self):
+        # component_adversarial: m_i <-> w_i mutual firsts by design
+        inst = component_adversarial_instance(3)
+        pairs = mutual_first_choices(inst)
+        for i in range(3):
+            assert (Member(0, i), Member(1, i)) in pairs
+
+    def test_pairs_are_cross_gender_and_mutual(self):
+        inst = random_instance(3, 5, seed=0)
+        for a, b in mutual_first_choices(inst):
+            assert a.gender < b.gender
+            assert inst.top(a, b.gender) == b
+            assert inst.top(b, a.gender) == a
+
+    def test_master_list_has_few(self):
+        # everyone tops the same member, who tops one person: at most
+        # one mutual pair per gender pair
+        inst = master_list_instance(3, 6, seed=1, noise=0.0)
+        pairs = mutual_first_choices(inst)
+        assert len(pairs) <= 3
+
+
+class TestPopularityConcentration:
+    def test_master_list_is_fully_concentrated(self):
+        inst = master_list_instance(2, 8, seed=2, noise=0.0)
+        conc = popularity_concentration(inst)
+        assert conc[(0, 1)] == pytest.approx(1.0)
+        assert conc[(1, 0)] == pytest.approx(1.0)
+
+    def test_perfectly_spread_is_zero(self):
+        from repro.model.generators import cyclic_smp
+
+        inst = cyclic_smp(6)  # everyone tops a different member
+        conc = popularity_concentration(inst)
+        assert conc[(0, 1)] == pytest.approx(0.0)
+
+    def test_range(self):
+        inst = random_instance(3, 6, seed=3)
+        for v in popularity_concentration(inst).values():
+            assert 0.0 <= v <= 1.0
+
+    def test_n1_degenerate(self):
+        inst = random_instance(2, 1, seed=4)
+        assert popularity_concentration(inst)[(0, 1)] == 1.0
+
+
+class TestMeanAgreement:
+    def test_master_list_agreement_is_one(self):
+        inst = master_list_instance(2, 6, seed=5, noise=0.0)
+        agree = mean_agreement(inst)
+        assert agree[(0, 1)] == pytest.approx(1.0)
+
+    def test_random_agreement_near_zero(self):
+        inst = random_instance(2, 10, seed=6)
+        agree = mean_agreement(inst)
+        assert abs(agree[(0, 1)]) < 0.4
+
+    def test_noise_interpolates(self):
+        crisp = master_list_instance(2, 8, seed=7, noise=0.0)
+        noisy = master_list_instance(2, 8, seed=7, noise=3.0)
+        assert mean_agreement(noisy)[(0, 1)] < mean_agreement(crisp)[(0, 1)]
+
+
+class TestBundle:
+    def test_stats_consistency(self):
+        inst = master_list_instance(3, 5, seed=8, noise=0.5)
+        stats = instance_stats(inst)
+        conc = popularity_concentration(inst)
+        assert stats.max_popularity_concentration == max(conc.values())
+        assert 0 <= stats.mean_popularity_concentration <= 1
+        assert -1 <= stats.mean_list_agreement <= 1
+        assert stats.mutual_first_pairs == len(mutual_first_choices(inst))
+
+    def test_workload_families_orderable(self):
+        """The analytics separate the generator families as intended."""
+        random_s = instance_stats(random_instance(3, 8, seed=9))
+        master_s = instance_stats(master_list_instance(3, 8, seed=9, noise=0.0))
+        assert master_s.mean_list_agreement > random_s.mean_list_agreement
+        assert (
+            master_s.mean_popularity_concentration
+            > random_s.mean_popularity_concentration
+        )

@@ -1,0 +1,56 @@
+"""Unit tests for exhaustive stable-matching enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.bipartite.enumerate import all_stable_matchings, count_stable_matchings
+from repro.bipartite.verify import is_stable
+from repro.model.generators import cyclic_smp, random_smp
+
+
+class TestEnumeration:
+    def test_example_two_stable_matchings(self):
+        # mutual-first-choices plus swapped: both assignments stable
+        p = [[0, 1], [1, 0]]
+        r = [[1, 0], [0, 1]]
+        found = [tuple(m[i] for i in range(2)) for m in all_stable_matchings(p, r)]
+        assert found == [(0, 1), (1, 0)]
+
+    def test_single_stable_matching(self):
+        p = [[0, 1], [0, 1]]
+        r = [[1, 0], [1, 0]]
+        assert count_stable_matchings(p, r) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_naive_filter(self, seed):
+        inst = random_smp(5, seed=seed)
+        view = inst.bipartite_view(0, 1)
+        p, r = view.proposer_prefs, view.responder_prefs
+        naive = {
+            perm
+            for perm in itertools.permutations(range(5))
+            if is_stable(p, r, list(perm))
+        }
+        fast = {tuple(m[i] for i in range(5)) for m in all_stable_matchings(p, r)}
+        assert fast == naive
+
+    def test_every_instance_has_at_least_one(self):
+        for seed in range(10):
+            inst = random_smp(6, seed=seed)
+            view = inst.bipartite_view(0, 1)
+            assert count_stable_matchings(view.proposer_prefs, view.responder_prefs) >= 1
+
+    def test_cyclic_instance_has_n_stable_matchings(self):
+        # the Latin-square family has exactly n stable matchings (rotations)
+        n = 5
+        inst = cyclic_smp(n)
+        view = inst.bipartite_view(0, 1)
+        assert count_stable_matchings(view.proposer_prefs, view.responder_prefs) == n
+
+    def test_deterministic_order(self):
+        inst = random_smp(4, seed=3)
+        view = inst.bipartite_view(0, 1)
+        a = list(all_stable_matchings(view.proposer_prefs, view.responder_prefs))
+        b = list(all_stable_matchings(view.proposer_prefs, view.responder_prefs))
+        assert a == b

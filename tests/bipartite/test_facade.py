@@ -1,0 +1,61 @@
+"""The stable_marriage one-call facade."""
+
+import pytest
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.bipartite.facade import CRITERIA, stable_marriage
+from repro.bipartite.fairness import matching_costs
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.verify import is_stable
+from repro.model.generators import random_smp
+
+
+def views(n, seed):
+    v = random_smp(n, seed=seed).bipartite_view(0, 1)
+    return v.proposer_prefs, v.responder_prefs
+
+
+class TestCriteria:
+    @pytest.mark.parametrize("criterion", CRITERIA)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_always_stable(self, criterion, seed):
+        p, r = views(6, seed)
+        m = stable_marriage(p, r, optimal=criterion)
+        assert is_stable(p, r, list(m))
+
+    def test_proposer_is_gs(self):
+        p, r = views(7, 10)
+        assert stable_marriage(p, r) == gale_shapley(p, r).matching
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_responder_optimal_is_responders_best(self, seed):
+        p, r = views(5, 20 + seed)
+        m = stable_marriage(p, r, optimal="responder")
+        best = min(
+            matching_costs(p, r, [s[i] for i in range(5)]).responder
+            for s in all_stable_matchings(p, r)
+        )
+        assert matching_costs(p, r, list(m)).responder == best
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_egalitarian_is_global_min(self, seed):
+        p, r = views(5, 40 + seed)
+        m = stable_marriage(p, r, optimal="egalitarian")
+        best = min(
+            matching_costs(p, r, [s[i] for i in range(5)]).egalitarian
+            for s in all_stable_matchings(p, r)
+        )
+        assert matching_costs(p, r, list(m)).egalitarian == best
+
+    def test_unknown_criterion(self):
+        p, r = views(3, 0)
+        with pytest.raises(ValueError, match="criterion"):
+            stable_marriage(p, r, optimal="vibes")
+
+    def test_docstring_example(self):
+        assert stable_marriage(
+            [[0, 1], [1, 0]], [[1, 0], [0, 1]], optimal="proposer"
+        ) == (0, 1)
+        assert stable_marriage(
+            [[0, 1], [1, 0]], [[1, 0], [0, 1]], optimal="responder"
+        ) == (1, 0)

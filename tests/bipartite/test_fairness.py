@@ -1,0 +1,84 @@
+"""Unit tests for bipartite fairness metrics."""
+
+import pytest
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.bipartite.fairness import (
+    egalitarian_cost,
+    matching_costs,
+    proposer_cost,
+    regret,
+    responder_cost,
+    sex_equality_cost,
+)
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.model.generators import random_smp
+
+
+class TestCosts:
+    def test_everyone_first_choice_costs_zero(self):
+        p = [[0, 1], [1, 0]]
+        r = [[0, 1], [1, 0]]
+        costs = matching_costs(p, r, [0, 1])
+        assert costs.proposer == costs.responder == costs.egalitarian == 0
+        assert costs.regret == 0
+        assert costs.sex_equality == 0
+
+    def test_example1b_man_optimal_costs(self):
+        # (m, w), (m', w'): men at rank 0, women at rank 1 each
+        p = [[0, 1], [1, 0]]
+        r = [[1, 0], [0, 1]]
+        assert proposer_cost(p, [0, 1]) == 0
+        assert responder_cost(r, [0, 1]) == 2
+        assert sex_equality_cost(p, r, [0, 1]) == 2
+        assert regret(p, r, [0, 1]) == 1
+
+    def test_example1b_woman_optimal_mirrors(self):
+        p = [[0, 1], [1, 0]]
+        r = [[1, 0], [0, 1]]
+        assert proposer_cost(p, [1, 0]) == 2
+        assert responder_cost(r, [1, 0]) == 0
+
+    def test_egalitarian_is_sum(self):
+        inst = random_smp(6, seed=0)
+        view = inst.bipartite_view(0, 1)
+        res = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        m = res.matching
+        assert egalitarian_cost(
+            view.proposer_prefs, view.responder_prefs, m
+        ) == proposer_cost(view.proposer_prefs, m) + responder_cost(
+            view.responder_prefs, m
+        )
+
+    def test_matching_costs_consistent_with_parts(self):
+        inst = random_smp(7, seed=1)
+        view = inst.bipartite_view(0, 1)
+        m = gale_shapley(view.proposer_prefs, view.responder_prefs).matching
+        c = matching_costs(view.proposer_prefs, view.responder_prefs, m)
+        assert c.proposer == proposer_cost(view.proposer_prefs, m)
+        assert c.responder == responder_cost(view.responder_prefs, m)
+        assert c.egalitarian == c.proposer + c.responder
+        assert c.sex_equality == abs(c.proposer - c.responder)
+        assert c.regret == regret(view.proposer_prefs, view.responder_prefs, m)
+
+
+class TestGSFavorsProposers:
+    """The paper: 'the GS algorithm still favors men over women'."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_proposer_cost_minimal_over_stable_set(self, seed):
+        inst = random_smp(5, seed=seed)
+        view = inst.bipartite_view(0, 1)
+        p, r = view.proposer_prefs, view.responder_prefs
+        gs_cost = proposer_cost(p, gale_shapley(p, r).matching)
+        for m in all_stable_matchings(p, r):
+            assert gs_cost <= proposer_cost(p, [m[i] for i in range(5)])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_responder_cost_maximal_over_stable_set(self, seed):
+        inst = random_smp(5, seed=50 + seed)
+        view = inst.bipartite_view(0, 1)
+        p, r = view.proposer_prefs, view.responder_prefs
+        gs_cost = responder_cost(r, gale_shapley(p, r).matching)
+        for m in all_stable_matchings(p, r):
+            assert gs_cost >= responder_cost(r, [m[i] for i in range(5)])

@@ -1,0 +1,154 @@
+"""Unit tests for the Gale-Shapley engines."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.bipartite.gale_shapley import ENGINES, gale_shapley
+from repro.bipartite.verify import is_stable
+from repro.exceptions import InvalidInstanceError
+from repro.model.generators import random_smp
+
+ENGINE_NAMES = sorted(ENGINES)
+
+
+class TestPaperExample1:
+    """Example 1 of the paper, both preference sets."""
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_variant_a_m_rejected_then_settles(self, engine):
+        # m, m' both prefer w; w prefers m' -> (m', w), (m, w')
+        res = gale_shapley([[0, 1], [0, 1]], [[1, 0], [1, 0]], engine=engine)
+        assert res.matching == (1, 0)
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_variant_b_man_optimal(self, engine):
+        # man-proposing GS returns (m, w), (m', w') — "in favor of men"
+        res = gale_shapley([[0, 1], [1, 0]], [[1, 0], [0, 1]], engine=engine)
+        assert res.matching == (0, 1)
+
+    def test_variant_b_woman_optimal_when_women_propose(self):
+        # swapping roles yields the other stable matching (m, w'), (m', w)
+        res = gale_shapley([[1, 0], [0, 1]], [[0, 1], [1, 0]], engine="textbook")
+        assert res.matching == (1, 0)
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_engines_same_matching(self, seed):
+        inst = random_smp(9, seed=seed)
+        view = inst.bipartite_view(0, 1)
+        results = {
+            e: gale_shapley(view.proposer_prefs, view.responder_prefs, engine=e)
+            for e in ENGINE_NAMES
+        }
+        matchings = {r.matching for r in results.values()}
+        assert len(matchings) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_engines_agree_on_proposal_count(self, seed):
+        # the two round-synchronous engines run the identical schedule
+        inst = random_smp(7, seed=100 + seed)
+        view = inst.bipartite_view(0, 1)
+        a = gale_shapley(view.proposer_prefs, view.responder_prefs, engine="rounds")
+        b = gale_shapley(view.proposer_prefs, view.responder_prefs, engine="vectorized")
+        assert (a.proposals, a.rounds) == (b.proposals, b.rounds)
+
+
+class TestProposerOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_best_stable_partner(self, seed):
+        inst = random_smp(5, seed=200 + seed)
+        view = inst.bipartite_view(0, 1)
+        p, r = view.proposer_prefs, view.responder_prefs
+        stable_set = list(all_stable_matchings(p, r))
+        res = gale_shapley(p, r)
+        ranks = view.proposer_ranks
+        for i in range(5):
+            best = min(ranks[i, m[i]] for m in stable_set)
+            assert ranks[i, res.matching[i]] == best
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_responder_pessimal(self, seed):
+        inst = random_smp(5, seed=300 + seed)
+        view = inst.bipartite_view(0, 1)
+        p, r = view.proposer_prefs, view.responder_prefs
+        stable_set = list(all_stable_matchings(p, r))
+        res = gale_shapley(p, r)
+        r_ranks = view.responder_ranks
+        inv = res.inverse()
+        for j in range(5):
+            worst = max(
+                r_ranks[j, [i for i in range(5) if m[i] == j][0]] for m in stable_set
+            )
+            assert r_ranks[j, inv[j]] == worst
+
+
+class TestInstrumentation:
+    def test_proposals_bounded_by_n_squared(self):
+        for seed in range(5):
+            inst = random_smp(16, seed=seed)
+            view = inst.bipartite_view(0, 1)
+            res = gale_shapley(view.proposer_prefs, view.responder_prefs)
+            assert res.proposals <= 16 * 16
+
+    def test_proposals_at_least_n(self):
+        inst = random_smp(10, seed=1)
+        view = inst.bipartite_view(0, 1)
+        res = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        assert res.proposals >= 10
+
+    def test_textbook_rounds_equal_proposals(self):
+        res = gale_shapley([[0, 1], [0, 1]], [[1, 0], [1, 0]], engine="textbook")
+        assert res.rounds == res.proposals
+
+    def test_trace_records_events(self):
+        res = gale_shapley([[0, 1], [0, 1]], [[1, 0], [1, 0]], trace=True)
+        assert len(res.trace) == res.proposals
+        accepted = [e for e in res.trace if e[3]]
+        assert len(accepted) >= 2  # both must end engaged
+
+    def test_as_dict_and_inverse(self):
+        res = gale_shapley([[0, 1], [1, 0]], [[0, 1], [0, 1]])
+        assert res.as_dict() == {0: 0, 1: 1}
+        assert res.inverse() == (0, 1)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidInstanceError):
+            gale_shapley([[0, 1]], [[0], [0]])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            gale_shapley([[0, 1], [1, 0]], np.zeros((3, 3), dtype=int))
+
+    def test_rejects_non_permutation_proposer(self):
+        with pytest.raises(ValueError):
+            gale_shapley([[0, 0], [1, 0]], [[0, 1], [0, 1]])
+
+    def test_rejects_non_permutation_responder(self):
+        with pytest.raises(InvalidInstanceError):
+            gale_shapley([[0, 1], [1, 0]], [[0, 0], [0, 1]])
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            gale_shapley([[0]], [[0]], engine="quantum")
+
+    def test_n_equals_one(self):
+        res = gale_shapley([[0]], [[0]])
+        assert res.matching == (0,)
+        assert res.proposals == 1
+
+
+class TestExhaustiveTinyCases:
+    def test_all_2x2_instances_stable_output(self):
+        perms2 = list(itertools.permutations(range(2)))
+        for p0, p1, r0, r1 in itertools.product(perms2, repeat=4):
+            p = [list(p0), list(p1)]
+            r = [list(r0), list(r1)]
+            for engine in ENGINE_NAMES:
+                res = gale_shapley(p, r, engine=engine)
+                assert is_stable(p, r, res.matching), (p, r, engine)

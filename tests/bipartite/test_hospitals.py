@@ -1,0 +1,196 @@
+"""Hospitals/Residents: many-to-one deferred acceptance."""
+
+import itertools
+
+import pytest
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.hospitals import (
+    HRInstance,
+    couples_violations,
+    hospitals_residents,
+    hr_blocking_pairs,
+    is_stable_hr,
+    random_hr_instance,
+)
+from repro.exceptions import InvalidInstanceError, InvalidMatchingError
+
+
+class TestInstance:
+    def test_mutual_acceptability_enforced(self):
+        inst = HRInstance([[0], []], [[0, 1]], [1])
+        # resident 1 never listed hospital 0, so hospital 0's list drops it
+        assert inst.hospital_prefs[0] == (0,)
+
+    def test_capacity_count_checked(self):
+        with pytest.raises(InvalidInstanceError, match="capacities"):
+            HRInstance([[0]], [[0]], [1, 1])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="non-negative"):
+            HRInstance([[0]], [[0]], [-1])
+
+    def test_unknown_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown hospital"):
+            HRInstance([[5]], [[0]], [1])
+        with pytest.raises(InvalidInstanceError, match="unknown resident"):
+            HRInstance([[0]], [[7]], [1])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            HRInstance([[0, 0]], [[0]], [1])
+
+    def test_ranks(self):
+        inst = HRInstance([[1, 0]], [[0], [0]], [1, 1])
+        assert inst.resident_rank(0, 1) == 0
+        assert inst.hospital_rank(0, 0) == 0
+        with pytest.raises(InvalidInstanceError):
+            inst.hospital_rank(0, 3)
+
+
+class TestDeferredAcceptance:
+    def test_docstring_example(self):
+        inst = HRInstance([[0], [0], [0]], [[0, 1, 2]], [2])
+        res = hospitals_residents(inst)
+        assert res.assignment == (0, 0, -1)
+        assert res.unmatched == (2,)
+        assert res.admitted == ((0, 1),)
+
+    def test_capacity_one_equals_gale_shapley(self):
+        for seed in range(8):
+            inst = random_hr_instance(6, 6, total_capacity=6, seed=seed)
+            if any(c != 1 for c in inst.capacities):
+                continue
+            res = hospitals_residents(inst)
+            gs = gale_shapley(
+                [list(r) for r in inst.resident_prefs],
+                [list(h) for h in inst.hospital_prefs],
+            )
+            assert res.assignment == gs.matching
+
+    def test_eviction_chain(self):
+        # one hospital, capacity 1, three applicants in hospital order 2>1>0
+        inst = HRInstance([[0], [0], [0]], [[2, 1, 0]], [1])
+        res = hospitals_residents(inst)
+        assert res.assignment == (-1, -1, 0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_output_always_stable(self, seed):
+        inst = random_hr_instance(10, 4, seed=seed)
+        res = hospitals_residents(inst)
+        assert is_stable_hr(inst, res.assignment)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tight_market_fills_everyone(self, seed):
+        inst = random_hr_instance(8, 3, total_capacity=8, seed=seed)
+        res = hospitals_residents(inst)
+        assert res.unmatched == ()  # complete lists + exact capacity
+
+    def test_excess_capacity_leaves_slots(self):
+        inst = random_hr_instance(4, 2, total_capacity=8, seed=1)
+        res = hospitals_residents(inst)
+        assert res.unmatched == ()
+
+    def test_zero_capacity_hospital_admits_no_one(self):
+        inst = HRInstance([[0, 1]], [[0], [0]], [0, 1])
+        res = hospitals_residents(inst)
+        assert res.assignment == (1,)
+
+    def test_resident_optimality_small(self):
+        """No stable assignment gives any resident a better hospital."""
+        for seed in range(5):
+            inst = random_hr_instance(5, 3, total_capacity=5, seed=100 + seed)
+            res = hospitals_residents(inst)
+            n, m = inst.n_residents, inst.n_hospitals
+            # enumerate all feasible assignments, keep the stable ones
+            for combo in itertools.product(range(-1, m), repeat=n):
+                try:
+                    if not is_stable_hr(inst, list(combo)):
+                        continue
+                except InvalidMatchingError:
+                    continue
+                for r in range(n):
+                    if combo[r] == -1:
+                        continue
+                    got = inst.resident_rank(r, res.assignment[r])
+                    alt = inst.resident_rank(r, combo[r])
+                    assert got <= alt, (seed, r)
+
+    def test_rural_hospitals_theorem_small(self):
+        """Every stable assignment fills each hospital to the same level
+        and leaves the same residents unmatched."""
+        for seed in range(5):
+            inst = random_hr_instance(5, 3, total_capacity=4, seed=seed)
+            res = hospitals_residents(inst)
+            base_loads = tuple(len(a) for a in res.admitted)
+            base_unmatched = set(res.unmatched)
+            n, m = inst.n_residents, inst.n_hospitals
+            for combo in itertools.product(range(-1, m), repeat=n):
+                try:
+                    if not is_stable_hr(inst, list(combo)):
+                        continue
+                except InvalidMatchingError:
+                    continue
+                loads = [0] * m
+                for h in combo:
+                    if h != -1:
+                        loads[h] += 1
+                assert tuple(loads) == base_loads
+                assert {r for r, h in enumerate(combo) if h == -1} == base_unmatched
+
+
+class TestBlockingPairs:
+    def test_detects_free_slot_block(self):
+        inst = HRInstance([[0, 1]], [[0], [0]], [1, 1])
+        # resident parked at its second choice while first has a slot
+        assert (0, 0) in hr_blocking_pairs(inst, [1])
+
+    def test_detects_preference_block(self):
+        inst = HRInstance([[0], [0]], [[1, 0]], [1])
+        # resident 0 admitted but hospital prefers resident 1 (unmatched)
+        assert (1, 0) in hr_blocking_pairs(inst, [0, -1])
+
+    def test_overfull_matching_rejected(self):
+        inst = HRInstance([[0], [0]], [[0, 1]], [1])
+        with pytest.raises(InvalidMatchingError, match="capacity"):
+            hr_blocking_pairs(inst, [0, 0])
+
+    def test_unacceptable_assignment_rejected(self):
+        inst = HRInstance([[0], []], [[0]], [1])
+        with pytest.raises(InvalidMatchingError, match="unacceptable"):
+            hr_blocking_pairs(inst, [0, 0])
+
+
+class TestCouples:
+    def test_violations_counted(self):
+        inst = HRInstance([[0, 1], [1, 0]], [[0, 1], [0, 1]], [1, 1])
+        res = hospitals_residents(inst)
+        assert res.assignment == (0, 1)
+        assert couples_violations(inst, res.assignment, [(0, 1)]) == [(0, 1)]
+
+    def test_satisfied_couple(self):
+        inst = HRInstance([[0], [0]], [[0, 1]], [2])
+        res = hospitals_residents(inst)
+        assert couples_violations(inst, res.assignment, [(0, 1)]) == []
+
+    def test_unknown_couple_member(self):
+        inst = HRInstance([[0]], [[0]], [1])
+        with pytest.raises(InvalidInstanceError):
+            couples_violations(inst, [0], [(0, 9)])
+
+
+class TestGenerator:
+    def test_capacity_splitting(self):
+        inst = random_hr_instance(10, 3, total_capacity=10, seed=0)
+        assert sum(inst.capacities) == 10
+        assert all(c >= 1 for c in inst.capacities)
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_hr_instance(5, 6, total_capacity=5, seed=0)
+
+    def test_deterministic(self):
+        a = random_hr_instance(6, 2, seed=5)
+        b = random_hr_instance(6, 2, seed=5)
+        assert a.resident_prefs == b.resident_prefs
+        assert a.capacities == b.capacities

@@ -1,0 +1,132 @@
+"""The stable-matching lattice: enumeration and distinguished optima."""
+
+import pytest
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.bipartite.fairness import matching_costs
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.lattice import (
+    all_rotations,
+    all_stable_matchings_lattice,
+    count_stable_matchings_lattice,
+    egalitarian_stable_matching,
+    minimum_regret_stable_matching,
+    sex_equal_stable_matching,
+)
+from repro.model.generators import cyclic_smp, random_smp
+
+
+def views(n, seed):
+    v = random_smp(n, seed=seed).bipartite_view(0, 1)
+    return v.proposer_prefs, v.responder_prefs
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, seed):
+        p, r = views(6, seed)
+        brute = {tuple(m[i] for i in range(6)) for m in all_stable_matchings(p, r)}
+        lattice = set(all_stable_matchings_lattice(p, r))
+        assert lattice == brute
+
+    def test_first_emitted_is_man_optimal(self):
+        p, r = views(8, 3)
+        first = next(iter(all_stable_matchings_lattice(p, r)))
+        assert first == gale_shapley(p, r).matching
+
+    def test_cyclic_family_has_n_matchings(self):
+        for n in (3, 5, 7):
+            v = cyclic_smp(n).bipartite_view(0, 1)
+            assert count_stable_matchings_lattice(
+                v.proposer_prefs, v.responder_prefs
+            ) == n
+
+    def test_stacked_blocks_exponential_count(self):
+        """n/2 independent 2x2 swap blocks -> 2^(n/2) stable matchings."""
+        n = 8
+        p = [[0] * n for _ in range(n)]
+        r = [[0] * n for _ in range(n)]
+        for b in range(0, n, 2):
+            i, j = b, b + 1
+            # men i, j both prefer the two women of their block,
+            # crosswise with the women, forming a free swap
+            rest = [x for x in range(n) if x not in (i, j)]
+            p[i] = [i, j] + rest
+            p[j] = [j, i] + rest
+            r[i] = [j, i] + rest
+            r[j] = [i, j] + rest
+        assert count_stable_matchings_lattice(p, r) == 2 ** (n // 2)
+
+    def test_trivial_sizes(self):
+        assert list(all_stable_matchings_lattice([[0]], [[0]])) == [(0,)]
+
+    def test_lazy_iteration(self):
+        p, r = views(10, 9)
+        it = all_stable_matchings_lattice(p, r)
+        first = next(it)
+        assert len(first) == 10
+
+
+class TestRotations:
+    def test_cyclic_has_n_minus_1_rotations(self):
+        for n in (3, 5, 6):
+            v = cyclic_smp(n).bipartite_view(0, 1)
+            assert len(all_rotations(v.proposer_prefs, v.responder_prefs)) == n - 1
+
+    def test_unique_stable_matching_means_no_rotations(self):
+        p = [[0, 1], [0, 1]]
+        r = [[1, 0], [1, 0]]
+        assert all_rotations(p, r) == set()
+
+    def test_rotation_pairs_are_man_woman(self):
+        p, r = views(6, 4)
+        for rot in all_rotations(p, r):
+            for x, y in rot:
+                assert x < 6 <= y  # man id, woman id (offset by n)
+
+
+class TestOptima:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_egalitarian_is_global_min(self, seed):
+        p, r = views(5, 100 + seed)
+        best, cost = egalitarian_stable_matching(p, r)
+        all_costs = [
+            matching_costs(p, r, [m[i] for i in range(5)]).egalitarian
+            for m in all_stable_matchings(p, r)
+        ]
+        assert cost == min(all_costs)
+        assert matching_costs(p, r, list(best)).egalitarian == cost
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minimum_regret(self, seed):
+        p, r = views(5, 200 + seed)
+        _, reg = minimum_regret_stable_matching(p, r)
+        all_regrets = [
+            matching_costs(p, r, [m[i] for i in range(5)]).regret
+            for m in all_stable_matchings(p, r)
+        ]
+        assert reg == min(all_regrets)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sex_equal(self, seed):
+        p, r = views(5, 300 + seed)
+        _, gap = sex_equal_stable_matching(p, r)
+        gaps = [
+            matching_costs(p, r, [m[i] for i in range(5)]).sex_equality
+            for m in all_stable_matchings(p, r)
+        ]
+        assert gap == min(gaps)
+
+    def test_egalitarian_beats_both_extremes(self):
+        # on the cyclic family all shifts tie; on random markets the
+        # egalitarian optimum is <= both one-sided optima
+        for seed in range(10):
+            p, r = views(7, 400 + seed)
+            _, ecost = egalitarian_stable_matching(p, r)
+            man_opt = gale_shapley(p, r).matching
+            inv = gale_shapley(r, p).matching  # woman-proposing
+            woman_opt = tuple(
+                [list(inv).index(i) for i in range(7)]
+            )
+            assert ecost <= matching_costs(p, r, list(man_opt)).egalitarian
+            assert ecost <= matching_costs(p, r, list(woman_opt)).egalitarian

@@ -1,0 +1,68 @@
+"""Unit tests for bipartite stability verification."""
+
+import pytest
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.verify import as_matching_array, blocking_pairs, is_stable
+from repro.exceptions import InvalidMatchingError
+from repro.model.generators import random_smp
+
+
+class TestBlockingPairs:
+    def test_example1_unstable_matching(self):
+        # matching (m,w), (m',w') with w preferring m' and m' preferring w
+        p = [[0, 1], [0, 1]]
+        r = [[1, 0], [1, 0]]
+        assert blocking_pairs(p, r, [0, 1]) == [(1, 0)]
+
+    def test_stable_matching_has_none(self):
+        p = [[0, 1], [0, 1]]
+        r = [[1, 0], [1, 0]]
+        assert blocking_pairs(p, r, [1, 0]) == []
+
+    def test_everyone_first_choice(self):
+        p = [[0, 1], [1, 0]]
+        r = [[0, 1], [1, 0]]
+        assert is_stable(p, r, [0, 1])
+
+    def test_worst_case_matching_all_pairs_block(self):
+        # identical lists, anti-assortative matching: many blocking pairs
+        n = 4
+        p = [list(range(n)) for _ in range(n)]
+        r = [list(range(n)) for _ in range(n)]
+        match = [n - 1 - i for i in range(n)]
+        pairs = blocking_pairs(p, r, match)
+        assert ((0, 0) not in pairs) is False or True
+        assert len(pairs) > 0
+        # (0, 0): proposer 0 and responder 0 both matched to rank n-1
+        assert (0, 0) in pairs
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_gs_output_always_stable(self, seed):
+        inst = random_smp(11, seed=seed)
+        view = inst.bipartite_view(0, 1)
+        res = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        assert is_stable(view.proposer_prefs, view.responder_prefs, res.matching)
+
+    def test_dict_matching_accepted(self):
+        p = [[0, 1], [0, 1]]
+        r = [[1, 0], [1, 0]]
+        assert blocking_pairs(p, r, {0: 1, 1: 0}) == []
+
+
+class TestMatchingValidation:
+    def test_non_bijection_rejected(self):
+        with pytest.raises(InvalidMatchingError, match="bijection"):
+            as_matching_array([0, 0], 2)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InvalidMatchingError):
+            as_matching_array([0], 2)
+
+    def test_dict_out_of_range_rejected(self):
+        with pytest.raises(InvalidMatchingError):
+            as_matching_array({5: 0, 1: 1}, 2)
+
+    def test_partial_dict_rejected(self):
+        with pytest.raises(InvalidMatchingError):
+            as_matching_array({0: 0}, 2)

@@ -1,0 +1,111 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.model.examples import (
+    example1_instance,
+    figure2_smp_instance,
+    figure3_instance,
+    sec3b_left_instance,
+    sec3b_right_instance,
+)
+from repro.model.generators import random_instance, random_smp
+from repro.roommates.instance import RoommatesInstance
+
+
+@pytest.fixture
+def fig3():
+    return figure3_instance()
+
+
+@pytest.fixture
+def example1a():
+    return example1_instance("a")
+
+
+@pytest.fixture
+def example1b():
+    return example1_instance("b")
+
+
+@pytest.fixture
+def fig2_smp():
+    return figure2_smp_instance()
+
+
+@pytest.fixture
+def sec3b_left():
+    return sec3b_left_instance()
+
+
+@pytest.fixture
+def sec3b_right():
+    return sec3b_right_instance()
+
+
+@pytest.fixture
+def small_random():
+    """A deterministic 3-gender, 4-member instance."""
+    return random_instance(3, 4, seed=123)
+
+
+@pytest.fixture
+def smp8():
+    """A deterministic bipartite 8x8 instance."""
+    return random_smp(8, seed=99)
+
+
+# ----------------------------------------------------------------------
+# brute-force oracles used across test modules
+# ----------------------------------------------------------------------
+
+
+def enumerate_perfect_roommate_matchings(instance: RoommatesInstance):
+    """Yield every perfect matching (dict) on mutually acceptable pairs."""
+    n = instance.n
+
+    def rec(remaining: tuple[int, ...]):
+        if not remaining:
+            yield {}
+            return
+        p = remaining[0]
+        rest = remaining[1:]
+        for q in rest:
+            if not instance.is_acceptable(p, q):
+                continue
+            sub = tuple(x for x in rest if x != q)
+            for tail in rec(sub):
+                tail = dict(tail)
+                tail[p] = q
+                tail[q] = p
+                yield tail
+
+    yield from rec(tuple(range(n)))
+
+
+def roommates_matching_is_stable(instance: RoommatesInstance, matching: dict[int, int]) -> bool:
+    """Direct blocking-pair check, independent of repro.roommates.verify."""
+    for p in range(instance.n):
+        for q in instance.preference_list(p):
+            if q == matching[p]:
+                continue
+            if instance.prefers(p, q, matching[p]) and instance.prefers(q, p, matching[q]):
+                return False
+    return True
+
+
+def brute_force_roommates_exists(instance: RoommatesInstance) -> bool:
+    """Existence oracle by exhaustive enumeration (small n only)."""
+    return any(
+        roommates_matching_is_stable(instance, m)
+        for m in enumerate_perfect_roommate_matchings(instance)
+    )
+
+
+def all_permutation_matchings(n: int):
+    """All bipartite perfect matchings as proposer->responder tuples."""
+    return itertools.permutations(range(n))

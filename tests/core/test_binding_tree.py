@@ -1,0 +1,169 @@
+"""Unit tests for binding trees."""
+
+import pytest
+
+from repro.analysis.counting import cayley_count
+from repro.core.binding_tree import BindingTree
+from repro.exceptions import InvalidBindingTreeError
+
+
+class TestValidation:
+    def test_valid_chain(self):
+        t = BindingTree(3, [(0, 1), (1, 2)])
+        assert t.edges == ((0, 1), (1, 2))
+
+    def test_wrong_edge_count(self):
+        with pytest.raises(InvalidBindingTreeError, match="edges"):
+            BindingTree(3, [(0, 1)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(InvalidBindingTreeError, match="unreachable"):
+            BindingTree(4, [(0, 1), (1, 2), (2, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidBindingTreeError, match="self-loop"):
+            BindingTree(3, [(0, 0), (1, 2)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(InvalidBindingTreeError, match="duplicate"):
+            BindingTree(3, [(0, 1), (1, 0)])
+
+    def test_unknown_gender_rejected(self):
+        with pytest.raises(InvalidBindingTreeError, match="unknown gender"):
+            BindingTree(3, [(0, 1), (1, 7)])
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(InvalidBindingTreeError):
+            BindingTree(1, [])
+
+    def test_k2(self):
+        t = BindingTree(2, [(1, 0)])
+        assert t.max_degree == 1
+
+
+class TestConstructors:
+    def test_chain_shape(self):
+        t = BindingTree.chain(5)
+        assert t.edges == ((0, 1), (1, 2), (2, 3), (3, 4))
+        assert t.max_degree == 2
+
+    def test_chain_with_order(self):
+        t = BindingTree.chain(4, order=[3, 1, 0, 2])
+        assert t.edges == ((3, 1), (1, 0), (0, 2))
+
+    def test_chain_bad_order(self):
+        with pytest.raises(InvalidBindingTreeError, match="permute"):
+            BindingTree.chain(3, order=[0, 0, 1])
+
+    def test_star_shape(self):
+        t = BindingTree.star(5, center=2)
+        assert t.max_degree == 4
+        assert all(2 in e for e in t.edges)
+
+    def test_star_bad_center(self):
+        with pytest.raises(InvalidBindingTreeError):
+            BindingTree.star(3, center=5)
+
+    def test_random_is_valid_tree(self):
+        for seed in range(10):
+            t = BindingTree.random(6, seed=seed)
+            assert len(t.edges) == 5  # constructor validates the rest
+
+    def test_random_deterministic(self):
+        assert BindingTree.random(7, seed=3).edges == BindingTree.random(7, seed=3).edges
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_all_trees_count_matches_cayley(self, k):
+        trees = {t.undirected_edges() for t in BindingTree.all_trees(k)}
+        assert len(trees) == cayley_count(k)
+
+
+class TestStructure:
+    def test_degrees(self):
+        t = BindingTree(4, [(0, 1), (0, 2), (0, 3)])
+        assert t.degree(0) == 3
+        assert t.degree(1) == 1
+        assert t.neighbors(0) == (1, 2, 3)
+
+    def test_path_between_chain_ends(self):
+        t = BindingTree.chain(5)
+        assert t.path_between(0, 4) == [0, 1, 2, 3, 4]
+        assert t.path_between(4, 0) == [4, 3, 2, 1, 0]
+
+    def test_path_between_same_node(self):
+        assert BindingTree.chain(3).path_between(1, 1) == [1]
+
+    def test_path_in_star(self):
+        t = BindingTree.star(5)
+        assert t.path_between(1, 2) == [1, 0, 2]
+
+    def test_undirected_edges_ignore_orientation(self):
+        a = BindingTree(3, [(0, 1), (1, 2)])
+        b = BindingTree(3, [(1, 0), (2, 1)])
+        assert a.undirected_edges() == b.undirected_edges()
+        assert a != b  # oriented inequality
+
+    def test_prufer_roundtrip(self):
+        for seed in range(8):
+            t = BindingTree.random(6, seed=100 + seed)
+            from repro.analysis.counting import prufer_to_tree
+
+            rebuilt = prufer_to_tree(t.to_prufer(), 6)
+            assert sorted(tuple(sorted(e)) for e in t.edges) == rebuilt
+
+    def test_reordered_for_binding_incremental(self):
+        t = BindingTree(5, [(3, 4), (0, 1), (1, 2), (2, 3)])
+        ordered = t.reordered_for_binding()
+        reached = set(ordered.edges[0])
+        for a, b in ordered.edges[1:]:
+            assert a in reached or b in reached
+            reached.update((a, b))
+        assert ordered.undirected_edges() == t.undirected_edges()
+
+
+class TestBitonic:
+    def test_chain_identity_priorities(self):
+        # path 0-1-2-3 with priorities = labels: any path is monotonic
+        assert BindingTree.chain(4).is_bitonic()
+
+    def test_paper_bad_path(self):
+        # path 3-0-1-2: the 3..2 path has priorities (3,0,1,2) — valley
+        assert not BindingTree(4, [(3, 0), (0, 1), (1, 2)]).is_bitonic()
+
+    def test_paper_good_path(self):
+        # path 0-2-3-1: every priority path rises then falls
+        assert BindingTree(4, [(0, 2), (2, 3), (3, 1)]).is_bitonic()
+
+    def test_star_at_max_priority_is_bitonic(self):
+        assert BindingTree.star(5, center=4).is_bitonic()
+
+    def test_star_at_min_priority_is_not(self):
+        assert not BindingTree.star(5, center=0).is_bitonic()
+
+    def test_custom_priorities(self):
+        t = BindingTree.star(4, center=0)
+        assert t.is_bitonic(priorities=[10, 1, 2, 3])
+
+    def test_priorities_validated(self):
+        with pytest.raises(InvalidBindingTreeError, match="distinct"):
+            BindingTree.chain(3).is_bitonic(priorities=[1, 1, 2])
+
+    def test_bitonic_iff_decreasing_tree(self):
+        """Characterization used by Theorem 5: a tree is bitonic iff,
+        rooted at the max-priority gender, every child has lower
+        priority than its parent."""
+        for k in (3, 4, 5):
+            for tree in BindingTree.all_trees(k):
+                # build rooted orientation at k-1 (max priority)
+                parent = {k - 1: None}
+                stack = [k - 1]
+                while stack:
+                    g = stack.pop()
+                    for nb in tree.neighbors(g):
+                        if nb not in parent:
+                            parent[nb] = g
+                            stack.append(nb)
+                decreasing = all(
+                    parent[g] is None or parent[g] > g for g in range(k)
+                )
+                assert tree.is_bitonic() == decreasing, tree

@@ -1,0 +1,124 @@
+"""Incremental re-binding under preference churn."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.dynamic import DynamicBindingSession
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import is_stable_kary
+from repro.exceptions import InvalidInstanceError
+from repro.model.generators import random_instance
+from repro.model.members import Member
+from repro.utils.rng import as_rng
+
+
+def fresh(k=3, n=4, seed=0, tree=None):
+    inst = random_instance(k, n, seed=seed)
+    return inst, DynamicBindingSession(inst, tree=tree)
+
+
+class TestInitialState:
+    def test_first_matching_equals_algorithm1(self):
+        inst, session = fresh()
+        assert session.matching() == iterative_binding(inst, session.tree).matching
+
+    def test_initial_bindings_all_run(self):
+        _, session = fresh(k=4)
+        session.matching()
+        assert session.stats["bindings_run"] == 3
+        assert session.stats["bindings_reused"] == 0
+
+    def test_matching_cached(self):
+        _, session = fresh()
+        a = session.matching()
+        b = session.matching()
+        assert a is b
+
+    def test_tree_mismatch_rejected(self):
+        inst = random_instance(3, 3, seed=1)
+        with pytest.raises(InvalidInstanceError):
+            DynamicBindingSession(inst, tree=BindingTree.chain(4))
+
+
+class TestUpdates:
+    def test_update_on_bound_edge_invalidates_one_binding(self):
+        _, session = fresh(k=4)  # chain 0-1-2-3
+        session.matching()
+        edge = session.update_preferences(Member(1, 0), 2, [3, 2, 1, 0])
+        assert edge == (1, 2)
+        session.matching()
+        assert session.stats["bindings_run"] == 3 + 1
+        assert session.stats["bindings_reused"] == 2
+
+    def test_update_on_unbound_pair_is_free(self):
+        _, session = fresh(k=4, n=4)  # chain: genders 0 and 3 not adjacent
+        m0 = session.matching()
+        runs_before = session.stats["bindings_run"]
+        edge = session.update_preferences(Member(0, 0), 3, [3, 2, 1, 0])
+        assert edge is None
+        m1 = session.matching()
+        # no binding re-ran; the tuples are untouched (only the wrapper's
+        # instance snapshot is refreshed with the new, unbound list)
+        assert session.stats["bindings_run"] == runs_before
+        assert m1.tuples() == m0.tuples()
+
+    def test_incremental_equals_from_scratch(self):
+        rng = as_rng(7)
+        inst, session = fresh(k=4, n=5, seed=3)
+        for step in range(15):
+            g = int(rng.integers(4))
+            h = int(rng.integers(4))
+            if h == g:
+                continue
+            i = int(rng.integers(5))
+            new = rng.permutation(5).tolist()
+            session.update_preferences(Member(g, i), h, new)
+            fresh_result = iterative_binding(session.instance(), session.tree)
+            assert session.matching() == fresh_result.matching, step
+
+    def test_result_stays_stable(self):
+        _, session = fresh(k=3, n=6, seed=5)
+        session.matching()
+        for i in range(6):
+            session.swap_top_choices(Member(0, i), 1)
+            snapshot = session.instance()
+            assert is_stable_kary(snapshot, session.matching())
+
+    def test_update_validation(self):
+        _, session = fresh()
+        with pytest.raises(InvalidInstanceError, match="unknown member"):
+            session.update_preferences(Member(0, 99), 1, [0, 1, 2, 3])
+        with pytest.raises(InvalidInstanceError, match="target gender"):
+            session.update_preferences(Member(0, 0), 0, [0, 1, 2, 3])
+        with pytest.raises(InvalidInstanceError, match="permutation"):
+            session.update_preferences(Member(0, 0), 1, [0, 0, 1, 2])
+
+    def test_stats_count_updates(self):
+        _, session = fresh()
+        session.update_preferences(Member(0, 0), 1, [1, 0, 2, 3])
+        session.update_preferences(Member(0, 0), 2, [1, 0, 2, 3])
+        assert session.stats["updates"] == 2
+
+
+class TestRebuild:
+    def test_rebuild_marks_everything_dirty(self):
+        _, session = fresh(k=4)
+        session.matching()
+        session.rebuild()
+        session.matching()
+        assert session.stats["bindings_run"] == 6
+
+    def test_work_saved_under_churn(self):
+        """Across random single-list churn, most bindings are reused."""
+        rng = as_rng(11)
+        _, session = fresh(k=6, n=4, seed=9)
+        session.matching()
+        for _ in range(30):
+            g = int(rng.integers(6))
+            h = (g + 1 + int(rng.integers(5))) % 6
+            session.update_preferences(
+                Member(g, int(rng.integers(4))), h, rng.permutation(4).tolist()
+            )
+            session.matching()
+        run, reused = session.stats["bindings_run"], session.stats["bindings_reused"]
+        assert reused > run  # most of the tree survives each update

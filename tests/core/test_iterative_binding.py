@@ -1,0 +1,149 @@
+"""Algorithm 1: iterative binding GS — Theorems 2 and 3."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import binding_pairs_for_edge, iterative_binding
+from repro.core.stability import (
+    certify_tree_stability,
+    find_blocking_family,
+    is_stable_kary,
+)
+from repro.model.examples import figure3_instance
+from repro.model.generators import random_instance
+from repro.model.members import Member
+
+
+class TestFigure3Walkthrough:
+    """Bindings M-W and W-U yield {(m, w, u), (m', w', u')}."""
+
+    def test_paper_matching(self, fig3):
+        res = iterative_binding(fig3, BindingTree(3, [(0, 1), (1, 2)]))
+        assert res.matching.tuples() == [
+            (Member(0, 0), Member(1, 0), Member(2, 0)),
+            (Member(0, 1), Member(1, 1), Member(2, 1)),
+        ]
+
+    def test_mu_uw_bindings_give_different_matching(self, fig3):
+        """Sec IV.B: bindings M-U and U-W generate (m, w', u') and
+        (m', w, u)."""
+        res = iterative_binding(fig3, BindingTree(3, [(0, 2), (2, 1)]))
+        assert res.matching.tuples() == [
+            (Member(0, 0), Member(1, 1), Member(2, 1)),
+            (Member(0, 1), Member(1, 0), Member(2, 0)),
+        ]
+
+    def test_mu_mw_bindings(self, fig3):
+        """Sec IV.B: bindings M-U and M-W generate (m, w, u') and
+        (m', w', u)."""
+        res = iterative_binding(fig3, BindingTree(3, [(0, 2), (0, 1)]))
+        assert res.matching.tuples() == [
+            (Member(0, 0), Member(1, 0), Member(2, 1)),
+            (Member(0, 1), Member(1, 1), Member(2, 0)),
+        ]
+
+    def test_all_variants_stable(self, fig3):
+        for tree in BindingTree.all_trees(3):
+            res = iterative_binding(fig3, tree)
+            assert is_stable_kary(fig3, res.matching), tree
+
+
+class TestTheorem2:
+    """The binding algorithm always produces a stable k-ary matching."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances_random_trees(self, k, seed):
+        inst = random_instance(k, 4, seed=seed)
+        res = iterative_binding(inst, seed=seed)
+        assert find_blocking_family(inst, res.matching) is None
+
+    @pytest.mark.parametrize("shape", ["chain", "star"])
+    def test_special_tree_shapes(self, shape):
+        inst = random_instance(4, 5, seed=77)
+        tree = BindingTree.chain(4) if shape == "chain" else BindingTree.star(4)
+        res = iterative_binding(inst, tree)
+        assert is_stable_kary(inst, res.matching)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_edge_certificate_agrees(self, seed):
+        inst = random_instance(4, 4, seed=200 + seed)
+        tree = BindingTree.random(4, seed=seed)
+        res = iterative_binding(inst, tree)
+        assert certify_tree_stability(inst, res.matching, tree)
+
+    def test_perfect_matching_each_member_once(self):
+        inst = random_instance(5, 6, seed=5)
+        res = iterative_binding(inst, BindingTree.chain(5))
+        seen = [m for tup in res.matching.tuples() for m in tup]
+        assert len(seen) == len(set(seen)) == 30
+
+
+class TestTheorem3:
+    """Total proposals bounded by (k-1) n^2."""
+
+    @pytest.mark.parametrize("k,n", [(2, 8), (3, 8), (5, 8), (4, 16)])
+    def test_bound_holds(self, k, n):
+        for seed in range(3):
+            inst = random_instance(k, n, seed=seed)
+            res = iterative_binding(inst, BindingTree.chain(k))
+            assert res.total_proposals <= (k - 1) * n * n
+            assert res.proposal_bound == (k - 1) * n * n
+
+    def test_per_edge_results_recorded(self):
+        inst = random_instance(4, 4, seed=9)
+        res = iterative_binding(inst, BindingTree.chain(4))
+        assert len(res.edge_results) == 3
+        assert res.total_proposals == sum(r.proposals for r in res.edge_results)
+
+    def test_minimum_proposals(self):
+        # each binding needs at least n proposals
+        inst = random_instance(3, 6, seed=10)
+        res = iterative_binding(inst, BindingTree.chain(3))
+        assert res.total_proposals >= 2 * 6
+
+
+class TestMechanics:
+    def test_pairs_accumulate_P(self):
+        inst = random_instance(3, 3, seed=11)
+        res = iterative_binding(inst, BindingTree(3, [(0, 1), (1, 2)]))
+        pairs = res.pairs()
+        assert len(pairs) == 6  # 2 bindings x 3 pairs
+        # every pair must be inside one family
+        for a, b in pairs:
+            assert res.matching.tuple_index(a) == res.matching.tuple_index(b)
+
+    def test_engine_choice_same_matching(self):
+        inst = random_instance(3, 8, seed=12)
+        tree = BindingTree.chain(3)
+        a = iterative_binding(inst, tree, engine="textbook")
+        b = iterative_binding(inst, tree, engine="vectorized")
+        assert a.matching == b.matching
+
+    def test_random_tree_seed_deterministic(self):
+        inst = random_instance(5, 3, seed=13)
+        a = iterative_binding(inst, seed=42)
+        b = iterative_binding(inst, seed=42)
+        assert a.tree == b.tree and a.matching == b.matching
+
+    def test_tree_instance_k_mismatch(self):
+        inst = random_instance(3, 3, seed=14)
+        with pytest.raises(ValueError, match="k="):
+            iterative_binding(inst, BindingTree.chain(4))
+
+    def test_binding_pairs_for_edge(self):
+        inst = figure3_instance()
+        pairs, res = binding_pairs_for_edge(inst, 0, 1)
+        assert (Member(0, 0), Member(1, 0)) in pairs
+        assert res.proposals >= 2
+
+    def test_orientation_affects_outcome_possible(self):
+        """Proposer-optimality means orientation can change the matching."""
+        different = 0
+        for seed in range(20):
+            inst = random_instance(2, 5, seed=seed)
+            a = iterative_binding(inst, BindingTree(2, [(0, 1)]))
+            b = iterative_binding(inst, BindingTree(2, [(1, 0)]))
+            if a.matching != b.matching:
+                different += 1
+        assert different > 0

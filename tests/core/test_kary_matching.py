@@ -1,0 +1,151 @@
+"""Unit tests for the KAryMatching container."""
+
+import numpy as np
+import pytest
+
+from repro.core.kary_matching import KAryMatching
+from repro.exceptions import InvalidMatchingError
+from repro.model.generators import random_instance
+from repro.model.members import Member
+
+
+def identity_matching(inst):
+    return KAryMatching.from_tuples(
+        inst,
+        [tuple(Member(g, i) for g in range(inst.k)) for i in range(inst.n)],
+    )
+
+
+class TestFromTuples:
+    def test_identity(self):
+        inst = random_instance(3, 3, seed=0)
+        m = identity_matching(inst)
+        assert m.partner(Member(0, 1), 2) == Member(2, 1)
+
+    def test_order_within_tuple_irrelevant(self):
+        inst = random_instance(3, 2, seed=1)
+        m = KAryMatching.from_tuples(
+            inst,
+            [
+                (Member(2, 0), Member(0, 0), Member(1, 0)),
+                (Member(1, 1), Member(2, 1), Member(0, 1)),
+            ],
+        )
+        assert m.family_of(Member(0, 0)) == (Member(0, 0), Member(1, 0), Member(2, 0))
+
+    def test_missing_gender_rejected(self):
+        inst = random_instance(3, 2, seed=2)
+        with pytest.raises(InvalidMatchingError, match="one member of each gender"):
+            KAryMatching.from_tuples(
+                inst,
+                [
+                    (Member(0, 0), Member(1, 0), Member(1, 1)),
+                    (Member(0, 1), Member(2, 0), Member(2, 1)),
+                ],
+            )
+
+    def test_duplicate_member_rejected(self):
+        inst = random_instance(3, 2, seed=3)
+        with pytest.raises(InvalidMatchingError):
+            KAryMatching.from_tuples(
+                inst,
+                [
+                    (Member(0, 0), Member(1, 0), Member(2, 0)),
+                    (Member(0, 0), Member(1, 1), Member(2, 1)),
+                ],
+            )
+
+    def test_too_many_tuples_rejected(self):
+        inst = random_instance(3, 2, seed=4)
+        tuples = [tuple(Member(g, i) for g in range(3)) for i in range(2)]
+        with pytest.raises(InvalidMatchingError, match="more than"):
+            KAryMatching.from_tuples(inst, tuples + [tuples[0]])
+
+    def test_too_few_tuples_rejected(self):
+        inst = random_instance(3, 2, seed=5)
+        with pytest.raises(InvalidMatchingError, match="expected"):
+            KAryMatching.from_tuples(inst, [tuple(Member(g, 0) for g in range(3))])
+
+
+class TestFromPairs:
+    def test_spanning_pairs_build_tuples(self):
+        inst = random_instance(3, 2, seed=6)
+        pairs = [
+            (Member(0, 0), Member(1, 1)),
+            (Member(0, 1), Member(1, 0)),
+            (Member(1, 1), Member(2, 0)),
+            (Member(1, 0), Member(2, 1)),
+        ]
+        m = KAryMatching.from_pairs(inst, pairs)
+        assert m.family_of(Member(0, 0)) == (Member(0, 0), Member(1, 1), Member(2, 0))
+
+    def test_same_gender_pair_rejected(self):
+        inst = random_instance(3, 2, seed=7)
+        with pytest.raises(InvalidMatchingError, match="within gender"):
+            KAryMatching.from_pairs(inst, [(Member(0, 0), Member(0, 1))])
+
+    def test_missing_binding_detected(self):
+        # only genders 0-1 bound: classes are pairs, not triples
+        inst = random_instance(3, 2, seed=8)
+        pairs = [
+            (Member(0, 0), Member(1, 0)),
+            (Member(0, 1), Member(1, 1)),
+        ]
+        with pytest.raises(InvalidMatchingError, match="spanning tree"):
+            KAryMatching.from_pairs(inst, pairs)
+
+    def test_cycle_binding_detected(self):
+        # inconsistent cycle glues two gender-0 members into one class
+        inst = random_instance(3, 2, seed=9)
+        pairs = [
+            (Member(0, 0), Member(1, 0)),
+            (Member(0, 1), Member(1, 1)),
+            (Member(1, 0), Member(2, 0)),
+            (Member(1, 1), Member(2, 1)),
+            (Member(2, 0), Member(0, 1)),  # closes a bad cycle
+            (Member(2, 1), Member(0, 0)),
+        ]
+        with pytest.raises(InvalidMatchingError):
+            KAryMatching.from_pairs(inst, pairs)
+
+
+class TestQueries:
+    def test_tuple_index_consistency(self):
+        inst = random_instance(4, 3, seed=10)
+        m = identity_matching(inst)
+        for member in inst.members():
+            t = m.tuple_index(member)
+            assert member in m.family_of(member)
+            assert m.families[t, member.gender] == member.index
+
+    def test_partner_same_gender_raises(self):
+        inst = random_instance(3, 2, seed=11)
+        m = identity_matching(inst)
+        with pytest.raises(InvalidMatchingError, match="own gender"):
+            m.partner(Member(0, 0), 0)
+
+    def test_tuples_sorted_by_gender0(self):
+        inst = random_instance(3, 4, seed=12)
+        m = identity_matching(inst)
+        firsts = [tup[0].index for tup in m.tuples()]
+        assert firsts == sorted(firsts)
+
+    def test_format(self):
+        inst = random_instance(2, 2, seed=13)
+        text = identity_matching(inst).format()
+        assert "(a0, b0)" in text
+
+    def test_equality(self):
+        inst = random_instance(3, 2, seed=14)
+        assert identity_matching(inst) == identity_matching(inst)
+
+    def test_bad_families_shape(self):
+        inst = random_instance(3, 2, seed=15)
+        with pytest.raises(InvalidMatchingError, match="shape"):
+            KAryMatching(inst, np.zeros((3, 3), dtype=np.int64))
+
+    def test_bad_column_permutation(self):
+        inst = random_instance(3, 2, seed=16)
+        fam = np.array([[0, 0, 0], [0, 1, 1]])
+        with pytest.raises(InvalidMatchingError, match="permutation"):
+            KAryMatching(inst, fam)

@@ -1,0 +1,114 @@
+"""Algorithm 2: priority-aware binding and bitonic trees."""
+
+import pytest
+
+from repro.analysis.counting import count_priority_trees
+from repro.core.binding_tree import BindingTree
+from repro.core.priority_binding import (
+    build_priority_tree,
+    enumerate_priority_trees,
+    priority_binding,
+)
+from repro.core.stability import is_stable_kary, is_weakened_stable_kary
+from repro.exceptions import InvalidBindingTreeError
+from repro.model.generators import random_instance
+
+
+class TestBuildPriorityTree:
+    def test_chain_policy_gives_decreasing_chain(self):
+        t = build_priority_tree(4)
+        assert t.edges == ((3, 2), (2, 1), (1, 0))
+
+    def test_star_policy_gives_star_at_imax(self):
+        t = build_priority_tree(4, attach="star")
+        assert t.edges == ((3, 2), (3, 1), (3, 0))
+
+    def test_custom_priorities_reorder(self):
+        t = build_priority_tree(3, priorities=[5, 1, 3])
+        # priority order: gender 0 (5), gender 2 (3), gender 1 (1)
+        assert t.edges == ((0, 2), (2, 1))
+
+    def test_random_policy_deterministic_by_seed(self):
+        a = build_priority_tree(6, attach="random", seed=1)
+        b = build_priority_tree(6, attach="random", seed=1)
+        assert a == b
+
+    @pytest.mark.parametrize("attach", ["chain", "star", "random"])
+    def test_always_bitonic(self, attach):
+        for k in (3, 4, 6):
+            t = build_priority_tree(k, attach=attach, seed=0)
+            assert t.is_bitonic()
+
+    def test_callable_policy(self):
+        t = build_priority_tree(4, attach=lambda in_tree, j: in_tree[0])
+        assert t.edges == ((3, 2), (3, 1), (3, 0))
+
+    def test_policy_returning_outsider_rejected(self):
+        with pytest.raises(InvalidBindingTreeError, match="not in the tree"):
+            build_priority_tree(4, attach=lambda in_tree, j: j)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InvalidBindingTreeError, match="unknown attach"):
+            build_priority_tree(4, attach="fractal")
+
+    def test_bad_priorities_rejected(self):
+        with pytest.raises(InvalidBindingTreeError, match="distinct"):
+            build_priority_tree(3, priorities=[1, 1, 2])
+
+    def test_higher_priority_proposes(self):
+        t = build_priority_tree(5)
+        for a, b in t.edges:
+            assert a > b  # with identity priorities, proposer outranks
+
+
+class TestEnumeratePriorityTrees:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_count_is_k_minus_1_factorial(self, k):
+        trees = list(enumerate_priority_trees(k))
+        assert len(trees) == count_priority_trees(k)
+        # all distinct as undirected trees
+        assert len({t.undirected_edges() for t in trees}) == len(trees)
+
+    def test_t4_is_six(self):
+        """Figure 6: T(4) = 3! = 6 distinct priority-based trees."""
+        assert len(list(enumerate_priority_trees(4))) == 6
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_all_are_bitonic(self, k):
+        for t in enumerate_priority_trees(k):
+            assert t.is_bitonic()
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_priority_trees_are_exactly_bitonic_trees(self, k):
+        """The Alg-2-constructible trees coincide with bitonic trees."""
+        prio = {t.undirected_edges() for t in enumerate_priority_trees(k)}
+        bitonic = {
+            t.undirected_edges() for t in BindingTree.all_trees(k) if t.is_bitonic()
+        }
+        assert prio == bitonic
+
+
+class TestPriorityBinding:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_result_is_strongly_stable(self, seed):
+        inst = random_instance(4, 4, seed=seed)
+        res = priority_binding(inst)
+        assert is_stable_kary(inst, res.matching)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("attach", ["chain", "star"])
+    def test_theorem5_weakened_stable_mutual(self, seed, attach):
+        """Theorem 5 under the proof-faithful 'mutual' semantics."""
+        inst = random_instance(4, 3, seed=seed)
+        res = priority_binding(inst, attach=attach)
+        assert is_weakened_stable_kary(inst, res.matching, semantics="mutual")
+
+    def test_custom_priorities_respected(self):
+        inst = random_instance(3, 3, seed=9)
+        res = priority_binding(inst, priorities=[2, 0, 1])
+        assert res.tree.is_bitonic([2, 0, 1])
+
+    def test_tree_recorded_in_result(self):
+        inst = random_instance(5, 2, seed=10)
+        res = priority_binding(inst, attach="star")
+        assert res.tree.edges[0][0] == 4

@@ -1,0 +1,93 @@
+"""Quorum-relaxed weakened stability (future-work extension)."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.priority_binding import priority_binding
+from repro.core.stability import (
+    find_blocking_family,
+    find_quorum_blocking_family,
+    find_weakened_blocking_family,
+)
+from repro.exceptions import InvalidInstanceError
+from repro.model.generators import random_instance
+
+
+class TestQuorumSemantics:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_full_quorum_equals_mutual_weakened(self, seed):
+        """quorum >= k' recovers the mutual weakened condition."""
+        inst = random_instance(3, 3, seed=seed)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        full = find_quorum_blocking_family(inst, matching, quorum=inst.k)
+        weak = find_weakened_blocking_family(inst, matching, semantics="mutual")
+        assert (full is None) == (weak is None)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_monotone_in_quorum(self, seed):
+        """Shrinking the quorum only adds blocking families."""
+        inst = random_instance(4, 3, seed=seed)
+        matching = iterative_binding(inst, BindingTree.chain(4)).matching
+        blocked_at = [
+            find_quorum_blocking_family(inst, matching, quorum=q) is not None
+            for q in (1, 2, 3, 4)
+        ]
+        # once stable at quorum q, stays stable at larger quorum
+        for small, large in zip(blocked_at, blocked_at[1:]):
+            assert small or not large
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_strong_blocking_implies_quorum_blocking(self, seed):
+        """A strong blocking family satisfies every quorum condition."""
+        inst = random_instance(3, 3, seed=40 + seed)
+        from repro.core.kary_matching import KAryMatching
+        from repro.model.members import Member
+
+        matching = KAryMatching.from_tuples(
+            inst, [tuple(Member(g, i) for g in range(3)) for i in range(3)]
+        )
+        if find_blocking_family(inst, matching) is not None:
+            for q in (1, 2, 3):
+                assert find_quorum_blocking_family(inst, matching, quorum=q) is not None
+
+    def test_witness_kind_records_quorum(self):
+        for seed in range(30):
+            inst = random_instance(3, 3, seed=seed)
+            matching = iterative_binding(inst, BindingTree.chain(3)).matching
+            w = find_quorum_blocking_family(inst, matching, quorum=1)
+            if w is not None:
+                assert w.kind == "quorum-1"
+                assert w.group_count >= 2
+                return
+        pytest.skip("no quorum-1 witness in this sweep")
+
+    def test_invalid_quorum(self):
+        inst = random_instance(3, 2, seed=0)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        with pytest.raises(InvalidInstanceError, match="quorum"):
+            find_quorum_blocking_family(inst, matching, quorum=0)
+
+    def test_invalid_priorities(self):
+        inst = random_instance(3, 2, seed=0)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        with pytest.raises(InvalidInstanceError, match="priorities"):
+            find_quorum_blocking_family(inst, matching, quorum=2, priorities=[0, 0, 1])
+
+
+class TestQuorumVsBitonic:
+    def test_bitonic_guarantee_holds_at_full_quorum(self):
+        for seed in range(10):
+            inst = random_instance(4, 3, seed=seed)
+            res = priority_binding(inst)
+            assert find_quorum_blocking_family(inst, res.matching, quorum=4) is None
+
+    def test_bitonic_guarantee_can_fail_below_full_quorum(self):
+        """The Theorem-5 guarantee does NOT extend to smaller quorums."""
+        violations = 0
+        for seed in range(25):
+            inst = random_instance(4, 3, seed=seed)
+            res = priority_binding(inst)
+            if find_quorum_blocking_family(inst, res.matching, quorum=1) is not None:
+                violations += 1
+        assert violations > 0

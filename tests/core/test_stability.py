@@ -1,0 +1,212 @@
+"""Stability oracles: strong and weakened blocking families."""
+
+import itertools
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.kary_matching import KAryMatching
+from repro.core.stability import (
+    blocking_pairs_between,
+    certify_tree_stability,
+    find_blocking_family,
+    find_weakened_blocking_family,
+    is_stable_kary,
+    is_weakened_stable_kary,
+)
+from repro.exceptions import InvalidInstanceError
+from repro.model.examples import FIG5_BAD_TREE, figure3_instance, figure5_scenario
+from repro.model.generators import random_instance
+from repro.model.members import Member
+
+
+def brute_force_strong_blocking(inst, matching):
+    """Independent exhaustive strong-blocking check."""
+    for combo in itertools.product(range(inst.n), repeat=inst.k):
+        fam = tuple(Member(g, i) for g, i in enumerate(combo))
+        fams = [matching.tuple_index(x) for x in fam]
+        if len(set(fams)) < 2:
+            continue
+        ok = True
+        for x in fam:
+            for y in fam:
+                if y.gender == x.gender:
+                    continue
+                if matching.tuple_index(y) == matching.tuple_index(x):
+                    continue
+                cur = matching.partner(x, y.gender)
+                if not inst.rank(x, y) < inst.rank(x, cur):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            return fam
+    return None
+
+
+class TestStrongBlocking:
+    def test_paper_example_blocking_family(self):
+        """Section II.C: (m, w', u') blocks {(m, w, u), (m', w', u')}
+        when m prefers w', u' and both prefer m to m'."""
+        prefs = [
+            # m prefers w' and u'; m' anything
+            [[None, [1, 0], [1, 0]], [None, [0, 1], [0, 1]]],
+            # w, w' rank m first
+            [[[0, 1], None, [0, 1]], [[0, 1], None, [0, 1]]],
+            # u, u' rank m first
+            [[[0, 1], [0, 1], None], [[0, 1], [0, 1], None]],
+        ]
+        from repro.model.instance import KPartiteInstance
+
+        inst = KPartiteInstance.from_per_gender_lists(prefs)
+        matching = KAryMatching.from_tuples(
+            inst,
+            [
+                (Member(0, 0), Member(1, 0), Member(2, 0)),
+                (Member(0, 1), Member(1, 1), Member(2, 1)),
+            ],
+        )
+        witness = find_blocking_family(inst, matching)
+        assert witness is not None
+        assert set(witness.members) == {Member(0, 0), Member(1, 1), Member(2, 1)}
+        assert witness.group_count == 2
+        assert witness.kind == "strong"
+
+    @pytest.mark.parametrize("k,n", [(3, 2), (3, 3), (4, 2)])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_brute_force(self, k, n, seed):
+        inst = random_instance(k, n, seed=seed)
+        # arbitrary (usually unstable) identity matching
+        matching = KAryMatching.from_tuples(
+            inst, [tuple(Member(g, i) for g in range(k)) for i in range(n)]
+        )
+        ours = find_blocking_family(inst, matching)
+        brute = brute_force_strong_blocking(inst, matching)
+        assert (ours is None) == (brute is None)
+
+    def test_binding_output_is_stable(self):
+        inst = random_instance(3, 5, seed=3)
+        res = iterative_binding(inst, BindingTree.chain(3))
+        assert is_stable_kary(inst, res.matching)
+
+    def test_same_family_members_not_compared(self):
+        """A family identical to an existing one is never blocking."""
+        inst = figure3_instance()
+        res = iterative_binding(inst, BindingTree(3, [(0, 1), (1, 2)]))
+        w = find_blocking_family(inst, res.matching)
+        assert w is None
+
+
+class TestWeakenedBlocking:
+    def test_strong_implies_weakened_blocked(self):
+        """Any strongly blocked matching is also weakened-blocked (both
+        semantics): the weakened conditions are a subset."""
+        for seed in range(6):
+            inst = random_instance(3, 3, seed=seed)
+            matching = KAryMatching.from_tuples(
+                inst, [tuple(Member(g, i) for g in range(3)) for i in range(3)]
+            )
+            if find_blocking_family(inst, matching) is not None:
+                for sem in ("literal", "mutual"):
+                    assert (
+                        find_weakened_blocking_family(inst, matching, semantics=sem)
+                        is not None
+                    ), (seed, sem)
+
+    def test_weakened_stable_implies_strong_stable(self):
+        for seed in range(6):
+            inst = random_instance(3, 3, seed=50 + seed)
+            res = iterative_binding(inst, BindingTree.chain(3))
+            if is_weakened_stable_kary(inst, res.matching, semantics="literal"):
+                assert is_stable_kary(inst, res.matching)
+
+    def test_mutual_witnesses_are_literal_witnesses(self):
+        """mutual semantics adds constraints, so its witnesses satisfy
+        the literal conditions too."""
+        inst, witness = figure5_scenario()
+        tree = BindingTree(4, FIG5_BAD_TREE)
+        matching = iterative_binding(inst, tree).matching
+        lit = find_weakened_blocking_family(inst, matching, semantics="literal")
+        assert lit is not None
+
+    def test_leads_identified_by_priority(self):
+        inst, witness = figure5_scenario()
+        assert witness.kind == "weakened"
+        for lead in witness.leads:
+            group_members = [
+                m
+                for m, f in zip(witness.members, witness.source_families)
+                if f == witness.source_families[witness.members.index(lead)]
+            ]
+            assert lead.gender == max(x.gender for x in group_members)
+
+    def test_priorities_validated(self):
+        inst = random_instance(3, 2, seed=0)
+        matching = KAryMatching.from_tuples(
+            inst, [tuple(Member(g, i) for g in range(3)) for i in range(2)]
+        )
+        with pytest.raises(InvalidInstanceError, match="priorities"):
+            find_weakened_blocking_family(inst, matching, priorities=[1, 1, 2])
+
+    def test_semantics_validated(self):
+        inst = random_instance(3, 2, seed=0)
+        matching = KAryMatching.from_tuples(
+            inst, [tuple(Member(g, i) for g in range(3)) for i in range(2)]
+        )
+        with pytest.raises(ValueError, match="semantics"):
+            find_weakened_blocking_family(inst, matching, semantics="loose")
+
+    def test_reproduction_finding_literal_breaks_theorem5(self):
+        """Documented deviation: under the literal text, even bitonic
+        binding trees admit weakened blocking families."""
+        from repro.core.priority_binding import priority_binding
+
+        violations = 0
+        for seed in range(30):
+            inst = random_instance(4, 3, seed=seed)
+            res = priority_binding(inst)
+            if not is_weakened_stable_kary(
+                inst, res.matching, semantics="literal"
+            ):
+                violations += 1
+        assert violations > 0
+
+
+class TestBlockingPairsBetween:
+    def test_no_pairs_on_bound_edges(self):
+        inst = random_instance(3, 4, seed=1)
+        tree = BindingTree.chain(3)
+        res = iterative_binding(inst, tree)
+        for a, b in tree.edges:
+            assert blocking_pairs_between(inst, res.matching, a, b) == []
+
+    def test_pairs_exclude_same_family(self):
+        inst = figure3_instance()
+        res = iterative_binding(inst, BindingTree(3, [(0, 1), (1, 2)]))
+        pairs = blocking_pairs_between(inst, res.matching, 0, 2)
+        for a, b in pairs:
+            assert res.matching.tuple_index(a) != res.matching.tuple_index(b)
+
+    def test_same_gender_rejected(self):
+        inst = random_instance(3, 2, seed=2)
+        res = iterative_binding(inst, BindingTree.chain(3))
+        with pytest.raises(InvalidInstanceError):
+            blocking_pairs_between(inst, res.matching, 1, 1)
+
+    def test_certificate_matches_full_search(self):
+        for seed in range(10):
+            inst = random_instance(3, 3, seed=seed)
+            matching = KAryMatching.from_tuples(
+                inst, [tuple(Member(g, i) for g in range(3)) for i in range(3)]
+            )
+            tree = BindingTree.chain(3)
+            cert = certify_tree_stability(inst, matching, tree)
+            full = find_blocking_family(inst, matching) is None
+            # the certificate is SUFFICIENT for stability (Theorem 2's
+            # argument): a blocking family always induces a blocking
+            # pair on some tree edge.  The converse is false — a lone
+            # blocking pair need not extend to a full blocking family.
+            if cert:
+                assert full

@@ -1,0 +1,84 @@
+"""Binding-tree optimization."""
+
+import pytest
+
+from repro.analysis.metrics import kary_costs
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import is_stable_kary
+from repro.core.tree_search import OBJECTIVES, best_binding_tree
+from repro.exceptions import InvalidInstanceError
+from repro.model.generators import random_instance
+
+
+class TestExhaustiveSearch:
+    def test_candidate_count_k3(self):
+        inst = random_instance(3, 4, seed=0)
+        found = best_binding_tree(inst)
+        assert found.candidates == 3  # Cayley 3^(3-2)
+        assert len(found.scores) == 3
+
+    def test_candidate_count_with_orientations(self):
+        inst = random_instance(3, 3, seed=1)
+        found = best_binding_tree(inst, orientations=True)
+        assert found.candidates == 3 * 4  # 3 trees x 2^(k-1) orientations
+
+    def test_winner_is_minimum(self):
+        inst = random_instance(4, 4, seed=2)
+        found = best_binding_tree(inst)
+        assert found.score == min(found.scores)
+        assert found.score == kary_costs(found.matching).egalitarian
+
+    def test_winner_beats_chain_default(self):
+        inst = random_instance(4, 5, seed=3)
+        found = best_binding_tree(inst)
+        chain = iterative_binding(inst, BindingTree.chain(4)).matching
+        assert found.score <= kary_costs(chain).egalitarian
+
+    def test_winner_is_stable(self):
+        inst = random_instance(4, 4, seed=4)
+        found = best_binding_tree(inst, orientations=True)
+        assert is_stable_kary(inst, found.matching)
+
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_all_objectives_run(self, objective):
+        inst = random_instance(3, 4, seed=5)
+        found = best_binding_tree(inst, objective=objective)
+        assert found.candidates == 3
+
+    def test_callable_objective(self):
+        inst = random_instance(3, 3, seed=6)
+        found = best_binding_tree(inst, objective=lambda c: float(c.regret))
+        assert found.score == min(found.scores)
+
+    def test_unknown_objective(self):
+        inst = random_instance(3, 2, seed=7)
+        with pytest.raises(InvalidInstanceError, match="objective"):
+            best_binding_tree(inst, objective="vibes")
+
+
+class TestSampledSearch:
+    def test_max_candidates_respected(self):
+        inst = random_instance(6, 3, seed=8)
+        found = best_binding_tree(inst, max_candidates=10, seed=0)
+        assert found.candidates == 10
+
+    def test_sampling_deterministic_by_seed(self):
+        inst = random_instance(6, 3, seed=9)
+        a = best_binding_tree(inst, max_candidates=8, seed=1)
+        b = best_binding_tree(inst, max_candidates=8, seed=1)
+        assert a.scores == b.scores
+        assert a.result.tree == b.result.tree
+
+    def test_sampled_trees_distinct(self):
+        inst = random_instance(5, 3, seed=10)
+        found = best_binding_tree(inst, max_candidates=12, seed=2)
+        # 5^3 = 125 trees exist, 12 distinct requested
+        assert found.candidates == 12
+
+    def test_more_candidates_never_worse(self):
+        inst = random_instance(5, 4, seed=11)
+        small = best_binding_tree(inst, max_candidates=3, seed=3)
+        # exhaustive includes every sampled tree
+        full = best_binding_tree(inst)
+        assert full.score <= small.score

@@ -1,0 +1,72 @@
+"""Distributed Algorithm 1 over the message simulator."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import is_stable_kary
+from repro.distributed.distributed_binding import run_distributed_binding
+from repro.model.generators import random_instance
+from repro.parallel.schedule import even_odd_chain_schedule, sequential_schedule
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k,n", [(3, 4), (4, 5), (5, 3)])
+    def test_matches_serial_algorithm1(self, k, n):
+        inst = random_instance(k, n, seed=k * 10 + n)
+        tree = BindingTree.chain(k)
+        serial = iterative_binding(inst, tree)
+        dist = run_distributed_binding(inst, tree)
+        assert dist.matching == serial.matching
+        assert dist.proposals == sum(
+            r.proposals
+            for r in iterative_binding(inst, tree, engine="rounds").edge_results
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_output_stable(self, seed):
+        inst = random_instance(4, 4, seed=seed)
+        dist = run_distributed_binding(inst)
+        assert is_stable_kary(inst, dist.matching)
+
+    def test_star_tree(self):
+        inst = random_instance(5, 3, seed=9)
+        tree = BindingTree.star(5)
+        dist = run_distributed_binding(inst, tree)
+        assert dist.matching == iterative_binding(inst, tree).matching
+
+
+class TestRoundStructure:
+    def test_chain_two_schedule_rounds(self):
+        """Corollary 2 at message level: two network phases."""
+        inst = random_instance(6, 4, seed=1)
+        tree = BindingTree.chain(6)
+        dist = run_distributed_binding(
+            inst, tree, schedule=even_odd_chain_schedule(tree)
+        )
+        assert len(dist.network_rounds) == 2
+
+    def test_star_delta_schedule_rounds(self):
+        """Corollary 1: star needs k-1 phases."""
+        inst = random_instance(5, 3, seed=2)
+        tree = BindingTree.star(5)
+        dist = run_distributed_binding(inst, tree)
+        assert len(dist.network_rounds) == 4
+
+    def test_parallel_beats_sequential_in_rounds(self):
+        """Concurrent bindings shrink the distributed makespan."""
+        inst = random_instance(6, 6, seed=3)
+        tree = BindingTree.chain(6)
+        parallel = run_distributed_binding(
+            inst, tree, schedule=even_odd_chain_schedule(tree)
+        )
+        sequential = run_distributed_binding(
+            inst, tree, schedule=sequential_schedule(tree)
+        )
+        assert parallel.matching == sequential.matching
+        assert parallel.total_network_rounds < sequential.total_network_rounds
+
+    def test_messages_counted(self):
+        inst = random_instance(3, 4, seed=4)
+        dist = run_distributed_binding(inst)
+        assert dist.messages > dist.proposals  # replies exist

@@ -1,0 +1,67 @@
+"""Distributed Gale-Shapley over the message simulator."""
+
+import pytest
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.verify import is_stable
+from repro.distributed.distributed_gs import run_distributed_gs
+from repro.model.generators import identical_preferences_smp, random_smp
+
+
+class TestCorrectness:
+    def test_paper_example1(self):
+        report = run_distributed_gs([[0, 1], [0, 1]], [[1, 0], [1, 0]])
+        assert report.matching == (1, 0)
+
+    @pytest.mark.parametrize("n", [2, 5, 12])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_sequential_gs(self, n, seed):
+        inst = random_smp(n, seed=seed)
+        view = inst.bipartite_view(0, 1)
+        seq = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        dist = run_distributed_gs(view.proposer_prefs, view.responder_prefs)
+        assert dist.matching == seq.matching
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_output_is_stable(self, seed):
+        inst = random_smp(8, seed=40 + seed)
+        view = inst.bipartite_view(0, 1)
+        dist = run_distributed_gs(view.proposer_prefs, view.responder_prefs)
+        assert is_stable(view.proposer_prefs, view.responder_prefs, dist.matching)
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_n_squared_proposal_bound(self, n):
+        """'the SMP is solved in at most n² accumulative proposals'"""
+        for seed in range(3):
+            inst = random_smp(n, seed=seed)
+            view = inst.bipartite_view(0, 1)
+            report = run_distributed_gs(view.proposer_prefs, view.responder_prefs)
+            assert report.proposals <= n * n
+
+    def test_proposals_match_sequential_rounds_engine(self):
+        # the distributed schedule is the round-synchronous engine's
+        inst = random_smp(9, seed=7)
+        view = inst.bipartite_view(0, 1)
+        dist = run_distributed_gs(view.proposer_prefs, view.responder_prefs)
+        rounds_engine = gale_shapley(
+            view.proposer_prefs, view.responder_prefs, engine="rounds"
+        )
+        assert dist.proposals == rounds_engine.proposals
+
+    def test_worst_case_family(self):
+        n = 6
+        inst = identical_preferences_smp(n)
+        view = inst.bipartite_view(0, 1)
+        report = run_distributed_gs(view.proposer_prefs, view.responder_prefs)
+        assert report.proposals == n * (n + 1) // 2
+
+    def test_messages_include_replies(self):
+        report = run_distributed_gs([[0, 1], [0, 1]], [[1, 0], [1, 0]])
+        # every proposal costs at least one reply eventually
+        assert report.messages > report.proposals
+
+    def test_rounds_positive(self):
+        report = run_distributed_gs([[0]], [[0]])
+        assert report.rounds >= 2  # propose round + reply round

@@ -1,0 +1,99 @@
+"""Unit tests for the synchronous network simulator."""
+
+import pytest
+
+from repro.distributed.simulator import Message, Node, SyncNetwork
+from repro.exceptions import SimulationError
+
+
+class Echo(Node):
+    """Replies once to every message received; terminates when quiet."""
+
+    def __init__(self, node_id, kick=None):
+        super().__init__(node_id)
+        self.kick = kick
+        self.seen = []
+
+    def step(self, inbox, round_no):
+        out = []
+        if self.kick is not None and round_no == 1:
+            out.append(Message(self.node_id, self.kick, ("ping", 0)))
+            self.kick = None
+        for msg in inbox:
+            kind, hops = msg.payload
+            self.seen.append(msg)
+            if hops < 3:
+                out.append(Message(self.node_id, msg.sender, ("ping", hops + 1)))
+        return out
+
+    @property
+    def done(self):
+        return True
+
+
+class TestSyncNetwork:
+    def test_ping_pong_rounds(self):
+        a, b = Echo(0, kick=1), Echo(1)
+        net = SyncNetwork([a, b])
+        rounds = net.run()
+        # kick + 3 bounces + the final delivery round
+        assert rounds >= 4
+        assert net.messages_sent == 4
+        assert len(b.seen) == 2  # hops 0 and 2
+
+    def test_quiescence_with_no_messages(self):
+        # one round is needed to observe that nothing wants to talk
+        net = SyncNetwork([Echo(0), Echo(1)])
+        assert net.run() == 1
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            SyncNetwork([Echo(0), Echo(0)])
+
+    def test_unknown_receiver_detected(self):
+        class Bad(Node):
+            def step(self, inbox, round_no):
+                return [Message(self.node_id, 99, ("x",))]
+
+            @property
+            def done(self):
+                return True
+
+        net = SyncNetwork([Bad(0)])
+        with pytest.raises(SimulationError, match="unknown node"):
+            net.run()
+
+    def test_forged_sender_detected(self):
+        class Forger(Node):
+            def step(self, inbox, round_no):
+                return [Message(42, self.node_id, ("x",))] if round_no == 1 else []
+
+            @property
+            def done(self):
+                return True
+
+        net = SyncNetwork([Forger(0)])
+        with pytest.raises(SimulationError, match="forge"):
+            net.run()
+
+    def test_max_rounds_guard(self):
+        class Chatter(Node):
+            def step(self, inbox, round_no):
+                return [Message(self.node_id, self.node_id, ("x",))]
+
+            @property
+            def done(self):
+                return False
+
+        net = SyncNetwork([Chatter(0)], max_rounds=10)
+        with pytest.raises(SimulationError, match="quiesce"):
+            net.run()
+
+    def test_never_done_node_blocks_termination(self):
+        class Lazy(Node):
+            def step(self, inbox, round_no):
+                return []
+
+        net = SyncNetwork([Lazy(0)], max_rounds=5)
+        with pytest.raises(SimulationError):
+            net.run()

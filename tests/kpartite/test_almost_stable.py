@@ -1,0 +1,137 @@
+"""Almost-stable binary matchings (fewest blocking pairs)."""
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.kpartite.almost_stable import (
+    min_blocking_matching_exact,
+    min_blocking_matching_local,
+)
+from repro.kpartite.existence import binary_blocking_pairs, solve_binary
+from repro.model.generators import random_global_instance, theorem1_instance
+from repro.exceptions import NoStableMatchingError
+
+
+class TestExact:
+    def test_theorem1_instance_is_strictly_unstable(self):
+        """Theorem 1 instances have optimum >= 1 blocking pair."""
+        inst = theorem1_instance(3, 2, seed=0)
+        result = min_blocking_matching_exact(inst, linearization="global")
+        assert result.exact
+        assert result.blocking_count >= 1
+
+    def test_score_matches_verifier(self):
+        inst = theorem1_instance(3, 2, seed=1)
+        result = min_blocking_matching_exact(inst, linearization="global")
+        recount = binary_blocking_pairs(
+            inst, result.pairs, linearization="global"
+        )
+        assert len(recount) == result.blocking_count
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_zero_iff_solvable(self, seed):
+        inst = random_global_instance(3, 2, seed=seed)
+        result = min_blocking_matching_exact(inst)
+        try:
+            solve_binary(inst)
+            solvable = True
+        except NoStableMatchingError:
+            solvable = False
+        assert (result.blocking_count == 0) == solvable
+
+    def test_exhaustive_evaluates_all_when_unsolvable(self):
+        inst = theorem1_instance(3, 2, seed=2)
+        result = min_blocking_matching_exact(inst, linearization="global")
+        assert result.evaluated == 8  # all pairings of K(2,2,2)
+
+    def test_odd_membership_rejected(self):
+        inst = random_global_instance(3, 3, seed=3)  # 9 members: odd
+        with pytest.raises(InvalidInstanceError):
+            min_blocking_matching_exact(inst)
+
+
+class TestLocalSearch:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_beats_exact(self, seed):
+        inst = theorem1_instance(3, 2, seed=10 + seed)
+        exact = min_blocking_matching_exact(inst, linearization="global")
+        local = min_blocking_matching_local(
+            inst, linearization="global", restarts=6, seed=seed
+        )
+        assert local.blocking_count >= exact.blocking_count
+
+    def test_often_matches_exact_at_tiny_sizes(self):
+        matches = 0
+        for seed in range(8):
+            inst = theorem1_instance(3, 2, seed=20 + seed)
+            exact = min_blocking_matching_exact(inst, linearization="global")
+            local = min_blocking_matching_local(
+                inst, linearization="global", restarts=8, seed=seed
+            )
+            matches += local.blocking_count == exact.blocking_count
+        assert matches >= 6
+
+    def test_zero_score_is_exact_certificate(self):
+        for seed in range(10):
+            inst = random_global_instance(3, 2, seed=100 + seed)
+            local = min_blocking_matching_local(inst, restarts=6, seed=seed)
+            if local.blocking_count == 0:
+                assert local.exact
+                assert binary_blocking_pairs(inst, local.pairs) == []
+                return
+        pytest.skip("no solvable instance found in this sweep")
+
+    def test_larger_instance_runs(self):
+        inst = theorem1_instance(4, 3, seed=5)
+        local = min_blocking_matching_local(
+            inst, linearization="global", restarts=3, max_steps=60, seed=1
+        )
+        assert local.blocking_count >= 1  # Theorem 1: never 0
+        # pairs form a perfect matching
+        members = [m for pair in local.pairs for m in pair]
+        assert len(members) == len(set(members)) == 12
+
+    def test_odd_membership_rejected(self):
+        inst = random_global_instance(3, 3, seed=6)
+        with pytest.raises(InvalidInstanceError, match="odd"):
+            min_blocking_matching_local(inst)
+
+    def test_deterministic_by_seed(self):
+        inst = theorem1_instance(3, 2, seed=7)
+        a = min_blocking_matching_local(inst, linearization="global", seed=3)
+        b = min_blocking_matching_local(inst, linearization="global", seed=3)
+        assert a.pairs == b.pairs and a.blocking_count == b.blocking_count
+
+
+class TestRoommatesEnumeration:
+    def test_promoted_oracle_agrees_with_solver(self):
+        from repro.roommates.enumerate import count_stable_roommate_matchings
+        from repro.roommates.instance import RoommatesInstance
+        from repro.roommates.irving import stable_roommates_exists
+        from repro.utils.rng import as_rng
+
+        rng = as_rng(0)
+        for _ in range(10):
+            prefs = []
+            for p in range(6):
+                others = [q for q in range(6) if q != p]
+                rng.shuffle(others)
+                prefs.append(others)
+            inst = RoommatesInstance(prefs)
+            assert (count_stable_roommate_matchings(inst) > 0) == (
+                stable_roommates_exists(inst)
+            )
+
+    def test_cycle_instance_has_zero(self):
+        from repro.roommates.enumerate import count_stable_roommate_matchings
+        from repro.roommates.instance import RoommatesInstance
+
+        inst = RoommatesInstance([[1, 2, 3], [2, 0, 3], [0, 1, 3], [0, 1, 2]])
+        assert count_stable_roommate_matchings(inst) == 0
+
+    def test_odd_population_yields_nothing(self):
+        from repro.roommates.enumerate import enumerate_perfect_matchings
+        from repro.roommates.instance import RoommatesInstance
+
+        inst = RoommatesInstance([[1, 2], [0, 2], [0, 1]])
+        assert list(enumerate_perfect_matchings(inst)) == []

@@ -1,0 +1,55 @@
+"""Section III.A self-matching extension example."""
+
+from repro.kpartite.examples import self_matching_pariah_instance
+from repro.roommates.irving import stable_roommates_exists
+from repro.roommates.verify import blocking_pairs_roommates
+
+from tests.conftest import (
+    enumerate_perfect_roommate_matchings,
+    roommates_matching_is_stable,
+)
+
+
+class TestSelfMatchingPariah:
+    def test_structure_top_cycle(self):
+        inst = self_matching_pariah_instance()
+        # top choices: m->w, w->m', m'->w', w'->u, u->m
+        assert inst.preference_list(0)[0] == 2
+        assert inst.preference_list(2)[0] == 1
+        assert inst.preference_list(1)[0] == 3
+        assert inst.preference_list(3)[0] == 4
+        assert inst.preference_list(4)[0] == 0
+
+    def test_pariah_is_last_everywhere(self):
+        inst = self_matching_pariah_instance()
+        for p in range(5):
+            assert inst.preference_list(p)[-1] == 5
+
+    def test_u_gender_can_self_match(self):
+        inst = self_matching_pariah_instance()
+        assert inst.is_acceptable(4, 5)
+
+    def test_m_w_cannot_self_match(self):
+        inst = self_matching_pariah_instance()
+        assert not inst.is_acceptable(0, 1)
+        assert not inst.is_acceptable(2, 3)
+
+    def test_no_stable_matching_exists(self):
+        """The paper's claim: u' paired with anyone is unstable."""
+        inst = self_matching_pariah_instance()
+        assert not stable_roommates_exists(inst)
+
+    def test_exhaustive_confirms_every_matching_blocked(self):
+        inst = self_matching_pariah_instance()
+        matchings = list(enumerate_perfect_roommate_matchings(inst))
+        assert matchings, "perfect matchings must exist"
+        for m in matchings:
+            assert not roommates_matching_is_stable(inst, m)
+
+    def test_blocking_always_involves_pariah_partner(self):
+        """Whoever holds u' (id 5) has a better mutual option."""
+        inst = self_matching_pariah_instance()
+        for m in enumerate_perfect_roommate_matchings(inst):
+            partner_of_pariah = m[5]
+            pairs = blocking_pairs_roommates(inst, m)
+            assert any(partner_of_pariah in pair for pair in pairs)

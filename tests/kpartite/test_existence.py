@@ -1,0 +1,114 @@
+"""k-partite binary matching: Section III results end to end."""
+
+import pytest
+
+from repro.exceptions import InvalidMatchingError, NoStableMatchingError
+from repro.kpartite.existence import (
+    binary_blocking_pairs,
+    exhaustive_stable_binary_exists,
+    has_stable_binary,
+    is_stable_binary,
+    solve_binary,
+)
+from repro.model.examples import sec3b_left_instance, sec3b_right_instance
+from repro.model.generators import random_global_instance, theorem1_instance
+from repro.model.members import Member
+
+m, m_ = Member(0, 0), Member(0, 1)
+w, w_ = Member(1, 0), Member(1, 1)
+u, u_ = Member(2, 0), Member(2, 1)
+
+
+class TestPaperWalkthroughs:
+    def test_left_hand_side_matching(self, sec3b_left):
+        """Paper: 'The final matching is (m, u'), (m', w), and (w', u).'"""
+        result = solve_binary(sec3b_left)
+        assert result.pairs == ((m, u_), (m_, w), (w_, u))
+
+    def test_left_hand_side_is_stable(self, sec3b_left):
+        result = solve_binary(sec3b_left)
+        assert is_stable_binary(sec3b_left, result.pairs)
+
+    def test_right_hand_side_no_matching(self, sec3b_right):
+        """Paper: 'u's reduced list is empty. Therefore, there is no
+        stable matching.'"""
+        with pytest.raises(NoStableMatchingError) as exc:
+            solve_binary(sec3b_right)
+        assert exc.value.witness == u
+
+    def test_right_hand_side_exhaustive_agrees(self, sec3b_right):
+        assert not exhaustive_stable_binary_exists(sec3b_right)
+
+    def test_partner_lookup(self, sec3b_left):
+        result = solve_binary(sec3b_left)
+        assert result.partner(m) == u_
+        assert result.partner(u_) == m
+        with pytest.raises(InvalidMatchingError):
+            result.partner(Member(0, 9))
+
+    def test_as_dict_symmetric(self, sec3b_left):
+        d = solve_binary(sec3b_left).as_dict()
+        assert all(d[d[x]] == x for x in d)
+
+
+class TestTheorem1:
+    """No stable binary matching under the adversarial preferences."""
+
+    @pytest.mark.parametrize("k,n", [(3, 2), (3, 4), (4, 2), (5, 2), (6, 2), (4, 3)])
+    def test_solver_detects_nonexistence(self, k, n):
+        inst = theorem1_instance(k, n, seed=k * 100 + n)
+        assert not has_stable_binary(inst, linearization="global")
+
+    @pytest.mark.parametrize("k,n", [(3, 2), (4, 2)])
+    def test_exhaustive_confirms(self, k, n):
+        inst = theorem1_instance(k, n, seed=k * 10 + n)
+        assert not exhaustive_stable_binary_exists(inst, linearization="global")
+
+    def test_perfect_matching_exists_anyway(self):
+        """Theorem 1 also asserts a perfect matching always exists."""
+        from repro.analysis.counting import enumerate_perfect_binary_matchings
+
+        inst = theorem1_instance(3, 2, seed=0)
+        assert next(enumerate_perfect_binary_matchings(inst.k, inst.n), None) is not None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_k2_always_solvable(self, seed):
+        """k = 2 is the stable marriage problem: always solvable."""
+        inst = random_global_instance(2, 5, seed=seed)
+        assert has_stable_binary(inst)
+
+
+class TestRandomGlobalInstances:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_verdict_matches_exhaustive(self, seed):
+        inst = random_global_instance(3, 2, seed=seed)
+        assert has_stable_binary(inst) == exhaustive_stable_binary_exists(inst)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_solutions_are_stable(self, seed):
+        inst = random_global_instance(3, 3, seed=100 + seed)
+        try:
+            result = solve_binary(inst)
+        except NoStableMatchingError:
+            return
+        assert binary_blocking_pairs(inst, result.pairs) == []
+
+
+class TestBlockingPairValidation:
+    def test_rejects_same_gender_pair(self, sec3b_left):
+        with pytest.raises(InvalidMatchingError, match="within one gender"):
+            binary_blocking_pairs(sec3b_left, [(m, m_), (w, w_), (u, u_)])
+
+    def test_rejects_duplicated_member(self, sec3b_left):
+        with pytest.raises(InvalidMatchingError, match="two pairs"):
+            binary_blocking_pairs(sec3b_left, [(m, w), (m, u), (m_, w_)])
+
+    def test_rejects_partial_matching(self, sec3b_left):
+        with pytest.raises(InvalidMatchingError, match="unmatched"):
+            binary_blocking_pairs(sec3b_left, [(m, w)])
+
+    def test_finds_known_blocking_pair(self, sec3b_left):
+        # pair m with its last choice u and check the blocking structure
+        pairs = [(m, u), (m_, w), (w_, u_)]
+        blockers = binary_blocking_pairs(sec3b_left, pairs)
+        assert blockers  # m strongly prefers others; someone reciprocates

@@ -1,0 +1,90 @@
+"""Roommates-based fair SMP (Section III.B, Figure 2)."""
+
+import pytest
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.verify import is_stable
+from repro.exceptions import InvalidInstanceError
+from repro.kpartite.fairness import solve_smp_fair
+from repro.model.generators import random_smp
+
+
+class TestFigure2:
+    """m: w w' | m': w' w | w: m' m | w': m m' — the deadlock instance."""
+
+    def test_woman_optimal_policy(self, fig2_smp):
+        # breaking the men's loop yields the woman-optimal (m, w'), (m', w)
+        result = solve_smp_fair(fig2_smp, policy="woman_optimal")
+        assert result.matching == (1, 0)
+
+    def test_man_optimal_policy(self, fig2_smp):
+        # breaking the women's loop yields the man-optimal (m, w), (m', w')
+        result = solve_smp_fair(fig2_smp, policy="man_optimal")
+        assert result.matching == (0, 1)
+
+    def test_man_optimal_equals_gs(self, fig2_smp):
+        view = fig2_smp.bipartite_view(0, 1)
+        gs = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        assert solve_smp_fair(fig2_smp, policy="man_optimal").matching == gs.matching
+
+    def test_alternate_starts_with_men(self, fig2_smp):
+        # paper: first break is man-oriented, favoring women
+        result = solve_smp_fair(fig2_smp, policy="alternate")
+        assert result.matching == (1, 0)
+
+    def test_costs_reported(self, fig2_smp):
+        r = solve_smp_fair(fig2_smp, policy="woman_optimal")
+        assert r.costs.responder == 0  # women at their first choices
+        assert r.costs.proposer == 2
+
+
+class TestPolicyBehaviour:
+    @pytest.mark.parametrize("policy", ["man_optimal", "woman_optimal", "alternate"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_stable(self, policy, seed):
+        inst = random_smp(7, seed=seed)
+        result = solve_smp_fair(inst, policy=policy)
+        view = inst.bipartite_view(0, 1)
+        assert is_stable(view.proposer_prefs, view.responder_prefs, result.matching)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_man_optimal_matches_gs_everywhere(self, seed):
+        inst = random_smp(6, seed=50 + seed)
+        view = inst.bipartite_view(0, 1)
+        gs = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        assert solve_smp_fair(inst, policy="man_optimal").matching == gs.matching
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_woman_optimal_is_women_best(self, seed):
+        inst = random_smp(5, seed=80 + seed)
+        view = inst.bipartite_view(0, 1)
+        p, r = view.proposer_prefs, view.responder_prefs
+        wo = solve_smp_fair(inst, policy="woman_optimal")
+        for m in all_stable_matchings(p, r):
+            assert wo.costs.responder <= sum(
+                view.responder_ranks[m[i], i] for i in range(5)
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_alternate_between_extremes(self, seed):
+        inst = random_smp(8, seed=120 + seed)
+        mo = solve_smp_fair(inst, policy="man_optimal").costs
+        wo = solve_smp_fair(inst, policy="woman_optimal").costs
+        alt = solve_smp_fair(inst, policy="alternate").costs
+        assert mo.proposer <= alt.proposer <= wo.proposer
+        assert wo.responder <= alt.responder <= mo.responder
+
+    def test_custom_callable_policy(self, fig2_smp):
+        result = solve_smp_fair(fig2_smp, policy=lambda cands: min(cands))
+        assert result.policy == "<lambda>"
+
+    def test_rejects_non_bipartite(self):
+        from repro.model.generators import random_instance
+
+        with pytest.raises(InvalidInstanceError, match="bipartite"):
+            solve_smp_fair(random_instance(3, 2, seed=0))
+
+    def test_rejects_unknown_policy(self, fig2_smp):
+        with pytest.raises(ValueError, match="unknown policy"):
+            solve_smp_fair(fig2_smp, policy="chaotic")

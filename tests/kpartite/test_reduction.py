@@ -1,0 +1,129 @@
+"""Unit tests for the k-partite -> roommates reduction."""
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.kpartite.reduction import (
+    LINEARIZATIONS,
+    id_to_member,
+    linearize_instance,
+    linearize_member,
+    member_id,
+    to_roommates,
+)
+from repro.model.examples import sec3b_left_instance
+from repro.model.generators import random_global_instance, random_instance
+from repro.model.members import Member
+
+
+class TestMemberIds:
+    @pytest.mark.parametrize("g,i,n", [(0, 0, 3), (2, 1, 3), (1, 4, 5)])
+    def test_roundtrip(self, g, i, n):
+        assert id_to_member(member_id(Member(g, i), n), n) == Member(g, i)
+
+    def test_ids_are_dense(self):
+        n = 3
+        ids = {member_id(Member(g, i), n) for g in range(3) for i in range(n)}
+        assert ids == set(range(9))
+
+
+class TestLinearizeMember:
+    def test_global_uses_explicit_order(self):
+        inst = sec3b_left_instance()
+        order = linearize_member(inst, Member(0, 0), "global")
+        assert order == inst.global_order(Member(0, 0))
+
+    def test_global_without_order_raises(self):
+        inst = random_instance(3, 2, seed=0)
+        with pytest.raises(InvalidInstanceError):
+            linearize_member(inst, Member(0, 0), "global")
+
+    def test_auto_prefers_global(self):
+        inst = random_global_instance(3, 2, seed=1)
+        assert linearize_member(inst, Member(1, 0), "auto") == inst.global_order(
+            Member(1, 0)
+        )
+
+    def test_auto_falls_back_to_round_robin(self):
+        inst = random_instance(3, 2, seed=2)
+        order = linearize_member(inst, Member(0, 0), "auto")
+        # rank-1 choices of both other genders come first
+        firsts = {inst.top(Member(0, 0), 1), inst.top(Member(0, 0), 2)}
+        assert set(order[:2]) == firsts
+
+    def test_round_robin_interleaves_ranks(self):
+        inst = random_instance(3, 3, seed=3)
+        order = linearize_member(inst, Member(2, 1), "round_robin")
+        # positions 2r, 2r+1 hold the rank-r choices of genders 0 and 1
+        for r in range(3):
+            chunk = order[2 * r : 2 * r + 2]
+            assert {m.gender for m in chunk} == {0, 1}
+            for m in chunk:
+                assert inst.rank(Member(2, 1), m) == r
+
+    def test_priority_concatenates(self):
+        inst = random_instance(3, 2, seed=4)
+        order = linearize_member(
+            inst, Member(0, 0), "priority", priorities=[0, 5, 1]
+        )
+        assert [m.gender for m in order] == [1, 1, 2, 2]
+
+    def test_priority_needs_k_priorities(self):
+        inst = random_instance(3, 2, seed=5)
+        with pytest.raises(InvalidInstanceError, match="priorities"):
+            linearize_member(inst, Member(0, 0), "priority", priorities=[1, 2])
+
+    def test_unknown_linearization(self):
+        inst = random_instance(3, 2, seed=6)
+        with pytest.raises(InvalidInstanceError, match="unknown linearization"):
+            linearize_member(inst, Member(0, 0), "zigzag")
+
+    def test_all_strategies_cover_everyone(self):
+        inst = random_global_instance(3, 3, seed=7)
+        for strategy in LINEARIZATIONS:
+            order = linearize_member(inst, Member(1, 1), strategy, priorities=[2, 1, 0])
+            assert len(order) == 6
+            assert len(set(order)) == 6
+            assert all(m.gender != 1 for m in order)
+
+
+class TestToRoommates:
+    def test_population_size(self):
+        inst = random_instance(3, 4, seed=8)
+        rm = to_roommates(inst)
+        assert rm.n == 12
+
+    def test_same_gender_unacceptable(self):
+        inst = random_instance(3, 3, seed=9)
+        rm = to_roommates(inst)
+        for g in range(3):
+            for i in range(3):
+                for j in range(3):
+                    if i == j:
+                        continue
+                    assert not rm.is_acceptable(
+                        member_id(Member(g, i), 3), member_id(Member(g, j), 3)
+                    )
+
+    def test_cross_gender_acceptable(self):
+        inst = random_instance(3, 2, seed=10)
+        rm = to_roommates(inst)
+        assert rm.is_acceptable(member_id(Member(0, 0), 2), member_id(Member(1, 1), 2))
+
+    def test_order_preserved(self):
+        inst = sec3b_left_instance()
+        rm = to_roommates(inst, "global")
+        m_id = member_id(Member(0, 0), 2)
+        expected = [member_id(x, 2) for x in inst.global_order(Member(0, 0))]
+        assert rm.preference_list(m_id) == expected
+
+    def test_labels_use_instance_names(self):
+        inst = sec3b_left_instance()
+        rm = to_roommates(inst)
+        assert rm.labels[member_id(Member(2, 1), 2)] == "u1"
+
+    def test_linearize_instance_covers_all_members(self):
+        inst = random_instance(4, 2, seed=11)
+        orders = linearize_instance(inst)
+        assert len(orders) == 8
+        assert all(len(v) == 6 for v in orders.values())

@@ -1,0 +1,88 @@
+"""The paper's worked examples must match the text exactly."""
+
+import pytest
+
+from repro.model.examples import (
+    FIG5_BAD_TREE,
+    FIG5_GOOD_TREE,
+    example1_instance,
+    figure2_smp_instance,
+    figure3_instance,
+    sec3b_left_instance,
+    sec3b_right_instance,
+)
+from repro.model.members import Member
+
+m, m_ = Member(0, 0), Member(0, 1)
+w, w_ = Member(1, 0), Member(1, 1)
+u, u_ = Member(2, 0), Member(2, 1)
+
+
+class TestExample1:
+    def test_variant_a_preferences(self):
+        inst = example1_instance("a")
+        assert inst.top(m, 1) == w and inst.top(m_, 1) == w
+        assert inst.top(w, 0) == m_ and inst.top(w_, 0) == m_
+
+    def test_variant_b_preferences(self):
+        inst = example1_instance("b")
+        assert inst.top(m, 1) == w and inst.top(m_, 1) == w_
+        assert inst.top(w, 0) == m_ and inst.top(w_, 0) == m
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            example1_instance("c")
+
+    def test_gender_names(self):
+        assert example1_instance("a").gender_names == ("m", "w")
+
+
+class TestFigure2:
+    def test_same_structure_as_variant_b(self):
+        assert figure2_smp_instance() == example1_instance("b")
+
+
+class TestFigure3:
+    def test_text_pinned_block(self):
+        inst = figure3_instance()
+        # "both u and u' rank m higher than m'"
+        assert inst.prefers(u, m, m_) and inst.prefers(u_, m, m_)
+        # "m ranks u' higher and m' ranks u higher"
+        assert inst.prefers(m, u_, u) and inst.prefers(m_, u, u_)
+
+    def test_three_genders_two_members(self):
+        inst = figure3_instance()
+        assert (inst.k, inst.n) == (3, 2)
+        assert inst.gender_names == ("m", "w", "u")
+
+
+class TestSec3BLists:
+    def test_left_lists_verbatim(self):
+        inst = sec3b_left_instance()
+        assert inst.global_order(m) == [u_, w, w_, u]
+        assert inst.global_order(m_) == [u_, w, u, w_]
+        assert inst.global_order(w) == [m, m_, u_, u]
+        assert inst.global_order(w_) == [m_, m, u, u_]
+        assert inst.global_order(u) == [m, m_, w_, w]
+        assert inst.global_order(u_) == [m, w, w_, m_]
+
+    def test_right_lists_verbatim(self):
+        inst = sec3b_right_instance()
+        assert inst.global_order(m) == [w_, u_, u, w]
+        assert inst.global_order(m_) == [w_, w, u, u_]
+        assert inst.global_order(w) == [m_, m, u, u_]
+        assert inst.global_order(w_) == [m, m_, u, u_]
+        assert inst.global_order(u) == [m, m_, w, w_]
+        assert inst.global_order(u_) == [m, w_, w, m_]
+
+
+class TestFigure5Trees:
+    def test_bad_tree_is_not_bitonic(self):
+        from repro.core.binding_tree import BindingTree
+
+        assert not BindingTree(4, FIG5_BAD_TREE).is_bitonic()
+
+    def test_good_tree_is_bitonic(self):
+        from repro.core.binding_tree import BindingTree
+
+        assert BindingTree(4, FIG5_GOOD_TREE).is_bitonic()

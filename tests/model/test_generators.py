@@ -1,0 +1,197 @@
+"""Unit tests for instance generators (including adversarial families)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.model.generators import (
+    component_adversarial_instance,
+    cyclic_smp,
+    identical_preferences_smp,
+    master_list_instance,
+    random_global_instance,
+    random_instance,
+    random_smp,
+    society_instance,
+    theorem1_instance,
+    theorem4_cyclic_instance,
+)
+from repro.model.members import Member
+
+
+class TestRandomInstance:
+    def test_shape(self):
+        inst = random_instance(4, 5, seed=0)
+        assert (inst.k, inst.n) == (4, 5)
+
+    def test_deterministic_by_seed(self):
+        assert random_instance(3, 4, seed=7) == random_instance(3, 4, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert random_instance(3, 6, seed=1) != random_instance(3, 6, seed=2)
+
+    def test_all_lists_are_permutations(self):
+        inst = random_instance(3, 6, seed=3)
+        for m in inst.members():
+            for h in range(3):
+                if h == m.gender:
+                    continue
+                idx = sorted(x.index for x in inst.preference_list(m, h))
+                assert idx == list(range(6))
+
+    @pytest.mark.parametrize("k,n", [(1, 3), (2, 0)])
+    def test_invalid_params(self, k, n):
+        with pytest.raises(InvalidInstanceError):
+            random_instance(k, n)
+
+
+class TestRandomGlobalInstance:
+    def test_has_global_order(self):
+        inst = random_global_instance(3, 3, seed=0)
+        assert inst.has_global_order
+
+    def test_global_order_projections_validate(self):
+        # construction would raise if projections were inconsistent, but
+        # validate once explicitly for one member.
+        inst = random_global_instance(3, 4, seed=1)
+        m = Member(0, 0)
+        order = inst.global_order(m)
+        assert [x for x in order if x.gender == 1] == inst.preference_list(m, 1)
+
+    def test_covers_all_other_members(self):
+        inst = random_global_instance(4, 3, seed=2)
+        order = inst.global_order(Member(2, 1))
+        assert len(order) == 9
+        assert all(x.gender != 2 for x in order)
+
+
+class TestMasterList:
+    def test_zero_noise_everyone_agrees(self):
+        inst = master_list_instance(3, 5, seed=0, noise=0.0)
+        for h in range(3):
+            lists = [
+                inst.preference_list(m, h)
+                for m in inst.members()
+                if m.gender != h
+            ]
+            assert all(lst == lists[0] for lst in lists)
+
+    def test_noise_creates_disagreement(self):
+        inst = master_list_instance(2, 12, seed=0, noise=5.0)
+        lists = [inst.preference_list(Member(0, i), 1) for i in range(12)]
+        assert any(lst != lists[0] for lst in lists)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            master_list_instance(2, 3, noise=-1.0)
+
+
+class TestSocietyInstance:
+    def test_shape_and_determinism(self):
+        a = society_instance(3, 4, seed=5)
+        b = society_instance(3, 4, seed=5)
+        assert a == b
+
+    def test_popularity_only_is_master_list(self):
+        inst = society_instance(2, 6, seed=1, taste_weight=0.0)
+        lists = [inst.preference_list(Member(0, i), 1) for i in range(6)]
+        assert all(lst == lists[0] for lst in lists)
+
+
+class TestTheorem1Instance:
+    def test_requires_k_at_least_3(self):
+        with pytest.raises(InvalidInstanceError, match="k >= 3"):
+            theorem1_instance(2, 2)
+
+    def test_requires_even_total(self):
+        with pytest.raises(InvalidInstanceError, match="even"):
+            theorem1_instance(3, 3)
+
+    def test_pariah_is_globally_last(self):
+        inst = theorem1_instance(4, 2, seed=0)
+        pariah = Member(0, 0)
+        for m in inst.members():
+            if m.gender == 0:
+                continue
+            assert inst.global_order(m)[-1] == pariah
+
+    def test_cycle_top_structure(self):
+        inst = theorem1_instance(4, 2, seed=1)
+        # each member of genders 1..k-1 has its cycle successor as global top
+        top_of = {}
+        for g in range(1, 4):
+            for i in range(2):
+                top = inst.global_order(Member(g, i))[0]
+                assert top.gender != 0 and top.gender != g
+                top_of.setdefault((top.gender, top.index), []).append((g, i))
+        # every member of genders 1..3 is the top of exactly one other
+        assert sorted(top_of) == [(g, i) for g in range(1, 4) for i in range(2)]
+        assert all(len(v) == 1 for v in top_of.values())
+
+    def test_has_global_order(self):
+        assert theorem1_instance(3, 2, seed=2).has_global_order
+
+
+class TestTheorem4Cyclic:
+    def test_preference_orders_match_paper(self):
+        inst = theorem4_cyclic_instance()
+        m, m_, w, w_, u, u_ = (
+            Member(0, 0),
+            Member(0, 1),
+            Member(1, 0),
+            Member(1, 1),
+            Member(2, 0),
+            Member(2, 1),
+        )
+        assert inst.top(m, 1) == w and inst.top(m_, 1) == w
+        assert inst.top(w, 0) == m and inst.top(w_, 0) == m_
+        assert inst.top(w, 2) == u and inst.top(w_, 2) == u
+        assert inst.top(u, 1) == w and inst.top(u_, 1) == w_
+        assert inst.top(m, 2) == u and inst.top(m_, 2) == u
+        assert inst.top(u, 0) == m_ and inst.top(u_, 0) == m_
+
+
+class TestComponentAdversarial:
+    def test_gs_binding_is_identity(self):
+        from repro.bipartite.gale_shapley import gale_shapley
+
+        inst = component_adversarial_instance(3)
+        view = inst.bipartite_view(0, 1)
+        res = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        assert res.matching == (0, 1, 2)
+
+    def test_identity_completion_is_blocked(self):
+        from repro.core.kary_matching import KAryMatching
+        from repro.core.stability import find_blocking_family
+
+        inst = component_adversarial_instance(2)
+        matching = KAryMatching.from_tuples(
+            inst, [(Member(0, i), Member(1, i), Member(2, i)) for i in range(2)]
+        )
+        witness = find_blocking_family(inst, matching)
+        assert witness is not None
+        assert set(witness.members) == {Member(0, 1), Member(1, 1), Member(2, 0)}
+
+    def test_small_n_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            component_adversarial_instance(1)
+
+
+class TestBipartiteFamilies:
+    def test_identical_preferences_proposal_count(self):
+        from repro.bipartite.gale_shapley import gale_shapley
+
+        n = 8
+        inst = identical_preferences_smp(n)
+        view = inst.bipartite_view(0, 1)
+        res = gale_shapley(view.proposer_prefs, view.responder_prefs)
+        assert res.proposals == n * (n + 1) // 2
+
+    def test_cyclic_smp_lists(self):
+        inst = cyclic_smp(4)
+        assert [x.index for x in inst.preference_list(Member(0, 1), 1)] == [1, 2, 3, 0]
+        assert [x.index for x in inst.preference_list(Member(1, 1), 0)] == [2, 3, 0, 1]
+
+    def test_random_smp_is_bipartite(self):
+        inst = random_smp(5, seed=0)
+        assert inst.k == 2 and inst.n == 5

@@ -1,0 +1,235 @@
+"""Unit tests for KPartiteInstance."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+
+
+def tiny_bipartite():
+    return KPartiteInstance.from_per_gender_lists(
+        [
+            [[None, [0, 1]], [None, [1, 0]]],
+            [[[1, 0], None], [[0, 1], None]],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_shape_attrs(self):
+        inst = tiny_bipartite()
+        assert (inst.k, inst.n) == (2, 2)
+
+    def test_default_gender_names(self):
+        assert tiny_bipartite().gender_names == ("a", "b")
+
+    def test_custom_gender_names(self):
+        inst = KPartiteInstance.from_per_gender_lists(
+            [
+                [[None, [0, 1]], [None, [1, 0]]],
+                [[[1, 0], None], [[0, 1], None]],
+            ],
+            gender_names=("m", "w"),
+        )
+        assert inst.name(Member(0, 1)) == "m1"
+
+    def test_duplicate_gender_names_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unique"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[None, [0]]],
+                    [[[0], None]],
+                ],
+                gender_names=("x", "x"),
+            )
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="gender names"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[None, [0]]],
+                    [[[0], None]],
+                ],
+                gender_names=("x",),
+            )
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="invalid list"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[None, [0, 0]], [None, [1, 0]]],
+                    [[[1, 0], None], [[0, 1], None]],
+                ]
+            )
+
+    def test_own_gender_entry_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="own gender"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[[1, 0], [0, 1]], [[0, 1], [1, 0]]],
+                    [[[1, 0], None], [[0, 1], None]],
+                ]
+            )
+
+    def test_missing_entries_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="must rank all"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[None, [0]], [None, [1, 0]]],
+                    [[[1, 0], None], [[0, 1], None]],
+                ]
+            )
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="balanced"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[None, [0, 1]], [None, [1, 0]]],
+                    [[[1, 0], None]],
+                ]
+            )
+
+    def test_bad_array_shape_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="shape"):
+            KPartiteInstance.from_arrays(np.zeros((2, 3, 4, 3), dtype=np.int32))
+
+    def test_from_rank_tables_matches_lists(self):
+        by_rank = KPartiteInstance.from_rank_tables(
+            [
+                [[None, [1, 0]], [None, [0, 1]]],  # ranks: member0 ranks b1 best
+                [[[0, 1], None], [[0, 1], None]],
+            ]
+        )
+        assert by_rank.preference_list(Member(0, 0), 1) == [Member(1, 1), Member(1, 0)]
+
+    def test_from_rank_tables_rejects_bad_ranks(self):
+        with pytest.raises(InvalidInstanceError, match="not a permutation"):
+            KPartiteInstance.from_rank_tables(
+                [
+                    [[None, [1, 1]], [None, [0, 1]]],
+                    [[[0, 1], None], [[0, 1], None]],
+                ]
+            )
+
+
+class TestQueries:
+    def test_preference_list(self):
+        inst = tiny_bipartite()
+        assert inst.preference_list(Member(0, 0), 1) == [Member(1, 0), Member(1, 1)]
+
+    def test_rank(self):
+        inst = tiny_bipartite()
+        assert inst.rank(Member(0, 0), Member(1, 0)) == 0
+        assert inst.rank(Member(0, 0), Member(1, 1)) == 1
+
+    def test_rank_same_gender_raises(self):
+        inst = tiny_bipartite()
+        with pytest.raises(InvalidInstanceError, match="share gender"):
+            inst.rank(Member(0, 0), Member(0, 1))
+
+    def test_prefers(self):
+        inst = tiny_bipartite()
+        assert inst.prefers(Member(0, 0), Member(1, 0), Member(1, 1))
+        assert not inst.prefers(Member(0, 0), Member(1, 1), Member(1, 0))
+
+    def test_prefers_cross_gender_raises(self):
+        inst = tiny_bipartite()
+        with pytest.raises(InvalidInstanceError, match="compare across genders"):
+            inst.prefers(Member(0, 0), Member(1, 0), Member(0, 1))
+
+    def test_top(self):
+        inst = tiny_bipartite()
+        assert inst.top(Member(1, 0), 0) == Member(0, 1)
+
+    def test_members_iteration(self):
+        inst = tiny_bipartite()
+        assert len(list(inst.members())) == 4
+        assert list(inst.members(1)) == [Member(1, 0), Member(1, 1)]
+
+    def test_out_of_range_member(self):
+        inst = tiny_bipartite()
+        with pytest.raises(InvalidInstanceError, match="out of range"):
+            inst.rank(Member(0, 5), Member(1, 0))
+
+    def test_bipartite_view_shapes_and_ranks(self):
+        inst = tiny_bipartite()
+        view = inst.bipartite_view(0, 1)
+        assert view.n == 2
+        assert view.proposer_prefs[0].tolist() == [0, 1]
+        assert view.responder_ranks[0].tolist() == [1, 0]
+
+    def test_bipartite_view_swapped(self):
+        inst = tiny_bipartite()
+        view = inst.bipartite_view(0, 1).swapped()
+        assert view.proposer_gender == 1
+        assert view.proposer_prefs[0].tolist() == [1, 0]
+
+    def test_bipartite_view_same_gender_raises(self):
+        with pytest.raises(InvalidInstanceError, match="distinct genders"):
+            tiny_bipartite().bipartite_view(0, 0)
+
+    def test_format_preferences_readable(self):
+        text = tiny_bipartite().format_preferences()
+        assert "a0 : b0 b1" in text
+
+    def test_equality_and_hash(self):
+        assert tiny_bipartite() == tiny_bipartite()
+        assert hash(tiny_bipartite()) == hash(tiny_bipartite())
+
+
+class TestGlobalOrder:
+    def make(self):
+        go = [
+            [[Member(1, 0), Member(1, 1)], [Member(1, 1), Member(1, 0)]],
+            [[Member(0, 1), Member(0, 0)], [Member(0, 0), Member(0, 1)]],
+        ]
+        return KPartiteInstance.from_per_gender_lists(
+            [
+                [[None, [0, 1]], [None, [1, 0]]],
+                [[[1, 0], None], [[0, 1], None]],
+            ],
+            global_order=go,
+        )
+
+    def test_has_global_order(self):
+        assert self.make().has_global_order
+        assert not tiny_bipartite().has_global_order
+
+    def test_global_order_query(self):
+        inst = self.make()
+        assert inst.global_order(Member(0, 0)) == [Member(1, 0), Member(1, 1)]
+
+    def test_missing_global_order_raises(self):
+        with pytest.raises(InvalidInstanceError, match="no explicit global order"):
+            tiny_bipartite().global_order(Member(0, 0))
+
+    def test_inconsistent_projection_rejected(self):
+        go = [
+            # gender 0 member 0's global order contradicts its list
+            [[Member(1, 1), Member(1, 0)], [Member(1, 1), Member(1, 0)]],
+            [[Member(0, 1), Member(0, 0)], [Member(0, 0), Member(0, 1)]],
+        ]
+        with pytest.raises(InvalidInstanceError, match="disagrees"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[None, [0, 1]], [None, [1, 0]]],
+                    [[[1, 0], None], [[0, 1], None]],
+                ],
+                global_order=go,
+            )
+
+    def test_incomplete_global_order_rejected(self):
+        go = [
+            [[Member(1, 0)], [Member(1, 1), Member(1, 0)]],
+            [[Member(0, 1), Member(0, 0)], [Member(0, 0), Member(0, 1)]],
+        ]
+        with pytest.raises(InvalidInstanceError, match="cover every"):
+            KPartiteInstance.from_per_gender_lists(
+                [
+                    [[None, [0, 1]], [None, [1, 0]]],
+                    [[[1, 0], None], [[0, 1], None]],
+                ],
+                global_order=go,
+            )

@@ -1,0 +1,55 @@
+"""Unit tests for member identities."""
+
+import pytest
+
+from repro.model.members import Member, member_name, parse_member
+
+
+class TestMember:
+    def test_is_value_object(self):
+        assert Member(1, 2) == Member(1, 2)
+        assert Member(1, 2) != Member(2, 1)
+        assert hash(Member(0, 0)) == hash(Member(0, 0))
+
+    def test_unpacks(self):
+        g, i = Member(3, 7)
+        assert (g, i) == (3, 7)
+
+    def test_usable_as_dict_key(self):
+        d = {Member(0, 1): "x"}
+        assert d[Member(0, 1)] == "x"
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "member, name",
+        [(Member(0, 0), "a0"), (Member(1, 3), "b3"), (Member(25, 9), "z9")],
+    )
+    def test_compact_names(self, member, name):
+        assert member_name(member) == name
+
+    def test_fallback_beyond_alphabet(self):
+        assert member_name(Member(30, 2)) == "g30m2"
+
+    @pytest.mark.parametrize("text", ["a0", "b3", "z9", "g30m2", "g0m0"])
+    def test_roundtrip(self, text):
+        assert member_name(parse_member(text)) in (text, member_name(parse_member(text)))
+        # strict roundtrip for canonical forms
+        m = parse_member(text)
+        assert parse_member(member_name(m)) == m
+
+    def test_parse_strips_whitespace(self):
+        assert parse_member(" b2 ") == Member(1, 2)
+
+    def test_single_letter_forms_are_compact(self):
+        # "g1" is gender 6 member 1, not a malformed "g<k>m<i>" form
+        assert parse_member("g1") == Member(6, 1)
+        assert parse_member("m2") == Member(12, 2)
+
+    @pytest.mark.parametrize("bad", ["", "0a", "aa1", "g1m", "A1", "a-1"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_member(bad)
+
+    def test_str_uses_name(self):
+        assert str(Member(2, 4)) == "c4"

@@ -1,0 +1,74 @@
+"""JSON round-trip tests for instances and matchings."""
+
+import json
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.exceptions import InvalidInstanceError, InvalidMatchingError
+from repro.model.examples import sec3b_left_instance
+from repro.model.generators import random_global_instance, random_instance
+from repro.model.serialize import (
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+    matching_from_dict,
+    matching_to_dict,
+)
+
+
+class TestInstanceRoundTrip:
+    def test_plain_instance(self):
+        inst = random_instance(3, 4, seed=0)
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_instance_with_global_order(self):
+        inst = random_global_instance(3, 3, seed=1)
+        back = instance_from_json(instance_to_json(inst))
+        assert back == inst
+        assert back.has_global_order
+
+    def test_paper_example_roundtrip(self):
+        inst = sec3b_left_instance()
+        back = instance_from_json(instance_to_json(inst))
+        assert back == inst
+        assert back.gender_names == ("m", "w", "u")
+
+    def test_dict_is_json_compatible(self):
+        d = instance_to_dict(random_instance(2, 3, seed=2))
+        json.dumps(d)  # must not raise
+
+    def test_declared_kn_checked(self):
+        d = instance_to_dict(random_instance(2, 3, seed=3))
+        d["n"] = 99
+        with pytest.raises(InvalidInstanceError, match="declared"):
+            instance_from_dict(d)
+
+    def test_missing_prefs_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="prefs"):
+            instance_from_dict({"k": 2, "n": 2})
+
+
+class TestMatchingRoundTrip:
+    def test_kary_matching(self):
+        inst = random_instance(3, 4, seed=5)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        back = matching_from_dict(inst, matching_to_dict(matching))
+        assert back == matching
+
+    def test_dict_is_json_compatible(self):
+        inst = random_instance(3, 2, seed=6)
+        matching = iterative_binding(inst, BindingTree.chain(3)).matching
+        json.dumps(matching_to_dict(matching))
+
+    def test_missing_tuples_rejected(self):
+        inst = random_instance(3, 2, seed=7)
+        with pytest.raises(InvalidMatchingError, match="tuples"):
+            matching_from_dict(inst, {})
+
+    def test_tuples_validated_against_instance(self):
+        inst = random_instance(3, 2, seed=8)
+        with pytest.raises(InvalidMatchingError):
+            matching_from_dict(inst, {"tuples": [[[0, 0], [1, 0], [1, 1]]]})

@@ -1,0 +1,134 @@
+"""Instance transformations and stability invariance."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import find_blocking_family, is_stable_kary
+from repro.exceptions import InvalidInstanceError
+from repro.model.generators import random_instance
+from repro.model.members import Member
+from repro.model.transform import (
+    permute_genders,
+    relabel_matching,
+    relabel_members,
+    restrict_members,
+)
+
+
+class TestRelabelMembers:
+    def test_identity_relabeling_is_noop(self):
+        inst = random_instance(3, 4, seed=0)
+        assert relabel_members(inst, {}) == inst
+
+    def test_preferences_rewritten_consistently(self):
+        inst = random_instance(3, 3, seed=1)
+        swapped = relabel_members(inst, {1: [1, 0, 2]})
+        # old (0, 0)'s rank of old (1, 0) == new (0, 0)'s rank of new (1, 1)
+        assert inst.rank(Member(0, 0), Member(1, 0)) == swapped.rank(
+            Member(0, 0), Member(1, 1)
+        )
+
+    def test_invalid_relabeling(self):
+        inst = random_instance(3, 3, seed=2)
+        with pytest.raises(InvalidInstanceError, match="permutation"):
+            relabel_members(inst, {0: [0, 0, 1]})
+
+    def test_stability_invariance(self):
+        """solve(relabel(inst)) == relabel(solve(inst)) — the symmetry
+        oracle: GS is label-independent up to its deterministic
+        tie-free execution, and stability is purely structural."""
+        for seed in range(6):
+            inst = random_instance(3, 4, seed=seed)
+            relabeling = {0: [2, 0, 3, 1], 1: [1, 3, 0, 2], 2: [3, 2, 1, 0]}
+            tree = BindingTree.chain(3)
+            relabeled = relabel_members(inst, relabeling)
+            direct = iterative_binding(relabeled, tree).matching
+            pushed = relabel_matching(
+                iterative_binding(inst, tree).matching, relabeled, relabeling
+            )
+            assert direct == pushed
+
+    def test_blocking_families_travel(self):
+        inst = random_instance(3, 3, seed=9)
+        from repro.core.kary_matching import KAryMatching
+
+        matching = KAryMatching.from_tuples(
+            inst, [tuple(Member(g, i) for g in range(3)) for i in range(3)]
+        )
+        relabeling = {0: [1, 2, 0]}
+        relabeled = relabel_members(inst, relabeling)
+        moved = relabel_matching(matching, relabeled, relabeling)
+        assert (find_blocking_family(inst, matching) is None) == (
+            find_blocking_family(relabeled, moved) is None
+        )
+
+
+class TestPermuteGenders:
+    def test_identity(self):
+        inst = random_instance(3, 3, seed=3)
+        assert permute_genders(inst, [0, 1, 2]) == inst
+
+    def test_names_travel(self):
+        inst = random_instance(3, 2, seed=4)
+        rotated = permute_genders(inst, [1, 2, 0])
+        assert rotated.gender_names == ("c", "a", "b")
+
+    def test_preference_blocks_move(self):
+        inst = random_instance(3, 2, seed=5)
+        rotated = permute_genders(inst, [1, 2, 0])
+        # old gender 0's list over old gender 1 == new 1's list over new 2
+        assert inst.preference_list(Member(0, 0), 1) == [
+            Member(1, m.index) for m in rotated.preference_list(Member(1, 0), 2)
+        ]
+
+    def test_double_application_roundtrip(self):
+        inst = random_instance(4, 2, seed=6)
+        perm = [2, 3, 1, 0]
+        inv = [perm.index(g) for g in range(4)]
+        back = permute_genders(permute_genders(inst, perm), inv)
+        # gender names travel, so compare preference content
+        assert (back.pref_array() == inst.pref_array()).all()
+
+    def test_invalid_perm(self):
+        with pytest.raises(InvalidInstanceError):
+            permute_genders(random_instance(3, 2, seed=7), [0, 0, 1])
+
+
+class TestRestrictMembers:
+    def test_shape(self):
+        inst = random_instance(3, 5, seed=8)
+        sub = restrict_members(inst, [[0, 2], [1, 4], [3, 0]])
+        assert (sub.k, sub.n) == (3, 2)
+
+    def test_relative_order_preserved(self):
+        inst = random_instance(2, 5, seed=9)
+        keep = [[1, 3, 4], [0, 2, 4]]
+        sub = restrict_members(inst, keep)
+        old_member = Member(0, 1)
+        old_order = [
+            m.index for m in inst.preference_list(old_member, 1) if m.index in {0, 2, 4}
+        ]
+        new_order = [keep[1][m.index] for m in sub.preference_list(Member(0, 0), 1)]
+        assert new_order == old_order
+
+    def test_unbalanced_rejected(self):
+        inst = random_instance(2, 4, seed=10)
+        with pytest.raises(InvalidInstanceError, match="balanced"):
+            restrict_members(inst, [[0, 1], [2]])
+
+    def test_empty_rejected(self):
+        inst = random_instance(2, 3, seed=11)
+        with pytest.raises(InvalidInstanceError, match="zero"):
+            restrict_members(inst, [[], []])
+
+    def test_duplicates_rejected(self):
+        inst = random_instance(2, 3, seed=12)
+        with pytest.raises(InvalidInstanceError, match="distinct"):
+            restrict_members(inst, [[0, 0], [1, 2]])
+
+    def test_restriction_still_solvable(self):
+        inst = random_instance(4, 6, seed=13)
+        sub = restrict_members(inst, [[0, 1, 2]] * 4)
+        res = iterative_binding(sub, BindingTree.chain(4))
+        assert is_stable_kary(sub, res.matching)

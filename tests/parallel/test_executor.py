@@ -1,0 +1,93 @@
+"""Real parallel binding execution (process/thread/serial backends)."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import is_stable_kary
+from repro.model.generators import random_instance
+from repro.parallel.executor import run_bindings_parallel
+from repro.parallel.pram import one_round_schedule
+from repro.parallel.schedule import greedy_tree_schedule, sequential_schedule
+
+
+class TestSerialBackend:
+    def test_matches_algorithm1(self):
+        inst = random_instance(4, 6, seed=0)
+        tree = BindingTree.chain(4)
+        serial = iterative_binding(inst, tree)
+        report = run_bindings_parallel(inst, tree, backend="serial")
+        assert report.matching == serial.matching
+        assert report.total_proposals == serial.total_proposals
+
+    def test_default_tree_is_chain(self):
+        inst = random_instance(3, 4, seed=1)
+        report = run_bindings_parallel(inst, backend="serial")
+        assert report.schedule.tree.undirected_edges() == BindingTree.chain(
+            3
+        ).undirected_edges()
+
+    def test_round_times_recorded(self):
+        inst = random_instance(5, 4, seed=2)
+        report = run_bindings_parallel(inst, BindingTree.chain(5), backend="serial")
+        assert len(report.round_seconds) == report.schedule.n_rounds
+        assert report.total_seconds >= 0
+
+    def test_result_is_stable(self):
+        inst = random_instance(4, 5, seed=3)
+        report = run_bindings_parallel(inst, BindingTree.star(4), backend="serial")
+        assert is_stable_kary(inst, report.matching)
+
+    def test_sequential_schedule_accepted(self):
+        inst = random_instance(3, 3, seed=4)
+        tree = BindingTree.chain(3)
+        report = run_bindings_parallel(
+            inst, tree, schedule=sequential_schedule(tree), backend="serial"
+        )
+        assert report.schedule.n_rounds == 2
+
+    def test_one_round_schedule_accepted(self):
+        # executor has no shared mutable state, so CREW-style one-round
+        # schedules are fine
+        inst = random_instance(4, 3, seed=5)
+        tree = BindingTree.chain(4)
+        report = run_bindings_parallel(
+            inst, tree, schedule=one_round_schedule(tree), backend="serial"
+        )
+        assert report.schedule.n_rounds == 1
+        assert is_stable_kary(inst, report.matching)
+
+
+class TestValidation:
+    def test_unknown_backend(self):
+        inst = random_instance(3, 3, seed=6)
+        with pytest.raises(ValueError, match="backend"):
+            run_bindings_parallel(inst, backend="gpu")
+
+    def test_schedule_tree_mismatch(self):
+        inst = random_instance(3, 3, seed=7)
+        other = greedy_tree_schedule(BindingTree.star(3, center=1))
+        with pytest.raises(ValueError, match="different tree"):
+            run_bindings_parallel(
+                inst, BindingTree.chain(3), schedule=other, backend="serial"
+            )
+
+
+class TestThreadBackend:
+    def test_same_matching_as_serial(self):
+        inst = random_instance(4, 8, seed=8)
+        tree = BindingTree.chain(4)
+        serial = run_bindings_parallel(inst, tree, backend="serial")
+        threaded = run_bindings_parallel(inst, tree, backend="thread")
+        assert threaded.matching == serial.matching
+
+
+@pytest.mark.slow
+class TestProcessBackend:
+    def test_same_matching_as_serial(self):
+        inst = random_instance(3, 16, seed=9)
+        tree = BindingTree.chain(3)
+        serial = run_bindings_parallel(inst, tree, backend="serial")
+        proc = run_bindings_parallel(inst, tree, backend="process", max_workers=2)
+        assert proc.matching == serial.matching
+        assert proc.backend == "process"

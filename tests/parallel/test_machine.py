@@ -1,0 +1,162 @@
+"""Instruction-level PRAM machine: access discipline and programs."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.exceptions import ScheduleConflictError, SimulationError
+from repro.parallel.machine import (
+    AccessModel,
+    Op,
+    PRAMMachine,
+    binding_read_program,
+    broadcast_doubling_program,
+    broadcast_naive_program,
+    sum_reduction_program,
+)
+from repro.parallel.schedule import greedy_tree_schedule
+
+
+class TestMachineBasics:
+    def test_memory_initialized(self):
+        m = PRAMMachine(1, 3)
+        assert m.memory == [0, 0, 0]
+
+    def test_model_from_string(self):
+        assert PRAMMachine(1, 1, model="CREW").model is AccessModel.CREW
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            PRAMMachine(0, 1)
+        with pytest.raises(SimulationError):
+            PRAMMachine(1, -1)
+
+    def test_out_of_range_access(self):
+        def factory(pid):
+            def prog():
+                yield Op(reads=(99,))
+
+            return prog()
+
+        m = PRAMMachine(1, 2)
+        with pytest.raises(SimulationError, match="outside memory"):
+            m.run(factory)
+
+    def test_runaway_guard(self):
+        def factory(pid):
+            def prog():
+                while True:
+                    yield Op()
+
+            return prog()
+
+        m = PRAMMachine(1, 1)
+        with pytest.raises(SimulationError, match="steps"):
+            m.run(factory, max_steps=5)
+
+    def test_write_conflict_always_rejected(self):
+        def factory(pid):
+            def prog():
+                yield Op(writes=((0, pid),))
+
+            return prog()
+
+        for model in ("EREW", "CREW"):
+            m = PRAMMachine(2, 1, model=model)
+            with pytest.raises(ScheduleConflictError, match="write conflict"):
+                m.run(factory)
+
+    def test_counters(self):
+        m = PRAMMachine(2, 4)
+        m.memory[0] = 7
+        m.run(broadcast_doubling_program(4))
+        assert m.reads_served > 0 and m.writes_applied == 3
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("delta", [1, 2, 3, 4, 7, 8, 16])
+    def test_doubling_broadcast_correct(self, delta):
+        m = PRAMMachine(max(1, delta), delta, model="EREW")
+        m.memory[0] = "v"
+        m.run(broadcast_doubling_program(delta))
+        assert m.memory == ["v"] * delta
+
+    @pytest.mark.parametrize("delta,expected", [(2, 1), (4, 2), (8, 3), (5, 3)])
+    def test_doubling_step_count_matches_replication_rounds(self, delta, expected):
+        from repro.parallel.replication import replication_rounds
+
+        m = PRAMMachine(delta, delta)
+        m.memory[0] = 1
+        steps = m.run(broadcast_doubling_program(delta))
+        # two machine steps (read, then write) per doubling round
+        assert steps == 2 * expected == 2 * replication_rounds(delta)
+
+    def test_naive_broadcast_rejected_by_erew(self):
+        m = PRAMMachine(4, 4, model="EREW")
+        m.memory[0] = 1
+        with pytest.raises(ScheduleConflictError, match="read conflict"):
+            m.run(broadcast_naive_program(4))
+
+    def test_naive_broadcast_accepted_by_crew(self):
+        m = PRAMMachine(4, 4, model="CREW")
+        m.memory[0] = 9
+        steps = m.run(broadcast_naive_program(4))
+        assert m.memory == [9, 9, 9, 9]
+        assert steps == 2  # one read step + one write step
+
+
+class TestReduction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_sum_reduction(self, n):
+        m = PRAMMachine(max(1, n), max(1, n))
+        m.memory = list(range(1, n + 1))
+        m.run(sum_reduction_program(n))
+        assert m.memory[0] == n * (n + 1) // 2
+
+    def test_reduction_is_erew_legal(self):
+        # no exception under the strict model
+        m = PRAMMachine(8, 8, model="EREW")
+        m.memory = [1] * 8
+        m.run(sum_reduction_program(8))
+        assert m.memory[0] == 8
+
+
+class TestBindingReads:
+    def test_star_one_round_rejected_by_erew(self):
+        """Corollary 1 at machine level: the star's hub gender block is
+        read by every binding at once."""
+        tree = BindingTree.star(5)
+        m = PRAMMachine(4, 5, model="EREW")
+        with pytest.raises(ScheduleConflictError, match="read conflict"):
+            m.run(binding_read_program(tree.edges, [range(4)]))
+
+    def test_star_one_round_accepted_by_crew(self):
+        tree = BindingTree.star(5)
+        m = PRAMMachine(4, 5, model="CREW")
+        steps = m.run(binding_read_program(tree.edges, [range(4)]))
+        assert steps == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_schedule_is_erew_legal(self, seed):
+        """The Δ-round schedules from repro.parallel.schedule pass the
+        strict machine check, tying the two layers together."""
+        tree = BindingTree.random(7, seed=seed)
+        sched = greedy_tree_schedule(tree)
+        rounds = [
+            [tree.edges.index(e) for e in round_edges]
+            for round_edges in sched.rounds
+        ]
+        m = PRAMMachine(len(tree.edges), tree.k, model="EREW")
+        steps = m.run(binding_read_program(tree.edges, rounds))
+        assert steps == tree.max_degree
+
+    def test_chain_two_rounds_erew_legal(self):
+        from repro.parallel.schedule import even_odd_chain_schedule
+
+        tree = BindingTree.chain(6)
+        sched = even_odd_chain_schedule(tree)
+        rounds = [
+            [tree.edges.index(e) for e in round_edges]
+            for round_edges in sched.rounds
+        ]
+        m = PRAMMachine(5, 6, model="EREW")
+        assert m.run(binding_read_program(tree.edges, rounds)) == 2

@@ -1,0 +1,107 @@
+"""PRAM cost-model simulation (Corollaries 1 and 2)."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.exceptions import ScheduleConflictError
+from repro.parallel.pram import (
+    PRAMModel,
+    one_round_schedule,
+    simulate_schedule,
+)
+from repro.parallel.schedule import Schedule, greedy_tree_schedule
+
+
+class TestCorollary1:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_erew_makespan_at_most_delta_n2(self, seed):
+        n = 10
+        tree = BindingTree.random(7, seed=seed)
+        report = simulate_schedule(greedy_tree_schedule(tree), n=n)
+        assert report.makespan <= tree.max_degree * n * n
+        assert report.n_rounds == tree.max_degree
+
+    def test_star_makespan_k_minus_1_n2(self):
+        n, k = 8, 5
+        tree = BindingTree.star(k)
+        report = simulate_schedule(greedy_tree_schedule(tree), n=n)
+        assert report.makespan == (k - 1) * n * n
+
+    def test_chain_makespan_2_n2(self):
+        """Corollary 2 in makespan form: chain = 2 rounds of n² each."""
+        n = 8
+        tree = BindingTree.chain(6)
+        report = simulate_schedule(greedy_tree_schedule(tree), n=n)
+        assert report.makespan == 2 * n * n
+
+
+class TestModels:
+    def test_erew_rejects_one_round_sharing(self):
+        tree = BindingTree.chain(4)
+        with pytest.raises(ScheduleConflictError):
+            simulate_schedule(one_round_schedule(tree), model="EREW", n=4)
+
+    def test_crew_accepts_one_round(self):
+        tree = BindingTree.chain(4)
+        report = simulate_schedule(one_round_schedule(tree), model="CREW", n=4)
+        assert report.n_rounds == 1
+        assert report.makespan == 16  # all bindings concurrent
+
+    def test_erew_with_copies_accepts_one_round(self):
+        tree = BindingTree.star(5)
+        report = simulate_schedule(
+            one_round_schedule(tree), model="EREW", copies=4, n=4
+        )
+        assert report.n_rounds == 1
+
+    def test_model_accepts_enum_or_string(self):
+        tree = BindingTree.chain(3)
+        sched = greedy_tree_schedule(tree)
+        a = simulate_schedule(sched, model=PRAMModel.EREW, n=4)
+        b = simulate_schedule(sched, model="EREW", n=4)
+        assert a.makespan == b.makespan
+
+
+class TestProcessorsAndCosts:
+    def test_processor_limit_serializes(self):
+        tree = BindingTree.chain(5)  # round 1 has 2 edges
+        sched = greedy_tree_schedule(tree)
+        wide = simulate_schedule(sched, n=4, processors=4)
+        narrow = simulate_schedule(sched, n=4, processors=1)
+        assert narrow.makespan >= wide.makespan
+        assert narrow.makespan == narrow.total_work
+
+    def test_measured_costs_mapping(self):
+        tree = BindingTree.chain(3)
+        sched = greedy_tree_schedule(tree)
+        costs = {(0, 1): 10.0, (1, 2): 30.0}
+        report = simulate_schedule(sched, cost=costs)
+        assert report.total_work == 40.0
+        # chain(3)'s edges share gender 1, so they occupy two rounds of
+        # one edge each: makespan is the sum of the measured costs.
+        assert report.makespan == 40.0
+
+    def test_callable_cost(self):
+        tree = BindingTree.chain(4)
+        sched = greedy_tree_schedule(tree)
+        report = simulate_schedule(sched, cost=lambda e: float(sum(e)))
+        assert report.total_work == float(sum(sum(e) for e in tree.edges))
+
+    def test_default_cost_needs_n(self):
+        tree = BindingTree.chain(3)
+        with pytest.raises(ValueError, match="provide n"):
+            simulate_schedule(greedy_tree_schedule(tree))
+
+    def test_speedup_reported(self):
+        tree = BindingTree.chain(9)
+        report = simulate_schedule(greedy_tree_schedule(tree), n=10)
+        assert report.speedup == pytest.approx(report.total_work / report.makespan)
+        assert report.speedup > 1
+
+    def test_invalid_params(self):
+        tree = BindingTree.chain(3)
+        sched = greedy_tree_schedule(tree)
+        with pytest.raises(ValueError):
+            simulate_schedule(sched, n=4, processors=0)
+        with pytest.raises(ValueError):
+            simulate_schedule(sched, n=4, copies=0)

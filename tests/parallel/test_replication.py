@@ -1,0 +1,66 @@
+"""Data replication: the log₂Δ EREW-to-CREW emulation."""
+
+import math
+
+import pytest
+
+from repro.parallel.replication import (
+    replication_rounds,
+    replication_schedule,
+)
+
+
+class TestReplicationRounds:
+    @pytest.mark.parametrize(
+        "delta,rounds", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4)]
+    )
+    def test_ceil_log2(self, delta, rounds):
+        assert replication_rounds(delta) == rounds
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            replication_rounds(0)
+
+
+class TestReplicationSchedule:
+    def test_doubling_example(self):
+        plan = replication_schedule(4)
+        assert plan.rounds == (((0, 1),), ((0, 2), (1, 3)))
+        assert plan.target_copies == 4
+
+    def test_reaches_exact_target_when_not_power_of_two(self):
+        plan = replication_schedule(5)
+        assert plan.target_copies == 5
+        assert plan.n_rounds == 3
+        # final round only creates what's needed
+        assert len(plan.rounds[-1]) == 1
+
+    @pytest.mark.parametrize("delta", range(1, 20))
+    def test_erew_legality(self, delta):
+        """Each round reads every source copy at most once and writes
+        each destination exactly once overall."""
+        plan = replication_schedule(delta)
+        created = {0}
+        for transfers in plan.rounds:
+            sources = [s for s, _ in transfers]
+            dests = [d for _, d in transfers]
+            assert len(set(sources)) == len(sources)  # exclusive read
+            assert len(set(dests)) == len(dests)  # exclusive write
+            for s, d in transfers:
+                assert s in created, "cannot copy from a nonexistent replica"
+                assert d not in created, "cannot overwrite an existing replica"
+            created.update(dests)
+        assert len(created) == plan.target_copies
+        assert plan.target_copies >= delta
+
+    @pytest.mark.parametrize("delta", [1, 2, 6, 16])
+    def test_copies_after_prefix(self, delta):
+        plan = replication_schedule(delta)
+        assert plan.copies_after(0) == 1
+        assert plan.copies_after(plan.n_rounds) == plan.target_copies
+
+    @pytest.mark.parametrize("delta", range(1, 33))
+    def test_round_count_is_ceil_log2(self, delta):
+        assert replication_schedule(delta).n_rounds == (
+            math.ceil(math.log2(delta)) if delta > 1 else 0
+        )

@@ -1,0 +1,108 @@
+"""Binding schedules: Corollaries 1 and 2 round structure."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.exceptions import ScheduleConflictError
+from repro.parallel.schedule import (
+    Schedule,
+    even_odd_chain_schedule,
+    greedy_tree_schedule,
+    sequential_schedule,
+    validate_schedule,
+)
+
+
+class TestGreedySchedule:
+    @pytest.mark.parametrize("k", [2, 3, 4, 6, 9])
+    def test_chain_needs_two_rounds(self, k):
+        tree = BindingTree.chain(k)
+        sched = greedy_tree_schedule(tree)
+        assert sched.n_rounds == min(2, k - 1)
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_star_needs_k_minus_1_rounds(self, k):
+        sched = greedy_tree_schedule(BindingTree.star(k))
+        assert sched.n_rounds == k - 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_tree_rounds_equal_delta(self, seed):
+        """Corollary 1: rounds = Δ(T) for every tree."""
+        tree = BindingTree.random(8, seed=seed)
+        sched = greedy_tree_schedule(tree)
+        assert sched.n_rounds == tree.max_degree
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_gender_twice_per_round(self, seed):
+        tree = BindingTree.random(7, seed=seed)
+        sched = greedy_tree_schedule(tree)
+        for edges in sched.rounds:
+            used = [g for e in edges for g in e]
+            assert len(used) == len(set(used))
+
+    def test_covers_all_edges_once(self):
+        tree = BindingTree.random(9, seed=3)
+        sched = greedy_tree_schedule(tree)
+        assert sched.edge_count() == 8
+
+    def test_orientation_preserved(self):
+        tree = BindingTree(3, [(1, 0), (2, 1)])
+        sched = greedy_tree_schedule(tree)
+        scheduled = {e for r in sched.rounds for e in r}
+        assert scheduled == {(1, 0), (2, 1)}
+
+
+class TestEvenOddSchedule:
+    @pytest.mark.parametrize("k", [3, 4, 5, 8])
+    def test_two_rounds(self, k):
+        """Corollary 2 / Figure 4: a chain completes in two rounds."""
+        sched = even_odd_chain_schedule(BindingTree.chain(k))
+        assert sched.n_rounds == 2
+
+    def test_k2_single_round(self):
+        sched = even_odd_chain_schedule(BindingTree.chain(2))
+        assert sched.n_rounds == 1
+
+    def test_round_one_is_even_positions(self):
+        sched = even_odd_chain_schedule(BindingTree.chain(6))
+        assert set(sched.rounds[0]) == {(0, 1), (2, 3), (4, 5)}
+        assert set(sched.rounds[1]) == {(1, 2), (3, 4)}
+
+    def test_rejects_non_chain(self):
+        with pytest.raises(ScheduleConflictError, match="chain"):
+            even_odd_chain_schedule(BindingTree.star(4))
+
+    def test_works_on_permuted_chain(self):
+        tree = BindingTree.chain(5, order=[2, 0, 4, 1, 3])
+        sched = even_odd_chain_schedule(tree)
+        assert sched.n_rounds == 2
+        validate_schedule(sched)
+
+
+class TestValidation:
+    def test_sequential_schedule_valid(self):
+        tree = BindingTree.star(5)
+        sched = sequential_schedule(tree)
+        assert sched.n_rounds == 4
+        validate_schedule(sched)
+
+    def test_missing_edge_detected(self):
+        tree = BindingTree.chain(3)
+        bad = Schedule(tree=tree, rounds=(((0, 1),),))
+        with pytest.raises(ScheduleConflictError, match="covers"):
+            validate_schedule(bad)
+
+    def test_conflicting_round_detected(self):
+        tree = BindingTree.chain(3)
+        bad = Schedule(tree=tree, rounds=(((0, 1), (1, 2)),))
+        with pytest.raises(ScheduleConflictError, match="cop"):
+            validate_schedule(bad)
+
+    def test_copies_relax_conflicts(self):
+        tree = BindingTree.chain(3)
+        one_round = Schedule(tree=tree, rounds=(((0, 1), (1, 2)),))
+        validate_schedule(one_round, copies=2)  # must not raise
+
+    def test_max_parallelism(self):
+        sched = even_odd_chain_schedule(BindingTree.chain(7))
+        assert sched.max_parallelism == 3

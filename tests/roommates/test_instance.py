@@ -1,0 +1,84 @@
+"""Unit tests for RoommatesInstance."""
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.roommates.instance import RoommatesInstance
+
+
+class TestConstruction:
+    def test_basic(self):
+        inst = RoommatesInstance([[1], [0]])
+        assert inst.n == 2
+        assert inst.preference_list(0) == [1]
+
+    def test_symmetrize_drops_one_sided(self):
+        # 1 lists 2 but 2 does not list 1 back; 2 lists 0 unrequited too
+        inst = RoommatesInstance([[1], [0, 2], [0]])
+        assert inst.preference_list(1) == [0]
+        assert inst.preference_list(2) == []
+
+    def test_symmetrize_false_raises(self):
+        with pytest.raises(InvalidInstanceError, match="do not list it back"):
+            RoommatesInstance([[1], [0, 2], [0]], symmetrize=False)
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="itself"):
+            RoommatesInstance([[0], []])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            RoommatesInstance([[1, 1], [0]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="out-of-range"):
+            RoommatesInstance([[5], []])
+
+    def test_complete_constructor_validates(self):
+        RoommatesInstance.complete([[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]])
+        with pytest.raises(InvalidInstanceError, match="complete"):
+            RoommatesInstance.complete([[1], [0, 2, 3], [1, 3, 0], [1, 2, 0]])
+
+    def test_labels_default_and_custom(self):
+        assert RoommatesInstance([[1], [0]]).labels == ("p0", "p1")
+        inst = RoommatesInstance([[1], [0]], labels=["x", "y"])
+        assert inst.labels == ("x", "y")
+
+    def test_label_count_checked(self):
+        with pytest.raises(InvalidInstanceError, match="labels"):
+            RoommatesInstance([[1], [0]], labels=["only-one"])
+
+
+class TestQueries:
+    def make(self):
+        return RoommatesInstance([[1, 2, 3], [0, 2, 3], [3, 0, 1], [2, 0, 1]])
+
+    def test_rank(self):
+        inst = self.make()
+        assert inst.rank(0, 1) == 0
+        assert inst.rank(0, 3) == 2
+
+    def test_rank_unacceptable_raises(self):
+        inst = RoommatesInstance([[1], [0], []])
+        with pytest.raises(InvalidInstanceError, match="not acceptable"):
+            inst.rank(0, 2)
+
+    def test_is_acceptable_mutual(self):
+        inst = RoommatesInstance([[1], [0, 2], [0]])
+        assert inst.is_acceptable(0, 1)
+        assert not inst.is_acceptable(1, 2)
+        assert not inst.is_acceptable(2, 1)
+        assert not inst.is_acceptable(2, 0)
+
+    def test_prefers(self):
+        inst = self.make()
+        assert inst.prefers(0, 1, 3)
+        assert not inst.prefers(0, 3, 1)
+
+    def test_format_readable(self):
+        text = self.make().format()
+        assert text.splitlines()[0] == "p0 : p1 p2 p3"
+
+    def test_equality_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())

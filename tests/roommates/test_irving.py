@@ -1,0 +1,195 @@
+"""Irving's algorithm: correctness against brute force plus paper traces."""
+
+import pytest
+
+from repro.exceptions import NoStableMatchingError
+from repro.roommates.instance import RoommatesInstance
+from repro.roommates.irving import IrvingSolver, solve_roommates, stable_roommates_exists
+from repro.roommates.verify import is_stable_roommates
+from repro.utils.rng import as_rng
+
+from tests.conftest import (
+    brute_force_roommates_exists,
+    enumerate_perfect_roommate_matchings,
+    roommates_matching_is_stable,
+)
+
+
+def random_complete_sr(n: int, seed: int) -> RoommatesInstance:
+    rng = as_rng(seed)
+    prefs = []
+    for p in range(n):
+        others = [q for q in range(n) if q != p]
+        rng.shuffle(others)
+        prefs.append(others)
+    return RoommatesInstance(prefs)
+
+
+class TestKnownInstances:
+    def test_mutual_first_choices(self):
+        inst = RoommatesInstance.complete(
+            [[1, 2, 3], [0, 2, 3], [3, 0, 1], [2, 0, 1]]
+        )
+        assert solve_roommates(inst).pairs() == [(0, 1), (2, 3)]
+
+    def test_classic_no_stable_matching(self):
+        # 0, 1, 2 cyclically prefer each other; 3 is everyone's last choice
+        inst = RoommatesInstance.complete(
+            [[1, 2, 3], [2, 0, 3], [0, 1, 3], [0, 1, 2]]
+        )
+        with pytest.raises(NoStableMatchingError):
+            solve_roommates(inst)
+        assert not stable_roommates_exists(inst)
+
+    def test_odd_population_fails_fast(self):
+        inst = RoommatesInstance([[1, 2], [0, 2], [0, 1]])
+        with pytest.raises(NoStableMatchingError, match="odd"):
+            solve_roommates(inst)
+
+    def test_empty_list_fails_with_witness(self):
+        inst = RoommatesInstance([[1], [0], [3], [2], [], []])
+        with pytest.raises(NoStableMatchingError) as exc:
+            solve_roommates(inst)
+        assert exc.value.witness in (4, 5)
+
+    def test_two_people(self):
+        inst = RoommatesInstance([[1], [0]])
+        assert solve_roommates(inst).pairs() == [(0, 1)]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("n", [4, 6])
+    @pytest.mark.parametrize("seed", range(15))
+    def test_existence_verdict_matches(self, n, seed):
+        inst = random_complete_sr(n, seed)
+        assert stable_roommates_exists(inst) == brute_force_roommates_exists(inst)
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solution_is_stable_when_found(self, n, seed):
+        inst = random_complete_sr(n, seed + 1000)
+        try:
+            result = solve_roommates(inst)
+        except NoStableMatchingError:
+            assert not brute_force_roommates_exists(inst)
+            return
+        assert is_stable_roommates(inst, result.matching)
+        assert roommates_matching_is_stable(inst, result.matching)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incomplete_lists_verdicts(self, seed):
+        # bipartite-flavoured incomplete instance: two sides of 3, each
+        # ranking only the other side (always solvable: it's an SMP)
+        rng = as_rng(seed)
+        prefs = []
+        for p in range(3):
+            other = [3, 4, 5]
+            rng.shuffle(other)
+            prefs.append(other)
+        for p in range(3):
+            other = [0, 1, 2]
+            rng.shuffle(other)
+            prefs.append(other)
+        inst = RoommatesInstance(prefs)
+        result = solve_roommates(inst)
+        assert is_stable_roommates(inst, result.matching)
+        # matching must pair across sides
+        for p, q in result.matching.items():
+            assert (p < 3) != (q < 3)
+
+
+class TestPhase1Invariants:
+    def test_table_symmetry_after_phase1(self):
+        inst = random_complete_sr(8, 5)
+        solver = IrvingSolver(inst)
+        table = solver.run_phase1()
+        for p, lst in table.items():
+            for q in lst:
+                assert p in table[q], f"asymmetric table at ({p}, {q})"
+
+    def test_first_last_invariant(self):
+        inst = random_complete_sr(8, 6)
+        solver = IrvingSolver(inst)
+        table = solver.run_phase1()
+        for p, lst in table.items():
+            assert solver.fiance[p] == lst[0]
+            assert solver.suitor[p] == lst[-1]
+
+    def test_proposals_counted(self):
+        inst = random_complete_sr(6, 7)
+        solver = IrvingSolver(inst)
+        solver.run_phase1()
+        assert solver.proposals >= 6
+
+
+class TestRotations:
+    def test_rotation_recorded_when_needed(self):
+        # the Figure 2 deadlock requires exactly one rotation elimination
+        inst = RoommatesInstance(
+            [[2, 3], [3, 2], [1, 0], [0, 1]]
+        )  # m=0, m'=1, w=2, w'=3 with variant-b preferences
+        result = solve_roommates(inst)
+        assert len(result.rotations) == 1
+        assert is_stable_roommates(inst, result.matching)
+
+    def test_no_rotation_for_mutual_firsts(self):
+        inst = RoommatesInstance.complete(
+            [[1, 2, 3], [0, 2, 3], [3, 0, 1], [2, 0, 1]]
+        )
+        assert solve_roommates(inst).rotations == ()
+
+    def test_phase1_table_exposed_in_result(self):
+        inst = random_complete_sr(6, 9)
+        try:
+            result = solve_roommates(inst)
+        except NoStableMatchingError:
+            return
+        assert set(result.phase1_table) == set(range(6))
+
+
+class TestPolicies:
+    def test_invalid_policy_name(self):
+        inst = RoommatesInstance([[1], [0]])
+        with pytest.raises(ValueError, match="unknown pivot policy"):
+            solve_roommates(inst, pivot_policy="bogus")
+
+    def test_bad_policy_return_checked(self):
+        inst = RoommatesInstance([[2, 3], [3, 2], [1, 0], [0, 1]])
+        with pytest.raises(ValueError, match="not among candidates"):
+            solve_roommates(inst, pivot_policy=lambda cands: -1)
+
+    def test_min_and_max_policies_both_stable(self):
+        for seed in range(5):
+            inst = random_complete_sr(6, 40 + seed)
+            try:
+                a = solve_roommates(inst, pivot_policy="min")
+            except NoStableMatchingError:
+                with pytest.raises(NoStableMatchingError):
+                    solve_roommates(inst, pivot_policy="max")
+                continue
+            b = solve_roommates(inst, pivot_policy="max")
+            assert is_stable_roommates(inst, a.matching)
+            assert is_stable_roommates(inst, b.matching)
+
+
+class TestExhaustiveSmall:
+    def test_all_complete_sr_instances_n4_sample(self):
+        """Spot-exhaustive: verdicts agree with brute force for many n=4
+        instances enumerated deterministically."""
+        import itertools
+
+        count = 0
+        perms = list(itertools.permutations(range(3)))
+        # fix person 0's list, vary the rest (symmetry reduction)
+        base = [1, 2, 3]
+        for c1, c2, c3 in itertools.product(perms, repeat=3):
+            lists = [
+                base,
+                [[0, 2, 3][i] for i in c1],
+                [[0, 1, 3][i] for i in c2],
+                [[0, 1, 2][i] for i in c3],
+            ]
+            inst = RoommatesInstance(lists)
+            assert stable_roommates_exists(inst) == brute_force_roommates_exists(inst)
+            count += 1
+        assert count == 216

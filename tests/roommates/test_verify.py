@@ -1,0 +1,72 @@
+"""Unit tests for roommates stability verification."""
+
+import pytest
+
+from repro.exceptions import InvalidMatchingError
+from repro.roommates.instance import RoommatesInstance
+from repro.roommates.verify import (
+    blocking_pairs_roommates,
+    check_perfect_roommates,
+    is_stable_roommates,
+)
+
+
+def four_person():
+    return RoommatesInstance.complete([[1, 2, 3], [0, 2, 3], [3, 0, 1], [2, 0, 1]])
+
+
+class TestCheckPerfect:
+    def test_valid_matching_normalizes(self):
+        inst = four_person()
+        assert check_perfect_roommates(inst, {0: 1, 1: 0, 2: 3, 3: 2}) == {
+            0: 1,
+            1: 0,
+            2: 3,
+            3: 2,
+        }
+
+    def test_asymmetric_rejected(self):
+        inst = four_person()
+        with pytest.raises(InvalidMatchingError, match="asymmetric"):
+            check_perfect_roommates(inst, {0: 1, 1: 2, 2: 1, 3: 0})
+
+    def test_incomplete_rejected(self):
+        inst = four_person()
+        with pytest.raises(InvalidMatchingError, match="cover"):
+            check_perfect_roommates(inst, {0: 1, 1: 0})
+
+    def test_self_match_rejected(self):
+        inst = four_person()
+        with pytest.raises(InvalidMatchingError, match="itself"):
+            check_perfect_roommates(inst, {0: 0, 1: 1, 2: 3, 3: 2})
+
+    def test_unacceptable_pair_rejected(self):
+        inst = RoommatesInstance([[1], [0], [3], [2]])
+        with pytest.raises(InvalidMatchingError, match="acceptable"):
+            check_perfect_roommates(inst, {0: 2, 2: 0, 1: 3, 3: 1})
+
+
+class TestBlockingPairs:
+    def test_stable(self):
+        inst = four_person()
+        assert is_stable_roommates(inst, {0: 1, 1: 0, 2: 3, 3: 2})
+
+    def test_unstable_cross_pairing(self):
+        inst = four_person()
+        # pairing (0,2), (1,3): 0 and 1 are mutual first choices -> block
+        pairs = blocking_pairs_roommates(inst, {0: 2, 2: 0, 1: 3, 3: 1})
+        assert (0, 1) in pairs
+
+    def test_pairs_reported_once_with_p_lt_q(self):
+        inst = four_person()
+        pairs = blocking_pairs_roommates(inst, {0: 2, 2: 0, 1: 3, 3: 1})
+        assert all(p < q for p, q in pairs)
+        assert len(set(pairs)) == len(pairs)
+
+    def test_unacceptable_pairs_never_block(self):
+        # 0 and 1 mutually top but 2-3 not acceptable to each other:
+        # matching (0,2),(1,3) can only be blocked by acceptable pairs
+        inst = RoommatesInstance([[1, 2, 3], [0, 3, 2], [0], [1]])
+        # 2's list: only 0; 3's list: only 1 (after symmetrization)
+        pairs = blocking_pairs_roommates(inst, {0: 2, 2: 0, 1: 3, 3: 1})
+        assert pairs == [(0, 1)]

@@ -1,0 +1,177 @@
+"""NP-complete comparator baselines: cyclic and combination 3DSM."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.combination3dsm import (
+    combination_blocking_triples,
+    is_stable_combination,
+    random_combination_instance,
+    solve_combination_exhaustive,
+)
+from repro.baselines.cyclic3dsm import (
+    CyclicInstance,
+    cyclic_blocking_triples,
+    cyclic_from_kpartite,
+    is_stable_cyclic,
+    random_cyclic_instance,
+    solve_cyclic_exhaustive,
+)
+from repro.exceptions import InvalidInstanceError, InvalidMatchingError
+from repro.model.generators import random_instance
+
+
+class TestCyclicModel:
+    def test_instance_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            CyclicInstance(
+                a_over_b=np.array([[0, 0], [1, 0]]),
+                b_over_c=np.array([[0, 1], [1, 0]]),
+                c_over_a=np.array([[0, 1], [1, 0]]),
+            )
+
+    def test_matching_validation(self):
+        inst = random_cyclic_instance(3, seed=0)
+        with pytest.raises(InvalidMatchingError):
+            cyclic_blocking_triples(inst, [0, 0, 1], [0, 1, 2])
+
+    def test_everyone_first_choice_is_stable(self):
+        n = 3
+        ident = np.array([np.roll(np.arange(n), 0) for _ in range(n)])
+        # a_i's top is b_i, b_i's top is c_i, c_i's top is a_i
+        base = np.array([list(range(n))] * n)
+        for i in range(n):
+            base[i] = [(i + t) % n for t in range(n)]
+        inst = CyclicInstance(a_over_b=base, b_over_c=base, c_over_a=base)
+        assert is_stable_cyclic(inst, list(range(n)), list(range(n)))
+
+    def test_no_blocking_possible_at_n2_identity(self):
+        """A cyclic blocking triple needs b != sigma(a), c != tau(b) and
+        a != current A of c — pairwise 'fresh' partners — which cannot
+        happen at n = 2 against the identity matching."""
+        for seed in range(10):
+            inst = random_cyclic_instance(2, seed=seed)
+            assert cyclic_blocking_triples(inst, [0, 1], [0, 1]) == [] or all(
+                len({a, b, c}) == 3 for a, b, c in
+                cyclic_blocking_triples(inst, [0, 1], [0, 1])
+            )
+
+    def test_blocking_triple_detected(self):
+        # n=3, identity matching; make (0, 1, 2) block:
+        # a0 prefers b1 over b0; b1 prefers c2 over c1; c2 prefers a0 over a2
+        inst = CyclicInstance(
+            a_over_b=np.array([[1, 0, 2], [1, 0, 2], [2, 1, 0]]),
+            b_over_c=np.array([[0, 1, 2], [2, 1, 0], [2, 0, 1]]),
+            c_over_a=np.array([[0, 1, 2], [1, 0, 2], [0, 2, 1]]),
+        )
+        blocks = cyclic_blocking_triples(inst, [0, 1, 2], [0, 1, 2])
+        assert (0, 1, 2) in blocks
+
+    @pytest.mark.parametrize("n", [2, 3])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solver_output_is_stable(self, n, seed):
+        inst = random_cyclic_instance(n, seed=seed)
+        result = solve_cyclic_exhaustive(inst)
+        if result is not None:
+            sigma, tau = result
+            assert is_stable_cyclic(inst, sigma, tau)
+
+    def test_solver_verdict_matches_full_scan(self):
+        for seed in range(10):
+            inst = random_cyclic_instance(3, seed=seed)
+            found = solve_cyclic_exhaustive(inst)
+            full = any(
+                is_stable_cyclic(inst, s, t)
+                for s in itertools.permutations(range(3))
+                for t in itertools.permutations(range(3))
+            )
+            assert (found is not None) == full
+
+    def test_node_budget_enforced(self):
+        # max_nodes=0 exhausts before examining the first candidate
+        inst = random_cyclic_instance(3, seed=1)
+        with pytest.raises(RuntimeError, match="budget"):
+            solve_cyclic_exhaustive(inst, max_nodes=0)
+
+    def test_projection_from_kpartite(self):
+        kinst = random_instance(3, 3, seed=5)
+        cyc = cyclic_from_kpartite(kinst)
+        assert cyc.n == 3
+        assert cyc.a_over_b.tolist() == kinst.pref_array()[0, :, 1, :].tolist()
+
+    def test_projection_requires_k3(self):
+        with pytest.raises(InvalidInstanceError):
+            cyclic_from_kpartite(random_instance(4, 2, seed=0))
+
+
+class TestCombinationModel:
+    def test_instance_shapes(self):
+        inst = random_combination_instance(3, seed=0)
+        assert inst.n == 3
+        assert inst.a_prefs.shape == (3, 9)
+
+    def test_stable_matching_found_and_verified(self):
+        for seed in range(6):
+            inst = random_combination_instance(2, seed=seed)
+            result = solve_combination_exhaustive(inst)
+            if result is not None:
+                sigma, tau = result
+                assert is_stable_combination(inst, sigma, tau)
+
+    def test_nonexistence_occurs(self):
+        """Unlike the paper's k-ary model, combination preferences admit
+        unsolvable instances (found among random n=2 draws)."""
+        missing = [
+            seed
+            for seed in range(200)
+            if solve_combination_exhaustive(random_combination_instance(2, seed=seed))
+            is None
+        ]
+        assert missing, "expected at least one unsolvable instance"
+
+    def test_blocking_uses_pair_ranks(self):
+        """Craft (0, 1, 1) as a blocking triple of the identity matching:
+        a0 dreams of (b1, c1), b1 dreams of (a0, c1), c1 dreams of
+        (a0, b1) — each strictly better than their current pair."""
+        n = 2
+        from repro.baselines.combination3dsm import CombinationInstance
+
+        def order_with_top(top: int) -> list[int]:
+            return [top] + [x for x in range(n * n) if x != top]
+
+        neutral = list(range(n * n))
+        inst = CombinationInstance(
+            a_prefs=np.array([order_with_top(1 * n + 1), neutral]),
+            b_prefs=np.array([neutral, order_with_top(0 * n + 1)]),
+            c_prefs=np.array([neutral, order_with_top(0 * n + 1)]),
+        )
+        blocks = combination_blocking_triples(inst, [0, 1], [0, 1])
+        assert (0, 1, 1) in blocks
+
+    def test_matching_validation(self):
+        inst = random_combination_instance(2, seed=3)
+        with pytest.raises(InvalidMatchingError):
+            combination_blocking_triples(inst, [0, 0], [0, 1])
+
+
+class TestContrastWithKary:
+    """The paper's core contrast: k-ary binding always succeeds."""
+
+    def test_binding_succeeds_where_combination_fails(self):
+        from repro.core.binding_tree import BindingTree
+        from repro.core.iterative_binding import iterative_binding
+        from repro.core.stability import is_stable_kary
+
+        # find an unsolvable combination instance, then show the k-ary
+        # model on a same-size instance always works
+        for seed in range(200):
+            if solve_combination_exhaustive(
+                random_combination_instance(2, seed=seed)
+            ) is None:
+                kinst = random_instance(3, 2, seed=seed)
+                res = iterative_binding(kinst, BindingTree.chain(3))
+                assert is_stable_kary(kinst, res.matching)
+                return
+        pytest.fail("no unsolvable combination instance found")

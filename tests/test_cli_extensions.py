@@ -1,0 +1,61 @@
+"""CLI tests for the solve-fair and lattice subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.model.examples import figure2_smp_instance
+from repro.model.generators import cyclic_smp, random_instance
+from repro.model.serialize import instance_to_json
+
+
+@pytest.fixture
+def smp_file(tmp_path):
+    path = tmp_path / "smp.json"
+    path.write_text(instance_to_json(figure2_smp_instance()))
+    return path
+
+
+class TestSolveFair:
+    def test_default_alternate(self, smp_file, capsys):
+        assert main(["solve-fair", str(smp_file)]) == 0
+        out = capsys.readouterr().out
+        assert "policy=alternate" in out
+        assert "(m0, w1)" in out  # woman-optimal first break
+
+    def test_man_optimal(self, smp_file, capsys):
+        assert main(["solve-fair", str(smp_file), "--policy", "man_optimal"]) == 0
+        out = capsys.readouterr().out
+        assert "(m0, w0)" in out
+        assert "man-cost=0" in out
+
+    def test_rejects_non_bipartite(self, tmp_path, capsys):
+        path = tmp_path / "k3.json"
+        path.write_text(instance_to_json(random_instance(3, 2, seed=0)))
+        assert main(["solve-fair", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLattice:
+    def test_figure2_two_matchings(self, smp_file, capsys):
+        assert main(["lattice", str(smp_file)]) == 0
+        out = capsys.readouterr().out
+        assert "stable matchings: 2" in out
+        assert "egalitarian:" in out
+
+    def test_cyclic_counts(self, tmp_path, capsys):
+        path = tmp_path / "cyc.json"
+        path.write_text(instance_to_json(cyclic_smp(5)))
+        assert main(["lattice", str(path)]) == 0
+        assert "stable matchings: 5" in capsys.readouterr().out
+
+    def test_max_print_truncates(self, tmp_path, capsys):
+        path = tmp_path / "cyc.json"
+        path.write_text(instance_to_json(cyclic_smp(6)))
+        assert main(["lattice", str(path), "--max-print", "2"]) == 0
+        assert "and 4 more" in capsys.readouterr().out
+
+    def test_rejects_non_bipartite(self, tmp_path, capsys):
+        path = tmp_path / "k3.json"
+        path.write_text(instance_to_json(random_instance(3, 2, seed=1)))
+        assert main(["lattice", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,61 @@
+"""CLI error handling: malformed inputs must fail gracefully (exit 2)."""
+
+import pytest
+
+from repro.cli import main
+from repro.model.generators import random_instance
+from repro.model.serialize import instance_to_json
+
+
+@pytest.fixture
+def inst_file(tmp_path):
+    path = tmp_path / "inst.json"
+    path.write_text(instance_to_json(random_instance(3, 2, seed=0)))
+    return path
+
+
+class TestBadInputs:
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/path.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_json_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("this is not json {")
+        assert main(["info", str(path)]) == 2
+        assert "not a valid instance" in capsys.readouterr().err
+
+    def test_json_but_not_object(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert main(["info", str(path)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_bad_tree_spec(self, inst_file, capsys):
+        assert main(["solve-kary", str(inst_file), "--tree", "banana"]) == 2
+        assert "bad tree spec" in capsys.readouterr().err
+
+    def test_tree_spec_non_integer(self, inst_file, capsys):
+        assert main(["solve-kary", str(inst_file), "--tree", "a-b"]) == 2
+        assert "bad tree spec" in capsys.readouterr().err
+
+    def test_tree_spec_bad_topology(self, inst_file, capsys):
+        # parses fine, but is a cycle — structured error, not traceback
+        assert main(["solve-kary", str(inst_file), "--tree", "0-1,1-2,2-0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_explicit_valid_edges_still_work(self, inst_file, capsys):
+        assert main(["solve-kary", str(inst_file), "--tree", "2-1,1-0"]) == 0
+        assert "(2, 1)" in capsys.readouterr().out
+
+    def test_verify_with_corrupt_matching(self, inst_file, tmp_path, capsys):
+        bad = tmp_path / "m.json"
+        bad.write_text('{"tuples": [[[0, 0], [0, 1], [2, 0]]]}')
+        assert main(["verify", str(inst_file), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_with_non_json_matching(self, inst_file, tmp_path, capsys):
+        bad = tmp_path / "m.json"
+        bad.write_text("{{{")
+        assert main(["verify", str(inst_file), str(bad)]) == 2
+        assert "cannot read matching file" in capsys.readouterr().err

@@ -1,0 +1,35 @@
+"""Every docstring example in the library must actually run.
+
+Docstrings are the first thing a user copies; a stale example is worse
+than none.  This walks every ``repro`` module and executes its doctests.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULES = sorted(set(_all_modules()))
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+
+
+def test_module_walk_found_the_tree():
+    assert "repro.core.iterative_binding" in MODULES
+    assert "repro.roommates.irving" in MODULES
+    assert len(MODULES) > 40

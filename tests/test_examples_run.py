@@ -1,0 +1,35 @@
+"""Guard the example scripts against bitrot: each must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they demonstrate"
+
+
+def test_all_expected_examples_present():
+    names = {p.name for p in SCRIPTS}
+    assert {
+        "quickstart.py",
+        "society_formation.py",
+        "three_sided_services.py",
+        "fair_smp.py",
+        "parallel_binding.py",
+        "college_admissions.py",
+        "roommates_teams.py",
+    } <= names

@@ -1,0 +1,114 @@
+"""Cross-module integration tests: full paper pipelines."""
+
+import pytest
+
+import repro
+from repro.analysis.metrics import kary_costs
+from repro.core.binding_tree import BindingTree
+from repro.core.stability import find_weakened_blocking_family, is_stable_kary
+from repro.distributed.distributed_gs import run_distributed_gs
+from repro.exceptions import NoStableMatchingError
+from repro.kpartite.existence import has_stable_binary, solve_binary
+from repro.model.examples import figure5_scenario, FIG5_BAD_TREE, FIG5_GOOD_TREE
+from repro.model.generators import random_global_instance, theorem1_instance
+from repro.parallel.executor import run_bindings_parallel
+from repro.parallel.pram import simulate_schedule
+from repro.parallel.schedule import even_odd_chain_schedule, greedy_tree_schedule
+
+
+class TestPublicAPI:
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        inst = repro.random_instance(k=3, n=8, seed=42)
+        result = repro.iterative_binding(inst, repro.BindingTree.chain(3))
+        assert repro.is_stable_kary(inst, result.matching)
+        assert result.total_proposals <= result.proposal_bound
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestSectionIIIPipeline:
+    """Theorem 1 + detection + the sociology framing."""
+
+    def test_theorem1_end_to_end(self):
+        inst = theorem1_instance(4, 2, seed=3)
+        assert not has_stable_binary(inst, linearization="global")
+
+    def test_random_society_sometimes_solvable(self):
+        verdicts = {
+            has_stable_binary(random_global_instance(3, 2, seed=s)) for s in range(20)
+        }
+        assert verdicts == {True, False}  # both outcomes occur in nature
+
+    def test_solution_feeds_metrics(self):
+        # even total membership (3*2=6) and a seed verified solvable
+        inst = random_global_instance(3, 2, seed=0)
+        result = solve_binary(inst)
+        assert len(result.pairs) == (inst.k * inst.n) // 2
+
+    def test_odd_population_fails_loudly(self):
+        # 3*3 = 9 members: no perfect matching can exist at all
+        inst = random_global_instance(3, 3, seed=11)
+        with pytest.raises(NoStableMatchingError, match="odd"):
+            solve_binary(inst)
+
+
+class TestSectionIVPipeline:
+    """Binding -> stability -> metrics -> parallel, on one instance."""
+
+    def test_full_flow(self):
+        inst = repro.random_instance(5, 6, seed=13)
+        tree = BindingTree.chain(5)
+        serial = repro.iterative_binding(inst, tree)
+        assert is_stable_kary(inst, serial.matching)
+
+        costs = kary_costs(serial.matching)
+        assert costs.egalitarian >= 0
+
+        sched = greedy_tree_schedule(tree)
+        assert sched.n_rounds == 2
+        report = simulate_schedule(sched, n=inst.n)
+        assert report.makespan == 2 * inst.n * inst.n
+
+        parallel = run_bindings_parallel(inst, tree, schedule=sched, backend="serial")
+        assert parallel.matching == serial.matching
+
+    def test_even_odd_equals_greedy_for_chain(self):
+        inst = repro.random_instance(6, 4, seed=14)
+        tree = BindingTree.chain(6)
+        a = run_bindings_parallel(
+            inst, tree, schedule=even_odd_chain_schedule(tree), backend="serial"
+        )
+        b = repro.iterative_binding(inst, tree)
+        assert a.matching == b.matching
+
+
+class TestFigure5Pipeline:
+    def test_bad_tree_breaks_good_tree_holds(self):
+        inst, witness = figure5_scenario()
+        bad = BindingTree(4, FIG5_BAD_TREE)
+        good = BindingTree(4, FIG5_GOOD_TREE)
+        bad_matching = repro.iterative_binding(inst, bad).matching
+        good_matching = repro.iterative_binding(inst, good).matching
+        assert find_weakened_blocking_family(inst, bad_matching) is not None
+        assert find_weakened_blocking_family(inst, good_matching) is None
+        # both are still STRONGLY stable (Theorem 2 holds for any tree)
+        assert repro.is_stable_kary(inst, bad_matching)
+        assert repro.is_stable_kary(inst, good_matching)
+
+
+class TestDistributedMatchesBinding:
+    def test_distributed_gs_as_binding_engine(self):
+        """One edge of the binding tree run distributedly must agree
+        with the in-process engines."""
+        inst = repro.random_instance(3, 7, seed=15)
+        view = inst.bipartite_view(0, 1)
+        dist = run_distributed_gs(view.proposer_prefs, view.responder_prefs)
+        res = repro.iterative_binding(inst, BindingTree(3, [(0, 1), (1, 2)]))
+        binding_edge = res.edge_results[0]
+        assert dist.matching == binding_edge.matching

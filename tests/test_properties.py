@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies generate small random preference systems; the properties are
+the paper's theorems plus structural invariants of the data layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.verify import is_stable
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.priority_binding import build_priority_tree, priority_binding
+from repro.core.stability import (
+    find_blocking_family,
+    find_weakened_blocking_family,
+)
+from repro.exceptions import NoStableMatchingError
+from repro.kpartite.existence import binary_blocking_pairs, solve_binary
+from repro.model.generators import random_instance
+from repro.model.instance import KPartiteInstance
+from repro.model.serialize import instance_from_json, instance_to_json
+from repro.roommates.instance import RoommatesInstance
+from repro.roommates.irving import solve_roommates
+from repro.roommates.verify import is_stable_roommates
+from repro.utils.ordering import is_bitonic
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def permutation_lists(draw, n_min=1, n_max=6):
+    """A pair of (n, list of permutations) for one gender's ratings."""
+    n = draw(st.integers(n_min, n_max))
+    perms = draw(
+        st.lists(st.permutations(range(n)), min_size=n, max_size=n)
+    )
+    return n, [list(p) for p in perms]
+
+
+@st.composite
+def smp_instances(draw, n_min=1, n_max=6):
+    n, men = draw(permutation_lists(n_min, n_max))
+    women = draw(st.lists(st.permutations(range(n)), min_size=n, max_size=n))
+    return np.array(men), np.array([list(p) for p in women])
+
+
+@st.composite
+def kpartite_instances(draw, k_min=2, k_max=4, n_min=1, n_max=4):
+    k = draw(st.integers(k_min, k_max))
+    n = draw(st.integers(n_min, n_max))
+    pref = np.full((k, n, k, n), -1, dtype=np.int32)
+    for g in range(k):
+        for h in range(k):
+            if g == h:
+                continue
+            for i in range(n):
+                pref[g, i, h] = draw(st.permutations(range(n)))
+    return KPartiteInstance.from_arrays(pref, validate=False)
+
+
+@st.composite
+def even_roommates_instances(draw, pairs_max=3):
+    n = 2 * draw(st.integers(1, pairs_max))
+    prefs = []
+    for p in range(n):
+        others = [q for q in range(n) if q != p]
+        prefs.append(list(draw(st.permutations(others))))
+    return RoommatesInstance(prefs)
+
+
+# ----------------------------------------------------------------------
+# Gale-Shapley properties
+# ----------------------------------------------------------------------
+
+
+@given(smp_instances())
+@settings(max_examples=60, deadline=None)
+def test_gs_always_stable(pair):
+    p, r = pair
+    res = gale_shapley(p, r)
+    assert is_stable(p, r, res.matching)
+
+
+@given(smp_instances())
+@settings(max_examples=60, deadline=None)
+def test_gs_engines_agree(pair):
+    p, r = pair
+    results = {
+        e: gale_shapley(p, r, engine=e).matching
+        for e in ("textbook", "rounds", "vectorized")
+    }
+    assert len(set(results.values())) == 1
+
+
+@given(smp_instances())
+@settings(max_examples=60, deadline=None)
+def test_gs_proposal_bound(pair):
+    p, r = pair
+    n = p.shape[0]
+    assert gale_shapley(p, r).proposals <= n * n
+
+
+# ----------------------------------------------------------------------
+# Roommates properties
+# ----------------------------------------------------------------------
+
+
+@given(even_roommates_instances())
+@settings(max_examples=60, deadline=None)
+def test_roommates_solution_stable_or_absent(inst):
+    try:
+        result = solve_roommates(inst)
+    except NoStableMatchingError:
+        return
+    assert is_stable_roommates(inst, result.matching)
+
+
+@given(even_roommates_instances(pairs_max=2))
+@settings(max_examples=40, deadline=None)
+def test_roommates_verdict_matches_bruteforce(inst):
+    from tests.conftest import brute_force_roommates_exists
+
+    try:
+        solve_roommates(inst)
+        found = True
+    except NoStableMatchingError:
+        found = False
+    assert found == brute_force_roommates_exists(inst)
+
+
+# ----------------------------------------------------------------------
+# k-ary binding properties (Theorems 2, 3, 5)
+# ----------------------------------------------------------------------
+
+
+@given(kpartite_instances(), st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_theorem2_binding_always_stable(inst, tree_seed):
+    res = iterative_binding(inst, BindingTree.random(inst.k, seed=tree_seed))
+    assert find_blocking_family(inst, res.matching) is None
+
+
+@given(kpartite_instances())
+@settings(max_examples=40, deadline=None)
+def test_theorem3_proposal_bound(inst):
+    res = iterative_binding(inst, BindingTree.chain(inst.k))
+    assert res.total_proposals <= (inst.k - 1) * inst.n * inst.n
+
+
+@given(kpartite_instances(k_min=3), st.sampled_from(["chain", "star"]))
+@settings(max_examples=40, deadline=None)
+def test_theorem5_bitonic_weakened_stable(inst, attach):
+    res = priority_binding(inst, attach=attach)
+    witness = find_weakened_blocking_family(inst, res.matching, semantics="mutual")
+    assert witness is None
+
+
+@given(st.integers(2, 7), st.integers(0, 10**6), st.sampled_from(["chain", "star", "random"]))
+@settings(max_examples=60, deadline=None)
+def test_priority_trees_always_bitonic(k, seed, attach):
+    tree = build_priority_tree(k, attach=attach, seed=seed)
+    assert tree.is_bitonic()
+    # check against path-based definition for a random pair
+    for a in range(k):
+        for b in range(a + 1, k):
+            assert is_bitonic(tree.path_between(a, b))
+
+
+# ----------------------------------------------------------------------
+# binary matching (Section III) properties
+# ----------------------------------------------------------------------
+
+
+@given(kpartite_instances(k_min=2, k_max=3, n_min=1, n_max=3))
+@settings(max_examples=40, deadline=None)
+def test_binary_solution_stable_when_found(inst):
+    try:
+        result = solve_binary(inst, linearization="round_robin")
+    except NoStableMatchingError:
+        return
+    assert binary_blocking_pairs(inst, result.pairs, linearization="round_robin") == []
+
+
+@given(kpartite_instances(k_min=2, k_max=2, n_min=1, n_max=5))
+@settings(max_examples=40, deadline=None)
+def test_bipartite_binary_always_solvable(inst):
+    # k = 2: Gale-Shapley guarantees existence; the roommates reduction
+    # must find one too
+    result = solve_binary(inst)
+    assert len(result.pairs) == inst.n
+
+
+# ----------------------------------------------------------------------
+# data-layer properties
+# ----------------------------------------------------------------------
+
+
+@given(kpartite_instances())
+@settings(max_examples=40, deadline=None)
+def test_serialization_roundtrip(inst):
+    assert instance_from_json(instance_to_json(inst)) == inst
+
+
+@given(kpartite_instances())
+@settings(max_examples=40, deadline=None)
+def test_rank_is_inverse_of_preference_list(inst):
+    for m in inst.members():
+        for h in range(inst.k):
+            if h == m.gender:
+                continue
+            for pos, other in enumerate(inst.preference_list(m, h)):
+                assert inst.rank(m, other) == pos
+
+
+@given(kpartite_instances(k_min=3))
+@settings(max_examples=30, deadline=None)
+def test_binding_result_is_partition(inst):
+    res = iterative_binding(inst, BindingTree.chain(inst.k))
+    members = [m for tup in res.matching.tuples() for m in tup]
+    assert len(members) == inst.k * inst.n
+    assert len(set(members)) == len(members)

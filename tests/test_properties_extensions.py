@@ -1,0 +1,262 @@
+"""Property-based tests for the extension subsystems.
+
+Same style as tests/test_properties.py, covering the lattice,
+hospitals/residents, dynamic re-binding, transformations, the quorum
+oracle and the 3DSM baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartite.enumerate import all_stable_matchings
+from repro.bipartite.fairness import matching_costs
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.hospitals import (
+    HRInstance,
+    hospitals_residents,
+    is_stable_hr,
+)
+from repro.bipartite.lattice import (
+    all_stable_matchings_lattice,
+    egalitarian_stable_matching,
+)
+from repro.core.binding_tree import BindingTree
+from repro.core.dynamic import DynamicBindingSession
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import find_quorum_blocking_family
+from repro.baselines.cyclic3dsm import (
+    is_stable_cyclic,
+    random_cyclic_instance,
+    solve_cyclic_exhaustive,
+)
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.model.transform import relabel_matching, relabel_members
+
+from tests.test_properties import kpartite_instances, smp_instances
+
+
+# ----------------------------------------------------------------------
+# lattice
+# ----------------------------------------------------------------------
+
+
+@given(smp_instances(n_max=5))
+@settings(max_examples=40, deadline=None)
+def test_lattice_equals_bruteforce(pair):
+    p, r = pair
+    n = p.shape[0]
+    brute = {tuple(m[i] for i in range(n)) for m in all_stable_matchings(p, r)}
+    assert set(all_stable_matchings_lattice(p, r)) == brute
+
+
+@given(smp_instances(n_max=6))
+@settings(max_examples=40, deadline=None)
+def test_lattice_contains_gs_and_egalitarian_dominates(pair):
+    p, r = pair
+    gs = gale_shapley(p, r).matching
+    lattice = set(all_stable_matchings_lattice(p, r))
+    assert gs in lattice
+    _, ecost = egalitarian_stable_matching(p, r)
+    assert ecost <= matching_costs(p, r, list(gs)).egalitarian
+
+
+# ----------------------------------------------------------------------
+# hospitals / residents
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def hr_instances(draw):
+    n_res = draw(st.integers(1, 6))
+    n_hosp = draw(st.integers(1, 4))
+    res_prefs = [
+        list(draw(st.permutations(range(n_hosp)))) for _ in range(n_res)
+    ]
+    hosp_prefs = [
+        list(draw(st.permutations(range(n_res)))) for _ in range(n_hosp)
+    ]
+    caps = [draw(st.integers(0, 3)) for _ in range(n_hosp)]
+    return HRInstance(res_prefs, hosp_prefs, caps)
+
+
+@given(hr_instances())
+@settings(max_examples=60, deadline=None)
+def test_hr_deferred_acceptance_always_stable(inst):
+    res = hospitals_residents(inst)
+    assert is_stable_hr(inst, res.assignment)
+    # capacity discipline
+    for h, admitted in enumerate(res.admitted):
+        assert len(admitted) <= inst.capacities[h]
+
+
+@given(hr_instances())
+@settings(max_examples=40, deadline=None)
+def test_hr_admitted_consistent_with_assignment(inst):
+    res = hospitals_residents(inst)
+    for h, admitted in enumerate(res.admitted):
+        for r in admitted:
+            assert res.assignment[r] == h
+    for r, h in enumerate(res.assignment):
+        if h != -1:
+            assert r in res.admitted[h]
+
+
+# ----------------------------------------------------------------------
+# dynamic re-binding
+# ----------------------------------------------------------------------
+
+
+@given(
+    kpartite_instances(k_min=3, k_max=4, n_min=2, n_max=4),
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3),
+                  st.randoms(use_true_random=False)),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_dynamic_session_tracks_fresh_solution(inst, updates):
+    session = DynamicBindingSession(inst)
+    for g, h, i, rnd in updates:
+        g %= inst.k
+        h %= inst.k
+        i %= inst.n
+        if g == h:
+            continue
+        new = list(range(inst.n))
+        rnd.shuffle(new)
+        session.update_preferences(Member(g, i), h, new)
+    fresh = iterative_binding(session.instance(), session.tree)
+    assert session.matching() == fresh.matching
+
+
+# ----------------------------------------------------------------------
+# transformations
+# ----------------------------------------------------------------------
+
+
+@given(kpartite_instances(k_min=2, k_max=4, n_min=2, n_max=4), st.randoms(use_true_random=False))
+@settings(max_examples=30, deadline=None)
+def test_relabel_commutes_with_binding(inst, rnd):
+    relabeling = {}
+    for g in range(inst.k):
+        perm = list(range(inst.n))
+        rnd.shuffle(perm)
+        relabeling[g] = perm
+    relabeled = relabel_members(inst, relabeling)
+    tree = BindingTree.chain(inst.k)
+    direct = iterative_binding(relabeled, tree).matching
+    pushed = relabel_matching(
+        iterative_binding(inst, tree).matching, relabeled, relabeling
+    )
+    assert direct == pushed
+
+
+# ----------------------------------------------------------------------
+# quorum oracle
+# ----------------------------------------------------------------------
+
+
+@given(kpartite_instances(k_min=3, k_max=4, n_min=2, n_max=3))
+@settings(max_examples=30, deadline=None)
+def test_quorum_verdicts_monotone(inst):
+    matching = iterative_binding(inst, BindingTree.chain(inst.k)).matching
+    blocked = [
+        find_quorum_blocking_family(inst, matching, quorum=q) is not None
+        for q in range(1, inst.k + 1)
+    ]
+    for easier, harder in zip(blocked, blocked[1:]):
+        assert easier or not harder  # blocked at larger q => blocked at smaller
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_cyclic_solver_output_verified(seed):
+    inst = random_cyclic_instance(3, seed=seed)
+    result = solve_cyclic_exhaustive(inst)
+    if result is not None:
+        sigma, tau = result
+        assert is_stable_cyclic(inst, sigma, tau)
+
+
+# ----------------------------------------------------------------------
+# forest binding
+# ----------------------------------------------------------------------
+
+
+@given(kpartite_instances(k_min=3, k_max=4, n_min=2, n_max=4), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_forest_completion_is_perfect(inst, seed):
+    from repro.core.forest_binding import (
+        BindingForest,
+        complete_matching,
+        forest_binding,
+    )
+
+    # a one-edge forest: the most oblivious regime
+    forest = BindingForest(inst.k, [(0, 1)])
+    partial = forest_binding(inst, forest)
+    matching = complete_matching(inst, partial, policy="random", seed=seed)
+    members = [m for tup in matching.tuples() for m in tup]
+    assert len(members) == len(set(members)) == inst.k * inst.n
+
+
+@given(kpartite_instances(k_min=3, k_max=4, n_min=2, n_max=3))
+@settings(max_examples=30, deadline=None)
+def test_spanning_forest_equals_tree_binding(inst):
+    from repro.core.forest_binding import (
+        BindingForest,
+        complete_matching,
+        forest_binding,
+    )
+
+    edges = [(g, g + 1) for g in range(inst.k - 1)]
+    partial = forest_binding(inst, BindingForest(inst.k, edges))
+    matching = complete_matching(inst, partial)
+    assert matching == iterative_binding(inst, BindingTree(inst.k, edges)).matching
+
+
+# ----------------------------------------------------------------------
+# instance analytics
+# ----------------------------------------------------------------------
+
+
+@given(kpartite_instances(k_min=2, k_max=3, n_min=2, n_max=5))
+@settings(max_examples=30, deadline=None)
+def test_statistics_ranges(inst):
+    from repro.analysis.statistics import instance_stats
+
+    stats = instance_stats(inst)
+    assert 0 <= stats.mutual_first_pairs <= inst.n * inst.k * (inst.k - 1) // 2
+    assert 0.0 <= stats.max_popularity_concentration <= 1.0
+    assert -1.0 <= stats.mean_list_agreement <= 1.0
+
+
+# ----------------------------------------------------------------------
+# almost-stable relaxation
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_local_search_never_beats_exact(seed):
+    from repro.kpartite.almost_stable import (
+        min_blocking_matching_exact,
+        min_blocking_matching_local,
+    )
+    from repro.model.generators import random_global_instance
+
+    inst = random_global_instance(3, 2, seed=seed)
+    exact = min_blocking_matching_exact(inst)
+    local = min_blocking_matching_local(inst, restarts=4, seed=seed)
+    assert local.blocking_count >= exact.blocking_count

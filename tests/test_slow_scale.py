@@ -1,0 +1,95 @@
+"""Scale soak tests: the guarantees must survive realistic sizes.
+
+Each test is a few seconds at most; together they exercise code paths
+(vectorized batches, pointer machinery, union-find churn, lattice
+branching) far beyond the unit-test sizes.
+"""
+
+import pytest
+
+from repro.bipartite.gale_shapley import gale_shapley
+from repro.bipartite.lattice import count_stable_matchings_lattice
+from repro.bipartite.verify import is_stable
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import certify_tree_stability
+from repro.exceptions import NoStableMatchingError
+from repro.model.generators import (
+    cyclic_smp,
+    identical_preferences_smp,
+    master_list_instance,
+    random_instance,
+    random_smp,
+)
+from repro.roommates.instance import RoommatesInstance
+from repro.roommates.irving import solve_roommates
+from repro.roommates.verify import is_stable_roommates
+from repro.utils.rng import as_rng
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_gs_engines_agree_n256(self):
+        inst = random_smp(256, seed=0)
+        view = inst.bipartite_view(0, 1)
+        a = gale_shapley(view.proposer_prefs, view.responder_prefs, engine="textbook")
+        b = gale_shapley(view.proposer_prefs, view.responder_prefs, engine="vectorized")
+        assert a.matching == b.matching
+        assert is_stable(view.proposer_prefs, view.responder_prefs, a.matching)
+
+    def test_gs_worst_case_n256(self):
+        n = 256
+        inst = identical_preferences_smp(n)
+        view = inst.bipartite_view(0, 1)
+        res = gale_shapley(view.proposer_prefs, view.responder_prefs, engine="vectorized")
+        assert res.proposals == n * (n + 1) // 2
+
+    def test_binding_k8_n64_certified_stable(self):
+        inst = random_instance(8, 64, seed=1)
+        tree = BindingTree.random(8, seed=2)
+        result = iterative_binding(inst, tree, engine="vectorized")
+        assert result.total_proposals <= 7 * 64 * 64
+        assert certify_tree_stability(inst, result.matching, tree)
+
+    def test_roommates_n100_random(self):
+        rng = as_rng(3)
+        solved = failed = 0
+        for trial in range(5):
+            prefs = []
+            for p in range(100):
+                others = [q for q in range(100) if q != p]
+                rng.shuffle(others)
+                prefs.append(others)
+            inst = RoommatesInstance(prefs)
+            try:
+                result = solve_roommates(inst)
+            except NoStableMatchingError:
+                failed += 1
+                continue
+            solved += 1
+            assert is_stable_roommates(inst, result.matching)
+        assert solved + failed == 5
+
+    def test_lattice_exponential_family_n12(self):
+        # 6 independent 2x2 blocks -> 64 stable matchings
+        n = 12
+        p = [[0] * n for _ in range(n)]
+        r = [[0] * n for _ in range(n)]
+        for b in range(0, n, 2):
+            i, j = b, b + 1
+            rest = [x for x in range(n) if x not in (i, j)]
+            p[i] = [i, j] + rest
+            p[j] = [j, i] + rest
+            r[i] = [j, i] + rest
+            r[j] = [i, j] + rest
+        assert count_stable_matchings_lattice(p, r) == 2 ** (n // 2)
+
+    def test_cyclic_lattice_n24(self):
+        v = cyclic_smp(24).bipartite_view(0, 1)
+        assert count_stable_matchings_lattice(v.proposer_prefs, v.responder_prefs) == 24
+
+    def test_master_list_binding_k6_n128(self):
+        inst = master_list_instance(6, 128, seed=4, noise=0.0)
+        tree = BindingTree.chain(6)
+        result = iterative_binding(inst, tree, engine="vectorized")
+        assert result.total_proposals == 5 * 128 * 129 // 2

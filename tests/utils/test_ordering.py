@@ -1,0 +1,119 @@
+"""Unit tests for ordering helpers (permutations, ranks, bitonicity)."""
+
+import pytest
+
+from repro.utils.ordering import (
+    concatenate_by_priority,
+    is_bitonic,
+    is_permutation,
+    rank_array,
+    round_robin_merge,
+)
+
+
+class TestIsPermutation:
+    @pytest.mark.parametrize("seq", [[0], [1, 0], [2, 0, 1], list(range(10))])
+    def test_valid(self, seq):
+        assert is_permutation(seq)
+
+    @pytest.mark.parametrize("seq", [[0, 0], [1, 2], [-1, 0], [0, 1, 1], []])
+    def test_invalid(self, seq):
+        if seq == []:
+            assert is_permutation(seq)  # empty is the permutation of 0 elems
+        else:
+            assert not is_permutation(seq)
+
+    def test_explicit_n_mismatch(self):
+        assert not is_permutation([0, 1], n=3)
+
+    def test_rejects_bools_and_floats(self):
+        assert not is_permutation([True, False])
+        assert not is_permutation([0.0, 1.0])
+
+
+class TestRankArray:
+    def test_inverts_permutation(self):
+        assert rank_array([2, 0, 1]) == [1, 2, 0]
+
+    def test_identity(self):
+        assert rank_array([0, 1, 2, 3]) == [0, 1, 2, 3]
+
+    def test_roundtrip(self):
+        perm = [3, 1, 4, 0, 2]
+        rank = rank_array(perm)
+        assert [perm[r] for r in rank] == list(range(5))
+
+    @pytest.mark.parametrize("bad", [[0, 0], [1, 2], [0, -1]])
+    def test_rejects_non_permutations(self, bad):
+        with pytest.raises(ValueError):
+            rank_array(bad)
+
+
+class TestIsBitonic:
+    @pytest.mark.parametrize(
+        "seq", [[1, 3, 4, 2], [4, 3, 2, 1], [1, 2, 3, 4], [5], [], [1, 9, 2]]
+    )
+    def test_paper_examples_bitonic(self, seq):
+        # (1,3,4,2), (4,3,2,1) and (1,2,3,4) are the paper's positives
+        assert is_bitonic(seq)
+
+    @pytest.mark.parametrize("seq", [[4, 1, 2, 3], [2, 1, 3, 1], [1, 3, 2, 4]])
+    def test_paper_counterexample_and_others(self, seq):
+        # (4,1,2,3) is the paper's negative example
+        assert not is_bitonic(seq)
+
+    def test_equal_adjacent_rejected(self):
+        assert not is_bitonic([1, 1])
+        assert not is_bitonic([1, 2, 2, 1])
+
+    def test_brute_force_agreement(self):
+        import itertools
+
+        def slow(seq):
+            # bitonic iff some peak p: strictly up to p, strictly down after
+            n = len(seq)
+            if n <= 1:
+                return True
+            for p in range(n):
+                inc = all(seq[i] < seq[i + 1] for i in range(p))
+                dec = all(seq[i] > seq[i + 1] for i in range(p, n - 1))
+                if inc and dec:
+                    return True
+            return False
+
+        for n in range(1, 6):
+            for perm in itertools.permutations(range(n)):
+                assert is_bitonic(perm) == slow(list(perm)), perm
+
+
+class TestMerges:
+    def test_round_robin_interleaves(self):
+        assert round_robin_merge([["a", "b"], ["x", "y", "z"]]) == [
+            "a",
+            "x",
+            "b",
+            "y",
+            "z",
+        ]
+
+    def test_round_robin_empty(self):
+        assert round_robin_merge([]) == []
+        assert round_robin_merge([[], []]) == []
+
+    def test_round_robin_single(self):
+        assert round_robin_merge([[1, 2, 3]]) == [1, 2, 3]
+
+    def test_concatenate_by_priority_orders_descending(self):
+        out = concatenate_by_priority([["low"], ["high"]], priorities=[1, 9])
+        assert out == ["high", "low"]
+
+    def test_concatenate_default_keeps_order(self):
+        assert concatenate_by_priority([[1], [2], [3]]) == [1, 2, 3]
+
+    def test_concatenate_priority_length_mismatch(self):
+        with pytest.raises(ValueError):
+            concatenate_by_priority([[1]], priorities=[1, 2])
+
+    def test_concatenate_tie_broken_by_index(self):
+        out = concatenate_by_priority([["a"], ["b"]], priorities=[5, 5])
+        assert out == ["a", "b"]

@@ -1,0 +1,47 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9)
+        b = as_rng(2).integers(0, 10**9)
+        assert a != b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent_streams(self):
+        kids = spawn_rngs(7, 3)
+        draws = [tuple(k.integers(0, 10**9, size=4).tolist()) for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_given_seed(self):
+        a = [k.integers(0, 10**6) for k in spawn_rngs(11, 3)]
+        b = [k.integers(0, 10**6) for k in spawn_rngs(11, 3)]
+        assert a == b

@@ -1,0 +1,92 @@
+"""Unit tests for the union-find substrate."""
+
+import pytest
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_new_items_are_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.n_components == 2
+        assert not uf.connected("a", "b")
+
+    def test_union_merges(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+        assert not uf.connected("a", "c")
+        assert uf.n_components == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind(["a", "b"])
+        uf.union("a", "b")
+        assert uf.union("a", "b") is False
+        assert uf.n_components == 1
+
+    def test_union_auto_registers_unknown_items(self):
+        uf = UnionFind()
+        uf.union("x", "y")
+        assert uf.connected("x", "y")
+        assert len(uf) == 2
+
+    def test_add_duplicate_returns_false(self):
+        uf = UnionFind(["a"])
+        assert uf.add("a") is False
+        assert uf.add("b") is True
+
+    def test_find_unknown_raises(self):
+        uf = UnionFind(["a"])
+        with pytest.raises(KeyError):
+            uf.find("zzz")
+
+    def test_contains_and_iter(self):
+        uf = UnionFind(["a", "b"])
+        assert "a" in uf and "zz" not in uf
+        assert list(uf) == ["a", "b"]
+
+
+class TestGroups:
+    def test_groups_partition_all_items(self):
+        uf = UnionFind(range(10))
+        for i in range(0, 10, 2):
+            uf.union(i, i + 1)
+        groups = uf.groups()
+        assert sorted(x for g in groups for x in g) == list(range(10))
+        assert all(len(g) == 2 for g in groups)
+
+    def test_group_size(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.group_size(2) == 3
+        assert uf.group_size(3) == 1
+
+    def test_transitivity(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+        assert uf.group_size(0) == 4
+
+    def test_find_returns_consistent_representative(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(0, 3)
+        reps = {uf.find(i) for i in range(4)}
+        assert len(reps) == 1
+
+    def test_groups_deterministic_order(self):
+        uf = UnionFind("abcdef")
+        uf.union("a", "c")
+        uf.union("b", "d")
+        assert uf.groups() == [["a", "c"], ["b", "d"], ["e"], ["f"]]
+
+    def test_large_chain_compresses(self):
+        uf = UnionFind(range(1000))
+        for i in range(999):
+            uf.union(i, i + 1)
+        assert uf.n_components == 1
+        assert uf.group_size(0) == 1000
