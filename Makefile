@@ -2,10 +2,18 @@
 
 PY ?= python
 
-.PHONY: install test bench examples fast slow all clean
+.PHONY: install lint typecheck test bench examples fast slow all clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
+
+lint:
+	PYTHONPATH=src $(PY) -m repro lint src/repro
+
+typecheck:
+	@$(PY) -c "import mypy" 2>/dev/null \
+		&& $(PY) -m mypy src/repro \
+		|| echo "mypy not installed; skipping typecheck"
 
 test:
 	$(PY) -m pytest tests/
@@ -23,7 +31,7 @@ examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \
 	echo "all examples ran cleanly"
 
-all: test bench examples
+all: lint typecheck test bench examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bipartite.gale_shapley import gale_shapley
+from repro.exceptions import ConfigurationError
 from repro.core.binding_tree import BindingTree
 from repro.core.iterative_binding import iterative_binding
 from repro.model.generators import random_instance
@@ -72,7 +73,7 @@ def gs_proposal_sweep(
             elif workload == "cyclic":
                 inst = cyclic_smp(n)
             else:
-                raise ValueError(f"unknown workload {workload!r}")
+                raise ConfigurationError(f"unknown workload {workload!r}")
             view = inst.bipartite_view(0, 1)
             counts.append(
                 gale_shapley(view.proposer_prefs, view.responder_prefs).proposals
@@ -111,7 +112,7 @@ def binding_proposal_sweep(
                 elif tree_shape == "star":
                     tree = BindingTree.star(k)
                 else:
-                    raise ValueError(f"unknown tree shape {tree_shape!r}")
+                    raise ConfigurationError(f"unknown tree shape {tree_shape!r}")
                 counts.append(iterative_binding(inst, tree).total_proposals)
             rows.append(
                 SweepRow(

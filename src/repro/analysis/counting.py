@@ -18,6 +18,7 @@ import itertools
 import math
 from collections.abc import Iterator, Sequence
 
+from repro.exceptions import ConfigurationError, InvalidBindingTreeError
 from repro.model.members import Member
 
 __all__ = [
@@ -35,7 +36,7 @@ __all__ = [
 def cayley_count(k: int) -> int:
     """Number of labeled trees on k nodes: k^(k-2) (k >= 1)."""
     if k < 1:
-        raise ValueError(f"k must be positive, got {k}")
+        raise ConfigurationError(f"k must be positive, got {k}")
     if k <= 2:
         return 1
     return k ** (k - 2)
@@ -48,11 +49,11 @@ def prufer_to_tree(seq: Sequence[int], k: int) -> list[tuple[int, int]]:
     compare equal.
     """
     if k < 2:
-        raise ValueError(f"need k >= 2 nodes, got {k}")
+        raise ConfigurationError(f"need k >= 2 nodes, got {k}")
     if len(seq) != k - 2:
-        raise ValueError(f"Prüfer sequence for k={k} must have length {k - 2}")
+        raise InvalidBindingTreeError(f"Prüfer sequence for k={k} must have length {k - 2}")
     if any(not 0 <= x < k for x in seq):
-        raise ValueError(f"Prüfer entries must be node labels 0..{k - 1}")
+        raise InvalidBindingTreeError(f"Prüfer entries must be node labels 0..{k - 1}")
     degree = [1] * k
     for x in seq:
         degree[x] += 1
@@ -77,7 +78,7 @@ def prufer_to_tree(seq: Sequence[int], k: int) -> list[tuple[int, int]]:
 def tree_to_prufer(edges: Sequence[tuple[int, int]], k: int) -> list[int]:
     """Encode a tree (edge list on nodes 0..k-1) as its Prüfer sequence."""
     if len(edges) != k - 1:
-        raise ValueError(f"a tree on {k} nodes has {k - 1} edges, got {len(edges)}")
+        raise InvalidBindingTreeError(f"a tree on {k} nodes has {k - 1} edges, got {len(edges)}")
     adj: dict[int, set[int]] = {i: set() for i in range(k)}
     for u, v in edges:
         adj[u].add(v)
@@ -119,7 +120,7 @@ def count_priority_trees(k: int) -> int:
     of the existing nodes.
     """
     if k < 1:
-        raise ValueError(f"k must be positive, got {k}")
+        raise ConfigurationError(f"k must be positive, got {k}")
     return math.factorial(k - 1)
 
 
@@ -132,7 +133,7 @@ def enumerate_kary_matchings(k: int, n: int) -> Iterator[list[tuple[Member, ...]
     in total — 4 for Example 2's k=3, n=2.
     """
     if k < 1 or n < 0:
-        raise ValueError(f"invalid (k, n) = ({k}, {n})")
+        raise ConfigurationError(f"invalid (k, n) = ({k}, {n})")
     perms = list(itertools.permutations(range(n)))
     for combo in itertools.product(perms, repeat=k - 1):
         yield [

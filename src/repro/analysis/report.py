@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from repro.exceptions import ConfigurationError
+
 __all__ = ["format_table", "format_series", "format_comparison"]
 
 
@@ -30,7 +32,7 @@ def format_table(
     cells = [[str(x) for x in row] for row in rows]
     for row in cells:
         if len(row) != len(header):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(row)} cells but header has {len(header)}"
             )
     widths = [
@@ -99,7 +101,7 @@ def format_comparison(
     else:
         items = list(others)
     if baseline == 0:
-        raise ValueError("baseline must be non-zero")
+        raise ConfigurationError("baseline must be non-zero")
     label_w = max(len(baseline_name), *(len(k) for k, _ in items)) if items else len(
         baseline_name
     )

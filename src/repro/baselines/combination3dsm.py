@@ -26,7 +26,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import InvalidInstanceError, InvalidMatchingError
+from repro.exceptions import (
+    BudgetExhaustedError,
+    InvalidInstanceError,
+    InvalidMatchingError,
+)
 from repro.utils.ordering import rank_array
 from repro.utils.rng import as_rng
 
@@ -156,7 +160,7 @@ def solve_combination_exhaustive(
         for tau in itertools.permutations(range(n)):
             examined += 1
             if max_nodes is not None and examined > max_nodes:
-                raise RuntimeError(
+                raise BudgetExhaustedError(
                     f"exhausted node budget ({max_nodes}) without a verdict"
                 )
             if is_stable_combination(inst, sigma, tau):

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bipartite.gale_shapley import gale_shapley
+from repro.exceptions import ConfigurationError
 from repro.bipartite.lattice import (
     egalitarian_stable_matching,
     minimum_regret_stable_matching,
@@ -59,4 +60,4 @@ def stable_marriage(
         return minimum_regret_stable_matching(proposer_prefs, responder_prefs)[0]
     if optimal == "sex_equal":
         return sex_equal_stable_matching(proposer_prefs, responder_prefs)[0]
-    raise ValueError(f"unknown criterion {optimal!r}; choose from {CRITERIA}")
+    raise ConfigurationError(f"unknown criterion {optimal!r}; choose from {CRITERIA}")

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import ConfigurationError, InvalidInstanceError
 from repro.utils.ordering import rank_array
 
 __all__ = ["GSResult", "gale_shapley", "ENGINES"]
@@ -66,6 +66,7 @@ class GSResult:
 
     @property
     def n(self) -> int:
+        """Number of proposers (= responders) in the instance."""
         return len(self.matching)
 
     def as_dict(self) -> dict[int, int]:
@@ -276,7 +277,7 @@ def gale_shapley(
     try:
         run = ENGINES[engine]
     except KeyError:
-        raise ValueError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}") from None
+        raise ConfigurationError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}") from None
     matching, proposals, rounds, events = run(p, r_rank, trace)
     if -1 in matching:
         raise InvalidInstanceError("engine terminated with an unmatched proposer")

@@ -115,10 +115,12 @@ class HRInstance:
 
     @property
     def n_residents(self) -> int:
+        """Number of residents in the instance."""
         return len(self.resident_prefs)
 
     @property
     def n_hospitals(self) -> int:
+        """Number of hospitals in the instance."""
         return len(self.hospital_prefs)
 
     def hospital_rank(self, h: int, r: int) -> int:

@@ -119,6 +119,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="summarize an instance file")
     info.add_argument("instance", type=Path)
+
+    lint = sub.add_parser(
+        "lint", help="run the statan invariant analyzer (reprolint)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to analyze (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is what CI consumes)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule names (default: all; see --list-rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -171,6 +198,17 @@ def _emit(text: str, output: Path | None) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        # Lazy import: the analyzer is a dev tool and must not slow down
+        # (or be able to break) the solver entry points.
+        from repro.statan import ALL_RULES
+        from repro.statan.cli import run_lint
+
+        if args.list_rules:
+            for rule in ALL_RULES:
+                print(f"{rule.name}: {rule.description}")
+            return 0
+        return run_lint(paths=args.paths, fmt=args.fmt, rules_spec=args.rules)
     try:
         if args.command == "generate":
             if args.family == "theorem1":

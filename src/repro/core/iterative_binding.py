@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.bipartite.gale_shapley import GSResult, gale_shapley
 from repro.core.binding_tree import BindingTree
+from repro.exceptions import InvalidBindingTreeError
 from repro.core.kary_matching import KAryMatching
 from repro.model.instance import KPartiteInstance
 from repro.model.members import Member
@@ -109,7 +110,7 @@ def iterative_binding(
     if tree is None:
         tree = BindingTree.random(instance.k, as_rng(seed))
     if tree.k != instance.k:
-        raise ValueError(
+        raise InvalidBindingTreeError(
             f"tree has k={tree.k} genders but instance has k={instance.k}"
         )
     pairs: list[tuple[Member, Member]] = []

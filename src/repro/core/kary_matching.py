@@ -120,10 +120,12 @@ class KAryMatching:
 
     @property
     def n(self) -> int:
+        """Number of families (members per gender)."""
         return int(self.families.shape[0])
 
     @property
     def k(self) -> int:
+        """Number of genders."""
         return int(self.families.shape[1])
 
     def tuple_index(self, member: Member) -> int:

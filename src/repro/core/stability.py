@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.binding_tree import BindingTree
 from repro.core.kary_matching import KAryMatching
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import ConfigurationError, InvalidInstanceError
 from repro.model.instance import KPartiteInstance
 from repro.model.members import Member
 
@@ -180,7 +180,7 @@ def find_weakened_blocking_family(
             f"priorities must be {k} distinct values, got {list(priorities)}"
         )
     if semantics not in ("literal", "mutual"):
-        raise ValueError(
+        raise ConfigurationError(
             f"semantics must be 'literal' or 'mutual', got {semantics!r}"
         )
     mutual = semantics == "mutual"

@@ -27,6 +27,7 @@ import numpy as np
 from repro.analysis.metrics import KaryCosts, kary_costs
 from repro.core.binding_tree import BindingTree
 from repro.core.iterative_binding import BindingResult, iterative_binding
+from repro.core.kary_matching import KAryMatching
 from repro.exceptions import InvalidInstanceError
 from repro.model.instance import KPartiteInstance
 from repro.utils.rng import as_rng
@@ -66,7 +67,7 @@ class TreeSearchResult:
     scores: tuple[float, ...]
 
     @property
-    def matching(self):  # noqa: D401 - convenience passthrough
+    def matching(self) -> KAryMatching:  # noqa: D401 - convenience passthrough
         """The winning stable matching."""
         return self.result.matching
 

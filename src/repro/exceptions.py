@@ -19,17 +19,29 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ConfigurationError",
     "InvalidInstanceError",
     "InvalidBindingTreeError",
     "InvalidMatchingError",
     "NoStableMatchingError",
     "ScheduleConflictError",
     "SimulationError",
+    "BudgetExhaustedError",
 ]
 
 
 class ReproError(Exception):
     """Base class for all :mod:`repro` errors."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A caller-supplied option or parameter value is invalid.
+
+    Examples: an unknown policy / engine / backend name, a non-positive
+    processor count, a pivot policy that returned an ineligible
+    candidate.  Subclasses ``ValueError`` so pre-hierarchy callers that
+    catch the builtin keep working.
+    """
 
 
 class InvalidInstanceError(ReproError, ValueError):
@@ -77,3 +89,12 @@ class ScheduleConflictError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The distributed / PRAM simulator reached an inconsistent state."""
+
+
+class BudgetExhaustedError(ReproError, RuntimeError):
+    """An explicitly-bounded search ran out of its node/time budget.
+
+    Raised by the exhaustive 3DSM baselines when ``max_nodes`` is hit
+    before a verdict; benchmarks use the bound to keep (n!)² searches
+    finite.  Subclasses ``RuntimeError`` for backwards compatibility.
+    """

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bipartite.fairness import MatchingCosts, matching_costs
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import ConfigurationError, InvalidInstanceError
 from repro.kpartite.reduction import to_roommates
 from repro.model.instance import KPartiteInstance
 from repro.roommates.irving import RoommatesResult, solve_roommates
@@ -94,7 +94,7 @@ def solve_smp_fair(
         pivot = make_alternating_policy(men, women)
         policy_name = policy
     else:
-        raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
+        raise ConfigurationError(f"unknown policy {policy!r}; choose from {_POLICIES}")
     rm = to_roommates(instance)
     result = solve_roommates(rm, pivot_policy=pivot)
     matching = tuple(result.matching[i] - n for i in range(n))

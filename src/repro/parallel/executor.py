@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bipartite.gale_shapley import GSResult, gale_shapley
+from repro.exceptions import ConfigurationError, InvalidBindingTreeError
 from repro.core.binding_tree import BindingTree
 from repro.core.kary_matching import KAryMatching
 from repro.model.instance import KPartiteInstance
@@ -112,10 +113,10 @@ def run_bindings_parallel(
     if schedule is None:
         schedule = greedy_tree_schedule(tree)
     if schedule.tree is not tree and schedule.tree != tree:
-        raise ValueError("schedule was built for a different tree")
+        raise InvalidBindingTreeError("schedule was built for a different tree")
     validate_schedule(schedule, copies=len(tree.edges) or 1)
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        raise ConfigurationError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     if max_workers is None:
         max_workers = max(1, instance.k - 1)
 

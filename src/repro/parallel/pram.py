@@ -25,6 +25,7 @@ import enum
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
+from repro.exceptions import ConfigurationError
 from repro.parallel.schedule import Schedule, validate_schedule
 
 __all__ = ["PRAMModel", "PRAMReport", "simulate_schedule", "one_round_schedule"]
@@ -127,12 +128,12 @@ def simulate_schedule(
     if processors is None:
         processors = k - 1
     if processors < 1:
-        raise ValueError(f"processors must be >= 1, got {processors}")
+        raise ConfigurationError(f"processors must be >= 1, got {processors}")
     if copies < 1:
-        raise ValueError(f"copies must be >= 1, got {copies}")
+        raise ConfigurationError(f"copies must be >= 1, got {copies}")
     if cost is None:
         if n is None:
-            raise ValueError("provide n for the default n² cost, or an explicit cost")
+            raise ConfigurationError("provide n for the default n² cost, or an explicit cost")
         cost = float(n * n)
     if model is PRAMModel.EREW:
         validate_schedule(schedule, copies=copies)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.exceptions import ScheduleConflictError
+from repro.exceptions import ConfigurationError, ScheduleConflictError
 
 __all__ = ["replication_rounds", "ReplicationPlan", "replication_schedule"]
 
@@ -22,7 +22,7 @@ __all__ = ["replication_rounds", "ReplicationPlan", "replication_schedule"]
 def replication_rounds(delta: int) -> int:
     """Number of doubling rounds needed to reach ``delta`` copies."""
     if delta < 1:
-        raise ValueError(f"delta must be >= 1, got {delta}")
+        raise ConfigurationError(f"delta must be >= 1, got {delta}")
     return math.ceil(math.log2(delta)) if delta > 1 else 0
 
 

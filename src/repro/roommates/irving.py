@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.exceptions import NoStableMatchingError, SimulationError
+from repro.exceptions import ConfigurationError, NoStableMatchingError, SimulationError
 from repro.roommates.instance import RoommatesInstance
 from repro.roommates.policies import resolve_policy
 
@@ -279,7 +279,7 @@ class IrvingSolver:
                 return
             p0 = self.policy(candidates)
             if p0 not in candidates:
-                raise ValueError(
+                raise ConfigurationError(
                     f"pivot policy returned {p0}, not among candidates {candidates}"
                 )
             rotation = self._expose_rotation(p0)

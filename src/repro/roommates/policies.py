@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections.abc import Callable, Collection, Sequence
 
+from repro.exceptions import ConfigurationError
+
 __all__ = [
     "resolve_policy",
     "min_id_policy",
@@ -90,6 +92,6 @@ def resolve_policy(policy: str | PivotPolicy) -> PivotPolicy:
     try:
         return _NAMED[policy]
     except KeyError:
-        raise ValueError(
+        raise ConfigurationError(
             f"unknown pivot policy {policy!r}; named policies: {sorted(_NAMED)}"
         ) from None

@@ -1,0 +1,71 @@
+"""``repro.statan`` — "reprolint", the project's AST invariant analyzer.
+
+The codebase promises invariants that plain tests cannot watch
+everywhere at once: downward-only imports, seed plumbing through
+``repro.utils.rng``, read-only stability verifiers, a catchable
+exception hierarchy, a documented+typed public API, and no set-order
+nondeterminism in solvers.  ``statan`` checks all six statically.
+
+Run it as ``python -m repro lint [--format=text|json] [--rules=...]
+[paths]`` or programmatically::
+
+    from pathlib import Path
+    from repro.statan import ALL_RULES, analyze_paths
+
+    findings = analyze_paths([Path("src/repro")], ALL_RULES)
+
+See docs/STATIC_ANALYSIS.md for the rule catalogue and the
+``# statan: ignore[rule]`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.statan.api_docs import ApiDocsRule
+from repro.statan.base import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    Severity,
+    analyze_module,
+    analyze_paths,
+    iter_python_files,
+)
+from repro.statan.determinism import DeterminismRule
+from repro.statan.layering import LAYERS, LayeringRule
+from repro.statan.purity import VerifierPurityRule
+from repro.statan.raises import ExceptionDisciplineRule
+from repro.statan.seeds import SeedDisciplineRule
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "analyze_module",
+    "analyze_paths",
+    "iter_python_files",
+    "LAYERS",
+    "LayeringRule",
+    "SeedDisciplineRule",
+    "VerifierPurityRule",
+    "ExceptionDisciplineRule",
+    "ApiDocsRule",
+    "DeterminismRule",
+    "ALL_RULES",
+    "rules_by_name",
+]
+
+#: every shipped rule, in reporting order.
+ALL_RULES: tuple[Rule, ...] = (
+    LayeringRule(),
+    SeedDisciplineRule(),
+    VerifierPurityRule(),
+    ExceptionDisciplineRule(),
+    ApiDocsRule(),
+    DeterminismRule(),
+)
+
+
+def rules_by_name() -> dict[str, Rule]:
+    """Map rule name -> rule instance for ``--rules`` selection."""
+    return {rule.name: rule for rule in ALL_RULES}

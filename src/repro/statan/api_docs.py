@@ -1,0 +1,92 @@
+"""API-docs rule: the algorithm surface is documented and typed.
+
+Public functions (and public methods of public classes) in the packages
+users script against — ``core``, ``bipartite``, ``roommates``,
+``kpartite`` — must carry a docstring, annotate every parameter, and
+annotate the return type.  This is what lets ``mypy`` check callers and
+what keeps docs/ALGORITHMS.md honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.base import Finding, ModuleInfo, Rule
+
+__all__ = ["ApiDocsRule", "DOCUMENTED_PACKAGES"]
+
+#: packages whose public surface is held to the docs/typing contract.
+DOCUMENTED_PACKAGES = frozenset({"core", "bipartite", "roommates", "kpartite"})
+
+
+def _missing_annotations(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    missing = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.annotation is None and a.arg not in ("self", "cls")
+    ]
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+def _is_overload_or_property_helper(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Skip ``@overload`` stubs and ``@x.setter``-style redefinitions."""
+    for deco in fn.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id == "overload":
+            return True
+        if isinstance(deco, ast.Attribute) and deco.attr in ("setter", "deleter"):
+            return True
+    return False
+
+
+class ApiDocsRule(Rule):
+    """Flag undocumented or incompletely-annotated public API functions."""
+
+    name = "api-docs"
+    description = (
+        "public functions/methods in core, bipartite, roommates, kpartite "
+        "need a docstring and complete type annotations"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.package not in DOCUMENTED_PACKAGES:
+            return
+        if module.rel.rsplit("/", 1)[-1].startswith("_") and not module.rel.endswith(
+            "__init__.py"
+        ):
+            return  # private modules are not public surface
+        yield from self._check_body(module, module.tree.body, qualname="")
+
+    def _check_body(
+        self, module: ModuleInfo, body: list[ast.stmt], qualname: str
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_") or _is_overload_or_property_helper(node):
+                    continue
+                label = f"{qualname}{node.name}"
+                if ast.get_docstring(node) is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"public function {label!r} has no docstring",
+                    )
+                missing = _missing_annotations(node)
+                if missing:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"public function {label!r} is missing type "
+                        f"annotations for: {', '.join(missing)}",
+                    )
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                yield from self._check_body(
+                    module, node.body, qualname=f"{node.name}."
+                )

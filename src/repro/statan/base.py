@@ -1,0 +1,259 @@
+"""Core framework for ``repro.statan`` ("reprolint").
+
+The analyzer is deliberately tiny: a :class:`Rule` walks one parsed
+module (:class:`ModuleInfo`) and yields :class:`Finding` objects.  The
+engine (:func:`analyze_paths`) discovers files, parses them once, runs
+every requested rule, and filters findings through the suppression
+comments described below.
+
+Suppressions
+------------
+A finding is suppressed when the *reported line* carries a marker::
+
+    risky_thing()  # statan: ignore[rule-name] -- why this is safe
+
+``# statan: ignore`` without a bracket suppresses every rule on that
+line (use sparingly).  A whole file opts out of one rule with a marker
+in its first ten lines::
+
+    # statan: ignore-file[rule-name] -- justification
+
+Suppressions are part of the code-review surface: the ``--`` free-text
+justification is conventional, not parsed, but reviewers expect it.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "analyze_module",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only ``ERROR`` findings gate the exit code."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """Render as a classic ``path:line:col: SEV [rule] message`` line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{str(self.severity).upper()} [{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation (stable key order)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus the location metadata rules key off.
+
+    ``rel`` is the path relative to the ``repro`` package root using
+    ``/`` separators (``"core/stability.py"``); ``package`` is its first
+    component with any ``.py`` suffix stripped (``"core"``, or ``"cli"``
+    for the top-level ``cli.py``).  Tests build virtual modules from
+    strings with :meth:`from_source`.
+    """
+
+    path: str
+    rel: str
+    package: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, rel: str = "core/fixture.py") -> "ModuleInfo":
+        """Parse ``source`` as a virtual module located at ``rel``."""
+        package = rel.split("/", 1)[0].removesuffix(".py")
+        return cls(
+            path=rel,
+            rel=rel,
+            package=package,
+            source=source,
+            tree=ast.parse(source),
+            lines=source.splitlines(),
+        )
+
+    @classmethod
+    def from_path(cls, path: Path) -> "ModuleInfo":
+        """Read and parse ``path``, inferring ``rel`` from a ``repro`` root."""
+        source = path.read_text()
+        parts = path.resolve().parts
+        # Use the *last* "repro" component so /home/repro/src/repro works.
+        rel = path.name
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                rel = "/".join(parts[i + 1 :])
+                break
+        package = rel.split("/", 1)[0].removesuffix(".py")
+        return cls(
+            path=str(path),
+            rel=rel,
+            package=package,
+            source=source,
+            tree=ast.parse(source),
+            lines=source.splitlines(),
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``description`` and ``check``.
+
+    ``name`` is the identifier used by ``--rules`` selection and by
+    ``# statan: ignore[name]`` suppressions; keep it kebab-case.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings for one module.  Subclasses must override."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            rule=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=severity,
+        )
+
+
+_IGNORE_RE = re.compile(r"#\s*statan:\s*ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+_IGNORE_FILE_RE = re.compile(r"#\s*statan:\s*ignore-file\[([A-Za-z0-9_,\- ]+)\]")
+_FILE_MARKER_WINDOW = 10  # ignore-file markers must sit near the top
+
+
+def _suppressed_rules(line: str) -> set[str] | None:
+    """Rule names suppressed on ``line``; ``set()`` means *all* rules.
+
+    Returns ``None`` when the line carries no marker at all.
+    """
+    m = _IGNORE_RE.search(line)
+    if m is None:
+        return None
+    if m.group(1) is None:
+        return set()
+    return {part.strip() for part in m.group(1).split(",") if part.strip()}
+
+
+def _file_suppressions(lines: Sequence[str]) -> set[str]:
+    found: set[str] = set()
+    for line in lines[:_FILE_MARKER_WINDOW]:
+        m = _IGNORE_FILE_RE.search(line)
+        if m is not None:
+            found.update(part.strip() for part in m.group(1).split(",") if part.strip())
+    return found
+
+
+def is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    """True when ``lines`` carry a marker covering ``finding``."""
+    if finding.rule in _file_suppressions(lines):
+        return True
+    if not 1 <= finding.line <= len(lines):
+        return False
+    rules = _suppressed_rules(lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule in rules
+
+
+def analyze_module(module: ModuleInfo, rules: Iterable[Rule]) -> list[Finding]:
+    """Run ``rules`` over one parsed module, applying suppressions."""
+    findings: list[Finding] = []
+    for rule in rules:
+        for f in rule.check(module):
+            if not is_suppressed(f, module.lines):
+                findings.append(f)
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories to a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for cand in candidates:
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield cand
+
+
+def analyze_paths(paths: Iterable[Path], rules: Sequence[Rule]) -> list[Finding]:
+    """Analyze every ``.py`` file under ``paths`` with ``rules``.
+
+    Files that fail to parse produce a synthetic ``parse-error`` finding
+    instead of aborting the run, so one broken file cannot hide findings
+    elsewhere.
+    """
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        try:
+            module = ModuleInfo.from_path(file)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=str(file),
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    message=f"could not parse: {exc}",
+                )
+            )
+            continue
+        findings.extend(analyze_module(module, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,97 @@
+"""Driver behind ``python -m repro lint`` (and ``make lint``).
+
+Kept separate from :mod:`repro.cli` so the analyzer stays importable
+without dragging in the solver stack, and so tests can call
+:func:`run_lint` directly with string arguments.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.statan import ALL_RULES, analyze_paths, rules_by_name
+from repro.statan.base import Finding, Rule, Severity
+
+__all__ = ["run_lint", "select_rules", "render_text", "render_json"]
+
+
+def select_rules(spec: str | None) -> list[Rule]:
+    """Resolve a comma-separated ``--rules`` spec to rule instances."""
+    if spec is None or not spec.strip():
+        return list(ALL_RULES)
+    registry = rules_by_name()
+    chosen: list[Rule] = []
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in registry:
+            known = ", ".join(sorted(registry))
+            raise KeyError(f"unknown rule {name!r}; known rules: {known}")
+        chosen.append(registry[name])
+    return chosen
+
+
+def render_text(findings: Sequence[Finding], stream: TextIO) -> None:
+    """Human-readable report: one line per finding plus a summary."""
+    for finding in findings:
+        print(finding.format(), file=stream)
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        print(
+            f"statan: {errors} error(s), {warnings} warning(s)", file=stream
+        )
+    else:
+        print("statan: clean", file=stream)
+
+
+def render_json(findings: Sequence[Finding], stream: TextIO) -> None:
+    """Machine-readable report consumed by the CI gate."""
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "error": sum(1 for f in findings if f.severity is Severity.ERROR),
+            "warning": sum(
+                1 for f in findings if f.severity is Severity.WARNING
+            ),
+        },
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def run_lint(
+    paths: Sequence[Path] | None = None,
+    fmt: str = "text",
+    rules_spec: str | None = None,
+    stream: TextIO | None = None,
+) -> int:
+    """Analyze ``paths`` (default: the installed ``repro`` package).
+
+    Returns the process exit code: 0 when no ERROR-severity finding
+    survives suppression, 1 otherwise, 2 for usage errors.
+    """
+    out = stream if stream is not None else sys.stdout
+    try:
+        rules = select_rules(rules_spec)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not paths:
+        paths = [Path(__file__).resolve().parent.parent]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such path: {p}", file=sys.stderr)
+        return 2
+    findings = analyze_paths(paths, rules)
+    if fmt == "json":
+        render_json(findings, out)
+    else:
+        render_text(findings, out)
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0

@@ -1,0 +1,130 @@
+"""Determinism rule: set iteration order must not reach matchings.
+
+Python ``set`` iteration order depends on insertion history and hash
+randomization; a solver that loops over a bare set can produce different
+(each individually stable) matchings run-to-run, which breaks golden
+fixtures and the per-seed reproducibility the experiments rely on.  In
+algorithm packages this rule flags ``for``-loops and comprehensions that
+iterate a set display, set comprehension, ``set(...)`` / ``frozenset(...)``
+call, or a local name bound to one — wrap the set in ``sorted(...)`` (or
+keep a list) when order can matter.
+
+Membership tests (``x in s``) are order-free and remain untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.base import Finding, ModuleInfo, Rule
+from repro.statan.raises import ALGORITHM_PACKAGES
+
+__all__ = ["DeterminismRule"]
+
+#: callables whose output order mirrors their input order — iterating
+#: their result over a set is just as nondeterministic.
+_ORDER_PRESERVING_WRAPPERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+        if node.func.id in _ORDER_PRESERVING_WRAPPERS and node.args:
+            return _is_set_expr(node.args[0], set_names)
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # union/intersection/difference of sets is still a set
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _local_set_names(nodes: list[ast.AST]) -> set[str]:
+    """Names assigned a set display / set() call among ``nodes``."""
+    names: set[str] = set()
+    for node in nodes:
+        if isinstance(node, ast.Assign):
+            value_is_set = isinstance(node.value, (ast.Set, ast.SetComp)) or (
+                isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id in ("set", "frozenset")
+            )
+            if value_is_set:
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            ann = node.annotation
+            is_set_ann = (
+                isinstance(ann, ast.Name) and ann.id in ("set", "frozenset")
+            ) or (
+                isinstance(ann, ast.Subscript)
+                and isinstance(ann.value, ast.Name)
+                and ann.value.id in ("set", "frozenset")
+            )
+            if is_set_ann and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+class DeterminismRule(Rule):
+    """Flag iteration over bare sets where order can leak into results."""
+
+    name = "determinism"
+    description = (
+        "algorithm packages must not iterate bare sets (order leaks into "
+        "matchings); use sorted(the_set) or keep a list"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.package not in ALGORITHM_PACKAGES:
+            return
+        # Scope the name analysis per function so a set in one helper
+        # does not taint an identically-named list elsewhere.
+        scopes: list[list[ast.AST]] = []
+        covered: set[int] = set()
+        for n in ast.walk(module.tree):
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if id(n) in covered:
+                    continue  # nested function: analyzed with its parent
+                nodes = list(ast.walk(n))
+                covered.update(id(sub) for sub in nodes)
+                scopes.append(nodes)
+        # module-level statements form their own scope
+        scopes.append(
+            [n for n in ast.walk(module.tree) if id(n) not in covered]
+        )
+        for scope_nodes in scopes:
+            yield from self._check_scope(module, scope_nodes)
+
+    def _check_scope(
+        self, module: ModuleInfo, nodes: list[ast.AST]
+    ) -> Iterator[Finding]:
+        set_names = _local_set_names(nodes)
+        for node in nodes:
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, set_names):
+                    yield self.finding(
+                        module,
+                        node.iter,
+                        "iteration over a bare set: order is "
+                        "nondeterministic and can leak into matchings; "
+                        "use sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, set_names):
+                        yield self.finding(
+                            module,
+                            gen.iter,
+                            "comprehension iterates a bare set: order is "
+                            "nondeterministic; use sorted(...)",
+                        )

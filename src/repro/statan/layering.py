@@ -1,0 +1,113 @@
+"""Layering rule: package dependencies must point downward.
+
+:data:`LAYERS` is the **single source of truth** for the architecture's
+allowed-dependency table — ``tests/test_layering.py``, this rule, and
+CONTRIBUTING.md all defer to it.  A package may import (at module scope)
+only the packages listed for it; lazy imports inside functions are the
+sanctioned escape hatch for the few genuinely-needed upward references
+(e.g. ``model.transform.relabel_matching``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.base import Finding, ModuleInfo, Rule
+
+__all__ = ["LAYERS", "LayeringRule", "module_scope_repro_imports"]
+
+#: package -> packages it may import at module scope.  ``None`` marks a
+#: facade module allowed to import anything (the public surface).
+LAYERS: dict[str, frozenset[str] | None] = {
+    "exceptions": frozenset(),
+    "utils": frozenset({"exceptions"}),
+    "statan": frozenset(),  # pure stdlib analyzer; nothing above or below
+    "model": frozenset({"exceptions", "utils"}),
+    "roommates": frozenset({"exceptions", "utils"}),
+    "bipartite": frozenset({"exceptions", "utils", "model", "roommates"}),
+    "kpartite": frozenset(
+        {"exceptions", "utils", "model", "roommates", "bipartite", "analysis"}
+    ),
+    "core": frozenset({"exceptions", "utils", "model", "bipartite", "analysis"}),
+    "baselines": frozenset({"exceptions", "utils", "model"}),
+    "parallel": frozenset({"exceptions", "utils", "model", "bipartite", "core"}),
+    "distributed": frozenset(
+        {"exceptions", "utils", "model", "bipartite", "core", "parallel"}
+    ),
+    "analysis": frozenset(
+        {"exceptions", "utils", "model", "bipartite", "core", "parallel"}
+    ),
+    "cli": frozenset(
+        {
+            "exceptions",
+            "utils",
+            "model",
+            "bipartite",
+            "roommates",
+            "kpartite",
+            "core",
+            "parallel",
+            "distributed",
+            "analysis",
+            "baselines",
+            "statan",
+        }
+    ),
+    "__init__": None,  # the facade may import everything
+    "__main__": None,
+    "py": None,  # py.typed marker
+}
+
+
+def module_scope_repro_imports(tree: ast.Module) -> dict[str, ast.stmt]:
+    """Top-level ``repro.*`` imports of ``tree``: package -> first stmt."""
+    found: dict[str, ast.stmt] = {}
+    for node in tree.body:  # module scope only — nested imports are exempt
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    parts = alias.name.split(".")
+                    pkg = parts[1] if len(parts) > 1 else "__init__"
+                    found.setdefault(pkg, node)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            if node.module == "repro" or node.module.startswith("repro."):
+                parts = node.module.split(".")
+                pkg = parts[1] if len(parts) > 1 else "__init__"
+                found.setdefault(pkg, node)
+    return found
+
+
+class LayeringRule(Rule):
+    """Flag module-scope imports that climb the architecture diagram."""
+
+    name = "layering"
+    description = (
+        "packages may only import the layers below them (table: "
+        "repro.statan.layering.LAYERS); use a lazy import for sanctioned "
+        "upward references"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.package not in LAYERS:
+            yield self.finding(
+                module,
+                module.tree,
+                f"package {module.package!r} has no entry in the layering "
+                "table (repro.statan.layering.LAYERS); add one",
+            )
+            return
+        allowed = LAYERS[module.package]
+        if allowed is None:  # facade modules import freely
+            return
+        for pkg, node in sorted(module_scope_repro_imports(module.tree).items()):
+            if pkg == module.package or pkg == "__init__":
+                continue  # intra-package and facade imports are always fine
+            if pkg not in allowed:
+                yield self.finding(
+                    module,
+                    node,
+                    f"package {module.package!r} imports 'repro.{pkg}' at "
+                    f"module scope; allowed: {sorted(allowed)}. Use a lazy "
+                    "import if the reference is genuinely needed",
+                )

@@ -1,0 +1,150 @@
+"""Verifier-purity rule: stability checkers must not mutate their inputs.
+
+Every Theorem 1/2 experiment in EXPERIMENTS.md trusts that calling a
+verifier (``is_stable*``, ``check_*``, anything in ``*/verify.py`` or
+``stability.py``) leaves the instance and matching untouched; a silent
+mutation there would corrupt all downstream measurements.  This rule
+flags direct mutation of function parameters inside those functions:
+attribute / subscript assignment, ``del``, augmented assignment, and
+calls of known mutating methods (``.append``, ``.sort``, ``.pop``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.base import Finding, ModuleInfo, Rule
+
+__all__ = ["VerifierPurityRule"]
+
+#: method names that mutate their receiver in-place.
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "sort",
+    "reverse",
+    "add",
+    "discard",
+    "update",
+    "setdefault",
+    "__setitem__",
+    "__delitem__",
+}
+
+#: files whose *every* function is held to the purity contract.
+_PURE_FILE_NAMES = {"verify.py", "stability.py"}
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_verifier_name(name: str) -> bool:
+    return name.startswith("is_stable") or name.startswith("check_")
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.arg not in ("self", "cls")
+    }
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+class VerifierPurityRule(Rule):
+    """Flag in-place mutation of parameters inside verifier functions."""
+
+    name = "verifier-purity"
+    description = (
+        "functions in */verify.py, stability.py, and is_stable*/check_* "
+        "functions must not mutate their arguments"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        file_is_pure = module.rel.rsplit("/", 1)[-1] in _PURE_FILE_NAMES
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not (file_is_pure or _is_verifier_name(node.name)):
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        params = _param_names(fn)
+        # A parameter rebound to a local copy (``m = dict(m)``) is the
+        # caller's sanctioned way to work on a private value.
+        rebound: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id in params:
+                        rebound.add(tgt.id)
+        live = params - rebound
+
+        def offender(expr: ast.expr) -> str | None:
+            root = _root_name(expr)
+            return root if root in live else None
+
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for tgt in targets:
+                    if isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                        root = offender(tgt)
+                        if root is not None:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"verifier {fn.name!r} assigns into parameter "
+                                f"{root!r}; verifiers must be read-only",
+                            )
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                    root = offender(node.target)
+                    if root is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"verifier {fn.name!r} augments parameter "
+                            f"{root!r} in place; verifiers must be read-only",
+                        )
+            elif isinstance(node, ast.Delete):
+                for tgt in node.targets:
+                    root = offender(tgt)
+                    if root is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"verifier {fn.name!r} deletes from parameter "
+                            f"{root!r}; verifiers must be read-only",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATORS:
+                    root = offender(node.func.value)
+                    if root is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"verifier {fn.name!r} calls mutating method "
+                            f".{node.func.attr}() on parameter {root!r}; "
+                            "copy first (e.g. list(x), dict(x))",
+                        )

@@ -1,0 +1,109 @@
+"""Exception-discipline rule: algorithm layers raise ``repro.exceptions``.
+
+Callers are promised a single catchable base class (``ReproError``); a
+stray ``raise ValueError`` deep in a solver breaks that contract.  Two
+checks:
+
+* in the *algorithm* packages, ``raise <builtin exception>`` is banned —
+  use (or add) a class in :mod:`repro.exceptions`, most of which also
+  subclass the matching builtin for backwards compatibility;
+* everywhere in ``src/repro``, bare ``except:`` and ``raise Exception``
+  are banned outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.base import Finding, ModuleInfo, Rule
+
+__all__ = ["ExceptionDisciplineRule", "ALGORITHM_PACKAGES"]
+
+#: packages holding algorithm / experiment logic, where the exception
+#: hierarchy contract is enforced strictly.
+ALGORITHM_PACKAGES = frozenset(
+    {
+        "core",
+        "bipartite",
+        "roommates",
+        "kpartite",
+        "parallel",
+        "distributed",
+        "baselines",
+        "analysis",
+    }
+)
+
+#: builtin exception classes that must not be raised directly in
+#: algorithm packages.  ``NotImplementedError`` is exempt: it marks
+#: abstract hooks, not error handling.
+_BANNED_BUILTINS = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "AttributeError",
+    "LookupError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OSError",
+    "IOError",
+    "StopIteration",
+    "AssertionError",
+}
+
+#: banned even outside algorithm packages — they defeat any caller.
+_BANNED_EVERYWHERE = {"Exception", "BaseException"}
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+class ExceptionDisciplineRule(Rule):
+    """Flag builtin raises in algorithm layers and bare ``except:``."""
+
+    name = "exception-discipline"
+    description = (
+        "algorithm packages raise repro.exceptions classes, never bare "
+        "builtins; no naked 'except:' anywhere"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        strict = module.package in ALGORITHM_PACKAGES
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name is None:
+                    continue
+                if name in _BANNED_EVERYWHERE:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"raise {name} is uncatchable-by-contract; use a "
+                        "class from repro.exceptions",
+                    )
+                elif strict and name in _BANNED_BUILTINS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"algorithm package {module.package!r} raises builtin "
+                        f"{name}; use (or add) a repro.exceptions class so "
+                        "callers can catch ReproError",
+                    )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' swallows KeyboardInterrupt and "
+                    "SystemExit; name the exceptions you expect",
+                )

@@ -1,0 +1,89 @@
+"""Seed-discipline rule: all randomness flows through ``repro.utils.rng``.
+
+The paper's PRAM replication argument (Sec IV.C) only holds when every
+worker derives its stream from the caller's seed via ``as_rng`` /
+``spawn_rngs``.  Global-state randomness (``random.*``,
+``np.random.seed`` / ``np.random.rand`` / even ``np.random.default_rng``
+called directly) silently breaks per-worker determinism, so outside
+``utils/rng.py`` it is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.base import Finding, ModuleInfo, Rule
+
+__all__ = ["SeedDisciplineRule"]
+
+#: attributes of ``np.random`` that are *types*, fine to reference
+#: anywhere (annotations, isinstance checks) because they carry no
+#: global state.
+_ALLOWED_NP_RANDOM = {"Generator", "SeedSequence", "BitGenerator", "PCG64"}
+
+
+def _np_random_attr(node: ast.Attribute) -> str | None:
+    """Return ``X`` when ``node`` is ``np.random.X`` / ``numpy.random.X``."""
+    value = node.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+class SeedDisciplineRule(Rule):
+    """Flag global-state RNG use that bypasses ``as_rng``/``spawn_rngs``."""
+
+    name = "seed-discipline"
+    description = (
+        "no random.* / np.random.* global state outside utils/rng.py; "
+        "accept a seed and call repro.utils.rng.as_rng / spawn_rngs"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.rel == "utils/rng.py":
+            return  # the one sanctioned home of default_rng
+        random_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        random_aliases.add(alias.asname or alias.name.split(".")[0])
+                        yield self.finding(
+                            module,
+                            node,
+                            "import of the stdlib 'random' module; use "
+                            "repro.utils.rng.as_rng(seed) for determinism",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from the stdlib 'random' module; use "
+                        "repro.utils.rng.as_rng(seed) for determinism",
+                    )
+            elif isinstance(node, ast.Attribute):
+                attr = _np_random_attr(node)
+                if attr is not None and attr not in _ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{attr} bypasses the seed plumbing; route "
+                        "seeds through repro.utils.rng.as_rng / spawn_rngs",
+                    )
+                elif (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in random_aliases
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"random.{node.attr} uses hidden global RNG state; "
+                        "use repro.utils.rng.as_rng(seed) instead",
+                    )

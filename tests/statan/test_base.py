@@ -1,0 +1,136 @@
+"""Framework mechanics: ModuleInfo, suppressions, engine, rendering."""
+
+import textwrap
+
+import pytest
+
+from repro.statan import ALL_RULES, analyze_module, analyze_paths, rules_by_name
+from repro.statan.base import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    Severity,
+    is_suppressed,
+    iter_python_files,
+)
+
+
+class AlwaysFire(Rule):
+    """Test double: one finding on line 1 of every module."""
+
+    name = "always-fire"
+    description = "fires unconditionally"
+
+    def check(self, module):
+        yield Finding(
+            rule=self.name, path=module.path, line=1, col=0, message="boom"
+        )
+
+
+class TestModuleInfo:
+    def test_from_source_infers_package(self):
+        m = ModuleInfo.from_source("x = 1\n", rel="core/stability.py")
+        assert m.package == "core"
+        assert m.lines == ["x = 1"]
+
+    def test_top_level_module_package(self):
+        m = ModuleInfo.from_source("x = 1\n", rel="cli.py")
+        assert m.package == "cli"
+
+    def test_from_path_locates_repro_root(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        f = pkg / "thing.py"
+        f.write_text("x = 1\n")
+        m = ModuleInfo.from_path(f)
+        assert m.rel == "core/thing.py"
+        assert m.package == "core"
+
+
+class TestSuppression:
+    def _finding(self, line, rule="always-fire"):
+        return Finding(rule=rule, path="f.py", line=line, col=0, message="m")
+
+    def test_line_level_named(self):
+        lines = ["bad()  # statan: ignore[always-fire] -- known issue"]
+        assert is_suppressed(self._finding(1), lines)
+
+    def test_line_level_other_rule_does_not_match(self):
+        lines = ["bad()  # statan: ignore[other-rule]"]
+        assert not is_suppressed(self._finding(1), lines)
+
+    def test_bare_ignore_suppresses_everything(self):
+        lines = ["bad()  # statan: ignore"]
+        assert is_suppressed(self._finding(1), lines)
+
+    def test_multiple_rules_in_one_marker(self):
+        lines = ["bad()  # statan: ignore[a, always-fire]"]
+        assert is_suppressed(self._finding(1), lines)
+
+    def test_file_level_marker(self):
+        lines = ["# statan: ignore-file[always-fire] -- legacy module", "bad()"]
+        assert is_suppressed(self._finding(2), lines)
+
+    def test_file_level_marker_must_be_near_top(self):
+        lines = [""] * 20 + ["# statan: ignore-file[always-fire]", "bad()"]
+        assert not is_suppressed(self._finding(22), lines)
+
+    def test_engine_applies_suppressions(self):
+        m = ModuleInfo.from_source("bad()  # statan: ignore[always-fire]\n")
+        assert analyze_module(m, [AlwaysFire()]) == []
+        m2 = ModuleInfo.from_source("bad()\n")
+        assert len(analyze_module(m2, [AlwaysFire()])) == 1
+
+
+class TestEngine:
+    def test_iter_python_files_dedupes_and_recurses(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.py").write_text("y = 2\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        assert sorted(f.name for f in files) == ["a.py", "b.py"]
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = analyze_paths([bad], [AlwaysFire()])
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        findings = analyze_paths([tmp_path], [AlwaysFire()])
+        assert [f.path for f in findings] == sorted(f.path for f in findings)
+
+
+class TestRendering:
+    def test_format_line(self):
+        f = Finding(rule="r", path="p.py", line=3, col=7, message="msg")
+        assert f.format() == "p.py:3:7: ERROR [r] msg"
+
+    def test_to_dict_names_rule_file_line(self):
+        f = Finding(rule="r", path="p.py", line=3, col=7, message="msg")
+        d = f.to_dict()
+        assert d["rule"] == "r" and d["path"] == "p.py" and d["line"] == 3
+        assert d["severity"] == "error"
+
+    def test_severity_str(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestRegistry:
+    def test_six_rules_shipped(self):
+        assert len(ALL_RULES) == 6
+        assert set(rules_by_name()) == {
+            "layering",
+            "seed-discipline",
+            "verifier-purity",
+            "exception-discipline",
+            "api-docs",
+            "determinism",
+        }
+
+    def test_rule_names_unique(self):
+        names = [r.name for r in ALL_RULES]
+        assert len(names) == len(set(names))

@@ -1,0 +1,121 @@
+"""End-to-end tests of ``python -m repro lint`` (exit codes + JSON)."""
+
+import io
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.statan.cli import run_lint, select_rules
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src" / "repro"
+
+
+class TestShippedTree:
+    def test_lint_src_repro_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "statan: clean" in capsys.readouterr().out
+
+    def test_json_format_on_clean_tree(self, capsys):
+        assert main(["lint", str(SRC), "--format=json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["counts"] == {"error": 0, "warning": 0}
+
+
+class TestPlantedViolations:
+    """Each of the 6 rule classes trips the gate with a JSON finding."""
+
+    PLANTS = {
+        "layering": "from repro.core.stability import find_blocking_family\n",
+        "seed-discipline": "import random\nrandom.seed(0)\n",
+        "verifier-purity": (
+            "def is_stable_x(m):\n    m.sort()\n    return True\n"
+        ),
+        "exception-discipline": "raise ValueError('planted')\n",
+        "api-docs": "def public_fn(x):\n    return x\n",
+        "determinism": (
+            "def f(xs):\n    return [x for x in set(xs)]\n"
+        ),
+    }
+
+    @pytest.mark.parametrize("rule_name", sorted(PLANTS))
+    def test_planted_violation_fails_with_json_finding(
+        self, rule_name, tmp_path, capsys
+    ):
+        # "utils" may not import core (layering) and is not exempt from
+        # the other planted sins either.
+        plant_dir = tmp_path / "repro" / "utils"
+        if rule_name in ("verifier-purity", "exception-discipline", "api-docs",
+                         "determinism"):
+            plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        plant = plant_dir / "planted.py"
+        plant.write_text(self.PLANTS[rule_name])
+
+        exit_code = main(["lint", str(plant), "--format=json"])
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        matching = [f for f in payload["findings"] if f["rule"] == rule_name]
+        assert matching, payload
+        found = matching[0]
+        # the JSON finding names rule, file, and line
+        assert found["rule"] == rule_name
+        assert found["path"] == str(plant)
+        assert isinstance(found["line"], int) and found["line"] >= 1
+
+    def test_suppression_rescues_planted_violation(self, tmp_path):
+        plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        plant = plant_dir / "planted.py"
+        plant.write_text(
+            "raise ValueError('x')  # statan: ignore[exception-discipline] -- test\n"
+        )
+        assert main(["lint", str(plant)]) == 0
+
+
+class TestRuleSelection:
+    def test_rules_flag_restricts_analysis(self, tmp_path, capsys):
+        plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        (plant_dir / "planted.py").write_text("raise ValueError('x')\n")
+        # only the layering rule runs -> the planted raise is invisible
+        assert main(
+            ["lint", str(plant_dir), "--rules=layering"]
+        ) == 0
+
+    def test_unknown_rule_is_usage_error(self):
+        assert main(["lint", str(SRC), "--rules=nope"]) == 2
+
+    def test_select_rules_parses_commas(self):
+        rules = select_rules("layering, determinism")
+        assert [r.name for r in rules] == ["layering", "determinism"]
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "layering",
+            "seed-discipline",
+            "verifier-purity",
+            "exception-discipline",
+            "api-docs",
+            "determinism",
+        ):
+            assert name in out
+
+
+class TestRunLintDirect:
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert run_lint(paths=[tmp_path / "missing"], stream=io.StringIO()) == 2
+
+    def test_stream_capture(self, tmp_path):
+        plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        (plant_dir / "p.py").write_text("raise ValueError('x')\n")
+        buf = io.StringIO()
+        assert run_lint(paths=[plant_dir], stream=buf) == 1
+        assert "exception-discipline" in buf.getvalue()

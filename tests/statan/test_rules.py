@@ -1,0 +1,421 @@
+"""Per-rule unit tests with small inline "bad code" fixtures.
+
+Each rule gets at least one dedicated test class compiling fixtures from
+strings via :meth:`ModuleInfo.from_source`, covering both a violation
+(finding produced, correct location) and a compliant twin (no finding).
+"""
+
+import textwrap
+
+from repro.statan import (
+    ApiDocsRule,
+    DeterminismRule,
+    ExceptionDisciplineRule,
+    LayeringRule,
+    SeedDisciplineRule,
+    VerifierPurityRule,
+)
+from repro.statan.base import ModuleInfo
+
+
+def check(rule, source, rel="core/fixture.py"):
+    module = ModuleInfo.from_source(textwrap.dedent(source), rel=rel)
+    return list(rule.check(module))
+
+
+class TestLayeringRule:
+    rule = LayeringRule()
+
+    def test_upward_module_scope_import_flagged(self):
+        findings = check(
+            self.rule, "from repro.core.stability import x\n", rel="utils/o.py"
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "layering"
+        assert findings[0].line == 1
+
+    def test_downward_import_allowed(self):
+        assert not check(
+            self.rule, "from repro.exceptions import ReproError\n", rel="utils/o.py"
+        )
+
+    def test_lazy_import_exempt(self):
+        src = """
+        def f():
+            from repro.core.stability import x
+            return x
+        """
+        assert not check(self.rule, src, rel="utils/o.py")
+
+    def test_unknown_package_flagged(self):
+        findings = check(self.rule, "x = 1\n", rel="newpkg/mod.py")
+        assert len(findings) == 1
+        assert "layering table" in findings[0].message
+
+    def test_facade_imports_freely(self):
+        assert not check(
+            self.rule, "from repro.analysis.metrics import x\n", rel="__init__.py"
+        )
+
+    def test_intra_package_import_allowed(self):
+        assert not check(
+            self.rule, "from repro.core.binding_tree import BindingTree\n"
+        )
+
+
+class TestSeedDisciplineRule:
+    rule = SeedDisciplineRule()
+
+    def test_stdlib_random_import_flagged(self):
+        findings = check(self.rule, "import random\n")
+        assert [f.rule for f in findings] == ["seed-discipline"]
+
+    def test_random_attribute_use_flagged(self):
+        findings = check(
+            self.rule, "import random\nx = random.shuffle(items)\n"
+        )
+        assert len(findings) == 2  # the import and the call
+        assert findings[1].line == 2
+
+    def test_from_random_import_flagged(self):
+        findings = check(self.rule, "from random import shuffle\n")
+        assert len(findings) == 1
+
+    def test_np_random_global_state_flagged(self):
+        findings = check(
+            self.rule,
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+        )
+        assert len(findings) == 1
+        assert "default_rng" in findings[0].message
+
+    def test_np_random_seed_flagged(self):
+        findings = check(self.rule, "import numpy as np\nnp.random.seed(7)\n")
+        assert len(findings) == 1
+
+    def test_generator_annotation_allowed(self):
+        src = """
+        import numpy as np
+
+        def f(rng: np.random.Generator) -> np.random.Generator:
+            return rng
+        """
+        assert not check(self.rule, src)
+
+    def test_rng_module_itself_exempt(self):
+        src = "import numpy as np\nr = np.random.default_rng(0)\n"
+        assert not check(self.rule, src, rel="utils/rng.py")
+
+    def test_as_rng_usage_clean(self):
+        src = """
+        from repro.utils.rng import as_rng
+
+        def f(seed=None):
+            rng = as_rng(seed)
+            return rng.integers(10)
+        """
+        assert not check(self.rule, src)
+
+
+class TestVerifierPurityRule:
+    rule = VerifierPurityRule()
+
+    def test_mutating_method_on_param_flagged(self):
+        src = """
+        def is_stable_thing(matching):
+            matching.sort()
+            return True
+        """
+        findings = check(self.rule, src)
+        assert len(findings) == 1
+        assert ".sort()" in findings[0].message
+
+    def test_attribute_assignment_flagged(self):
+        src = """
+        def check_instance(inst):
+            inst.cache = {}
+            return inst
+        """
+        findings = check(self.rule, src)
+        assert len(findings) == 1
+        assert "assigns into parameter" in findings[0].message
+
+    def test_subscript_assignment_flagged(self):
+        src = """
+        def is_stable(m):
+            m[0] = 1
+            return False
+        """
+        assert len(check(self.rule, src)) == 1
+
+    def test_del_on_param_flagged(self):
+        src = """
+        def check_consistency(table):
+            del table[0]
+        """
+        assert len(check(self.rule, src)) == 1
+
+    def test_augassign_into_param_flagged(self):
+        src = """
+        def is_stable(m):
+            m[0] += 1
+        """
+        assert len(check(self.rule, src)) == 1
+
+    def test_every_function_in_verify_py_covered(self):
+        src = """
+        def helper(rows):
+            rows.append(1)
+        """
+        findings = check(self.rule, src, rel="roommates/verify.py")
+        assert len(findings) == 1
+
+    def test_non_verifier_function_exempt(self):
+        src = """
+        def solve(matching):
+            matching.sort()
+            return matching
+        """
+        assert not check(self.rule, src)
+
+    def test_local_copy_is_fine(self):
+        src = """
+        def is_stable(matching):
+            m = list(matching)
+            m.sort()
+            return m
+        """
+        assert not check(self.rule, src)
+
+    def test_rebound_param_not_flagged(self):
+        src = """
+        def check_rows(rows):
+            rows = list(rows)
+            rows.append(0)
+            return rows
+        """
+        assert not check(self.rule, src)
+
+    def test_read_only_verifier_clean(self):
+        src = """
+        def is_stable_cyclic(inst, sigma, tau):
+            return all(s < t for s, t in zip(sigma, tau))
+        """
+        assert not check(self.rule, src)
+
+
+class TestExceptionDisciplineRule:
+    rule = ExceptionDisciplineRule()
+
+    def test_builtin_raise_in_algorithm_package_flagged(self):
+        findings = check(
+            self.rule, "raise ValueError('nope')\n", rel="core/solver.py"
+        )
+        assert len(findings) == 1
+        assert "ValueError" in findings[0].message
+
+    def test_repro_exception_allowed(self):
+        src = """
+        from repro.exceptions import InvalidInstanceError
+        raise InvalidInstanceError("bad")
+        """
+        assert not check(self.rule, src, rel="core/solver.py")
+
+    def test_builtin_raise_outside_algorithm_layer_allowed(self):
+        assert not check(self.rule, "raise ValueError('x')\n", rel="model/m.py")
+
+    def test_raise_exception_banned_everywhere(self):
+        findings = check(self.rule, "raise Exception('x')\n", rel="model/m.py")
+        assert len(findings) == 1
+        assert "uncatchable" in findings[0].message
+
+    def test_bare_except_flagged(self):
+        src = """
+        try:
+            x = 1
+        except:
+            pass
+        """
+        findings = check(self.rule, src, rel="model/m.py")
+        assert len(findings) == 1
+        assert "bare 'except:'" in findings[0].message
+
+    def test_typed_except_allowed(self):
+        src = """
+        try:
+            x = 1
+        except ValueError:
+            pass
+        """
+        assert not check(self.rule, src, rel="model/m.py")
+
+    def test_reraise_allowed(self):
+        src = """
+        def f():
+            try:
+                g()
+            except ValueError:
+                raise
+        """
+        assert not check(self.rule, src, rel="core/solver.py")
+
+    def test_not_implemented_error_exempt(self):
+        src = """
+        class Base:
+            def hook(self):
+                raise NotImplementedError
+        """
+        assert not check(self.rule, src, rel="core/solver.py")
+
+
+class TestApiDocsRule:
+    rule = ApiDocsRule()
+
+    def test_missing_docstring_flagged(self):
+        src = """
+        def solve(inst: int) -> int:
+            return inst
+        """
+        findings = check(self.rule, src, rel="core/solver.py")
+        assert len(findings) == 1
+        assert "no docstring" in findings[0].message
+
+    def test_missing_annotations_flagged(self):
+        src = """
+        def solve(inst):
+            \"\"\"Solve it.\"\"\"
+            return inst
+        """
+        findings = check(self.rule, src, rel="bipartite/solver.py")
+        assert len(findings) == 1
+        assert "inst" in findings[0].message and "return" in findings[0].message
+
+    def test_fully_documented_clean(self):
+        src = """
+        def solve(inst: int, *, flag: bool = False) -> int:
+            \"\"\"Solve it.\"\"\"
+            return inst
+        """
+        assert not check(self.rule, src, rel="kpartite/solver.py")
+
+    def test_private_function_exempt(self):
+        src = """
+        def _helper(x):
+            return x
+        """
+        assert not check(self.rule, src, rel="core/solver.py")
+
+    def test_methods_of_public_class_covered(self):
+        src = """
+        class Solver:
+            \"\"\"Doc.\"\"\"
+
+            def run(self, n):
+                return n
+        """
+        findings = check(self.rule, src, rel="roommates/solver.py")
+        assert len(findings) == 2  # docstring + annotations
+        assert all("Solver.run" in f.message for f in findings)
+
+    def test_non_documented_package_exempt(self):
+        src = """
+        def solve(inst):
+            return inst
+        """
+        assert not check(self.rule, src, rel="parallel/solver.py")
+
+    def test_self_needs_no_annotation(self):
+        src = """
+        class Solver:
+            \"\"\"Doc.\"\"\"
+
+            def run(self) -> int:
+                \"\"\"Run.\"\"\"
+                return 1
+        """
+        assert not check(self.rule, src, rel="core/solver.py")
+
+
+class TestDeterminismRule:
+    rule = DeterminismRule()
+
+    def test_for_over_set_call_flagged(self):
+        src = """
+        def f(items):
+            for x in set(items):
+                yield x
+        """
+        findings = check(self.rule, src)
+        assert len(findings) == 1
+        assert findings[0].rule == "determinism"
+
+    def test_for_over_set_literal_flagged(self):
+        src = """
+        def f():
+            for x in {1, 2, 3}:
+                print(x)
+        """
+        assert len(check(self.rule, src)) == 1
+
+    def test_comprehension_over_set_name_flagged(self):
+        src = """
+        def f(edges):
+            nodes = {u for u, v in edges}
+            return [n + 1 for n in nodes]
+        """
+        findings = check(self.rule, src)
+        assert len(findings) == 1
+
+    def test_sorted_set_is_clean(self):
+        src = """
+        def f(items):
+            for x in sorted(set(items)):
+                yield x
+        """
+        assert not check(self.rule, src)
+
+    def test_list_wrapper_does_not_launder(self):
+        src = """
+        def f(items):
+            for x in list(set(items)):
+                yield x
+        """
+        assert len(check(self.rule, src)) == 1
+
+    def test_set_union_of_names_flagged(self):
+        src = """
+        def f(a, b):
+            left = set(a)
+            right = set(b)
+            for x in left | right:
+                yield x
+        """
+        assert len(check(self.rule, src)) == 1
+
+    def test_membership_test_is_fine(self):
+        src = """
+        def f(items, probe):
+            pool = set(items)
+            return probe in pool
+        """
+        assert not check(self.rule, src)
+
+    def test_non_algorithm_package_exempt(self):
+        src = """
+        def f(items):
+            for x in set(items):
+                yield x
+        """
+        assert not check(self.rule, src, rel="utils/o.py")
+
+    def test_scopes_do_not_leak_names(self):
+        src = """
+        def g(items):
+            pool = set(items)
+            return len(pool)
+
+        def h(pool):
+            for x in pool:
+                yield x
+        """
+        assert not check(self.rule, src)

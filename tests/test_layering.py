@@ -1,84 +1,45 @@
 """Architecture guard: package dependencies must point downward.
 
-CONTRIBUTING.md declares the layering; this test enforces it by parsing
-the top-level (module-scope) imports of every source file.  Lazy imports
-inside functions are exempt — that is the sanctioned escape hatch for
-the few upward references (e.g. ``model.transform.relabel_matching``).
+The allowed-dependency table now lives in ONE place —
+``repro.statan.layering.LAYERS`` — and this test simply asserts that the
+statan layering rule reports zero findings on the shipped tree.  Lazy
+imports inside functions remain the sanctioned escape hatch for the few
+upward references (e.g. ``model.transform.relabel_matching``).
 """
 
-import ast
 import pathlib
 
-import pytest
+from repro.statan import LAYERS, LayeringRule, analyze_paths
+from repro.statan.base import ModuleInfo
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: allowed dependencies: package -> packages it may import at module scope
-ALLOWED = {
-    "exceptions": set(),
-    "utils": {"exceptions"},
-    "model": {"exceptions", "utils"},
-    "bipartite": {"exceptions", "utils", "model", "roommates"},
-    "roommates": {"exceptions", "utils"},
-    "kpartite": {"exceptions", "utils", "model", "roommates", "bipartite", "analysis"},
-    "core": {"exceptions", "utils", "model", "bipartite", "analysis"},
-    "baselines": {"exceptions", "utils", "model"},
-    "parallel": {"exceptions", "utils", "model", "bipartite", "core"},
-    "distributed": {"exceptions", "utils", "model", "bipartite", "core", "parallel"},
-    "analysis": {"exceptions", "utils", "model", "bipartite", "core", "parallel"},
-    "cli": {
-        "exceptions", "utils", "model", "bipartite", "roommates", "kpartite",
-        "core", "parallel", "distributed", "analysis", "baselines",
-    },
-    "__init__": None,  # the facade may import everything
-    "__main__": None,
-    "py": None,
-}
 
-
-def _package_of(module_path: pathlib.Path) -> str:
-    rel = module_path.relative_to(SRC)
-    return rel.parts[0].removesuffix(".py")
-
-
-def _module_scope_repro_imports(path: pathlib.Path) -> set[str]:
-    tree = ast.parse(path.read_text())
-    found = set()
-    for node in tree.body:  # module scope only — nested imports are exempt
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.startswith("repro."):
-                    found.add(alias.name.split(".")[1])
-        elif isinstance(node, ast.ImportFrom) and node.module:
-            if node.module == "repro" or node.module.startswith("repro."):
-                parts = node.module.split(".")
-                found.add(parts[1] if len(parts) > 1 else "__init__")
-    return found
-
-
-SOURCES = sorted(SRC.rglob("*.py"))
-
-
-@pytest.mark.parametrize(
-    "path", SOURCES, ids=lambda p: str(p.relative_to(SRC)).replace("/", ".")
-)
-def test_module_respects_layering(path):
-    pkg = _package_of(path)
-    allowed = ALLOWED.get(pkg, set())
-    if allowed is None:  # facade modules
-        return
-    imports = _module_scope_repro_imports(path)
-    imports.discard(pkg)  # intra-package imports are always fine
-    imports.discard("__init__")
-    illegal = imports - allowed
-    assert not illegal, (
-        f"{path.relative_to(SRC)} (package '{pkg}') imports {sorted(illegal)} "
-        f"at module scope; allowed: {sorted(allowed)}. Use a lazy import if "
-        "the reference is genuinely needed."
-    )
+def test_no_layering_findings():
+    findings = analyze_paths([SRC], [LayeringRule()])
+    assert not findings, "\n".join(f.format() for f in findings)
 
 
 def test_every_package_listed():
-    pkgs = {_package_of(p) for p in SOURCES}
-    unknown = pkgs - set(ALLOWED)
+    pkgs = {ModuleInfo.from_path(p).package for p in SRC.rglob("*.py")}
+    unknown = pkgs - set(LAYERS)
     assert not unknown, f"new packages need a layering entry: {sorted(unknown)}"
+
+
+def test_table_is_closed():
+    # every package named on a right-hand side also has its own entry
+    for pkg, allowed in LAYERS.items():
+        if allowed is None:
+            continue
+        missing = allowed - set(LAYERS)
+        assert not missing, f"{pkg} may import unknown packages {sorted(missing)}"
+
+
+def test_upward_import_is_flagged():
+    bad = ModuleInfo.from_source(
+        "from repro.core.stability import find_blocking_family\n",
+        rel="utils/fixture.py",
+    )
+    findings = list(LayeringRule().check(bad))
+    assert len(findings) == 1
+    assert "'repro.core'" in findings[0].message
