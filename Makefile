@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint typecheck test bench examples fast slow all clean
+.PHONY: install lint typecheck test bench bench-smoke examples fast slow all clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -26,6 +26,10 @@ slow:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# fast CI gate on the serving-layer claims (dedup, cache, retry telemetry)
+bench-smoke:
+	PYTHONPATH=src $(PY) -m pytest benchmarks/test_bench_e24_engine.py -x -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \

@@ -1,0 +1,95 @@
+"""E24 (extension) — the serving path: batched engine vs. serial baseline.
+
+Mertens' *Random Stable Matchings* observes that realistic traffic is
+many small random instances with heavy structural repetition — exactly
+the regime a content-addressed cache and in-flight dedup exploit.  This
+benchmark regenerates that claim on the `repro.engine` serving layer:
+
+* a duplicate-heavy batch performs strictly fewer solver invocations
+  than its size (dedup), and a repeated batch performs none (cache);
+* the cache-hot pass is measurably faster than the cache-cold pass;
+* throughput accounting (solves avoided) is visible in telemetry, so a
+  regression in the serving path fails this bench in CI's smoke step.
+"""
+
+import time
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.engine import MatchingEngine, SolveRequest
+from repro.model.generators import random_instance
+
+from benchmarks.conftest import print_table
+
+
+def _duplicate_heavy_batch(n_unique, copies, n=16, k=3):
+    instances = [random_instance(k, n, seed=s) for s in range(n_unique)]
+    return [
+        SolveRequest(instance=instances[i % n_unique], label=f"job{i}")
+        for i in range(n_unique * copies)
+    ]
+
+
+def test_e24_dedup_and_cache_beat_serial_baseline(benchmark):
+    n_unique, copies = 6, 4  # 75% duplicates
+    requests = _duplicate_heavy_batch(n_unique, copies)
+    batch_size = len(requests)
+
+    def run():
+        rows = []
+        # serial baseline: every request solved directly, no serving layer
+        start = time.perf_counter()
+        for req in requests:
+            iterative_binding(req.instance, BindingTree.chain(req.instance.k))
+        baseline_s = time.perf_counter() - start
+        rows.append(["serial baseline", batch_size, round(baseline_s * 1e3, 2)])
+
+        engine = MatchingEngine()
+        start = time.perf_counter()
+        engine.solve_many(requests)
+        cold_s = time.perf_counter() - start
+        cold_solves = engine.telemetry.count("solver_invocations")
+        rows.append(["engine cache-cold", cold_solves, round(cold_s * 1e3, 2)])
+
+        start = time.perf_counter()
+        results = engine.solve_many(requests)
+        hot_s = time.perf_counter() - start
+        hot_solves = engine.telemetry.count("solver_invocations") - cold_solves
+        rows.append(["engine cache-hot", hot_solves, round(hot_s * 1e3, 2)])
+        return rows, engine, results, baseline_s, cold_s, hot_s, cold_solves, hot_solves
+
+    (
+        rows,
+        engine,
+        results,
+        baseline_s,
+        cold_s,
+        hot_s,
+        cold_solves,
+        hot_solves,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"E24 serving path ({batch_size} jobs, {n_unique} unique)",
+        ["path", "solver invocations", "wall ms"],
+        rows,
+    )
+    # the acceptance claims, asserted so CI gates on them:
+    assert cold_solves == n_unique
+    assert cold_solves < batch_size  # dedup: strictly fewer solves than jobs
+    assert hot_solves == 0  # cache-hot repeat solves nothing
+    assert engine.telemetry.count("cache_hits") == n_unique
+    assert engine.telemetry.count("dedup_hits") == 2 * (batch_size - n_unique)
+    assert all(r.ok for r in results)
+    assert hot_s < cold_s  # serving a hot batch must be faster than solving it
+    assert hot_s < baseline_s  # ... and faster than solving every job serially
+
+
+def test_e24_cache_hot_throughput(benchmark):
+    """Timing anchor: requests/second through a fully warm cache."""
+    requests = _duplicate_heavy_batch(4, 2, n=12)
+    engine = MatchingEngine()
+    engine.solve_many(requests)  # warm
+
+    results = benchmark(engine.solve_many, requests)
+    assert all(r.from_cache for r in results)
+    assert engine.telemetry.count("solver_invocations") == 4

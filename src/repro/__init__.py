@@ -22,17 +22,22 @@ Layers (see DESIGN.md for the full map):
 * :mod:`repro.core` — k-ary matching by iterative binding (Sec IV);
 * :mod:`repro.parallel` — binding schedules, PRAM model, real executor;
 * :mod:`repro.distributed` — distributed GS on a message simulator;
-* :mod:`repro.analysis` — metrics, counting, experiment sweeps.
+* :mod:`repro.analysis` — metrics, counting, experiment sweeps;
+* :mod:`repro.engine` — batched solve service: content-addressed
+  result cache, in-flight dedup, retries, telemetry (not re-exported
+  here; ``from repro.engine import MatchingEngine, SolveRequest``).
 """
 
 from repro.exceptions import (
     ReproError,
+    ConfigurationError,
     InvalidInstanceError,
     InvalidBindingTreeError,
     InvalidMatchingError,
     NoStableMatchingError,
     ScheduleConflictError,
     SimulationError,
+    TransientWorkerError,
 )
 from repro.model import (
     Member,
@@ -67,11 +72,13 @@ __all__ = [
     "__version__",
     # exceptions
     "ReproError",
+    "ConfigurationError",
     "InvalidInstanceError",
     "InvalidBindingTreeError",
     "InvalidMatchingError",
     "NoStableMatchingError",
     "ScheduleConflictError",
+    "TransientWorkerError",
     "SimulationError",
     # model
     "Member",

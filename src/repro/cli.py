@@ -16,6 +16,10 @@ Subcommands
 ``lattice``
     Enumerate the stable-matching lattice of a k = 2 instance and print
     the egalitarian / min-regret / sex-equal optima.
+``solve-batch``
+    Batched solving through the :mod:`repro.engine` serving layer:
+    content-addressed result cache, in-flight dedup, executor backends,
+    retries, and a telemetry summary.
 ``verify``
     Check a (instance, matching) pair for strong/weakened stability.
 ``info``
@@ -117,6 +121,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="also check the weakened (lead-member) condition",
     )
 
+    batch = sub.add_parser(
+        "solve-batch",
+        help="batched solving through the matching engine (cache + dedup)",
+    )
+    batch.add_argument("instances", nargs="+", type=Path, help="instance JSON files")
+    batch.add_argument(
+        "--solver", choices=("kary", "priority", "binary"), default="kary"
+    )
+    batch.add_argument(
+        "--tree",
+        default="chain",
+        help="chain | star | random | comma list of 'a-b' edges (kary only)",
+    )
+    batch.add_argument("--seed", type=int, default=None, help="for --tree random")
+    batch.add_argument(
+        "--gs-engine", default="textbook", help="Gale-Shapley engine for bindings"
+    )
+    batch.add_argument(
+        "--linearization",
+        choices=("auto", "global", "round_robin", "priority"),
+        default="auto",
+        help="global-order strategy (binary only)",
+    )
+    batch.add_argument(
+        "--backend",
+        default="serial",
+        help="executor backend: process | thread | serial",
+    )
+    batch.add_argument("--max-workers", type=int, default=None)
+    batch.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist results as JSON under this directory (content-addressed)",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=2, help="retries after a transient failure"
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job seconds (pool backends)"
+    )
+    batch.add_argument(
+        "--verify",
+        action="store_true",
+        help="stability-check every returned matching",
+    )
+    batch.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        help="write the engine telemetry snapshot as JSON",
+    )
+
     info = sub.add_parser("info", help="summarize an instance file")
     info.add_argument("instance", type=Path)
 
@@ -154,38 +211,84 @@ def _load_instance(path: Path):
 
     try:
         text = path.read_text()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
+        # UnicodeDecodeError is a ValueError, not an OSError — without the
+        # explicit catch a binary file would escape as a raw traceback.
         raise InvalidInstanceError(f"cannot read {path}: {exc}") from exc
     try:
         return instance_from_json(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidInstanceError(
+            f"{path} is not a valid instance file: malformed JSON: {exc.msg} "
+            f"(line {exc.lineno} column {exc.colno})"
+        ) from exc
+    except InvalidInstanceError as exc:
+        raise InvalidInstanceError(f"{path}: {exc}") from exc
     except (ValueError, TypeError, KeyError) as exc:
-        if isinstance(exc, InvalidInstanceError):
-            raise
         raise InvalidInstanceError(f"{path} is not a valid instance file: {exc}") from exc
 
 
 def _parse_tree(spec: str, k: int, seed: int | None) -> BindingTree:
-    if spec == "chain":
-        return BindingTree.chain(k)
-    if spec == "star":
-        return BindingTree.star(k)
-    if spec == "random":
-        return BindingTree.random(k, seed)
-    from repro.exceptions import InvalidBindingTreeError
+    return BindingTree.from_spec(k, spec, seed)
 
-    edges = []
-    for part in spec.split(","):
-        a, sep, b = part.partition("-")
-        try:
-            if not sep:
-                raise ValueError("missing '-'")
-            edges.append((int(a), int(b)))
-        except ValueError as exc:
-            raise InvalidBindingTreeError(
-                f"bad tree spec {spec!r}: expected chain|star|random or "
-                f"comma-separated 'a-b' edges ({exc})"
-            ) from exc
-    return BindingTree(k, edges)
+
+def _run_solve_batch(args: argparse.Namespace) -> int:
+    """Drive the ``repro.engine`` serving layer over a batch of files."""
+    from repro.engine import MatchingEngine, ResultCache, RetryPolicy, SolveRequest
+    from repro.parallel.executor import validate_backend
+
+    validate_backend(args.backend)
+    cache = ResultCache(disk_dir=args.cache_dir)
+    requests = [
+        SolveRequest(
+            instance=_load_instance(path),
+            solver=args.solver,
+            tree=args.tree,
+            tree_seed=args.seed,
+            gs_engine=args.gs_engine,
+            linearization=args.linearization,
+            verify=args.verify,
+            timeout=args.timeout,
+            label=str(path),
+        )
+        for path in args.instances
+    ]
+    retry = RetryPolicy(max_attempts=args.retries + 1)
+    with MatchingEngine(
+        backend=args.backend,
+        max_workers=args.max_workers,
+        cache=cache,
+        retry=retry,
+    ) as engine:
+        results = engine.solve_many(requests)
+    exit_code = 0
+    for res in results:
+        source = "dup" if res.deduped else ("cache" if res.from_cache else "solved")
+        line = (
+            f"{res.label}: {res.status} [{source}] "
+            f"proposals={res.proposals} key={res.fingerprint[:12]}"
+        )
+        if res.stable is not None:
+            line += f" stable={'yes' if res.stable else 'NO'}"
+            if not res.stable:
+                exit_code = 1
+        if res.status == "no_stable":
+            exit_code = 1
+        print(line)
+    snap = engine.telemetry.snapshot()
+    counters = snap["counters"]
+    assert isinstance(counters, dict)
+    print(
+        f"batch: jobs={counters.get('jobs_submitted', 0)} "
+        f"unique={counters.get('unique_jobs', 0)} "
+        f"solved={counters.get('solver_invocations', 0)} "
+        f"cache-hits={counters.get('cache_hits', 0)} "
+        f"dedup-hits={counters.get('dedup_hits', 0)} "
+        f"retries={counters.get('retries', 0)}"
+    )
+    if args.telemetry_out is not None:
+        args.telemetry_out.write_text(engine.telemetry.to_json(indent=2) + "\n")
+    return exit_code
 
 
 def _emit(text: str, output: Path | None) -> None:
@@ -308,6 +411,8 @@ def main(argv: list[str] | None = None) -> int:
                 else:
                     print(f"weakened-stable: NO; blocking family {weak.members}")
                     return 1
+        elif args.command == "solve-batch":
+            return _run_solve_batch(args)
         elif args.command == "info":
             inst = _load_instance(args.instance)
             print(f"k={inst.k} genders, n={inst.n} members each")

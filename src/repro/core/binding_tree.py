@@ -131,6 +131,42 @@ class BindingTree:
         return cls(k, prufer_to_tree(seq, k))
 
     @classmethod
+    def from_spec(
+        cls,
+        k: int,
+        spec: str,
+        seed: int | None | np.random.Generator = None,
+    ) -> "BindingTree":
+        """Build a tree from a textual spec (the CLI / engine syntax).
+
+        ``spec`` is ``"chain"``, ``"star"``, ``"random"`` (seeded by
+        ``seed``), or a comma-separated list of ``"a-b"`` oriented edges
+        where ``a`` proposes to ``b`` (e.g. ``"0-1,1-2"``).
+
+        >>> BindingTree.from_spec(3, "2-1,1-0").edges
+        ((2, 1), (1, 0))
+        """
+        if spec == "chain":
+            return cls.chain(k)
+        if spec == "star":
+            return cls.star(k)
+        if spec == "random":
+            return cls.random(k, seed)
+        edges = []
+        for part in spec.split(","):
+            a, sep, b = part.partition("-")
+            try:
+                if not sep:
+                    raise InvalidBindingTreeError("missing '-'")
+                edges.append((int(a), int(b)))
+            except ValueError as exc:
+                raise InvalidBindingTreeError(
+                    f"bad tree spec {spec!r}: expected chain|star|random or "
+                    f"comma-separated 'a-b' edges ({exc})"
+                ) from exc
+        return cls(k, edges)
+
+    @classmethod
     def all_trees(cls, k: int) -> Iterator["BindingTree"]:
         """Every labeled spanning tree on k genders (k^(k-2) of them)."""
         from repro.analysis.counting import enumerate_labeled_trees

@@ -1,0 +1,53 @@
+"""Serving layer: batched solving with cache, retries, and telemetry.
+
+The paper's solvers answer one instance at a time; production traffic
+(the ROADMAP's north star) arrives as *batches* dominated by small,
+heavily repeated instances.  This package is the layer in between:
+
+* :mod:`repro.engine.fingerprint` — content-addressed keys over
+  (serialized instance, solver kind, tree spec, seed/config);
+* :mod:`repro.engine.cache` — LRU result cache with an optional JSON
+  on-disk tier and hit/miss/eviction counters;
+* :mod:`repro.engine.jobs` — ``SolveRequest`` / ``SolveResult`` and the
+  :class:`MatchingEngine` (``submit`` / ``solve_many``): in-flight
+  dedup, dispatch across the :mod:`repro.parallel.executor` backends,
+  per-job timeout, bounded retry-with-backoff;
+* :mod:`repro.engine.telemetry` — engine-wide counters and stage timers
+  with JSON export, bridging into :mod:`repro.analysis.metrics`.
+
+Architecture note: nothing inside the library imports this package —
+only the CLI (``repro solve-batch``) and user code sit above it (see
+``repro.statan.layering.LAYERS``).
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.fingerprint import (
+    FINGERPRINT_SCHEMA,
+    canonical_json,
+    instance_digest,
+    solve_fingerprint,
+)
+from repro.engine.jobs import (
+    SOLVERS,
+    MatchingEngine,
+    RetryPolicy,
+    SolveRequest,
+    SolveResult,
+)
+from repro.engine.telemetry import EngineTelemetry, matching_quality
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "FINGERPRINT_SCHEMA",
+    "canonical_json",
+    "instance_digest",
+    "solve_fingerprint",
+    "SOLVERS",
+    "MatchingEngine",
+    "RetryPolicy",
+    "SolveRequest",
+    "SolveResult",
+    "EngineTelemetry",
+    "matching_quality",
+]

@@ -1,0 +1,142 @@
+"""LRU result cache with an optional JSON on-disk store.
+
+Values are the plain-JSON payload dicts produced by the engine's solve
+worker (never live objects), so every entry can round-trip through the
+disk store unchanged.  The in-memory tier is a bounded LRU; the disk
+tier, when configured, is one ``<fingerprint>.json`` file per entry —
+content-addressed, so concurrent writers of the *same* key write the
+same bytes and order never matters.
+
+Counters (hits / misses / evictions / stores, plus the disk variants)
+are kept on the cache itself and surface through the engine telemetry
+snapshot; the serving-path benchmark (E24) asserts on them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counter block for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON telemetry export."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+        }
+
+
+class ResultCache:
+    """Bounded in-memory LRU over JSON payloads, with optional disk tier.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory capacity; the least-recently-used entry is evicted
+        when a store would exceed it.  Eviction never touches the disk
+        tier, so a disk-backed cache can hold far more than fits in
+        memory and re-promote entries on demand.
+    disk_dir:
+        Directory for the persistent tier (created if missing).
+        ``None`` disables it.
+    """
+
+    def __init__(self, max_entries: int = 1024, disk_dir: Path | str | None = None) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Payload for ``key``, or ``None``; a hit refreshes recency.
+
+        A miss in memory falls through to the disk tier (when present)
+        and promotes the loaded entry back into memory.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            if self.disk_dir is not None:
+                path = self._disk_path(key)
+                try:
+                    loaded = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    loaded = None  # absent or corrupt: treat as a miss
+                if isinstance(loaded, dict):
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self._store_locked(key, loaded, write_disk=False)
+                    return loaded
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` (a plain-JSON dict) under ``key``."""
+        with self._lock:
+            self._store_locked(key, payload, write_disk=True)
+
+    def _store_locked(
+        self, key: str, payload: dict[str, Any], *, write_disk: bool
+    ) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = payload
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        if write_disk and self.disk_dir is not None:
+            tmp = self._disk_path(key).with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(self._disk_path(key))
+            self.stats.disk_stores += 1
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory tier (and the disk tier when ``disk``)."""
+        with self._lock:
+            self._entries.clear()
+            if disk and self.disk_dir is not None:
+                for path in sorted(self.disk_dir.glob("*.json")):
+                    path.unlink(missing_ok=True)

@@ -1,0 +1,91 @@
+"""Content-addressed fingerprints for solve requests.
+
+The serving layer's cache and in-flight dedup both key on a
+*fingerprint*: a SHA-256 digest over the canonical JSON form of
+(serialized instance, solver kind, binding-tree spec, seed / solver
+config).  Two properties matter and are tested:
+
+* **cross-process stability** — the digest is computed from
+  :func:`repro.model.serialize.instance_to_dict` output rendered with
+  sorted keys and fixed separators, so the same instance hashes
+  identically in every process (no reliance on ``hash()``, which is
+  randomized per interpreter);
+* **no false sharing** — structurally different instances (e.g.
+  permuted-but-equal-looking preference lists) and different solver
+  specs produce distinct keys, because the full preference content and
+  the whole spec participate in the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.model.instance import KPartiteInstance
+from repro.model.serialize import instance_to_dict
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "canonical_json",
+    "instance_digest",
+    "solve_fingerprint",
+]
+
+#: bumped whenever the payload layout changes, so stale on-disk cache
+#: entries from an older engine version can never be misread as current.
+FINGERPRINT_SCHEMA = 1
+
+
+def canonical_json(doc: Any) -> str:
+    """Render ``doc`` as canonical JSON (sorted keys, fixed separators).
+
+    The canonical form is what gets hashed; it is also what the on-disk
+    cache stores, so cache files are diffable and stable across runs.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def _digest(doc: Any) -> str:
+    return hashlib.sha256(canonical_json(doc).encode("ascii")).hexdigest()
+
+
+def instance_digest(instance: KPartiteInstance) -> str:
+    """SHA-256 over the canonical serialized form of ``instance`` alone.
+
+    Useful for grouping telemetry by input regardless of solver; the
+    cache key proper is :func:`solve_fingerprint`, which also binds the
+    solver spec.
+    """
+    return _digest({"schema": FINGERPRINT_SCHEMA, "instance": instance_to_dict(instance)})
+
+
+def solve_fingerprint(
+    instance: KPartiteInstance,
+    solver: str,
+    spec: Mapping[str, object] | None = None,
+    *,
+    instance_key: str | None = None,
+) -> str:
+    """Cache key for running ``solver`` with ``spec`` on ``instance``.
+
+    ``spec`` carries everything that can change the *result*: the
+    binding-tree spec and seed, the Gale-Shapley engine, the
+    linearization strategy, ...  Presentation-only knobs (labels,
+    timeouts, retry budgets) must stay out — they do not alter the
+    answer, so requests differing only in them should share work.
+
+    The key is a digest over (:func:`instance_digest`, solver, spec);
+    pass a precomputed ``instance_key`` to amortize the instance
+    serialization across many requests for the same instance (the
+    engine does this per batch).
+    """
+    if instance_key is None:
+        instance_key = instance_digest(instance)
+    payload = {
+        "schema": FINGERPRINT_SCHEMA,
+        "instance_digest": instance_key,
+        "solver": solver,
+        "spec": dict(spec or {}),
+    }
+    return _digest(payload)

@@ -1,0 +1,537 @@
+"""The batched solve service: requests, results, and the engine.
+
+``MatchingEngine`` is the serving layer between callers and the
+solvers.  One ``solve_many`` call walks a fixed pipeline, each stage
+timed in telemetry:
+
+1. **fingerprint** — every request gets a content-addressed key
+   (:mod:`repro.engine.fingerprint`);
+2. **cache** — keys are looked up in the :class:`~repro.engine.cache.
+   ResultCache`; hits skip solving entirely;
+3. **dedup** — identical in-flight requests collapse to one solve whose
+   payload fans back out to every duplicate position;
+4. **solve** — the surviving unique jobs dispatch across the
+   :mod:`repro.parallel.executor` backends (``process`` / ``thread`` /
+   ``serial``) with per-job timeout and bounded retry-with-backoff on
+   :class:`~repro.exceptions.TransientWorkerError`;
+5. **verify** — on request, the driver re-checks stability of the
+   returned matching with the :mod:`repro.core.stability` oracles.
+
+Worker payloads are plain-JSON dicts (never live objects) so they can
+ride through process pools, the cache, and the on-disk store unchanged.
+Failures injectable for tests: pass ``fault_hook=...`` to the engine
+and raise :class:`TransientWorkerError` from it to simulate worker
+loss on chosen attempts.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.priority_binding import priority_binding
+from repro.core.stability import find_blocking_family
+from repro.engine.cache import ResultCache
+from repro.engine.fingerprint import instance_digest, solve_fingerprint
+from repro.engine.telemetry import EngineTelemetry, matching_quality
+from repro.exceptions import (
+    ConfigurationError,
+    NoStableMatchingError,
+    TransientWorkerError,
+)
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.model.serialize import (
+    instance_from_json,
+    instance_to_json,
+    matching_from_dict,
+    matching_to_dict,
+)
+from repro.parallel.executor import validate_backend
+
+__all__ = [
+    "SOLVERS",
+    "RetryPolicy",
+    "SolveRequest",
+    "SolveResult",
+    "MatchingEngine",
+]
+
+#: solver kinds the engine can dispatch.
+SOLVERS = ("kary", "priority", "binary")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient worker failures.
+
+    ``max_attempts`` counts *total* tries (so 1 disables retrying);
+    the delay before retry number i (1-based) is
+    ``backoff_seconds * backoff_factor ** (i - 1)``.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0 or self.backoff_factor < 1:
+            raise ConfigurationError(
+                "backoff_seconds must be >= 0 and backoff_factor >= 1, got "
+                f"{self.backoff_seconds}/{self.backoff_factor}"
+            )
+
+    def delay(self, failure_index: int) -> float:
+        """Seconds to wait after the ``failure_index``-th failure (0-based)."""
+        return self.backoff_seconds * self.backoff_factor**failure_index
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve job: an instance plus everything that shapes the answer.
+
+    Result-shaping fields (``solver``, ``tree``, ``tree_seed``,
+    ``gs_engine``, ``linearization``) participate in the fingerprint;
+    presentation fields (``verify``, ``timeout``, ``label``) do not, so
+    requests differing only in them share cache entries.
+    """
+
+    instance: KPartiteInstance
+    solver: str = "kary"
+    tree: str = "chain"
+    tree_seed: int | None = None
+    gs_engine: str = "textbook"
+    linearization: str = "auto"
+    verify: bool = False
+    timeout: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.solver not in SOLVERS:
+            raise ConfigurationError(
+                f"unknown solver {self.solver!r}; choose from {SOLVERS}"
+            )
+        if self.solver == "kary" and self.tree == "random" and self.tree_seed is None:
+            raise ConfigurationError(
+                "tree='random' needs an explicit tree_seed: an unseeded tree "
+                "makes the result non-deterministic and the cache key a lie"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
+
+    def spec(self) -> dict[str, Any]:
+        """The JSON-safe solver spec hashed into the fingerprint."""
+        if self.solver == "kary":
+            return {
+                "tree": self.tree,
+                "tree_seed": self.tree_seed,
+                "gs_engine": self.gs_engine,
+            }
+        if self.solver == "priority":
+            return {"gs_engine": self.gs_engine}
+        return {"linearization": self.linearization}
+
+    def fingerprint(self) -> str:
+        """Content-addressed cache key for this request."""
+        return solve_fingerprint(self.instance, self.solver, self.spec())
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one request, with serving-path provenance.
+
+    ``payload`` is the worker's plain-JSON dict (also what the cache
+    stores); the convenience properties read through it.  ``from_cache``
+    / ``deduped`` say how the answer was obtained: a fresh solve has
+    both False, a duplicate position in the same batch has ``deduped``
+    True, a cache hit has ``from_cache`` True.
+    """
+
+    fingerprint: str
+    solver: str
+    status: str
+    payload: Mapping[str, Any]
+    from_cache: bool
+    deduped: bool
+    attempts: int
+    seconds: float
+    stable: bool | None = None
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when a matching was produced (vs. proven non-existent)."""
+        return self.status == "ok"
+
+    @property
+    def matching(self) -> Mapping[str, Any] | None:
+        """Serialized matching (schema depends on the solver), if any."""
+        value = self.payload.get("matching")
+        return value if isinstance(value, Mapping) else None
+
+    @property
+    def proposals(self) -> int:
+        """Proposals issued by the underlying solver run."""
+        return int(self.payload.get("proposals", 0))
+
+    @property
+    def rotations(self) -> int:
+        """Rotations eliminated (binary solves; 0 for k-ary)."""
+        return int(self.payload.get("rotations", 0))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form for reports and the CLI."""
+        return {
+            "fingerprint": self.fingerprint,
+            "solver": self.solver,
+            "status": self.status,
+            "from_cache": self.from_cache,
+            "deduped": self.deduped,
+            "attempts": self.attempts,
+            "seconds": self.seconds,
+            "stable": self.stable,
+            "label": self.label,
+            "payload": dict(self.payload),
+        }
+
+
+def _solve_worker(task: tuple[str, str, dict[str, Any]]) -> dict[str, Any]:
+    """Top-level worker (must be picklable): solve one serialized job."""
+    solver, instance_json, spec = task
+    inst = instance_from_json(instance_json)
+    if solver in ("kary", "priority"):
+        if solver == "kary":
+            tree = BindingTree.from_spec(inst.k, spec["tree"], spec.get("tree_seed"))
+            res = iterative_binding(inst, tree, engine=spec["gs_engine"])
+        else:
+            res = priority_binding(inst, engine=spec["gs_engine"])
+        return {
+            "status": "ok",
+            "solver": solver,
+            "matching": matching_to_dict(res.matching),
+            "proposals": res.total_proposals,
+            "rotations": 0,
+            "tree_edges": [list(e) for e in res.tree.edges],
+            "quality": matching_quality(res.matching),
+        }
+    if solver == "binary":
+        from repro.kpartite.existence import solve_binary  # lazy: kpartite sits above engine
+
+        try:
+            res_b = solve_binary(inst, linearization=spec["linearization"])
+        except NoStableMatchingError as exc:
+            return {
+                "status": "no_stable",
+                "solver": solver,
+                "witness": str(exc),
+                "proposals": 0,
+                "rotations": 0,
+            }
+        return {
+            "status": "ok",
+            "solver": solver,
+            "matching": {
+                "pairs": [
+                    [[a.gender, a.index], [b.gender, b.index]] for a, b in res_b.pairs
+                ]
+            },
+            "proposals": res_b.roommates.proposals,
+            "rotations": len(res_b.roommates.rotations),
+        }
+    raise ConfigurationError(f"unknown solver {solver!r}; choose from {SOLVERS}")
+
+
+@dataclass
+class _Job:
+    """Driver-side state for one *unique* fingerprint in a batch."""
+
+    fingerprint: str
+    request: SolveRequest
+    positions: list[int] = field(default_factory=list)
+    payload: dict[str, Any] | None = None
+    from_cache: bool = False
+    attempts: int = 0
+    seconds: float = 0.0
+
+
+class MatchingEngine:
+    """Batched solve service with cache, dedup, retries, and telemetry.
+
+    Parameters
+    ----------
+    backend:
+        Executor backend for the solve stage — one of
+        :data:`repro.parallel.executor.BACKENDS`.  ``serial`` solves
+        in-process (per-job timeouts are then not enforceable and are
+        ignored).
+    max_workers:
+        Pool size for ``process`` / ``thread`` backends.
+    cache:
+        Result cache; defaults to a fresh in-memory LRU.  Pass a
+        disk-backed :class:`~repro.engine.cache.ResultCache` to persist
+        results across engine lifetimes.
+    retry:
+        :class:`RetryPolicy` for transient failures.
+    telemetry:
+        Shared :class:`~repro.engine.telemetry.EngineTelemetry` block;
+        defaults to a private one exposed as ``engine.telemetry``.
+    fault_hook:
+        Test seam: called as ``fault_hook(request, attempt)`` before
+        each dispatch; raising :class:`TransientWorkerError` there makes
+        that attempt fail exactly like a lost worker.
+    sleep:
+        Injection point for the backoff sleep (tests pass a recorder).
+
+    The engine is a context manager; ``close()`` shuts down any owned
+    pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        cache: ResultCache | None = None,
+        retry: RetryPolicy | None = None,
+        telemetry: EngineTelemetry | None = None,
+        fault_hook: Callable[[SolveRequest, int], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.backend = validate_backend(backend)
+        self.max_workers = max_workers
+        self.cache = cache if cache is not None else ResultCache()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.telemetry = telemetry if telemetry is not None else EngineTelemetry()
+        self._fault_hook = fault_hook
+        self._sleep = sleep
+        self._pool: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the owned worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "MatchingEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> Executor | None:
+        if self.backend == "serial":
+            return None
+        if self._pool is None:
+            if self.backend == "process":
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _reset_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> SolveResult:
+        """Solve one request through the full serving pipeline."""
+        return self.solve_many([request])[0]
+
+    def solve_many(self, requests: Sequence[SolveRequest]) -> list[SolveResult]:
+        """Solve a batch; returns one result per request, in order.
+
+        Identical requests (same fingerprint) are solved once; cache
+        hits are not solved at all.  Raises
+        :class:`~repro.exceptions.TransientWorkerError` when a job
+        still fails after the retry budget — results solved before the
+        failure remain cached, so resubmission only redoes the failures.
+        """
+        requests = list(requests)
+        self.telemetry.incr("jobs_submitted", len(requests))
+
+        with self.telemetry.timer("fingerprint"):
+            jobs: dict[str, _Job] = {}
+            # instance serialization dominates fingerprint cost, so hash
+            # each distinct instance *object* once per batch.
+            digests: dict[int, str] = {}
+            for pos, req in enumerate(requests):
+                key = digests.get(id(req.instance))
+                if key is None:
+                    key = digests[id(req.instance)] = instance_digest(req.instance)
+                fp = solve_fingerprint(
+                    req.instance, req.solver, req.spec(), instance_key=key
+                )
+                job = jobs.get(fp)
+                if job is None:
+                    jobs[fp] = job = _Job(fingerprint=fp, request=req)
+                job.positions.append(pos)
+        self.telemetry.incr("dedup_hits", len(requests) - len(jobs))
+        self.telemetry.incr("unique_jobs", len(jobs))
+
+        with self.telemetry.timer("cache"):
+            to_solve: list[_Job] = []
+            for job in jobs.values():
+                payload = self.cache.get(job.fingerprint)
+                if payload is not None:
+                    job.payload = payload
+                    job.from_cache = True
+                    self.telemetry.incr("cache_hits")
+                else:
+                    to_solve.append(job)
+                    self.telemetry.incr("cache_misses")
+
+        self._solve_jobs(to_solve)
+
+        for job in jobs.values():
+            payload = job.payload
+            assert payload is not None  # every job is solved or cached by now
+            if not job.from_cache:
+                self.telemetry.incr("proposals", int(payload.get("proposals", 0)))
+                self.telemetry.incr("rotations", int(payload.get("rotations", 0)))
+
+        stable_by_fp: dict[str, bool | None] = {}
+        with self.telemetry.timer("verify"):
+            for job in jobs.values():
+                if any(requests[p].verify for p in job.positions):
+                    stable_by_fp[job.fingerprint] = self._verify(job)
+
+        results: list[SolveResult] = [None] * len(requests)  # type: ignore[list-item]
+        for job in jobs.values():
+            payload = job.payload
+            assert payload is not None
+            for p in job.positions:
+                req = requests[p]
+                results[p] = SolveResult(
+                    fingerprint=job.fingerprint,
+                    solver=req.solver,
+                    status=str(payload.get("status", "ok")),
+                    payload=payload,
+                    from_cache=job.from_cache,
+                    deduped=p != job.positions[0],
+                    attempts=job.attempts,
+                    seconds=job.seconds,
+                    stable=stable_by_fp.get(job.fingerprint),
+                    label=req.label,
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # solve stage: dispatch + retry
+    # ------------------------------------------------------------------
+
+    def _solve_jobs(self, pending: list[_Job]) -> None:
+        attempt = 0
+        while pending:
+            if attempt >= self.retry.max_attempts:
+                labels = ", ".join(
+                    job.request.label or job.fingerprint[:12] for job in pending
+                )
+                raise TransientWorkerError(
+                    f"{len(pending)} job(s) still failing after {attempt} "
+                    f"attempt(s): {labels}",
+                    attempts=attempt,
+                )
+            if attempt > 0:
+                self.telemetry.incr("retries", len(pending))
+                delay = self.retry.delay(attempt - 1)
+                if delay > 0:
+                    self._sleep(delay)
+            pending = self._attempt(pending, attempt)
+            attempt += 1
+
+    def _attempt(self, jobs: list[_Job], attempt: int) -> list[_Job]:
+        """Run one dispatch round; return the jobs that failed transiently."""
+        pool = self._ensure_pool()
+        failed: list[_Job] = []
+        dispatched: list[tuple[_Job, Future[dict[str, Any]] | None]] = []
+        with self.telemetry.timer("solve"):
+            for job in jobs:
+                job.attempts = attempt + 1
+                start = time.perf_counter()
+                task = (
+                    job.request.solver,
+                    instance_to_json(job.request.instance),
+                    job.request.spec(),
+                )
+                try:
+                    if self._fault_hook is not None:
+                        self._fault_hook(job.request, attempt)
+                    if pool is None:
+                        self.telemetry.incr("solver_invocations")
+                        job.payload = _solve_worker(task)
+                        job.seconds = time.perf_counter() - start
+                    else:
+                        self.telemetry.incr("solver_invocations")
+                        dispatched.append((job, pool.submit(_solve_worker, task)))
+                except TransientWorkerError:
+                    self.telemetry.incr("transient_failures")
+                    failed.append(job)
+            for job, future in dispatched:
+                assert future is not None
+                start = time.perf_counter()
+                try:
+                    job.payload = future.result(timeout=job.request.timeout)
+                    job.seconds = time.perf_counter() - start
+                except FuturesTimeoutError:
+                    future.cancel()
+                    self.telemetry.incr("transient_failures")
+                    self.telemetry.incr("timeouts")
+                    failed.append(job)
+                except BrokenExecutor:
+                    self._reset_pool()
+                    self.telemetry.incr("transient_failures")
+                    failed.append(job)
+                except TransientWorkerError:
+                    self.telemetry.incr("transient_failures")
+                    failed.append(job)
+        for job in jobs:
+            if job.payload is not None and not job.from_cache:
+                self.cache.put(job.fingerprint, job.payload)
+        return failed
+
+    # ------------------------------------------------------------------
+    # verify stage
+    # ------------------------------------------------------------------
+
+    def _verify(self, job: _Job) -> bool | None:
+        payload = job.payload
+        assert payload is not None
+        if payload.get("status") != "ok":
+            return None  # nothing to verify on a non-existence verdict
+        req = job.request
+        if req.solver in ("kary", "priority"):
+            matching = matching_from_dict(req.instance, dict(payload["matching"]))
+            stable = find_blocking_family(req.instance, matching) is None
+        else:
+            from repro.kpartite.existence import is_stable_binary  # lazy upward ref
+
+            pairs = [
+                (Member(int(a[0]), int(a[1])), Member(int(b[0]), int(b[1])))
+                for a, b in payload["matching"]["pairs"]
+            ]
+            stable = is_stable_binary(req.instance, pairs, linearization=req.linearization)
+        self.telemetry.incr("verified_stable" if stable else "verified_unstable")
+        return stable

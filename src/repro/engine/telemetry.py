@@ -1,0 +1,105 @@
+"""Engine telemetry: counters, stage timers, JSON export.
+
+Two granularities feed one snapshot:
+
+* **engine-wide counters** — monotonically increasing ints
+  (``jobs_submitted``, ``cache_hits``, ``solver_invocations``,
+  ``retries``, ``proposals``, ``rotations``, ...) incremented by the
+  :class:`~repro.engine.jobs.MatchingEngine` as it works;
+* **stage timers** — cumulative wall-clock per pipeline stage
+  (``fingerprint`` / ``cache`` / ``solve`` / ``verify``), recorded via
+  the :meth:`EngineTelemetry.timer` context manager.
+
+:func:`matching_quality` bridges results into :mod:`repro.analysis.
+metrics`: per-job happiness metrics (egalitarian cost, regret, spread)
+computed from the solved matching, so batch reports can aggregate
+solution *quality* next to serving *throughput*.  ``snapshot()`` /
+``to_json()`` is the export schema documented in docs/ENGINE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.metrics import kary_costs
+
+if TYPE_CHECKING:  # annotation-only to keep the runtime import surface small
+    from repro.core.kary_matching import KAryMatching
+
+__all__ = ["EngineTelemetry", "matching_quality"]
+
+
+def matching_quality(matching: "KAryMatching") -> dict[str, object]:
+    """Per-job quality metrics (via :mod:`repro.analysis.metrics`).
+
+    Returns a plain-JSON dict so it can ride inside cached payloads:
+    ``{"egalitarian": int, "regret": int, "spread": int,
+    "gender_costs": [int, ...]}``.
+    """
+    costs = kary_costs(matching)
+    return {
+        "egalitarian": costs.egalitarian,
+        "regret": costs.regret,
+        "spread": costs.spread,
+        "gender_costs": list(costs.gender_costs),
+    }
+
+
+class EngineTelemetry:
+    """Mutable counter/timer block owned by one engine (or one test)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._stage_seconds: dict[str, float] = {}
+        self._stage_calls: dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never touched)."""
+        return self._counters.get(name, 0)
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Accumulate the wall-clock of the ``with`` body under ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + elapsed
+            self._stage_calls[stage] = self._stage_calls.get(stage, 0) + 1
+
+    def stage_seconds(self, stage: str) -> float:
+        """Cumulative seconds recorded for ``stage`` (0.0 when absent)."""
+        return self._stage_seconds.get(stage, 0.0)
+
+    def merge(self, other: "EngineTelemetry") -> None:
+        """Fold ``other``'s counters and timers into this block."""
+        for name, value in other._counters.items():
+            self.incr(name, value)
+        for stage, secs in other._stage_seconds.items():
+            self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + secs
+            self._stage_calls[stage] = self._stage_calls.get(stage, 0) + other._stage_calls.get(stage, 0)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe export: counters plus per-stage seconds and calls."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "stages": {
+                stage: {
+                    "seconds": self._stage_seconds[stage],
+                    "calls": self._stage_calls.get(stage, 0),
+                }
+                for stage in sorted(self._stage_seconds)
+            },
+        }
+
+    def to_json(self, **dump_kwargs: object) -> str:
+        """Serialize :meth:`snapshot` to a JSON string."""
+        return json.dumps(self.snapshot(), **dump_kwargs)  # type: ignore[arg-type]

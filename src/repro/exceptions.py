@@ -27,6 +27,7 @@ __all__ = [
     "ScheduleConflictError",
     "SimulationError",
     "BudgetExhaustedError",
+    "TransientWorkerError",
 ]
 
 
@@ -89,6 +90,21 @@ class ScheduleConflictError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The distributed / PRAM simulator reached an inconsistent state."""
+
+
+class TransientWorkerError(ReproError, RuntimeError):
+    """A solve attempt failed for a reason retrying may fix.
+
+    Raised by the :mod:`repro.engine` serving layer when a worker dies,
+    a per-job timeout expires, or an injected fault hook simulates such
+    a failure in tests.  The engine retries these with bounded backoff;
+    the error only reaches callers once the retry budget is exhausted.
+    The ``attempts`` attribute records how many attempts were made.
+    """
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class BudgetExhaustedError(ReproError, RuntimeError):

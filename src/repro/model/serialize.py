@@ -34,22 +34,22 @@ __all__ = [
 
 
 def instance_to_dict(instance: KPartiteInstance) -> dict[str, Any]:
-    """Plain-JSON-compatible dict for an instance."""
+    """Plain-JSON-compatible dict for an instance.
+
+    Reads the backing ``(k, n, k, n)`` preference array in one
+    ``tolist()`` instead of materializing per-entry ``Member`` objects —
+    the engine's content-addressed fingerprints serialize on every
+    request, so this path is hot.
+    """
     k, n = instance.k, instance.n
-    prefs: list[list[list[list[int] | None]]] = []
-    for g in range(k):
-        rows: list[list[list[int] | None]] = []
-        for i in range(n):
-            row: list[list[int] | None] = []
-            for h in range(k):
-                if h == g:
-                    row.append(None)
-                else:
-                    row.append(
-                        [m.index for m in instance.preference_list(Member(g, i), h)]
-                    )
-            rows.append(row)
-        prefs.append(rows)
+    nested = instance.pref_array().tolist()
+    prefs: list[list[list[list[int] | None]]] = [
+        [
+            [None if h == g else nested[g][i][h] for h in range(k)]
+            for i in range(n)
+        ]
+        for g in range(k)
+    ]
     out: dict[str, Any] = {
         "k": k,
         "n": n,

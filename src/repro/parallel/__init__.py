@@ -36,7 +36,12 @@ from repro.parallel.machine import (
     binding_read_program,
 )
 from repro.parallel.replication import replication_rounds, replication_schedule
-from repro.parallel.executor import ParallelBindingReport, run_bindings_parallel
+from repro.parallel.executor import (
+    BACKENDS,
+    ParallelBindingReport,
+    run_bindings_parallel,
+    validate_backend,
+)
 
 __all__ = [
     "Schedule",
@@ -59,4 +64,6 @@ __all__ = [
     "replication_schedule",
     "ParallelBindingReport",
     "run_bindings_parallel",
+    "BACKENDS",
+    "validate_backend",
 ]

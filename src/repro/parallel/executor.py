@@ -31,9 +31,27 @@ from repro.model.instance import KPartiteInstance
 from repro.model.members import Member
 from repro.parallel.schedule import Schedule, greedy_tree_schedule, validate_schedule
 
-__all__ = ["ParallelBindingReport", "run_bindings_parallel"]
+__all__ = [
+    "BACKENDS",
+    "ParallelBindingReport",
+    "run_bindings_parallel",
+    "validate_backend",
+]
 
 BACKENDS = ("process", "thread", "serial")
+
+
+def validate_backend(backend: str) -> str:
+    """Check ``backend`` against :data:`BACKENDS` and return it.
+
+    The single validation path shared by this executor, the
+    :mod:`repro.engine` serving layer, and the CLI — raising
+    :class:`~repro.exceptions.ConfigurationError` on unknown names so
+    every caller reports the same message.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    return backend
 
 
 def _bind_worker(
@@ -115,8 +133,7 @@ def run_bindings_parallel(
     if schedule.tree is not tree and schedule.tree != tree:
         raise InvalidBindingTreeError("schedule was built for a different tree")
     validate_schedule(schedule, copies=len(tree.edges) or 1)
-    if backend not in BACKENDS:
-        raise ConfigurationError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    validate_backend(backend)
     if max_workers is None:
         max_workers = max(1, instance.k - 1)
 

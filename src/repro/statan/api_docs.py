@@ -17,7 +17,9 @@ from repro.statan.base import Finding, ModuleInfo, Rule
 __all__ = ["ApiDocsRule", "DOCUMENTED_PACKAGES"]
 
 #: packages whose public surface is held to the docs/typing contract.
-DOCUMENTED_PACKAGES = frozenset({"core", "bipartite", "roommates", "kpartite"})
+DOCUMENTED_PACKAGES = frozenset(
+    {"core", "bipartite", "roommates", "kpartite", "engine"}
+)
 
 
 def _missing_annotations(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:

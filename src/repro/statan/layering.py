@@ -38,6 +38,20 @@ LAYERS: dict[str, frozenset[str] | None] = {
     "analysis": frozenset(
         {"exceptions", "utils", "model", "bipartite", "core", "parallel"}
     ),
+    # the serving layer: everything solver-side is below it; nothing
+    # imports engine except the CLI (and user code).
+    "engine": frozenset(
+        {
+            "exceptions",
+            "utils",
+            "model",
+            "roommates",
+            "bipartite",
+            "core",
+            "parallel",
+            "analysis",
+        }
+    ),
     "cli": frozenset(
         {
             "exceptions",
@@ -52,6 +66,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "analysis",
             "baselines",
             "statan",
+            "engine",
         }
     ),
     "__init__": None,  # the facade may import everything

@@ -32,6 +32,7 @@ ALGORITHM_PACKAGES = frozenset(
         "distributed",
         "baselines",
         "analysis",
+        "engine",
     }
 )
 

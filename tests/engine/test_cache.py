@@ -1,0 +1,84 @@
+"""ResultCache: LRU semantics, counters, and the JSON disk tier."""
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.exceptions import ConfigurationError
+
+
+class TestLRU:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k1") is None
+        cache.put("k1", {"v": 1})
+        assert cache.get("k1") == {"v": 1}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") is not None  # refresh a: b is now LRU
+        cache.put("c", {"v": 3})
+        assert cache.stats.evictions == 1
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_overwrite_same_key_does_not_evict(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("a", {"v": 2})
+        assert len(cache) == 1
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == {"v": 2}
+
+    def test_contains_and_clear(self):
+        cache = ResultCache()
+        cache.put("a", {"v": 1})
+        assert "a" in cache
+        cache.clear()
+        assert "a" not in cache
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)
+
+
+class TestDiskTier:
+    def test_roundtrip_and_promotion(self, tmp_path):
+        disk = tmp_path / "cache"
+        first = ResultCache(disk_dir=disk)
+        first.put("deadbeef", {"status": "ok", "proposals": 7})
+        assert first.stats.disk_stores == 1
+
+        fresh = ResultCache(disk_dir=disk)  # new process, same directory
+        assert fresh.get("deadbeef") == {"status": "ok", "proposals": 7}
+        assert fresh.stats.disk_hits == 1
+        # promoted into memory: second read hits RAM, not disk
+        assert fresh.get("deadbeef") is not None
+        assert fresh.stats.disk_hits == 1
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ResultCache(max_entries=1, disk_dir=tmp_path / "c")
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # evicts a from memory only
+        assert cache.stats.evictions == 1
+        assert cache.get("a") == {"v": 1}  # re-read from disk
+        assert cache.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        disk = tmp_path / "c"
+        cache = ResultCache(disk_dir=disk)
+        (disk / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+        assert cache.stats.misses == 1
+
+    def test_clear_disk(self, tmp_path):
+        disk = tmp_path / "c"
+        cache = ResultCache(disk_dir=disk)
+        cache.put("a", {"v": 1})
+        cache.clear(disk=True)
+        assert cache.get("a") is None

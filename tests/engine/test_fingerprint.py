@@ -1,0 +1,109 @@
+"""Fingerprint stability: same content -> same key, everywhere; different
+content -> different key, always (no false sharing)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.engine import (
+    FINGERPRINT_SCHEMA,
+    canonical_json,
+    instance_digest,
+    solve_fingerprint,
+)
+from repro.engine.jobs import SolveRequest
+from repro.model.generators import random_instance
+from repro.model.serialize import instance_to_json
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestStability:
+    def test_same_instance_same_key(self):
+        a = random_instance(3, 4, seed=7)
+        b = random_instance(3, 4, seed=7)
+        assert solve_fingerprint(a, "kary", {"tree": "chain"}) == solve_fingerprint(
+            b, "kary", {"tree": "chain"}
+        )
+
+    def test_spec_key_order_is_irrelevant(self):
+        inst = random_instance(3, 4, seed=7)
+        assert solve_fingerprint(
+            inst, "kary", {"tree": "chain", "gs_engine": "textbook"}
+        ) == solve_fingerprint(inst, "kary", {"gs_engine": "textbook", "tree": "chain"})
+
+    def test_identical_keys_across_processes(self):
+        """The satellite contract: serialize in two fresh interpreters
+        (fresh hash randomization each) and get the identical key."""
+        inst = random_instance(3, 5, seed=11)
+        doc = instance_to_json(inst)
+        script = (
+            "import sys, json\n"
+            "from repro.engine import solve_fingerprint\n"
+            "from repro.model.serialize import instance_from_json\n"
+            "inst = instance_from_json(sys.stdin.read())\n"
+            "print(solve_fingerprint(inst, 'kary', {'tree': 'chain', 'tree_seed': None}))\n"
+        )
+        keys = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                input=doc,
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": SRC, "PYTHONHASHSEED": "random"},
+                check=True,
+            )
+            keys.append(proc.stdout.strip())
+        assert keys[0] == keys[1]
+        assert keys[0] == solve_fingerprint(
+            inst, "kary", {"tree": "chain", "tree_seed": None}
+        )
+
+
+class TestNoFalseSharing:
+    def test_permuted_preference_lists_yield_distinct_keys(self):
+        # Swap the first two entries of one member's preference list:
+        # a structurally different instance must never share a key.
+        base = random_instance(3, 4, seed=3)
+        doc = __import__("json").loads(instance_to_json(base))
+        row = doc["prefs"][0][0][1]
+        row[0], row[1] = row[1], row[0]
+        from repro.model.serialize import instance_from_dict
+
+        permuted = instance_from_dict(doc)
+        spec = {"tree": "chain"}
+        assert solve_fingerprint(base, "kary", spec) != solve_fingerprint(
+            permuted, "kary", spec
+        )
+
+    def test_different_seed_different_key(self):
+        spec = {"tree": "chain"}
+        a = random_instance(3, 4, seed=1)
+        b = random_instance(3, 4, seed=2)
+        assert solve_fingerprint(a, "kary", spec) != solve_fingerprint(b, "kary", spec)
+
+    def test_solver_and_spec_participate(self):
+        inst = random_instance(3, 4, seed=5)
+        k = solve_fingerprint(inst, "kary", {"tree": "chain"})
+        assert k != solve_fingerprint(inst, "binary", {"tree": "chain"})
+        assert k != solve_fingerprint(inst, "kary", {"tree": "star"})
+
+    def test_request_fingerprint_ignores_presentation_fields(self):
+        inst = random_instance(3, 4, seed=5)
+        a = SolveRequest(instance=inst, verify=True, timeout=9.0, label="x")
+        b = SolveRequest(instance=inst)
+        assert a.fingerprint() == b.fingerprint()
+        c = SolveRequest(instance=inst, tree="star")
+        assert c.fingerprint() != a.fingerprint()
+
+
+def test_canonical_json_is_sorted_and_compact():
+    assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+
+def test_instance_digest_binds_schema_version():
+    inst = random_instance(2, 3, seed=0)
+    digest = instance_digest(inst)
+    assert len(digest) == 64
+    assert FINGERPRINT_SCHEMA == 1  # bump breaks old disk caches on purpose

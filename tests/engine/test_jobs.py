@@ -1,0 +1,247 @@
+"""MatchingEngine: correctness, dedup, cache, retries, timeouts, backends."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import is_stable_kary
+from repro.engine import (
+    MatchingEngine,
+    ResultCache,
+    RetryPolicy,
+    SolveRequest,
+)
+from repro.exceptions import ConfigurationError, TransientWorkerError
+from repro.model.generators import random_instance, theorem1_instance
+from repro.model.serialize import matching_from_dict
+
+
+@pytest.fixture
+def instances():
+    return [random_instance(3, 5, seed=s) for s in range(3)]
+
+
+class TestRequestValidation:
+    def test_unknown_solver(self, instances):
+        with pytest.raises(ConfigurationError):
+            SolveRequest(instance=instances[0], solver="magic")
+
+    def test_unseeded_random_tree_rejected(self, instances):
+        with pytest.raises(ConfigurationError):
+            SolveRequest(instance=instances[0], tree="random")
+        SolveRequest(instance=instances[0], tree="random", tree_seed=4)  # fine
+
+    def test_nonpositive_timeout(self, instances):
+        with pytest.raises(ConfigurationError):
+            SolveRequest(instance=instances[0], timeout=0.0)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            MatchingEngine(backend="quantum")
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        assert RetryPolicy(backoff_seconds=0.1).delay(2) == pytest.approx(0.4)
+
+
+class TestCorrectness:
+    def test_matches_direct_solver_output(self, instances):
+        inst = instances[0]
+        result = MatchingEngine().submit(SolveRequest(instance=inst, tree="star"))
+        direct = iterative_binding(inst, BindingTree.star(inst.k))
+        matching = matching_from_dict(inst, dict(result.matching))
+        assert matching.tuples() == direct.matching.tuples()
+        assert result.proposals == direct.total_proposals
+        assert result.payload["quality"]["egalitarian"] >= 0
+
+    def test_priority_solver(self, instances):
+        res = MatchingEngine().submit(
+            SolveRequest(instance=instances[0], solver="priority", verify=True)
+        )
+        assert res.ok and res.stable is True
+
+    def test_binary_solver_and_no_stable_verdict(self, instances):
+        ok = MatchingEngine().submit(
+            SolveRequest(instance=instances[0], solver="binary", verify=True)
+        )
+        if ok.ok:  # existence depends on the instance; verdict must be verified
+            assert ok.stable is True
+            assert ok.rotations >= 0
+        bad = MatchingEngine().submit(
+            SolveRequest(instance=theorem1_instance(3, 2, 0), solver="binary")
+        )
+        assert bad.status == "no_stable"
+        assert bad.matching is None
+        assert "witness" in bad.payload or bad.payload.get("witness") is None
+
+
+class TestDedupAndCache:
+    def test_duplicate_heavy_batch_solves_fewer_than_batch_size(self, instances):
+        # acceptance criterion: >= 50% duplicates => strictly fewer
+        # solver invocations than batch size, observable via telemetry.
+        reqs = [
+            SolveRequest(instance=instances[i % 2], label=f"j{i}") for i in range(8)
+        ]
+        engine = MatchingEngine()
+        results = engine.solve_many(reqs)
+        assert engine.telemetry.count("solver_invocations") == 2
+        assert engine.telemetry.count("solver_invocations") < len(reqs)
+        assert engine.telemetry.count("dedup_hits") == 6
+        assert engine.telemetry.count("unique_jobs") == 2
+        # duplicates carry the representative's payload
+        assert results[0].payload is results[2].payload
+        assert not results[0].deduped and results[2].deduped
+        for r in results:
+            assert r.ok
+
+    def test_second_batch_is_all_cache_hits(self, instances):
+        engine = MatchingEngine()
+        reqs = [SolveRequest(instance=i) for i in instances]
+        engine.solve_many(reqs)
+        results = engine.solve_many(reqs)
+        assert all(r.from_cache for r in results)
+        assert engine.telemetry.count("solver_invocations") == len(instances)
+        assert engine.telemetry.count("cache_hits") == len(instances)
+
+    def test_cache_shared_across_engines_via_disk(self, instances, tmp_path):
+        disk = tmp_path / "store"
+        req = SolveRequest(instance=instances[0])
+        MatchingEngine(cache=ResultCache(disk_dir=disk)).submit(req)
+        warm = MatchingEngine(cache=ResultCache(disk_dir=disk))
+        res = warm.submit(req)
+        assert res.from_cache
+        assert warm.telemetry.count("solver_invocations") == 0
+
+    def test_cached_result_verifies_like_fresh_one(self, instances):
+        engine = MatchingEngine()
+        engine.submit(SolveRequest(instance=instances[0]))
+        res = engine.submit(SolveRequest(instance=instances[0], verify=True))
+        assert res.from_cache and res.stable is True
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_verified_result(self, instances):
+        # acceptance criterion: TransientWorkerError on the first
+        # attempt still yields a correct, stability-verified result.
+        inst = instances[0]
+        attempts_seen = []
+
+        def hook(request, attempt):
+            attempts_seen.append(attempt)
+            if attempt == 0:
+                raise TransientWorkerError("injected worker loss")
+
+        slept = []
+        engine = MatchingEngine(
+            fault_hook=hook,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.01),
+            sleep=slept.append,
+        )
+        result = engine.submit(SolveRequest(instance=inst, verify=True))
+        assert attempts_seen == [0, 1]
+        assert result.ok and result.stable is True
+        assert result.attempts == 2
+        assert engine.telemetry.count("retries") == 1
+        assert engine.telemetry.count("transient_failures") == 1
+        assert slept == [pytest.approx(0.01)]
+        matching = matching_from_dict(inst, dict(result.matching))
+        assert is_stable_kary(inst, matching)
+
+    def test_retry_budget_exhausted_raises(self, instances):
+        def hook(request, attempt):
+            raise TransientWorkerError("always down")
+
+        engine = MatchingEngine(
+            fault_hook=hook,
+            retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+        )
+        with pytest.raises(TransientWorkerError) as exc_info:
+            engine.submit(SolveRequest(instance=instances[0], label="doomed"))
+        assert exc_info.value.attempts == 2
+        assert "doomed" in str(exc_info.value)
+        assert engine.telemetry.count("retries") == 1
+
+    def test_partial_failure_keeps_successes_cached(self, instances):
+        # job 1 always fails; job 0 succeeds and must stay cached so a
+        # resubmission only redoes the failure.
+        bad_fp = SolveRequest(instance=instances[1]).fingerprint()
+
+        def hook(request, attempt):
+            if request.fingerprint() == bad_fp:
+                raise TransientWorkerError("this one is cursed")
+
+        cache = ResultCache()
+        engine = MatchingEngine(
+            cache=cache,
+            fault_hook=hook,
+            retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+        )
+        reqs = [SolveRequest(instance=instances[0]), SolveRequest(instance=instances[1])]
+        with pytest.raises(TransientWorkerError):
+            engine.solve_many(reqs)
+        assert SolveRequest(instance=instances[0]).fingerprint() in cache
+
+    def test_backoff_grows_geometrically(self, instances):
+        calls = []
+
+        def hook(request, attempt):
+            if attempt < 3:
+                raise TransientWorkerError("flaky")
+
+        slept = []
+        engine = MatchingEngine(
+            fault_hook=hook,
+            retry=RetryPolicy(max_attempts=4, backoff_seconds=0.01, backoff_factor=2.0),
+            sleep=slept.append,
+        )
+        res = engine.submit(SolveRequest(instance=instances[0]))
+        assert res.ok
+        assert slept == [pytest.approx(0.01), pytest.approx(0.02), pytest.approx(0.04)]
+
+
+class TestBackends:
+    def test_thread_backend(self, instances):
+        with MatchingEngine(backend="thread", max_workers=2) as engine:
+            results = engine.solve_many(
+                [SolveRequest(instance=i, verify=True) for i in instances]
+            )
+        assert all(r.ok and r.stable is True for r in results)
+        assert engine.telemetry.count("solver_invocations") == len(instances)
+
+    def test_thread_backend_timeout_is_transient(self, instances):
+        # A 1-worker pool with an absurdly small timeout: the job cannot
+        # finish in time, so the engine must classify it as transient
+        # and exhaust the retry budget.
+        engine = MatchingEngine(
+            backend="thread",
+            max_workers=1,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        big = random_instance(4, 48, seed=0)
+        with engine, pytest.raises(TransientWorkerError):
+            engine.solve_many(
+                [SolveRequest(instance=big, timeout=1e-9, label="too-slow")]
+            )
+        assert engine.telemetry.count("timeouts") == 1
+
+    @pytest.mark.slow
+    def test_process_backend(self, instances):
+        with MatchingEngine(backend="process", max_workers=2) as engine:
+            results = engine.solve_many(
+                [SolveRequest(instance=i, timeout=60.0) for i in instances]
+            )
+        assert all(r.ok for r in results)
+
+
+class TestResultShape:
+    def test_to_dict_is_json_safe(self, instances):
+        import json
+
+        res = MatchingEngine().submit(SolveRequest(instance=instances[0], verify=True))
+        doc = json.loads(json.dumps(res.to_dict()))
+        assert doc["status"] == "ok"
+        assert doc["stable"] is True
+        assert doc["payload"]["matching"]["tuples"]

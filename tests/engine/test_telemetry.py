@@ -1,0 +1,76 @@
+"""EngineTelemetry: counters, stage timers, merge, and the JSON schema."""
+
+import json
+
+from repro.core.iterative_binding import iterative_binding
+from repro.engine import EngineTelemetry, matching_quality
+from repro.model.generators import random_instance
+
+
+class TestCounters:
+    def test_incr_and_count(self):
+        t = EngineTelemetry()
+        assert t.count("cache_hits") == 0
+        t.incr("cache_hits")
+        t.incr("cache_hits", 4)
+        assert t.count("cache_hits") == 5
+
+    def test_timer_accumulates_across_calls(self):
+        t = EngineTelemetry()
+        for _ in range(3):
+            with t.timer("solve"):
+                pass
+        snap = t.snapshot()
+        assert snap["stages"]["solve"]["calls"] == 3
+        assert snap["stages"]["solve"]["seconds"] >= 0
+        assert t.stage_seconds("solve") == snap["stages"]["solve"]["seconds"]
+
+    def test_timer_records_even_on_exception(self):
+        t = EngineTelemetry()
+        try:
+            with t.timer("solve"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert t.snapshot()["stages"]["solve"]["calls"] == 1
+
+    def test_merge_folds_counters_and_stages(self):
+        a, b = EngineTelemetry(), EngineTelemetry()
+        a.incr("retries", 2)
+        b.incr("retries", 3)
+        b.incr("timeouts")
+        with b.timer("cache"):
+            pass
+        a.merge(b)
+        assert a.count("retries") == 5
+        assert a.count("timeouts") == 1
+        assert a.snapshot()["stages"]["cache"]["calls"] == 1
+
+
+class TestExport:
+    def test_json_roundtrip_schema(self):
+        t = EngineTelemetry()
+        t.incr("jobs_submitted", 7)
+        with t.timer("fingerprint"):
+            pass
+        doc = json.loads(t.to_json())
+        assert set(doc) == {"counters", "stages"}
+        assert doc["counters"]["jobs_submitted"] == 7
+        assert set(doc["stages"]["fingerprint"]) == {"seconds", "calls"}
+
+    def test_counters_sorted_for_stable_diffs(self):
+        t = EngineTelemetry()
+        t.incr("zeta")
+        t.incr("alpha")
+        assert list(t.snapshot()["counters"]) == ["alpha", "zeta"]
+
+
+def test_matching_quality_bridges_analysis_metrics():
+    inst = random_instance(3, 4, seed=9)
+    res = iterative_binding(inst)
+    q = matching_quality(res.matching)
+    assert set(q) == {"egalitarian", "regret", "spread", "gender_costs"}
+    assert q["egalitarian"] == sum(q["gender_costs"])
+    assert q["regret"] >= 0
+    # JSON-safe by construction: must survive a dumps/loads roundtrip
+    assert json.loads(json.dumps(q)) == q

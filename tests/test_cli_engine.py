@@ -1,0 +1,112 @@
+"""CLI coverage for ``solve-batch`` and the hardened instance loader."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.model.generators import random_instance, theorem1_instance
+from repro.model.serialize import instance_to_json
+
+
+@pytest.fixture
+def inst_files(tmp_path):
+    paths = []
+    for seed in (0, 1):
+        path = tmp_path / f"inst{seed}.json"
+        path.write_text(instance_to_json(random_instance(3, 4, seed=seed)))
+        paths.append(path)
+    return paths
+
+
+class TestSolveBatch:
+    def test_batch_with_duplicates_dedups(self, inst_files, capsys):
+        a, b = inst_files
+        rc = main(["solve-batch", str(a), str(b), str(a), str(a), "--verify"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "jobs=4 unique=2 solved=2" in out
+        assert "dedup-hits=2" in out
+        assert "[dup]" in out
+        assert out.count("stable=yes") == 4
+
+    def test_disk_cache_survives_invocations(self, inst_files, tmp_path, capsys):
+        a, _ = inst_files
+        cache_dir = tmp_path / "cache"
+        assert main(["solve-batch", str(a), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["solve-batch", str(a), "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cache-hits=1" in out
+        assert "solved=0" in out
+        assert "[cache]" in out
+
+    def test_telemetry_export(self, inst_files, tmp_path, capsys):
+        tel = tmp_path / "tel.json"
+        rc = main(
+            ["solve-batch", str(inst_files[0]), "--telemetry-out", str(tel)]
+        )
+        assert rc == 0
+        doc = json.loads(tel.read_text())
+        assert doc["counters"]["jobs_submitted"] == 1
+        assert "solve" in doc["stages"]
+
+    def test_no_stable_binary_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "t1.json"
+        path.write_text(instance_to_json(theorem1_instance(3, 2, 0)))
+        rc = main(["solve-batch", str(path), "--solver", "binary"])
+        assert rc == 1
+        assert "no_stable" in capsys.readouterr().out
+
+    def test_unknown_backend_is_structured_error(self, inst_files, capsys):
+        rc = main(["solve-batch", str(inst_files[0]), "--backend", "quantum"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err and "quantum" in err
+
+    def test_thread_backend_smoke(self, inst_files, capsys):
+        rc = main(
+            ["solve-batch", *map(str, inst_files), "--backend", "thread", "--verify"]
+        )
+        assert rc == 0
+        assert "stable=yes" in capsys.readouterr().out
+
+    def test_priority_solver(self, inst_files, capsys):
+        rc = main(["solve-batch", str(inst_files[0]), "--solver", "priority"])
+        assert rc == 0
+        assert "[solved]" in capsys.readouterr().out
+
+
+class TestLoadInstanceHardening:
+    def test_malformed_json_reports_path_and_location(self, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text('{"k": 3, "prefs": [')
+        rc = main(["solve-batch", str(bad)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert str(bad) in err
+        assert "malformed JSON" in err
+        assert "line" in err and "column" in err
+
+    def test_malformed_json_in_info_too(self, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{{{")
+        assert main(["info", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert str(bad) in err and "not a valid instance" in err
+
+    def test_binary_file_is_structured_error_not_traceback(self, tmp_path, capsys):
+        bad = tmp_path / "blob.json"
+        bad.write_bytes(b"\xff\xfe\x00\x01")
+        assert main(["info", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and str(bad) in err
+
+    def test_structural_error_names_the_file(self, tmp_path, capsys):
+        bad = tmp_path / "short.json"
+        doc = json.loads(instance_to_json(random_instance(3, 2, seed=0)))
+        doc["n"] = 99  # contradicts the prefs shape
+        bad.write_text(json.dumps(doc))
+        assert main(["info", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert str(bad) in err
