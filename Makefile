@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint typecheck test bench bench-smoke examples fast slow all clean
+.PHONY: install lint typecheck test bench bench-smoke perf perf-smoke examples fast slow all clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -30,6 +30,17 @@ bench:
 # fast CI gate on the serving-layer claims (dedup, cache, retry telemetry)
 bench-smoke:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/test_bench_e24_engine.py -x -q
+
+# re-measure all workloads and refresh the committed baseline
+perf:
+	PYTHONPATH=src $(PY) -m repro perf run -o BENCH_perf.json
+
+# regression gate against the committed baseline.  The loose tolerance
+# absorbs cross-machine variance; op counters and min_speedup floors are
+# always enforced exactly.
+perf-smoke:
+	PYTHONPATH=src $(PY) -m repro perf check --baseline BENCH_perf.json \
+		--trials 3 --tolerance 0.6 -o BENCH_perf_measured.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \

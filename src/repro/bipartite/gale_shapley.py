@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError, InvalidInstanceError
-from repro.utils.ordering import rank_array
+from repro.utils.ordering import NotAPermutationError, rank_matrix
 
 __all__ = ["GSResult", "gale_shapley", "ENGINES"]
 
@@ -95,21 +95,36 @@ def _validate_prefs(proposer_prefs: np.ndarray, responder_prefs: np.ndarray) -> 
     return p, r
 
 
+def _proposer_check(proposer_prefs: np.ndarray) -> None:
+    """Validate that every proposer row is a permutation.
+
+    Mirrors :func:`_responder_ranks`' exception discipline: the raw
+    ``ValueError`` from the permutation check is wrapped in
+    :class:`InvalidInstanceError` naming the offending proposer.
+    """
+    try:
+        rank_matrix(proposer_prefs)
+    except NotAPermutationError as exc:
+        raise InvalidInstanceError(f"proposer {exc.row}: {exc}") from exc
+
+
 def _responder_ranks(responder_prefs: np.ndarray) -> np.ndarray:
-    n = responder_prefs.shape[0]
-    ranks = np.empty_like(responder_prefs)
-    for j in range(n):
-        try:
-            ranks[j] = rank_array(responder_prefs[j].tolist())
-        except ValueError as exc:
-            raise InvalidInstanceError(f"responder {j}: {exc}") from exc
-    return ranks
+    try:
+        return rank_matrix(responder_prefs)
+    except NotAPermutationError as exc:
+        raise InvalidInstanceError(f"responder {exc.row}: {exc}") from exc
 
 
 def _gs_textbook(
     p: np.ndarray, r_rank: np.ndarray, trace: bool
 ) -> tuple[list[int], int, int, list]:
     n = p.shape[0]
+    # The inner loop runs once per proposal (up to n²); indexing NumPy
+    # arrays there boxes a fresh scalar object per access.  Extract the
+    # tables to plain nested lists once so every hot-loop operation is a
+    # native list index on ints.
+    p_rows: list[list[int]] = p.tolist()
+    r_rows: list[list[int]] = r_rank.tolist()
     next_choice = [0] * n  # next list position each proposer will try
     engaged_to = [-1] * n  # proposer -> responder
     holds = [-1] * n  # responder -> proposer currently held
@@ -123,11 +138,12 @@ def _gs_textbook(
                 f"proposer {i} exhausted its list; preference lists are "
                 "not permutations of a complete balanced instance"
             )
-        j = int(p[i, next_choice[i]])
+        j = p_rows[i][next_choice[i]]
         next_choice[i] += 1
         proposals += 1
         cur = holds[j]
-        accept = cur == -1 or r_rank[j, i] < r_rank[j, cur]
+        row = r_rows[j]
+        accept = cur == -1 or row[i] < row[cur]
         if trace:
             events.append((proposals, i, j, accept))
         if accept:
@@ -209,17 +225,14 @@ def _gs_vectorized(
         np.minimum.at(best_rank, targets, suitor_rank)
         # responder j accepts the batch winner iff it beats the current hold
         hold_rank = np.where(holds >= 0, r_rank[np.arange(n), holds], worst)
-        accepting = np.flatnonzero(best_rank < hold_rank)
-        if accepting.size:
-            # recover winner identities: a suitor i won at responder j iff
-            # its rank equals best_rank[j]
-            winners_mask = suitor_rank == best_rank[targets]
-            win_props = free[winners_mask]
-            win_resps = targets[winners_mask]
-            accept_set = np.zeros(n, dtype=bool)
-            accept_set[accepting] = True
-            keep = accept_set[win_resps]
-            win_props, win_resps = win_props[keep], win_resps[keep]
+        accepting = best_rank < hold_rank
+        if accepting.any():
+            # recover winner identities in one pass: suitor i won at its
+            # target j iff its rank equals best_rank[j] (ranks are a
+            # permutation, so the winner is unique) AND j accepts.
+            winners = (suitor_rank == best_rank[targets]) & accepting[targets]
+            win_props = free[winners]
+            win_resps = targets[winners]
             dumped = holds[win_resps]
             engaged_to[dumped[dumped >= 0]] = -1
             holds[win_resps] = win_props
@@ -270,9 +283,7 @@ def gale_shapley(
     (1, 0)
     """
     p, r = _validate_prefs(proposer_prefs, responder_prefs)
-    # proposer rows must be permutations too; rank_array validates.
-    for i in range(p.shape[0]):
-        rank_array(p[i].tolist())
+    _proposer_check(p)  # proposer rows must be permutations too
     r_rank = _responder_ranks(r)
     try:
         run = ENGINES[engine]

@@ -24,6 +24,11 @@ Subcommands
     Check a (instance, matching) pair for strong/weakened stability.
 ``info``
     Summarize an instance file.
+``perf``
+    Tracked microbenchmarks: ``run`` measures the seeded workloads,
+    ``check`` gates a fresh measurement against the committed
+    ``BENCH_perf.json``, ``compare`` diffs two saved reports, ``list``
+    prints the catalogue (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -203,6 +208,62 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+
+    perf = sub.add_parser(
+        "perf", help="tracked microbenchmarks with regression gates"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _add_measure_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workloads",
+            default=None,
+            help="comma-separated workload names (default: all / baseline's)",
+        )
+        p.add_argument("--trials", type=int, default=5, help="timed trials (median)")
+        p.add_argument("--warmup", type=int, default=2, help="untimed warmup calls")
+
+    perf_run = perf_sub.add_parser("run", help="measure workloads, print a report")
+    _add_measure_args(perf_run)
+    perf_run.add_argument(
+        "-o", "--output", type=Path, default=None, help="write baseline JSON here"
+    )
+
+    perf_check = perf_sub.add_parser(
+        "check", help="re-measure and gate against a committed baseline"
+    )
+    _add_measure_args(perf_check)
+    perf_check.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_perf.json"),
+        help="committed baseline to gate against (default: BENCH_perf.json)",
+    )
+    perf_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max relative speedup regression before failing (default 0.25)",
+    )
+    perf_check.add_argument(
+        "--strict-time",
+        action="store_true",
+        help="also gate absolute median seconds (same-machine runs only)",
+    )
+    perf_check.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the freshly measured report here (CI artifact)",
+    )
+
+    perf_compare = perf_sub.add_parser(
+        "compare", help="diff two saved perf reports"
+    )
+    perf_compare.add_argument("current", type=Path, help="newer report JSON")
+    perf_compare.add_argument("baseline", type=Path, help="older report JSON")
+    perf_compare.add_argument("--tolerance", type=float, default=0.25)
+    perf_compare.add_argument("--strict-time", action="store_true")
+
+    perf_sub.add_parser("list", help="print the workload catalogue")
     return parser
 
 
@@ -312,6 +373,16 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{rule.name}: {rule.description}")
             return 0
         return run_lint(paths=args.paths, fmt=args.fmt, rules_spec=args.rules)
+    if args.command == "perf":
+        # Lazy import for the same reason as lint: the measurement
+        # harness must never slow down the solver entry points.
+        from repro.perf.cli import run_perf
+
+        try:
+            return run_perf(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         if args.command == "generate":
             if args.family == "theorem1":

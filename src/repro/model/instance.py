@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.exceptions import InvalidInstanceError
 from repro.model.members import DEFAULT_GENDER_NAMES, Member, member_name
-from repro.utils.ordering import rank_array
+from repro.utils.ordering import NotAPermutationError, rank_matrix
 
 __all__ = ["KPartiteInstance", "BipartiteView"]
 
@@ -117,7 +117,7 @@ class KPartiteInstance:
     1
     """
 
-    __slots__ = ("k", "n", "_pref", "_rank", "gender_names", "_global_order")
+    __slots__ = ("k", "n", "_pref", "_rank", "gender_names", "_global_order", "_hash")
 
     def __init__(
         self,
@@ -153,6 +153,7 @@ class KPartiteInstance:
                 for gender_rows in global_order
             )
         self._global_order = global_order
+        self._hash: int | None = None
         if validate:
             self._validate()
 
@@ -351,7 +352,13 @@ class KPartiteInstance:
         )
 
     def __hash__(self) -> int:
-        return hash((self.k, self.n, self.gender_names, self._pref.tobytes()))
+        # hashing serializes the whole (k, n, k, n) array; instances are
+        # immutable, so compute once and reuse (cache keys, memo tables).
+        if self._hash is None:
+            self._hash = hash(
+                (self.k, self.n, self.gender_names, self._pref.tobytes())
+            )
+        return self._hash
 
     # ------------------------------------------------------------------
     # internals
@@ -457,7 +464,13 @@ def _to_pref_array(prefs: object) -> np.ndarray:
 
 
 def _build_ranks(pref: np.ndarray, *, validate: bool) -> np.ndarray:
-    """Invert each preference row into a rank row; validate permutations."""
+    """Invert each preference row into a rank row; validate permutations.
+
+    Both paths are vectorized: validation rides the same batched
+    ``argsort`` (:func:`repro.utils.ordering.rank_matrix`) that produces
+    the inverses, so trusted and untrusted construction share one hot
+    path instead of a per-row Python loop.
+    """
     k, n = pref.shape[0], pref.shape[1]
     rank = np.full_like(pref, -1)
     for g in range(k):
@@ -466,13 +479,14 @@ def _build_ranks(pref: np.ndarray, *, validate: bool) -> np.ndarray:
                 continue
             block = pref[g, :, h, :]
             if validate:
-                for i in range(n):
-                    try:
-                        rank[g, i, h, :] = rank_array(block[i].tolist())
-                    except ValueError as exc:
-                        raise InvalidInstanceError(
-                            f"member ({g},{i}) has an invalid list over gender {h}: {exc}"
-                        ) from exc
+                try:
+                    rank[g, :, h, :] = rank_matrix(block)
+                except NotAPermutationError as exc:
+                    raise InvalidInstanceError(
+                        f"member ({g},{exc.row}) has an invalid list over "
+                        f"gender {h}: preference list is not a permutation: "
+                        f"{block[exc.row].tolist()!r}"
+                    ) from exc
             else:
                 rows = np.arange(n)[:, None]
                 rank[g, rows, h, block] = np.arange(n)[None, :]

@@ -1,0 +1,50 @@
+"""Perf regression harness: tracked microbenchmarks with baselines.
+
+The paper's central asymmetry (Theorem 2: solving costs (k−1)·n²
+proposals; checking stability is O(n^k)) means the *verification
+oracles* dominate wall-clock in every benchmark — so this package
+tracks them, Perun-style, as first-class measured artifacts:
+
+* :mod:`repro.perf.workloads` — seeded, deterministic workload specs
+  with per-op counters (``GSResult.proposals``, improvement-cache hits,
+  engine telemetry deltas);
+* :mod:`repro.perf.reference` — frozen pre-optimization
+  implementations, the denominators of machine-portable speedup ratios;
+* :mod:`repro.perf.runner` — warmup + repeat, median-of-trials
+  measurement producing a :class:`~repro.perf.runner.PerfReport`;
+* :mod:`repro.perf.baseline` — ``BENCH_perf.json`` persistence and the
+  three regression gates (exact ops, speedup floors, relative speedup
+  regression) behind ``repro perf check``.
+
+See docs/PERFORMANCE.md for the workflow; ``make perf-smoke`` is the CI
+entry point.  Like :mod:`repro.engine`, nothing inside the library
+imports this package — only the CLI and user code sit above it.
+"""
+
+from repro.perf.baseline import (
+    BASELINE_SCHEMA,
+    Regression,
+    compare_reports,
+    load_baseline,
+    report_from_dict,
+    report_to_dict,
+    save_baseline,
+)
+from repro.perf.runner import PerfReport, WorkloadResult, run_workloads
+from repro.perf.workloads import WORKLOADS, Workload, resolve_workloads
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "Regression",
+    "compare_reports",
+    "load_baseline",
+    "report_from_dict",
+    "report_to_dict",
+    "save_baseline",
+    "PerfReport",
+    "WorkloadResult",
+    "run_workloads",
+    "WORKLOADS",
+    "Workload",
+    "resolve_workloads",
+]

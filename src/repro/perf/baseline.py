@@ -1,0 +1,225 @@
+"""Baseline persistence and regression comparison for ``repro perf``.
+
+``BENCH_perf.json`` (committed at the repo root) is the tracked perf
+trajectory: one :class:`~repro.perf.runner.PerfReport` serialized with a
+schema version.  ``repro perf check`` re-measures and compares against
+it with three independent gates:
+
+1. **ops** — per-op counters must match *exactly* (they are
+   deterministic; any drift is a semantic change, not noise);
+2. **speedup floors** — each workload's measured speedup must stay at
+   or above its registered ``min_speedup`` (the acceptance criteria,
+   machine-portable because both sides run on the same box);
+3. **speedup regression** — measured speedup must not fall more than
+   ``tolerance`` (relative) below the committed baseline's ratio.
+
+Absolute seconds are recorded for trajectory plots but only compared
+under ``--strict-time`` — wall-clock does not transfer between the
+machine that committed the baseline and the CI runner.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.perf.runner import PerfReport, WorkloadResult
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "Regression",
+    "report_to_dict",
+    "report_from_dict",
+    "save_baseline",
+    "load_baseline",
+    "compare_reports",
+]
+
+#: schema tag written into every baseline file.
+BASELINE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One failed gate: which workload, which gate, human-readable why."""
+
+    workload: str
+    kind: str  # "missing" | "ops" | "floor" | "speedup" | "time"
+    message: str
+
+    def format(self) -> str:
+        """``workload [kind]: message`` single-line rendering."""
+        return f"{self.workload} [{self.kind}]: {self.message}"
+
+
+def report_to_dict(report: PerfReport) -> dict[str, object]:
+    """Serialize a report to the JSON-safe baseline schema."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "trials": report.trials,
+        "warmup": report.warmup,
+        "environment": dict(report.environment),
+        "workloads": {
+            name: {
+                "optimized_s": res.optimized_s,
+                "reference_s": res.reference_s,
+                "speedup": res.speedup,
+                "ops": dict(res.ops),
+                "trials": res.trials,
+                "warmup": res.warmup,
+                "reps": res.reps,
+                "min_speedup": res.min_speedup,
+            }
+            for name, res in report.results.items()
+        },
+    }
+
+
+def report_from_dict(payload: dict[str, object]) -> PerfReport:
+    """Parse the baseline schema back into a :class:`PerfReport`."""
+    if not isinstance(payload, dict) or "workloads" not in payload:
+        raise ConfigurationError(
+            "baseline payload must be an object with a 'workloads' table"
+        )
+    schema = payload.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported baseline schema {schema!r}; expected {BASELINE_SCHEMA}"
+        )
+    raw = payload["workloads"]
+    assert isinstance(raw, dict)
+    results: dict[str, WorkloadResult] = {}
+    for name, entry in raw.items():
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"workload entry {name!r} must be an object")
+        try:
+            results[name] = WorkloadResult(
+                name=name,
+                optimized_s=float(entry["optimized_s"]),
+                reference_s=(
+                    None
+                    if entry.get("reference_s") is None
+                    else float(entry["reference_s"])  # type: ignore[arg-type]
+                ),
+                speedup=(
+                    None
+                    if entry.get("speedup") is None
+                    else float(entry["speedup"])  # type: ignore[arg-type]
+                ),
+                ops={str(k): int(v) for k, v in dict(entry["ops"]).items()},  # type: ignore[arg-type]
+                trials=int(entry.get("trials", 0)),  # type: ignore[arg-type]
+                warmup=int(entry.get("warmup", 0)),  # type: ignore[arg-type]
+                reps=int(entry.get("reps", 1)),  # type: ignore[arg-type]
+                min_speedup=(
+                    None
+                    if entry.get("min_speedup") is None
+                    else float(entry["min_speedup"])  # type: ignore[arg-type]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed baseline entry for workload {name!r}: {exc}"
+            ) from exc
+    env = payload.get("environment", {})
+    return PerfReport(
+        results=results,
+        trials=int(payload.get("trials", 0)),  # type: ignore[arg-type]
+        warmup=int(payload.get("warmup", 0)),  # type: ignore[arg-type]
+        environment={str(k): str(v) for k, v in dict(env).items()},  # type: ignore[arg-type]
+    )
+
+
+def save_baseline(report: PerfReport, path: Path) -> None:
+    """Write ``report`` to ``path`` as pretty-printed baseline JSON."""
+    path.write_text(json.dumps(report_to_dict(report), indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> PerfReport:
+    """Read a baseline file; raises ``ConfigurationError`` when unusable."""
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"baseline {path} is not valid JSON: {exc.msg} "
+            f"(line {exc.lineno} column {exc.colno})"
+        ) from exc
+    return report_from_dict(payload)
+
+
+def compare_reports(
+    current: PerfReport,
+    baseline: PerfReport,
+    *,
+    tolerance: float = 0.25,
+    strict_time: bool = False,
+) -> list[Regression]:
+    """All regression-gate failures of ``current`` against ``baseline``.
+
+    An empty list means the check passes.  ``tolerance`` is the maximum
+    allowed *relative* drop in speedup (and, under ``strict_time``,
+    relative growth in median seconds).  Workloads present only in
+    ``current`` are informational (new trajectory points), never
+    failures; workloads missing from ``current`` fail with ``missing``.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ConfigurationError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    failures: list[Regression] = []
+    for name, base in baseline.results.items():
+        cur = current.results.get(name)
+        if cur is None:
+            failures.append(
+                Regression(name, "missing", "workload absent from current run")
+            )
+            continue
+        if cur.ops != base.ops:
+            failures.append(
+                Regression(
+                    name,
+                    "ops",
+                    f"op counters changed: baseline {base.ops} vs "
+                    f"current {cur.ops} (deterministic; this is a semantic "
+                    "change, not noise)",
+                )
+            )
+        floor = cur.min_speedup if cur.min_speedup is not None else base.min_speedup
+        if floor is not None and cur.speedup is not None and cur.speedup < floor:
+            failures.append(
+                Regression(
+                    name,
+                    "floor",
+                    f"speedup {cur.speedup:.2f}x fell below the acceptance "
+                    f"floor {floor:.2f}x",
+                )
+            )
+        if (
+            base.speedup is not None
+            and cur.speedup is not None
+            and cur.speedup < base.speedup * (1.0 - tolerance)
+        ):
+            failures.append(
+                Regression(
+                    name,
+                    "speedup",
+                    f"speedup {cur.speedup:.2f}x regressed more than "
+                    f"{tolerance:.0%} from baseline {base.speedup:.2f}x",
+                )
+            )
+        if strict_time and cur.optimized_s > base.optimized_s * (1.0 + tolerance):
+            failures.append(
+                Regression(
+                    name,
+                    "time",
+                    f"median {cur.optimized_s * 1e3:.3f} ms exceeds baseline "
+                    f"{base.optimized_s * 1e3:.3f} ms by more than "
+                    f"{tolerance:.0%}",
+                )
+            )
+    return failures

@@ -1,0 +1,101 @@
+"""CLI driver for ``repro perf`` (run / compare / check / list).
+
+Kept separate from :mod:`repro.cli` so the perf harness stays a lazy
+import — measuring code must not slow down (or be able to break) the
+solver entry points.  Exit codes: 0 clean, 1 regression detected, 2
+usage/configuration error (raised as ``ReproError`` and rendered by the
+main CLI).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.perf.baseline import (
+    compare_reports,
+    load_baseline,
+    save_baseline,
+)
+from repro.perf.runner import PerfReport, run_workloads
+from repro.perf.workloads import WORKLOADS
+
+__all__ = ["run_perf", "format_report"]
+
+#: default committed baseline location (repo root).
+DEFAULT_BASELINE = Path("BENCH_perf.json")
+
+
+def format_report(report: PerfReport) -> str:
+    """Human-readable table of one perf run."""
+    lines = [
+        f"{'workload':<28} {'median':>12} {'reference':>12} "
+        f"{'speedup':>8}  ops"
+    ]
+    for name, res in report.results.items():
+        med = f"{res.optimized_s * 1e3:.3f} ms"
+        ref = "-" if res.reference_s is None else f"{res.reference_s * 1e3:.3f} ms"
+        spd = "-" if res.speedup is None else f"{res.speedup:.2f}x"
+        ops = " ".join(f"{k}={v}" for k, v in sorted(res.ops.items()))
+        lines.append(f"{name:<28} {med:>12} {ref:>12} {spd:>8}  {ops}")
+    lines.append(
+        f"(median of {report.trials} trials after {report.warmup} warmup; "
+        f"python {report.environment.get('python', '?')}, "
+        f"numpy {report.environment.get('numpy', '?')})"
+    )
+    return "\n".join(lines)
+
+
+def run_perf(args: argparse.Namespace) -> int:
+    """Dispatch one ``repro perf <action>`` invocation."""
+    if args.perf_command == "list":
+        for name, wl in WORKLOADS.items():
+            floor = (
+                f" (floor {wl.min_speedup:.1f}x)" if wl.min_speedup is not None else ""
+            )
+            print(f"{name}: {wl.description}{floor}")
+        return 0
+    if args.perf_command == "run":
+        report = run_workloads(
+            args.workloads, trials=args.trials, warmup=args.warmup
+        )
+        print(format_report(report))
+        if args.output is not None:
+            save_baseline(report, args.output)
+            print(f"baseline written to {args.output}")
+        return 0
+    if args.perf_command == "compare":
+        current = load_baseline(args.current)
+        baseline = load_baseline(args.baseline)
+        return _report_failures(current, baseline, args)
+    # check: re-measure, then gate against the committed baseline
+    baseline = load_baseline(args.baseline)
+    names = args.workloads if args.workloads is not None else ",".join(
+        baseline.results
+    )
+    current = run_workloads(names, trials=args.trials, warmup=args.warmup)
+    print(format_report(current))
+    if args.output is not None:
+        save_baseline(current, args.output)
+        print(f"measured report written to {args.output}")
+    return _report_failures(current, baseline, args)
+
+
+def _report_failures(
+    current: PerfReport, baseline: PerfReport, args: argparse.Namespace
+) -> int:
+    failures = compare_reports(
+        current,
+        baseline,
+        tolerance=args.tolerance,
+        strict_time=getattr(args, "strict_time", False),
+    )
+    if not failures:
+        print(
+            f"perf check OK: {len(baseline.results)} workload(s) within "
+            f"{args.tolerance:.0%} of baseline"
+        )
+        return 0
+    for failure in failures:
+        print(f"REGRESSION {failure.format()}")
+    return 1

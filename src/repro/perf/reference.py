@@ -1,0 +1,151 @@
+"""Frozen pre-optimization implementations for speedup measurement.
+
+Every function here is a faithful copy of the code path as it existed
+*before* the hot-path optimization pass (vectorized rankers, memoized
+improvement matrices, mutual-improvement prescreen, list-based GS inner
+loop).  They are the denominators of the ``speedup`` ratios recorded in
+``BENCH_perf.json``: measuring the shipped implementation against a
+pinned naive one makes the ratio reproducible across machines, which is
+what lets ``repro perf check`` gate regressions in CI without comparing
+absolute wall-clock between different hardware.
+
+Do not "improve" these — their whole value is that they stay naive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kary_matching import KAryMatching
+from repro.exceptions import InvalidInstanceError
+from repro.model.instance import KPartiteInstance
+from repro.model.members import Member
+from repro.utils.ordering import rank_array
+
+__all__ = [
+    "reference_improvement_matrices",
+    "reference_find_blocking_family",
+    "reference_rank_rows",
+    "reference_gs_textbook",
+]
+
+
+def reference_improvement_matrices(
+    instance: KPartiteInstance, matching: KAryMatching
+) -> np.ndarray:
+    """Per-call (uncached) improvement-tensor builder with a k² Python loop.
+
+    The pre-optimization ``core.stability._improvement_matrices``: built
+    from scratch on every call, one fancy-indexing pass per ordered
+    gender pair.
+    """
+    k, n = instance.k, instance.n
+    ranks = instance.rank_tensor()
+    improves = np.zeros((k, k, n, n), dtype=bool)
+    for h in range(k):
+        for g in range(k):
+            if h == g:
+                continue
+            partner_idx = matching.families[
+                matching.tuple_index_array()[h, np.arange(n)], g
+            ]
+            partner_rank = ranks[h, np.arange(n), g, partner_idx]
+            improves[h, g] = ranks[h, :, g, :] < partner_rank[:, None]
+    return improves
+
+
+def reference_find_blocking_family(
+    instance: KPartiteInstance, matching: KAryMatching
+) -> tuple[Member, ...] | None:
+    """Pre-optimization strong-blocking DFS (no prescreen, no cache).
+
+    Rebuilds the improvement tensor, then walks all n^k assignments with
+    two boxed NumPy scalar lookups per pairwise check.  Returns the
+    witness members (or ``None``), matching the shipped oracle's verdict.
+    """
+    k, n = instance.k, instance.n
+    improves = reference_improvement_matrices(instance, matching)
+    fam_of = matching.tuple_index_array()
+    chosen_idx = [0] * k
+    chosen_fam = [0] * k
+
+    def rec(g: int) -> tuple[Member, ...] | None:
+        if g == k:
+            if len(set(chosen_fam)) < 2:
+                return None
+            return tuple(Member(h, chosen_idx[h]) for h in range(k))
+        for i in range(n):
+            f = int(fam_of[g, i])
+            ok = True
+            for h in range(g):
+                j = chosen_idx[h]
+                if chosen_fam[h] == f:
+                    continue
+                if not (improves[h, g, j, i] and improves[g, h, i, j]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            chosen_idx[g] = i
+            chosen_fam[g] = f
+            hit = rec(g + 1)
+            if hit is not None:
+                return hit
+        return None
+
+    return rec(0)
+
+
+def reference_rank_rows(prefs: np.ndarray) -> np.ndarray:
+    """Per-row ``rank_array(row.tolist())`` inversion loop.
+
+    The pre-optimization ranker shared by ``model.instance._build_ranks``
+    and ``bipartite.gale_shapley._responder_ranks`` — one Python-level
+    list inversion per preference row.
+    """
+    ranks = np.empty_like(prefs)
+    for j in range(prefs.shape[0]):
+        ranks[j] = rank_array(prefs[j].tolist())
+    return ranks
+
+
+def reference_gs_textbook(
+    p: np.ndarray, r: np.ndarray
+) -> tuple[list[int], int]:
+    """Pre-optimization textbook Gale-Shapley, NumPy scalars and all.
+
+    Includes the original per-row validation loops, then runs the free-
+    list loop indexing directly into the NumPy arrays (one boxed scalar
+    per proposal and per rank comparison).  Returns ``(matching,
+    proposals)``.
+    """
+    p = np.asarray(p, dtype=np.int64)
+    r = np.asarray(r, dtype=np.int64)
+    for i in range(p.shape[0]):
+        rank_array(p[i].tolist())
+    n = r.shape[0]
+    r_rank = np.empty_like(r)
+    for j in range(n):
+        r_rank[j] = rank_array(r[j].tolist())
+    next_choice = [0] * n
+    engaged_to = [-1] * n
+    holds = [-1] * n
+    free = list(range(n - 1, -1, -1))
+    proposals = 0
+    while free:
+        i = free.pop()
+        if next_choice[i] >= n:
+            raise InvalidInstanceError(f"proposer {i} exhausted its list")
+        j = int(p[i, next_choice[i]])
+        next_choice[i] += 1
+        proposals += 1
+        cur = holds[j]
+        if cur == -1 or r_rank[j, i] < r_rank[j, cur]:
+            holds[j] = i
+            engaged_to[i] = j
+            if cur != -1:
+                engaged_to[cur] = -1
+                free.append(cur)
+        else:
+            free.append(i)
+    return engaged_to, proposals

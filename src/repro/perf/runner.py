@@ -1,0 +1,152 @@
+"""Microbenchmark runner: warmup + repeated trials, median-of-trials.
+
+The measurement discipline (after Perun-style tracked baselines):
+
+* ``build`` runs once, outside any timed region — instance generation
+  and cache warmup never pollute the numbers;
+* ``warmup`` untimed calls absorb allocator/branch-predictor noise and
+  populate memo caches for the serving-mode workloads;
+* each *trial* times a loop of ``reps`` calls with
+  ``time.perf_counter`` and divides by ``reps``; the reported number is
+  the **median** across trials, which is robust to one-off scheduler
+  hiccups in CI containers;
+* the reference implementation (when the workload has one) is measured
+  with the identical procedure, and ``speedup = reference_s /
+  optimized_s`` — a ratio that transfers across machines far better
+  than absolute seconds.
+
+Per-op counters come from the workload's final ``run`` call so they
+reflect the exact shipped code path being timed.
+"""
+
+from __future__ import annotations
+
+import platform
+import statistics
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.perf.workloads import Workload, resolve_workloads
+
+__all__ = ["WorkloadResult", "PerfReport", "run_workloads"]
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Measured numbers for one workload.
+
+    ``optimized_s`` / ``reference_s`` are median seconds per single
+    call; ``speedup`` is ``reference_s / optimized_s`` (``None`` when
+    the workload has no reference).  ``ops`` are the exactly-
+    reproducible per-op counters from the final run call.
+    """
+
+    name: str
+    optimized_s: float
+    reference_s: "float | None"
+    speedup: "float | None"
+    ops: dict[str, int]
+    trials: int
+    warmup: int
+    reps: int
+    min_speedup: "float | None" = None
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """One full harness run: per-workload results plus environment tags."""
+
+    results: dict[str, WorkloadResult]
+    trials: int
+    warmup: int
+    environment: dict[str, str] = field(default_factory=dict)
+
+    def names(self) -> list[str]:
+        """Workload names in run order."""
+        return list(self.results)
+
+
+def _median_seconds(
+    fn: Callable[[], object], trials: int, warmup: int, reps: int
+) -> float:
+    """Median per-call seconds of ``fn`` over ``trials`` timed loops."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        samples.append((time.perf_counter() - start) / reps)
+    return statistics.median(samples)
+
+
+def _environment() -> dict[str, str]:
+    """Machine tags recorded alongside the numbers (context, not compared)."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def run_workloads(
+    names: "str | Sequence[str] | None" = None,
+    *,
+    trials: int = 5,
+    warmup: int = 2,
+) -> PerfReport:
+    """Run the selected workloads and return a :class:`PerfReport`.
+
+    ``names`` is a comma-separated spec, a sequence of workload names,
+    or ``None`` / ``"all"`` for the full catalogue.  ``trials`` timed
+    loops (median taken) follow ``warmup`` untimed calls; both must be
+    positive/non-negative respectively.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    if isinstance(names, str) or names is None:
+        workloads = resolve_workloads(names)
+    else:
+        workloads = resolve_workloads(",".join(names))
+    results: dict[str, WorkloadResult] = {}
+    for wl in workloads:
+        results[wl.name] = _run_one(wl, trials=trials, warmup=warmup)
+    return PerfReport(
+        results=results, trials=trials, warmup=warmup, environment=_environment()
+    )
+
+
+def _run_one(wl: Workload, *, trials: int, warmup: int) -> WorkloadResult:
+    """Measure one workload (and its reference, when present)."""
+    state: Mapping[str, object] = wl.build()
+    optimized_s = _median_seconds(
+        lambda: wl.run(state), trials=trials, warmup=warmup, reps=wl.reps
+    )
+    ops = dict(wl.run(state))
+    reference_s: "float | None" = None
+    speedup: "float | None" = None
+    if wl.reference is not None:
+        ref = wl.reference
+        reference_s = _median_seconds(
+            lambda: ref(state), trials=trials, warmup=warmup, reps=wl.reps
+        )
+        if optimized_s > 0.0:
+            speedup = reference_s / optimized_s
+    return WorkloadResult(
+        name=wl.name,
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        speedup=speedup,
+        ops=ops,
+        trials=trials,
+        warmup=warmup,
+        reps=wl.reps,
+        min_speedup=wl.min_speedup,
+    )

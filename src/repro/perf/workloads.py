@@ -1,0 +1,293 @@
+"""Deterministic microbenchmark workloads for the perf harness.
+
+Every workload is a :class:`Workload`: a fixed-seed ``build`` step that
+constructs the inputs once, a ``run`` callable timed by the runner, and
+(where a frozen naive implementation exists in
+:mod:`repro.perf.reference`) a ``reference`` callable timed the same way
+so the report carries a machine-portable ``speedup`` ratio.  ``run``
+returns per-op counters (``GSResult.proposals``, improvement-cache
+hits, engine telemetry deltas) that are exactly reproducible — ``repro
+perf check`` compares them with zero tolerance, catching semantic
+regressions that timing noise would hide.
+
+All seeds are literal constants; nothing here consults wall-clock or
+global RNG state, so two runs on one machine produce identical op
+counters and statistically comparable medians.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import (
+    clear_improvement_cache,
+    improvement_cache_stats,
+    is_stable_kary,
+)
+from repro.engine import MatchingEngine, SolveRequest
+from repro.exceptions import ConfigurationError
+from repro.model.generators import random_instance
+from repro.model.instance import KPartiteInstance
+from repro.perf.reference import (
+    reference_find_blocking_family,
+    reference_gs_textbook,
+    reference_rank_rows,
+)
+
+__all__ = ["Workload", "WORKLOADS", "resolve_workloads"]
+
+#: base seed for every workload's instance generation (date-stamped
+#: constant; changing it invalidates committed baselines' op counters).
+_SEED = 20260806
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named microbenchmark.
+
+    Attributes
+    ----------
+    name:
+        Dotted identifier (``"oracle.strong.k3n32"``) used by the CLI
+        and as the key in ``BENCH_perf.json``.
+    description:
+        One-line summary shown by ``repro perf list``.
+    build:
+        Constructs the workload state from literal seeds; runs once,
+        outside the timed region.
+    run:
+        The timed call.  Receives the state and returns the per-op
+        counters for one invocation (exactly reproducible ints).
+    reference:
+        Optional frozen naive implementation of the same work (timed
+        identically to produce the ``speedup`` ratio), or ``None`` when
+        the workload only tracks its own trajectory.
+    reps:
+        Inner repetitions per timed trial — raises very fast workloads
+        above timer granularity.  The runner divides the measured time
+        by ``reps``.
+    min_speedup:
+        Acceptance floor: ``repro perf check`` fails when the measured
+        speedup drops below this, independent of the baseline ratio.
+        ``None`` for workloads without a reference.
+    """
+
+    name: str
+    description: str
+    build: Callable[[], Mapping[str, object]]
+    run: Callable[[Mapping[str, object]], dict[str, int]]
+    reference: "Callable[[Mapping[str, object]], object] | None" = None
+    reps: int = 1
+    min_speedup: "float | None" = None
+
+
+def _build_oracle_state() -> Mapping[str, object]:
+    """A (k=3, n=32) instance with its chain-bound stable matching."""
+    inst = random_instance(3, 32, seed=_SEED)
+    result = iterative_binding(inst, BindingTree.chain(3))
+    return {"instance": inst, "matching": result.matching, "tree": result.tree}
+
+
+def _run_oracle_hot(state: Mapping[str, object]) -> dict[str, int]:
+    """Strong-stability oracle with the memo cache in play (serving mode)."""
+    inst = state["instance"]
+    matching = state["matching"]
+    assert isinstance(inst, KPartiteInstance)
+    before = improvement_cache_stats()["hits"]
+    stable = is_stable_kary(inst, matching)  # type: ignore[arg-type]
+    after = improvement_cache_stats()["hits"]
+    return {"stable": int(stable), "improves_cache_hits": after - before}
+
+
+def _run_oracle_cold(state: Mapping[str, object]) -> dict[str, int]:
+    """Strong-stability oracle from a cleared cache (cold verification)."""
+    clear_improvement_cache()
+    inst = state["instance"]
+    matching = state["matching"]
+    assert isinstance(inst, KPartiteInstance)
+    stable = is_stable_kary(inst, matching)  # type: ignore[arg-type]
+    return {"stable": int(stable)}
+
+
+def _ref_oracle(state: Mapping[str, object]) -> object:
+    return reference_find_blocking_family(
+        state["instance"], state["matching"]  # type: ignore[arg-type]
+    )
+
+
+def _build_gs_state() -> Mapping[str, object]:
+    """An n=256 bipartite slice of a seeded random (k=2) instance."""
+    inst = random_instance(2, 256, seed=_SEED + 1)
+    view = inst.bipartite_view(0, 1)
+    return {"p": view.proposer_prefs, "r": view.responder_prefs}
+
+
+def _run_gs_textbook(state: Mapping[str, object]) -> dict[str, int]:
+    from repro.bipartite.gale_shapley import gale_shapley
+
+    res = gale_shapley(state["p"], state["r"], engine="textbook")  # type: ignore[arg-type]
+    return {"proposals": res.proposals}
+
+
+def _run_gs_vectorized(state: Mapping[str, object]) -> dict[str, int]:
+    from repro.bipartite.gale_shapley import gale_shapley
+
+    res = gale_shapley(state["p"], state["r"], engine="vectorized")  # type: ignore[arg-type]
+    return {"proposals": res.proposals, "rounds": res.rounds}
+
+
+def _ref_gs_textbook(state: Mapping[str, object]) -> object:
+    return reference_gs_textbook(state["p"], state["r"])  # type: ignore[arg-type]
+
+
+def _build_ranks_state() -> Mapping[str, object]:
+    """A (k=3, n=96) preference array awaiting rank inversion."""
+    inst = random_instance(3, 96, seed=_SEED + 2)
+    return {"pref": inst.pref_array()}
+
+
+def _run_ranks_build(state: Mapping[str, object]) -> dict[str, int]:
+    import numpy as np
+
+    pref = state["pref"]
+    assert isinstance(pref, np.ndarray)
+    inst = KPartiteInstance.from_arrays(pref, validate=True)
+    k, n = inst.k, inst.n
+    return {"rows_inverted": k * (k - 1) * n}
+
+
+def _ref_ranks_build(state: Mapping[str, object]) -> object:
+    import numpy as np
+
+    pref = state["pref"]
+    assert isinstance(pref, np.ndarray)
+    k, n = pref.shape[0], pref.shape[1]
+    out = []
+    for g in range(k):
+        for h in range(k):
+            if h == g:
+                continue
+            out.append(reference_rank_rows(pref[g, :, h, :]))
+    return out
+
+
+def _build_engine_state() -> Mapping[str, object]:
+    """A warmed engine plus a duplicate-heavy batch (4 unique × 3 copies)."""
+    instances = [random_instance(3, 12, seed=_SEED + 10 + s) for s in range(4)]
+    requests = [
+        SolveRequest(instance=instances[i % 4], label=f"job{i}") for i in range(12)
+    ]
+    engine = MatchingEngine()
+    engine.solve_many(requests)  # warm the result cache
+    return {"engine": engine, "requests": requests}
+
+
+def _run_engine_batch(state: Mapping[str, object]) -> dict[str, int]:
+    engine = state["engine"]
+    assert isinstance(engine, MatchingEngine)
+    tel = engine.telemetry
+    before = {
+        name: tel.count(name)
+        for name in ("cache_hits", "dedup_hits", "solver_invocations")
+    }
+    engine.solve_many(state["requests"])  # type: ignore[arg-type]
+    return {name: tel.count(name) - before[name] for name in sorted(before)}
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            name="oracle.strong.k3n32",
+            description=(
+                "strong-stability oracle, k=3 n=32 chain-bound matching, "
+                "memo cache enabled (serving mode) vs naive re-verification"
+            ),
+            build=_build_oracle_state,
+            run=_run_oracle_hot,
+            reference=_ref_oracle,
+            reps=10,
+            min_speedup=5.0,
+        ),
+        Workload(
+            name="oracle.strong.cold.k3n32",
+            description=(
+                "strong-stability oracle, cache cleared before every call "
+                "(prescreen + vectorized tensor vs naive DFS)"
+            ),
+            build=_build_oracle_state,
+            run=_run_oracle_cold,
+            reference=_ref_oracle,
+            reps=5,
+            min_speedup=5.0,
+        ),
+        Workload(
+            name="gs.textbook.n256",
+            description=(
+                "textbook Gale-Shapley at n=256: list-based inner loop + "
+                "vectorized validation vs NumPy-scalar original"
+            ),
+            build=_build_gs_state,
+            run=_run_gs_textbook,
+            reference=_ref_gs_textbook,
+            reps=3,
+            min_speedup=1.2,
+        ),
+        Workload(
+            name="gs.vectorized.n256",
+            description=(
+                "vectorized round-synchronous Gale-Shapley at n=256 "
+                "(trajectory only; winner-recovery tightening)"
+            ),
+            build=_build_gs_state,
+            run=_run_gs_vectorized,
+            reps=3,
+        ),
+        Workload(
+            name="ranks.build.k3n96",
+            description=(
+                "validated KPartiteInstance construction at k=3 n=96: "
+                "batched argsort ranker vs per-row rank_array loop"
+            ),
+            build=_build_ranks_state,
+            run=_run_ranks_build,
+            reference=_ref_ranks_build,
+            reps=3,
+            min_speedup=1.5,
+        ),
+        Workload(
+            name="engine.batch.cached",
+            description=(
+                "warm serving path: 12-job duplicate-heavy batch through "
+                "MatchingEngine (telemetry counters as ops)"
+            ),
+            build=_build_engine_state,
+            run=_run_engine_batch,
+            reps=3,
+        ),
+    )
+}
+
+
+def resolve_workloads(spec: "str | None") -> list[Workload]:
+    """Resolve a comma-separated name spec to workload objects.
+
+    ``None`` or ``"all"`` selects every registered workload (in
+    registration order).  Unknown names raise
+    :class:`~repro.exceptions.ConfigurationError` listing the catalogue.
+    """
+    if spec is None or spec == "all":
+        return list(WORKLOADS.values())
+    names = [s.strip() for s in spec.split(",") if s.strip()]
+    if not names:
+        raise ConfigurationError("empty workload spec; choose from "
+                                 f"{sorted(WORKLOADS)}")
+    missing = [s for s in names if s not in WORKLOADS]
+    if missing:
+        raise ConfigurationError(
+            f"unknown workload(s) {missing}; choose from {sorted(WORKLOADS)}"
+        )
+    return [WORKLOADS[s] for s in names]

@@ -52,6 +52,22 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "analysis",
         }
     ),
+    # the measurement layer: benchmarks everything below it (including
+    # the serving layer); nothing imports perf except the CLI.
+    "perf": frozenset(
+        {
+            "exceptions",
+            "utils",
+            "model",
+            "roommates",
+            "bipartite",
+            "kpartite",
+            "core",
+            "parallel",
+            "analysis",
+            "engine",
+        }
+    ),
     "cli": frozenset(
         {
             "exceptions",
@@ -67,6 +83,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "baselines",
             "statan",
             "engine",
+            "perf",
         }
     ),
     "__init__": None,  # the facade may import everything

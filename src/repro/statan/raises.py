@@ -33,6 +33,7 @@ ALGORITHM_PACKAGES = frozenset(
         "baselines",
         "analysis",
         "engine",
+        "perf",
     }
 )
 

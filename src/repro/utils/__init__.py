@@ -3,9 +3,11 @@
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.unionfind import UnionFind
 from repro.utils.ordering import (
+    NotAPermutationError,
     is_bitonic,
     is_permutation,
     rank_array,
+    rank_matrix,
     round_robin_merge,
 )
 
@@ -13,8 +15,10 @@ __all__ = [
     "as_rng",
     "spawn_rngs",
     "UnionFind",
+    "NotAPermutationError",
     "is_bitonic",
     "is_permutation",
     "rank_array",
+    "rank_matrix",
     "round_robin_merge",
 ]

@@ -19,15 +19,36 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TypeVar
 
+import numpy as np
+
 __all__ = [
     "is_permutation",
     "rank_array",
+    "rank_matrix",
+    "NotAPermutationError",
     "is_bitonic",
     "round_robin_merge",
     "concatenate_by_priority",
 ]
 
 T = TypeVar("T")
+
+
+class NotAPermutationError(ValueError):
+    """A row of a preference matrix is not a permutation of ``0..n-1``.
+
+    Subclasses ``ValueError`` so callers of the scalar :func:`rank_array`
+    can keep a single ``except ValueError``.  The ``row`` attribute names
+    the offending row so higher layers can attribute the error to a
+    specific member/proposer/responder.
+    """
+
+    def __init__(self, row: int, values: Sequence[int]) -> None:
+        n = len(values)
+        super().__init__(
+            f"row {row} is not a permutation of 0..{n - 1}: {list(values)!r}"
+        )
+        self.row = row
 
 
 def is_permutation(seq: Sequence[int], n: int | None = None) -> bool:
@@ -67,6 +88,41 @@ def rank_array(preference: Sequence[int]) -> list[int]:
             raise ValueError(f"preference list is not a permutation: {list(preference)!r}")
         rank[x] = pos
     return rank
+
+
+def rank_matrix(preferences: "np.ndarray | Sequence[Sequence[int]]") -> np.ndarray:
+    """Invert every row of a preference matrix in one vectorized pass.
+
+    The batch companion of :func:`rank_array`: for an ``(m, n)`` integer
+    array whose rows are permutations of ``0..n-1``, returns the ``(m,
+    n)`` array of inverse permutations (``out[i, x]`` is the position of
+    candidate ``x`` in row ``i``; lower is better).  A single stable
+    ``argsort`` replaces the per-row Python loop — this is the hot path
+    of instance construction and Gale-Shapley validation.
+
+    Raises :class:`NotAPermutationError` (a ``ValueError``) naming the
+    first offending row when any row is not a permutation.
+
+    >>> rank_matrix([[2, 0, 1], [0, 1, 2]]).tolist()
+    [[1, 2, 0], [0, 1, 2]]
+    """
+    arr = np.asarray(preferences)
+    if arr.ndim != 2:
+        raise ValueError(f"rank_matrix needs a 2-D matrix, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(f"rank_matrix needs integer entries, got dtype {arr.dtype}")
+    m, n = arr.shape
+    # argsort of a permutation IS its inverse; validation piggybacks on
+    # the same sort: gathering the row through its argsort yields the
+    # sorted row, which equals 0..n-1 iff the row is a permutation.
+    inv = np.argsort(arr, axis=1, kind="stable")
+    sorted_rows = np.take_along_axis(arr, inv, axis=1)
+    ok = sorted_rows == np.arange(n, dtype=arr.dtype)[None, :]
+    bad = np.flatnonzero(~ok.all(axis=1))
+    if bad.size:
+        row = int(bad[0])
+        raise NotAPermutationError(row, arr[row].tolist())
+    return inv
 
 
 def is_bitonic(seq: Sequence[int | float]) -> bool:

@@ -1,0 +1,128 @@
+"""Tests for the stability hot-path: memo cache, prescreen, certificate.
+
+Satellite 3 of the perf PR: the memoized ``_improvement_matrices`` must
+be bit-identical to the frozen pre-optimization builder in
+``repro.perf.reference``, and the prescreened DFS must return exactly
+the same verdicts (and first witnesses) as the reference search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.core.stability import (
+    _improvement_matrices,
+    clear_improvement_cache,
+    find_blocking_family,
+    improvement_cache_stats,
+    is_stable_kary,
+)
+from repro.model.generators import random_instance
+from repro.perf.reference import (
+    reference_find_blocking_family,
+    reference_improvement_matrices,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_improvement_cache()
+    yield
+    clear_improvement_cache()
+
+
+def _random_state(k, n, seed):
+    inst = random_instance(k, n, seed=seed)
+    result = iterative_binding(inst, BindingTree.chain(k))
+    return inst, result.matching, result.tree
+
+
+class TestImprovementMatrixEquivalence:
+    @pytest.mark.parametrize("k,n,seed", [(3, 4, 0), (3, 7, 1), (4, 5, 2), (3, 10, 3)])
+    def test_memoized_matches_reference(self, k, n, seed):
+        inst, matching, _ = _random_state(k, n, seed)
+        cached = _improvement_matrices(inst, matching)
+        uncached = reference_improvement_matrices(inst, matching)
+        assert cached.shape == uncached.shape == (k, k, n, n)
+        assert np.array_equal(cached, uncached)
+
+    def test_second_call_is_a_cache_hit_with_same_array(self):
+        inst, matching, _ = _random_state(3, 6, seed=9)
+        first = _improvement_matrices(inst, matching)
+        before = improvement_cache_stats()
+        second = _improvement_matrices(inst, matching)
+        after = improvement_cache_stats()
+        assert second is first  # memoized, not rebuilt
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+
+class TestCacheBookkeeping:
+    def test_stats_snapshot_is_a_copy(self):
+        stats = improvement_cache_stats()
+        stats["hits"] = 10**9
+        assert improvement_cache_stats()["hits"] != 10**9 or stats is not improvement_cache_stats()
+
+    def test_clear_resets_counters(self):
+        inst, matching, _ = _random_state(3, 4, seed=11)
+        _improvement_matrices(inst, matching)
+        _improvement_matrices(inst, matching)
+        clear_improvement_cache()
+        stats = improvement_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0}
+
+    def test_lru_evicts_oldest(self):
+        states = [_random_state(3, 3, seed=100 + s) for s in range(10)]
+        for inst, matching, _ in states:
+            _improvement_matrices(inst, matching)
+        assert improvement_cache_stats()["evictions"] > 0
+        # the most recent entry is still served from cache
+        inst, matching, _ = states[-1]
+        before = improvement_cache_stats()["hits"]
+        _improvement_matrices(inst, matching)
+        assert improvement_cache_stats()["hits"] == before + 1
+
+
+class TestPrescreenedSearchEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_same_verdict_and_witness_as_reference(self, seed):
+        inst, matching, _ = _random_state(3, 5, seed=seed)
+        got = find_blocking_family(inst, matching)
+        want = reference_find_blocking_family(inst, matching)
+        if want is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert tuple(got.members) == tuple(want)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_unstable_matchings_detected_identically(self, seed):
+        # shuffle families to manufacture likely-unstable matchings
+        from repro.core.kary_matching import KAryMatching
+        from repro.utils.rng import as_rng
+
+        inst = random_instance(3, 6, seed=200 + seed)
+        rng = as_rng(300 + seed)
+        fams = np.stack([rng.permutation(6) for _ in range(3)], axis=1)
+        matching = KAryMatching(inst, fams)
+        got = find_blocking_family(inst, matching)
+        want = reference_find_blocking_family(inst, matching)
+        assert (got is None) == (want is None)
+        if got is not None:
+            assert tuple(got.members) == tuple(want)
+
+
+class TestCertificateRouting:
+    def test_tree_certificate_short_circuits(self):
+        inst, matching, tree = _random_state(3, 8, seed=42)
+        assert is_stable_kary(inst, matching, tree) is True
+        assert is_stable_kary(inst, matching) is True  # same answer without it
+
+    def test_wrong_tree_still_decides_correctly(self):
+        # a tree that did NOT produce the matching: certificate may miss,
+        # but the fallback DFS must still return the true verdict
+        inst, matching, _ = _random_state(3, 6, seed=7)
+        other = BindingTree.star(3, center=1)
+        expected = find_blocking_family(inst, matching) is None
+        assert is_stable_kary(inst, matching, other) is expected

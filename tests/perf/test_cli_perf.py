@@ -1,0 +1,100 @@
+"""End-to-end tests for the ``repro perf`` CLI (in-process, via main())."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.workloads import WORKLOADS
+
+# cheapest workload with deterministic ops — keeps CLI tests fast
+FAST = "engine.batch.cached"
+
+
+class TestPerfList:
+    def test_lists_every_workload(self, capsys):
+        assert main(["perf", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+    def test_shows_floors(self, capsys):
+        assert main(["perf", "list"]) == 0
+        assert "floor 5.0x" in capsys.readouterr().out
+
+
+class TestPerfRun:
+    def test_run_subset_writes_baseline(self, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        assert main(
+            ["perf", "run", "--workloads", FAST, "--trials", "1",
+             "--warmup", "0", "-o", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert FAST in payload["workloads"]
+        assert "baseline written" in capsys.readouterr().out
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["perf", "run", "--workloads", "nope", "--trials", "1"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestPerfCheck:
+    @pytest.fixture
+    def baseline(self, tmp_path):
+        path = tmp_path / "base.json"
+        assert main(
+            ["perf", "run", "--workloads", FAST, "--trials", "1",
+             "--warmup", "0", "-o", str(path)]
+        ) == 0
+        return path
+
+    def test_check_against_fresh_baseline_passes(self, baseline, capsys):
+        assert main(
+            ["perf", "check", "--baseline", str(baseline), "--trials", "1",
+             "--warmup", "0", "--tolerance", "0.9"]
+        ) == 0
+        assert "perf check OK" in capsys.readouterr().out
+
+    def test_check_detects_ops_drift(self, baseline, capsys):
+        payload = json.loads(baseline.read_text())
+        payload["workloads"][FAST]["ops"]["cache_hits"] = 999
+        baseline.write_text(json.dumps(payload))
+        assert main(
+            ["perf", "check", "--baseline", str(baseline), "--trials", "1",
+             "--warmup", "0", "--tolerance", "0.9"]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_writes_measured_report(self, baseline, tmp_path):
+        measured = tmp_path / "measured.json"
+        assert main(
+            ["perf", "check", "--baseline", str(baseline), "--trials", "1",
+             "--warmup", "0", "--tolerance", "0.9", "-o", str(measured)]
+        ) == 0
+        assert FAST in json.loads(measured.read_text())["workloads"]
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["perf", "check", "--baseline", str(tmp_path / "absent.json")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_meets_acceptance_floors(self):
+        """BENCH_perf.json (committed) records the acceptance numbers."""
+        from pathlib import Path
+
+        from repro.perf.baseline import load_baseline
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+        report = load_baseline(path)
+        oracle = report.results["oracle.strong.k3n32"]
+        assert oracle.speedup is not None and oracle.speedup >= 5.0
+        gs = report.results["gs.textbook.n256"]
+        assert gs.speedup is not None and gs.speedup > 1.0
+        for res in report.results.values():
+            if res.min_speedup is not None:
+                assert res.speedup is not None
+                assert res.speedup >= res.min_speedup, res.name

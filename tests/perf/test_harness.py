@@ -1,0 +1,194 @@
+"""Unit tests for the perf harness: workloads, runner, baseline gates."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.baseline import (
+    BASELINE_SCHEMA,
+    compare_reports,
+    load_baseline,
+    report_from_dict,
+    report_to_dict,
+    save_baseline,
+)
+from repro.perf.runner import PerfReport, WorkloadResult, run_workloads
+from repro.perf.workloads import WORKLOADS, resolve_workloads
+
+
+class TestWorkloadRegistry:
+    def test_catalogue_names_match_keys(self):
+        for name, wl in WORKLOADS.items():
+            assert wl.name == name
+
+    def test_acceptance_floors_registered(self):
+        # the ISSUE acceptance criteria live in the registry itself
+        assert WORKLOADS["oracle.strong.k3n32"].min_speedup >= 5.0
+        assert WORKLOADS["oracle.strong.cold.k3n32"].min_speedup >= 5.0
+        assert WORKLOADS["gs.textbook.n256"].min_speedup is not None
+
+    def test_resolve_all(self):
+        assert resolve_workloads(None) == list(WORKLOADS.values())
+        assert resolve_workloads("all") == list(WORKLOADS.values())
+
+    def test_resolve_subset_preserves_spec_order(self):
+        picked = resolve_workloads("gs.textbook.n256,oracle.strong.k3n32")
+        assert [w.name for w in picked] == [
+            "gs.textbook.n256",
+            "oracle.strong.k3n32",
+        ]
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            resolve_workloads("no.such.workload")
+
+    def test_resolve_empty_raises(self):
+        with pytest.raises(ConfigurationError, match="empty workload spec"):
+            resolve_workloads(" , ")
+
+    def test_ops_are_deterministic(self):
+        # run each cheap workload twice from fresh state: identical counters
+        for name in ("oracle.strong.k3n32", "engine.batch.cached"):
+            wl = WORKLOADS[name]
+            a = wl.run(wl.build())
+            b = wl.run(wl.build())
+            assert a == b, name
+
+
+class TestRunner:
+    def test_run_subset(self):
+        report = run_workloads("engine.batch.cached", trials=1, warmup=0)
+        assert report.names() == ["engine.batch.cached"]
+        res = report.results["engine.batch.cached"]
+        assert res.optimized_s > 0.0
+        assert res.reference_s is None and res.speedup is None
+        assert res.ops == {"cache_hits": 4, "dedup_hits": 8, "solver_invocations": 0}
+
+    def test_run_sequence_spec(self):
+        report = run_workloads(["engine.batch.cached"], trials=1, warmup=0)
+        assert report.names() == ["engine.batch.cached"]
+
+    def test_speedup_is_ratio(self):
+        report = run_workloads("oracle.strong.k3n32", trials=2, warmup=1)
+        res = report.results["oracle.strong.k3n32"]
+        assert res.reference_s is not None
+        assert res.speedup == pytest.approx(res.reference_s / res.optimized_s)
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ConfigurationError, match="trials"):
+            run_workloads("engine.batch.cached", trials=0)
+        with pytest.raises(ConfigurationError, match="warmup"):
+            run_workloads("engine.batch.cached", trials=1, warmup=-1)
+
+    def test_environment_tags(self):
+        report = run_workloads("engine.batch.cached", trials=1, warmup=0)
+        assert set(report.environment) >= {"python", "numpy", "machine"}
+
+
+def _result(name, *, optimized_s=0.001, speedup=None, ops=None, min_speedup=None):
+    return WorkloadResult(
+        name=name,
+        optimized_s=optimized_s,
+        reference_s=None if speedup is None else optimized_s * speedup,
+        speedup=speedup,
+        ops=ops or {},
+        trials=3,
+        warmup=1,
+        reps=1,
+        min_speedup=min_speedup,
+    )
+
+
+def _report(*results):
+    return PerfReport(
+        results={r.name: r for r in results}, trials=3, warmup=1, environment={}
+    )
+
+
+class TestBaselineRoundTrip:
+    def test_round_trip_preserves_results(self):
+        report = _report(
+            _result("a", speedup=4.0, ops={"proposals": 7}, min_speedup=2.0),
+            _result("b"),
+        )
+        again = report_from_dict(report_to_dict(report))
+        assert again.results == report.results
+        assert again.trials == report.trials
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "base.json"
+        report = _report(_result("a", speedup=3.0, ops={"x": 1}))
+        save_baseline(report, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert load_baseline(path).results == report.results
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read baseline"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            report_from_dict({"schema": 99, "workloads": {}})
+
+    def test_rejects_malformed_entry(self):
+        with pytest.raises(ConfigurationError, match="malformed baseline entry"):
+            report_from_dict(
+                {"schema": BASELINE_SCHEMA, "workloads": {"a": {"ops": {}}}}
+            )
+
+
+class TestCompareReports:
+    def test_clean_pass(self):
+        base = _report(_result("a", speedup=4.0, ops={"p": 1}, min_speedup=2.0))
+        cur = _report(_result("a", speedup=3.9, ops={"p": 1}, min_speedup=2.0))
+        assert compare_reports(cur, base) == []
+
+    def test_missing_workload_fails(self):
+        base = _report(_result("a"))
+        failures = compare_reports(_report(), base)
+        assert [f.kind for f in failures] == ["missing"]
+        assert "a [missing]" in failures[0].format()
+
+    def test_new_workload_in_current_is_not_a_failure(self):
+        base = _report(_result("a", ops={"p": 1}))
+        cur = _report(_result("a", ops={"p": 1}), _result("brand.new"))
+        assert compare_reports(cur, base) == []
+
+    def test_ops_drift_fails_exactly(self):
+        base = _report(_result("a", ops={"proposals": 10}))
+        cur = _report(_result("a", ops={"proposals": 11}))
+        failures = compare_reports(cur, base)
+        assert [f.kind for f in failures] == ["ops"]
+
+    def test_floor_violation_fails(self):
+        base = _report(_result("a", speedup=6.0, min_speedup=5.0))
+        cur = _report(_result("a", speedup=4.0, min_speedup=5.0))
+        kinds = {f.kind for f in compare_reports(cur, base, tolerance=0.5)}
+        assert "floor" in kinds
+
+    def test_speedup_regression_beyond_tolerance_fails(self):
+        base = _report(_result("a", speedup=10.0))
+        cur = _report(_result("a", speedup=7.0))
+        assert compare_reports(cur, base, tolerance=0.5) == []
+        failures = compare_reports(cur, base, tolerance=0.25)
+        assert [f.kind for f in failures] == ["speedup"]
+
+    def test_time_only_under_strict(self):
+        base = _report(_result("a", optimized_s=0.001))
+        cur = _report(_result("a", optimized_s=0.1))
+        assert compare_reports(cur, base) == []
+        failures = compare_reports(cur, base, strict_time=True)
+        assert [f.kind for f in failures] == ["time"]
+
+    def test_tolerance_validated(self):
+        base = _report()
+        with pytest.raises(ConfigurationError, match="tolerance"):
+            compare_reports(_report(), base, tolerance=1.5)
