@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint typecheck test bench bench-smoke perf perf-smoke examples fast slow all clean
+.PHONY: install lint typecheck test bench bench-smoke perf perf-smoke perf-history trace-smoke examples fast slow all clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -41,6 +41,20 @@ perf:
 perf-smoke:
 	PYTHONPATH=src $(PY) -m repro perf check --baseline BENCH_perf.json \
 		--trials 3 --tolerance 0.6 -o BENCH_perf_measured.json
+
+# file the freshly measured report under benchmarks/history/ (keyed by
+# the current commit) and refresh the trend table in EXPERIMENTS.md
+perf-history:
+	PYTHONPATH=src $(PY) -m repro perf history --record BENCH_perf_measured.json \
+		--experiments EXPERIMENTS.md
+
+# end-to-end observability gate: instrumented k=3 solve, then validate
+# the journal line grammar, the Chrome-trace schema, and the Theorem 3
+# span invariants (k-1 binding spans, proposal totals within bound)
+trace-smoke:
+	rm -rf .trace-smoke
+	PYTHONPATH=src $(PY) -m repro trace --example k3 --out-dir .trace-smoke --smoke
+	rm -rf .trace-smoke
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \

@@ -23,6 +23,9 @@ Layers (see DESIGN.md for the full map):
 * :mod:`repro.parallel` — binding schedules, PRAM model, real executor;
 * :mod:`repro.distributed` — distributed GS on a message simulator;
 * :mod:`repro.analysis` — metrics, counting, experiment sweeps;
+* :mod:`repro.obs` — tracing, metrics registry, run journals: pass a
+  :class:`~repro.obs.Recorder` as any solver's ``sink=`` to capture
+  span trees and counters (see docs/OBSERVABILITY.md);
 * :mod:`repro.engine` — batched solve service: content-addressed
   result cache, in-flight dedup, retries, telemetry (not re-exported
   here; ``from repro.engine import MatchingEngine, SolveRequest``).
@@ -65,6 +68,7 @@ from repro.core import (
 )
 from repro.parallel import run_bindings_parallel, greedy_tree_schedule, simulate_schedule
 from repro.distributed import run_distributed_gs
+from repro.obs import MetricsRegistry, ObsSink, Recorder, Tracer
 
 __version__ = "1.0.0"
 
@@ -116,4 +120,9 @@ __all__ = [
     "greedy_tree_schedule",
     "simulate_schedule",
     "run_distributed_gs",
+    # observability
+    "ObsSink",
+    "Recorder",
+    "Tracer",
+    "MetricsRegistry",
 ]

@@ -23,6 +23,10 @@ Engines
     Same schedule as ``rounds`` but each round is a handful of NumPy
     batch operations — the profile-guided optimization the HPC guides
     prescribe (the hot loop is rank comparison; we lift it to arrays).
+``auto``
+    Route by the measured textbook/vectorized crossover: the tight list
+    loop wins below :data:`AUTO_CROSSOVER_N`, the NumPy rounds win at
+    and above it (see docs/PERFORMANCE.md for the measurement).
 """
 
 from __future__ import annotations
@@ -32,9 +36,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError, InvalidInstanceError
+from repro.obs.sink import ObsSink
 from repro.utils.ordering import NotAPermutationError, rank_matrix
 
-__all__ = ["GSResult", "gale_shapley", "ENGINES"]
+__all__ = [
+    "GSResult",
+    "gale_shapley",
+    "resolve_auto_engine",
+    "AUTO_CROSSOVER_N",
+    "ENGINES",
+]
 
 
 @dataclass(frozen=True)
@@ -249,6 +260,21 @@ ENGINES = {
     "vectorized": _gs_vectorized,
 }
 
+#: measured crossover between the textbook list loop and the vectorized
+#: rounds engine on random instances (this box, 2026-08): textbook wins
+#: by 1.8-2.7x up to n=384; vectorized wins by ~1.2-1.3x from n=512 on.
+#: See docs/PERFORMANCE.md ("Engine crossover and auto routing").
+AUTO_CROSSOVER_N = 512
+
+
+def resolve_auto_engine(n: int) -> str:
+    """The engine ``engine="auto"`` routes an ``n``-member instance to.
+
+    ``"textbook"`` below :data:`AUTO_CROSSOVER_N`, ``"vectorized"`` at
+    and above it — the measured crossover of the two implementations.
+    """
+    return "textbook" if n < AUTO_CROSSOVER_N else "vectorized"
+
 
 def gale_shapley(
     proposer_prefs: np.ndarray,
@@ -256,6 +282,7 @@ def gale_shapley(
     *,
     engine: str = "textbook",
     trace: bool = False,
+    sink: "ObsSink | None" = None,
 ) -> GSResult:
     """Run Gale-Shapley and return the proposer-optimal stable matching.
 
@@ -269,9 +296,17 @@ def gale_shapley(
         proposer indices, best first.
     engine:
         One of :data:`ENGINES` (``"textbook"``, ``"rounds"``,
-        ``"vectorized"``).  All engines return the same matching.
+        ``"vectorized"``) or ``"auto"`` (route by the measured size
+        crossover; the resolved name is reported in
+        :attr:`GSResult.engine`).  All engines return the same matching.
     trace:
         Record individual proposal events (slows large runs).
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink`: wraps the run in a
+        ``gs.run`` span tagged with the engine, n, proposals, and
+        rounds, and feeds the ``gs.*`` counters/histograms.  ``None``
+        (the default) skips instrumentation entirely — one pointer
+        comparison of overhead.
 
     Examples
     --------
@@ -285,17 +320,30 @@ def gale_shapley(
     p, r = _validate_prefs(proposer_prefs, responder_prefs)
     _proposer_check(p)  # proposer rows must be permutations too
     r_rank = _responder_ranks(r)
+    resolved = resolve_auto_engine(p.shape[0]) if engine == "auto" else engine
     try:
-        run = ENGINES[engine]
+        run = ENGINES[resolved]
     except KeyError:
-        raise ConfigurationError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}") from None
-    matching, proposals, rounds, events = run(p, r_rank, trace)
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES) + ['auto']}"
+        ) from None
+    if sink is None:
+        matching, proposals, rounds, events = run(p, r_rank, trace)
+    else:
+        with sink.span("gs.run", engine=resolved, n=int(p.shape[0])) as sp:
+            matching, proposals, rounds, events = run(p, r_rank, trace)
+            sp.set(proposals=proposals, rounds=rounds)
+        sink.incr("gs.runs")
+        sink.incr(f"gs.engine.{resolved}.runs")
+        sink.incr("gs.proposals", proposals)
+        sink.incr("gs.rounds", rounds)
+        sink.observe("gs.proposals_per_run", proposals)
     if -1 in matching:
         raise InvalidInstanceError("engine terminated with an unmatched proposer")
     return GSResult(
         matching=tuple(int(x) for x in matching),
         proposals=proposals,
         rounds=rounds,
-        engine=engine,
+        engine=resolved,
         trace=tuple(events),
     )

@@ -28,7 +28,12 @@ Subcommands
     Tracked microbenchmarks: ``run`` measures the seeded workloads,
     ``check`` gates a fresh measurement against the committed
     ``BENCH_perf.json``, ``compare`` diffs two saved reports, ``list``
-    prints the catalogue (see docs/PERFORMANCE.md).
+    prints the catalogue, ``history`` keeps the per-commit trend (see
+    docs/PERFORMANCE.md).
+``trace``
+    Run one fully-instrumented solve through the engine and export the
+    run journal (JSONL), a Chrome-trace file, and the metrics snapshot
+    (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -264,6 +269,75 @@ def build_parser() -> argparse.ArgumentParser:
     perf_compare.add_argument("--strict-time", action="store_true")
 
     perf_sub.add_parser("list", help="print the workload catalogue")
+
+    perf_history = perf_sub.add_parser(
+        "history", help="per-commit perf trend: record reports, render table"
+    )
+    perf_history.add_argument(
+        "--record",
+        type=Path,
+        default=None,
+        help="file this measured report into the history dir, keyed by commit",
+    )
+    perf_history.add_argument(
+        "--sha",
+        default=None,
+        help="override the history key (default: git rev-parse --short HEAD)",
+    )
+    perf_history.add_argument(
+        "--history-dir",
+        type=Path,
+        default=Path("benchmarks/history"),
+        help="per-commit report store (default: benchmarks/history)",
+    )
+    perf_history.add_argument(
+        "--experiments",
+        type=Path,
+        default=None,
+        help="render the trend table into this markdown file between the "
+        "perf-history markers (default: print to stdout)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an instrumented solve; emit run journal + Chrome trace",
+    )
+    trace.add_argument(
+        "--example",
+        choices=("k3",),
+        default=None,
+        help="built-in example instance ('k3' is the paper's Figure 3)",
+    )
+    trace.add_argument("-k", type=int, default=3, help="genders (generator mode)")
+    trace.add_argument(
+        "-n", type=int, default=8, help="members per gender (generator mode)"
+    )
+    trace.add_argument("--seed", type=int, default=0, help="generator seed")
+    trace.add_argument(
+        "--solver", choices=("kary", "priority", "binary"), default="kary"
+    )
+    trace.add_argument(
+        "--tree",
+        default="chain",
+        help="binding tree spec for the kary solver (chain | star | edges)",
+    )
+    trace.add_argument(
+        "--gs-engine",
+        default="auto",
+        help="Gale-Shapley engine for bindings (auto routes by size)",
+    )
+    trace.add_argument(
+        "--out-dir",
+        type=Path,
+        required=True,
+        help="directory for journal.jsonl, trace.json, and metrics.json",
+    )
+    trace.add_argument(
+        "--smoke",
+        action="store_true",
+        help="re-read and validate the emitted files, check the Theorem 3 "
+        "span invariants, and fail loudly on any mismatch",
+    )
     return parser
 
 
@@ -352,6 +426,128 @@ def _run_solve_batch(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """Drive one fully-instrumented solve and export its observability.
+
+    Emits ``journal.jsonl`` (the JSONL run journal), ``trace.json``
+    (Chrome-trace / Perfetto), and ``metrics.json`` (the registry
+    snapshot) under ``--out-dir``, then prints a per-span summary
+    table.  ``--smoke`` re-reads the emitted files, validates both
+    schemas, and checks the Theorem 3 span invariants (see
+    docs/OBSERVABILITY.md).
+    """
+    from repro.engine import MatchingEngine, SolveRequest
+    from repro.obs import (
+        Recorder,
+        read_journal,
+        validate_chrome_trace,
+        validate_journal,
+        write_chrome_trace,
+        write_journal,
+    )
+
+    if args.example == "k3":
+        from repro.model.examples import figure3_instance
+
+        inst = figure3_instance()
+        label = "example:k3"
+    else:
+        inst = random_instance(args.k, args.n, args.seed)
+        label = f"random:k{args.k}n{args.n}s{args.seed}"
+
+    rec = Recorder()
+    request = SolveRequest(
+        instance=inst,
+        solver=args.solver,
+        tree=args.tree,
+        gs_engine=args.gs_engine,
+        verify=True,
+        label=label,
+    )
+    with MatchingEngine(backend="serial", sink=rec) as engine:
+        result = engine.submit(request)
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    journal_path = args.out_dir / "journal.jsonl"
+    trace_path = args.out_dir / "trace.json"
+    metrics_path = args.out_dir / "metrics.json"
+    lines = write_journal(
+        journal_path,
+        tracer=rec.tracer,
+        metrics=rec.metrics,
+        meta={
+            "workload": label,
+            "solver": args.solver,
+            "k": inst.k,
+            "n": inst.n,
+            "gs_engine": args.gs_engine,
+            "status": result.status,
+        },
+    )
+    write_chrome_trace(trace_path, rec.tracer)
+    metrics_path.write_text(rec.metrics.to_json(indent=2, sort_keys=True) + "\n")
+
+    totals: dict[str, tuple[int, float]] = {}
+    for span in rec.tracer.spans:
+        count, secs = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, secs + span.duration_s)
+    print(f"{'span':<24} {'count':>6} {'total':>10}")
+    for name in sorted(totals):
+        count, secs = totals[name]
+        print(f"{name:<24} {count:>6} {secs * 1e3:>8.3f}ms")
+    print(
+        f"status={result.status} proposals={result.proposals} "
+        f"spans={len(rec.tracer.spans)} journal_lines={lines}"
+    )
+    print(f"wrote {journal_path}, {trace_path}, {metrics_path}")
+
+    if not args.smoke:
+        return 0
+
+    def smoke_fail(message: str) -> int:
+        print(f"trace smoke FAILED: {message}", file=sys.stderr)
+        return 1
+
+    records = read_journal(journal_path)
+    validate_journal(records)
+    if len(records) != lines:
+        return smoke_fail(
+            f"journal has {len(records)} lines, writer reported {lines}"
+        )
+    validate_chrome_trace(json.loads(trace_path.read_text()))
+    if args.solver in ("kary", "priority"):
+        edge_spans = rec.tracer.find("binding.edge")
+        if len(edge_spans) != inst.k - 1:
+            return smoke_fail(
+                f"expected k-1={inst.k - 1} binding.edge spans, "
+                f"got {len(edge_spans)}"
+            )
+        span_total = sum(int(s.attributes["proposals"]) for s in edge_spans)  # type: ignore[call-overload]
+        if span_total != result.proposals:
+            return smoke_fail(
+                f"binding.edge proposals sum {span_total} != engine-reported "
+                f"total {result.proposals}"
+            )
+        bound = (inst.k - 1) * inst.n * inst.n
+        if span_total > bound:
+            return smoke_fail(
+                f"proposals {span_total} exceed the Theorem 3 bound {bound}"
+            )
+        print(
+            f"trace smoke OK: {len(edge_spans)} binding spans, "
+            f"{span_total} proposals <= bound {bound}, "
+            f"{lines} journal lines, chrome trace valid"
+        )
+    else:
+        if not rec.tracer.find("irving.phase1"):
+            return smoke_fail("binary solve produced no irving.phase1 span")
+        print(
+            f"trace smoke OK: irving spans present, {lines} journal lines, "
+            "chrome trace valid"
+        )
+    return 0
+
+
 def _emit(text: str, output: Path | None) -> None:
     if output is None:
         print(text)
@@ -380,6 +576,12 @@ def main(argv: list[str] | None = None) -> int:
 
         try:
             return run_perf(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "trace":
+        try:
+            return _run_trace(args)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

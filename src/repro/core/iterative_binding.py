@@ -20,6 +20,7 @@ from repro.exceptions import InvalidBindingTreeError
 from repro.core.kary_matching import KAryMatching
 from repro.model.instance import KPartiteInstance
 from repro.model.members import Member
+from repro.obs.sink import ObsSink
 from repro.utils.rng import as_rng
 
 __all__ = ["BindingResult", "iterative_binding", "binding_pairs_for_edge"]
@@ -63,11 +64,18 @@ class BindingResult:
 
 
 def binding_pairs_for_edge(
-    instance: KPartiteInstance, proposer: int, responder: int, *, engine: str = "textbook"
+    instance: KPartiteInstance,
+    proposer: int,
+    responder: int,
+    *,
+    engine: str = "textbook",
+    sink: "ObsSink | None" = None,
 ) -> tuple[list[tuple[Member, Member]], GSResult]:
     """Run one binding GS(proposer, responder); return pairs and stats."""
     view = instance.bipartite_view(proposer, responder)
-    res = gale_shapley(view.proposer_prefs, view.responder_prefs, engine=engine)
+    res = gale_shapley(
+        view.proposer_prefs, view.responder_prefs, engine=engine, sink=sink
+    )
     pairs = [(Member(proposer, i), Member(responder, j)) for i, j in enumerate(res.matching)]
     return pairs, res
 
@@ -78,6 +86,7 @@ def iterative_binding(
     *,
     engine: str = "textbook",
     seed: int | None | np.random.Generator = None,
+    sink: "ObsSink | None" = None,
 ) -> BindingResult:
     """Run Algorithm 1 on ``instance`` along ``tree``.
 
@@ -94,6 +103,13 @@ def iterative_binding(
         :mod:`repro.bipartite`).  All engines give the same matching.
     seed:
         Only used when ``tree is None``.
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink`.  The run is wrapped
+        in a ``binding.run`` span with one ``binding.edge`` child per
+        binding-tree edge, each tagged with the tree edge and its
+        proposal count — Theorem 3's (k-1)·n² bound (and Corollaries
+        1-2's round structure) become checkable from a trace.  ``None``
+        skips instrumentation entirely.
 
     Examples
     --------
@@ -115,16 +131,45 @@ def iterative_binding(
         )
     pairs: list[tuple[Member, Member]] = []
     results: list[GSResult] = []
-    for proposer, responder in tree.edges:
-        edge_pairs, res = binding_pairs_for_edge(
-            instance, proposer, responder, engine=engine
-        )
-        pairs.extend(edge_pairs)
-        results.append(res)
+    if sink is None:  # fast path: zero instrumentation overhead
+        for proposer, responder in tree.edges:
+            edge_pairs, res = binding_pairs_for_edge(
+                instance, proposer, responder, engine=engine
+            )
+            pairs.extend(edge_pairs)
+            results.append(res)
+        total = sum(r.proposals for r in results)
+    else:
+        with sink.span(
+            "binding.run",
+            k=instance.k,
+            n=instance.n,
+            tree=[list(e) for e in tree.edges],
+            engine=engine,
+        ) as run_span:
+            for proposer, responder in tree.edges:
+                with sink.span(
+                    "binding.edge", edge=[proposer, responder]
+                ) as edge_span:
+                    edge_pairs, res = binding_pairs_for_edge(
+                        instance, proposer, responder, engine=engine, sink=sink
+                    )
+                    edge_span.set(proposals=res.proposals, rounds=res.rounds)
+                sink.incr("binding.edges")
+                sink.observe("binding.proposals_per_edge", res.proposals)
+                pairs.extend(edge_pairs)
+                results.append(res)
+            total = sum(r.proposals for r in results)
+            sink.incr("binding.runs")
+            sink.incr("binding.proposals", total)
+            run_span.set(
+                total_proposals=total,
+                proposal_bound=(instance.k - 1) * instance.n * instance.n,
+            )
     matching = KAryMatching.from_pairs(instance, pairs)
     return BindingResult(
         matching=matching,
         tree=tree,
         edge_results=tuple(results),
-        total_proposals=sum(r.proposals for r in results),
+        total_proposals=total,
     )

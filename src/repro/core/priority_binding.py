@@ -22,6 +22,7 @@ from repro.core.binding_tree import BindingTree
 from repro.core.iterative_binding import BindingResult, iterative_binding
 from repro.exceptions import InvalidBindingTreeError
 from repro.model.instance import KPartiteInstance
+from repro.obs.sink import ObsSink
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -150,15 +151,18 @@ def priority_binding(
     attach: str | AttachPolicy = "chain",
     engine: str = "textbook",
     seed: int | None | np.random.Generator = None,
+    sink: "ObsSink | None" = None,
 ) -> BindingResult:
     """Algorithm 2 end to end: build the bitonic tree, then bind.
 
     The returned matching is stable under the **weakened** blocking
     condition for the given priorities (Theorem 5) — and a fortiori
-    under the strong one (Theorem 2).
+    under the strong one (Theorem 2).  ``sink`` is forwarded to
+    :func:`~repro.core.iterative_binding.iterative_binding`, whose
+    ``binding.*`` spans and counters cover the Algorithm 2 run too.
     """
     if priorities is None:
         priorities = list(range(instance.k))
     tree = build_priority_tree(instance.k, priorities, attach=attach, seed=seed)
     assert tree.is_bitonic(priorities), "Algorithm 2 must construct a bitonic tree"
-    return iterative_binding(instance, tree, engine=engine)
+    return iterative_binding(instance, tree, engine=engine, sink=sink)

@@ -92,12 +92,21 @@ class ResultCache:
         A miss in memory falls through to the disk tier (when present)
         and promotes the loaded entry back into memory.
         """
+        return self.get_with_tier(key)[0]
+
+    def get_with_tier(self, key: str) -> tuple[dict[str, Any] | None, str]:
+        """Like :meth:`get`, but also report which tier answered.
+
+        Returns ``(payload, tier)`` with ``tier`` one of ``"memory"``,
+        ``"disk"``, or ``"miss"`` (``payload is None`` iff ``"miss"``) —
+        the attribute the engine's ``engine.cache`` spans carry.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return entry
+                return entry, "memory"
             if self.disk_dir is not None:
                 path = self._disk_path(key)
                 try:
@@ -108,9 +117,9 @@ class ResultCache:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
                     self._store_locked(key, loaded, write_disk=False)
-                    return loaded
+                    return loaded, "disk"
             self.stats.misses += 1
-            return None
+            return None, "miss"
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
         """Store ``payload`` (a plain-JSON dict) under ``key``."""

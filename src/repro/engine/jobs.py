@@ -58,6 +58,7 @@ from repro.model.serialize import (
     matching_from_dict,
     matching_to_dict,
 )
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.parallel.executor import validate_backend
 
 __all__ = [
@@ -210,16 +211,23 @@ class SolveResult:
         }
 
 
-def _solve_worker(task: tuple[str, str, dict[str, Any]]) -> dict[str, Any]:
-    """Top-level worker (must be picklable): solve one serialized job."""
+def _solve_worker(
+    task: tuple[str, str, dict[str, Any]], sink: "ObsSink | None" = None
+) -> dict[str, Any]:
+    """Top-level worker (must be picklable): solve one serialized job.
+
+    ``sink`` is only threaded in by the serial backend (pool dispatch
+    keeps the single-argument picklable form), so solver spans nest
+    under the engine's ``engine.solve`` span when solving in-process.
+    """
     solver, instance_json, spec = task
     inst = instance_from_json(instance_json)
     if solver in ("kary", "priority"):
         if solver == "kary":
             tree = BindingTree.from_spec(inst.k, spec["tree"], spec.get("tree_seed"))
-            res = iterative_binding(inst, tree, engine=spec["gs_engine"])
+            res = iterative_binding(inst, tree, engine=spec["gs_engine"], sink=sink)
         else:
-            res = priority_binding(inst, engine=spec["gs_engine"])
+            res = priority_binding(inst, engine=spec["gs_engine"], sink=sink)
         return {
             "status": "ok",
             "solver": solver,
@@ -233,7 +241,7 @@ def _solve_worker(task: tuple[str, str, dict[str, Any]]) -> dict[str, Any]:
         from repro.kpartite.existence import solve_binary  # lazy: kpartite sits above engine
 
         try:
-            res_b = solve_binary(inst, linearization=spec["linearization"])
+            res_b = solve_binary(inst, linearization=spec["linearization"], sink=sink)
         except NoStableMatchingError as exc:
             return {
                 "status": "no_stable",
@@ -290,6 +298,16 @@ class MatchingEngine:
     telemetry:
         Shared :class:`~repro.engine.telemetry.EngineTelemetry` block;
         defaults to a private one exposed as ``engine.telemetry``.
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink`.  Each ``solve_many``
+        call becomes an ``engine.batch`` span with one child per
+        pipeline stage (``engine.fingerprint`` / ``engine.cache`` /
+        ``engine.solve`` / ``engine.verify``); the cache span carries
+        per-tier hit counts (``memory_hits`` / ``disk_hits`` /
+        ``misses``).  With the serial backend the sink is also threaded
+        into the solve worker, so solver spans (``binding.*``,
+        ``irving.*``, ``gs.*``) nest under ``engine.solve``; pool
+        backends keep the worker sink-free to stay picklable.
     fault_hook:
         Test seam: called as ``fault_hook(request, attempt)`` before
         each dispatch; raising :class:`TransientWorkerError` there makes
@@ -309,6 +327,7 @@ class MatchingEngine:
         cache: ResultCache | None = None,
         retry: RetryPolicy | None = None,
         telemetry: EngineTelemetry | None = None,
+        sink: "ObsSink | None" = None,
         fault_hook: Callable[[SolveRequest, int], None] | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -317,6 +336,7 @@ class MatchingEngine:
         self.cache = cache if cache is not None else ResultCache()
         self.retry = retry if retry is not None else RetryPolicy()
         self.telemetry = telemetry if telemetry is not None else EngineTelemetry()
+        self.sink = sink
         self._fault_hook = fault_hook
         self._sleep = sleep
         self._pool: Executor | None = None
@@ -371,52 +391,75 @@ class MatchingEngine:
         """
         requests = list(requests)
         self.telemetry.incr("jobs_submitted", len(requests))
+        obs = self.sink if self.sink is not None else NULL_SINK
 
-        with self.telemetry.timer("fingerprint"):
-            jobs: dict[str, _Job] = {}
-            # instance serialization dominates fingerprint cost, so hash
-            # each distinct instance *object* once per batch.
-            digests: dict[int, str] = {}
-            for pos, req in enumerate(requests):
-                key = digests.get(id(req.instance))
-                if key is None:
-                    key = digests[id(req.instance)] = instance_digest(req.instance)
-                fp = solve_fingerprint(
-                    req.instance, req.solver, req.spec(), instance_key=key
+        with obs.span("engine.batch", requests=len(requests)) as batch_span:
+            with obs.span("engine.fingerprint", requests=len(requests)):
+                with self.telemetry.timer("fingerprint"):
+                    jobs: dict[str, _Job] = {}
+                    # instance serialization dominates fingerprint cost, so
+                    # hash each distinct instance *object* once per batch.
+                    digests: dict[int, str] = {}
+                    for pos, req in enumerate(requests):
+                        key = digests.get(id(req.instance))
+                        if key is None:
+                            key = digests[id(req.instance)] = instance_digest(
+                                req.instance
+                            )
+                        fp = solve_fingerprint(
+                            req.instance, req.solver, req.spec(), instance_key=key
+                        )
+                        job = jobs.get(fp)
+                        if job is None:
+                            jobs[fp] = job = _Job(fingerprint=fp, request=req)
+                        job.positions.append(pos)
+            self.telemetry.incr("dedup_hits", len(requests) - len(jobs))
+            self.telemetry.incr("unique_jobs", len(jobs))
+
+            with obs.span("engine.cache", jobs=len(jobs)) as cache_span:
+                with self.telemetry.timer("cache"):
+                    to_solve: list[_Job] = []
+                    tiers = {"memory": 0, "disk": 0, "miss": 0}
+                    for job in jobs.values():
+                        payload, tier = self.cache.get_with_tier(job.fingerprint)
+                        tiers[tier] += 1
+                        if payload is not None:
+                            job.payload = payload
+                            job.from_cache = True
+                            self.telemetry.incr("cache_hits")
+                        else:
+                            to_solve.append(job)
+                            self.telemetry.incr("cache_misses")
+                cache_span.set(
+                    memory_hits=tiers["memory"],
+                    disk_hits=tiers["disk"],
+                    misses=tiers["miss"],
                 )
-                job = jobs.get(fp)
-                if job is None:
-                    jobs[fp] = job = _Job(fingerprint=fp, request=req)
-                job.positions.append(pos)
-        self.telemetry.incr("dedup_hits", len(requests) - len(jobs))
-        self.telemetry.incr("unique_jobs", len(jobs))
 
-        with self.telemetry.timer("cache"):
-            to_solve: list[_Job] = []
+            with obs.span(
+                "engine.solve", jobs=len(to_solve), backend=self.backend
+            ):
+                self._solve_jobs(to_solve)
+
             for job in jobs.values():
-                payload = self.cache.get(job.fingerprint)
-                if payload is not None:
-                    job.payload = payload
-                    job.from_cache = True
-                    self.telemetry.incr("cache_hits")
-                else:
-                    to_solve.append(job)
-                    self.telemetry.incr("cache_misses")
+                payload = job.payload
+                assert payload is not None  # every job is solved or cached by now
+                if not job.from_cache:
+                    self.telemetry.incr("proposals", int(payload.get("proposals", 0)))
+                    self.telemetry.incr("rotations", int(payload.get("rotations", 0)))
 
-        self._solve_jobs(to_solve)
-
-        for job in jobs.values():
-            payload = job.payload
-            assert payload is not None  # every job is solved or cached by now
-            if not job.from_cache:
-                self.telemetry.incr("proposals", int(payload.get("proposals", 0)))
-                self.telemetry.incr("rotations", int(payload.get("rotations", 0)))
-
-        stable_by_fp: dict[str, bool | None] = {}
-        with self.telemetry.timer("verify"):
-            for job in jobs.values():
-                if any(requests[p].verify for p in job.positions):
-                    stable_by_fp[job.fingerprint] = self._verify(job)
+            stable_by_fp: dict[str, bool | None] = {}
+            with obs.span("engine.verify") as verify_span:
+                with self.telemetry.timer("verify"):
+                    for job in jobs.values():
+                        if any(requests[p].verify for p in job.positions):
+                            stable_by_fp[job.fingerprint] = self._verify(job)
+                verify_span.set(verified=len(stable_by_fp))
+            batch_span.set(
+                unique_jobs=len(jobs),
+                solved=len(to_solve),
+                cache_hits=len(jobs) - len(to_solve),
+            )
 
         results: list[SolveResult] = [None] * len(requests)  # type: ignore[list-item]
         for job in jobs.values():
@@ -481,7 +524,7 @@ class MatchingEngine:
                         self._fault_hook(job.request, attempt)
                     if pool is None:
                         self.telemetry.incr("solver_invocations")
-                        job.payload = _solve_worker(task)
+                        job.payload = _solve_worker(task, sink=self.sink)
                         job.seconds = time.perf_counter() - start
                     else:
                         self.telemetry.incr("solver_invocations")

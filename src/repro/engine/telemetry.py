@@ -1,4 +1,4 @@
-"""Engine telemetry: counters, stage timers, JSON export.
+"""Engine telemetry: a thin facade over :class:`repro.obs.MetricsRegistry`.
 
 Two granularities feed one snapshot:
 
@@ -10,11 +10,22 @@ Two granularities feed one snapshot:
   (``fingerprint`` / ``cache`` / ``solve`` / ``verify``), recorded via
   the :meth:`EngineTelemetry.timer` context manager.
 
+Since the :mod:`repro.obs` unification, the storage behind both is a
+:class:`~repro.obs.metrics.MetricsRegistry` (exposed as
+:attr:`EngineTelemetry.registry`): counters live in the registry's
+counter table, and each stage timer is a ``stage.<name>.seconds``
+histogram on :data:`~repro.obs.metrics.DEFAULT_TIME_EDGES` (``calls`` is
+the histogram's sample count, ``seconds`` its sum).  The classic
+``snapshot()`` / ``to_json()`` schema documented in docs/ENGINE.md —
+``{"counters": ..., "stages": {stage: {"seconds", "calls"}}}`` — is
+preserved exactly; pass the registry itself to solvers (it is an
+:class:`~repro.obs.sink.ObsSink`) to collect solver-side metrics in the
+same place and export them via ``registry.snapshot()``.
+
 :func:`matching_quality` bridges results into :mod:`repro.analysis.
 metrics`: per-job happiness metrics (egalitarian cost, regret, spread)
 computed from the solved matching, so batch reports can aggregate
-solution *quality* next to serving *throughput*.  ``snapshot()`` /
-``to_json()`` is the export schema documented in docs/ENGINE.md.
+solution *quality* next to serving *throughput*.
 """
 
 from __future__ import annotations
@@ -25,11 +36,16 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.metrics import kary_costs
+from repro.obs.metrics import DEFAULT_TIME_EDGES, MetricsRegistry
 
 if TYPE_CHECKING:  # annotation-only to keep the runtime import surface small
     from repro.core.kary_matching import KAryMatching
 
 __all__ = ["EngineTelemetry", "matching_quality"]
+
+#: registry histogram name for a pipeline stage's durations.
+_STAGE_PREFIX = "stage."
+_STAGE_SUFFIX = ".seconds"
 
 
 def matching_quality(matching: "KAryMatching") -> dict[str, object]:
@@ -49,56 +65,72 @@ def matching_quality(matching: "KAryMatching") -> dict[str, object]:
 
 
 class EngineTelemetry:
-    """Mutable counter/timer block owned by one engine (or one test)."""
+    """Mutable counter/timer block owned by one engine (or one test).
 
-    def __init__(self) -> None:
-        self._counters: dict[str, int] = {}
-        self._stage_seconds: dict[str, float] = {}
-        self._stage_calls: dict[str, int] = {}
+    Attributes
+    ----------
+    registry:
+        The backing :class:`~repro.obs.metrics.MetricsRegistry`.  Hand
+        it to instrumented solvers as their ``sink`` to fold solver
+        metrics (``gs.*``, ``irving.*``, ``binding.*``) into the same
+        store; its full snapshot (histograms included) is available via
+        ``registry.snapshot()``.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @staticmethod
+    def _stage_metric(stage: str) -> str:
+        return f"{_STAGE_PREFIX}{stage}{_STAGE_SUFFIX}"
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at 0)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        self.registry.incr(name, amount)
 
     def count(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never touched)."""
-        return self._counters.get(name, 0)
+        return self.registry.count(name)
 
     @contextmanager
     def timer(self, stage: str) -> Iterator[None]:
         """Accumulate the wall-clock of the ``with`` body under ``stage``."""
+        hist = self.registry.register_histogram(
+            self._stage_metric(stage), DEFAULT_TIME_EDGES
+        )
         start = time.perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + elapsed
-            self._stage_calls[stage] = self._stage_calls.get(stage, 0) + 1
+            hist.observe(time.perf_counter() - start)
 
     def stage_seconds(self, stage: str) -> float:
         """Cumulative seconds recorded for ``stage`` (0.0 when absent)."""
-        return self._stage_seconds.get(stage, 0.0)
+        hist = self.registry.histogram(self._stage_metric(stage))
+        return hist.sum if hist is not None else 0.0
 
     def merge(self, other: "EngineTelemetry") -> None:
         """Fold ``other``'s counters and timers into this block."""
-        for name, value in other._counters.items():
-            self.incr(name, value)
-        for stage, secs in other._stage_seconds.items():
-            self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + secs
-            self._stage_calls[stage] = self._stage_calls.get(stage, 0) + other._stage_calls.get(stage, 0)
+        self.registry.merge(other.registry)
 
     def snapshot(self) -> dict[str, object]:
-        """JSON-safe export: counters plus per-stage seconds and calls."""
-        return {
-            "counters": dict(sorted(self._counters.items())),
-            "stages": {
-                stage: {
-                    "seconds": self._stage_seconds[stage],
-                    "calls": self._stage_calls.get(stage, 0),
-                }
-                for stage in sorted(self._stage_seconds)
-            },
-        }
+        """JSON-safe export: counters plus per-stage seconds and calls.
+
+        The schema predates the metrics unification and is kept stable:
+        ``{"counters": {...}, "stages": {stage: {"seconds", "calls"}}}``.
+        Stage entries are derived from the registry's
+        ``stage.<name>.seconds`` histograms.
+        """
+        reg = self.registry.snapshot()
+        stages: dict[str, dict[str, object]] = {}
+        histograms = reg["histograms"]
+        assert isinstance(histograms, dict)
+        for name in histograms:
+            if name.startswith(_STAGE_PREFIX) and name.endswith(_STAGE_SUFFIX):
+                stage = name[len(_STAGE_PREFIX) : -len(_STAGE_SUFFIX)]
+                hist = histograms[name]
+                stages[stage] = {"seconds": hist["sum"], "calls": hist["count"]}
+        return {"counters": reg["counters"], "stages": stages}
 
     def to_json(self, **dump_kwargs: object) -> str:
         """Serialize :meth:`snapshot` to a JSON string."""

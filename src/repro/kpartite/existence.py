@@ -26,6 +26,7 @@ from repro.kpartite.reduction import (
 )
 from repro.model.instance import KPartiteInstance
 from repro.model.members import Member
+from repro.obs.sink import ObsSink
 from repro.roommates.irving import RoommatesResult, solve_roommates
 from repro.roommates.policies import PivotPolicy
 
@@ -81,17 +82,19 @@ def solve_binary(
     linearization: str = "auto",
     priorities: Sequence[int] | None = None,
     pivot_policy: str | PivotPolicy = "min",
+    sink: "ObsSink | None" = None,
 ) -> BinaryMatchingResult:
     """Find a stable binary matching, or raise
     :class:`~repro.exceptions.NoStableMatchingError`.
 
     The witness attached to the error is the :class:`Member` whose
     reduced list emptied, mirroring the paper's right-hand-side III.B
-    walkthrough where u's list empties.
+    walkthrough where u's list empties.  ``sink`` is forwarded to the
+    Irving solver, whose ``irving.*`` spans and counters cover the run.
     """
     rm = to_roommates(instance, linearization, priorities)
     try:
-        result = solve_roommates(rm, pivot_policy=pivot_policy)
+        result = solve_roommates(rm, pivot_policy=pivot_policy, sink=sink)
     except NoStableMatchingError as exc:
         if isinstance(exc.witness, int):
             member = id_to_member(exc.witness, instance.n)

@@ -1,0 +1,67 @@
+"""``repro.obs`` — unified tracing, metrics, and run journals.
+
+The observability subsystem behind the solve pipeline (see
+docs/OBSERVABILITY.md for the span taxonomy and schemas):
+
+* :mod:`repro.obs.sink` — the four-method :class:`ObsSink` protocol
+  instrumented solvers code against, plus the no-op :data:`NULL_SINK`.
+  This is the **only** obs module the algorithm layers may import
+  (enforced by the statan layering rule);
+* :mod:`repro.obs.trace` — :class:`Tracer`: hierarchical,
+  deterministically-ordered spans with monotonic-clock durations;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: counters,
+  gauges, and fixed-bucket histograms with a stable JSON export;
+* :mod:`repro.obs.record` — :class:`Recorder`: the composite sink the
+  CLI and engine hand to instrumented code;
+* :mod:`repro.obs.journal` — the JSONL run journal;
+* :mod:`repro.obs.export` — the Chrome-trace
+  (``chrome://tracing`` / Perfetto) exporter and its validator.
+
+Quick tour::
+
+    from repro.obs import Recorder
+    from repro.core.iterative_binding import iterative_binding
+
+    rec = Recorder()
+    result = iterative_binding(instance, tree, sink=rec)
+    for span in rec.tracer.find("binding.edge"):
+        print(span.attributes["edge"], span.attributes["proposals"])
+"""
+
+from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    read_journal,
+    validate_journal,
+    write_journal,
+)
+from repro.obs.metrics import (
+    DEFAULT_COUNT_EDGES,
+    DEFAULT_TIME_EDGES,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.record import Recorder
+from repro.obs.sink import NULL_SINK, NULL_SPAN, ObsSink, SpanHandle
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "ObsSink",
+    "SpanHandle",
+    "NULL_SINK",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_COUNT_EDGES",
+    "DEFAULT_TIME_EDGES",
+    "Recorder",
+    "JOURNAL_SCHEMA",
+    "write_journal",
+    "read_journal",
+    "validate_journal",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

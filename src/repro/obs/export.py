@@ -1,0 +1,107 @@
+"""Chrome-trace exporter: render a span tree for ``chrome://tracing``.
+
+The JSON Object Format of the Trace Event profiling tool (also read by
+Perfetto): ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` where
+each span becomes one complete (``"ph": "X"``) event with microsecond
+``ts``/``dur``.  Lane mapping: a span carrying a ``lane`` attribute is
+placed on that ``tid`` — the schedule instrumentation sets one lane
+per concurrent binding, so the Δ-round schedules of Section IV.C
+render as parallel tracks in the viewer.  All other spans inherit
+their parent's lane (track 0 at the root).
+
+:func:`validate_chrome_trace` is the schema check ``make trace-smoke``
+and the tests run on emitted files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["chrome_trace", "write_chrome_trace", "validate_chrome_trace"]
+
+#: required keys of one complete trace event.
+_EVENT_KEYS = frozenset({"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"})
+
+
+def _span_events(
+    span: Span, t0: float, pid: int, lane: int, out: "list[dict[str, object]]"
+) -> None:
+    lane_attr = span.attributes.get("lane")
+    if isinstance(lane_attr, int) and not isinstance(lane_attr, bool):
+        lane = lane_attr
+    out.append(
+        {
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": max(0.0, (span.start_s - t0) * 1e6),
+            "dur": span.duration_s * 1e6,
+            "pid": pid,
+            "tid": lane,
+            "args": dict(span.attributes),
+        }
+    )
+    for child in span.children:
+        _span_events(child, t0, pid, lane, out)
+
+
+def chrome_trace(tracer: Tracer, *, pid: int = 1) -> dict[str, object]:
+    """Render ``tracer``'s span forest as a Chrome-trace JSON object."""
+    t0 = min((s.start_s for s in tracer.spans), default=0.0)
+    events: list[dict[str, object]] = []
+    for root in tracer.roots:
+        _span_events(root, t0, pid, 0, events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "spans": len(tracer.spans)},
+    }
+
+
+def write_chrome_trace(path: "Path | str", tracer: Tracer, *, pid: int = 1) -> None:
+    """Write :func:`chrome_trace` output to ``path`` (validated first)."""
+    payload = chrome_trace(tracer, pid=pid)
+    validate_chrome_trace(payload)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def validate_chrome_trace(payload: object) -> None:
+    """Check Chrome-trace JSON structure; raises ``ConfigurationError``.
+
+    Validates the envelope, every event's key set, the ``"X"`` phase,
+    and that ``ts``/``dur`` are non-negative numbers — the contract
+    ``chrome://tracing`` / Perfetto needs to render the file.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ConfigurationError(
+            "chrome trace must be an object with a 'traceEvents' array"
+        )
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ConfigurationError("'traceEvents' must be an array")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ConfigurationError(f"traceEvents[{i}] is not an object")
+        missing = _EVENT_KEYS - set(event)
+        if missing:
+            raise ConfigurationError(
+                f"traceEvents[{i}] is missing keys {sorted(missing)}"
+            )
+        if event["ph"] != "X":
+            raise ConfigurationError(
+                f"traceEvents[{i}] has phase {event['ph']!r}; the exporter "
+                "emits only complete ('X') events"
+            )
+        for key in ("ts", "dur"):
+            value = event[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise ConfigurationError(
+                    f"traceEvents[{i}].{key} must be a non-negative number, "
+                    f"got {value!r}"
+                )
+        if not isinstance(event["args"], dict):
+            raise ConfigurationError(f"traceEvents[{i}].args must be an object")

@@ -1,0 +1,121 @@
+"""JSONL run journal: one line per event, machine-checkable schema.
+
+A journal is the append-only record of one traced run.  Line kinds
+(each a single JSON object with an ``"event"`` discriminator):
+
+* ``run`` — exactly one header line: ``{"event": "run", "schema": 1,
+  "meta": {...}}`` with the caller's run metadata (workload name,
+  solver, k, n, seed...);
+* ``span`` — one line per recorded span, in deterministic entry order,
+  carrying the :meth:`repro.obs.trace.Span.to_dict` payload;
+* ``metrics`` — exactly one line with the full
+  :meth:`repro.obs.metrics.MetricsRegistry.snapshot`;
+* ``end`` — exactly one footer line with the span and line counts, so
+  a truncated journal is detectable: ``{"event": "end", "spans": N,
+  "lines": N + 3}``.
+
+Everything except span durations and metric sums is deterministic for
+a deterministic workload, so journals diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["JOURNAL_SCHEMA", "write_journal", "read_journal", "validate_journal"]
+
+#: schema tag written into every journal header line.
+JOURNAL_SCHEMA = 1
+
+
+def write_journal(
+    path: "Path | str",
+    *,
+    tracer: Tracer,
+    metrics: "MetricsRegistry | None" = None,
+    meta: "dict[str, object] | None" = None,
+) -> int:
+    """Write one run journal to ``path``; returns the line count.
+
+    The line count is always ``len(tracer.spans) + 3`` (header, metrics,
+    footer) — the invariant ``make trace-smoke`` checks.
+    """
+    registry = metrics if metrics is not None else MetricsRegistry()
+    records: list[dict[str, object]] = [
+        {"event": "run", "schema": JOURNAL_SCHEMA, "meta": dict(meta or {})}
+    ]
+    for span in tracer.spans:
+        record = span.to_dict()
+        record["event"] = "span"
+        records.append(record)
+    records.append({"event": "metrics", "snapshot": registry.snapshot()})
+    records.append(
+        {"event": "end", "spans": len(tracer.spans), "lines": len(tracer.spans) + 3}
+    )
+    text = "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n"
+    Path(path).write_text(text)
+    return len(records)
+
+
+def read_journal(path: "Path | str") -> list[dict[str, object]]:
+    """Parse a journal back into its records (one dict per line)."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read journal {path}: {exc}") from exc
+    records: list[dict[str, object]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"journal {path} line {lineno} is not valid JSON: {exc.msg}"
+            ) from exc
+    return records
+
+
+def validate_journal(records: "list[dict[str, object]]") -> None:
+    """Check the journal line grammar; raises ``ConfigurationError``.
+
+    Validates the header/spans/metrics/footer sequence, the schema tag,
+    and that the footer's counts match the actual line structure.
+    """
+    if not records:
+        raise ConfigurationError("journal is empty")
+    head, tail = records[0], records[-1]
+    if head.get("event") != "run":
+        raise ConfigurationError(
+            f"journal must start with a 'run' header, got {head.get('event')!r}"
+        )
+    if head.get("schema") != JOURNAL_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported journal schema {head.get('schema')!r}; "
+            f"expected {JOURNAL_SCHEMA}"
+        )
+    if tail.get("event") != "end":
+        raise ConfigurationError(
+            f"journal must end with an 'end' footer, got {tail.get('event')!r}"
+        )
+    spans = [r for r in records if r.get("event") == "span"]
+    metrics = [r for r in records if r.get("event") == "metrics"]
+    if len(metrics) != 1:
+        raise ConfigurationError(
+            f"journal must carry exactly one 'metrics' line, got {len(metrics)}"
+        )
+    if tail.get("spans") != len(spans):
+        raise ConfigurationError(
+            f"footer reports {tail.get('spans')} spans but journal has "
+            f"{len(spans)}"
+        )
+    if tail.get("lines") != len(records):
+        raise ConfigurationError(
+            f"footer reports {tail.get('lines')} lines but journal has "
+            f"{len(records)} (truncated or concatenated?)"
+        )

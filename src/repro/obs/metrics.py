@@ -1,0 +1,220 @@
+"""Unified metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` replaces the ad-hoc counter dicts that
+used to be split across ``EngineTelemetry``, the perf harness, and
+solver return values:
+
+* **counters** — monotonically increasing ints (``gs.proposals``,
+  ``irving.rotations``, ``cache_hits``);
+* **gauges** — last-write-wins floats (configuration echoes, sizes);
+* **histograms** — fixed-bucket distributions for the quantities the
+  paper's counting claims live on (per-edge proposal counts, rotation
+  sizes, rank costs).  Bucket edges are fixed at registration time and
+  exported verbatim, so two snapshots of the same registry schema are
+  structurally identical — the stability the JSON-export tests assert.
+
+The registry is an :class:`~repro.obs.sink.ObsSink` (``span`` stays a
+no-op), so solvers instrumented against the sink protocol can feed a
+bare registry directly.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.obs.sink import ObsSink
+
+__all__ = [
+    "DEFAULT_COUNT_EDGES",
+    "DEFAULT_TIME_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: default bucket upper bounds for count-valued samples (powers of two
+#: up to ~one million; a final implicit +inf bucket catches the rest).
+DEFAULT_COUNT_EDGES: tuple[float, ...] = tuple(float(2**i) for i in range(21))
+
+#: default bucket upper bounds for duration samples, in seconds
+#: (100 us .. ~100 s on a log-ish grid; final +inf bucket implicit).
+DEFAULT_TIME_EDGES: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max running stats.
+
+    ``edges`` are strictly increasing *upper bounds*; a sample lands in
+    the first bucket whose edge is >= the value, or in the implicit
+    overflow bucket past the last edge.  ``counts`` has
+    ``len(edges) + 1`` entries (the last is the overflow bucket).
+    """
+
+    edges: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: "float | None" = None
+    max: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.edges or any(
+            b <= a for a, b in zip(self.edges, self.edges[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram edges must be non-empty and strictly increasing, "
+                f"got {self.edges}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (edges must match)."""
+        if other.edges != self.edges:
+            raise ConfigurationError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe export; ``edges`` are emitted verbatim and stable."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry(ObsSink):
+    """Counters + gauges + histograms behind the sink protocol.
+
+    Histograms are registered explicitly (:meth:`register_histogram`)
+    when a metric needs custom bucket edges; an :meth:`observe` on an
+    unregistered name auto-registers it with
+    :data:`DEFAULT_COUNT_EDGES`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never touched)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """All counters, sorted by name for stable diffs."""
+        return dict(sorted(self._counters.items()))
+
+    # -- gauges --------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge ``name`` (``default`` when unset)."""
+        return self._gauges.get(name, default)
+
+    # -- histograms ----------------------------------------------------
+
+    def register_histogram(
+        self, name: str, edges: "tuple[float, ...] | None" = None
+    ) -> Histogram:
+        """Create (or fetch) the histogram ``name`` with fixed ``edges``.
+
+        Re-registering an existing name with different edges raises
+        :class:`~repro.exceptions.ConfigurationError` — bucket edges
+        are part of the export schema and must stay stable.
+        """
+        want = tuple(edges) if edges is not None else DEFAULT_COUNT_EDGES
+        hist = self._histograms.get(name)
+        if hist is not None:
+            if hist.edges != want:
+                raise ConfigurationError(
+                    f"histogram {name!r} already registered with edges "
+                    f"{hist.edges}; cannot change to {want}"
+                )
+            return hist
+        hist = Histogram(edges=want)
+        self._histograms[name] = hist
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample in histogram ``name`` (auto-registered)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self.register_histogram(name)
+        hist.observe(value)
+
+    def histogram(self, name: str) -> "Histogram | None":
+        """The histogram registered as ``name``, if any."""
+        return self._histograms.get(name)
+
+    # -- aggregation and export ----------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters add; histograms add bucket-wise (matching edges
+        required); gauges take ``other``'s value (last write wins).
+        """
+        for name, value in other._counters.items():
+            self.incr(name, value)
+        for name, value in other._gauges.items():
+            self._gauges[name] = value
+        for name, hist in other._histograms.items():
+            self.register_histogram(name, hist.edges).merge(hist)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe export with sorted keys throughout.
+
+        Schema: ``{"counters": {name: int}, "gauges": {name: float},
+        "histograms": {name: Histogram.to_dict()}}``.
+        """
+        return {
+            "counters": self.counters(),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, **dump_kwargs: object) -> str:
+        """Serialize :meth:`snapshot` to a JSON string."""
+        return json.dumps(self.snapshot(), **dump_kwargs)  # type: ignore[arg-type]

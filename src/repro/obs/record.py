@@ -1,0 +1,49 @@
+"""``Recorder``: the composite sink wiring a tracer and a registry.
+
+Instrumented solvers see one :class:`~repro.obs.sink.ObsSink`; the
+recorder fans the calls out — ``span`` to the :class:`~repro.obs.trace.
+Tracer`, the metric methods to the :class:`~repro.obs.metrics.
+MetricsRegistry`.  This is what the ``repro trace`` CLI and the engine
+build when full observability is requested.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import ObsSink, SpanHandle
+from repro.obs.trace import Tracer
+
+__all__ = ["Recorder"]
+
+
+class Recorder(ObsSink):
+    """Composite sink: spans to a tracer, metrics to a registry.
+
+    Both components are optional at construction (fresh ones are
+    created when omitted) and exposed as ``recorder.tracer`` /
+    ``recorder.metrics`` for export and inspection.
+    """
+
+    def __init__(
+        self,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Forward to the registry's counter."""
+        self.metrics.incr(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Forward to the registry's gauge."""
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Forward to the registry's histogram."""
+        self.metrics.observe(name, value)
+
+    def span(self, name: str, **attributes: object) -> SpanHandle:
+        """Forward to the tracer."""
+        return self.tracer.span(name, **attributes)

@@ -1,0 +1,90 @@
+"""The observability sink protocol — the algorithm layers' only obs API.
+
+Solvers are instrumented against :class:`ObsSink`, a tiny four-method
+protocol (``incr`` / ``gauge`` / ``observe`` / ``span``).  The class
+itself is a complete **no-op implementation**, so it doubles as the
+null sink: code holding ``sink=None`` skips instrumentation entirely
+(one pointer comparison of overhead), and code holding
+:data:`NULL_SINK` pays only empty method calls.
+
+Real implementations live above this module: :class:`repro.obs.trace.
+Tracer` records ``span``, :class:`repro.obs.metrics.MetricsRegistry`
+records the three metric methods, and :class:`repro.obs.record.
+Recorder` composes both.  **Layering contract** (enforced by the statan
+layering rule): algorithm packages — ``core``, ``bipartite``,
+``roommates``, ``kpartite``, ``parallel``, ``distributed`` — may import
+*only this module* from ``repro.obs`` at module scope; the heavier
+tracer/registry/export machinery is reserved for the serving
+(``engine``), measurement (``perf``), and CLI layers.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+
+__all__ = ["SpanHandle", "ObsSink", "NULL_SPAN", "NULL_SINK"]
+
+
+class SpanHandle:
+    """Context-manager handle for one span; also the no-op implementation.
+
+    ``set(**attributes)`` attaches structured attributes to the span at
+    any point while it is open (typically results known only at the
+    end, e.g. a proposal count).  The base class discards everything.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> "SpanHandle":
+        """Attach ``attributes`` to the span; returns self for chaining."""
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        """Open the span."""
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        """Close the span (exceptions propagate)."""
+        return None
+
+
+#: the shared no-op span handle (stateless, so one instance suffices).
+NULL_SPAN = SpanHandle()
+
+
+class ObsSink:
+    """Protocol and no-op base for observability sinks.
+
+    Implementations override any subset of the four methods; the base
+    behaviour is "record nothing".  All names are dotted-lowercase
+    (``"gs.proposals"``, ``"binding.edge"``); attribute and sample
+    values must be JSON-safe (implementations may coerce tuples to
+    lists but never deeper structures).
+    """
+
+    __slots__ = ()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` as one sample of the histogram ``name``."""
+        return None
+
+    def span(self, name: str, **attributes: object) -> SpanHandle:
+        """Open a span named ``name``; use as a context manager."""
+        return NULL_SPAN
+
+
+#: the shared no-op sink: safe default for ``sink`` parameters.
+NULL_SINK = ObsSink()

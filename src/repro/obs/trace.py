@@ -1,0 +1,205 @@
+"""Hierarchical tracer: deterministically-ordered spans with durations.
+
+A :class:`Span` is one timed region with a name, JSON-safe attributes,
+and children; a :class:`Tracer` maintains the open-span stack and
+assigns each span a sequential ``index`` in *entry order*.  Because
+solver control flow is deterministic under a fixed seed, two runs of
+the same workload produce **identical span trees** — same names, same
+order, same attributes — differing only in the measured
+``duration_s`` (monotonic clock, :func:`time.perf_counter`).
+:meth:`Tracer.structure` is exactly that duration-free projection, and
+what the determinism tests assert on.
+
+The tracer is an :class:`~repro.obs.sink.ObsSink`: the metric methods
+are inherited no-ops, so a bare tracer can be handed to instrumented
+code when only spans are wanted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Iterator
+
+from repro.exceptions import SimulationError
+from repro.obs.sink import ObsSink, SpanHandle
+
+__all__ = ["Span", "Tracer"]
+
+
+def _json_safe(value: object) -> object:
+    """Coerce attribute values to JSON-safe shapes (tuples become lists)."""
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (str, bool, type(None), int, float)):
+        return value
+    # numpy scalars and other numerics: fall back to int/float/str
+    try:
+        return int(value)  # type: ignore[call-overload]
+    except (TypeError, ValueError):
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return str(value)
+
+
+@dataclass
+class Span(SpanHandle):
+    """One recorded span: a named, attributed, timed region.
+
+    Attributes
+    ----------
+    name:
+        Dotted-lowercase span name (``"binding.edge"``).
+    index:
+        Sequential id in tracer entry order (0-based) — deterministic
+        for a deterministic workload.
+    parent_index:
+        ``index`` of the enclosing span, or ``None`` for a root.
+    depth:
+        Nesting depth (roots are 0).
+    attributes:
+        JSON-safe structured attributes, in insertion order.
+    start_s / duration_s:
+        Monotonic-clock start and elapsed seconds (``duration_s`` is
+        0.0 while the span is still open).
+    children:
+        Child spans in entry order.
+    """
+
+    name: str
+    index: int
+    parent_index: "int | None"
+    depth: int
+    attributes: dict[str, object] = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    children: "list[Span]" = field(default_factory=list)
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach JSON-safe ``attributes`` to this span."""
+        for key, value in attributes.items():
+            self.attributes[key] = _json_safe(value)
+        return self
+
+    def walk(self) -> "Iterator[Span]":
+        """Yield this span and every descendant, depth-first pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe flat record (children referenced by their indexes)."""
+        return {
+            "index": self.index,
+            "parent": self.parent_index,
+            "depth": self.depth,
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "duration_s": self.duration_s,
+            "children": [c.index for c in self.children],
+        }
+
+
+class _OpenSpan(SpanHandle):
+    """Context manager tying one :class:`Span` to its tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def set(self, **attributes: object) -> "SpanHandle":
+        """Attach attributes to the underlying span."""
+        self._span.set(**attributes)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        """Push the span onto the tracer stack and start its clock."""
+        self._tracer._push(self._span)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        """Stop the clock and pop the span (exceptions propagate)."""
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return None
+
+
+class Tracer(ObsSink):
+    """Records a forest of spans in deterministic entry order.
+
+    Use :meth:`span` as a context manager::
+
+        tracer = Tracer()
+        with tracer.span("binding.run", k=3) as sp:
+            ...
+            sp.set(total_proposals=5)
+
+    ``spans`` lists every *finished or open* span in entry order;
+    ``roots`` lists the top-level spans.  The tracer is re-entrant but
+    not thread-safe — one tracer per worker.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes: object) -> SpanHandle:
+        """Create a child span of the currently open span (or a root)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            index=len(self.spans),
+            parent_index=parent.index if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+        )
+        span.set(**attributes)
+        self.spans.append(span)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return _OpenSpan(self, span)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+        span.start_s = time.perf_counter()
+
+    def _pop(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - span.start_s
+        if not self._stack or self._stack[-1] is not span:
+            raise SimulationError(
+                f"span {span.name!r} closed out of order; spans must nest"
+            )
+        self._stack.pop()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans named ``name``, in entry order."""
+        return [s for s in self.spans if s.name == name]
+
+    def structure(self) -> list[tuple[int, str, tuple[tuple[str, object], ...]]]:
+        """Duration-free projection: ``(depth, name, sorted attributes)``.
+
+        Two runs of a deterministic workload yield equal structures —
+        the span-tree determinism contract the tests assert on.
+        """
+        return [
+            (s.depth, s.name, tuple(sorted(s.attributes.items(), key=lambda kv: kv[0])))
+            for s in self.spans
+        ]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Every span as a JSON-safe flat record, in entry order."""
+        return [s.to_dict() for s in self.spans]

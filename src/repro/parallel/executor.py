@@ -29,6 +29,7 @@ from repro.core.binding_tree import BindingTree
 from repro.core.kary_matching import KAryMatching
 from repro.model.instance import KPartiteInstance
 from repro.model.members import Member
+from repro.obs.sink import ObsSink
 from repro.parallel.schedule import Schedule, greedy_tree_schedule, validate_schedule
 
 __all__ = [
@@ -61,6 +62,45 @@ def _bind_worker(
     edge, p_prefs, r_prefs, engine = args
     res = gale_shapley(p_prefs, r_prefs, engine=engine)
     return edge, res.matching, res.proposals, res.rounds
+
+
+def _run_round_instrumented(
+    pool: Executor | None,
+    tasks: list[tuple[tuple[int, int], np.ndarray, np.ndarray, str]],
+    sink: ObsSink,
+    round_index: int,
+) -> list[tuple[tuple[int, int], tuple[int, ...], int, int]]:
+    """Run one round's bindings, emitting a ``schedule.binding`` span per
+    binding with its ``lane`` (index within the round).
+
+    Serially the span brackets the solve itself; with a pool the solves
+    happen in workers, so spans are recorded as results are collected.
+    """
+    outcomes = []
+    if pool is None:  # serial: span wraps the actual solve
+        for lane, task in enumerate(tasks):
+            with sink.span(
+                "schedule.binding",
+                edge=list(task[0]),
+                lane=lane,
+                round=round_index,
+            ) as sp:
+                outcome = _bind_worker(task)
+                sp.set(proposals=outcome[2], rounds=outcome[3])
+            outcomes.append(outcome)
+            sink.incr("schedule.bindings")
+    else:  # pool: post-hoc spans as results arrive
+        for lane, outcome in enumerate(pool.map(_bind_worker, tasks)):
+            with sink.span(
+                "schedule.binding",
+                edge=list(outcome[0]),
+                lane=lane,
+                round=round_index,
+            ) as sp:
+                sp.set(proposals=outcome[2], rounds=outcome[3])
+            outcomes.append(outcome)
+            sink.incr("schedule.bindings")
+    return outcomes
 
 
 @dataclass(frozen=True)
@@ -107,6 +147,7 @@ def run_bindings_parallel(
     max_workers: int | None = None,
     engine: str = "textbook",
     pool: Executor | None = None,
+    sink: "ObsSink | None" = None,
 ) -> ParallelBindingReport:
     """Execute Algorithm 1 with each round's bindings run concurrently.
 
@@ -125,6 +166,15 @@ def run_bindings_parallel(
     pool:
         Optionally reuse an existing executor (avoids per-call process
         startup in benchmarks); ``backend`` is then ignored.
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink`.  Each round becomes a
+        ``schedule.round`` span with one ``schedule.binding`` child per
+        binding, tagged with its ``lane`` (index within the round) so
+        the Chrome-trace export renders rounds as stacked lanes.  With a
+        pool backend the bindings run in workers, so the per-binding
+        spans are recorded post-hoc (their proposal/round attributes are
+        exact; their durations reflect result collection, not solve
+        time — use ``round_seconds`` for wall-clock).
     """
     if tree is None:
         tree = BindingTree.chain(instance.k)
@@ -158,12 +208,21 @@ def run_bindings_parallel(
         elif pool is None and backend == "thread":
             pool = owned_pool = ThreadPoolExecutor(max_workers=max_workers)
         start_all = time.perf_counter()
-        for edges in schedule.rounds:
+        for round_index, edges in enumerate(schedule.rounds):
             start = time.perf_counter()
-            if pool is None:  # serial
-                outcomes = [_bind_worker(t) for t in tasks_for(edges)]
+            if sink is None:
+                if pool is None:  # serial
+                    outcomes = [_bind_worker(t) for t in tasks_for(edges)]
+                else:
+                    outcomes = list(pool.map(_bind_worker, tasks_for(edges)))
             else:
-                outcomes = list(pool.map(_bind_worker, tasks_for(edges)))
+                with sink.span(
+                    "schedule.round", round=round_index, bindings=len(edges)
+                ):
+                    outcomes = _run_round_instrumented(
+                        pool, tasks_for(edges), sink, round_index
+                    )
+                sink.incr("schedule.rounds")
             round_seconds.append(time.perf_counter() - start)
             for edge, matching, proposals, rounds in outcomes:
                 edge_results[edge] = GSResult(
@@ -177,6 +236,11 @@ def run_bindings_parallel(
                     (Member(pg, i), Member(rg, j)) for i, j in enumerate(matching)
                 )
         total = time.perf_counter() - start_all
+        if sink is not None:
+            sink.incr("schedule.runs")
+            sink.incr(
+                "schedule.proposals", sum(r.proposals for r in edge_results.values())
+            )
     finally:
         if owned_pool is not None:
             owned_pool.shutdown()

@@ -68,6 +68,8 @@ def run_perf(args: argparse.Namespace) -> int:
         current = load_baseline(args.current)
         baseline = load_baseline(args.baseline)
         return _report_failures(current, baseline, args)
+    if args.perf_command == "history":
+        return _run_history(args)
     # check: re-measure, then gate against the committed baseline
     baseline = load_baseline(args.baseline)
     names = args.workloads if args.workloads is not None else ",".join(
@@ -79,6 +81,28 @@ def run_perf(args: argparse.Namespace) -> int:
         save_baseline(current, args.output)
         print(f"measured report written to {args.output}")
     return _report_failures(current, baseline, args)
+
+
+def _run_history(args: argparse.Namespace) -> int:
+    """``repro perf history``: record a report and/or render the trend."""
+    from repro.perf.history import (
+        load_history,
+        record_history,
+        render_trend,
+        update_experiments,
+    )
+
+    if args.record is not None:
+        entry = record_history(args.record, args.history_dir, sha=args.sha)
+        print(f"recorded {args.record} as {entry}")
+    history = load_history(args.history_dir)
+    table = render_trend(history)
+    if args.experiments is not None:
+        update_experiments(args.experiments, table)
+        print(f"trend table ({len(history)} commit(s)) written to {args.experiments}")
+    else:
+        print(table)
+    return 0
 
 
 def _report_failures(

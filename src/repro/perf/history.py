@@ -1,0 +1,178 @@
+"""Per-commit perf history: record measured reports, render the trend.
+
+``repro perf check -o BENCH_perf_measured.json`` leaves one freshly
+measured report per CI run; this module files those reports into a
+history directory (``benchmarks/history/`` by default) keyed by the
+commit that produced them, and renders the speedup trajectory as a
+markdown table for EXPERIMENTS.md.
+
+History entries are named ``<seq>-<sha>.json`` — ``seq`` is a
+monotonically increasing integer so lexical order is chronological even
+across branch switches, ``sha`` the short commit id.  Re-recording the
+same commit overwrites its entry instead of appending a duplicate.
+
+The EXPERIMENTS.md rendering is marker-delimited::
+
+    <!-- perf-history:begin -->
+    ...generated table...
+    <!-- perf-history:end -->
+
+so ``repro perf history --experiments EXPERIMENTS.md`` can refresh the
+table in place without touching the surrounding prose.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.perf.baseline import load_baseline
+from repro.perf.runner import PerfReport
+
+__all__ = [
+    "HISTORY_BEGIN",
+    "HISTORY_END",
+    "git_short_sha",
+    "record_history",
+    "load_history",
+    "render_trend",
+    "update_experiments",
+]
+
+#: markers delimiting the generated table inside EXPERIMENTS.md.
+HISTORY_BEGIN = "<!-- perf-history:begin -->"
+HISTORY_END = "<!-- perf-history:end -->"
+
+_ENTRY_RE = re.compile(r"^(\d{4})-([0-9a-f]+)\.json$")
+
+
+def git_short_sha(repo_dir: "Path | None" = None) -> str:
+    """The current short commit id, or ``"nogit"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "nogit"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "nogit"
+
+
+def record_history(
+    report_path: Path, history_dir: Path, *, sha: "str | None" = None
+) -> Path:
+    """File the measured report at ``report_path`` under ``history_dir``.
+
+    The report is validated (it must parse as a baseline-schema report)
+    before being copied to ``<seq>-<sha>.json``.  Returns the entry
+    path.  An existing entry for the same ``sha`` is overwritten in
+    place, keeping one report per commit.
+    """
+    load_baseline(report_path)  # raises ConfigurationError when malformed
+    key = sha if sha is not None else git_short_sha()
+    if not re.fullmatch(r"[0-9a-f]+|nogit", key):
+        raise ConfigurationError(
+            f"history key must be a short hex sha (or 'nogit'), got {key!r}"
+        )
+    history_dir.mkdir(parents=True, exist_ok=True)
+    seq = 0
+    for path in history_dir.glob("*.json"):
+        match = _ENTRY_RE.match(path.name)
+        if match is None:
+            continue
+        if match.group(2) == key:  # re-run on the same commit: replace
+            path.write_text(report_path.read_text())
+            return path
+        seq = max(seq, int(match.group(1)))
+    entry = history_dir / f"{seq + 1:04d}-{key}.json"
+    entry.write_text(report_path.read_text())
+    return entry
+
+
+def load_history(history_dir: Path) -> "list[tuple[str, PerfReport]]":
+    """All ``(sha, report)`` entries of ``history_dir``, oldest first.
+
+    Files not matching the ``<seq>-<sha>.json`` naming are ignored;
+    malformed matching files raise
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
+    entries: list[tuple[int, str, PerfReport]] = []
+    if history_dir.is_dir():
+        for path in sorted(history_dir.glob("*.json")):
+            match = _ENTRY_RE.match(path.name)
+            if match is None:
+                continue
+            entries.append(
+                (int(match.group(1)), match.group(2), load_baseline(path))
+            )
+    entries.sort(key=lambda item: item[0])
+    return [(sha, report) for _, sha, report in entries]
+
+
+def _format_cell(report: PerfReport, workload: str) -> str:
+    res = report.results.get(workload)
+    if res is None:
+        return "-"
+    if res.speedup is not None:
+        return f"{res.speedup:.2f}x"
+    return f"{res.optimized_s * 1e3:.2f}ms"
+
+
+def render_trend(history: "list[tuple[str, PerfReport]]") -> str:
+    """Markdown speedup-trend table: one row per commit, oldest first.
+
+    Columns are the union of workload names across the history (sorted);
+    cells show the measured speedup (``1.85x``) or, for workloads with
+    no frozen reference, the median time (``3.21ms``).
+    """
+    if not history:
+        return "_no perf history recorded yet_"
+    workloads: set[str] = set()
+    for _, report in history:
+        workloads.update(report.results)
+    cols = sorted(workloads)
+    lines = [
+        "| commit | " + " | ".join(cols) + " |",
+        "|---" * (len(cols) + 1) + "|",
+    ]
+    for sha, report in history:
+        cells = [_format_cell(report, name) for name in cols]
+        lines.append(f"| `{sha}` | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def update_experiments(experiments_path: Path, table: str) -> None:
+    """Replace the marker-delimited trend table inside ``experiments_path``.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when the file
+    is unreadable or the begin/end markers are absent or out of order.
+    """
+    try:
+        text = experiments_path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read {experiments_path}: {exc}"
+        ) from exc
+    begin = text.find(HISTORY_BEGIN)
+    end = text.find(HISTORY_END)
+    if begin < 0 or end < 0 or end < begin:
+        raise ConfigurationError(
+            f"{experiments_path} lacks the perf-history markers "
+            f"({HISTORY_BEGIN} ... {HISTORY_END}); add them where the "
+            "trend table should render"
+        )
+    updated = (
+        text[: begin + len(HISTORY_BEGIN)]
+        + "\n"
+        + table
+        + "\n"
+        + text[end:]
+    )
+    experiments_path.write_text(updated)

@@ -143,6 +143,21 @@ def _ref_gs_textbook(state: Mapping[str, object]) -> object:
     return reference_gs_textbook(state["p"], state["r"])  # type: ignore[arg-type]
 
 
+def _run_gs_auto(state: Mapping[str, object]) -> dict[str, int]:
+    from repro.bipartite.gale_shapley import gale_shapley
+
+    res = gale_shapley(state["p"], state["r"], engine="auto")  # type: ignore[arg-type]
+    return {"proposals": res.proposals, "routed_textbook": int(res.engine == "textbook")}
+
+
+def _ref_gs_auto(state: Mapping[str, object]) -> object:
+    # the losing engine at n=256 (below AUTO_CROSSOVER_N the vectorized
+    # engine trails textbook); auto must never be slower than this.
+    from repro.bipartite.gale_shapley import gale_shapley
+
+    return gale_shapley(state["p"], state["r"], engine="vectorized")  # type: ignore[arg-type]
+
+
 def _build_ranks_state() -> Mapping[str, object]:
     """A (k=3, n=96) preference array awaiting rank inversion."""
     inst = random_instance(3, 96, seed=_SEED + 2)
@@ -235,6 +250,18 @@ WORKLOADS: dict[str, Workload] = {
             reference=_ref_gs_textbook,
             reps=3,
             min_speedup=1.2,
+        ),
+        Workload(
+            name="gs.auto.n256",
+            description=(
+                "engine='auto' crossover routing at n=256 (textbook side "
+                "of the crossover) vs the losing engine (vectorized)"
+            ),
+            build=_build_gs_state,
+            run=_run_gs_auto,
+            reference=_ref_gs_auto,
+            reps=3,
+            min_speedup=1.0,
         ),
         Workload(
             name="gs.vectorized.n256",

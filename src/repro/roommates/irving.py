@@ -25,6 +25,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError, NoStableMatchingError, SimulationError
+from repro.obs.sink import ObsSink
 from repro.roommates.instance import RoommatesInstance
 from repro.roommates.policies import resolve_policy
 
@@ -84,9 +85,11 @@ class IrvingSolver:
     inspect intermediate tables or drive the phases manually."""
 
     def __init__(self, instance: RoommatesInstance, *,
-                 pivot_policy: str | PivotPolicy = "min") -> None:
+                 pivot_policy: str | PivotPolicy = "min",
+                 sink: "ObsSink | None" = None) -> None:
         self.instance = instance
         self.policy = resolve_policy(pivot_policy)
+        self.sink = sink
         n = instance.n
         self._lst = [instance.preference_list(p) for p in range(n)]
         self._pos = [{q: i for i, q in enumerate(row)} for row in self._lst]
@@ -110,6 +113,7 @@ class IrvingSolver:
         other = IrvingSolver.__new__(IrvingSolver)
         other.instance = self.instance
         other.policy = self.policy
+        other.sink = self.sink
         other._lst = self._lst  # immutable per solver: share
         other._pos = self._pos
         other._active = [bytearray(a) for a in self._active]
@@ -240,8 +244,16 @@ class IrvingSolver:
                 raise NoStableMatchingError(
                     f"{self.instance.labels[p]} finds no one acceptable", witness=p
                 )
-        self._free = list(range(n - 1, -1, -1))
-        self._propose_all()
+        sink = self.sink
+        if sink is None:
+            self._free = list(range(n - 1, -1, -1))
+            self._propose_all()
+        else:
+            with sink.span("irving.phase1", n=n) as sp:
+                self._free = list(range(n - 1, -1, -1))
+                self._propose_all()
+                sp.set(proposals=self.proposals)
+            sink.incr("irving.phase1_proposals", self.proposals)
         self.phase1_table = self.table()
         return self.phase1_table
 
@@ -272,6 +284,24 @@ class IrvingSolver:
 
     def run_phase2(self) -> None:
         """Eliminate rotations until every list is a singleton."""
+        sink = self.sink
+        if sink is None:
+            self._run_phase2_inner()
+            return
+        eliminated_before = len(self.rotations)
+        proposals_before = self.proposals
+        with sink.span("irving.phase2", n=self.instance.n) as sp:
+            self._run_phase2_inner()
+            rotations = self.rotations[eliminated_before:]
+            sp.set(
+                rotations=len(rotations),
+                proposals=self.proposals - proposals_before,
+            )
+        sink.incr("irving.rotations", len(rotations))
+        for rotation in rotations:
+            sink.observe("irving.rotation_size", len(rotation))
+
+    def _run_phase2_inner(self) -> None:
         n = self.instance.n
         while True:
             candidates = [p for p in range(n) if self._cnt[p] > 1]
@@ -291,6 +321,9 @@ class IrvingSolver:
         """Run both phases and extract the matching."""
         self.run_phase1()
         self.run_phase2()
+        if self.sink is not None:
+            self.sink.incr("irving.solves")
+            self.sink.incr("irving.proposals", self.proposals)
         n = self.instance.n
         matching: dict[int, int] = {}
         for p in range(n):
@@ -310,14 +343,19 @@ class IrvingSolver:
 
 
 def solve_roommates(
-    instance: RoommatesInstance, *, pivot_policy: str | PivotPolicy = "min"
+    instance: RoommatesInstance,
+    *,
+    pivot_policy: str | PivotPolicy = "min",
+    sink: "ObsSink | None" = None,
 ) -> RoommatesResult:
     """Find a perfect stable matching or raise
     :class:`~repro.exceptions.NoStableMatchingError`.
 
     ``pivot_policy`` chooses where rotation exposure starts in phase 2
     (the paper's man-oriented vs woman-oriented "loop breaking"); see
-    :mod:`repro.roommates.policies`.
+    :mod:`repro.roommates.policies`.  ``sink`` (an optional
+    :class:`~repro.obs.sink.ObsSink`) records ``irving.phase1`` /
+    ``irving.phase2`` spans plus proposal and rotation counters.
 
     Examples
     --------
@@ -326,7 +364,7 @@ def solve_roommates(
     >>> solve_roommates(inst).pairs()
     [(0, 1), (2, 3)]
     """
-    return IrvingSolver(instance, pivot_policy=pivot_policy).solve()
+    return IrvingSolver(instance, pivot_policy=pivot_policy, sink=sink).solve()
 
 
 def stable_roommates_exists(instance: RoommatesInstance) -> bool:

@@ -15,7 +15,13 @@ from typing import Iterator
 
 from repro.statan.base import Finding, ModuleInfo, Rule
 
-__all__ = ["LAYERS", "LayeringRule", "module_scope_repro_imports"]
+__all__ = [
+    "LAYERS",
+    "OBS_SINK_ONLY",
+    "LayeringRule",
+    "module_scope_repro_imports",
+    "module_scope_repro_import_names",
+]
 
 #: package -> packages it may import at module scope.  ``None`` marks a
 #: facade module allowed to import anything (the public surface).
@@ -23,17 +29,24 @@ LAYERS: dict[str, frozenset[str] | None] = {
     "exceptions": frozenset(),
     "utils": frozenset({"exceptions"}),
     "statan": frozenset(),  # pure stdlib analyzer; nothing above or below
+    # the observability layer: sits beside the solvers; algorithm layers
+    # may import only its sink protocol (see OBS_SINK_ONLY below).
+    "obs": frozenset({"exceptions", "utils"}),
     "model": frozenset({"exceptions", "utils"}),
-    "roommates": frozenset({"exceptions", "utils"}),
-    "bipartite": frozenset({"exceptions", "utils", "model", "roommates"}),
+    "roommates": frozenset({"exceptions", "utils", "obs"}),
+    "bipartite": frozenset({"exceptions", "utils", "model", "roommates", "obs"}),
     "kpartite": frozenset(
-        {"exceptions", "utils", "model", "roommates", "bipartite", "analysis"}
+        {"exceptions", "utils", "model", "roommates", "bipartite", "analysis", "obs"}
     ),
-    "core": frozenset({"exceptions", "utils", "model", "bipartite", "analysis"}),
+    "core": frozenset(
+        {"exceptions", "utils", "model", "bipartite", "analysis", "obs"}
+    ),
     "baselines": frozenset({"exceptions", "utils", "model"}),
-    "parallel": frozenset({"exceptions", "utils", "model", "bipartite", "core"}),
+    "parallel": frozenset(
+        {"exceptions", "utils", "model", "bipartite", "core", "obs"}
+    ),
     "distributed": frozenset(
-        {"exceptions", "utils", "model", "bipartite", "core", "parallel"}
+        {"exceptions", "utils", "model", "bipartite", "core", "parallel", "obs"}
     ),
     "analysis": frozenset(
         {"exceptions", "utils", "model", "bipartite", "core", "parallel"}
@@ -50,6 +63,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "core",
             "parallel",
             "analysis",
+            "obs",
         }
     ),
     # the measurement layer: benchmarks everything below it (including
@@ -66,6 +80,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "parallel",
             "analysis",
             "engine",
+            "obs",
         }
     ),
     "cli": frozenset(
@@ -84,12 +99,22 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "statan",
             "engine",
             "perf",
+            "obs",
         }
     ),
     "__init__": None,  # the facade may import everything
     "__main__": None,
     "py": None,  # py.typed marker
 }
+
+#: Packages that may import ``repro.obs`` **only via its sink protocol**
+#: (``repro.obs.sink``) at module scope.  The algorithm layers take an
+#: optional ``ObsSink`` and must stay importable without pulling in the
+#: tracer/metrics machinery; only the serving, measurement, and CLI
+#: layers may use the full ``repro.obs`` surface.
+OBS_SINK_ONLY: frozenset[str] = frozenset(
+    {"roommates", "bipartite", "kpartite", "core", "parallel", "distributed"}
+)
 
 
 def module_scope_repro_imports(tree: ast.Module) -> dict[str, ast.stmt]:
@@ -107,6 +132,25 @@ def module_scope_repro_imports(tree: ast.Module) -> dict[str, ast.stmt]:
                 parts = node.module.split(".")
                 pkg = parts[1] if len(parts) > 1 else "__init__"
                 found.setdefault(pkg, node)
+    return found
+
+
+def module_scope_repro_import_names(tree: ast.Module) -> dict[str, ast.stmt]:
+    """Top-level ``repro.*`` imports, keyed by full dotted module name.
+
+    Unlike :func:`module_scope_repro_imports` (which collapses to the
+    top-level package), this keeps ``repro.obs.sink`` distinct from
+    ``repro.obs`` — the granularity the sink-only check needs.
+    """
+    found: dict[str, ast.stmt] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    found.setdefault(alias.name, node)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            if node.module == "repro" or node.module.startswith("repro."):
+                found.setdefault(node.module, node)
     return found
 
 
@@ -143,3 +187,19 @@ class LayeringRule(Rule):
                     f"module scope; allowed: {sorted(allowed)}. Use a lazy "
                     "import if the reference is genuinely needed",
                 )
+        if module.package in OBS_SINK_ONLY:
+            for name, node in sorted(
+                module_scope_repro_import_names(module.tree).items()
+            ):
+                if (
+                    (name == "repro.obs" or name.startswith("repro.obs."))
+                    and name != "repro.obs.sink"
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"package {module.package!r} may import repro.obs "
+                        f"only via its sink protocol (repro.obs.sink), not "
+                        f"{name!r}; algorithm layers must stay importable "
+                        "without the tracer/metrics machinery",
+                    )

@@ -1,0 +1,52 @@
+"""engine="auto" routing: crossover boundaries and result equivalence."""
+
+import pytest
+
+from repro.bipartite.gale_shapley import (
+    AUTO_CROSSOVER_N,
+    gale_shapley,
+    resolve_auto_engine,
+)
+from repro.exceptions import ConfigurationError
+from repro.model.generators import random_instance
+
+
+def _prefs(n: int, seed: int):
+    view = random_instance(2, n, seed=seed).bipartite_view(0, 1)
+    return view.proposer_prefs, view.responder_prefs
+
+
+class TestCrossover:
+    def test_boundary_values(self):
+        assert resolve_auto_engine(AUTO_CROSSOVER_N - 1) == "textbook"
+        assert resolve_auto_engine(AUTO_CROSSOVER_N) == "vectorized"
+        assert resolve_auto_engine(2) == "textbook"
+        assert resolve_auto_engine(4096) == "vectorized"
+
+    def test_small_instance_routes_to_textbook(self):
+        p, r = _prefs(8, seed=0)
+        res = gale_shapley(p, r, engine="auto")
+        assert res.engine == "textbook"
+
+    def test_resolved_engine_reported_not_auto(self):
+        p, r = _prefs(4, seed=1)
+        assert gale_shapley(p, r, engine="auto").engine in {
+            "textbook",
+            "vectorized",
+        }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_auto_matches_explicit_engines(self, seed):
+        p, r = _prefs(12, seed=seed)
+        auto = gale_shapley(p, r, engine="auto")
+        textbook = gale_shapley(p, r, engine="textbook")
+        vectorized = gale_shapley(p, r, engine="vectorized")
+        assert auto.matching == textbook.matching == vectorized.matching
+        assert auto.proposals == textbook.proposals
+
+    def test_unknown_engine_error_lists_auto(self):
+        p, r = _prefs(3, seed=0)
+        with pytest.raises(ConfigurationError, match="auto"):
+            gale_shapley(p, r, engine="quantum")

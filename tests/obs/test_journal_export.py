@@ -1,0 +1,139 @@
+"""Run journal (JSONL) and Chrome-trace export: schemas and validators."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    JOURNAL_SCHEMA,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    read_journal,
+    validate_chrome_trace,
+    validate_journal,
+    write_chrome_trace,
+    write_journal,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("binding.run", k=3):
+        with tracer.span("binding.edge", edge=[0, 1]) as sp:
+            sp.set(proposals=4)
+        with tracer.span("binding.edge", edge=[1, 2]) as sp:
+            sp.set(proposals=2)
+    return tracer
+
+
+class TestJournal:
+    def test_roundtrip_and_line_invariant(self, tmp_path):
+        tracer = _sample_tracer()
+        reg = MetricsRegistry()
+        reg.incr("binding.runs")
+        path = tmp_path / "journal.jsonl"
+        lines = write_journal(path, tracer=tracer, metrics=reg, meta={"k": 3})
+        assert lines == len(tracer.spans) + 3
+        records = read_journal(path)
+        validate_journal(records)
+        assert records[0]["event"] == "run"
+        assert records[0]["schema"] == JOURNAL_SCHEMA
+        assert records[0]["meta"] == {"k": 3}
+        assert records[-1] == {
+            "event": "end",
+            "spans": len(tracer.spans),
+            "lines": lines,
+        }
+        metrics_lines = [r for r in records if r["event"] == "metrics"]
+        assert len(metrics_lines) == 1
+        assert metrics_lines[0]["snapshot"]["counters"] == {"binding.runs": 1}
+
+    def test_span_lines_in_entry_order(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "j.jsonl"
+        write_journal(path, tracer=tracer)
+        spans = [r for r in read_journal(path) if r["event"] == "span"]
+        assert [s["index"] for s in spans] == [0, 1, 2]
+        assert spans[1]["attributes"]["proposals"] == 4
+
+    def test_truncated_journal_detected(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "j.jsonl"
+        write_journal(path, tracer=tracer)
+        lines = path.read_text().splitlines()
+        # drop one span line but keep header/metrics/footer
+        path.write_text("\n".join(lines[:1] + lines[2:]) + "\n")
+        with pytest.raises(ConfigurationError, match="footer reports"):
+            validate_journal(read_journal(path))
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_journal(
+                [
+                    {"event": "run", "schema": 99, "meta": {}},
+                    {"event": "metrics", "snapshot": {}},
+                    {"event": "end", "spans": 0, "lines": 3},
+                ]
+            )
+
+    def test_empty_journal_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            validate_journal([])
+
+
+class TestChromeTrace:
+    def test_export_validates_and_has_complete_events(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer)
+        payload = json.loads(path.read_text())
+        validate_chrome_trace(payload)
+        events = payload["traceEvents"]
+        assert len(events) == len(tracer.spans)
+        assert {e["ph"] for e in events} == {"X"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_lane_attribute_maps_to_tid(self):
+        tracer = Tracer()
+        with tracer.span("schedule.round", round=0):
+            with tracer.span("schedule.binding", lane=0):
+                pass
+            with tracer.span("schedule.binding", lane=1):
+                pass
+        events = chrome_trace(tracer)["traceEvents"]
+        by_name = {(e["name"], e["args"].get("lane")): e["tid"] for e in events}
+        assert by_name[("schedule.round", None)] == 0
+        assert by_name[("schedule.binding", 0)] == 0
+        assert by_name[("schedule.binding", 1)] == 1
+
+    def test_children_inherit_parent_lane(self):
+        tracer = Tracer()
+        with tracer.span("schedule.binding", lane=2):
+            with tracer.span("gs.run"):
+                pass
+        events = chrome_trace(tracer)["traceEvents"]
+        assert [e["tid"] for e in events] == [2, 2]
+
+    def test_validator_rejects_malformed_payloads(self):
+        with pytest.raises(ConfigurationError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            validate_chrome_trace({"traceEvents": [{"name": "x"}]})
+        bad_event = {
+            "name": "x",
+            "cat": "x",
+            "ph": "B",
+            "ts": 0,
+            "dur": 0,
+            "pid": 1,
+            "tid": 0,
+            "args": {},
+        }
+        with pytest.raises(ConfigurationError, match="phase"):
+            validate_chrome_trace({"traceEvents": [bad_event]})
+        bad_event = dict(bad_event, ph="X", ts=-1)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            validate_chrome_trace({"traceEvents": [bad_event]})

@@ -1,0 +1,119 @@
+"""MetricsRegistry: counters, gauges, histograms, stable JSON export."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import DEFAULT_COUNT_EDGES, Histogram, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_incr_and_count(self):
+        reg = MetricsRegistry()
+        reg.incr("gs.proposals", 5)
+        reg.incr("gs.proposals")
+        assert reg.count("gs.proposals") == 6
+        assert reg.count("never") == 0
+
+    def test_counters_sorted(self):
+        reg = MetricsRegistry()
+        reg.incr("zeta")
+        reg.incr("alpha")
+        assert list(reg.counters()) == ["alpha", "zeta"]
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("pool.size", 4)
+        reg.gauge("pool.size", 8)
+        assert reg.gauge_value("pool.size") == 8.0
+        assert reg.gauge_value("unset", default=-1.0) == -1.0
+
+
+class TestHistogram:
+    def test_bucketing_uses_upper_bounds(self):
+        h = Histogram(edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 3.0, 100.0):
+            h.observe(v)
+        # bisect_left: 0.5 and 1.0 land below/at edge 1.0; 3.0 in (2, 4];
+        # 100 overflows into the implicit last bucket.
+        assert h.counts == [2, 0, 1, 1]
+        assert h.count == 4
+        assert (h.min, h.max) == (0.5, 100.0)
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            Histogram(edges=(1.0, 1.0))
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            Histogram(edges=())
+
+    def test_merge_requires_equal_edges(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 3.0))
+        with pytest.raises(ConfigurationError, match="different edges"):
+            a.merge(b)
+
+    def test_merge_adds_bucketwise(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert (a.min, a.max) == (0.5, 9.0)
+
+
+class TestRegistryHistograms:
+    def test_observe_auto_registers_default_edges(self):
+        reg = MetricsRegistry()
+        reg.observe("binding.proposals_per_edge", 7)
+        hist = reg.histogram("binding.proposals_per_edge")
+        assert hist is not None
+        assert hist.edges == DEFAULT_COUNT_EDGES
+
+    def test_reregistering_different_edges_rejected(self):
+        reg = MetricsRegistry()
+        reg.register_histogram("h", (1.0, 2.0))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.register_histogram("h", (1.0, 3.0))
+        # same edges is idempotent
+        assert reg.register_histogram("h", (1.0, 2.0)).edges == (1.0, 2.0)
+
+    def test_bucket_edges_stable_in_json_export(self):
+        """Exported edges are verbatim — same schema across snapshots."""
+        reg = MetricsRegistry()
+        reg.register_histogram("custom", (0.5, 1.5, 2.5))
+        first = json.loads(reg.to_json())
+        reg.observe("custom", 1.0)
+        reg.observe("custom", 99.0)
+        second = json.loads(reg.to_json())
+        assert first["histograms"]["custom"]["edges"] == [0.5, 1.5, 2.5]
+        assert second["histograms"]["custom"]["edges"] == [0.5, 1.5, 2.5]
+        assert len(second["histograms"]["custom"]["counts"]) == 4
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.incr("c", 1)
+        b.incr("c", 2)
+        a.gauge("g", 1.0)
+        b.gauge("g", 5.0)
+        a.observe("h", 3)
+        b.observe("h", 4)
+        a.merge(b)
+        assert a.count("c") == 3
+        assert a.gauge_value("g") == 5.0  # last write (other's) wins
+        hist = a.histogram("h")
+        assert hist is not None and hist.count == 2
+
+    def test_snapshot_schema_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.incr("z")
+        reg.incr("a")
+        reg.gauge("g", 2)
+        reg.observe("h", 1)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert list(snap["counters"]) == ["a", "z"]
+        assert json.loads(json.dumps(snap)) == snap

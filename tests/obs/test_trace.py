@@ -1,0 +1,103 @@
+"""Tracer: deterministic span trees, nesting discipline, projections."""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.exceptions import SimulationError
+from repro.model.generators import random_instance
+from repro.obs import Tracer
+
+
+def _traced_binding(seed: int) -> Tracer:
+    tracer = Tracer()
+    inst = random_instance(3, 6, seed=seed)
+    iterative_binding(inst, BindingTree.chain(3), sink=tracer)
+    return tracer
+
+
+class TestDeterminism:
+    def test_same_seed_same_structure(self):
+        """Names, order, and attributes are identical across two runs."""
+        a = _traced_binding(17)
+        b = _traced_binding(17)
+        assert a.structure() == b.structure()
+
+    def test_structure_excludes_durations(self):
+        tracer = _traced_binding(17)
+        for span in tracer.spans:
+            flat = tracer.structure()[span.index]
+            assert "duration_s" not in dict(flat[2])
+        assert any(s.duration_s > 0 for s in tracer.spans)
+
+    def test_different_seed_different_attributes(self):
+        a = _traced_binding(17)
+        b = _traced_binding(18)
+        assert a.structure() != b.structure()
+
+    def test_indexes_are_sequential_entry_order(self):
+        tracer = _traced_binding(3)
+        assert [s.index for s in tracer.spans] == list(range(len(tracer.spans)))
+
+
+class TestNesting:
+    def test_children_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans
+        assert tracer.roots == [outer]
+        assert inner.parent_index == outer.index
+        assert (outer.depth, inner.depth) == (0, 1)
+        assert outer.children == [inner]
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(SimulationError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_exception_tagged_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        assert tracer.spans[0].attributes["error"] == "ValueError"
+
+    def test_walk_is_preorder(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        names = [s.name for s in tracer.roots[0].walk()]
+        assert names == ["a", "b", "c"]
+
+
+class TestProjections:
+    def test_find_returns_entry_order(self):
+        tracer = _traced_binding(5)
+        edges = tracer.find("binding.edge")
+        assert len(edges) == 2
+        assert edges[0].index < edges[1].index
+
+    def test_to_dict_references_children_by_index(self):
+        tracer = _traced_binding(5)
+        run = tracer.find("binding.run")[0]
+        record = run.to_dict()
+        assert record["children"] == [c.index for c in run.children]
+        assert record["parent"] is None
+
+    def test_attributes_are_json_safe(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("t", edge=(0, 1)) as sp:
+            sp.set(count=3)
+        payload = json.dumps(tracer.to_dicts())
+        assert json.loads(payload)[0]["attributes"]["edge"] == [0, 1]

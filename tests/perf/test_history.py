@@ -1,0 +1,135 @@
+"""Per-commit perf history: recording, loading, trend rendering."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.history import (
+    HISTORY_BEGIN,
+    HISTORY_END,
+    load_history,
+    record_history,
+    render_trend,
+    update_experiments,
+)
+
+
+def _report_payload(speedup: float) -> dict:
+    return {
+        "schema": 1,
+        "trials": 3,
+        "warmup": 1,
+        "environment": {"python": "3.11"},
+        "workloads": {
+            "gs.auto.n256": {
+                "optimized_s": 0.004,
+                "reference_s": 0.004 * speedup,
+                "speedup": speedup,
+                "ops": {"proposals": 1547},
+                "trials": 3,
+                "warmup": 1,
+                "reps": 3,
+                "min_speedup": 1.0,
+            },
+            "engine.batch.cached": {
+                "optimized_s": 0.0021,
+                "reference_s": None,
+                "speedup": None,
+                "ops": {"cache_hits": 4},
+                "trials": 3,
+                "warmup": 1,
+                "reps": 3,
+                "min_speedup": None,
+            },
+        },
+    }
+
+
+def _write_report(tmp_path, name: str, speedup: float):
+    path = tmp_path / name
+    path.write_text(json.dumps(_report_payload(speedup)))
+    return path
+
+
+class TestRecord:
+    def test_sequential_entries_keyed_by_sha(self, tmp_path):
+        hist = tmp_path / "hist"
+        first = record_history(
+            _write_report(tmp_path, "a.json", 2.0), hist, sha="aaa111"
+        )
+        second = record_history(
+            _write_report(tmp_path, "b.json", 2.5), hist, sha="bbb222"
+        )
+        assert first.name == "0001-aaa111.json"
+        assert second.name == "0002-bbb222.json"
+
+    def test_same_sha_overwrites_in_place(self, tmp_path):
+        hist = tmp_path / "hist"
+        record_history(_write_report(tmp_path, "a.json", 2.0), hist, sha="aaa111")
+        entry = record_history(
+            _write_report(tmp_path, "b.json", 3.0), hist, sha="aaa111"
+        )
+        assert entry.name == "0001-aaa111.json"
+        assert len(list(hist.glob("*.json"))) == 1
+        (sha, report), = load_history(hist)
+        assert report.results["gs.auto.n256"].speedup == 3.0
+
+    def test_malformed_report_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ConfigurationError):
+            record_history(bad, tmp_path / "hist", sha="aaa111")
+
+    def test_non_hex_sha_rejected(self, tmp_path):
+        report = _write_report(tmp_path, "a.json", 2.0)
+        with pytest.raises(ConfigurationError, match="short hex sha"):
+            record_history(report, tmp_path / "hist", sha="../../evil")
+
+
+class TestLoadAndRender:
+    def test_load_orders_by_sequence(self, tmp_path):
+        hist = tmp_path / "hist"
+        record_history(_write_report(tmp_path, "a.json", 2.0), hist, sha="aaa111")
+        record_history(_write_report(tmp_path, "b.json", 2.5), hist, sha="bbb222")
+        (hist / "notes.txt").write_text("ignored")
+        shas = [sha for sha, _ in load_history(hist)]
+        assert shas == ["aaa111", "bbb222"]
+
+    def test_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "missing") == []
+        assert "no perf history" in render_trend([])
+
+    def test_trend_table_rows_and_cells(self, tmp_path):
+        hist = tmp_path / "hist"
+        record_history(_write_report(tmp_path, "a.json", 2.0), hist, sha="aaa111")
+        record_history(_write_report(tmp_path, "b.json", 2.5), hist, sha="bbb222")
+        table = render_trend(load_history(hist))
+        lines = table.splitlines()
+        assert lines[0] == "| commit | engine.batch.cached | gs.auto.n256 |"
+        assert "| `aaa111` | 2.10ms | 2.00x |" in lines
+        assert "| `bbb222` | 2.10ms | 2.50x |" in lines
+
+
+class TestExperimentsRendering:
+    def test_updates_between_markers(self, tmp_path):
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text(
+            "# Experiments\n\nprose before\n\n"
+            f"{HISTORY_BEGIN}\nstale table\n{HISTORY_END}\n\nprose after\n"
+        )
+        update_experiments(doc, "| commit | wl |\n|---|---|")
+        text = doc.read_text()
+        assert "stale table" not in text
+        assert "prose before" in text and "prose after" in text
+        assert text.index(HISTORY_BEGIN) < text.index("| commit |")
+        assert text.index("| commit |") < text.index(HISTORY_END)
+        # idempotent: re-rendering keeps exactly one table
+        update_experiments(doc, "| commit | wl |\n|---|---|")
+        assert doc.read_text().count("| commit |") == 1
+
+    def test_missing_markers_raise(self, tmp_path):
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text("# Experiments\n")
+        with pytest.raises(ConfigurationError, match="perf-history markers"):
+            update_experiments(doc, "table")

@@ -62,6 +62,33 @@ class TestLayeringRule:
             self.rule, "from repro.core.binding_tree import BindingTree\n"
         )
 
+    def test_algorithm_layer_importing_obs_internals_flagged(self):
+        findings = check(
+            self.rule, "from repro.obs import Recorder\n", rel="core/x.py"
+        )
+        assert len(findings) == 1
+        assert "sink protocol" in findings[0].message
+
+    def test_obs_submodule_import_flagged(self):
+        findings = check(
+            self.rule,
+            "from repro.obs.trace import Tracer\n",
+            rel="roommates/x.py",
+        )
+        assert len(findings) == 1
+
+    def test_sink_module_import_allowed(self):
+        assert not check(
+            self.rule,
+            "from repro.obs.sink import ObsSink\n",
+            rel="bipartite/x.py",
+        )
+
+    def test_engine_may_import_obs_freely(self):
+        assert not check(
+            self.rule, "from repro.obs import Recorder\n", rel="engine/x.py"
+        )
+
 
 class TestSeedDisciplineRule:
     rule = SeedDisciplineRule()

@@ -1,0 +1,121 @@
+"""`repro trace` CLI end-to-end: artifacts, smoke checks, exit codes."""
+
+import json
+
+from repro.cli import main
+from repro.obs import read_journal, validate_chrome_trace, validate_journal
+
+
+class TestTraceExample:
+    def test_k3_example_with_smoke(self, tmp_path, capsys):
+        assert (
+            main(["trace", "--example", "k3", "--out-dir", str(tmp_path), "--smoke"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace smoke OK" in out
+        assert "binding.edge" in out
+
+    def test_artifacts_written_and_valid(self, tmp_path):
+        assert main(["trace", "--example", "k3", "--out-dir", str(tmp_path)]) == 0
+        journal = read_journal(tmp_path / "journal.jsonl")
+        validate_journal(journal)
+        assert journal[0]["meta"]["workload"] == "example:k3"
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        validate_chrome_trace(payload)
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["counters"]["binding.edges"] == 2
+
+    def test_theorem3_invariants_hold_in_trace(self, tmp_path):
+        assert main(["trace", "--example", "k3", "--out-dir", str(tmp_path)]) == 0
+        journal = read_journal(tmp_path / "journal.jsonl")
+        edges = [
+            r
+            for r in journal
+            if r["event"] == "span" and r["name"] == "binding.edge"
+        ]
+        assert len(edges) == 2  # k - 1 for the k=3 example
+        run = next(
+            r
+            for r in journal
+            if r["event"] == "span" and r["name"] == "binding.run"
+        )
+        span_total = sum(s["attributes"]["proposals"] for s in edges)
+        assert span_total == run["attributes"]["total_proposals"]
+        assert span_total <= run["attributes"]["proposal_bound"]
+
+
+class TestTraceGenerated:
+    def test_random_instance_with_smoke(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "-k",
+                    "4",
+                    "-n",
+                    "6",
+                    "--seed",
+                    "3",
+                    "--out-dir",
+                    str(tmp_path),
+                    "--smoke",
+                ]
+            )
+            == 0
+        )
+        assert "trace smoke OK" in capsys.readouterr().out
+        journal = read_journal(tmp_path / "journal.jsonl")
+        edges = [
+            r
+            for r in journal
+            if r["event"] == "span" and r["name"] == "binding.edge"
+        ]
+        assert len(edges) == 3
+
+    def test_binary_solver_traces_irving(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "-k",
+                    "2",
+                    "-n",
+                    "4",
+                    "--seed",
+                    "1",
+                    "--solver",
+                    "binary",
+                    "--out-dir",
+                    str(tmp_path),
+                    "--smoke",
+                ]
+            )
+            == 0
+        )
+        journal = read_journal(tmp_path / "journal.jsonl")
+        assert any(
+            r["event"] == "span" and r["name"] == "irving.phase1" for r in journal
+        )
+
+    def test_priority_solver(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "-k",
+                    "3",
+                    "-n",
+                    "4",
+                    "--seed",
+                    "2",
+                    "--solver",
+                    "priority",
+                    "--out-dir",
+                    str(tmp_path),
+                    "--smoke",
+                ]
+            )
+            == 0
+        )
+        assert "trace smoke OK" in capsys.readouterr().out
