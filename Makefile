@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint typecheck test bench bench-smoke perf perf-smoke perf-history trace-smoke examples fast slow all clean
+.PHONY: install lint typecheck test bench bench-smoke perf perf-smoke perf-history trace-smoke service-smoke examples fast slow all clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -55,6 +55,14 @@ trace-smoke:
 	rm -rf .trace-smoke
 	PYTHONPATH=src $(PY) -m repro trace --example k3 --out-dir .trace-smoke --smoke
 	rm -rf .trace-smoke
+
+# deterministic 1k-request soak on the virtual clock: --check reruns the
+# same seed and fails on any nondeterminism, lost request, missing
+# deadline rejection, or absent latency quantile; the JSON report is the
+# CI artifact
+service-smoke:
+	PYTHONPATH=src $(PY) -m repro load --requests 1000 --seed 20260806 \
+		--check --out service_load_report.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \

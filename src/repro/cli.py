@@ -34,6 +34,14 @@ Subcommands
     Run one fully-instrumented solve through the engine and export the
     run journal (JSONL), a Chrome-trace file, and the metrics snapshot
     (see docs/OBSERVABILITY.md).
+``serve``
+    The async solve service over JSONL (stdin/file or a unix socket):
+    bounded admission, priorities, per-client rate limits, deadlines
+    (see docs/SERVICE.md).
+``load``
+    Seeded open/closed-loop load generation against an in-process
+    service; emits the latency/throughput report, optionally
+    double-runs for the determinism check (``--check``).
 """
 
 from __future__ import annotations
@@ -338,6 +346,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-read and validate the emitted files, check the Theorem 3 "
         "span invariants, and fail loudly on any mismatch",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async solve service over JSONL (stdin/file or socket)",
+    )
+    serve.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="JSONL request file (default: read stdin to EOF)",
+    )
+    serve.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        help="serve a unix socket at this path instead of stdin/file",
+    )
+    serve.add_argument(
+        "--virtual",
+        action="store_true",
+        help="run under the deterministic virtual clock (stdin/file mode only)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("reject", "shed_oldest", "block"),
+        default="reject",
+        help="backpressure policy when the queue is full",
+    )
+    serve.add_argument("--workers", type=int, default=2, help="worker coroutines")
+    serve.add_argument(
+        "--rate-capacity",
+        type=float,
+        default=None,
+        help="per-client token-bucket burst size (default: no rate limiting)",
+    )
+    serve.add_argument(
+        "--rate-refill",
+        type=float,
+        default=10.0,
+        help="token-bucket refill rate, tokens/second",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline budget (s) for requests that carry none",
+    )
+
+    load = sub.add_parser(
+        "load",
+        help="seeded load generation against an in-process service",
+    )
+    load.add_argument("--requests", type=int, default=200, help="stream length")
+    load.add_argument("--seed", type=int, default=0, help="workload seed")
+    load.add_argument(
+        "--mode", choices=("open", "closed"), default="open", help="arrival discipline"
+    )
+    load.add_argument(
+        "--rate", type=float, default=200.0, help="open-loop arrivals per second"
+    )
+    load.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop clients in flight"
+    )
+    load.add_argument(
+        "--pool", type=int, default=8, help="distinct instances in the pool"
+    )
+    load.add_argument(
+        "--queue-capacity", type=int, default=64, help="admission queue bound"
+    )
+    load.add_argument(
+        "--policy",
+        choices=("reject", "shed_oldest", "block"),
+        default="reject",
+        help="backpressure policy when the queue is full",
+    )
+    load.add_argument("--workers", type=int, default=4, help="worker coroutines")
+    load.add_argument(
+        "--real",
+        action="store_true",
+        help="use wall-clock time instead of the virtual clock",
+    )
+    load.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON load report here (default: print to stdout)",
+    )
+    load.add_argument(
+        "--check",
+        action="store_true",
+        help="run the soak twice and fail unless outcomes are identical, "
+        "nothing was lost, deadline rejections occurred, and the latency "
+        "percentiles are present",
+    )
     return parser
 
 
@@ -548,6 +653,150 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: service outcomes that make ``repro serve`` exit non-zero
+#: (``no_stable`` is a legitimate answer, not a serving failure).
+_SERVE_FAILURE_OUTCOMES = frozenset(
+    {
+        "invalid",
+        "failed",
+        "rejected_queue",
+        "rejected_rate",
+        "rejected_closed",
+        "shed",
+        "deadline",
+    }
+)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Drive the ``repro.service`` pipeline over a JSONL stream or socket."""
+    import asyncio
+
+    from repro.engine import MatchingEngine
+    from repro.exceptions import ConfigurationError
+    from repro.service import (
+        RealClock,
+        ServiceConfig,
+        SolveService,
+        VirtualClock,
+        run_virtual,
+        serve_lines,
+        serve_socket,
+    )
+
+    if args.socket is not None and args.virtual:
+        raise ConfigurationError(
+            "--virtual needs a bounded input stream; it cannot drive a socket"
+        )
+    config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        workers=args.workers,
+        rate_capacity=args.rate_capacity,
+        rate_refill_per_s=args.rate_refill,
+        default_deadline_s=args.default_deadline,
+    )
+    clock = VirtualClock() if args.virtual else RealClock()
+    engine = MatchingEngine(backend="serial")
+    service = SolveService(engine, config=config, clock=clock)
+
+    if args.socket is not None:
+
+        async def run_socket() -> None:
+            async with service:
+                server = await serve_socket(service, str(args.socket))
+                async with server:
+                    await server.serve_forever()
+
+        try:
+            asyncio.run(run_socket())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.input is not None:
+        lines = args.input.read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    async def run_stream() -> list[str]:
+        async with service:
+            return await serve_lines(service, lines)
+
+    async def run_main() -> list[str]:
+        if isinstance(clock, VirtualClock):
+            return await run_virtual(clock, run_stream())
+        return await run_stream()
+
+    out = asyncio.run(run_main())
+    exit_code = 0
+    for line in out:
+        print(line)
+        if json.loads(line).get("outcome") in _SERVE_FAILURE_OUTCOMES:
+            exit_code = 1
+    return exit_code
+
+
+def _run_load(args: argparse.Namespace) -> int:
+    """Run a seeded load soak; optionally double-run for the determinism gate."""
+    from repro.service import LoadProfile, ServiceConfig, run_load
+
+    profile = LoadProfile(
+        requests=args.requests,
+        seed=args.seed,
+        mode=args.mode,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        pool=args.pool,
+    )
+    config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        workers=args.workers,
+    )
+    virtual = not args.real
+    report = run_load(profile, config=config, virtual=virtual)
+    if args.check:
+        failures: list[str] = []
+        rerun = run_load(profile, config=config, virtual=virtual)
+        if rerun.outcome_by_id != report.outcome_by_id:
+            diff = sum(
+                1
+                for rid, outcome in report.outcome_by_id.items()
+                if rerun.outcome_by_id.get(rid) != outcome
+            )
+            failures.append(
+                f"non-deterministic outcomes: {diff} request(s) differ between runs"
+            )
+        for label, run in (("run 1", report), ("run 2", rerun)):
+            if run.lost != 0:
+                failures.append(f"{label}: lost {run.lost} accepted request(s)")
+        if report.outcomes.get("deadline", 0) == 0:
+            failures.append("no deadline rejections: the tight-deadline slice is dead")
+        for q in ("p50", "p95", "p99"):
+            if q not in report.latency:
+                failures.append(f"latency report is missing {q}")
+        if failures:
+            for failure in failures:
+                print(f"load check FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"load check OK: {report.requests} requests deterministic, "
+            f"0 lost, {report.outcomes.get('deadline', 0)} deadline rejections"
+        )
+    _emit(report.to_json(indent=2), args.out)
+    summary = ", ".join(
+        f"{name}={count}" for name, count in sorted(report.outcomes.items())
+    )
+    print(
+        f"soak: {report.responded}/{report.accepted} responded in "
+        f"{report.duration_s:.3f}s ({'virtual' if report.virtual else 'wall'}): "
+        f"{summary}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _emit(text: str, output: Path | None) -> None:
     if output is None:
         print(text)
@@ -582,6 +831,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "trace":
         try:
             return _run_trace(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "serve":
+        # Lazy import inside the helper: the service layer (asyncio
+        # pipeline) must not slow down the plain solver entry points.
+        try:
+            return _run_serve(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "load":
+        try:
+            return _run_load(args)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -24,6 +24,7 @@ from repro.distributed.distributed_gs import _Proposer, _Responder
 from repro.distributed.simulator import SyncNetwork
 from repro.model.instance import KPartiteInstance
 from repro.model.members import Member
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.parallel.schedule import Schedule, greedy_tree_schedule, validate_schedule
 from repro.utils.ordering import rank_array
 
@@ -63,6 +64,7 @@ def run_distributed_binding(
     tree: BindingTree | None = None,
     *,
     schedule: Schedule | None = None,
+    sink: ObsSink = NULL_SINK,
 ) -> DistributedBindingReport:
     """Run Algorithm 1 with each schedule round as one message network.
 
@@ -70,6 +72,12 @@ def run_distributed_binding(
     ids ``0..n-1`` offset by their edge slot, responders ``n..2n-1`` —
     ids are per-round-local since a member acts in at most one binding
     per round (enforced by :func:`validate_schedule`).
+
+    With a ``sink``, each schedule round becomes a ``network.phase``
+    span (``lane`` set to the phase index for the Chrome-trace export)
+    wrapping the simulator's ``network.run`` / ``network.round`` spans,
+    so the Corollary 2 claim — a chain binding tree needs exactly two
+    phases — is readable directly from the trace structure.
     """
     if tree is None:
         tree = BindingTree.chain(instance.k)
@@ -81,35 +89,48 @@ def run_distributed_binding(
     round_counts: list[int] = []
     messages = 0
     proposals = 0
-    for edges in schedule.rounds:
-        nodes = []
-        edge_proposers: dict[tuple[int, int], list[_Proposer]] = {}
-        for slot, (pg, rg) in enumerate(edges):
-            base = slot * 2 * n
-            view = instance.bipartite_view(pg, rg)
-            proposers = [
-                _OffsetProposer(base + i, view.proposer_prefs[i].tolist(), n, base)
-                for i in range(n)
-            ]
-            responders = [
-                _Responder(base + n + j, rank_array(view.responder_prefs[j].tolist()))
-                for j in range(n)
-            ]
-            # responder rank arrays are indexed by proposer *node id*;
-            # remap to offset ids
-            for r in responders:
-                r.ranks = {base + i: rank for i, rank in enumerate(r.ranks)}
-            nodes.extend(proposers)
-            nodes.extend(responders)
-            edge_proposers[(pg, rg)] = proposers
-        net = SyncNetwork(nodes, max_rounds=10 * n * n + 10)
-        round_counts.append(net.run())
-        messages += net.messages_sent
-        for (pg, rg), proposers in edge_proposers.items():
-            for i, node in enumerate(proposers):
-                j = node.engaged_to - (node.base + n)  # type: ignore[attr-defined]
-                pairs.append((Member(pg, i), Member(rg, j)))
-                proposals += node.proposals
+    for phase, edges in enumerate(schedule.rounds):
+        with sink.span(
+            "network.phase",
+            phase=phase,
+            bindings=len(edges),
+            edges=",".join(f"{pg}-{rg}" for pg, rg in edges),
+            lane=phase,
+        ) as phase_span:
+            nodes = []
+            edge_proposers: dict[tuple[int, int], list[_Proposer]] = {}
+            for slot, (pg, rg) in enumerate(edges):
+                base = slot * 2 * n
+                view = instance.bipartite_view(pg, rg)
+                proposers = [
+                    _OffsetProposer(base + i, view.proposer_prefs[i].tolist(), n, base)
+                    for i in range(n)
+                ]
+                responders = [
+                    _Responder(
+                        base + n + j, rank_array(view.responder_prefs[j].tolist())
+                    )
+                    for j in range(n)
+                ]
+                # responder rank arrays are indexed by proposer *node id*;
+                # remap to offset ids
+                for r in responders:
+                    r.ranks = {base + i: rank for i, rank in enumerate(r.ranks)}
+                nodes.extend(proposers)
+                nodes.extend(responders)
+                edge_proposers[(pg, rg)] = proposers
+            net = SyncNetwork(nodes, max_rounds=10 * n * n + 10, sink=sink)
+            round_counts.append(net.run(label=f"phase-{phase}"))
+            messages += net.messages_sent
+            phase_span.set(
+                network_rounds=round_counts[-1], messages=net.messages_sent
+            )
+            for (pg, rg), proposers in edge_proposers.items():
+                for i, node in enumerate(proposers):
+                    j = node.engaged_to - (node.base + n)  # type: ignore[attr-defined]
+                    pairs.append((Member(pg, i), Member(rg, j)))
+                    proposals += node.proposals
+        sink.incr("network.phases")
     matching = KAryMatching.from_pairs(instance, pairs)
     return DistributedBindingReport(
         matching=matching,

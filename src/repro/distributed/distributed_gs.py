@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.distributed.simulator import Message, Node, SyncNetwork
 from repro.exceptions import SimulationError
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.utils.ordering import rank_array
 
 __all__ = ["DistributedGSReport", "run_distributed_gs"]
@@ -118,11 +119,17 @@ class DistributedGSReport:
 
 
 def run_distributed_gs(
-    proposer_prefs: np.ndarray, responder_prefs: np.ndarray
+    proposer_prefs: np.ndarray,
+    responder_prefs: np.ndarray,
+    *,
+    sink: ObsSink = NULL_SINK,
 ) -> DistributedGSReport:
     """Run the distributed Gale-Shapley protocol to quiescence.
 
-    Node ids: proposers ``0..n-1``, responders ``n..2n-1``.
+    Node ids: proposers ``0..n-1``, responders ``n..2n-1``.  With a
+    ``sink``, the run emits the simulator's ``network.run`` /
+    ``network.round`` spans, so Corollary 1's round count is readable
+    straight off the trace.
 
     >>> run_distributed_gs([[0, 1], [0, 1]], [[1, 0], [1, 0]]).matching
     (1, 0)
@@ -134,8 +141,10 @@ def run_distributed_gs(
     responders = [
         _Responder(n + j, rank_array(r[j].tolist())) for j in range(n)
     ]
-    net = SyncNetwork([*proposers, *responders], max_rounds=10 * n * n + 10)
-    rounds = net.run()
+    net = SyncNetwork(
+        [*proposers, *responders], max_rounds=10 * n * n + 10, sink=sink
+    )
+    rounds = net.run(label="distributed-gs")
     matching = []
     for node in proposers:
         if node.engaged_to is None:

@@ -6,6 +6,13 @@ at the *next* round (the classic synchronous distributed model).  The
 simulator is generic — nodes are user classes — and instrumented:
 rounds, message count, and total message payload events are recorded,
 which is what the distributed-GS experiment reports.
+
+Pass an :class:`~repro.obs.sink.ObsSink` to get message-level
+observability: each :meth:`SyncNetwork.run` becomes a ``network.run``
+span with one ``network.round`` child per synchronous round (carrying
+the delivered/sent message counts), plus ``network.rounds`` /
+``network.messages`` counters — the trace the Corollary 1/2 round-count
+checks read.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import SimulationError
+from repro.obs.sink import NULL_SINK, ObsSink
 
 __all__ = ["Message", "Node", "SyncNetwork"]
 
@@ -61,7 +69,13 @@ class SyncNetwork:
         Total messages delivered over the run.
     """
 
-    def __init__(self, nodes: Iterable[Node], *, max_rounds: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        *,
+        max_rounds: int = 1_000_000,
+        sink: ObsSink = NULL_SINK,
+    ) -> None:
         self.nodes: dict[int, Node] = {}
         for node in nodes:
             if node.node_id in self.nodes:
@@ -70,37 +84,56 @@ class SyncNetwork:
         self.max_rounds = max_rounds
         self.rounds = 0
         self.messages_sent = 0
+        self.sink = sink
         self._in_flight: list[Message] = []
 
-    def run(self) -> int:
+    def run(self, *, label: str = "") -> int:
         """Run rounds until quiescence; return the number of rounds.
 
         Every node steps at least once (round 1 has an empty inbox and
         lets initiators send their first messages); the network halts
         after the first round that emits no messages while every node
-        reports ``done``.
+        reports ``done``.  ``label`` tags the ``network.run`` span when
+        a sink is attached.
         """
-        while True:
-            if self.rounds >= self.max_rounds:
-                raise SimulationError(
-                    f"network did not quiesce within {self.max_rounds} rounds"
-                )
-            inboxes: dict[int, list[Message]] = {nid: [] for nid in self.nodes}
-            for msg in self._in_flight:
-                if msg.receiver not in self.nodes:
-                    raise SimulationError(f"message to unknown node {msg.receiver}")
-                inboxes[msg.receiver].append(msg)
-            self._in_flight = []
-            self.rounds += 1
-            outgoing: list[Message] = []
-            for nid, node in self.nodes.items():
-                for msg in node.step(inboxes[nid], self.rounds):
-                    if msg.sender != nid:
+        with self.sink.span(
+            "network.run", nodes=len(self.nodes), label=label
+        ) as run_span:
+            start_round = self.rounds
+            start_messages = self.messages_sent
+            while True:
+                if self.rounds >= self.max_rounds:
+                    raise SimulationError(
+                        f"network did not quiesce within {self.max_rounds} rounds"
+                    )
+                delivered = len(self._in_flight)
+                inboxes: dict[int, list[Message]] = {nid: [] for nid in self.nodes}
+                for msg in self._in_flight:
+                    if msg.receiver not in self.nodes:
                         raise SimulationError(
-                            f"node {nid} tried to forge sender {msg.sender}"
+                            f"message to unknown node {msg.receiver}"
                         )
-                    outgoing.append(msg)
-            self.messages_sent += len(outgoing)
-            self._in_flight = outgoing
-            if not outgoing and all(node.done for node in self.nodes.values()):
-                return self.rounds
+                    inboxes[msg.receiver].append(msg)
+                self._in_flight = []
+                self.rounds += 1
+                outgoing: list[Message] = []
+                with self.sink.span("network.round", round=self.rounds) as round_span:
+                    for nid, node in self.nodes.items():
+                        for msg in node.step(inboxes[nid], self.rounds):
+                            if msg.sender != nid:
+                                raise SimulationError(
+                                    f"node {nid} tried to forge sender {msg.sender}"
+                                )
+                            outgoing.append(msg)
+                    round_span.set(delivered=delivered, sent=len(outgoing))
+                self.sink.incr("network.rounds")
+                self.sink.incr("network.messages", len(outgoing))
+                self.messages_sent += len(outgoing)
+                self._in_flight = outgoing
+                if not outgoing and all(node.done for node in self.nodes.values()):
+                    executed = self.rounds - start_round
+                    run_span.set(
+                        rounds=executed,
+                        messages=self.messages_sent - start_messages,
+                    )
+                    return executed

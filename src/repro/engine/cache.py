@@ -36,6 +36,10 @@ class CacheStats:
     stores: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
+    verdict_hits: int = 0
+    verdict_misses: int = 0
+    verdict_stores: int = 0
+    verdict_disk_hits: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """Plain-dict form for JSON telemetry export."""
@@ -46,6 +50,10 @@ class CacheStats:
             "stores": self.stores,
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
+            "verdict_hits": self.verdict_hits,
+            "verdict_misses": self.verdict_misses,
+            "verdict_stores": self.verdict_stores,
+            "verdict_disk_hits": self.verdict_disk_hits,
         }
 
 
@@ -73,6 +81,7 @@ class ResultCache:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
         self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._verdicts: OrderedDict[str, bool] = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -85,6 +94,10 @@ class ResultCache:
     def _disk_path(self, key: str) -> Path:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.json"
+
+    def _verdict_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{key}.verdict.json"
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Payload for ``key``, or ``None``; a hit refreshes recency.
@@ -142,10 +155,69 @@ class ResultCache:
             tmp.replace(self._disk_path(key))
             self.stats.disk_stores += 1
 
+    # ------------------------------------------------------------------
+    # verdict tier (content-addressed stability verdicts)
+    # ------------------------------------------------------------------
+
+    def get_verdict(self, key: str) -> bool | None:
+        """Cached stability verdict for ``key``, or ``None`` if unknown."""
+        return self.get_verdict_with_tier(key)[0]
+
+    def get_verdict_with_tier(self, key: str) -> tuple[bool | None, str]:
+        """Cached verdict plus the tier that answered.
+
+        Returns ``(stable, tier)`` with ``tier`` one of ``"memory"``,
+        ``"disk"``, or ``"miss"``.  Verdicts are keyed by the same
+        content-addressed solve fingerprint as results: the fingerprint
+        fully determines both the matching and the verification method,
+        so re-verifying a cached matching is a lookup, not a DFS.
+        """
+        with self._lock:
+            verdict = self._verdicts.get(key)
+            if verdict is not None:
+                self._verdicts.move_to_end(key)
+                self.stats.verdict_hits += 1
+                return verdict, "memory"
+            if self.disk_dir is not None:
+                try:
+                    loaded = json.loads(self._verdict_path(key).read_text())
+                except (OSError, ValueError):
+                    loaded = None  # absent or corrupt: treat as a miss
+                if isinstance(loaded, dict) and isinstance(
+                    loaded.get("stable"), bool
+                ):
+                    stable = bool(loaded["stable"])
+                    self.stats.verdict_hits += 1
+                    self.stats.verdict_disk_hits += 1
+                    self._store_verdict_locked(key, stable, write_disk=False)
+                    return stable, "disk"
+            self.stats.verdict_misses += 1
+            return None, "miss"
+
+    def put_verdict(self, key: str, stable: bool) -> None:
+        """Record the stability verdict for the matching behind ``key``."""
+        with self._lock:
+            self._store_verdict_locked(key, stable, write_disk=True)
+
+    def _store_verdict_locked(
+        self, key: str, stable: bool, *, write_disk: bool
+    ) -> None:
+        if key in self._verdicts:
+            self._verdicts.move_to_end(key)
+        self._verdicts[key] = stable
+        self.stats.verdict_stores += 1
+        while len(self._verdicts) > self.max_entries:
+            self._verdicts.popitem(last=False)
+        if write_disk and self.disk_dir is not None:
+            tmp = self._verdict_path(key).with_suffix(".tmp")
+            tmp.write_text(json.dumps({"stable": stable, "version": 1}))
+            tmp.replace(self._verdict_path(key))
+
     def clear(self, *, disk: bool = False) -> None:
-        """Drop the in-memory tier (and the disk tier when ``disk``)."""
+        """Drop the in-memory tiers (and the disk tier when ``disk``)."""
         with self._lock:
             self._entries.clear()
+            self._verdicts.clear()
             if disk and self.disk_dir is not None:
                 for path in sorted(self.disk_dir.glob("*.json")):
                     path.unlink(missing_ok=True)

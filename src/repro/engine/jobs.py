@@ -376,11 +376,21 @@ class MatchingEngine:
     # serving
     # ------------------------------------------------------------------
 
-    def submit(self, request: SolveRequest) -> SolveResult:
+    def submit(
+        self,
+        request: SolveRequest,
+        *,
+        check: Callable[[str], None] | None = None,
+    ) -> SolveResult:
         """Solve one request through the full serving pipeline."""
-        return self.solve_many([request])[0]
+        return self.solve_many([request], check=check)[0]
 
-    def solve_many(self, requests: Sequence[SolveRequest]) -> list[SolveResult]:
+    def solve_many(
+        self,
+        requests: Sequence[SolveRequest],
+        *,
+        check: Callable[[str], None] | None = None,
+    ) -> list[SolveResult]:
         """Solve a batch; returns one result per request, in order.
 
         Identical requests (same fingerprint) are solved once; cache
@@ -388,10 +398,21 @@ class MatchingEngine:
         :class:`~repro.exceptions.TransientWorkerError` when a job
         still fails after the retry budget — results solved before the
         failure remain cached, so resubmission only redoes the failures.
+
+        ``check`` is a cooperative cancellation hook: when given, it is
+        called with the stage name (``fingerprint`` / ``cache`` /
+        ``solve`` / ``verify`` / ``respond``) before that stage runs —
+        and again before every retry round inside the solve stage.
+        Raising from it (the solve service raises
+        :class:`~repro.exceptions.DeadlineExceededError`) aborts the
+        batch at that stage boundary; results already solved stay
+        cached, so an expired batch never re-does finished work.
         """
         requests = list(requests)
         self.telemetry.incr("jobs_submitted", len(requests))
         obs = self.sink if self.sink is not None else NULL_SINK
+        if check is not None:
+            check("fingerprint")
 
         with obs.span("engine.batch", requests=len(requests)) as batch_span:
             with obs.span("engine.fingerprint", requests=len(requests)):
@@ -416,6 +437,8 @@ class MatchingEngine:
             self.telemetry.incr("dedup_hits", len(requests) - len(jobs))
             self.telemetry.incr("unique_jobs", len(jobs))
 
+            if check is not None:
+                check("cache")
             with obs.span("engine.cache", jobs=len(jobs)) as cache_span:
                 with self.telemetry.timer("cache"):
                     to_solve: list[_Job] = []
@@ -436,10 +459,12 @@ class MatchingEngine:
                     misses=tiers["miss"],
                 )
 
+            if check is not None:
+                check("solve")
             with obs.span(
                 "engine.solve", jobs=len(to_solve), backend=self.backend
             ):
-                self._solve_jobs(to_solve)
+                self._solve_jobs(to_solve, check=check)
 
             for job in jobs.values():
                 payload = job.payload
@@ -448,13 +473,25 @@ class MatchingEngine:
                     self.telemetry.incr("proposals", int(payload.get("proposals", 0)))
                     self.telemetry.incr("rotations", int(payload.get("rotations", 0)))
 
+            if check is not None:
+                check("verify")
             stable_by_fp: dict[str, bool | None] = {}
+            verdict_tiers = {"memory": 0, "disk": 0, "miss": 0}
             with obs.span("engine.verify") as verify_span:
                 with self.telemetry.timer("verify"):
                     for job in jobs.values():
                         if any(requests[p].verify for p in job.positions):
-                            stable_by_fp[job.fingerprint] = self._verify(job)
-                verify_span.set(verified=len(stable_by_fp))
+                            stable_by_fp[job.fingerprint] = self._verify(
+                                job, verdict_tiers
+                            )
+                verify_span.set(
+                    verified=len(stable_by_fp),
+                    verdict_memory_hits=verdict_tiers["memory"],
+                    verdict_disk_hits=verdict_tiers["disk"],
+                    verdict_misses=verdict_tiers["miss"],
+                )
+            if check is not None:
+                check("respond")
             batch_span.set(
                 unique_jobs=len(jobs),
                 solved=len(to_solve),
@@ -485,9 +522,15 @@ class MatchingEngine:
     # solve stage: dispatch + retry
     # ------------------------------------------------------------------
 
-    def _solve_jobs(self, pending: list[_Job]) -> None:
+    def _solve_jobs(
+        self,
+        pending: list[_Job],
+        check: Callable[[str], None] | None = None,
+    ) -> None:
         attempt = 0
         while pending:
+            if check is not None and attempt > 0:
+                check("solve")  # re-check budget before burning a retry round
             if attempt >= self.retry.max_attempts:
                 labels = ", ".join(
                     job.request.label or job.fingerprint[:12] for job in pending
@@ -559,12 +602,23 @@ class MatchingEngine:
     # verify stage
     # ------------------------------------------------------------------
 
-    def _verify(self, job: _Job) -> bool | None:
+    def _verify(
+        self, job: _Job, tiers: dict[str, int] | None = None
+    ) -> bool | None:
         payload = job.payload
         assert payload is not None
         if payload.get("status") != "ok":
             return None  # nothing to verify on a non-existence verdict
         req = job.request
+        # the fingerprint determines both the matching and the verification
+        # method, so a cached verdict makes re-verification a lookup.
+        cached, tier = self.cache.get_verdict_with_tier(job.fingerprint)
+        if tiers is not None:
+            tiers[tier] += 1
+        if cached is not None:
+            self.telemetry.incr("verdict_cache_hits")
+            self.telemetry.incr("verified_stable" if cached else "verified_unstable")
+            return cached
         if req.solver in ("kary", "priority"):
             matching = matching_from_dict(req.instance, dict(payload["matching"]))
             stable = find_blocking_family(req.instance, matching) is None
@@ -576,5 +630,6 @@ class MatchingEngine:
                 for a, b in payload["matching"]["pairs"]
             ]
             stable = is_stable_binary(req.instance, pairs, linearization=req.linearization)
+        self.cache.put_verdict(job.fingerprint, stable)
         self.telemetry.incr("verified_stable" if stable else "verified_unstable")
         return stable

@@ -28,6 +28,12 @@ __all__ = [
     "SimulationError",
     "BudgetExhaustedError",
     "TransientWorkerError",
+    "ServiceError",
+    "QueueFullError",
+    "RateLimitedError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
+    "InvalidServiceRequestError",
 ]
 
 
@@ -105,6 +111,84 @@ class TransientWorkerError(ReproError, RuntimeError):
     def __init__(self, message: str, attempts: int = 1) -> None:
         super().__init__(message)
         self.attempts = attempts
+
+
+class ServiceError(ReproError):
+    """Base class for :mod:`repro.service` request-level failures.
+
+    Every rejection a request can suffer inside the async solve service
+    (queue overflow, rate limiting, deadline expiry, shutdown) derives
+    from this class and carries the ``request_id`` it applies to, so
+    callers can attribute failures in a batch without parsing messages.
+    """
+
+    def __init__(self, message: str, *, request_id: str = "") -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+class QueueFullError(ServiceError):
+    """The admission queue rejected (or shed) a request.
+
+    Raised at admission time under the ``reject`` backpressure policy
+    when the queue is at capacity, and delivered to an already-queued
+    request that the ``shed_oldest`` policy evicted to make room for a
+    newer arrival (``shed`` is then True).
+    """
+
+    def __init__(
+        self, message: str, *, request_id: str = "", shed: bool = False
+    ) -> None:
+        super().__init__(message, request_id=request_id)
+        self.shed = shed
+
+
+class RateLimitedError(ServiceError):
+    """A per-client token bucket had no token for this request.
+
+    ``retry_after_s`` is the bucket's estimate of when one token will
+    have refilled — the value a real front door would surface as a
+    ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, message: str, *, request_id: str = "", retry_after_s: float = 0.0
+    ) -> None:
+        super().__init__(message, request_id=request_id)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServiceError):
+    """A request ran out of its deadline budget.
+
+    Raised *before* work starts (admission / dequeue checks) and
+    *mid-flight* via the cooperative checks between pipeline and engine
+    stages; ``stage`` names the check point that observed the expiry.
+    """
+
+    def __init__(
+        self, message: str, *, request_id: str = "", stage: str = ""
+    ) -> None:
+        super().__init__(message, request_id=request_id)
+        self.stage = stage
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or closed and accepts no new requests.
+
+    Submissions racing a graceful shutdown get this instead of being
+    silently dropped — requests admitted *before* the drain began are
+    always completed (the zero-lost drain invariant).
+    """
+
+
+class InvalidServiceRequestError(ServiceError, ValueError):
+    """A wire-format request (JSONL line) could not be parsed.
+
+    The message always names the offending request id (or the line
+    number when the id itself is unreadable) so a client can correlate
+    the rejection with what it sent.
+    """
 
 
 class BudgetExhaustedError(ReproError, RuntimeError):

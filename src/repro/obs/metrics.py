@@ -84,6 +84,30 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def quantile(self, q: float) -> "float | None":
+        """Estimate the ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Returns the upper edge of the bucket holding the target rank —
+        a conservative (upper-bound) estimate, exact to bucket
+        resolution.  Ranks landing in the overflow bucket report the
+        observed ``max``; an empty histogram reports ``None``.  This is
+        what the service latency report's p50/p95/p99 are computed from.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        # rank of the target sample, 1-based; q=0 -> first sample.
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                if i < len(self.edges):
+                    return self.edges[i]
+                return self.max
+        return self.max
+
     def merge(self, other: "Histogram") -> None:
         """Fold ``other`` into this histogram (edges must match)."""
         if other.edges != self.edges:

@@ -24,6 +24,7 @@ from repro.core.binding_tree import BindingTree
 from repro.core.iterative_binding import iterative_binding
 from repro.core.stability import (
     clear_improvement_cache,
+    find_blocking_family,
     improvement_cache_stats,
     is_stable_kary,
 )
@@ -189,6 +190,66 @@ def _ref_ranks_build(state: Mapping[str, object]) -> object:
     return out
 
 
+def _build_binding_state() -> Mapping[str, object]:
+    """A (k=4, n=24) instance plus its chain tree for end-to-end solves."""
+    inst = random_instance(4, 24, seed=_SEED + 3)
+    return {"instance": inst, "tree": BindingTree.chain(4)}
+
+
+def _run_binding_e2e(state: Mapping[str, object]) -> dict[str, int]:
+    """Full Algorithm 1 run: k-1 bindings end to end (Theorem 3's path)."""
+    inst = state["instance"]
+    tree = state["tree"]
+    assert isinstance(inst, KPartiteInstance)
+    assert isinstance(tree, BindingTree)
+    result = iterative_binding(inst, tree)
+    return {
+        "proposals": result.total_proposals,
+        "bindings": len(result.tree.edges),
+    }
+
+
+def _build_unstable_state() -> Mapping[str, object]:
+    """A (k=3, n=32) instance with a deliberately *unstable* matching.
+
+    Starts from the chain-bound stable matching and swaps the gender-2
+    members of two families; the first swap (in deterministic order)
+    whose result has a strong blocking family is kept.  Because the
+    matching is genuinely unstable, the oracle's O(k²·n²) prescreen
+    cannot prove stability and the strong DFS must actually search —
+    the slow path the hot/cold oracle workloads never exercise.
+    """
+    from repro.model.serialize import matching_from_dict, matching_to_dict
+
+    inst = random_instance(3, 32, seed=_SEED)
+    result = iterative_binding(inst, BindingTree.chain(3))
+    doc = matching_to_dict(result.matching)
+    for a in range(len(doc["tuples"])):
+        for b in range(a + 1, len(doc["tuples"])):
+            tuples = [list(map(list, t)) for t in doc["tuples"]]
+            tuples[a][2], tuples[b][2] = tuples[b][2], tuples[a][2]
+            corrupted = matching_from_dict(inst, {"tuples": tuples})
+            clear_improvement_cache()
+            if find_blocking_family(inst, corrupted) is not None:
+                clear_improvement_cache()
+                return {"instance": inst, "matching": corrupted}
+    raise ConfigurationError(
+        "no swap of the seeded stable matching produced an unstable one; "
+        "change the workload seed"
+    )
+
+
+def _run_oracle_unstable(state: Mapping[str, object]) -> dict[str, int]:
+    """Strong DFS on an unstable matching, cache cleared (witness path)."""
+    clear_improvement_cache()
+    inst = state["instance"]
+    matching = state["matching"]
+    assert isinstance(inst, KPartiteInstance)
+    witness = find_blocking_family(inst, matching)  # type: ignore[arg-type]
+    assert witness is not None  # build guarantees instability
+    return {"stable": 0, "witness_size": len(witness.members)}
+
+
 def _build_engine_state() -> Mapping[str, object]:
     """A warmed engine plus a duplicate-heavy batch (4 unique × 3 copies)."""
     instances = [random_instance(3, 12, seed=_SEED + 10 + s) for s in range(4)]
@@ -224,7 +285,9 @@ WORKLOADS: dict[str, Workload] = {
             build=_build_oracle_state,
             run=_run_oracle_hot,
             reference=_ref_oracle,
-            reps=10,
+            # the hot path is ~1 us; high reps keep the measured median
+            # (and thus the speedup gate) above timer/scheduler noise.
+            reps=50,
             min_speedup=5.0,
         ),
         Workload(
@@ -284,6 +347,31 @@ WORKLOADS: dict[str, Workload] = {
             reference=_ref_ranks_build,
             reps=3,
             min_speedup=1.5,
+        ),
+        Workload(
+            name="binding.iterative.k4n24",
+            description=(
+                "end-to-end Algorithm 1 (iterative binding) on a chain "
+                "tree at k=4 n=24 (trajectory only; full solve path)"
+            ),
+            build=_build_binding_state,
+            run=_run_binding_e2e,
+            reps=3,
+        ),
+        Workload(
+            name="oracle.unstable.k3n32",
+            description=(
+                "strong-stability oracle on an unstable matching at k=3 "
+                "n=32: prescreen cannot early-exit, DFS finds the witness "
+                "vs naive DFS"
+            ),
+            build=_build_unstable_state,
+            run=_run_oracle_unstable,
+            reference=_ref_oracle,
+            # sub-ms workload on a noisy single-core runner: high reps
+            # keep the speedup ratio out of scheduler-noise territory.
+            reps=25,
+            min_speedup=1.0,
         ),
         Workload(
             name="engine.batch.cached",

@@ -1,0 +1,49 @@
+"""``repro.service``: the async solve service and its load harness.
+
+The production-shaped front door above :mod:`repro.engine`: a bounded
+admission queue with selectable backpressure, priority-weighted
+dequeue, per-client rate limiting, end-to-end deadlines with
+cooperative mid-flight cancellation, graceful zero-lost drain, and a
+seeded open/closed-loop load generator that runs deterministically
+under a virtual clock.  See docs/SERVICE.md for the architecture tour.
+"""
+
+from repro.service.clock import Clock, RealClock, VirtualClock, run_virtual
+from repro.service.loadgen import ARRIVAL_MODES, LoadProfile, LoadReport, run_load
+from repro.service.pipeline import (
+    DEFAULT_PRIORITIES,
+    OUTCOMES,
+    Deadline,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+    SolveService,
+)
+from repro.service.protocol import parse_service_request, serve_lines, serve_socket
+from repro.service.queue import BACKPRESSURE_POLICIES, AdmissionQueue
+from repro.service.ratelimit import RateLimiter, TokenBucket
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "BACKPRESSURE_POLICIES",
+    "DEFAULT_PRIORITIES",
+    "OUTCOMES",
+    "AdmissionQueue",
+    "Clock",
+    "Deadline",
+    "LoadProfile",
+    "LoadReport",
+    "RateLimiter",
+    "RealClock",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "SolveService",
+    "TokenBucket",
+    "VirtualClock",
+    "parse_service_request",
+    "run_load",
+    "run_virtual",
+    "serve_lines",
+    "serve_socket",
+]

@@ -1,0 +1,354 @@
+"""Seeded load generation and the latency/throughput report.
+
+:func:`run_load` drives a :class:`~repro.service.pipeline.SolveService`
+with a deterministic request stream derived from a single seed: the
+instance pool, solver mix, priorities, clients, deadlines, arrival
+times, and modelled service costs are all drawn from one
+:func:`~repro.utils.rng.as_rng` stream, so the same
+:class:`LoadProfile` always produces the same requests in the same
+order.
+
+Two arrival disciplines are supported:
+
+* **open loop** — arrivals follow a seeded exponential interarrival
+  schedule at ``rate`` requests/second, regardless of completions (the
+  discipline that actually exposes queueing collapse);
+* **closed loop** — ``concurrency`` synthetic clients each keep exactly
+  one request in flight (classic think-time-free closed system).
+
+Under a :class:`~repro.service.clock.VirtualClock` the whole soak runs
+in simulated time — a thousand-request, minutes-long schedule executes
+in well under a second of wall time and produces *identical* per-request
+outcomes across runs, which is the determinism contract
+``make service-smoke`` enforces.  The :class:`LoadReport` collects
+per-outcome counts, the zero-lost accounting, and p50/p95/p99
+latency/queue-wait quantiles read from the service's
+:mod:`repro.obs` histograms.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.engine.jobs import MatchingEngine, SolveRequest
+from repro.exceptions import ConfigurationError
+from repro.model.generators import random_instance
+from repro.obs.metrics import DEFAULT_TIME_EDGES
+from repro.obs.record import Recorder
+from repro.service.clock import Clock, RealClock, VirtualClock, run_virtual
+from repro.service.pipeline import (
+    DEFAULT_PRIORITIES,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+    SolveService,
+)
+from repro.utils.rng import as_rng
+
+__all__ = ["ARRIVAL_MODES", "LoadProfile", "LoadReport", "run_load"]
+
+#: supported arrival disciplines.
+ARRIVAL_MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Everything that defines one reproducible load run.
+
+    Attributes
+    ----------
+    requests / seed:
+        Stream length and the single seed every random choice derives
+        from.
+    mode:
+        ``open`` (seeded Poisson arrivals at ``rate``/s) or ``closed``
+        (``concurrency`` clients, one request in flight each).
+    pool:
+        Number of distinct instances; requests draw from the pool, so a
+        smaller pool drives more engine cache/dedup hits.
+    k_choices / n_choices:
+        Instance shapes sampled for the pool.
+    solvers:
+        Solver mix sampled per request (``binary`` contributes
+        ``no_stable`` outcomes on instances without a stable binary
+        matching).
+    verify_fraction:
+        Fraction of requests asking the engine to verify stability
+        (exercises the verdict cache).
+    deadline_s / tight_fraction / tight_deadline_s:
+        Default per-request budget, plus a slice of requests carrying a
+        deliberately unmeetable budget so deadline rejections are part
+        of every soak.
+    cost_base_s / cost_jitter_s:
+        Modelled service time charged to the clock per request
+        (deterministic per request id).
+    clients:
+        Client names cycled for rate-limiting attribution.
+    """
+
+    requests: int = 100
+    seed: int = 0
+    mode: str = "open"
+    rate: float = 200.0
+    concurrency: int = 8
+    pool: int = 8
+    k_choices: tuple[int, ...] = (3, 4)
+    n_choices: tuple[int, ...] = (4, 6, 8)
+    solvers: tuple[str, ...] = ("kary", "kary", "priority", "binary")
+    verify_fraction: float = 0.5
+    deadline_s: float = 30.0
+    tight_fraction: float = 0.1
+    tight_deadline_s: float = 1e-4
+    cost_base_s: float = 0.01
+    cost_jitter_s: float = 0.02
+    clients: tuple[str, ...] = ("alpha", "beta", "gamma")
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError(f"requests must be >= 1, got {self.requests}")
+        if self.mode not in ARRIVAL_MODES:
+            raise ConfigurationError(
+                f"unknown arrival mode {self.mode!r}; choose from {ARRIVAL_MODES}"
+            )
+        if self.rate <= 0 or self.concurrency < 1 or self.pool < 1:
+            raise ConfigurationError(
+                "rate must be positive, concurrency and pool >= 1; got "
+                f"rate={self.rate} concurrency={self.concurrency} pool={self.pool}"
+            )
+        if not 0.0 <= self.tight_fraction <= 1.0:
+            raise ConfigurationError(
+                f"tight_fraction must be in [0, 1], got {self.tight_fraction}"
+            )
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run, JSON-exportable.
+
+    ``outcome_by_id`` maps every request id to its terminal outcome —
+    the object the determinism check compares across runs.  ``lost``
+    must be 0 after every drain (the zero-lost invariant).
+    """
+
+    requests: int
+    seed: int
+    mode: str
+    virtual: bool
+    duration_s: float
+    accepted: int
+    responded: int
+    lost: int
+    outcomes: dict[str, int] = field(default_factory=dict)
+    outcome_by_id: dict[str, str] = field(default_factory=dict)
+    latency: dict[str, float] = field(default_factory=dict)
+    queue_wait: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Responded requests per (possibly virtual) second."""
+        return self.responded / self.duration_s if self.duration_s > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (the ``repro load`` artifact schema v1)."""
+        return {
+            "schema": 1,
+            "requests": self.requests,
+            "seed": self.seed,
+            "mode": self.mode,
+            "virtual": self.virtual,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "accepted": self.accepted,
+            "responded": self.responded,
+            "lost": self.lost,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "counters": dict(sorted(self.counters.items())),
+            "outcome_by_id": dict(sorted(self.outcome_by_id.items())),
+        }
+
+    def to_json(self, **dump_kwargs: Any) -> str:
+        """Serialize :meth:`to_dict` as JSON."""
+        return json.dumps(self.to_dict(), **dump_kwargs)
+
+
+def build_requests(
+    profile: LoadProfile, priorities: Mapping[str, int]
+) -> tuple[list[ServiceRequest], dict[str, float]]:
+    """Materialize the deterministic request stream for ``profile``.
+
+    Returns the requests in arrival order plus the per-request modelled
+    service cost (seconds) keyed by request id — the table the service's
+    cost model reads.  Everything is a pure function of the profile.
+    """
+    rng = as_rng(profile.seed)
+    instances = []
+    for _ in range(profile.pool):
+        k = int(rng.choice(list(profile.k_choices)))
+        n = int(rng.choice(list(profile.n_choices)))
+        instances.append(random_instance(k, n, seed=int(rng.integers(2**31))))
+    priority_names = sorted(priorities)
+    requests: list[ServiceRequest] = []
+    costs: dict[str, float] = {}
+    for i in range(profile.requests):
+        request_id = f"req-{i:05d}"
+        solver = str(rng.choice(list(profile.solvers)))
+        tight = bool(rng.random() < profile.tight_fraction)
+        requests.append(
+            ServiceRequest(
+                request_id=request_id,
+                solve=SolveRequest(
+                    instance=instances[int(rng.integers(profile.pool))],
+                    solver=solver,
+                    verify=bool(rng.random() < profile.verify_fraction),
+                    label=request_id,
+                ),
+                priority=priority_names[int(rng.integers(len(priority_names)))],
+                client=profile.clients[i % len(profile.clients)],
+                deadline_s=profile.tight_deadline_s if tight else profile.deadline_s,
+            )
+        )
+        costs[request_id] = profile.cost_base_s + float(
+            rng.random()
+        ) * profile.cost_jitter_s
+    return requests, costs
+
+
+async def _drive_open(
+    service: SolveService,
+    clock: Clock,
+    profile: LoadProfile,
+    requests: list[ServiceRequest],
+) -> list[ServiceResponse]:
+    """Open-loop driver: seeded exponential interarrivals at ``rate``/s."""
+    rng = as_rng(profile.seed + 1)  # arrival stream, independent of content
+    gaps = [float(g) for g in rng.exponential(1.0 / profile.rate, len(requests))]
+    tasks: list[asyncio.Task[ServiceResponse]] = []
+    loop = asyncio.get_running_loop()
+    for request, gap in zip(requests, gaps):
+        await clock.sleep(gap)
+        tasks.append(loop.create_task(service.handle(request)))
+    return list(await asyncio.gather(*tasks))
+
+
+async def _drive_closed(
+    service: SolveService,
+    profile: LoadProfile,
+    requests: list[ServiceRequest],
+) -> list[ServiceResponse]:
+    """Closed-loop driver: ``concurrency`` clients, one in flight each."""
+    pending = list(reversed(requests))
+    responses: dict[str, ServiceResponse] = {}
+
+    async def client() -> None:
+        while pending:
+            request = pending.pop()
+            responses[request.request_id] = await service.handle(request)
+
+    await asyncio.gather(*(client() for _ in range(profile.concurrency)))
+    return [responses[r.request_id] for r in requests]
+
+
+def _quantiles(recorder: Recorder, name: str) -> dict[str, float]:
+    hist = recorder.metrics.histogram(name)
+    if hist is None or hist.count == 0:
+        return {}
+    out: dict[str, float] = {}
+    for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+        value = hist.quantile(q)
+        if value is not None:
+            out[label] = float(value)
+    out["mean"] = hist.sum / hist.count
+    out["max"] = float(hist.max if hist.max is not None else 0.0)
+    return out
+
+
+def run_load(
+    profile: LoadProfile,
+    *,
+    config: "ServiceConfig | None" = None,
+    virtual: bool = True,
+    recorder: "Recorder | None" = None,
+) -> LoadReport:
+    """Run one full load soak and return its :class:`LoadReport`.
+
+    Builds a fresh serial-backend engine and service per run (so runs
+    are hermetic), drives the profile's arrival schedule, drains, and
+    asserts nothing was lost.  ``virtual=True`` (the default) runs under
+    the :class:`~repro.service.clock.VirtualClock` — deterministic and
+    near-instant; ``virtual=False`` uses wall-clock time.  Pass a
+    ``recorder`` to keep the trace/metrics for export.
+    """
+    sink = recorder if recorder is not None else Recorder()
+    clock: Clock = VirtualClock() if virtual else RealClock()
+    base = config if config is not None else ServiceConfig(
+        queue_capacity=64,
+        policy="reject",
+        workers=4,
+        priorities=dict(DEFAULT_PRIORITIES),
+    )
+    requests, costs = build_requests(profile, base.priorities)
+    service_config = ServiceConfig(
+        queue_capacity=base.queue_capacity,
+        policy=base.policy,
+        workers=base.workers,
+        priorities=dict(base.priorities),
+        rate_capacity=base.rate_capacity,
+        rate_refill_per_s=base.rate_refill_per_s,
+        default_deadline_s=base.default_deadline_s,
+        cost_model=lambda req: costs[req.request_id],
+    )
+    sink.metrics.register_histogram("service.latency.seconds", DEFAULT_TIME_EDGES)
+    sink.metrics.register_histogram("service.queue_wait.seconds", DEFAULT_TIME_EDGES)
+    engine = MatchingEngine(backend="serial", sink=sink)
+    service = SolveService(engine, config=service_config, clock=clock, sink=sink)
+
+    async def soak() -> tuple[list[ServiceResponse], float]:
+        start = clock.now()
+        async with service:
+            if profile.mode == "open":
+                responses = await _drive_open(service, clock, profile, requests)
+            else:
+                responses = await _drive_closed(service, profile, requests)
+        return responses, clock.now() - start
+
+    async def main() -> tuple[list[ServiceResponse], float]:
+        if isinstance(clock, VirtualClock):
+            return await run_virtual(clock, soak())
+        return await soak()
+
+    try:
+        responses, duration = asyncio.run(main())
+    finally:
+        engine.close()
+
+    outcomes: dict[str, int] = {}
+    outcome_by_id: dict[str, str] = {}
+    for response in responses:
+        outcomes[response.outcome] = outcomes.get(response.outcome, 0) + 1
+        outcome_by_id[response.request_id] = response.outcome
+    stats = service.stats()
+    return LoadReport(
+        requests=profile.requests,
+        seed=profile.seed,
+        mode=profile.mode,
+        virtual=virtual,
+        duration_s=duration,
+        accepted=stats["accepted"],
+        responded=stats["responded"],
+        lost=stats["lost"],
+        outcomes=outcomes,
+        outcome_by_id=outcome_by_id,
+        latency=_quantiles(sink, "service.latency.seconds"),
+        queue_wait=_quantiles(sink, "service.queue_wait.seconds"),
+        counters={
+            name: value
+            for name, value in sink.metrics.counters().items()
+            if name.startswith("service.")
+        },
+    )

@@ -1,0 +1,609 @@
+"""The async solve service: admission, deadlines, priorities, drain.
+
+:class:`SolveService` is the front door the ROADMAP's serving story
+needed above :class:`~repro.engine.jobs.MatchingEngine`.  One request
+flows through five cooperative stages, each separated by a deadline
+check so an expired request never consumes further work:
+
+1. **admit** — service state + priority validation, per-client token
+   bucket (:mod:`repro.service.ratelimit`), then the bounded
+   :class:`~repro.service.queue.AdmissionQueue` under the configured
+   backpressure policy;
+2. **queue** — the request waits for a worker; the ``shed_oldest``
+   policy may evict it here in favour of a newer arrival;
+3. **solve** — a worker charges the optional cost model (virtual-clock
+   service time), then calls the engine with the request's deadline
+   propagated as the engine's cooperative ``check`` hook, so expiry
+   fires *between engine stages*, mid-flight;
+4. **verify** — rides inside the engine call when the request asks for
+   it (cached verdicts make re-verification a lookup);
+5. **respond** — the caller's future resolves with a
+   :class:`ServiceResponse` (or a typed :class:`~repro.exceptions.
+   ServiceError` through :meth:`SolveService.submit`).
+
+Every terminal event emits a ``service.request`` span with outcome
+attributes and feeds the ``service.*`` counters and latency/queue-wait
+histograms through the :class:`~repro.obs.sink.ObsSink` protocol (see
+docs/SERVICE.md for the full metric taxonomy).  Graceful drain
+(:meth:`SolveService.drain`) closes admission, flushes the queue, and
+joins the workers — zero admitted requests are lost, the invariant the
+load harness asserts after every soak.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.engine.jobs import MatchingEngine, SolveRequest, SolveResult
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    QueueFullError,
+    RateLimitedError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.obs.sink import NULL_SINK, ObsSink
+from repro.service.clock import Clock, RealClock
+from repro.service.queue import BACKPRESSURE_POLICIES, AdmissionQueue
+from repro.service.ratelimit import RateLimiter
+
+__all__ = [
+    "DEFAULT_PRIORITIES",
+    "OUTCOMES",
+    "Deadline",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "SolveService",
+]
+
+#: default priority classes and their weighted-dequeue weights.
+DEFAULT_PRIORITIES: dict[str, int] = {"interactive": 4, "normal": 2, "batch": 1}
+
+#: every terminal outcome a :class:`ServiceResponse` can carry
+#: (``invalid`` is produced by the wire protocol, not the pipeline).
+OUTCOMES = (
+    "ok",
+    "no_stable",
+    "rejected_queue",
+    "rejected_rate",
+    "rejected_closed",
+    "shed",
+    "deadline",
+    "failed",
+    "invalid",
+)
+
+
+class Deadline:
+    """One request's absolute deadline with named cooperative checks.
+
+    ``expires_s`` is an absolute clock reading (or ``None`` for no
+    deadline).  :meth:`check` is called between pipeline stages and —
+    through the engine's ``check`` hook — between engine stages, so a
+    request that ran out of budget stops at the next stage boundary
+    instead of burning a full solve.
+    """
+
+    def __init__(
+        self, clock: Clock, request_id: str, expires_s: "float | None"
+    ) -> None:
+        self._clock = clock
+        self.request_id = request_id
+        self.expires_s = expires_s
+
+    def remaining(self) -> "float | None":
+        """Seconds of budget left (negative when expired; None = no limit)."""
+        if self.expires_s is None:
+            return None
+        return self.expires_s - self._clock.now()
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`~repro.exceptions.DeadlineExceededError` if expired."""
+        remaining = self.remaining()
+        if remaining is not None and remaining < 0:
+            raise DeadlineExceededError(
+                f"request {self.request_id!r}: deadline exceeded at stage "
+                f"{stage!r} ({-remaining:.6f}s over budget)",
+                request_id=self.request_id,
+                stage=stage,
+            )
+
+    def engine_check(self, stage: str) -> None:
+        """The hook handed to the engine; prefixes engine stage names."""
+        self.check(f"engine.{stage}")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`SolveService`.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Bound on queued (admitted, not yet solving) requests.
+    policy:
+        Backpressure policy, one of
+        :data:`~repro.service.queue.BACKPRESSURE_POLICIES`.
+    workers:
+        Concurrent worker coroutines consuming the queue.
+    priorities:
+        Priority class -> weighted-dequeue weight (also the class
+        universe requests are validated against).
+    rate_capacity / rate_refill_per_s:
+        Per-client token bucket burst size and refill rate;
+        ``rate_capacity=None`` disables rate limiting.
+    default_deadline_s:
+        Deadline budget applied to requests that do not carry one
+        (``None`` = unlimited).
+    cost_model:
+        Optional synthetic service-time model: seconds to charge to the
+        clock before solving (how the virtual-clock harness makes queue
+        waits, deadlines, and latency distributions meaningful without
+        wall time).  ``None`` charges nothing.
+    """
+
+    queue_capacity: int = 64
+    policy: str = "reject"
+    workers: int = 2
+    priorities: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_PRIORITIES)
+    )
+    rate_capacity: "float | None" = None
+    rate_refill_per_s: float = 10.0
+    default_deadline_s: "float | None" = None
+    cost_model: "Callable[[ServiceRequest], float] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.policy not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {self.policy!r}; choose from "
+                f"{BACKPRESSURE_POLICIES}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ConfigurationError(
+                f"default_deadline_s must be positive, got {self.default_deadline_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One request to the service: an engine job plus serving metadata."""
+
+    request_id: str
+    solve: SolveRequest
+    priority: str = "normal"
+    client: str = "default"
+    deadline_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ConfigurationError("request_id must be a non-empty string")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"request {self.request_id!r}: deadline_s must be positive, "
+                f"got {self.deadline_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Terminal state of one request, successful or not.
+
+    ``outcome`` is one of :data:`OUTCOMES`; ``result`` is present only
+    for ``ok`` / ``no_stable``.  Times are clock readings (virtual
+    seconds under the load harness): ``queue_wait_s`` covers admission
+    to dequeue, ``latency_s`` admission to completion.  Rejected-before-
+    admission responses carry zeros.
+    """
+
+    request_id: str
+    outcome: str
+    priority: str
+    client: str
+    result: "SolveResult | None" = None
+    error: "str | None" = None
+    error_type: "str | None" = None
+    stage: "str | None" = None
+    queue_wait_s: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True for a completed solve (including a no-stable verdict)."""
+        return self.outcome in ("ok", "no_stable")
+
+    def to_dict(self) -> "dict[str, Any]":
+        """Plain-JSON form (the ``repro serve`` wire format)."""
+        doc: dict[str, Any] = {
+            "id": self.request_id,
+            "outcome": self.outcome,
+            "priority": self.priority,
+            "client": self.client,
+            "queue_wait_s": self.queue_wait_s,
+            "latency_s": self.latency_s,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+            doc["error_type"] = self.error_type
+        if self.stage is not None:
+            doc["stage"] = self.stage
+        if self.result is not None:
+            doc["status"] = self.result.status
+            doc["fingerprint"] = self.result.fingerprint
+            doc["from_cache"] = self.result.from_cache
+            doc["proposals"] = self.result.proposals
+            if self.result.stable is not None:
+                doc["stable"] = self.result.stable
+        return doc
+
+
+#: exception class -> (outcome, counter) for post-admission failures.
+_ERROR_OUTCOMES: dict[type, tuple[str, str]] = {
+    DeadlineExceededError: ("deadline", "service.rejected.deadline"),
+    RateLimitedError: ("rejected_rate", "service.rejected.rate"),
+    ServiceClosedError: ("rejected_closed", "service.rejected.closed"),
+}
+
+
+@dataclass
+class _Entry:
+    """Driver-side state for one admitted request."""
+
+    request: ServiceRequest
+    deadline: Deadline
+    admitted_s: float
+    future: "asyncio.Future[ServiceResponse]"
+    dequeued_s: float = 0.0
+
+
+class SolveService:
+    """Asyncio request pipeline over a :class:`MatchingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The batched solve engine requests are executed on (its cache,
+        retries, and telemetry all apply).  Hand the engine the same
+        sink to nest ``engine.*`` spans under ``service.solve``.
+    config:
+        :class:`ServiceConfig` tunables.
+    clock:
+        Time source; defaults to :class:`~repro.service.clock.RealClock`.
+        Pass a :class:`~repro.service.clock.VirtualClock` for
+        deterministic soaks.
+    sink:
+        :class:`~repro.obs.sink.ObsSink` for the ``service.*`` metric
+        and span taxonomy.
+
+    The service is an async context manager: ``async with`` drains on
+    exit, completing every admitted request.
+    """
+
+    def __init__(
+        self,
+        engine: MatchingEngine,
+        *,
+        config: "ServiceConfig | None" = None,
+        clock: "Clock | None" = None,
+        sink: ObsSink = NULL_SINK,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServiceConfig()
+        self.clock = clock if clock is not None else RealClock()
+        self.sink = sink
+        self._queue: AdmissionQueue[_Entry] = AdmissionQueue(
+            self.config.queue_capacity,
+            self.config.policy,
+            dict(self.config.priorities),
+            sink=sink,
+        )
+        self._limiter = RateLimiter(
+            self.config.rate_capacity, self.config.rate_refill_per_s, self.clock
+        )
+        self._workers: list[asyncio.Task[None]] = []
+        self._state = "created"  # created | running | draining | closed
+        self._accepted = 0
+        self._responded = 0
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: created / running / draining / closed."""
+        return self._state
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent; needs a running loop)."""
+        if self._state in ("draining", "closed"):
+            raise ServiceClosedError("service has been drained; create a new one")
+        if self._state == "running":
+            return
+        self._state = "running"
+        for index in range(self.config.workers):
+            self._workers.append(
+                asyncio.get_running_loop().create_task(self._worker(index))
+            )
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, flush, join the workers.
+
+        Every request admitted before the drain began is completed
+        (solved or terminally rejected) — nothing is dropped.  New
+        submissions raise :class:`~repro.exceptions.ServiceClosedError`.
+        Idempotent.
+        """
+        if self._state == "closed":
+            return
+        self._state = "draining"
+        self._queue.close()
+        if self._workers:
+            await asyncio.gather(*self._workers)
+            self._workers = []
+        self._state = "closed"
+
+    async def __aenter__(self) -> "SolveService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.drain()
+
+    def stats(self) -> "dict[str, int]":
+        """Acceptance accounting: the zero-lost drain invariant lives here.
+
+        ``lost`` is ``accepted - responded - in_flight`` and must be 0
+        at all times; after :meth:`drain`, ``in_flight`` is 0 too.
+        """
+        return {
+            "accepted": self._accepted,
+            "responded": self._responded,
+            "in_flight": self._in_flight,
+            "queued": len(self._queue),
+            "lost": self._accepted - self._responded - self._in_flight
+            - len(self._queue),
+        }
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    async def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Run ``request`` through the full pipeline.
+
+        Returns the response for completed solves; raises the typed
+        :class:`~repro.exceptions.ServiceError` subclass for every
+        rejection (queue full, rate limited, shed, deadline, closed).
+        Use :meth:`handle` to get rejections as responses instead.
+        """
+        self.sink.incr("service.submitted")
+        if self._state == "created":
+            self.start()
+        if self._state != "running":
+            self.sink.incr("service.rejected.closed")
+            raise ServiceClosedError(
+                f"request {request.request_id!r}: service is {self._state}",
+                request_id=request.request_id,
+            )
+        if request.priority not in self.config.priorities:
+            raise ConfigurationError(
+                f"request {request.request_id!r}: unknown priority "
+                f"{request.priority!r}; choose from {sorted(self.config.priorities)}"
+            )
+        try:
+            self._limiter.acquire(request.client, request.request_id)
+        except ServiceError as exc:
+            self._reject_pre_admission(request, exc, "service.rejected.rate")
+            raise
+        budget = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        admitted_s = self.clock.now()
+        deadline = Deadline(
+            self.clock,
+            request.request_id,
+            None if budget is None else admitted_s + budget,
+        )
+        entry = _Entry(
+            request=request,
+            deadline=deadline,
+            admitted_s=admitted_s,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            shed = await self._queue.put(
+                request.priority, entry, request_id=request.request_id
+            )
+        except ServiceError as exc:
+            counter = (
+                "service.rejected.closed"
+                if isinstance(exc, ServiceClosedError)
+                else "service.rejected.queue"
+            )
+            self._reject_pre_admission(request, exc, counter)
+            raise
+        self._accepted += 1
+        self.sink.incr("service.admitted")
+        for victim in shed:
+            self._complete_error(
+                victim,
+                QueueFullError(
+                    f"request {victim.request.request_id!r}: shed from the "
+                    "admission queue by a newer arrival (shed_oldest policy)",
+                    request_id=victim.request.request_id,
+                    shed=True,
+                ),
+            )
+        return await entry.future
+
+    async def handle(self, request: ServiceRequest) -> ServiceResponse:
+        """Like :meth:`submit`, but rejections become responses.
+
+        Typed service errors (and any other :class:`~repro.exceptions.
+        ReproError` from the solve) are mapped to their outcome instead
+        of propagating — the form the CLI and load harness consume.
+        """
+        try:
+            return await self.submit(request)
+        except ReproError as exc:
+            return self._response_for_error(request, exc)
+
+    # ------------------------------------------------------------------
+    # worker pipeline
+    # ------------------------------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        while True:
+            got = await self._queue.get()
+            if got is None:
+                return
+            _, entry = got
+            self._in_flight += 1
+            try:
+                await self._process(entry)
+            finally:
+                self._in_flight -= 1
+
+    async def _process(self, entry: _Entry) -> None:
+        request = entry.request
+        entry.dequeued_s = self.clock.now()
+        self.sink.observe(
+            "service.queue_wait.seconds", entry.dequeued_s - entry.admitted_s
+        )
+        try:
+            entry.deadline.check("dequeue")
+            if self.config.cost_model is not None:
+                cost = self.config.cost_model(request)
+                if cost > 0:
+                    await self.clock.sleep(cost)
+            entry.deadline.check("solve")
+            with self.sink.span(
+                "service.solve",
+                request_id=request.request_id,
+                solver=request.solve.solver,
+                priority=request.priority,
+            ):
+                result = self.engine.submit(
+                    request.solve, check=entry.deadline.engine_check
+                )
+            entry.deadline.check("respond")
+        except ReproError as exc:
+            self._complete_error(entry, exc)
+            return
+        outcome = "ok" if result.ok else "no_stable"
+        finished_s = self.clock.now()
+        response = ServiceResponse(
+            request_id=request.request_id,
+            outcome=outcome,
+            priority=request.priority,
+            client=request.client,
+            result=result,
+            queue_wait_s=entry.dequeued_s - entry.admitted_s,
+            latency_s=finished_s - entry.admitted_s,
+        )
+        self.sink.incr("service.completed")
+        self._finish(entry, response)
+        if not entry.future.done():
+            entry.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # terminal accounting
+    # ------------------------------------------------------------------
+
+    def _outcome_for(self, exc: ReproError) -> "tuple[str, str]":
+        if isinstance(exc, QueueFullError):
+            return ("shed", "service.shed") if exc.shed else (
+                "rejected_queue",
+                "service.rejected.queue",
+            )
+        for klass, mapped in _ERROR_OUTCOMES.items():
+            if isinstance(exc, klass):
+                return mapped
+        return "failed", "service.failed"
+
+    def _response_for_error(
+        self, request: ServiceRequest, exc: ReproError
+    ) -> ServiceResponse:
+        recorded = getattr(exc, "service_response", None)
+        if isinstance(recorded, ServiceResponse):
+            return recorded  # post-admission failure: keep its timing
+        outcome, _ = self._outcome_for(exc)
+        if outcome == "failed" and isinstance(
+            exc, ConfigurationError
+        ):  # bad request shape, not a solver loss
+            outcome = "invalid"
+        return ServiceResponse(
+            request_id=request.request_id,
+            outcome=outcome,
+            priority=request.priority,
+            client=request.client,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            stage=getattr(exc, "stage", None) or None,
+        )
+
+    def _reject_pre_admission(
+        self, request: ServiceRequest, exc: ServiceError, counter: str
+    ) -> None:
+        self.sink.incr(counter)
+        outcome, _ = self._outcome_for(exc)
+        with self.sink.span(
+            "service.request",
+            request_id=request.request_id,
+            priority=request.priority,
+            client=request.client,
+            outcome=outcome,
+            admitted=False,
+        ):
+            pass
+
+    def _complete_error(self, entry: _Entry, exc: ReproError) -> None:
+        request = entry.request
+        outcome, counter = self._outcome_for(exc)
+        self.sink.incr(counter)
+        response = ServiceResponse(
+            request_id=request.request_id,
+            outcome=outcome,
+            priority=request.priority,
+            client=request.client,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            stage=getattr(exc, "stage", None) or None,
+            queue_wait_s=max(0.0, entry.dequeued_s - entry.admitted_s),
+            latency_s=self.clock.now() - entry.admitted_s,
+        )
+        self._finish(entry, response)
+        # let handle() recover the full accounting (queue wait, latency)
+        # instead of synthesizing a zeroed response from the bare error
+        exc.service_response = response  # type: ignore[attr-defined]
+        if not entry.future.done():
+            entry.future.set_exception(exc)
+
+    def _finish(self, entry: _Entry, response: ServiceResponse) -> None:
+        """Shared terminal bookkeeping for every admitted request."""
+        self._responded += 1
+        self.sink.observe("service.latency.seconds", response.latency_s)
+        with self.sink.span(
+            "service.request",
+            request_id=response.request_id,
+            priority=response.priority,
+            client=response.client,
+            outcome=response.outcome,
+            admitted=True,
+        ):
+            pass

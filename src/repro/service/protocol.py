@@ -1,0 +1,203 @@
+"""The JSONL wire protocol behind ``repro serve``.
+
+One request per line, one response per line.  A request document::
+
+    {"id": "r1", "solver": "kary", "priority": "normal",
+     "client": "cli", "deadline_s": 5.0, "verify": true,
+     "instance": { ... instance_to_dict schema ... }}
+
+carries either a full serialized instance (``instance``) or, for
+hand-written streams and tests, a generator shorthand::
+
+    {"id": "r2", "generate": {"k": 3, "n": 4, "seed": 7}, "solver": "binary"}
+
+(``seed`` is mandatory in the shorthand — an unseeded instance would
+make the request non-reproducible).  Solver-shaping fields (``tree``,
+``tree_seed``, ``gs_engine``, ``linearization``) pass through to
+:class:`~repro.engine.jobs.SolveRequest`.
+
+Malformed lines never crash the server: :func:`parse_service_request`
+raises :class:`~repro.exceptions.InvalidServiceRequestError` whose
+message names the offending request id (or the 1-based line number when
+the id itself is unreadable), and :func:`serve_lines` turns that into
+an ``"outcome": "invalid"`` response on the output stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Iterable
+
+from repro.engine.jobs import SolveRequest
+from repro.exceptions import InvalidServiceRequestError, ReproError
+from repro.model.generators import random_instance
+from repro.model.serialize import instance_from_dict
+from repro.service.pipeline import ServiceRequest, ServiceResponse, SolveService
+
+__all__ = [
+    "parse_service_request",
+    "response_line",
+    "invalid_line",
+    "serve_lines",
+    "serve_socket",
+]
+
+
+def _request_name(doc: Any, line_number: int) -> str:
+    if isinstance(doc, dict) and isinstance(doc.get("id"), str) and doc["id"]:
+        return doc["id"]
+    return f"line-{line_number}"
+
+
+def parse_service_request(line: str, *, line_number: int = 0) -> ServiceRequest:
+    """Parse one JSONL request line into a :class:`ServiceRequest`.
+
+    Raises :class:`~repro.exceptions.InvalidServiceRequestError` for
+    anything malformed — bad JSON, a missing/empty ``id``, neither
+    ``instance`` nor ``generate``, an unknown solver, a bad instance
+    document.  The error message always names the request id when one
+    is readable, else the 1-based ``line_number``.
+    """
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise InvalidServiceRequestError(
+            f"request line-{line_number}: not valid JSON: {exc}",
+            request_id=f"line-{line_number}",
+        ) from exc
+    name = _request_name(doc, line_number)
+    if not isinstance(doc, dict):
+        raise InvalidServiceRequestError(
+            f"request {name!r}: expected a JSON object, got {type(doc).__name__}",
+            request_id=name,
+        )
+    if not isinstance(doc.get("id"), str) or not doc["id"]:
+        raise InvalidServiceRequestError(
+            f"request {name!r}: missing or empty 'id' field",
+            request_id=name,
+        )
+    instance_doc = doc.get("instance")
+    generate = doc.get("generate")
+    if (instance_doc is None) == (generate is None):
+        raise InvalidServiceRequestError(
+            f"request {name!r}: exactly one of 'instance' or 'generate' "
+            "is required",
+            request_id=name,
+        )
+    try:
+        if instance_doc is not None:
+            instance = instance_from_dict(dict(instance_doc))
+        else:
+            spec = dict(generate)
+            if "seed" not in spec:
+                raise InvalidServiceRequestError(
+                    f"request {name!r}: 'generate' needs an explicit 'seed'",
+                    request_id=name,
+                )
+            instance = random_instance(
+                int(spec.get("k", 3)), int(spec.get("n", 4)), seed=int(spec["seed"])
+            )
+        solve = SolveRequest(
+            instance=instance,
+            solver=str(doc.get("solver", "kary")),
+            tree=str(doc.get("tree", "chain")),
+            tree_seed=(
+                int(doc["tree_seed"]) if doc.get("tree_seed") is not None else None
+            ),
+            gs_engine=str(doc.get("gs_engine", "textbook")),
+            linearization=str(doc.get("linearization", "auto")),
+            verify=bool(doc.get("verify", False)),
+            label=doc["id"],
+        )
+        return ServiceRequest(
+            request_id=doc["id"],
+            solve=solve,
+            priority=str(doc.get("priority", "normal")),
+            client=str(doc.get("client", "default")),
+            deadline_s=(
+                float(doc["deadline_s"]) if doc.get("deadline_s") is not None else None
+            ),
+        )
+    except InvalidServiceRequestError:
+        raise
+    except (ReproError, TypeError, KeyError, ValueError) as exc:
+        raise InvalidServiceRequestError(
+            f"request {name!r}: {exc}", request_id=name
+        ) from exc
+
+
+def response_line(response: ServiceResponse) -> str:
+    """Serialize one response as a stable single JSON line."""
+    return json.dumps(response.to_dict(), sort_keys=True)
+
+
+def invalid_line(exc: InvalidServiceRequestError) -> str:
+    """The ``"outcome": "invalid"`` response line for a parse failure."""
+    return json.dumps(
+        {
+            "id": exc.request_id,
+            "outcome": "invalid",
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        },
+        sort_keys=True,
+    )
+
+
+async def serve_lines(service: SolveService, lines: Iterable[str]) -> list[str]:
+    """Serve a JSONL request stream; returns one response line per input.
+
+    Requests are submitted concurrently (so priorities, deadlines, and
+    backpressure genuinely interact) but responses are emitted in input
+    order, which keeps the output diffable.  Blank lines are skipped;
+    unparseable lines yield ``invalid`` responses without stopping the
+    stream.
+    """
+    loop = asyncio.get_running_loop()
+    slots: list[asyncio.Task[ServiceResponse] | str] = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            request = parse_service_request(line, line_number=number)
+        except InvalidServiceRequestError as exc:
+            slots.append(invalid_line(exc))
+            continue
+        slots.append(loop.create_task(service.handle(request)))
+    out: list[str] = []
+    for slot in slots:
+        if isinstance(slot, str):
+            out.append(slot)
+        else:
+            out.append(response_line(await slot))
+    return out
+
+
+async def serve_socket(service: SolveService, path: str) -> "asyncio.AbstractServer":
+    """Start a unix-socket JSONL server for ``service`` at ``path``.
+
+    Each connection speaks the same line protocol as :func:`serve_lines`
+    but responses are written per-connection in that connection's input
+    order.  Returns the started server; the caller owns its lifetime
+    (``server.close()`` / ``wait_closed``).
+    """
+
+    async def handle_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            lines: list[str] = []
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                lines.append(raw.decode("utf-8"))
+            for line in await serve_lines(service, lines):
+                writer.write(line.encode("utf-8") + b"\n")
+            await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_unix_server(handle_connection, path=path)

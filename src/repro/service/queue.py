@@ -1,0 +1,213 @@
+"""Bounded admission queue: priority classes, weighted dequeue, backpressure.
+
+The queue is the service's front door.  Three configurable backpressure
+policies decide what happens when a ``put`` finds it at capacity:
+
+* ``reject`` — raise :class:`~repro.exceptions.QueueFullError` to the
+  submitter (fail fast; the client can retry with backoff);
+* ``shed_oldest`` — evict the globally oldest queued entry to make
+  room and hand it back to the caller, who must complete it with a
+  ``shed`` rejection (newest-wins, bounded staleness);
+* ``block`` — suspend the submitter until a worker frees a slot
+  (classic backpressure; propagates queue delay to the producer).
+
+Dequeue order is *smooth weighted round-robin* over the priority
+classes (the nginx algorithm): each pick raises every non-empty class's
+credit by its weight, takes the class with the highest credit (ties
+break by registration order), and charges the winner the total active
+weight.  The schedule is deterministic and work-conserving, and a
+weight-w class gets w/(sum of active weights) of the dequeues under
+saturation — starvation-free for every positive weight.
+
+The queue is asyncio-native and single-loop; depth changes are pushed
+to the :class:`~repro.obs.sink.ObsSink` as the ``service.queue.depth``
+gauge plus per-policy counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import deque
+from typing import Generic, TypeVar
+
+from repro.exceptions import ConfigurationError, QueueFullError, ServiceClosedError
+from repro.obs.sink import NULL_SINK, ObsSink
+
+__all__ = ["BACKPRESSURE_POLICIES", "AdmissionQueue"]
+
+#: the admission-time overload behaviours ``AdmissionQueue`` supports.
+BACKPRESSURE_POLICIES = ("reject", "shed_oldest", "block")
+
+T = TypeVar("T")
+
+
+class AdmissionQueue(Generic[T]):
+    """Bounded multi-class queue with weighted dequeue and shed support.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued entries across all classes.
+    policy:
+        One of :data:`BACKPRESSURE_POLICIES`.
+    weights:
+        Priority class name -> positive integer dequeue weight.  The
+        mapping also fixes the class universe: a ``put`` with an
+        unknown class raises :class:`~repro.exceptions.ConfigurationError`.
+    sink:
+        Observability sink for the depth gauge and shed counter.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str,
+        weights: "dict[str, int]",
+        sink: ObsSink = NULL_SINK,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {policy!r}; choose from "
+                f"{BACKPRESSURE_POLICIES}"
+            )
+        if not weights:
+            raise ConfigurationError("at least one priority class is required")
+        for name, weight in weights.items():
+            if weight < 1:
+                raise ConfigurationError(
+                    f"priority class {name!r} needs a positive weight, got {weight}"
+                )
+        self.capacity = capacity
+        self.policy = policy
+        self._weights = dict(weights)
+        self._credits = {name: 0 for name in weights}
+        self._queues: dict[str, deque[tuple[int, T]]] = {
+            name: deque() for name in weights
+        }
+        self._seq = itertools.count()
+        self._size = 0
+        self._closed = False
+        self._sink = sink
+        self._item_waiters: deque[asyncio.Future[None]] = deque()
+        self._space_waiters: deque[asyncio.Future[None]] = deque()
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _gauge_depth(self) -> None:
+        self._sink.gauge("service.queue.depth", float(self._size))
+
+    def _wake_one(self, waiters: "deque[asyncio.Future[None]]") -> None:
+        while waiters:
+            future = waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+                return
+
+    def _wake_all(self, waiters: "deque[asyncio.Future[None]]") -> None:
+        while waiters:
+            future = waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+
+    def _shed_oldest(self) -> T:
+        """Evict and return the globally oldest queued entry."""
+        oldest_class = min(
+            (name for name in self._queues if self._queues[name]),
+            key=lambda name: self._queues[name][0][0],
+        )
+        _, item = self._queues[oldest_class].popleft()
+        self._size -= 1
+        self._sink.incr("service.queue.shed")
+        return item
+
+    async def put(self, priority: str, item: T, *, request_id: str = "") -> "list[T]":
+        """Enqueue ``item`` under ``priority``; returns any shed entries.
+
+        Applies the configured backpressure policy when the queue is at
+        capacity.  ``reject`` raises :class:`~repro.exceptions.
+        QueueFullError`; ``shed_oldest`` returns the evicted entries so
+        the caller can complete them with a shed rejection; ``block``
+        suspends until a slot frees (re-checking closure on wakeup).
+        """
+        if priority not in self._queues:
+            raise ConfigurationError(
+                f"unknown priority class {priority!r}; choose from "
+                f"{sorted(self._queues)}"
+            )
+        shed: list[T] = []
+        while True:
+            if self._closed:
+                raise ServiceClosedError(
+                    f"request {request_id!r}: queue is closed",
+                    request_id=request_id,
+                )
+            if self._size < self.capacity:
+                break
+            if self.policy == "reject":
+                raise QueueFullError(
+                    f"request {request_id!r}: admission queue full "
+                    f"({self._size}/{self.capacity})",
+                    request_id=request_id,
+                )
+            if self.policy == "shed_oldest":
+                shed.append(self._shed_oldest())
+                continue
+            future: asyncio.Future[None] = asyncio.get_running_loop().create_future()
+            self._space_waiters.append(future)
+            await future
+        self._queues[priority].append((next(self._seq), item))
+        self._size += 1
+        self._gauge_depth()
+        self._wake_one(self._item_waiters)
+        return shed
+
+    def _pick_class(self) -> str:
+        """Smooth weighted round-robin over the non-empty classes."""
+        active = [name for name in self._queues if self._queues[name]]
+        total = sum(self._weights[name] for name in active)
+        best = active[0]
+        for name in active:
+            self._credits[name] += self._weights[name]
+            if self._credits[name] > self._credits[best]:
+                best = name
+        self._credits[best] -= total
+        return best
+
+    async def get(self) -> "tuple[str, T] | None":
+        """Dequeue the next entry, or ``None`` once closed and empty.
+
+        Suspends while the queue is empty.  The returned tuple is
+        ``(priority_class, item)``.
+        """
+        while self._size == 0:
+            if self._closed:
+                return None
+            future: asyncio.Future[None] = asyncio.get_running_loop().create_future()
+            self._item_waiters.append(future)
+            await future
+        chosen = self._pick_class()
+        _, item = self._queues[chosen].popleft()
+        self._size -= 1
+        self._gauge_depth()
+        self._wake_one(self._space_waiters)
+        return chosen, item
+
+    def close(self) -> None:
+        """Stop accepting puts; queued entries remain drainable.
+
+        Blocked putters and idle getters are woken: putters observe the
+        closure and raise :class:`~repro.exceptions.ServiceClosedError`,
+        getters drain the remainder and then receive ``None``.
+        """
+        self._closed = True
+        self._wake_all(self._space_waiters)
+        self._wake_all(self._item_waiters)

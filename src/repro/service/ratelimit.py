@@ -1,0 +1,123 @@
+"""Per-client token-bucket rate limiting for the solve service.
+
+Each client gets an independent bucket of ``capacity`` tokens refilled
+continuously at ``refill_per_s``.  Admission costs one token; an empty
+bucket rejects with :class:`~repro.exceptions.RateLimitedError` carrying
+a ``retry_after_s`` estimate.  The classic shape: bursts up to
+``capacity`` are absorbed instantly, sustained throughput converges to
+``refill_per_s`` requests/second per client.
+
+Buckets read time through the service :class:`~repro.service.clock.
+Clock`, so limiting is exact and reproducible under the virtual clock —
+the burst tests assert token-by-token behaviour with no sleeps or
+flakiness.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError, RateLimitedError
+from repro.service.clock import Clock
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One client's bucket: continuous refill, integer-cost acquire."""
+
+    def __init__(self, capacity: float, refill_per_s: float, clock: Clock) -> None:
+        if capacity <= 0 or refill_per_s <= 0:
+            raise ConfigurationError(
+                f"token bucket needs positive capacity and refill rate, got "
+                f"{capacity}/{refill_per_s}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last_refill = clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.refill_per_s)
+        self._last_refill = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after refill accounting)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; returns success."""
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will have refilled (>= 0)."""
+        self._refill()
+        deficit = amount - self._tokens
+        return max(0.0, deficit / self.refill_per_s)
+
+
+class RateLimiter:
+    """Lazy per-client registry of :class:`TokenBucket` instances.
+
+    ``capacity=None`` disables limiting entirely (every acquire
+    succeeds), which is the service default — limiting is opt-in via
+    :class:`~repro.service.pipeline.ServiceConfig`.
+    """
+
+    def __init__(
+        self,
+        capacity: "float | None",
+        refill_per_s: float,
+        clock: Clock,
+    ) -> None:
+        if capacity is not None and (capacity <= 0 or refill_per_s <= 0):
+            raise ConfigurationError(
+                f"rate limiter needs positive capacity and refill rate, got "
+                f"{capacity}/{refill_per_s}"
+            )
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether limiting is active (a capacity was configured)."""
+        return self.capacity is not None
+
+    def bucket(self, client: str) -> "TokenBucket | None":
+        """The bucket for ``client`` (created on first use), or ``None``."""
+        if self.capacity is None:
+            return None
+        found = self._buckets.get(client)
+        if found is None:
+            found = self._buckets[client] = TokenBucket(
+                self.capacity, self.refill_per_s, self._clock
+            )
+        return found
+
+    def acquire(self, client: str, request_id: str) -> None:
+        """Charge one token to ``client`` or reject the request.
+
+        Raises :class:`~repro.exceptions.RateLimitedError` (with the
+        bucket's ``retry_after_s`` estimate) when the bucket is empty.
+        """
+        bucket = self.bucket(client)
+        if bucket is None:
+            return
+        if not bucket.try_acquire():
+            retry_after = bucket.retry_after()
+            raise RateLimitedError(
+                f"request {request_id!r}: client {client!r} is rate-limited; "
+                f"retry in {retry_after:.3f}s",
+                request_id=request_id,
+                retry_after_s=retry_after,
+            )

@@ -18,7 +18,7 @@ __all__ = ["ApiDocsRule", "DOCUMENTED_PACKAGES"]
 
 #: packages whose public surface is held to the docs/typing contract.
 DOCUMENTED_PACKAGES = frozenset(
-    {"core", "bipartite", "roommates", "kpartite", "engine", "perf", "obs"}
+    {"core", "bipartite", "roommates", "kpartite", "engine", "perf", "obs", "service"}
 )
 
 

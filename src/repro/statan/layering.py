@@ -83,6 +83,17 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "obs",
         }
     ),
+    # the request-pipeline layer: admission, deadlines, and load
+    # generation above the engine; algorithm layers never import it.
+    "service": frozenset(
+        {
+            "exceptions",
+            "utils",
+            "model",
+            "engine",
+            "obs",
+        }
+    ),
     "cli": frozenset(
         {
             "exceptions",
@@ -99,6 +110,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "statan",
             "engine",
             "perf",
+            "service",
             "obs",
         }
     ),

@@ -34,6 +34,7 @@ ALGORITHM_PACKAGES = frozenset(
         "analysis",
         "engine",
         "perf",
+        "service",
         "obs",
     }
 )

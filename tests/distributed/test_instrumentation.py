@@ -1,0 +1,86 @@
+"""Distributed-run observability: Corollary 1/2 readable from the trace.
+
+The paper's round-count claims become trace assertions: a distributed
+GS run's ``network.run`` span carries the Corollary 1 round count, and
+a chain binding tree produces exactly two ``network.phase`` spans —
+Corollary 2 with no access to the return value at all.
+"""
+
+from repro.core.binding_tree import BindingTree
+from repro.distributed.distributed_binding import run_distributed_binding
+from repro.distributed.distributed_gs import run_distributed_gs
+from repro.model.generators import random_instance, random_smp
+from repro.obs import Recorder
+
+
+def smp_prefs(n, seed):
+    view = random_smp(n, seed=seed).bipartite_view(0, 1)
+    return view.proposer_prefs, view.responder_prefs
+
+
+class TestDistributedGSTrace:
+    def test_run_span_carries_corollary1_round_count(self):
+        p, r = smp_prefs(8, seed=3)
+        rec = Recorder()
+        report = run_distributed_gs(p, r, sink=rec)
+        runs = rec.tracer.find("network.run")
+        assert len(runs) == 1
+        run_span = runs[0]
+        assert run_span.attributes["label"] == "distributed-gs"
+        assert run_span.attributes["rounds"] == report.rounds
+        assert run_span.attributes["messages"] == report.messages
+        assert run_span.attributes["nodes"] == 16
+
+    def test_one_round_span_per_network_round(self):
+        p, r = smp_prefs(6, seed=1)
+        rec = Recorder()
+        report = run_distributed_gs(p, r, sink=rec)
+        rounds = rec.tracer.find("network.round")
+        assert len(rounds) == report.rounds
+        assert [s.attributes["round"] for s in rounds] == list(
+            range(1, report.rounds + 1)
+        )
+        assert sum(int(s.attributes["sent"]) for s in rounds) == report.messages
+        assert rec.metrics.count("network.rounds") == report.rounds
+        assert rec.metrics.count("network.messages") == report.messages
+
+    def test_unsinked_run_matches_traced_run(self):
+        p, r = smp_prefs(6, seed=4)
+        plain = run_distributed_gs(p, r)
+        traced = run_distributed_gs(p, r, sink=Recorder())
+        assert plain.matching == traced.matching
+        assert plain.rounds == traced.rounds
+
+
+class TestDistributedBindingTrace:
+    def test_chain_tree_shows_two_phases(self):
+        # Corollary 2: a chain binding tree runs in exactly two parallel
+        # phases — counted here purely from the trace.
+        inst = random_instance(4, 4, seed=2)
+        rec = Recorder()
+        report = run_distributed_binding(inst, BindingTree.chain(4), sink=rec)
+        phases = rec.tracer.find("network.phase")
+        assert len(phases) == 2 == len(report.schedule.rounds)
+        assert [s.attributes["phase"] for s in phases] == [0, 1]
+        assert [s.attributes["lane"] for s in phases] == [0, 1]
+        assert [s.attributes["network_rounds"] for s in phases] == list(
+            report.network_rounds
+        )
+        assert sum(int(s.attributes["messages"]) for s in phases) == report.messages
+        assert rec.metrics.count("network.phases") == 2
+
+    def test_phase_spans_wrap_the_simulator_spans(self):
+        inst = random_instance(3, 4, seed=6)
+        rec = Recorder()
+        run_distributed_binding(inst, BindingTree.chain(3), sink=rec)
+        for phase_span in rec.tracer.find("network.phase"):
+            child_names = [c.name for c in phase_span.children]
+            assert child_names.count("network.run") == 1
+
+    def test_star_tree_single_phase_carries_all_bindings(self):
+        inst = random_instance(4, 3, seed=8)
+        rec = Recorder()
+        report = run_distributed_binding(inst, BindingTree.star(4), sink=rec)
+        phases = rec.tracer.find("network.phase")
+        assert len(phases) == len(report.schedule.rounds)
+        assert sum(int(s.attributes["bindings"]) for s in phases) == inst.k - 1

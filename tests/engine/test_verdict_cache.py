@@ -1,0 +1,91 @@
+"""Content-addressed stability-verdict caching in the engine cache tiers."""
+
+from repro.engine import MatchingEngine, ResultCache, SolveRequest
+from repro.model.generators import random_instance
+from repro.obs import Recorder
+
+
+class TestResultCacheVerdicts:
+    def test_memory_tier_roundtrip(self):
+        cache = ResultCache()
+        assert cache.get_verdict("fp") is None
+        assert cache.get_verdict_with_tier("fp") == (None, "miss")
+        cache.put_verdict("fp", True)
+        assert cache.get_verdict("fp") is True
+        assert cache.get_verdict_with_tier("fp") == (True, "memory")
+        assert cache.stats.verdict_stores == 1
+        assert cache.stats.verdict_hits == 2
+        assert cache.stats.verdict_misses == 2
+
+    def test_disk_tier_survives_a_new_cache_and_promotes(self, tmp_path):
+        disk = tmp_path / "cache"
+        first = ResultCache(disk_dir=disk)
+        first.put_verdict("deadbeef", False)
+        assert (disk / "deadbeef.verdict.json").exists()
+
+        fresh = ResultCache(disk_dir=disk)  # new process, same directory
+        assert fresh.get_verdict_with_tier("deadbeef") == (False, "disk")
+        assert fresh.stats.verdict_disk_hits == 1
+        # promoted into memory: the second read never touches disk
+        assert fresh.get_verdict_with_tier("deadbeef") == (False, "memory")
+
+    def test_clear_without_disk_keeps_the_persistent_tier(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "cache")
+        cache.put_verdict("fp", True)
+        cache.clear()
+        # memory dropped, but the disk tier still answers (and promotes)
+        assert cache.get_verdict_with_tier("fp") == (True, "disk")
+
+    def test_clear_with_disk_drops_verdicts_everywhere(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "cache")
+        cache.put_verdict("fp", True)
+        cache.clear(disk=True)
+        assert cache.get_verdict("fp") is None
+        assert not list((tmp_path / "cache").glob("*.verdict.json"))
+
+    def test_stats_dict_carries_the_verdict_counters(self):
+        cache = ResultCache()
+        cache.put_verdict("fp", True)
+        doc = cache.stats.to_dict()
+        for key in (
+            "verdict_hits",
+            "verdict_misses",
+            "verdict_stores",
+            "verdict_disk_hits",
+        ):
+            assert key in doc
+
+
+class TestEngineVerdictReuse:
+    def request(self):
+        return SolveRequest(
+            instance=random_instance(3, 4, seed=5), solver="kary", verify=True
+        )
+
+    def test_repeat_verification_is_a_memory_lookup(self):
+        rec = Recorder()
+        engine = MatchingEngine(backend="serial", sink=rec)
+        first = engine.submit(self.request())
+        second = engine.submit(self.request())
+        assert first.stable is True and second.stable is True
+        assert engine.telemetry.count("verdict_cache_hits") == 1
+        spans = rec.tracer.find("engine.verify")
+        assert spans[0].attributes["verdict_misses"] == 1
+        assert spans[1].attributes["verdict_memory_hits"] == 1
+        assert spans[1].attributes["verdict_misses"] == 0
+
+    def test_verdict_shared_across_engines_via_disk(self, tmp_path):
+        disk = tmp_path / "cache"
+        writer = MatchingEngine(backend="serial", cache=ResultCache(disk_dir=disk))
+        assert writer.submit(self.request()).stable is True
+
+        rec = Recorder()
+        reader = MatchingEngine(
+            backend="serial", cache=ResultCache(disk_dir=disk), sink=rec
+        )
+        result = reader.submit(self.request())
+        assert result.stable is True and result.from_cache
+        assert reader.telemetry.count("verdict_cache_hits") == 1
+        span = rec.tracer.find("engine.verify")[0]
+        assert span.attributes["verdict_disk_hits"] == 1
+        assert span.attributes["verdict_misses"] == 0

@@ -1,0 +1,115 @@
+"""VirtualClock semantics: deterministic ordering, jumps, deadlock detection."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.service.clock import RealClock, VirtualClock, run_virtual
+
+
+def run(clock, coro):
+    return asyncio.run(run_virtual(clock, coro))
+
+
+class TestVirtualClock:
+    def test_time_jumps_to_next_wakeup(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(3600.0)
+            return clock.now()
+
+        assert run(clock, main()) == 3600.0
+
+    def test_wakeups_fire_in_time_then_registration_order(self):
+        clock = VirtualClock()
+        order = []
+
+        async def sleeper(name, seconds):
+            await clock.sleep(seconds)
+            order.append(name)
+
+        async def main():
+            await asyncio.gather(
+                sleeper("late", 2.0),
+                sleeper("early-a", 1.0),
+                sleeper("early-b", 1.0),
+            )
+
+        run(clock, main())
+        assert order == ["early-a", "early-b", "late"]
+
+    def test_nonpositive_sleep_yields_without_advancing(self):
+        clock = VirtualClock(start=5.0)
+
+        async def main():
+            await clock.sleep(0)
+            await clock.sleep(-1.0)
+            return clock.now()
+
+        assert run(clock, main()) == 5.0
+
+    def test_nested_sleeps_accumulate(self):
+        clock = VirtualClock()
+
+        async def main():
+            for _ in range(10):
+                await clock.sleep(0.5)
+            return clock.now()
+
+        assert run(clock, main()) == pytest.approx(5.0)
+
+    def test_result_propagates(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(1.0)
+            return "done"
+
+        assert run(clock, main()) == "done"
+
+    def test_exception_propagates(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run(clock, main())
+
+    def test_deadlock_detected(self):
+        clock = VirtualClock()
+
+        async def main():
+            # waits on a future nobody resolves, with nothing sleeping
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            run(clock, main())
+
+    def test_pending_counts_parked_sleepers(self):
+        clock = VirtualClock()
+
+        async def main():
+            task = asyncio.ensure_future(clock.sleep(10.0))
+            await asyncio.sleep(0)
+            pending = clock.pending()
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            return pending
+
+        assert run(clock, main()) == 1
+
+
+class TestRealClock:
+    def test_now_is_monotonic_and_sleep_clamps_negative(self):
+        clock = RealClock()
+
+        async def main():
+            before = clock.now()
+            await clock.sleep(-5.0)  # must not raise or wait
+            return clock.now() - before
+
+        assert asyncio.run(main()) >= 0.0

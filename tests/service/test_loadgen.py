@@ -1,0 +1,94 @@
+"""Load harness: seeded determinism, zero-lost drains, report schema."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import Recorder
+from repro.service.loadgen import ARRIVAL_MODES, LoadProfile, build_requests, run_load
+from repro.service.pipeline import DEFAULT_PRIORITIES, ServiceConfig
+
+PROFILE = LoadProfile(requests=60, seed=7)
+
+
+class TestBuildRequests:
+    def test_stream_is_a_pure_function_of_the_profile(self):
+        first, first_costs = build_requests(PROFILE, DEFAULT_PRIORITIES)
+        second, second_costs = build_requests(PROFILE, DEFAULT_PRIORITIES)
+        assert [r.request_id for r in first] == [f"req-{i:05d}" for i in range(60)]
+        assert [(r.priority, r.client, r.deadline_s) for r in first] == [
+            (r.priority, r.client, r.deadline_s) for r in second
+        ]
+        assert first_costs == second_costs
+
+    def test_different_seeds_differ(self):
+        a, _ = build_requests(PROFILE, DEFAULT_PRIORITIES)
+        b, _ = build_requests(LoadProfile(requests=60, seed=8), DEFAULT_PRIORITIES)
+        assert [r.solve.solver for r in a] != [r.solve.solver for r in b]
+
+    def test_tight_slice_carries_the_tight_deadline(self):
+        requests, _ = build_requests(PROFILE, DEFAULT_PRIORITIES)
+        budgets = {r.deadline_s for r in requests}
+        assert budgets <= {PROFILE.deadline_s, PROFILE.tight_deadline_s}
+        assert PROFILE.tight_deadline_s in budgets  # the slice is alive
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(requests=0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(mode="bursty")
+        with pytest.raises(ConfigurationError):
+            LoadProfile(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(tight_fraction=1.5)
+        assert ARRIVAL_MODES == ("open", "closed")
+
+
+class TestVirtualSoak:
+    def test_two_runs_are_byte_identical_and_lose_nothing(self):
+        first = run_load(PROFILE)
+        second = run_load(PROFILE)
+        assert first.outcome_by_id == second.outcome_by_id
+        assert first.duration_s == second.duration_s
+        assert first.lost == 0 and second.lost == 0
+        assert first.accepted == first.responded
+
+    def test_deadline_rejections_occur(self):
+        report = run_load(PROFILE)
+        assert report.outcomes.get("deadline", 0) > 0
+        assert report.counters.get("service.rejected.deadline", 0) > 0
+
+    def test_latency_quantiles_present_and_ordered(self):
+        report = run_load(PROFILE)
+        for block in (report.latency, report.queue_wait):
+            assert {"p50", "p95", "p99", "mean", "max"} <= set(block)
+        assert report.latency["p50"] <= report.latency["p95"] <= report.latency["p99"]
+
+    def test_closed_loop_mode(self):
+        report = run_load(LoadProfile(requests=40, seed=3, mode="closed"))
+        rerun = run_load(LoadProfile(requests=40, seed=3, mode="closed"))
+        assert report.outcome_by_id == rerun.outcome_by_id
+        assert report.lost == 0 and report.mode == "closed"
+
+    def test_report_json_schema(self):
+        report = run_load(PROFILE)
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == 1
+        assert doc["requests"] == 60 and doc["seed"] == 7
+        assert doc["virtual"] is True
+        assert doc["throughput_rps"] == pytest.approx(report.throughput_rps)
+        assert set(doc["outcome_by_id"]) == {f"req-{i:05d}" for i in range(60)}
+        assert sum(doc["outcomes"].values()) == 60
+
+    def test_recorder_keeps_the_trace(self):
+        rec = Recorder()
+        run_load(LoadProfile(requests=20, seed=1), recorder=rec)
+        spans = rec.tracer.find("service.request")
+        assert len(spans) == 20
+
+    def test_custom_config_flows_through(self):
+        config = ServiceConfig(queue_capacity=2, policy="shed_oldest", workers=1)
+        report = run_load(PROFILE, config=config)
+        assert report.lost == 0
+        assert report.outcomes.get("shed", 0) > 0  # tiny queue actually sheds

@@ -1,0 +1,390 @@
+"""SolveService failure modes: overflow, deadlines, rate limits, drain.
+
+Everything runs under the :class:`~repro.service.clock.VirtualClock`,
+so queue waits, deadline expiry, and token refills are exact — no real
+sleeps, no flakiness.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import MatchingEngine, SolveRequest
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    QueueFullError,
+    RateLimitedError,
+    ServiceClosedError,
+)
+from repro.model.generators import random_instance, theorem1_instance
+from repro.obs import Recorder
+from repro.service.clock import VirtualClock, run_virtual
+from repro.service.pipeline import (
+    OUTCOMES,
+    Deadline,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+    SolveService,
+)
+
+INSTANCE = random_instance(3, 4, seed=0)
+
+
+def req(i, *, deadline_s=None, priority="normal", client="default", **solve_kwargs):
+    solve_kwargs.setdefault("solver", "kary")
+    return ServiceRequest(
+        request_id=f"r{i}",
+        solve=SolveRequest(instance=INSTANCE, label=f"r{i}", **solve_kwargs),
+        priority=priority,
+        client=client,
+        deadline_s=deadline_s,
+    )
+
+
+def make_service(rec=None, **cfg):
+    clock = VirtualClock()
+    sink = rec if rec is not None else Recorder()
+    config = ServiceConfig(**cfg)
+    engine = MatchingEngine(backend="serial", sink=sink)
+    return SolveService(engine, config=config, clock=clock, sink=sink), clock
+
+
+def vrun(clock, coro):
+    return asyncio.run(run_virtual(clock, coro))
+
+
+class TestHappyPath:
+    def test_ok_response_with_result_and_latency(self):
+        rec = Recorder()
+        service, clock = make_service(rec, cost_model=lambda r: 0.25)
+
+        async def main():
+            async with service:
+                return await service.submit(req(1, verify=True))
+
+        response = vrun(clock, main())
+        assert response.ok and response.outcome == "ok"
+        assert response.result is not None and response.result.stable is True
+        assert response.latency_s == pytest.approx(0.25)
+        assert service.stats() == {
+            "accepted": 1,
+            "responded": 1,
+            "in_flight": 0,
+            "queued": 0,
+            "lost": 0,
+        }
+        assert rec.metrics.count("service.submitted") == 1
+        assert rec.metrics.count("service.admitted") == 1
+        assert rec.metrics.count("service.completed") == 1
+        doc = response.to_dict()
+        assert doc["outcome"] == "ok" and doc["stable"] is True
+        assert "fingerprint" in doc and "proposals" in doc
+
+    def test_no_stable_is_a_successful_outcome(self):
+        service, clock = make_service()
+        request = ServiceRequest(
+            request_id="ns",
+            solve=SolveRequest(instance=theorem1_instance(3, 2, 0), solver="binary"),
+        )
+
+        async def main():
+            async with service:
+                return await service.submit(request)
+
+        response = vrun(clock, main())
+        assert response.outcome == "no_stable" and response.ok
+
+    def test_engine_spans_nest_under_service_solve(self):
+        rec = Recorder()
+        service, clock = make_service(rec)
+
+        async def main():
+            async with service:
+                await service.submit(req(1))
+
+        vrun(clock, main())
+        solve_span = rec.tracer.find("service.solve")[0]
+        assert "engine.batch" in [c.name for c in solve_span.children]
+        request_spans = rec.tracer.find("service.request")
+        assert [s.attributes["outcome"] for s in request_spans] == ["ok"]
+        assert request_spans[0].attributes["admitted"] is True
+
+
+class TestQueueOverflow:
+    def _overloaded(self, policy, rec=None):
+        # one worker busy for 1s; capacity 1 -> the third arrival overflows
+        return make_service(
+            rec,
+            queue_capacity=1,
+            policy=policy,
+            workers=1,
+            cost_model=lambda r: 1.0,
+        )
+
+    async def _submit_three(self, service, clock):
+        tasks = []
+        for i in (1, 2, 3):
+            tasks.append(asyncio.ensure_future(service.handle(req(i))))
+            if i == 1:
+                await clock.sleep(0.001)  # let the worker take r1 in-flight
+            else:
+                await asyncio.sleep(0)  # deterministic admission order
+        async with service:
+            return await asyncio.gather(*tasks)
+
+    def test_reject_policy_rejects_the_newcomer(self):
+        rec = Recorder()
+        service, clock = self._overloaded("reject", rec)
+        r1, r2, r3 = vrun(clock, self._submit_three(service, clock))
+        assert (r1.outcome, r2.outcome, r3.outcome) == ("ok", "ok", "rejected_queue")
+        assert r3.error_type == "QueueFullError" and "r3" in r3.error
+        assert rec.metrics.count("service.rejected.queue") == 1
+        assert service.stats()["lost"] == 0
+
+    def test_shed_oldest_policy_evicts_the_queued_request(self):
+        rec = Recorder()
+        service, clock = self._overloaded("shed_oldest", rec)
+        r1, r2, r3 = vrun(clock, self._submit_three(service, clock))
+        assert (r1.outcome, r2.outcome, r3.outcome) == ("ok", "shed", "ok")
+        assert r2.error_type == "QueueFullError" and "shed" in r2.error
+        assert rec.metrics.count("service.shed") == 1
+        assert service.stats() == {
+            "accepted": 3,
+            "responded": 3,
+            "in_flight": 0,
+            "queued": 0,
+            "lost": 0,
+        }
+
+    def test_block_policy_completes_everyone(self):
+        service, clock = self._overloaded("block")
+        responses = vrun(clock, self._submit_three(service, clock))
+        assert [r.outcome for r in responses] == ["ok", "ok", "ok"]
+        assert service.stats()["accepted"] == 3
+
+    def test_submit_raises_the_typed_error(self):
+        service, clock = self._overloaded("reject")
+
+        async def main():
+            async with service:
+                t1 = asyncio.ensure_future(service.submit(req(1)))
+                await clock.sleep(0.001)
+                t2 = asyncio.ensure_future(service.submit(req(2)))
+                await asyncio.sleep(0)
+                with pytest.raises(QueueFullError) as info:
+                    await service.submit(req(3))
+                assert info.value.request_id == "r3" and not info.value.shed
+                await asyncio.gather(t1, t2)
+
+        vrun(clock, main())
+
+
+class TestDeadlines:
+    def test_expiry_while_queued_fires_at_dequeue(self):
+        rec = Recorder()
+        service, clock = make_service(
+            rec, workers=1, cost_model=lambda r: 1.0
+        )
+
+        async def main():
+            async with service:
+                t1 = asyncio.ensure_future(service.handle(req(1)))
+                await clock.sleep(0.001)  # r1 is in flight for ~1s
+                t2 = asyncio.ensure_future(service.handle(req(2, deadline_s=0.5)))
+                return await asyncio.gather(t1, t2)
+
+        r1, r2 = vrun(clock, main())
+        assert r1.outcome == "ok"
+        assert r2.outcome == "deadline" and r2.stage == "dequeue"
+        assert r2.error_type == "DeadlineExceededError" and "r2" in r2.error
+        assert rec.metrics.count("service.rejected.deadline") == 1
+        assert service.stats()["lost"] == 0
+
+    def test_expiry_during_service_fires_at_solve(self):
+        service, clock = make_service(cost_model=lambda r: 1.0)
+
+        async def main():
+            async with service:
+                return await service.handle(req(1, deadline_s=0.5))
+
+        response = vrun(clock, main())
+        assert response.outcome == "deadline" and response.stage == "solve"
+        assert response.latency_s == pytest.approx(1.0)
+
+    def test_default_deadline_applies_when_request_has_none(self):
+        service, clock = make_service(
+            default_deadline_s=0.5, cost_model=lambda r: 1.0
+        )
+
+        async def main():
+            async with service:
+                return await service.handle(req(1))
+
+        assert vrun(clock, main()).outcome == "deadline"
+
+    def test_engine_checks_fire_between_engine_stages(self):
+        clock = VirtualClock()
+        engine = MatchingEngine(backend="serial")
+        expired = Deadline(clock, "r1", expires_s=-1.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            engine.submit(req(1).solve, check=expired.engine_check)
+        assert info.value.stage == "engine.fingerprint"
+
+    def test_engine_stage_sequence_and_mid_flight_abort(self):
+        engine = MatchingEngine(backend="serial")
+        stages = []
+        engine.submit(req(1, verify=True).solve, check=stages.append)
+        assert stages == ["fingerprint", "cache", "solve", "verify", "respond"]
+
+        def abort_at_verify(stage):
+            if stage == "verify":
+                raise DeadlineExceededError(
+                    "request 'r2': out of budget", request_id="r2", stage=stage
+                )
+
+        with pytest.raises(DeadlineExceededError):
+            engine.submit(req(2, verify=True).solve, check=abort_at_verify)
+        # the solve finished before the abort: its result stayed cached
+        result = engine.submit(req(2, verify=True).solve)
+        assert result.from_cache
+
+
+class TestRateLimiting:
+    def test_burst_then_reject_then_refill(self):
+        rec = Recorder()
+        service, clock = make_service(
+            rec, rate_capacity=2, rate_refill_per_s=10.0
+        )
+
+        async def main():
+            async with service:
+                first = await service.handle(req(1, client="alpha"))
+                second = await service.handle(req(2, client="alpha"))
+                third = await service.handle(req(3, client="alpha"))
+                other = await service.handle(req(4, client="beta"))
+                await clock.sleep(0.1)  # one token refills
+                fourth = await service.handle(req(5, client="alpha"))
+                return first, second, third, other, fourth
+
+        first, second, third, other, fourth = vrun(clock, main())
+        assert first.outcome == second.outcome == "ok"
+        assert third.outcome == "rejected_rate"
+        assert third.error_type == "RateLimitedError" and "r3" in third.error
+        assert other.outcome == "ok"  # per-client buckets
+        assert fourth.outcome == "ok"
+        assert rec.metrics.count("service.rejected.rate") == 1
+
+    def test_submit_raises_with_retry_after(self):
+        service, clock = make_service(rate_capacity=1, rate_refill_per_s=2.0)
+
+        async def main():
+            async with service:
+                await service.submit(req(1, client="alpha"))
+                with pytest.raises(RateLimitedError) as info:
+                    await service.submit(req(2, client="alpha"))
+                assert info.value.retry_after_s == pytest.approx(0.5)
+
+        vrun(clock, main())
+
+
+class TestDrain:
+    def test_drain_completes_every_admitted_request(self):
+        service, clock = make_service(workers=1, cost_model=lambda r: 0.5)
+
+        async def main():
+            service.start()
+            tasks = [
+                asyncio.ensure_future(service.handle(req(i))) for i in range(5)
+            ]
+            await asyncio.sleep(0)
+            await service.drain()
+            return await asyncio.gather(*tasks)
+
+        responses = vrun(clock, main())
+        assert [r.outcome for r in responses] == ["ok"] * 5
+        assert service.state == "closed"
+        assert service.stats() == {
+            "accepted": 5,
+            "responded": 5,
+            "in_flight": 0,
+            "queued": 0,
+            "lost": 0,
+        }
+
+    def test_submissions_after_drain_are_rejected_closed(self):
+        service, clock = make_service()
+
+        async def main():
+            async with service:
+                await service.submit(req(1))
+            response = await service.handle(req(2))
+            with pytest.raises(ServiceClosedError):
+                await service.submit(req(3))
+            with pytest.raises(ServiceClosedError):
+                service.start()
+            return response
+
+        response = vrun(clock, main())
+        assert response.outcome == "rejected_closed"
+
+    def test_drain_is_idempotent(self):
+        service, clock = make_service()
+
+        async def main():
+            async with service:
+                pass
+            await service.drain()
+            await service.drain()
+
+        vrun(clock, main())
+        assert service.state == "closed"
+
+
+class TestValidation:
+    def test_unknown_priority_is_invalid(self):
+        service, clock = make_service()
+
+        async def main():
+            async with service:
+                with pytest.raises(ConfigurationError, match="priority"):
+                    await service.submit(req(1, priority="urgent"))
+                return await service.handle(req(2, priority="urgent"))
+
+        assert vrun(clock, main()).outcome == "invalid"
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceRequest(request_id="", solve=req(1).solve)
+        with pytest.raises(ConfigurationError):
+            req(1, deadline_s=0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(policy="nope")
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(default_deadline_s=-1.0)
+
+    def test_every_outcome_is_in_the_taxonomy(self):
+        produced = {
+            "ok",
+            "no_stable",
+            "rejected_queue",
+            "rejected_rate",
+            "rejected_closed",
+            "shed",
+            "deadline",
+            "failed",
+            "invalid",
+        }
+        assert produced == set(OUTCOMES)
+
+    def test_response_ok_property(self):
+        base = dict(priority="normal", client="default")
+        assert ServiceResponse(request_id="a", outcome="no_stable", **base).ok
+        assert not ServiceResponse(request_id="a", outcome="deadline", **base).ok

@@ -1,0 +1,171 @@
+"""AdmissionQueue: backpressure policies and the weighted dequeue schedule."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ConfigurationError, QueueFullError, ServiceClosedError
+from repro.obs import Recorder
+from repro.service.queue import BACKPRESSURE_POLICIES, AdmissionQueue
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(0, "reject", {"a": 1})
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="backpressure"):
+            AdmissionQueue(4, "drop_newest", {"a": 1})
+
+    def test_weights_required_and_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(4, "reject", {})
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(4, "reject", {"a": 0})
+
+    def test_unknown_priority_class_on_put(self):
+        async def main():
+            queue = AdmissionQueue(4, "reject", {"a": 1})
+            with pytest.raises(ConfigurationError, match="priority class"):
+                await queue.put("z", "item")
+
+        run(main())
+
+
+class TestRejectPolicy:
+    def test_overflow_raises_typed_error_naming_request(self):
+        async def main():
+            queue = AdmissionQueue(2, "reject", {"a": 1})
+            await queue.put("a", "x", request_id="r1")
+            await queue.put("a", "y", request_id="r2")
+            with pytest.raises(QueueFullError, match="'r3'") as info:
+                await queue.put("a", "z", request_id="r3")
+            assert info.value.request_id == "r3"
+            assert not info.value.shed
+            assert len(queue) == 2
+
+        run(main())
+
+
+class TestShedOldestPolicy:
+    def test_overflow_evicts_globally_oldest(self):
+        async def main():
+            rec = Recorder()
+            queue = AdmissionQueue(2, "shed_oldest", {"a": 1, "b": 1}, sink=rec)
+            assert await queue.put("b", "oldest") == []
+            assert await queue.put("a", "middle") == []
+            shed = await queue.put("a", "newest")
+            assert shed == ["oldest"]
+            assert len(queue) == 2
+            assert rec.metrics.count("service.queue.shed") == 1
+            return [await queue.get() for _ in range(2)]
+
+        got = run(main())
+        assert sorted(item for _, item in got) == ["middle", "newest"]
+
+
+class TestBlockPolicy:
+    def test_put_suspends_until_a_slot_frees(self):
+        async def main():
+            queue = AdmissionQueue(1, "block", {"a": 1})
+            await queue.put("a", "first")
+            blocked = asyncio.ensure_future(queue.put("a", "second"))
+            await asyncio.sleep(0)
+            assert not blocked.done()  # parked on the space waiter
+            assert await queue.get() == ("a", "first")
+            await blocked  # the freed slot admits it
+            assert await queue.get() == ("a", "second")
+
+        run(main())
+
+    def test_blocked_put_observes_close(self):
+        async def main():
+            queue = AdmissionQueue(1, "block", {"a": 1})
+            await queue.put("a", "first")
+            blocked = asyncio.ensure_future(queue.put("a", "second", request_id="r9"))
+            await asyncio.sleep(0)
+            queue.close()
+            with pytest.raises(ServiceClosedError, match="'r9'"):
+                await blocked
+
+        run(main())
+
+
+class TestWeightedDequeue:
+    def test_smooth_wrr_schedule(self):
+        # the classic smooth-WRR sequence for weights {a: 4, b: 2, c: 1}
+        async def main():
+            queue = AdmissionQueue(8, "reject", {"a": 4, "b": 2, "c": 1})
+            for _ in range(4):
+                await queue.put("a", "a")
+            for _ in range(2):
+                await queue.put("b", "b")
+            await queue.put("c", "c")
+            return [(await queue.get())[0] for _ in range(7)]
+
+        assert run(main()) == ["a", "b", "a", "c", "a", "b", "a"]
+
+    def test_empty_classes_are_skipped(self):
+        async def main():
+            queue = AdmissionQueue(4, "reject", {"a": 100, "b": 1})
+            await queue.put("b", "only")
+            return await queue.get()
+
+        assert run(main()) == ("b", "only")
+
+    def test_fifo_within_a_class(self):
+        async def main():
+            queue = AdmissionQueue(4, "reject", {"a": 1})
+            for item in ("x", "y", "z"):
+                await queue.put("a", item)
+            return [(await queue.get())[1] for _ in range(3)]
+
+        assert run(main()) == ["x", "y", "z"]
+
+
+class TestCloseSemantics:
+    def test_close_drains_then_returns_none(self):
+        async def main():
+            queue = AdmissionQueue(4, "reject", {"a": 1})
+            await queue.put("a", "x")
+            queue.close()
+            assert queue.closed
+            with pytest.raises(ServiceClosedError):
+                await queue.put("a", "y")
+            assert await queue.get() == ("a", "x")
+            assert await queue.get() is None
+
+        run(main())
+
+    def test_idle_getter_woken_by_close(self):
+        async def main():
+            queue = AdmissionQueue(4, "reject", {"a": 1})
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0)
+            queue.close()
+            assert await getter is None
+
+        run(main())
+
+
+class TestObservability:
+    def test_depth_gauge_tracks_size(self):
+        async def main():
+            rec = Recorder()
+            queue = AdmissionQueue(4, "reject", {"a": 1}, sink=rec)
+            await queue.put("a", "x")
+            await queue.put("a", "y")
+            assert rec.metrics.gauge_value("service.queue.depth") == 2.0
+            await queue.get()
+            assert rec.metrics.gauge_value("service.queue.depth") == 1.0
+
+        run(main())
+
+
+def test_policy_tuple_is_the_contract():
+    assert BACKPRESSURE_POLICIES == ("reject", "shed_oldest", "block")

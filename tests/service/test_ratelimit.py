@@ -1,0 +1,74 @@
+"""Token-bucket rate limiting under the virtual clock: exact, no sleeps."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, RateLimitedError
+from repro.service.clock import VirtualClock
+from repro.service.ratelimit import RateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity_then_empty(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(3, 1.0, clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+
+    def test_continuous_refill_restores_tokens(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(2, 2.0, clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock._now += 0.5  # 0.5s * 2 tokens/s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(2, 10.0, clock)
+        clock._now += 100.0
+        assert bucket.tokens == 2.0
+
+    def test_retry_after_estimate(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(1, 4.0, clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_rejects_bad_parameters(self):
+        clock = VirtualClock()
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0, 1.0, clock)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(1, 0.0, clock)
+
+
+class TestRateLimiter:
+    def test_disabled_when_capacity_is_none(self):
+        limiter = RateLimiter(None, 10.0, VirtualClock())
+        assert not limiter.enabled
+        assert limiter.bucket("anyone") is None
+        for _ in range(1000):
+            limiter.acquire("anyone", "r")  # never raises
+
+    def test_buckets_are_per_client(self):
+        clock = VirtualClock()
+        limiter = RateLimiter(1, 1.0, clock)
+        limiter.acquire("alpha", "r1")
+        limiter.acquire("beta", "r2")  # independent bucket, still full
+        with pytest.raises(RateLimitedError) as info:
+            limiter.acquire("alpha", "r3")
+        assert info.value.request_id == "r3"
+        assert info.value.retry_after_s > 0
+
+    def test_refill_readmits(self):
+        clock = VirtualClock()
+        limiter = RateLimiter(1, 2.0, clock)
+        limiter.acquire("alpha", "r1")
+        with pytest.raises(RateLimitedError):
+            limiter.acquire("alpha", "r2")
+        clock._now += 0.5
+        limiter.acquire("alpha", "r3")  # one token refilled
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RateLimiter(-1, 1.0, VirtualClock())

@@ -1,0 +1,118 @@
+"""CLI coverage for ``repro serve`` and ``repro load``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.model.generators import random_instance
+from repro.model.serialize import instance_to_dict
+
+
+def request_line(rid, **extra):
+    doc = {"id": rid, "generate": {"k": 3, "n": 4, "seed": 7}}
+    doc.update(extra)
+    return json.dumps(doc)
+
+
+@pytest.fixture
+def stream(tmp_path):
+    def write(lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    return write
+
+
+class TestServe:
+    def test_round_trip_all_ok(self, stream, capsys):
+        path = stream(
+            [
+                request_line("a1", solver="kary", verify=True),
+                request_line("a2", solver="priority"),
+                "",  # blank lines are skipped
+                request_line("a1", solver="kary", verify=True),  # cache hit
+            ]
+        )
+        rc = main(["serve", "--input", path, "--virtual"])
+        out_lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 0
+        assert [d["id"] for d in out_lines] == ["a1", "a2", "a1"]
+        assert all(d["outcome"] == "ok" for d in out_lines)
+        assert out_lines[0]["stable"] is True
+        assert out_lines[2]["from_cache"] is True
+
+    def test_full_instance_document(self, stream, capsys):
+        doc = {
+            "id": "inst",
+            "instance": instance_to_dict(random_instance(3, 4, seed=1)),
+            "verify": True,
+        }
+        rc = main(["serve", "--input", stream([json.dumps(doc)]), "--virtual"])
+        out = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert rc == 0 and out["outcome"] == "ok" and out["stable"] is True
+
+    def test_bad_input_yields_typed_error_naming_the_request(self, stream, capsys):
+        path = stream(
+            [
+                request_line("good"),
+                "{not json",  # unreadable id: named by line number
+                json.dumps({"id": "noseed", "generate": {"k": 3, "n": 4}}),
+                json.dumps({"id": "nothing"}),  # neither instance nor generate
+            ]
+        )
+        rc = main(["serve", "--input", path, "--virtual"])
+        out_lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 1  # invalid lines make the exit code non-zero
+        assert [d["id"] for d in out_lines] == ["good", "line-2", "noseed", "nothing"]
+        good, bad_json, noseed, nothing = out_lines
+        assert good["outcome"] == "ok"
+        for invalid in (bad_json, noseed, nothing):
+            assert invalid["outcome"] == "invalid"
+            assert invalid["error_type"] == "InvalidServiceRequestError"
+            assert invalid["id"] in invalid["error"]
+        assert "seed" in noseed["error"]
+
+    def test_deadline_rejection_exits_nonzero(self, stream, capsys):
+        # real clock: a nanosecond budget always expires before dequeue
+        path = stream([request_line("tight", deadline_s=1e-9)])
+        rc = main(["serve", "--input", path])
+        out = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert rc == 1
+        assert out["outcome"] == "deadline"
+        assert out["error_type"] == "DeadlineExceededError"
+
+    def test_socket_plus_virtual_is_rejected(self, tmp_path):
+        rc = main(
+            ["serve", "--socket", str(tmp_path / "s.sock"), "--virtual"]
+        )
+        assert rc == 2  # ConfigurationError -> CLI error exit
+
+
+class TestLoad:
+    def test_check_passes_and_writes_the_artifact(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main(
+            ["load", "--requests", "60", "--seed", "7", "--check", "--out", str(out)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "load check OK: 60 requests deterministic, 0 lost" in captured.out
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1 and doc["lost"] == 0
+        assert doc["outcomes"].get("deadline", 0) > 0
+        assert {"p50", "p95", "p99"} <= set(doc["latency"])
+
+    def test_plain_run_prints_summary(self, capsys):
+        rc = main(["load", "--requests", "30", "--seed", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "soak: " in captured.err and "(virtual)" in captured.err
+        doc = json.loads(captured.out)
+        assert doc["requests"] == 30
+
+    def test_closed_mode(self, capsys):
+        rc = main(["load", "--requests", "30", "--seed", "2", "--mode", "closed"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["mode"] == "closed"
