@@ -207,9 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--format",
         dest="fmt",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is what CI consumes)",
+        help="report format (json is what CI consumes; sarif feeds "
+        "GitHub code scanning)",
     )
     lint.add_argument(
         "--rules",
@@ -217,9 +218,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule names (default: all; see --list-rules)",
     )
     lint.add_argument(
+        "--rule",
+        dest="rule_names",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="select a single rule (repeatable; unknown names are a "
+        "hard error)",
+    )
+    lint.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="per-file summary cache directory (content-hash keyed; "
+        "makes warm full-tree runs incremental)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="subtract findings recorded in this baseline file "
+        "(see --write-baseline)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="snapshot current findings to FILE and exit 0 instead of "
+        "reporting them",
     )
 
     perf = sub.add_parser(
@@ -817,7 +849,15 @@ def main(argv: list[str] | None = None) -> int:
             for rule in ALL_RULES:
                 print(f"{rule.name}: {rule.description}")
             return 0
-        return run_lint(paths=args.paths, fmt=args.fmt, rules_spec=args.rules)
+        return run_lint(
+            paths=args.paths,
+            fmt=args.fmt,
+            rules_spec=args.rules,
+            rule_names=args.rule_names,
+            cache_dir=args.cache_dir,
+            baseline=args.baseline,
+            write_baseline_to=args.write_baseline,
+        )
     if args.command == "perf":
         # Lazy import for the same reason as lint: the measurement
         # harness must never slow down the solver entry points.

@@ -330,6 +330,7 @@ class MatchingEngine:
         sink: "ObsSink | None" = None,
         fault_hook: Callable[[SolveRequest, int], None] | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        timer: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.backend = validate_backend(backend)
         self.max_workers = max_workers
@@ -339,6 +340,10 @@ class MatchingEngine:
         self.sink = sink
         self._fault_hook = fault_hook
         self._sleep = sleep
+        # injectable per-job timer: tests and record/replay substitute a
+        # deterministic source (clock-discipline bans raw perf_counter
+        # calls here; the default *reference* is the sanctioned pattern)
+        self._timer = timer
         self._pool: Executor | None = None
 
     # ------------------------------------------------------------------
@@ -556,7 +561,7 @@ class MatchingEngine:
         with self.telemetry.timer("solve"):
             for job in jobs:
                 job.attempts = attempt + 1
-                start = time.perf_counter()
+                start = self._timer()
                 task = (
                     job.request.solver,
                     instance_to_json(job.request.instance),
@@ -568,7 +573,7 @@ class MatchingEngine:
                     if pool is None:
                         self.telemetry.incr("solver_invocations")
                         job.payload = _solve_worker(task, sink=self.sink)
-                        job.seconds = time.perf_counter() - start
+                        job.seconds = self._timer() - start
                     else:
                         self.telemetry.incr("solver_invocations")
                         dispatched.append((job, pool.submit(_solve_worker, task)))
@@ -577,10 +582,10 @@ class MatchingEngine:
                     failed.append(job)
             for job, future in dispatched:
                 assert future is not None
-                start = time.perf_counter()
+                start = self._timer()
                 try:
                     job.payload = future.result(timeout=job.request.timeout)
-                    job.seconds = time.perf_counter() - start
+                    job.seconds = self._timer() - start
                 except FuturesTimeoutError:
                     future.cancel()
                     self.telemetry.incr("transient_failures")

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -148,6 +149,7 @@ def run_bindings_parallel(
     engine: str = "textbook",
     pool: Executor | None = None,
     sink: "ObsSink | None" = None,
+    timer: Callable[[], float] = time.perf_counter,
 ) -> ParallelBindingReport:
     """Execute Algorithm 1 with each round's bindings run concurrently.
 
@@ -175,6 +177,11 @@ def run_bindings_parallel(
         spans are recorded post-hoc (their proposal/round attributes are
         exact; their durations reflect result collection, not solve
         time — use ``round_seconds`` for wall-clock).
+    timer:
+        Duration source for ``round_seconds``/``total_seconds``;
+        injectable so replay harnesses and tests can use a
+        deterministic clock (statan's clock-discipline rule bans raw
+        ``time.perf_counter()`` calls outside the sanctioned modules).
     """
     if tree is None:
         tree = BindingTree.chain(instance.k)
@@ -207,9 +214,9 @@ def run_bindings_parallel(
             pool = owned_pool = ProcessPoolExecutor(max_workers=max_workers)
         elif pool is None and backend == "thread":
             pool = owned_pool = ThreadPoolExecutor(max_workers=max_workers)
-        start_all = time.perf_counter()
+        start_all = timer()
         for round_index, edges in enumerate(schedule.rounds):
-            start = time.perf_counter()
+            start = timer()
             if sink is None:
                 if pool is None:  # serial
                     outcomes = [_bind_worker(t) for t in tasks_for(edges)]
@@ -223,7 +230,7 @@ def run_bindings_parallel(
                         pool, tasks_for(edges), sink, round_index
                     )
                 sink.incr("schedule.rounds")
-            round_seconds.append(time.perf_counter() - start)
+            round_seconds.append(timer() - start)
             for edge, matching, proposals, rounds in outcomes:
                 edge_results[edge] = GSResult(
                     matching=tuple(matching),
@@ -235,7 +242,7 @@ def run_bindings_parallel(
                 pairs.extend(
                     (Member(pg, i), Member(rg, j)) for i, j in enumerate(matching)
                 )
-        total = time.perf_counter() - start_all
+        total = timer() - start_all
         if sink is not None:
             sink.incr("schedule.runs")
             sink.incr(

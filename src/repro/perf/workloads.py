@@ -250,6 +250,54 @@ def _run_oracle_unstable(state: Mapping[str, object]) -> dict[str, int]:
     return {"stable": 0, "witness_size": len(witness.members)}
 
 
+def _build_statan_state() -> Mapping[str, object]:
+    """The installed ``repro`` tree plus a primed statan summary cache.
+
+    The cache directory is a fresh tempdir primed with one full run, so
+    the timed ``run`` calls measure the pure warm path (hash + replay,
+    no parsing) against the cold ``reference`` (no cache at all).
+    """
+    import tempfile
+    from pathlib import Path
+
+    import repro
+    from repro.statan import ALL_RULES
+    from repro.statan.driver import analyze_tree
+
+    root = Path(repro.__file__).resolve().parent
+    cache_dir = Path(tempfile.mkdtemp(prefix="statan-perf-"))
+    analyze_tree([root], ALL_RULES, cache_dir=cache_dir)  # prime
+    return {"root": root, "cache_dir": cache_dir, "rules": ALL_RULES}
+
+
+def _run_statan_warm(state: Mapping[str, object]) -> dict[str, int]:
+    """Warm-cache full-tree lint: every file replays from the cache."""
+    from repro.statan.driver import analyze_tree
+
+    result = analyze_tree(
+        [state["root"]],  # type: ignore[list-item]
+        state["rules"],  # type: ignore[arg-type]
+        cache_dir=state["cache_dir"],  # type: ignore[arg-type]
+    )
+    # op counters deliberately exclude the file count (which grows every
+    # PR): what must hold exactly is "warm run parsed nothing and the
+    # shipped tree has no parse errors".
+    return {
+        "uncached_files": result.uncached_files,
+        "parse_errors": result.parse_errors,
+    }
+
+
+def _ref_statan_cold(state: Mapping[str, object]) -> object:
+    """Cold full-tree lint: parse + summarize + rule-check every file."""
+    from repro.statan.driver import analyze_tree
+
+    return analyze_tree(
+        [state["root"]],  # type: ignore[list-item]
+        state["rules"],  # type: ignore[arg-type]
+    )
+
+
 def _build_engine_state() -> Mapping[str, object]:
     """A warmed engine plus a duplicate-heavy batch (4 unique × 3 copies)."""
     instances = [random_instance(3, 12, seed=_SEED + 10 + s) for s in range(4)]
@@ -372,6 +420,20 @@ WORKLOADS: dict[str, Workload] = {
             # keep the speedup ratio out of scheduler-noise territory.
             reps=25,
             min_speedup=1.0,
+        ),
+        Workload(
+            name="statan.full_tree",
+            description=(
+                "two-phase statan lint of the whole repro package: "
+                "warm summary cache (hash + replay) vs cold run "
+                "(parse + summarize + rules)"
+            ),
+            build=_build_statan_state,
+            run=_run_statan_warm,
+            reference=_ref_statan_cold,
+            # acceptance floor from the v2 issue: a warm incremental run
+            # must stay >= 3x faster than cold, or caching has rotted.
+            min_speedup=3.0,
         ),
         Workload(
             name="engine.batch.cached",

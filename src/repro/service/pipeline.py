@@ -498,7 +498,14 @@ class SolveService:
                 solver=request.solve.solver,
                 priority=request.priority,
             ):
-                result = self.engine.submit(
+                # Deliberately on-loop, not run_in_executor: the solve is
+                # CPU-bound and cooperative (the deadline check hook yields
+                # control points), and the VirtualClock determinism gate
+                # (`repro load --check`) requires a single-threaded loop —
+                # an executor future would leave run_virtual() with
+                # pending()==0 and no ready callbacks, raising
+                # SimulationError.  See repro/service/clock.py.
+                result = self.engine.submit(  # statan: ignore[async-safety] -- virtual-clock determinism requires the solve inline; see comment above
                     request.solve, check=entry.deadline.engine_check
                 )
             entry.deadline.check("respond")

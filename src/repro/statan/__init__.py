@@ -1,38 +1,51 @@
-"""``repro.statan`` — "reprolint", the project's AST invariant analyzer.
+"""``repro.statan`` — "reprolint", the project's static invariant analyzer.
 
 The codebase promises invariants that plain tests cannot watch
 everywhere at once: downward-only imports, seed plumbing through
 ``repro.utils.rng``, read-only stability verifiers, a catchable
-exception hierarchy, a documented+typed public API, and no set-order
-nondeterminism in solvers.  ``statan`` checks all six statically.
+exception hierarchy, a documented+typed public API, no set-order
+nondeterminism in solvers — and, since v2, whole-program properties
+checked over a project-wide call graph: nothing blocks the service
+event loop, the real clock is read only in sanctioned modules,
+executor-dispatched code never mutates shared module state, and every
+``__all__`` export has a consumer.
 
-Run it as ``python -m repro lint [--format=text|json] [--rules=...]
-[paths]`` or programmatically::
+Run it as ``python -m repro lint [--format=text|json|sarif]
+[--rules=...] [--cache-dir DIR] [--baseline FILE] [paths]`` or
+programmatically::
 
     from pathlib import Path
-    from repro.statan import ALL_RULES, analyze_paths
+    from repro.statan import ALL_RULES
+    from repro.statan.driver import analyze_tree
 
-    findings = analyze_paths([Path("src/repro")], ALL_RULES)
+    result = analyze_tree([Path("src/repro")], ALL_RULES)
 
-See docs/STATIC_ANALYSIS.md for the rule catalogue and the
-``# statan: ignore[rule]`` suppression syntax.
+(:func:`analyze_paths` remains for module-rules-only embedding.)
+
+See docs/STATIC_ANALYSIS.md for the rule catalogue, the two-phase
+architecture, and the ``# statan: ignore[rule]`` suppression syntax.
 """
 
 from __future__ import annotations
 
 from repro.statan.api_docs import ApiDocsRule
+from repro.statan.async_safety import AsyncSafetyRule
 from repro.statan.base import (
     Finding,
     ModuleInfo,
+    ProjectRule,
     Rule,
     Severity,
     analyze_module,
     analyze_paths,
     iter_python_files,
 )
+from repro.statan.clock_discipline import ClockDisciplineRule
+from repro.statan.deadapi import DeadPublicApiRule
 from repro.statan.determinism import DeterminismRule
 from repro.statan.layering import LAYERS, LayeringRule
 from repro.statan.purity import VerifierPurityRule
+from repro.statan.races import SharedStateRaceRule
 from repro.statan.raises import ExceptionDisciplineRule
 from repro.statan.seeds import SeedDisciplineRule
 
@@ -41,6 +54,7 @@ __all__ = [
     "Finding",
     "ModuleInfo",
     "Rule",
+    "ProjectRule",
     "analyze_module",
     "analyze_paths",
     "iter_python_files",
@@ -51,11 +65,16 @@ __all__ = [
     "ExceptionDisciplineRule",
     "ApiDocsRule",
     "DeterminismRule",
+    "AsyncSafetyRule",
+    "ClockDisciplineRule",
+    "SharedStateRaceRule",
+    "DeadPublicApiRule",
     "ALL_RULES",
     "rules_by_name",
 ]
 
-#: every shipped rule, in reporting order.
+#: every shipped rule, in reporting order: the per-module six from v1,
+#: then the whole-program four that need the phase-2 call graph.
 ALL_RULES: tuple[Rule, ...] = (
     LayeringRule(),
     SeedDisciplineRule(),
@@ -63,6 +82,10 @@ ALL_RULES: tuple[Rule, ...] = (
     ExceptionDisciplineRule(),
     ApiDocsRule(),
     DeterminismRule(),
+    AsyncSafetyRule(),
+    ClockDisciplineRule(),
+    SharedStateRaceRule(),
+    DeadPublicApiRule(),
 )
 
 

@@ -1,0 +1,141 @@
+"""Async-safety rule: no blocking call reachable from service coroutines.
+
+The service layer's determinism gate (``repro load --check``) and the
+virtual-clock harness both assume the asyncio event loop never blocks:
+a ``time.sleep`` or file read three frames below an ``async def``
+handler stalls every in-flight request and skews latency measurements.
+This rule walks the phase-1 call graph from every ``async def`` in
+``repro.service`` and flags blocking calls reached *without an executor
+hop* (``run_in_executor`` / ``asyncio.to_thread`` / pool ``submit``
+hand work to a thread, which is the sanctioned escape hatch).
+
+Blocking patterns (conservative, matched on resolved call targets):
+
+* ``time.sleep``, ``os.system``/``os.popen``, ``input``;
+* anything in ``subprocess`` / ``socket`` / ``urllib.request``;
+* builtin ``open`` and :class:`pathlib.Path` I/O methods
+  (``read_text`` / ``write_bytes`` / ...);
+* a synchronous engine solve — ``.submit`` / ``.solve_many`` on an
+  engine-like receiver — because :meth:`MatchingEngine.submit` runs the
+  full solve pipeline inline.
+
+Awaited calls are exempt (the loop keeps control across ``await``),
+but awaited *project coroutines* are still traversed: their bodies run
+on the caller's loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.statan.base import Finding, ProjectRule
+from repro.statan.callgraph import CallGraph, split_node
+from repro.statan.project import Project
+from repro.statan.summary import CallSite
+
+__all__ = ["AsyncSafetyRule", "BLOCKING_CALLS", "BLOCKING_PREFIXES"]
+
+#: fully-resolved names that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "input",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+    }
+)
+
+#: dotted prefixes whose entire API is treated as blocking.
+BLOCKING_PREFIXES = ("subprocess.", "socket.socket.",)
+
+#: method names (any receiver) that perform file I/O.
+_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: attribute calls on an engine-like receiver that run a full solve.
+_ENGINE_BLOCKING = frozenset({"submit", "solve_many"})
+
+#: where the async roots live.
+_SERVICE_PREFIX = "repro.service"
+
+
+def _blocking_reason(resolved: "str | None", call: CallSite) -> "str | None":
+    """Why ``call`` blocks, or ``None`` when it does not."""
+    if call.awaited:
+        return None
+    if resolved is not None:
+        if resolved in BLOCKING_CALLS:
+            return f"blocking call '{resolved}'"
+        for prefix in BLOCKING_PREFIXES:
+            if resolved.startswith(prefix):
+                return f"blocking call '{resolved}'"
+    target = call.target
+    if target == "open" and resolved is None:
+        return "blocking call 'open' (builtin file I/O)"
+    if "." in target:
+        receiver, attr = target.rsplit(".", 1)
+        if attr in _IO_METHODS:
+            return f"blocking file I/O '.{attr}' on '{receiver}'"
+        if (
+            attr in _ENGINE_BLOCKING
+            and "engine" in receiver.rsplit(".", 1)[-1].lower()
+        ):
+            return (
+                f"synchronous engine solve '{target}' (MatchingEngine."
+                f"{attr} runs the full pipeline inline)"
+            )
+    return None
+
+
+class AsyncSafetyRule(ProjectRule):
+    """Flag blocking calls reachable from ``repro.service`` coroutines."""
+
+    name = "async-safety"
+    description = (
+        "no blocking call (sleep, file/socket/subprocess I/O, synchronous "
+        "engine solve) reachable from an async def in repro.service "
+        "without an executor hop"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        roots = sorted(
+            node
+            for node, (summary, fn) in graph.nodes.items()
+            if fn.is_async and summary.module.startswith(_SERVICE_PREFIX)
+        )
+        if not roots:
+            return
+        parent = graph.reachable(roots, kinds=frozenset({"call"}))
+        seen: set[tuple[str, int, int, str]] = set()
+        for node in sorted(parent):
+            summary, fn = graph.nodes[node]
+            for call in fn.calls:
+                resolved = graph.resolve_call(summary, fn, call)
+                reason = _blocking_reason(resolved, call)
+                if reason is None:
+                    continue
+                key = (summary.path, call.lineno, call.col, call.target)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = graph.witness_path(parent, node)
+                root_module, root_fn = split_node(chain[0])
+                via = " -> ".join(split_node(n)[1] for n in chain)
+                yield self.project_finding(
+                    path=summary.path,
+                    line=call.lineno,
+                    col=call.col,
+                    message=(
+                        f"{reason} reachable from async "
+                        f"'{root_module}.{root_fn}' (via {via}) without an "
+                        "executor hop; use loop.run_in_executor / "
+                        "asyncio.to_thread or justify with a suppression"
+                    ),
+                )

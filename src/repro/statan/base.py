@@ -36,6 +36,7 @@ __all__ = [
     "Finding",
     "ModuleInfo",
     "Rule",
+    "ProjectRule",
     "analyze_module",
     "analyze_paths",
     "iter_python_files",
@@ -116,7 +117,16 @@ class ModuleInfo:
     @classmethod
     def from_path(cls, path: Path) -> "ModuleInfo":
         """Read and parse ``path``, inferring ``rel`` from a ``repro`` root."""
-        source = path.read_text()
+        return cls.from_text(path, path.read_text())
+
+    @classmethod
+    def from_text(cls, path: Path, source: str) -> "ModuleInfo":
+        """Parse already-read ``source`` located at ``path``.
+
+        Split out of :meth:`from_path` so the caching driver, which has
+        already read the bytes to content-hash them, does not read the
+        file twice.
+        """
         parts = path.resolve().parts
         # Use the *last* "repro" component so /home/repro/src/repro works.
         rel = path.name
@@ -163,6 +173,52 @@ class Rule:
             path=module.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole program, not one module.
+
+    Project rules run in phase 2 of :func:`repro.statan.driver.
+    analyze_tree`, after every module has been summarized into the
+    project-wide symbol table and call graph.  Their per-module
+    :meth:`check` is intentionally empty — running one through
+    :func:`analyze_module` is a silent no-op, not an error — and
+    subclasses override :meth:`check_project` instead.  Suppression
+    markers apply exactly as for module rules, keyed on the reported
+    line of each finding.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: object, graph: object) -> Iterator[Finding]:
+        """Yield findings over a Project + CallGraph.  Must override.
+
+        Typed loosely (``object``) to keep :mod:`repro.statan.base`
+        import-light; implementations receive
+        :class:`repro.statan.project.Project` and
+        :class:`repro.statan.callgraph.CallGraph`.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a :class:`Finding` at an explicit location."""
+        return Finding(
+            rule=self.name,
+            path=path,
+            line=line,
+            col=col,
             message=message,
             severity=severity,
         )

@@ -1,0 +1,93 @@
+"""Baseline files: adopt the analyzer without stopping the world.
+
+A baseline is the set of findings a team has decided to live with for
+now: ``repro lint --write-baseline lint-baseline.json`` snapshots the
+current findings, and subsequent ``repro lint --baseline
+lint-baseline.json`` runs subtract them — pre-existing debt stays
+visible in strict mode (``make lint-strict``) but only *new*
+regressions gate CI.
+
+Matching is a multiset over ``(rule, path, message)`` — deliberately
+excluding line numbers, so reflowing a file does not resurrect
+baselined findings, while a *second* instance of the same finding in
+the same file still fails.  Paths are recorded exactly as reported;
+generate and consume the baseline from the same working directory
+(the repo root, as the Makefile does).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.statan.base import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: Path) -> "Counter[_Key]":
+    """Parse a baseline file into its finding multiset.
+
+    Raises ``ValueError`` on malformed content — a corrupt baseline
+    must fail the run, not silently un-suppress everything.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has unsupported schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else doc!r}"
+        )
+    counter: "Counter[_Key]" = Counter()
+    for item in doc.get("findings", []):
+        try:
+            counter[(item["rule"], item["path"], item["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"baseline {path} has a malformed entry: {item!r}") from exc
+    return counter
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Snapshot ``findings`` as the new baseline (sorted, stable diffs)."""
+    entries = sorted(
+        ({"rule": f.rule, "path": f.path, "message": f.message} for f in findings),
+        key=lambda e: (e["rule"], e["path"], e["message"]),
+    )
+    doc = {"schema": BASELINE_SCHEMA, "findings": entries}
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: "Counter[_Key]"
+) -> tuple[list[Finding], int]:
+    """Subtract the baseline multiset; returns ``(kept, matched_count)``."""
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            kept.append(finding)
+    return kept, matched

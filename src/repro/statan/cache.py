@@ -1,0 +1,139 @@
+"""Per-file summary/finding cache keyed by content hash.
+
+A cold full-tree run parses and rule-checks every module; on a repo
+this size that dominates lint latency.  The cache stores, per source
+file, the content sha256, the JSON :class:`ModuleSummary`, and the
+module-rule findings — so a warm run re-hashes (cheap) but never
+re-parses an unchanged file, and phase 2 rebuilds the project straight
+from cached summaries.  The ``statan.full_tree`` perf workload pins the
+resulting speedup.
+
+The whole cache is one JSON document guarded by a *fingerprint*: the
+sha256 of every ``repro/statan/*.py`` source plus the summary schema
+and the active module-rule names.  Any change to the analyzer or the
+rule selection invalidates everything — stale findings can never be
+replayed.  Writes go through a temp file + ``os.replace`` so a crashed
+run leaves the previous cache intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.statan.base import Finding, Severity
+from repro.statan.summary import (
+    SUMMARY_SCHEMA,
+    ModuleSummary,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+__all__ = ["SummaryCache", "content_hash", "ruleset_fingerprint"]
+
+_CACHE_FILE = "statan-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    """sha256 hex digest of one source file's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def ruleset_fingerprint(module_rule_names: Iterable[str]) -> str:
+    """Cache-busting digest of the analyzer itself plus rule selection."""
+    digest = hashlib.sha256()
+    digest.update(f"schema={SUMMARY_SCHEMA}".encode())
+    digest.update(("rules=" + ",".join(sorted(module_rule_names))).encode())
+    statan_dir = Path(__file__).resolve().parent
+    for source in sorted(statan_dir.glob("*.py")):
+        digest.update(source.name.encode())
+        try:
+            digest.update(source.read_bytes())
+        except OSError:  # pragma: no cover - unreadable own source
+            continue
+    return digest.hexdigest()
+
+
+class SummaryCache:
+    """Load/lookup/store cycle for one analysis run.
+
+    Usage: ``load()`` once, ``lookup`` per file (hit returns the cached
+    summary + findings), ``store`` per miss, ``save()`` at the end.
+    ``hits``/``misses`` feed the perf workload's op counters.
+    """
+
+    def __init__(self, cache_dir: Path, fingerprint: str) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.fingerprint = fingerprint
+        self._entries: dict[str, dict] = {}
+        self._fresh: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def path(self) -> Path:
+        return self.cache_dir / _CACHE_FILE
+
+    def load(self) -> None:
+        """Read the cache file; silently start empty on any mismatch."""
+        try:
+            doc = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict) or doc.get("fingerprint") != self.fingerprint:
+            return
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(
+        self, path: str, sha: str
+    ) -> "tuple[ModuleSummary, list[Finding]] | None":
+        """Cached ``(summary, module findings)`` for an unchanged file."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        try:
+            summary = summary_from_dict(entry["summary"])
+            findings = [
+                Finding(
+                    rule=f["rule"],
+                    path=f["path"],
+                    line=f["line"],
+                    col=f["col"],
+                    message=f["message"],
+                    severity=Severity(f["severity"]),
+                )
+                for f in entry["findings"]
+            ]
+        except (KeyError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._fresh[path] = entry
+        return summary, findings
+
+    def store(
+        self,
+        path: str,
+        sha: str,
+        summary: ModuleSummary,
+        findings: Sequence[Finding],
+    ) -> None:
+        self._fresh[path] = {
+            "sha": sha,
+            "summary": summary_to_dict(summary),
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    def save(self) -> None:
+        """Persist only this run's entries (drops vanished files)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        doc = {"fingerprint": self.fingerprint, "entries": self._fresh}
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, separators=(",", ":")))
+        os.replace(tmp, self.path)

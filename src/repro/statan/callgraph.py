@@ -1,0 +1,236 @@
+"""Conservative call graph over a :class:`~repro.statan.project.Project`.
+
+Nodes are ``"module:qualname"`` strings (``"repro.service.pipeline:
+SolveService._process"``); the module top-level body is the pseudo-node
+``"module:<module>"``.  Two edge kinds:
+
+``call``
+    An ordinary (possibly awaited) call that resolves to a project
+    function — through local defs, aliased/relative imports, re-export
+    chains, ``self.method`` within the enclosing class, and
+    ``Class(...)`` constructors.  Awaited coroutine calls are traversed
+    too: an awaited coroutine still runs on the caller's event loop, so
+    blocking calls inside it block the caller.
+
+``dispatch``
+    A function *reference* handed to an executor — ``pool.submit(fn,
+    ...)``, ``pool.map(fn, ...)``, ``loop.run_in_executor(None, fn,
+    ...)``, ``asyncio.to_thread(fn, ...)``.  The callee runs on another
+    thread/process: these edges are the *roots* of the shared-state
+    race rule and an *executor hop* that async-safety does not follow.
+
+Resolution is deliberately conservative: an attribute call on an
+unknown receiver produces no edge (never a wrong one), so reachability
+under-approximates and the rules stay low-noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.statan.project import Project
+from repro.statan.summary import CallSite, FunctionSummary, ModuleSummary
+
+__all__ = ["Edge", "CallGraph", "build_graph", "node_id", "split_node"]
+
+#: attribute names that hand a function reference to an executor.
+DISPATCH_ATTRS = frozenset({"submit", "map", "run_in_executor"})
+
+#: fully-resolved callables that dispatch their function argument.
+DISPATCH_CALLS = frozenset({"asyncio.to_thread"})
+
+
+def node_id(module: str, qualname: str) -> str:
+    """Graph node identity for ``qualname`` inside ``module``."""
+    return f"{module}:{qualname}"
+
+
+def split_node(node: str) -> tuple[str, str]:
+    """Inverse of :func:`node_id`."""
+    module, _, qualname = node.partition(":")
+    return module, qualname
+
+
+def _receiver_is_engine(target: str) -> bool:
+    """Does the attribute call's receiver look like a MatchingEngine?"""
+    receiver = target.rsplit(".", 1)[0]
+    return "engine" in receiver.rsplit(".", 1)[-1].lower()
+
+
+def is_dispatch_call(call: CallSite, resolved: "str | None") -> bool:
+    """True when ``call`` hands its function arguments to an executor."""
+    if resolved is not None and resolved in DISPATCH_CALLS:
+        return True
+    if "." not in call.target:
+        return False
+    attr = call.target.rsplit(".", 1)[-1]
+    if attr not in DISPATCH_ATTRS:
+        return False
+    # ``engine.submit(request)`` is a synchronous solve, not a dispatch.
+    return not _receiver_is_engine(call.target)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call-graph edge, anchored at its call site."""
+
+    src: str
+    dst: str
+    kind: str  # "call" | "dispatch"
+    lineno: int
+    col: int
+
+
+class CallGraph:
+    """Adjacency over project functions; built by :func:`build_graph`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: dict[str, list[Edge]] = {}
+        self.nodes: dict[str, tuple[ModuleSummary, FunctionSummary]] = {}
+        for summary in project:
+            for fn in summary.functions:
+                self.nodes[node_id(summary.module, fn.qualname)] = (summary, fn)
+
+    def add_edge(self, edge: Edge) -> None:
+        self.edges.setdefault(edge.src, []).append(edge)
+
+    def callees(self, node: str, kinds: frozenset[str]) -> Iterator[Edge]:
+        for edge in self.edges.get(node, ()):
+            if edge.kind in kinds:
+                yield edge
+
+    def dispatch_roots(self) -> list[str]:
+        """Every function handed to an executor anywhere in the project."""
+        roots = {
+            edge.dst
+            for edges in self.edges.values()
+            for edge in edges
+            if edge.kind == "dispatch"
+        }
+        return sorted(roots)
+
+    def reachable(
+        self, roots: Iterable[str], kinds: frozenset[str] = frozenset({"call"})
+    ) -> dict[str, "Edge | None"]:
+        """BFS over ``kinds`` edges; maps reached node -> incoming edge.
+
+        Roots map to ``None``.  The incoming-edge chain reconstructs a
+        witness path for rule messages.
+        """
+        parent: dict[str, "Edge | None"] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root in self.nodes and root not in parent:
+                parent[root] = None
+                queue.append(root)
+        while queue:
+            node = queue.pop(0)
+            for edge in self.callees(node, kinds):
+                if edge.dst not in parent and edge.dst in self.nodes:
+                    parent[edge.dst] = edge
+                    queue.append(edge.dst)
+        return parent
+
+    def witness_path(
+        self, parent: dict[str, "Edge | None"], node: str
+    ) -> list[str]:
+        """Root-to-node chain of node ids from a :meth:`reachable` map."""
+        chain = [node]
+        seen = {node}
+        while True:
+            edge = parent.get(chain[0])
+            if edge is None or edge.src in seen:
+                return chain
+            chain.insert(0, edge.src)
+            seen.add(edge.src)
+
+    # ------------------------------------------------------------------
+    # call-site resolution (shared with the rules)
+    # ------------------------------------------------------------------
+
+    def resolve_call(
+        self, summary: ModuleSummary, fn: FunctionSummary, call: CallSite
+    ) -> "str | None":
+        """Absolute dotted name of a call target, or ``None`` if opaque.
+
+        Project-internal targets come back module-qualified
+        (``"repro.core.stability.is_stable"``); known external targets
+        come back as their import-resolved dotted name
+        (``"time.sleep"``); unresolvable receivers yield ``None``.
+        """
+        return _resolve_target(self.project, summary, fn, call.target)
+
+    def resolve_ref(
+        self, summary: ModuleSummary, fn: FunctionSummary, ref: str
+    ) -> "tuple[ModuleSummary, str] | None":
+        """Resolve a *function reference* (e.g. a ``submit`` argument)."""
+        resolved = _resolve_target(self.project, summary, fn, ref)
+        if resolved is None:
+            return None
+        return self.project.find_function(resolved)
+
+
+def _resolve_target(
+    project: Project, summary: ModuleSummary, fn: FunctionSummary, target: str
+) -> "str | None":
+    if target.startswith("?"):
+        return None
+    module = summary.module
+    if target == "self" or target.startswith("self."):
+        if fn.cls is None:
+            return None
+        rest = target[5:]
+        # ``self.method`` -> the enclosing class's method, when defined.
+        if rest and "." not in rest and rest in summary.classes.get(fn.cls, ()):
+            return f"{module}.{fn.cls}.{rest}"
+        return None
+    base = target.split(".", 1)[0]
+    imported = project.resolve_name(module, target, fn)
+    if imported is not None:
+        return project.chase(imported)
+    if base in summary.defined:
+        # local def / class: qualify against this module
+        return project.chase(f"{module}.{target}")
+    return None
+
+
+def build_graph(project: Project) -> CallGraph:
+    """Phase-1 output: resolve every call site into graph edges."""
+    graph = CallGraph(project)
+    for summary in project:
+        for fn in summary.functions:
+            src = node_id(summary.module, fn.qualname)
+            for call in fn.calls:
+                resolved = graph.resolve_call(summary, fn, call)
+                if is_dispatch_call(call, resolved):
+                    for ref in call.arg_refs:
+                        found = graph.resolve_ref(summary, fn, ref)
+                        if found is not None:
+                            ref_summary, qualname = found
+                            graph.add_edge(
+                                Edge(
+                                    src=src,
+                                    dst=node_id(ref_summary.module, qualname),
+                                    kind="dispatch",
+                                    lineno=call.lineno,
+                                    col=call.col,
+                                )
+                            )
+                    continue
+                if resolved is None:
+                    continue
+                found = project.find_function(resolved)
+                if found is not None:
+                    dst_summary, qualname = found
+                    graph.add_edge(
+                        Edge(
+                            src=src,
+                            dst=node_id(dst_summary.module, qualname),
+                            kind="call",
+                            lineno=call.lineno,
+                            col=call.col,
+                        )
+                    )
+    return graph

@@ -12,26 +12,45 @@ import sys
 from pathlib import Path
 from typing import Sequence, TextIO
 
-from repro.statan import ALL_RULES, analyze_paths, rules_by_name
+from repro.statan import ALL_RULES, rules_by_name
 from repro.statan.base import Finding, Rule, Severity
+from repro.statan.baselinefile import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.statan.driver import analyze_tree
+from repro.statan.sarif import render_sarif
 
 __all__ = ["run_lint", "select_rules", "render_text", "render_json"]
 
 
-def select_rules(spec: str | None) -> list[Rule]:
-    """Resolve a comma-separated ``--rules`` spec to rule instances."""
-    if spec is None or not spec.strip():
-        return list(ALL_RULES)
+def select_rules(
+    spec: "str | None", names: "Sequence[str] | None" = None
+) -> list[Rule]:
+    """Resolve ``--rules`` (comma-separated) plus repeated ``--rule``.
+
+    Unknown rule names are a hard error (``KeyError`` carrying the
+    valid list) — a typo must never silently select nothing.
+    """
     registry = rules_by_name()
+    requested: list[str] = []
+    if spec is not None:
+        requested.extend(
+            name.strip() for name in spec.split(",") if name.strip()
+        )
+    if names:
+        requested.extend(name.strip() for name in names if name.strip())
+    if not requested:
+        return list(ALL_RULES)
     chosen: list[Rule] = []
-    for name in spec.split(","):
-        name = name.strip()
-        if not name:
-            continue
+    for name in requested:
         if name not in registry:
             known = ", ".join(sorted(registry))
             raise KeyError(f"unknown rule {name!r}; known rules: {known}")
-        chosen.append(registry[name])
+        rule = registry[name]
+        if rule not in chosen:
+            chosen.append(rule)
     return chosen
 
 
@@ -65,19 +84,31 @@ def render_json(findings: Sequence[Finding], stream: TextIO) -> None:
 
 
 def run_lint(
-    paths: Sequence[Path] | None = None,
+    paths: "Sequence[Path] | None" = None,
     fmt: str = "text",
-    rules_spec: str | None = None,
-    stream: TextIO | None = None,
+    rules_spec: "str | None" = None,
+    stream: "TextIO | None" = None,
+    rule_names: "Sequence[str] | None" = None,
+    cache_dir: "Path | None" = None,
+    baseline: "Path | None" = None,
+    write_baseline_to: "Path | None" = None,
 ) -> int:
     """Analyze ``paths`` (default: the installed ``repro`` package).
 
+    Runs the two-phase analyzer (:func:`repro.statan.driver.
+    analyze_tree`): module rules per file — cached in ``cache_dir``
+    when given — then the call-graph rules over the whole tree.  A
+    ``baseline`` file subtracts accepted findings;
+    ``write_baseline_to`` snapshots the current findings instead of
+    reporting them.
+
     Returns the process exit code: 0 when no ERROR-severity finding
-    survives suppression, 1 otherwise, 2 for usage errors.
+    survives suppression (and the baseline), 1 otherwise, 2 for usage
+    errors.
     """
     out = stream if stream is not None else sys.stdout
     try:
-        rules = select_rules(rules_spec)
+        rules = select_rules(rules_spec, rule_names)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -88,9 +119,33 @@ def run_lint(
         for p in missing:
             print(f"error: no such path: {p}", file=sys.stderr)
         return 2
-    findings = analyze_paths(paths, rules)
+    result = analyze_tree(paths, rules, cache_dir=cache_dir)
+    findings = result.findings
+    if write_baseline_to is not None:
+        write_baseline(findings, write_baseline_to)
+        print(
+            f"statan: wrote baseline with {len(findings)} finding(s) to "
+            f"{write_baseline_to}",
+            file=out,
+        )
+        return 0
+    if baseline is not None:
+        try:
+            accepted = load_baseline(baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, matched = apply_baseline(findings, accepted)
+        if matched:
+            print(
+                f"statan: {matched} finding(s) matched the baseline "
+                f"({baseline})",
+                file=sys.stderr,
+            )
     if fmt == "json":
         render_json(findings, out)
+    elif fmt == "sarif":
+        render_sarif(findings, rules, out)
     else:
         render_text(findings, out)
     has_errors = any(f.severity is Severity.ERROR for f in findings)

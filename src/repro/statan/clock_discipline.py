@@ -1,0 +1,89 @@
+"""Clock-discipline rule: real-clock reads only in sanctioned modules.
+
+Record/replay on the virtual clock (ROADMAP) requires that every
+timestamp the system observes flows through an injectable source:
+:mod:`repro.service.clock` for scheduling time, and the perf-timer
+modules for duration measurement.  A stray ``time.monotonic()`` deep in
+a solver makes a recorded run unreplayable and perturbs the seeded
+ensemble statistics the paper's experiments rest on.
+
+The rule resolves every *call* through the import tables (aliased and
+``from``-imports included) and flags real-clock reads outside
+:data:`SANCTIONED_MODULES`.  References are fine — ``timer:
+Callable[[], float] = time.perf_counter`` as an injectable default
+parameter is exactly the sanctioned pattern — only call sites are
+flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.statan.base import Finding, ProjectRule
+from repro.statan.callgraph import CallGraph
+from repro.statan.project import Project
+
+__all__ = ["ClockDisciplineRule", "CLOCK_CALLS", "SANCTIONED_MODULES"]
+
+#: real-clock reads, by fully-resolved dotted name.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: modules allowed to read the real clock.  ``repro.service.clock`` is
+#: *the* time source; the rest are perf-timer modules whose whole job
+#: is wall-clock measurement (and which sit outside the replay surface).
+SANCTIONED_MODULES = frozenset(
+    {
+        "repro.service.clock",
+        "repro.perf.runner",
+        "repro.obs.trace",
+        "repro.engine.telemetry",
+    }
+)
+
+
+class ClockDisciplineRule(ProjectRule):
+    """Flag real-clock call sites outside the sanctioned modules."""
+
+    name = "clock-discipline"
+    description = (
+        "no time.time/monotonic/perf_counter/datetime.now calls outside "
+        "repro.service.clock and the sanctioned perf-timer modules"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        for summary in project:
+            if summary.module in SANCTIONED_MODULES:
+                continue
+            for fn in summary.functions:
+                for call in fn.calls:
+                    resolved = graph.resolve_call(summary, fn, call)
+                    if resolved is None or resolved not in CLOCK_CALLS:
+                        continue
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=call.lineno,
+                        col=call.col,
+                        message=(
+                            f"real-clock read '{resolved}' in "
+                            f"{summary.module} (sanctioned modules: "
+                            "repro.service.clock + perf timers); inject a "
+                            "timer/Clock so record/replay stays possible"
+                        ),
+                    )

@@ -1,0 +1,121 @@
+"""Dead-public-API rule: every ``__all__`` export must have a consumer.
+
+An exported name nobody imports — not the CLI, not another module, not
+the tests, not the docs — is API surface that rots silently: it misses
+refactors, its docstring drifts, and it advertises a contract nobody
+verifies.  This rule cross-references each module's ``__all__`` against
+(a) every other module's name references and import tables (from the
+phase-1 summaries) and (b) an identifier-token scan of the repo's
+``tests/`` and ``docs/`` trees plus ``README.md``.
+
+Liveness matching is by *bare token*, deliberately coarse: if the name
+is loaded anywhere — an import, an attribute access, a same-module
+call, a doc example, a test — it is live; only names nothing loads are
+flagged.  That keeps false positives near zero at the cost of missing
+internally-used-but-never-imported exports, the right trade for a
+WARNING-severity rule.  When no repo root (a directory with
+a ``tests/`` subdirectory) can be found above the analyzed files, the
+rule stays silent: with no view of the consumers it cannot judge.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro.statan.base import Finding, ProjectRule, Severity
+from repro.statan.callgraph import CallGraph
+from repro.statan.project import Project
+
+__all__ = ["DeadPublicApiRule", "find_repo_root", "external_tokens"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_ROOT_CLIMB = 8  # how far above an analyzed file to look for tests/
+
+#: dunder exports that exist for protocol reasons, never for callers.
+_EXEMPT = frozenset({"__version__", "__all__"})
+
+
+def find_repo_root(start: Path) -> "Path | None":
+    """Nearest ancestor of ``start`` containing a ``tests`` directory."""
+    current = start if start.is_dir() else start.parent
+    for _ in range(_ROOT_CLIMB):
+        if (current / "tests").is_dir():
+            return current
+        if current.parent == current:
+            return None
+        current = current.parent
+    return None
+
+
+def external_tokens(root: Path) -> set[str]:
+    """Identifier tokens of the repo's test/doc surface."""
+    tokens: set[str] = set()
+    candidates: list[Path] = [root / "README.md"]
+    for sub, pattern in (("tests", "*.py"), ("docs", "*.md")):
+        tree = root / sub
+        if tree.is_dir():
+            candidates.extend(sorted(tree.rglob(pattern)))
+    for path in candidates:
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            continue
+        tokens.update(_TOKEN_RE.findall(text))
+    return tokens
+
+
+class DeadPublicApiRule(ProjectRule):
+    """Flag ``__all__`` exports with no consumer anywhere in the repo."""
+
+    name = "dead-public-api"
+    description = (
+        "every __all__ export is referenced by another module, the CLI, "
+        "the tests, or the docs"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        summaries = list(project)
+        if not summaries:
+            return
+        root = find_repo_root(Path(summaries[0].path).resolve())
+        if root is None:
+            return
+        outside = external_tokens(root)
+
+        # tokens referenced anywhere in the project: name-ref segments
+        # plus import targets.  Same-module references count as live —
+        # an export a module itself loads (a registry the CLI consults,
+        # a helper main() calls) has a consumer; what this rule hunts is
+        # the name *nothing* loads.
+        internal: set[str] = set()
+        for summary in summaries:
+            for dotted in summary.name_refs:
+                internal.update(dotted.split("."))
+            for target in summary.imports.values():
+                internal.update(target.split("."))
+            for fn in summary.functions:
+                for _, target in fn.imports:
+                    internal.update(target.split("."))
+
+        for summary in summaries:
+            for name in summary.exports:
+                if name in _EXEMPT or name.startswith("_"):
+                    continue
+                if name in internal or name in outside:
+                    continue
+                line = summary.defined.get(name, 1)
+                yield self.project_finding(
+                    path=summary.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"'{name}' is exported from {summary.module}.__all__ "
+                        "but referenced by no module, test, or doc; "
+                        "drop the export or add a consumer"
+                    ),
+                    severity=Severity.WARNING,
+                )

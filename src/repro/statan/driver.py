@@ -1,0 +1,136 @@
+"""Two-phase analysis driver: summaries + module rules, then graph rules.
+
+:func:`analyze_tree` is the whole-program successor of
+:func:`repro.statan.base.analyze_paths` (which remains, module-rules
+only, for embedding):
+
+1. **Phase 1** — every ``.py`` file is content-hashed; on a cache hit
+   the stored :class:`ModuleSummary` and module-rule findings are
+   replayed without parsing, otherwise the file is parsed once, the
+   module rules run, and the summary is extracted and cached.
+2. **Phase 2** — the summaries become a :class:`Project` and a
+   :class:`CallGraph`, and every :class:`ProjectRule` runs over them;
+   cross-module findings are filtered through the same ``# statan:
+   ignore`` markers (recorded in the summaries, so suppression works
+   even for cache-hit files).
+
+Files that fail to parse yield a synthetic ``parse-error`` finding and
+are excluded from the project rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.statan.base import (
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+    Rule,
+    analyze_module,
+    iter_python_files,
+)
+from repro.statan.cache import SummaryCache, content_hash, ruleset_fingerprint
+from repro.statan.callgraph import build_graph
+from repro.statan.project import build_project
+from repro.statan.summary import ModuleSummary, build_summary
+
+__all__ = ["AnalysisResult", "analyze_tree"]
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus the run counters the perf workload keys off."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    cache_hits: int = 0
+    parse_errors: int = 0
+
+    @property
+    def uncached_files(self) -> int:
+        return self.files - self.cache_hits
+
+
+def analyze_tree(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    cache_dir: "Path | None" = None,
+) -> AnalysisResult:
+    """Run the full two-phase analysis over every file under ``paths``."""
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    cache: "SummaryCache | None" = None
+    if cache_dir is not None:
+        fingerprint = ruleset_fingerprint(r.name for r in module_rules)
+        cache = SummaryCache(Path(cache_dir), fingerprint)
+        cache.load()
+
+    result = AnalysisResult()
+    summaries: list[ModuleSummary] = []
+    for file in iter_python_files(paths):
+        result.files += 1
+        path_key = str(file)
+        try:
+            data = file.read_bytes()
+        except OSError as exc:
+            result.parse_errors += 1
+            result.findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=path_key,
+                    line=1,
+                    col=0,
+                    message=f"could not parse: {exc}",
+                )
+            )
+            continue
+        sha = content_hash(data)
+        if cache is not None:
+            hit = cache.lookup(path_key, sha)
+            if hit is not None:
+                summary, findings = hit
+                summaries.append(summary)
+                result.findings.extend(findings)
+                result.cache_hits += 1
+                continue
+        try:
+            module = ModuleInfo.from_text(file, data.decode())
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            result.parse_errors += 1
+            result.findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=path_key,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    message=f"could not parse: {exc}",
+                )
+            )
+            continue
+        findings = analyze_module(module, module_rules)
+        summary = build_summary(module)
+        summaries.append(summary)
+        result.findings.extend(findings)
+        if cache is not None:
+            cache.store(path_key, sha, summary, findings)
+
+    if project_rules and summaries:
+        project = build_project(summaries)
+        graph = build_graph(project)
+        for rule in project_rules:
+            for finding in rule.check_project(project, graph):
+                summary = project.by_path.get(finding.path)
+                if summary is not None and summary.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    continue
+                result.findings.append(finding)
+
+    if cache is not None:
+        cache.save()
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

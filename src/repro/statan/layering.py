@@ -67,7 +67,9 @@ LAYERS: dict[str, frozenset[str] | None] = {
         }
     ),
     # the measurement layer: benchmarks everything below it (including
-    # the serving layer); nothing imports perf except the CLI.
+    # the serving layer and the analyzer itself — the statan.full_tree
+    # workload keeps lint latency honest); nothing imports perf except
+    # the CLI.
     "perf": frozenset(
         {
             "exceptions",
@@ -81,6 +83,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "analysis",
             "engine",
             "obs",
+            "statan",
         }
     ),
     # the request-pipeline layer: admission, deadlines, and load

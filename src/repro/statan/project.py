@@ -1,0 +1,151 @@
+"""Project-wide symbol table over per-module summaries.
+
+:class:`Project` is the phase-1 output: every analyzed module's
+:class:`~repro.statan.summary.ModuleSummary` keyed by dotted module
+name, plus the name-resolution machinery shared by the call graph and
+the cross-module rules — alias/relative import resolution, longest-
+prefix module lookup, and re-export chasing through package
+``__init__`` import tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.statan.summary import FunctionSummary, ModuleSummary
+
+__all__ = ["Project", "build_project"]
+
+_CHASE_DEPTH = 4  # re-export chains longer than this stay unresolved
+
+
+class Project:
+    """All module summaries of one analysis run, with name resolution."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {}
+        self.by_path: dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+            self.by_path[summary.path] = summary
+        # function lookup tables: (module, qualname) -> FunctionSummary
+        self._functions: dict[tuple[str, str], FunctionSummary] = {}
+        for summary in self.modules.values():
+            for fn in summary.functions:
+                self._functions[(summary.module, fn.qualname)] = fn
+
+    def __contains__(self, module: str) -> bool:
+        return module in self.modules
+
+    def __iter__(self) -> Iterator[ModuleSummary]:
+        return iter(self.modules.values())
+
+    def get(self, module: str) -> "ModuleSummary | None":
+        return self.modules.get(module)
+
+    def function(self, module: str, qualname: str) -> "FunctionSummary | None":
+        return self._functions.get((module, qualname))
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+
+    def module_of(self, dotted: str) -> "tuple[str, str] | None":
+        """Longest-prefix split of an absolute dotted name.
+
+        ``"repro.core.stability.is_stable"`` ->
+        ``("repro.core.stability", "is_stable")`` when that module is in
+        the project; ``None`` when no prefix matches.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate, ".".join(parts[cut:])
+        return None
+
+    def resolve_name(
+        self,
+        module: str,
+        dotted: str,
+        fn: "FunctionSummary | None" = None,
+    ) -> "str | None":
+        """Resolve ``dotted`` (source text) to an absolute dotted name.
+
+        The first segment is looked up in the function-scope import
+        table (when ``fn`` is given), then the module-scope table.
+        Returns ``None`` when the base name is not an import — a local
+        definition, builtin, or parameter.
+        """
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        base, _, rest = dotted.partition(".")
+        target: "str | None" = None
+        if fn is not None:
+            for alias, imported in fn.imports:
+                if alias == base:
+                    target = imported
+                    break
+        if target is None:
+            target = summary.imports.get(base)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def chase(self, dotted: str) -> str:
+        """Follow re-export chains through package import tables.
+
+        ``repro.core.is_stable`` where ``repro/core/__init__`` does
+        ``from repro.core.stability import is_stable`` resolves to
+        ``repro.core.stability.is_stable``.  Absolute names that do not
+        land in the project (or resolve to a real definition already)
+        come back unchanged.
+        """
+        current = dotted
+        for _ in range(_CHASE_DEPTH):
+            split = self.module_of(current)
+            if split is None:
+                return current
+            module, remainder = split
+            if not remainder:
+                return current
+            summary = self.modules[module]
+            head = remainder.split(".", 1)[0]
+            if head in summary.defined:
+                return current
+            imported = summary.imports.get(head)
+            if imported is None:
+                return current
+            rest = remainder.partition(".")[2]
+            current = f"{imported}.{rest}" if rest else imported
+        return current
+
+    def find_function(self, dotted: str) -> "tuple[ModuleSummary, str] | None":
+        """Map an absolute dotted name to a project function, if any.
+
+        Handles plain functions (``pkg.mod.fn``), methods
+        (``pkg.mod.Cls.fn``), and class constructors (``pkg.mod.Cls`` ->
+        ``Cls.__init__`` when defined).  Returns ``(summary, qualname)``
+        or ``None`` for external / unresolvable names.
+        """
+        split = self.module_of(self.chase(dotted))
+        if split is None:
+            return None
+        module, remainder = split
+        summary = self.modules[module]
+        if not remainder:
+            return None
+        if self.function(module, remainder) is not None:
+            return summary, remainder
+        parts = remainder.split(".")
+        if len(parts) == 1 and parts[0] in summary.classes:
+            ctor = f"{parts[0]}.__init__"
+            if self.function(module, ctor) is not None:
+                return summary, ctor
+        return None
+
+
+def build_project(summaries: Iterable[ModuleSummary]) -> Project:
+    """Assemble the phase-1 symbol table from per-module summaries."""
+    return Project(summaries)

@@ -1,0 +1,108 @@
+"""Shared-state race rule: executor-dispatched code must not mutate
+module-level mutables.
+
+The parallel backends (:mod:`repro.parallel.executor`,
+:mod:`repro.engine.jobs`) push functions onto thread/process pools.  A
+function on that path that mutates a module-level dict, list, cache, or
+singleton attribute races against every other worker in the thread
+backend — and silently diverges from it in the process backend, which
+is worse: results then depend on the backend, breaking the
+backend-equivalence guarantees the parallel tests pin.
+
+Phase 1 records every executor dispatch (``pool.submit(fn, ...)``,
+``pool.map(fn, ...)``, ``run_in_executor``/``to_thread``) as a
+``dispatch`` edge with function-reference propagation.  This rule takes
+every dispatched function, walks the call graph beneath it, and flags
+mutation sites whose receiver resolves to a module-level mutable —
+either in the mutating module itself or imported from another module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.statan.base import Finding, ProjectRule
+from repro.statan.callgraph import CallGraph, split_node
+from repro.statan.project import Project
+from repro.statan.summary import FunctionSummary, ModuleSummary
+
+__all__ = ["SharedStateRaceRule"]
+
+
+class SharedStateRaceRule(ProjectRule):
+    """Flag module-level mutables mutated on an executor-dispatched path."""
+
+    name = "shared-state-race"
+    description = (
+        "module-level mutables (caches, singletons) must not be mutated "
+        "by functions dispatched to thread/process backends"
+    )
+
+    def _mutable_home(
+        self,
+        project: Project,
+        summary: ModuleSummary,
+        fn: FunctionSummary,
+        receiver: str,
+    ) -> "tuple[str, str, int] | None":
+        """Resolve a mutation receiver to ``(module, name, def_line)``.
+
+        Covers both a local module-level mutable (``_CACHE[k] = v`` next
+        to ``_CACHE = {}``) and an imported one (``from repro.x import
+        CACHE; CACHE[k] = v``).  ``self``-rooted receivers are skipped:
+        instance state of worker-local objects is not shared.
+        """
+        base = receiver.split(".", 1)[0]
+        if base == "self" or base == "?":
+            return None
+        if base in summary.module_mutables:
+            return summary.module, base, summary.module_mutables[base]
+        resolved = project.resolve_name(summary.module, base, fn)
+        if resolved is None:
+            return None
+        split = project.module_of(project.chase(resolved))
+        if split is None:
+            return None
+        home_module, remainder = split
+        home = project.modules[home_module]
+        if remainder and remainder.split(".", 1)[0] in home.module_mutables:
+            name = remainder.split(".", 1)[0]
+            return home_module, name, home.module_mutables[name]
+        return None
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        roots = graph.dispatch_roots()
+        if not roots:
+            return
+        parent = graph.reachable(
+            roots, kinds=frozenset({"call", "dispatch"})
+        )
+        seen: set[tuple[str, int, int, str]] = set()
+        for node in sorted(parent):
+            summary, fn = graph.nodes[node]
+            for mutation in fn.mutations:
+                home = self._mutable_home(project, summary, fn, mutation.name)
+                if home is None:
+                    continue
+                home_module, name, def_line = home
+                key = (summary.path, mutation.lineno, mutation.col, name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = graph.witness_path(parent, node)
+                root_module, root_fn = split_node(chain[0])
+                via = " -> ".join(split_node(n)[1] for n in chain)
+                yield self.project_finding(
+                    path=summary.path,
+                    line=mutation.lineno,
+                    col=mutation.col,
+                    message=(
+                        f"module-level mutable '{name}' "
+                        f"({home_module}:{def_line}) mutated on an "
+                        f"executor-dispatched path (root "
+                        f"'{root_module}.{root_fn}', via {via}); guard "
+                        "with a lock or make the state worker-local"
+                    ),
+                )

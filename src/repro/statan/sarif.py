@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 export for ``repro lint --format=sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub's
+code-scanning API ingests: uploading the document from CI turns statan
+findings into inline PR annotations.  The emitted shape follows the
+2.1.0 schema: one run, a ``tool.driver`` carrying the rule metadata,
+and one ``result`` per finding with a ``physicalLocation`` region
+(1-based columns, per the spec — statan's internal columns are
+0-based).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Sequence
+
+from repro.statan.base import Finding, Rule, Severity
+
+__all__ = ["SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "reprolint"
+_TOOL_VERSION = "2.0.0"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _artifact_uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> dict[str, object]:
+    """Build the SARIF document as a plain dict (see module docstring)."""
+    rule_order: dict[str, int] = {}
+    descriptors: list[dict[str, object]] = []
+    for rule in rules:
+        if rule.name in rule_order:
+            continue
+        rule_order[rule.name] = len(descriptors)
+        descriptors.append(
+            {
+                "id": rule.name,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description or rule.name},
+            }
+        )
+    # findings from rules outside the selection (e.g. parse-error) still
+    # need a descriptor so ruleIndex stays valid
+    for finding in findings:
+        if finding.rule not in rule_order:
+            rule_order[finding.rule] = len(descriptors)
+            descriptors.append(
+                {
+                    "id": finding.rule,
+                    "name": finding.rule,
+                    "shortDescription": {"text": finding.rule},
+                }
+            )
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_order[f.rule],
+            "level": _LEVELS[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _artifact_uri(f.path)},
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": _TOOL_VERSION,
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule], stream: IO[str]
+) -> None:
+    """Serialize :func:`to_sarif` to ``stream`` (trailing newline)."""
+    json.dump(to_sarif(findings, rules), stream, indent=2)
+    stream.write("\n")

@@ -1,0 +1,558 @@
+"""Per-module summaries: the unit of whole-program analysis.
+
+Phase 1 of the two-phase analyzer (see docs/STATIC_ANALYSIS.md) distills
+every module into a :class:`ModuleSummary` — defs, imports, call sites,
+mutation sites, exports, suppression markers — that is (a) everything
+the cross-module rules in phase 2 need and (b) plain JSON, so the
+per-file cache (:mod:`repro.statan.cache`) can persist it keyed by
+content hash and a warm run never re-parses an unchanged file.
+
+Extraction is deliberately *syntactic and conservative*: call targets
+are recorded as dotted source text (``"time.sleep"``, ``"self.engine.
+submit"``, ``"?.append"`` when the receiver is not a plain name chain)
+and resolution against the import tables happens later, in
+:mod:`repro.statan.callgraph`.  Nothing here imports anything above the
+stdlib — ``statan`` stays a pure-stdlib layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.statan.base import ModuleInfo, _suppressed_rules, _file_suppressions
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "CallSite",
+    "MutationSite",
+    "FunctionSummary",
+    "ModuleSummary",
+    "module_name_for_rel",
+    "build_summary",
+    "summary_to_dict",
+    "summary_from_dict",
+]
+
+#: bumped whenever the extraction below changes shape or semantics;
+#: part of the cache key, so stale summaries can never be replayed.
+SUMMARY_SCHEMA = 1
+
+#: method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "sort",
+        "reverse",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: constructors whose module-level result is an *immutable* value —
+#: assigning one does not create shared mutable state.
+_IMMUTABLE_CALLS = frozenset(
+    {"frozenset", "tuple", "int", "float", "str", "bytes", "bool", "range"}
+)
+
+_MAX_DOTTED_DEPTH = 4  # a.b.c.d is plenty for reference tracking
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``target`` is the dotted source text of the callee (``"open"``,
+    ``"time.sleep"``, ``"self.engine.submit"``); receivers that are not
+    plain name chains collapse to ``"?"`` (``"?.create_task"``).
+    ``arg_refs`` are the positional arguments that are themselves plain
+    name chains — the raw material for function-reference propagation
+    through ``submit(fn, ...)`` sites.  ``awaited`` calls are
+    non-blocking by construction (the event loop keeps control).
+    """
+
+    target: str
+    lineno: int
+    col: int
+    awaited: bool = False
+    arg_refs: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One statement that mutates ``name`` (a dotted receiver) in place.
+
+    ``kind`` is ``"assign"`` (subscript/attribute store, or a store to a
+    ``global``-declared name), ``"aug"`` (augmented assignment),
+    ``"del"``, or ``"method"`` (a :data:`MUTATING_METHODS` call).
+    """
+
+    name: str
+    kind: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """One function or method (or the ``<module>`` top-level pseudo-body)."""
+
+    qualname: str
+    lineno: int
+    col: int
+    is_async: bool
+    cls: "str | None"
+    imports: tuple[tuple[str, str], ...]
+    calls: tuple[CallSite, ...]
+    mutations: tuple[MutationSite, ...]
+    globals_declared: tuple[str, ...]
+
+
+@dataclass
+class ModuleSummary:
+    """Everything phase 2 knows about one module.
+
+    ``imports`` maps module-scope aliases to dotted targets
+    (``{"np": "numpy", "Clock": "repro.service.clock.Clock"}``);
+    function-scope imports live on each :class:`FunctionSummary`.
+    ``module_mutables`` are module-level names bound to mutable values
+    (displays, ``dict()``/``list()``/class instances) — the shared-state
+    hazard surface.  ``suppressed_lines`` / ``file_suppressions`` carry
+    the ``# statan: ignore`` markers so cross-module findings can be
+    filtered without re-reading the source.
+    """
+
+    module: str
+    path: str
+    rel: str
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: list[FunctionSummary] = field(default_factory=list)
+    classes: dict[str, list[str]] = field(default_factory=dict)
+    exports: list[str] = field(default_factory=list)
+    defined: dict[str, int] = field(default_factory=dict)
+    module_mutables: dict[str, int] = field(default_factory=dict)
+    name_refs: list[str] = field(default_factory=list)
+    suppressed_lines: dict[int, "list[str] | None"] = field(default_factory=dict)
+    file_suppressions: list[str] = field(default_factory=list)
+
+    def function(self, qualname: str) -> "FunctionSummary | None":
+        """Look up a function summary by its in-module qualname."""
+        for fn in self.functions:
+            if fn.qualname == qualname:
+                return fn
+        return None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when the ``# statan: ignore`` markers cover ``rule`` at ``line``."""
+        if rule in self.file_suppressions:
+            return True
+        rules = self.suppressed_lines.get(line)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+
+def module_name_for_rel(rel: str) -> str:
+    """Dotted module name for a path relative to the ``repro`` root.
+
+    ``"service/pipeline.py"`` -> ``"repro.service.pipeline"``;
+    ``"service/__init__.py"`` -> ``"repro.service"``; ``"__init__.py"``
+    -> ``"repro"``.  Virtual modules from tests follow the same rule.
+    """
+    parts = rel.removesuffix(".py").split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+def _dotted(node: ast.expr) -> "str | None":
+    """Render a Name/Attribute chain as dotted text; None otherwise."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _dotted_or_opaque(node: ast.expr) -> str:
+    """Like :func:`_dotted` but collapses unknown receivers to ``"?"``."""
+    if isinstance(node, ast.Attribute):
+        base = _dotted_or_opaque(node.value)
+        return f"{base}.{node.attr}"
+    if isinstance(node, ast.Name):
+        return node.id
+    return "?"
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    """Would binding ``node`` at module level create shared mutable state?"""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name is None:
+            return True  # unknown constructor: stay conservative
+        last = name.rsplit(".", 1)[-1]
+        return last not in _IMMUTABLE_CALLS
+    return False
+
+
+def _import_pairs(
+    node: ast.stmt, module: str, is_package: bool
+) -> Iterator[tuple[str, str]]:
+    """Yield ``(alias, dotted_target)`` pairs for one import statement."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.asname is not None:
+                yield alias.asname, alias.name
+            else:
+                # ``import a.b`` binds the *root* name ``a``.
+                root = alias.name.split(".", 1)[0]
+                yield root, root
+    elif isinstance(node, ast.ImportFrom):
+        base = node.module or ""
+        if node.level > 0:
+            # resolve relative imports against the module's package
+            package = module if is_package else module.rsplit(".", 1)[0]
+            for _ in range(node.level - 1):
+                package = package.rsplit(".", 1)[0] if "." in package else ""
+            base = f"{package}.{node.module}" if node.module else package
+        for alias in node.names:
+            if alias.name == "*":
+                continue  # star imports are not resolved (conservative)
+            bound = alias.asname if alias.asname is not None else alias.name
+            yield bound, f"{base}.{alias.name}" if base else alias.name
+
+
+def _exports(tree: ast.Module) -> list[str]:
+    """Literal string entries of a top-level ``__all__`` assignment."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            return [
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+    return []
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    """Collect calls, mutations, imports, and globals of one function body."""
+
+    def __init__(self, module: str, is_package: bool) -> None:
+        self.module = module
+        self.is_package = is_package
+        self.calls: list[CallSite] = []
+        self.mutations: list[MutationSite] = []
+        self.imports: list[tuple[str, str]] = []
+        self.globals_declared: list[str] = []
+        self._await_depth = 0
+
+    # nested defs are summarized separately; do not descend into them
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals_declared.extend(node.names)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.extend(_import_pairs(node, self.module, self.is_package))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.extend(_import_pairs(node, self.module, self.is_package))
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self._await_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._await_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = _dotted_or_opaque(node.func)
+        arg_refs = tuple(
+            ref for ref in (_dotted(arg) for arg in node.args) if ref is not None
+        )
+        self.calls.append(
+            CallSite(
+                target=target,
+                lineno=node.lineno,
+                col=node.col_offset,
+                awaited=self._await_depth > 0,
+                arg_refs=arg_refs,
+            )
+        )
+        last = target.rsplit(".", 1)[-1]
+        if "." in target and last in MUTATING_METHODS:
+            receiver = target.rsplit(".", 1)[0]
+            if receiver != "?":
+                self.mutations.append(
+                    MutationSite(
+                        name=receiver,
+                        kind="method",
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                    )
+                )
+        self.generic_visit(node)
+
+    def _record_store(self, target: ast.expr, kind: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, kind)
+            return
+        if isinstance(target, ast.Subscript):
+            base = _dotted(target.value)
+            if base is not None:
+                self.mutations.append(
+                    MutationSite(
+                        name=base, kind=kind,
+                        lineno=target.lineno, col=target.col_offset,
+                    )
+                )
+        elif isinstance(target, ast.Attribute):
+            base = _dotted(target.value)
+            if base is not None:
+                self.mutations.append(
+                    MutationSite(
+                        name=base, kind=kind,
+                        lineno=target.lineno, col=target.col_offset,
+                    )
+                )
+        elif isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self.mutations.append(
+                    MutationSite(
+                        name=target.id, kind=kind,
+                        lineno=target.lineno, col=target.col_offset,
+                    )
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_store(target, "assign")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_store(node.target, "assign")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store(node.target, "aug")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_store(target, "del")
+        self.generic_visit(node)
+
+
+def _summarize_body(
+    qualname: str,
+    lineno: int,
+    col: int,
+    is_async: bool,
+    cls: "str | None",
+    body: Sequence[ast.stmt],
+    module: str,
+    is_package: bool,
+) -> FunctionSummary:
+    visitor = _FunctionVisitor(module, is_package)
+    # two passes so ``global X`` after the first store still registers
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Global):
+                visitor.globals_declared.extend(sub.names)
+    seen = visitor.globals_declared
+    visitor.globals_declared = sorted(set(seen))
+    for stmt in body:
+        visitor.visit(stmt)
+    return FunctionSummary(
+        qualname=qualname,
+        lineno=lineno,
+        col=col,
+        is_async=is_async,
+        cls=cls,
+        imports=tuple(visitor.imports),
+        calls=tuple(visitor.calls),
+        mutations=tuple(visitor.mutations),
+        globals_declared=tuple(visitor.globals_declared),
+    )
+
+
+def _collect_name_refs(tree: ast.Module) -> list[str]:
+    """Every dotted name chain read anywhere in the module (bounded depth)."""
+    refs: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
+            getattr(node, "ctx", None), ast.Load
+        ):
+            dotted = _dotted(node)
+            if dotted is not None and dotted.count(".") < _MAX_DOTTED_DEPTH:
+                refs.add(dotted)
+    return sorted(refs)
+
+
+def build_summary(info: ModuleInfo) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` of one parsed module."""
+    module = module_name_for_rel(info.rel)
+    is_package = info.rel.endswith("__init__.py")
+    summary = ModuleSummary(module=module, path=info.path, rel=info.rel)
+
+    for node in info.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias, target in _import_pairs(node, module, is_package):
+                summary.imports.setdefault(alias, target)
+
+    # module-level body (imports excluded from the pseudo-function's own
+    # import table — they are the module-scope table above)
+    module_fns: list[FunctionSummary] = [
+        _summarize_body(
+            "<module>", 1, 0, False, None, info.tree.body, module, is_package
+        )
+    ]
+
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.defined[node.name] = node.lineno
+            module_fns.append(
+                _summarize_body(
+                    node.name,
+                    node.lineno,
+                    node.col_offset,
+                    isinstance(node, ast.AsyncFunctionDef),
+                    None,
+                    node.body,
+                    module,
+                    is_package,
+                )
+            )
+        elif isinstance(node, ast.ClassDef):
+            summary.defined[node.name] = node.lineno
+            methods: list[str] = []
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.append(item.name)
+                    module_fns.append(
+                        _summarize_body(
+                            f"{node.name}.{item.name}",
+                            item.lineno,
+                            item.col_offset,
+                            isinstance(item, ast.AsyncFunctionDef),
+                            node.name,
+                            item.body,
+                            module,
+                            is_package,
+                        )
+                    )
+            summary.classes[node.name] = methods
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("__"):
+                    summary.defined.setdefault(target.id, node.lineno)
+                    if _is_mutable_value(node.value):
+                        summary.module_mutables.setdefault(target.id, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if not node.target.id.startswith("__"):
+                summary.defined.setdefault(node.target.id, node.lineno)
+                if node.value is not None and _is_mutable_value(node.value):
+                    summary.module_mutables.setdefault(node.target.id, node.lineno)
+
+    summary.functions = module_fns
+    summary.exports = _exports(info.tree)
+    summary.name_refs = _collect_name_refs(info.tree)
+
+    for number, line in enumerate(info.lines, start=1):
+        rules = _suppressed_rules(line)
+        if rules is not None:
+            summary.suppressed_lines[number] = sorted(rules)
+    summary.file_suppressions = sorted(_file_suppressions(info.lines))
+    return summary
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip (the cache format)
+# ----------------------------------------------------------------------
+
+
+def summary_to_dict(summary: ModuleSummary) -> dict[str, Any]:
+    """JSON-safe representation; inverse of :func:`summary_from_dict`."""
+    doc = asdict(summary)
+    doc["schema"] = SUMMARY_SCHEMA
+    # JSON keys are strings; keep the line-number map explicit
+    doc["suppressed_lines"] = {
+        str(k): v for k, v in summary.suppressed_lines.items()
+    }
+    return doc
+
+
+def summary_from_dict(doc: dict[str, Any]) -> ModuleSummary:
+    """Rebuild a summary from :func:`summary_to_dict` output."""
+    if doc.get("schema") != SUMMARY_SCHEMA:
+        raise ValueError(f"unsupported summary schema {doc.get('schema')!r}")
+    functions = [
+        FunctionSummary(
+            qualname=f["qualname"],
+            lineno=f["lineno"],
+            col=f["col"],
+            is_async=f["is_async"],
+            cls=f["cls"],
+            imports=tuple((a, t) for a, t in f["imports"]),
+            calls=tuple(CallSite(**{**c, "arg_refs": tuple(c["arg_refs"])})
+                        for c in f["calls"]),
+            mutations=tuple(MutationSite(**m) for m in f["mutations"]),
+            globals_declared=tuple(f["globals_declared"]),
+        )
+        for f in doc["functions"]
+    ]
+    return ModuleSummary(
+        module=doc["module"],
+        path=doc["path"],
+        rel=doc["rel"],
+        imports=dict(doc["imports"]),
+        functions=functions,
+        classes={k: list(v) for k, v in doc["classes"].items()},
+        exports=list(doc["exports"]),
+        defined={k: int(v) for k, v in doc["defined"].items()},
+        module_mutables={k: int(v) for k, v in doc["module_mutables"].items()},
+        name_refs=list(doc["name_refs"]),
+        suppressed_lines={
+            int(k): (None if v is None else list(v))
+            for k, v in doc["suppressed_lines"].items()
+        },
+        file_suppressions=list(doc["file_suppressions"]),
+    )

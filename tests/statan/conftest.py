@@ -1,0 +1,23 @@
+"""Shared fixtures for the whole-program (v2) statan tests."""
+
+import pytest
+
+from repro.statan.base import ModuleInfo
+from repro.statan.callgraph import build_graph
+from repro.statan.project import build_project
+from repro.statan.summary import build_summary
+
+
+@pytest.fixture
+def make_project():
+    """Build a (Project, CallGraph) pair from ``{rel: source}`` dicts."""
+
+    def _make(files):
+        summaries = [
+            build_summary(ModuleInfo.from_source(source, rel))
+            for rel, source in files.items()
+        ]
+        project = build_project(summaries)
+        return project, build_graph(project)
+
+    return _make

@@ -1,0 +1,5 @@
+"""Golden-file fixture package for the call-graph builder tests."""
+
+from repro.svc.handler import handle
+
+__all__ = ["handle"]

@@ -1,0 +1,16 @@
+"""Async entry point: one awaited hop, one sync helper, one pool fan-out."""
+
+import asyncio
+import time
+
+from repro.svc.work import run_pool
+
+
+async def handle(pool):
+    await asyncio.sleep(0)
+    prepare()
+    run_pool(pool)
+
+
+def prepare():
+    time.sleep(0.1)

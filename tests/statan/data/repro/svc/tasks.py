@@ -1,0 +1,13 @@
+"""Worker-side module with a shared-state hazard for the race tests."""
+
+STATE = {}
+
+
+class Worker:
+    def crunch(self, item):
+        return item
+
+
+def crunch(item):
+    STATE[item] = item
+    return item

@@ -1,0 +1,7 @@
+"""Dispatches a function reference (by dotted attribute) to a pool."""
+
+from repro.svc import tasks
+
+
+def run_pool(pool):
+    pool.submit(tasks.crunch, 1)

@@ -120,8 +120,8 @@ class TestRendering:
 
 
 class TestRegistry:
-    def test_six_rules_shipped(self):
-        assert len(ALL_RULES) == 6
+    def test_ten_rules_shipped(self):
+        assert len(ALL_RULES) == 10
         assert set(rules_by_name()) == {
             "layering",
             "seed-discipline",
@@ -129,6 +129,10 @@ class TestRegistry:
             "exception-discipline",
             "api-docs",
             "determinism",
+            "async-safety",
+            "clock-discipline",
+            "shared-state-race",
+            "dead-public-api",
         }
 
     def test_rule_names_unique(self):

@@ -1,0 +1,130 @@
+"""Baseline files: round-trip, multiset subtraction, malformed input."""
+
+import json
+
+import pytest
+
+from repro.statan.base import Finding, Severity
+from repro.statan.baselinefile import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+
+def finding(rule="layering", path="a.py", line=1, message="msg"):
+    return Finding(rule=rule, path=path, line=line, col=0, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load_matches_everything(self, tmp_path):
+        findings = [finding(line=3), finding(rule="no-x", message="other")]
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        kept, matched = apply_baseline(findings, load_baseline(path))
+        assert kept == [] and matched == 2
+
+    def test_file_shape_is_stable_and_sorted(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(rule="z"), finding(rule="a")], path)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == BASELINE_SCHEMA
+        assert [e["rule"] for e in doc["findings"]] == ["a", "z"]
+        assert "line" not in doc["findings"][0]
+
+
+class TestMatching:
+    def test_line_number_changes_still_match(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(line=10)], path)
+        kept, matched = apply_baseline([finding(line=99)], load_baseline(path))
+        assert kept == [] and matched == 1
+
+    def test_second_instance_of_same_finding_is_kept(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        kept, matched = apply_baseline(
+            [finding(line=1), finding(line=2)], load_baseline(path)
+        )
+        assert matched == 1 and len(kept) == 1
+
+    def test_new_finding_survives_subtraction(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        fresh = finding(rule="async-safety", message="new regression")
+        kept, _ = apply_baseline([finding(), fresh], load_baseline(path))
+        assert kept == [fresh]
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "{not json",
+            '{"schema": 99, "findings": []}',
+            '["a", "list"]',
+            '{"schema": 1, "findings": ["not-a-dict"]}',
+            '{"schema": 1, "findings": [{"rule": "x"}]}',
+        ],
+    )
+    def test_bad_content_raises_value_error(self, tmp_path, content):
+        path = tmp_path / "baseline.json"
+        path.write_text(content)
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_missing_file_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_baseline(tmp_path / "nope.json")
+
+
+class TestCliIntegration:
+    def test_write_then_gate_on_planted_violation(self, tmp_path, capsys):
+        from repro.statan.cli import run_lint
+
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(
+            'import time\n\ndef f() -> float:\n    """Doc."""\n    return time.monotonic()\n'
+        )
+        baseline = tmp_path / "baseline.json"
+
+        # 1. violation gates the run
+        assert run_lint([pkg], rules_spec="clock-discipline") == 1
+
+        # 2. snapshot it into a baseline
+        assert (
+            run_lint(
+                [pkg],
+                rules_spec="clock-discipline",
+                write_baseline_to=baseline,
+            )
+            == 0
+        )
+        assert json.loads(baseline.read_text())["findings"]
+
+        # 3. baselined run is clean
+        assert (
+            run_lint([pkg], rules_spec="clock-discipline", baseline=baseline) == 0
+        )
+
+        # 4. a new violation still gates
+        (pkg / "mod2.py").write_text(
+            'import time\n\ndef g() -> float:\n    """Doc."""\n    return time.time()\n'
+        )
+        assert (
+            run_lint([pkg], rules_spec="clock-discipline", baseline=baseline) == 1
+        )
+        capsys.readouterr()
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        from repro.statan.cli import run_lint
+
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("X = 1\n")
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{broken")
+        assert run_lint([pkg], baseline=bad) == 2
+        assert "baseline" in capsys.readouterr().err

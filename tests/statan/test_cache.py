@@ -1,0 +1,112 @@
+"""Summary cache: hit/miss accounting, invalidation, crash safety."""
+
+import json
+
+from repro.statan import ALL_RULES
+from repro.statan.base import ProjectRule
+from repro.statan.cache import SummaryCache, content_hash, ruleset_fingerprint
+from repro.statan.driver import analyze_tree
+
+MODULE_RULES = [r for r in ALL_RULES if not isinstance(r, ProjectRule)]
+
+
+CLEAN_BODY = 'def f() -> int:\n    """Doc."""\n    return 1\n'
+
+
+def write_pkg(tmp_path, body=CLEAN_BODY):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "mod.py").write_text(body)
+    return pkg
+
+
+class TestAnalyzeTreeCaching:
+    def test_second_run_hits_for_every_file(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        cold = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        warm = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        assert cold.cache_hits == 0 and cold.uncached_files == cold.files
+        assert warm.cache_hits == warm.files and warm.uncached_files == 0
+        assert warm.findings == cold.findings
+
+    def test_findings_replayed_from_cache(self, tmp_path):
+        # naked ``except:`` trips exception-discipline in any module
+        pkg = write_pkg(tmp_path, "try:\n    pass\nexcept:\n    pass\n")
+        cache_dir = tmp_path / ".cache"
+        cold = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        warm = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        assert cold.findings and warm.findings == cold.findings
+        assert warm.cache_hits == warm.files
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        (pkg / "other.py").write_text('def g() -> int:\n    """Doc."""\n    return 2\n')
+        cache_dir = tmp_path / ".cache"
+        analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        (pkg / "mod.py").write_text('def f() -> int:\n    """Doc."""\n    return 3\n')
+        warm = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        assert warm.files == 2 and warm.cache_hits == 1
+        assert warm.uncached_files == 1
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        (cache_dir / "statan-cache.json").write_text("{not json")
+        warm = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        assert warm.cache_hits == 0 and warm.findings == []
+
+    def test_parse_errors_are_not_cached(self, tmp_path):
+        pkg = write_pkg(tmp_path, "def broken(:\n")
+        cache_dir = tmp_path / ".cache"
+        first = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        second = analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        assert first.parse_errors == second.parse_errors == 1
+        assert second.cache_hits == 0
+        assert [f.rule for f in second.findings] == ["parse-error"]
+
+
+class TestFingerprint:
+    def test_rule_selection_changes_fingerprint(self):
+        a = ruleset_fingerprint(["layering"])
+        b = ruleset_fingerprint(["layering", "no-print"])
+        assert a != b
+        assert a == ruleset_fingerprint(["layering"])  # deterministic
+
+    def test_fingerprint_mismatch_drops_entries(self, tmp_path):
+        cache_dir = tmp_path / ".cache"
+        old = SummaryCache(cache_dir, "old-fingerprint")
+        old._fresh = {"x.py": {"sha": "s", "summary": {}, "findings": []}}
+        old.save()
+        new = SummaryCache(cache_dir, "new-fingerprint")
+        new.load()
+        assert new.lookup("x.py", "s") is None
+        assert new.misses == 1
+
+
+class TestSaveSemantics:
+    def test_save_drops_entries_for_vanished_files(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        (pkg / "other.py").write_text('def g() -> int:\n    """Doc."""\n    return 2\n')
+        cache_dir = tmp_path / ".cache"
+        analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        (pkg / "other.py").unlink()
+        analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        doc = json.loads((cache_dir / "statan-cache.json").read_text())
+        assert len(doc["entries"]) == 1
+        assert all(key.endswith("mod.py") for key in doc["entries"])
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        analyze_tree([pkg], MODULE_RULES, cache_dir=cache_dir)
+        leftovers = [p.name for p in cache_dir.iterdir()]
+        assert leftovers == ["statan-cache.json"]
+
+
+class TestContentHash:
+    def test_stable_and_distinct(self):
+        assert content_hash(b"abc") == content_hash(b"abc")
+        assert content_hash(b"abc") != content_hash(b"abd")
+        assert len(content_hash(b"")) == 64

@@ -1,0 +1,248 @@
+"""Phase-1 call-graph builder: resolution, dispatch edges, golden file."""
+
+import json
+import pathlib
+
+from repro.statan.base import ModuleInfo, iter_python_files
+from repro.statan.callgraph import build_graph, node_id, split_node
+from repro.statan.project import build_project
+from repro.statan.summary import build_summary
+
+DATA = pathlib.Path(__file__).resolve().parent / "data"
+
+
+def edge_set(graph, kind=None):
+    return {
+        (e.src, e.dst, e.kind)
+        for edges in graph.edges.values()
+        for e in edges
+        if kind is None or e.kind == kind
+    }
+
+
+class TestResolution:
+    def test_aliased_import_call(self, make_project):
+        project, graph = make_project(
+            {
+                "core/lib.py": "def helper():\n    return 1\n",
+                "core/a.py": (
+                    "from repro.core.lib import helper as h\n\n"
+                    "def f():\n    return h()\n"
+                ),
+            }
+        )
+        assert (
+            "repro.core.a:f",
+            "repro.core.lib:helper",
+            "call",
+        ) in edge_set(graph)
+
+    def test_relative_import_call(self, make_project):
+        project, graph = make_project(
+            {
+                "core/lib.py": "def helper():\n    return 1\n",
+                "core/a.py": (
+                    "from .lib import helper\n\ndef f():\n    return helper()\n"
+                ),
+            }
+        )
+        assert (
+            "repro.core.a:f",
+            "repro.core.lib:helper",
+            "call",
+        ) in edge_set(graph)
+
+    def test_module_qualified_call(self, make_project):
+        project, graph = make_project(
+            {
+                "core/lib.py": "def helper():\n    return 1\n",
+                "core/a.py": (
+                    "from repro.core import lib\n\ndef f():\n    return lib.helper()\n"
+                ),
+            }
+        )
+        assert (
+            "repro.core.a:f",
+            "repro.core.lib:helper",
+            "call",
+        ) in edge_set(graph)
+
+    def test_self_method_call(self, make_project):
+        project, graph = make_project(
+            {
+                "core/a.py": (
+                    "class C:\n"
+                    "    def m(self):\n"
+                    "        return self.helper()\n\n"
+                    "    def helper(self):\n"
+                    "        return 1\n"
+                ),
+            }
+        )
+        assert (
+            "repro.core.a:C.m",
+            "repro.core.a:C.helper",
+            "call",
+        ) in edge_set(graph)
+
+    def test_constructor_resolves_to_init(self, make_project):
+        project, graph = make_project(
+            {
+                "core/a.py": (
+                    "class C:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n\n"
+                    "def f():\n"
+                    "    return C()\n"
+                ),
+            }
+        )
+        assert (
+            "repro.core.a:f",
+            "repro.core.a:C.__init__",
+            "call",
+        ) in edge_set(graph)
+
+    def test_reexport_chase_through_package_init(self, make_project):
+        project, graph = make_project(
+            {
+                "core/__init__.py": "from repro.core.lib import helper\n",
+                "core/lib.py": "def helper():\n    return 1\n",
+                "cli.py": (
+                    "from repro.core import helper\n\ndef f():\n    return helper()\n"
+                ),
+            }
+        )
+        assert (
+            "repro.cli:f",
+            "repro.core.lib:helper",
+            "call",
+        ) in edge_set(graph)
+
+    def test_unknown_receiver_produces_no_edge(self, make_project):
+        project, graph = make_project(
+            {"core/a.py": "def f(x):\n    return x.go()\n"}
+        )
+        assert edge_set(graph) == set()
+
+
+class TestDispatch:
+    def test_submit_propagates_function_reference(self, make_project):
+        project, graph = make_project(
+            {
+                "engine/a.py": (
+                    "def worker(t):\n"
+                    "    return t\n\n"
+                    "def f(pool, task):\n"
+                    "    pool.submit(worker, task)\n"
+                ),
+            }
+        )
+        assert (
+            "repro.engine.a:f",
+            "repro.engine.a:worker",
+            "dispatch",
+        ) in edge_set(graph)
+        assert graph.dispatch_roots() == ["repro.engine.a:worker"]
+
+    def test_map_propagates_imported_function(self, make_project):
+        project, graph = make_project(
+            {
+                "engine/w.py": "def worker(t):\n    return t\n",
+                "engine/a.py": (
+                    "from repro.engine.w import worker\n\n"
+                    "def f(pool, tasks):\n"
+                    "    return list(pool.map(worker, tasks))\n"
+                ),
+            }
+        )
+        assert (
+            "repro.engine.a:f",
+            "repro.engine.w:worker",
+            "dispatch",
+        ) in edge_set(graph)
+
+    def test_run_in_executor_dispatches_self_method(self, make_project):
+        project, graph = make_project(
+            {
+                "service/a.py": (
+                    "class S:\n"
+                    "    async def f(self, loop):\n"
+                    "        await loop.run_in_executor(None, self.work)\n\n"
+                    "    def work(self):\n"
+                    "        return 1\n"
+                ),
+            }
+        )
+        assert (
+            "repro.service.a:S.f",
+            "repro.service.a:S.work",
+            "dispatch",
+        ) in edge_set(graph)
+
+    def test_engine_submit_is_not_a_dispatch(self, make_project):
+        project, graph = make_project(
+            {
+                "service/a.py": (
+                    "def request():\n"
+                    "    return 1\n\n"
+                    "def f(engine):\n"
+                    "    return engine.submit(request)\n"
+                ),
+            }
+        )
+        assert edge_set(graph, kind="dispatch") == set()
+
+
+class TestReachability:
+    def test_bfs_and_witness_path(self, make_project):
+        project, graph = make_project(
+            {
+                "core/a.py": (
+                    "def a():\n    return b()\n\n"
+                    "def b():\n    return c()\n\n"
+                    "def c():\n    return 1\n\n"
+                    "def orphan():\n    return 2\n"
+                ),
+            }
+        )
+        parent = graph.reachable([node_id("repro.core.a", "a")])
+        assert node_id("repro.core.a", "c") in parent
+        assert node_id("repro.core.a", "orphan") not in parent
+        chain = graph.witness_path(parent, node_id("repro.core.a", "c"))
+        assert [split_node(n)[1] for n in chain] == ["a", "b", "c"]
+
+    def test_cycles_terminate(self, make_project):
+        project, graph = make_project(
+            {
+                "core/a.py": (
+                    "def a():\n    return b()\n\ndef b():\n    return a()\n"
+                ),
+            }
+        )
+        parent = graph.reachable([node_id("repro.core.a", "a")])
+        assert node_id("repro.core.a", "b") in parent
+
+
+class TestGoldenFixture:
+    def test_graph_over_fixture_package_matches_golden_file(self):
+        summaries = [
+            build_summary(ModuleInfo.from_path(p))
+            for p in iter_python_files([DATA / "repro" / "svc"])
+        ]
+        graph = build_graph(build_project(summaries))
+        edges = sorted(
+            [e.src, e.dst, e.kind, e.lineno]
+            for edges in graph.edges.values()
+            for e in edges
+        )
+        golden = json.loads((DATA / "callgraph_golden.json").read_text())
+        assert edges == golden
+
+    def test_fixture_dispatch_root_is_the_worker(self):
+        summaries = [
+            build_summary(ModuleInfo.from_path(p))
+            for p in iter_python_files([DATA / "repro" / "svc"])
+        ]
+        graph = build_graph(build_project(summaries))
+        assert graph.dispatch_roots() == ["repro.svc.tasks:crunch"]

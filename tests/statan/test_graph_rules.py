@@ -1,0 +1,348 @@
+"""The four whole-program rules: async-safety, clock-discipline,
+shared-state-race, dead-public-api."""
+
+import pytest
+
+from repro.statan.async_safety import AsyncSafetyRule
+from repro.statan.base import Severity
+from repro.statan.clock_discipline import ClockDisciplineRule
+from repro.statan.deadapi import DeadPublicApiRule, external_tokens, find_repo_root
+from repro.statan.races import SharedStateRaceRule
+
+
+def run_rule(rule, project, graph):
+    return list(rule.check_project(project, graph))
+
+
+class TestAsyncSafety:
+    def test_transitive_blocking_call_flagged(self, make_project):
+        project, graph = make_project(
+            {
+                "service/handler.py": (
+                    "from repro.service.io import slow\n\n"
+                    "async def handle():\n"
+                    "    slow()\n"
+                ),
+                "service/io.py": (
+                    "import time\n\ndef slow():\n    time.sleep(1)\n"
+                ),
+            }
+        )
+        findings = run_rule(AsyncSafetyRule(), project, graph)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.path == "service/io.py" and f.line == 4
+        assert "time.sleep" in f.message
+        assert "repro.service.handler.handle" in f.message
+
+    def test_executor_hop_breaks_the_path(self, make_project):
+        project, graph = make_project(
+            {
+                "service/handler.py": (
+                    "from repro.service.io import slow\n\n"
+                    "async def handle(loop):\n"
+                    "    await loop.run_in_executor(None, slow)\n"
+                ),
+                "service/io.py": (
+                    "import time\n\ndef slow():\n    time.sleep(1)\n"
+                ),
+            }
+        )
+        assert run_rule(AsyncSafetyRule(), project, graph) == []
+
+    def test_awaited_calls_are_not_blocking(self, make_project):
+        project, graph = make_project(
+            {
+                "service/handler.py": (
+                    "import asyncio\n\n"
+                    "async def handle():\n"
+                    "    await asyncio.sleep(1)\n"
+                ),
+            }
+        )
+        assert run_rule(AsyncSafetyRule(), project, graph) == []
+
+    def test_awaited_project_coroutine_still_traversed(self, make_project):
+        project, graph = make_project(
+            {
+                "service/handler.py": (
+                    "async def handle():\n"
+                    "    await helper()\n\n"
+                    "async def helper():\n"
+                    "    open('x')\n"
+                ),
+            }
+        )
+        findings = run_rule(AsyncSafetyRule(), project, graph)
+        assert len(findings) == 1 and "open" in findings[0].message
+
+    def test_engine_submit_on_async_path_flagged(self, make_project):
+        project, graph = make_project(
+            {
+                "service/pipeline.py": (
+                    "async def process(request, engine):\n"
+                    "    return engine.submit(request)\n"
+                ),
+            }
+        )
+        findings = run_rule(AsyncSafetyRule(), project, graph)
+        assert len(findings) == 1
+        assert "engine" in findings[0].message
+
+    def test_blocking_outside_service_not_flagged(self, make_project):
+        project, graph = make_project(
+            {
+                "core/handler.py": (
+                    "import time\n\nasync def handle():\n    time.sleep(1)\n"
+                ),
+            }
+        )
+        assert run_rule(AsyncSafetyRule(), project, graph) == []
+
+    def test_subprocess_and_path_io_flagged(self, make_project):
+        project, graph = make_project(
+            {
+                "service/h.py": (
+                    "import subprocess\n\n"
+                    "async def handle(path):\n"
+                    "    subprocess.run(['ls'])\n"
+                    "    path.read_text()\n"
+                ),
+            }
+        )
+        messages = [f.message for f in run_rule(AsyncSafetyRule(), project, graph)]
+        assert any("subprocess.run" in m for m in messages)
+        assert any("read_text" in m for m in messages)
+
+
+class TestClockDiscipline:
+    def test_clock_call_outside_sanctioned_modules(self, make_project):
+        project, graph = make_project(
+            {
+                "core/solver.py": (
+                    "import time\n\ndef f():\n    return time.monotonic()\n"
+                ),
+            }
+        )
+        findings = run_rule(ClockDisciplineRule(), project, graph)
+        assert len(findings) == 1
+        assert "time.monotonic" in findings[0].message
+
+    def test_sanctioned_module_allowed(self, make_project):
+        project, graph = make_project(
+            {
+                "service/clock.py": (
+                    "import time\n\ndef now():\n    return time.monotonic()\n"
+                ),
+                "perf/runner.py": (
+                    "import time\n\ndef t():\n    return time.perf_counter()\n"
+                ),
+            }
+        )
+        assert run_rule(ClockDisciplineRule(), project, graph) == []
+
+    def test_aliased_and_from_imports_resolved(self, make_project):
+        project, graph = make_project(
+            {
+                "core/a.py": (
+                    "import time as t\n"
+                    "from datetime import datetime\n\n"
+                    "def f():\n"
+                    "    return t.time(), datetime.now()\n"
+                ),
+            }
+        )
+        resolved = {
+            m
+            for f in run_rule(ClockDisciplineRule(), project, graph)
+            for m in (f.message,)
+        }
+        assert any("time.time" in m for m in resolved)
+        assert any("datetime.datetime.now" in m for m in resolved)
+
+    def test_reference_as_default_arg_not_flagged(self, make_project):
+        project, graph = make_project(
+            {
+                "engine/jobs.py": (
+                    "import time\n\n"
+                    "def f(timer=time.perf_counter):\n"
+                    "    return timer()\n"
+                ),
+            }
+        )
+        assert run_rule(ClockDisciplineRule(), project, graph) == []
+
+
+class TestSharedStateRace:
+    def test_dispatched_function_mutating_module_state(self, make_project):
+        project, graph = make_project(
+            {
+                "engine/a.py": (
+                    "CACHE = {}\n\n"
+                    "def worker(t):\n"
+                    "    CACHE[t] = t\n\n"
+                    "def f(pool, task):\n"
+                    "    pool.submit(worker, task)\n"
+                ),
+            }
+        )
+        findings = run_rule(SharedStateRaceRule(), project, graph)
+        assert len(findings) == 1
+        f = findings[0]
+        assert "'CACHE'" in f.message and f.line == 4
+
+    def test_transitive_mutation_through_callee(self, make_project):
+        project, graph = make_project(
+            {
+                "engine/a.py": (
+                    "STATS = []\n\n"
+                    "def record(x):\n"
+                    "    STATS.append(x)\n\n"
+                    "def worker(t):\n"
+                    "    record(t)\n\n"
+                    "def f(pool, task):\n"
+                    "    pool.submit(worker, task)\n"
+                ),
+            }
+        )
+        findings = run_rule(SharedStateRaceRule(), project, graph)
+        assert len(findings) == 1 and "'STATS'" in findings[0].message
+
+    def test_imported_mutable_resolved_to_home_module(self, make_project):
+        project, graph = make_project(
+            {
+                "core/state.py": "REGISTRY = {}\n",
+                "engine/a.py": (
+                    "from repro.core.state import REGISTRY\n\n"
+                    "def worker(t):\n"
+                    "    REGISTRY[t] = t\n\n"
+                    "def f(pool, task):\n"
+                    "    pool.submit(worker, task)\n"
+                ),
+            }
+        )
+        findings = run_rule(SharedStateRaceRule(), project, graph)
+        assert len(findings) == 1
+        assert "repro.core.state" in findings[0].message
+
+    def test_undispatched_mutation_not_flagged(self, make_project):
+        project, graph = make_project(
+            {
+                "engine/a.py": (
+                    "CACHE = {}\n\n"
+                    "def worker(t):\n"
+                    "    CACHE[t] = t\n"
+                ),
+            }
+        )
+        assert run_rule(SharedStateRaceRule(), project, graph) == []
+
+    def test_local_and_self_mutations_not_flagged(self, make_project):
+        project, graph = make_project(
+            {
+                "engine/a.py": (
+                    "def worker(t):\n"
+                    "    out = {}\n"
+                    "    out[t] = t\n"
+                    "    return out\n\n"
+                    "def f(pool, task):\n"
+                    "    pool.submit(worker, task)\n"
+                ),
+            }
+        )
+        assert run_rule(SharedStateRaceRule(), project, graph) == []
+
+
+class TestDeadPublicApi:
+    def _analyze(self, tmp_path, mod_source, test_source):
+        from repro.statan import ALL_RULES
+        from repro.statan.driver import analyze_tree
+
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(mod_source)
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_mod.py").write_text(test_source)
+        rule = next(r for r in ALL_RULES if r.name == "dead-public-api")
+        result = analyze_tree([tmp_path / "src" / "repro"], [rule])
+        return result.findings
+
+    def test_unreferenced_export_warned(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            '__all__ = ["used", "unused"]\n\n'
+            "def used():\n    return 1\n\n"
+            "def unused():\n    return 2\n",
+            "from repro.core.mod import used\n",
+        )
+        assert len(findings) == 1
+        f = findings[0]
+        assert "'unused'" in f.message
+        assert f.severity is Severity.WARNING
+        assert f.line == 6
+
+    def test_test_reference_counts_as_live(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            '__all__ = ["helper"]\n\ndef helper():\n    return 1\n',
+            "from repro.core.mod import helper\n",
+        )
+        assert findings == []
+
+    def test_same_module_load_counts_as_live(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            '__all__ = ["TABLE"]\n'
+            "TABLE = {}\n\n"
+            "def lookup(k):\n    return TABLE[k]\n",
+            "from repro.core.mod import lookup\n",
+        )
+        assert findings == []
+
+    def test_silent_without_repo_root(self, make_project):
+        project, graph = make_project(
+            {"core/mod.py": '__all__ = ["nope"]\n\ndef nope():\n    return 1\n'}
+        )
+        # virtual modules have no real path, so no tests/ root is found
+        assert run_rule(DeadPublicApiRule(), project, graph) == []
+
+    def test_find_repo_root_and_tokens(self, tmp_path):
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_a.py").write_text("use_this_name()\n")
+        (tmp_path / "README.md").write_text("and_this_one\n")
+        deep = tmp_path / "src" / "repro" / "core"
+        deep.mkdir(parents=True)
+        assert find_repo_root(deep) == tmp_path
+        tokens = external_tokens(tmp_path)
+        assert "use_this_name" in tokens and "and_this_one" in tokens
+
+
+class TestSuppressionOfProjectFindings:
+    def test_inline_marker_filters_graph_finding(self, tmp_path):
+        from repro.statan import ALL_RULES
+        from repro.statan.driver import analyze_tree
+
+        pkg = tmp_path / "repro" / "service"
+        pkg.mkdir(parents=True)
+        (pkg / "h.py").write_text(
+            "import time\n\n"
+            "async def handle():\n"
+            "    time.sleep(1)  # statan: ignore[async-safety] -- test\n"
+        )
+        rule = next(r for r in ALL_RULES if r.name == "async-safety")
+        assert analyze_tree([pkg], [rule]).findings == []
+
+    @pytest.mark.parametrize("marker", ["", "  # statan: ignore[clock-discipline] -- t"])
+    def test_clock_marker(self, tmp_path, marker):
+        from repro.statan import ALL_RULES
+        from repro.statan.driver import analyze_tree
+
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "h.py").write_text(
+            f"import time\n\ndef f():\n    return time.monotonic(){marker}\n"
+        )
+        rule = next(r for r in ALL_RULES if r.name == "clock-discipline")
+        findings = analyze_tree([pkg], [rule]).findings
+        assert (findings == []) == bool(marker)

@@ -90,9 +90,49 @@ class TestRuleSelection:
     def test_unknown_rule_is_usage_error(self):
         assert main(["lint", str(SRC), "--rules=nope"]) == 2
 
+    def test_unknown_repeated_rule_flag_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "x.py").write_text("X = 1\n")
+        assert main(["lint", str(tmp_path), "--rule", "not-a-rule"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule 'not-a-rule'" in err
+        # the error names the valid rules so the typo is self-correcting
+        assert "async-safety" in err and "layering" in err
+
+    def test_repeated_rule_flags_select_exactly_those(self, tmp_path, capsys):
+        plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        (plant_dir / "planted.py").write_text(
+            "import time\n\n"
+            "def now() -> float:\n"
+            '    """Doc."""\n'
+            "    return time.time()\n\n"
+            "raise ValueError('planted')\n"
+        )
+        code = main(
+            [
+                "lint",
+                str(plant_dir),
+                "--rule",
+                "clock-discipline",
+                "--rule",
+                "exception-discipline",
+                "--format=json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {
+            "clock-discipline",
+            "exception-discipline",
+        }
+
     def test_select_rules_parses_commas(self):
         rules = select_rules("layering, determinism")
         assert [r.name for r in rules] == ["layering", "determinism"]
+
+    def test_select_rules_merges_spec_and_names(self):
+        rules = select_rules("layering", ["async-safety", "layering"])
+        assert [r.name for r in rules] == ["layering", "async-safety"]
 
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
@@ -104,8 +144,77 @@ class TestRuleSelection:
             "exception-discipline",
             "api-docs",
             "determinism",
+            "async-safety",
+            "clock-discipline",
+            "shared-state-race",
+            "dead-public-api",
         ):
             assert name in out
+
+
+class TestSarifFormat:
+    def test_sarif_on_clean_tree(self, capsys):
+        assert main(["lint", str(SRC), "--format=sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+
+    def test_sarif_carries_planted_finding(self, tmp_path, capsys):
+        plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        (plant_dir / "planted.py").write_text("raise ValueError('x')\n")
+        assert main(["lint", str(plant_dir), "--format=sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["exception-discipline"]
+        assert results[0]["level"] == "error"
+
+
+class TestBaselineFlags:
+    def test_write_then_consume_baseline(self, tmp_path, capsys):
+        plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        (plant_dir / "planted.py").write_text("raise ValueError('x')\n")
+        baseline = tmp_path / "baseline.json"
+
+        assert main(["lint", str(plant_dir)]) == 1
+        assert (
+            main(["lint", str(plant_dir), "--write-baseline", str(baseline)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["lint", str(plant_dir), "--baseline", str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert "statan: clean" in captured.out
+        assert "matched the baseline" in captured.err
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path):
+        (tmp_path / "x.py").write_text("X = 1\n")
+        bad = tmp_path / "baseline.json"
+        bad.write_text("[]")
+        assert main(["lint", str(tmp_path), "--baseline", str(bad)]) == 2
+
+
+class TestCacheDirFlag:
+    def test_cached_rerun_reports_identically(self, tmp_path, capsys):
+        plant_dir = tmp_path / "repro" / "core"
+        plant_dir.mkdir(parents=True)
+        (plant_dir / "planted.py").write_text("raise ValueError('x')\n")
+        cache_dir = tmp_path / ".cache"
+        argv = [
+            "lint",
+            str(plant_dir),
+            "--format=json",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(argv) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert (cache_dir / "statan-cache.json").exists()
+        assert main(argv) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm == cold
 
 
 class TestRunLintDirect:

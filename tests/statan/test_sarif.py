@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 export: structural validation against the spec's
+requirements for the subset of properties we emit, plus CLI round-trip.
+
+There is no network (or bundled) JSON-Schema validator available, so
+``validate_sarif`` hand-checks every constraint GitHub code scanning
+actually enforces: required top-level keys, version literal, run/tool/
+driver shape, rule descriptors with unique ids, results whose
+``ruleIndex`` points at the right descriptor, and 1-based regions.
+"""
+
+import io
+import json
+
+from repro.statan import ALL_RULES
+from repro.statan.base import Finding, Severity
+from repro.statan.sarif import SARIF_VERSION, render_sarif, to_sarif
+
+
+def validate_sarif(doc):
+    """Assert ``doc`` is a structurally valid SARIF 2.1.0 log."""
+    assert isinstance(doc, dict)
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    runs = doc["runs"]
+    assert isinstance(runs, list) and len(runs) >= 1
+    for run in runs:
+        driver = run["tool"]["driver"]
+        assert isinstance(driver["name"], str) and driver["name"]
+        rules = driver["rules"]
+        ids = [r["id"] for r in rules]
+        assert len(ids) == len(set(ids)), "duplicate rule ids"
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+        for result in run["results"]:
+            assert result["level"] in {"none", "note", "warning", "error"}
+            assert result["message"]["text"]
+            idx = result["ruleIndex"]
+            assert 0 <= idx < len(rules)
+            assert rules[idx]["id"] == result["ruleId"]
+            for loc in result["locations"]:
+                phys = loc["physicalLocation"]
+                assert phys["artifactLocation"]["uri"]
+                assert "\\" not in phys["artifactLocation"]["uri"]
+                region = phys["region"]
+                assert region["startLine"] >= 1
+                assert region["startColumn"] >= 1
+
+
+def sample_findings():
+    return [
+        Finding(
+            rule="async-safety",
+            path="src/repro/service/pipeline.py",
+            line=10,
+            col=0,
+            message="blocking call",
+            severity=Severity.ERROR,
+        ),
+        Finding(
+            rule="dead-public-api",
+            path="src/repro/core/api.py",
+            line=3,
+            col=4,
+            message="unused export",
+            severity=Severity.WARNING,
+        ),
+    ]
+
+
+class TestDocumentShape:
+    def test_version_constant(self):
+        assert SARIF_VERSION == "2.1.0"
+
+    def test_full_ruleset_with_findings_validates(self):
+        doc = to_sarif(sample_findings(), ALL_RULES)
+        validate_sarif(doc)
+
+    def test_empty_findings_validates(self):
+        doc = to_sarif([], ALL_RULES)
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"] == []
+
+    def test_levels_map_severities(self):
+        results = to_sarif(sample_findings(), ALL_RULES)["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["error", "warning"]
+
+    def test_columns_are_one_based(self):
+        result = to_sarif(sample_findings(), ALL_RULES)["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 10, "startColumn": 1}
+
+    def test_finding_outside_rule_selection_gets_descriptor(self):
+        parse = Finding(
+            rule="parse-error", path="x.py", line=1, col=0, message="boom"
+        )
+        doc = to_sarif([parse], ALL_RULES)
+        validate_sarif(doc)
+        ids = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        assert "parse-error" in ids
+
+    def test_windows_paths_normalized(self):
+        f = Finding(
+            rule="layering", path="src\\repro\\a.py", line=1, col=0, message="m"
+        )
+        doc = to_sarif([f], ALL_RULES)
+        uri = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "src/repro/a.py"
+
+
+class TestRendering:
+    def test_render_emits_parseable_json(self):
+        buf = io.StringIO()
+        render_sarif(sample_findings(), ALL_RULES, buf)
+        text = buf.getvalue()
+        assert text.endswith("\n")
+        validate_sarif(json.loads(text))
+
+    def test_cli_sarif_output_on_real_tree_validates(self, tmp_path, capsys):
+        from repro.statan.cli import run_lint
+
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(
+            'import time\n\ndef f() -> float:\n    """Doc."""\n    return time.monotonic()\n'
+        )
+        buf = io.StringIO()
+        assert run_lint([pkg], fmt="sarif", stream=buf) == 1
+        doc = json.loads(buf.getvalue())
+        validate_sarif(doc)
+        rule_ids = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        assert "clock-discipline" in rule_ids

@@ -1,0 +1,270 @@
+"""Phase-1 extraction: ModuleSummary contents and JSON round-trip."""
+
+import json
+import textwrap
+
+from repro.statan.base import ModuleInfo
+from repro.statan.summary import (
+    MutationSite,
+    build_summary,
+    module_name_for_rel,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+
+def summarize(source, rel="core/fixture.py"):
+    return build_summary(ModuleInfo.from_source(textwrap.dedent(source), rel))
+
+
+class TestModuleNaming:
+    def test_plain_module(self):
+        assert module_name_for_rel("service/pipeline.py") == "repro.service.pipeline"
+
+    def test_package_init(self):
+        assert module_name_for_rel("service/__init__.py") == "repro.service"
+
+    def test_top_level_module(self):
+        assert module_name_for_rel("cli.py") == "repro.cli"
+
+    def test_package_root_init(self):
+        assert module_name_for_rel("__init__.py") == "repro"
+
+
+class TestImports:
+    def test_plain_and_aliased_import(self):
+        s = summarize("import numpy as np\nimport json\n")
+        assert s.imports["np"] == "numpy"
+        assert s.imports["json"] == "json"
+
+    def test_dotted_import_binds_root(self):
+        s = summarize("import repro.core.stability\n")
+        assert s.imports["repro"] == "repro"
+
+    def test_from_import_and_alias(self):
+        s = summarize(
+            "from repro.core import stability\n"
+            "from repro.core.stability import find_blocking_family as fbf\n"
+        )
+        assert s.imports["stability"] == "repro.core.stability"
+        assert s.imports["fbf"] == "repro.core.stability.find_blocking_family"
+
+    def test_relative_import_resolves_against_package(self):
+        s = summarize("from .clock import Clock\n", rel="service/pipeline.py")
+        assert s.imports["Clock"] == "repro.service.clock.Clock"
+
+    def test_relative_import_from_package_init(self):
+        s = summarize("from .clock import Clock\n", rel="service/__init__.py")
+        assert s.imports["Clock"] == "repro.service.clock.Clock"
+
+    def test_two_dot_relative_import(self):
+        s = summarize("from ..utils import rng\n", rel="service/sub/mod.py")
+        assert s.imports["rng"] == "repro.service.utils.rng"
+
+    def test_function_scope_import(self):
+        s = summarize(
+            """
+            def f():
+                from repro.core.stability import is_stable_kary
+                return is_stable_kary
+            """
+        )
+        fn = s.function("f")
+        assert ("is_stable_kary", "repro.core.stability.is_stable_kary") in fn.imports
+        assert "is_stable_kary" not in s.imports
+
+    def test_star_import_is_ignored(self):
+        s = summarize("from os.path import *\n")
+        assert s.imports == {}
+
+
+class TestCalls:
+    def test_call_targets_and_locations(self):
+        s = summarize(
+            """
+            import time
+
+            def f():
+                time.sleep(1)
+            """
+        )
+        calls = s.function("f").calls
+        assert [c.target for c in calls] == ["time.sleep"]
+        assert calls[0].lineno == 5 and not calls[0].awaited
+
+    def test_awaited_flag(self):
+        s = summarize(
+            """
+            import asyncio
+
+            async def f():
+                await asyncio.sleep(0)
+                asyncio.get_event_loop()
+            """
+        )
+        calls = {c.target: c for c in s.function("f").calls}
+        assert calls["asyncio.sleep"].awaited
+        assert not calls["asyncio.get_event_loop"].awaited
+
+    def test_opaque_receiver_collapses_to_question_mark(self):
+        s = summarize(
+            """
+            def f(x):
+                x()[0].go()
+            """
+        )
+        targets = [c.target for c in s.function("f").calls]
+        assert "?.go" in targets
+
+    def test_arg_refs_capture_name_chains(self):
+        s = summarize(
+            """
+            def f(pool, task):
+                pool.submit(worker, task, 1)
+
+            def worker(t):
+                return t
+            """
+        )
+        call = next(
+            c for c in s.function("f").calls if c.target == "pool.submit"
+        )
+        assert call.arg_refs == ("worker", "task")
+
+    def test_nested_defs_not_merged_into_parent(self):
+        s = summarize(
+            """
+            def outer():
+                def inner():
+                    print("x")
+                return inner
+            """
+        )
+        assert all(c.target != "print" for c in s.function("outer").calls)
+
+    def test_methods_summarized_with_class(self):
+        s = summarize(
+            """
+            class C:
+                def m(self):
+                    self.helper()
+
+                def helper(self):
+                    return 1
+            """
+        )
+        assert s.classes["C"] == ["m", "helper"]
+        m = s.function("C.m")
+        assert m.cls == "C"
+        assert [c.target for c in m.calls] == ["self.helper"]
+
+
+class TestMutations:
+    def test_subscript_and_aug_and_method(self):
+        s = summarize(
+            """
+            CACHE = {}
+            TOTALS = []
+
+            def f(x):
+                CACHE[x] = 1
+                TOTALS.append(x)
+
+            def g():
+                global COUNT
+                COUNT = 0
+            """
+        )
+        f = s.function("f")
+        kinds = {(m.name, m.kind) for m in f.mutations}
+        assert ("CACHE", "assign") in kinds
+        assert ("TOTALS", "method") in kinds
+        g = s.function("g")
+        assert ("COUNT", "assign") in {(m.name, m.kind) for m in g.mutations}
+
+    def test_local_assignment_is_not_a_mutation(self):
+        s = summarize(
+            """
+            def f():
+                x = 1
+                return x
+            """
+        )
+        assert s.function("f").mutations == ()
+
+    def test_attribute_store_records_receiver(self):
+        s = summarize(
+            """
+            def f(obj):
+                obj.state.count = 2
+            """
+        )
+        muts = s.function("f").mutations
+        assert MutationSite("obj.state", "assign", 3, 4) in muts
+
+    def test_module_mutables_classify_values(self):
+        s = summarize(
+            "A = {}\n"
+            "B = []\n"
+            "C = set()\n"
+            "D = frozenset({1})\n"
+            "E = 7\n"
+            "F = SomeClass()\n"
+        )
+        assert set(s.module_mutables) == {"A", "B", "C", "F"}
+
+
+class TestExportsAndSuppressions:
+    def test_dunder_all_strings(self):
+        s = summarize('__all__ = ["f", "G"]\n\ndef f():\n    return 1\n')
+        assert s.exports == ["f", "G"]
+        assert s.defined["f"] == 3
+
+    def test_suppression_tables(self):
+        s = summarize(
+            "# statan: ignore-file[layering] -- test\n"
+            "import time\n"
+            "time.sleep(1)  # statan: ignore[async-safety] -- test\n"
+            "time.sleep(2)  # statan: ignore\n"
+        )
+        assert s.file_suppressions == ["layering"]
+        assert s.is_suppressed("layering", 99)
+        assert s.is_suppressed("async-safety", 3)
+        assert not s.is_suppressed("clock-discipline", 3)
+        assert s.is_suppressed("anything", 4)  # bare ignore = all rules
+        assert not s.is_suppressed("async-safety", 2)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_equality(self):
+        s = summarize(
+            """
+            import time
+            __all__ = ["f"]
+            CACHE = {}
+
+            class C:
+                async def m(self):
+                    await self.go()
+
+                def go(self):
+                    CACHE["k"] = time.sleep  # statan: ignore -- test
+
+            def f(pool):
+                pool.submit(C, 1)
+            """,
+            rel="service/thing.py",
+        )
+        wire = json.loads(json.dumps(summary_to_dict(s)))
+        assert summary_from_dict(wire) == s
+
+    def test_schema_mismatch_rejected(self):
+        s = summarize("x = 1\n")
+        doc = summary_to_dict(s)
+        doc["schema"] = 999
+        try:
+            summary_from_dict(doc)
+        except ValueError as exc:
+            assert "schema" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
