@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint lint-strict lint-sarif typecheck test bench bench-smoke perf perf-smoke perf-history trace-smoke service-smoke examples fast slow all clean
+.PHONY: install lint lint-strict lint-sarif typecheck test bench bench-smoke perf perf-smoke perf-history trace-smoke service-smoke fleet-smoke examples fast slow all clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -77,6 +77,17 @@ trace-smoke:
 service-smoke:
 	PYTHONPATH=src $(PY) -m repro load --requests 1000 --seed 20260806 \
 		--check --out service_load_report.json
+
+# fleet gate: the same determinism contract at horizontal scale — a
+# seeded 2k-request virtual-clock soak across 4 simulated shards with
+# one worker crash injected mid-run.  --check reruns the seed and fails
+# on any nondeterminism, any lost request (zero-lost must survive the
+# crash), a dead abort-flag path, or a missing shard in the report
+fleet-smoke:
+	PYTHONPATH=src $(PY) -m repro load --fleet 4 --requests 2000 \
+		--seed 20260806 --pool 16 --popularity zipfian \
+		--crash-shard 2 --crash-at 0.5 \
+		--check --out fleet_load_report.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \

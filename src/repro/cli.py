@@ -428,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deadline budget (s) for requests that carry none",
     )
+    serve.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard across N worker processes (consistent-hash routing; "
+        "stdin/file mode only, incompatible with --virtual/--socket)",
+    )
 
     load = sub.add_parser(
         "load",
@@ -446,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument(
         "--pool", type=int, default=8, help="distinct instances in the pool"
+    )
+    load.add_argument(
+        "--popularity",
+        choices=("uniform", "zipfian", "hotspot"),
+        default="uniform",
+        help="instance-popularity discipline for pool draws",
     )
     load.add_argument(
         "--queue-capacity", type=int, default=64, help="admission queue bound"
@@ -474,6 +488,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the soak twice and fail unless outcomes are identical, "
         "nothing was lost, deadline rejections occurred, and the latency "
         "percentiles are present",
+    )
+    load.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drive a simulated N-shard fleet (consistent-hash routing) "
+        "instead of one service",
+    )
+    load.add_argument(
+        "--crash-shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="fleet only: kill shard I mid-run (requires --crash-at)",
+    )
+    load.add_argument(
+        "--crash-at",
+        type=float,
+        default=None,
+        metavar="T",
+        help="fleet only: virtual time (s) at which --crash-shard dies",
+    )
+    load.add_argument(
+        "--fleet-journal",
+        type=Path,
+        default=None,
+        help="fleet only: write the combined shard-tagged journal here",
     )
     return parser
 
@@ -696,6 +738,7 @@ _SERVE_FAILURE_OUTCOMES = frozenset(
         "rejected_closed",
         "shed",
         "deadline",
+        "lost_shard",
     }
 )
 
@@ -720,6 +763,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             "--virtual needs a bounded input stream; it cannot drive a socket"
         )
+    if args.fleet:
+        if args.socket is not None or args.virtual:
+            raise ConfigurationError(
+                "--fleet spawns real worker processes; it is incompatible "
+                "with --socket and --virtual"
+            )
+        return _run_serve_fleet(args)
     config = ServiceConfig(
         queue_capacity=args.queue_capacity,
         policy=args.policy,
@@ -769,6 +819,37 @@ def _run_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_serve_fleet(args: argparse.Namespace) -> int:
+    """``repro serve --fleet N``: shard the JSONL stream across processes."""
+    import asyncio
+
+    from repro.fleet import FleetConfig, FleetCoordinator, serve_fleet_lines
+
+    config = FleetConfig(
+        workers=args.fleet,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        shard_workers=args.workers,
+        default_deadline_s=args.default_deadline,
+    )
+    if args.input is not None:
+        lines = args.input.read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    async def run_stream() -> list[str]:
+        async with FleetCoordinator(config) as fleet:
+            return await serve_fleet_lines(fleet, lines)
+
+    out = asyncio.run(run_stream())
+    exit_code = 0
+    for line in out:
+        print(line)
+        if json.loads(line).get("outcome") in _SERVE_FAILURE_OUTCOMES:
+            exit_code = 1
+    return exit_code
+
+
 def _run_load(args: argparse.Namespace) -> int:
     """Run a seeded load soak; optionally double-run for the determinism gate."""
     from repro.service import LoadProfile, ServiceConfig, run_load
@@ -780,7 +861,10 @@ def _run_load(args: argparse.Namespace) -> int:
         rate=args.rate,
         concurrency=args.concurrency,
         pool=args.pool,
+        popularity=args.popularity,
     )
+    if args.fleet:
+        return _run_load_fleet(args, profile)
     config = ServiceConfig(
         queue_capacity=args.queue_capacity,
         policy=args.policy,
@@ -824,6 +908,90 @@ def _run_load(args: argparse.Namespace) -> int:
         f"soak: {report.responded}/{report.accepted} responded in "
         f"{report.duration_s:.3f}s ({'virtual' if report.virtual else 'wall'}): "
         f"{summary}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_load_fleet(args: argparse.Namespace, profile: "Any") -> int:
+    """``repro load --fleet N``: the soak against a simulated shard fleet.
+
+    Same report schema and ``--check`` determinism gate as the
+    single-service path, plus per-shard locality in ``shards`` and
+    optional seeded crash injection (``--crash-shard`` / ``--crash-at``).
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.fleet import CrashPlan, FleetConfig, run_fleet_load
+
+    if (args.crash_shard is None) != (args.crash_at is None):
+        raise ConfigurationError(
+            "--crash-shard and --crash-at must be given together"
+        )
+    crashes = (
+        (CrashPlan(shard_index=args.crash_shard, at_s=args.crash_at),)
+        if args.crash_shard is not None
+        else ()
+    )
+    config = FleetConfig(
+        workers=args.fleet,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        shard_workers=args.workers,
+    )
+    virtual = not args.real
+    journal = str(args.fleet_journal) if args.fleet_journal is not None else None
+    report = run_fleet_load(
+        profile, config=config, crashes=crashes, virtual=virtual,
+        journal_path=journal,
+    )
+    if args.check:
+        failures: list[str] = []
+        rerun = run_fleet_load(
+            profile, config=config, crashes=crashes, virtual=virtual
+        )
+        if rerun.outcome_by_id != report.outcome_by_id:
+            diff = sum(
+                1
+                for rid, outcome in report.outcome_by_id.items()
+                if rerun.outcome_by_id.get(rid) != outcome
+            )
+            failures.append(
+                f"non-deterministic outcomes: {diff} request(s) differ between runs"
+            )
+        for label, run in (("run 1", report), ("run 2", rerun)):
+            if run.lost != 0:
+                failures.append(f"{label}: lost {run.lost} dispatched request(s)")
+        if report.outcomes.get("deadline", 0) == 0:
+            failures.append(
+                "no deadline aborts: the cross-process abort-flag path is dead"
+            )
+        if len(report.shards) != args.fleet:
+            failures.append(
+                f"shard report covers {len(report.shards)} shards, "
+                f"expected {args.fleet}"
+            )
+        for q in ("p50", "p95", "p99"):
+            if q not in report.latency:
+                failures.append(f"latency report is missing {q}")
+        if failures:
+            for failure in failures:
+                print(f"fleet load check FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"fleet load check OK: {report.requests} requests deterministic "
+            f"across {args.fleet} shards, 0 lost, "
+            f"{report.outcomes.get('deadline', 0)} deadline aborts, "
+            f"{report.counters.get('fleet.crashes', 0)} crash(es) injected"
+        )
+    _emit(report.to_json(indent=2), args.out)
+    hit_rates = ", ".join(
+        f"{name}={doc['cache_hit_rate']:.2f}"
+        for name, doc in sorted(report.shards.items())
+    )
+    print(
+        f"fleet soak: {report.responded}/{report.accepted} responded in "
+        f"{report.duration_s:.3f}s ({'virtual' if report.virtual else 'wall'}); "
+        f"warm-cache hit rates: {hit_rates}",
         file=sys.stderr,
     )
     return 0

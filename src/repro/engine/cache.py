@@ -14,7 +14,9 @@ snapshot; the serving-path benchmark (E24) asserts on them.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -40,6 +42,7 @@ class CacheStats:
     verdict_misses: int = 0
     verdict_stores: int = 0
     verdict_disk_hits: int = 0
+    disk_write_errors: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """Plain-dict form for JSON telemetry export."""
@@ -54,6 +57,7 @@ class CacheStats:
             "verdict_misses": self.verdict_misses,
             "verdict_stores": self.verdict_stores,
             "verdict_disk_hits": self.verdict_disk_hits,
+            "disk_write_errors": self.disk_write_errors,
         }
 
 
@@ -91,6 +95,9 @@ class ResultCache:
         with self._lock:
             return key in self._entries
 
+    #: process-wide uniquifier for temp-file names (see _write_atomic).
+    _tmp_seq = itertools.count()
+
     def _disk_path(self, key: str) -> Path:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.json"
@@ -98,6 +105,31 @@ class ResultCache:
     def _verdict_path(self, key: str) -> Path:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.verdict.json"
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """Publish ``text`` at ``path`` via a unique temp file + rename.
+
+        N fleet workers may share one cache directory, so the temp name
+        must be unique *per writer* (pid + counter): a shared ``.tmp``
+        name would let one process rename another's half-written file
+        into place.  ``os.replace`` is atomic on POSIX, so readers only
+        ever see a complete old or complete new entry — and because
+        entries are content-addressed, racing writers of the same key
+        publish identical bytes and the winner doesn't matter.  The
+        leading dot keeps stray temp files (a writer killed mid-write)
+        out of the ``*.json`` namespace that readers and ``clear`` scan.
+        """
+        tmp = path.parent / f".{path.name}.{os.getpid()}-{next(self._tmp_seq)}.tmp"
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except OSError:
+            # a full/ro disk must degrade the cache, not fail the solve
+            self.stats.disk_write_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Payload for ``key``, or ``None``; a hit refreshes recency.
@@ -150,9 +182,9 @@ class ResultCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         if write_disk and self.disk_dir is not None:
-            tmp = self._disk_path(key).with_suffix(".tmp")
-            tmp.write_text(json.dumps(payload, sort_keys=True))
-            tmp.replace(self._disk_path(key))
+            self._write_atomic(
+                self._disk_path(key), json.dumps(payload, sort_keys=True)
+            )
             self.stats.disk_stores += 1
 
     # ------------------------------------------------------------------
@@ -209,9 +241,9 @@ class ResultCache:
         while len(self._verdicts) > self.max_entries:
             self._verdicts.popitem(last=False)
         if write_disk and self.disk_dir is not None:
-            tmp = self._verdict_path(key).with_suffix(".tmp")
-            tmp.write_text(json.dumps({"stable": stable, "version": 1}))
-            tmp.replace(self._verdict_path(key))
+            self._write_atomic(
+                self._verdict_path(key), json.dumps({"stable": stable, "version": 1})
+            )
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory tiers (and the disk tier when ``disk``)."""
@@ -219,5 +251,8 @@ class ResultCache:
             self._entries.clear()
             self._verdicts.clear()
             if disk and self.disk_dir is not None:
-                for path in sorted(self.disk_dir.glob("*.json")):
-                    path.unlink(missing_ok=True)
+                # the tmp glob sweeps temp files orphaned by a writer
+                # killed mid-publish (fleet worker crash injection)
+                for pattern in ("*.json", ".*.tmp"):
+                    for path in sorted(self.disk_dir.glob(pattern)):
+                        path.unlink(missing_ok=True)

@@ -1,0 +1,66 @@
+"""``repro.fleet``: a sharded multi-process (or simulated) solve fleet.
+
+One coordinator, N shards — each shard a full
+:class:`~repro.service.pipeline.SolveService` +
+:class:`~repro.engine.jobs.MatchingEngine` with its own two-tier result
+cache.  Requests route over a consistent-hash ring keyed on the solve
+fingerprint (:mod:`repro.fleet.ring`), so a hot instance always lands
+on the shard whose cache already holds it; per-request deadlines cancel
+work across the process boundary through shared-memory abort flags
+(:mod:`repro.fleet.abort`); crashed shards re-route or complete their
+in-flight work as typed ``lost_shard`` responses and respawn cold; a
+fleet-wide drain preserves the zero-lost invariant and folds every
+shard's metrics and spans into one merged report and one combined
+journal.
+
+Two interchangeable fleets share all of that logic:
+
+* :class:`~repro.fleet.coordinator.FleetCoordinator` — real child
+  processes (``repro serve --fleet N``);
+* :class:`~repro.fleet.simfleet.SimulatedFleet` — in-process shards on
+  one (virtual) clock, byte-deterministic
+  (``repro load --fleet N --check``, ``make fleet-smoke``).
+
+See docs/SERVICE.md ("Fleet mode") for the architecture tour.
+"""
+
+from repro.fleet.abort import (
+    ABORT_DEADLINE,
+    CLEAR,
+    LocalAbortBoard,
+    SharedAbortBoard,
+    make_abort_check,
+)
+from repro.fleet.coordinator import FleetCoordinator, serve_fleet_lines
+from repro.fleet.loadgen import run_fleet_load
+from repro.fleet.ring import DEFAULT_VNODES, HashRing, stable_hash_64
+from repro.fleet.simfleet import (
+    FLEET_OUTCOMES,
+    ROUTERS,
+    CrashPlan,
+    FleetConfig,
+    SimulatedFleet,
+    combined_journal_records,
+    write_fleet_journal,
+)
+
+__all__ = [
+    "ABORT_DEADLINE",
+    "CLEAR",
+    "DEFAULT_VNODES",
+    "FLEET_OUTCOMES",
+    "ROUTERS",
+    "CrashPlan",
+    "FleetConfig",
+    "FleetCoordinator",
+    "HashRing",
+    "LocalAbortBoard",
+    "SharedAbortBoard",
+    "SimulatedFleet",
+    "combined_journal_records",
+    "make_abort_check",
+    "run_fleet_load",
+    "serve_fleet_lines",
+    "stable_hash_64",
+    "write_fleet_journal",
+]

@@ -1,0 +1,147 @@
+"""Shared-memory abort flags: cross-process cooperative cancellation.
+
+A deadline enforced *inside* the coordinator process cannot stop work
+already running in a child: the child's engine is mid-solve in another
+address space.  The fleet closes that gap with a board of plain integer
+flags in shared memory — one slot per dispatch credit.  The protocol:
+
+1. the coordinator assigns a free slot to each dispatched request and
+   ships the slot index with it;
+2. the coordinator owns the deadline timer (on *its* clock); at expiry
+   it writes :data:`ABORT_DEADLINE` into the slot — a single aligned
+   int store, safe without a lock;
+3. the worker threads the slot into the service pipeline through
+   :attr:`~repro.service.pipeline.ServiceRequest.abort_check`, so the
+   engine's cooperative ``check`` hook samples the flag **between
+   engine stages** and raises
+   :class:`~repro.exceptions.DeadlineExceededError` mid-flight;
+4. the response (a typed ``deadline`` outcome, produced by the child's
+   own pipeline) travels back normally and the slot is cleared for
+   reuse.
+
+Sampling is cooperative and lock-free by design: a torn read is
+impossible for a single int, and the worst case for a late write is one
+extra engine stage of work — exactly the in-process ``Deadline``
+contract, extended across a process boundary.  :class:`LocalAbortBoard`
+backs the deterministic in-process fleet with the same API so the
+simulated and real paths share all slot bookkeeping.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Sequence
+
+from repro.exceptions import ConfigurationError, DeadlineExceededError
+
+__all__ = [
+    "ABORT_DEADLINE",
+    "CLEAR",
+    "LocalAbortBoard",
+    "SharedAbortBoard",
+    "make_abort_check",
+]
+
+#: slot states.  ``CLEAR`` means run; ``ABORT_DEADLINE`` asks the
+#: worker's next cooperative check to raise DeadlineExceededError.
+CLEAR = 0
+ABORT_DEADLINE = 1
+
+
+class LocalAbortBoard:
+    """In-process abort board: a plain int list behind the board API.
+
+    The deterministic fleet (and the unit tests) use this; the real
+    coordinator uses :class:`SharedAbortBoard`.  Both expose identical
+    slot-pool semantics so the dispatch path is transport-agnostic.
+    """
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ConfigurationError(f"slots must be >= 1, got {slots}")
+        self._flags: "Sequence[int] | list[int]" = [CLEAR] * slots
+        self._free: list[int] = list(range(slots - 1, -1, -1))
+
+    def __len__(self) -> int:
+        return len(self._flags)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available to :meth:`acquire`."""
+        return len(self._free)
+
+    def acquire(self) -> int:
+        """Claim a free slot (cleared); raises when the pool is empty.
+
+        The coordinator sizes the board to its dispatch concurrency
+        bound, so exhaustion is a programming error, not backpressure.
+        """
+        if not self._free:
+            raise ConfigurationError(
+                f"abort board exhausted: all {len(self._flags)} slots in use"
+            )
+        slot = self._free.pop()
+        self._flags[slot] = CLEAR  # type: ignore[index]
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the pool, clearing its flag."""
+        self._flags[slot] = CLEAR  # type: ignore[index]
+        self._free.append(slot)
+
+    def set(self, slot: int, state: int = ABORT_DEADLINE) -> None:
+        """Write ``state`` into ``slot`` (the coordinator-side store)."""
+        self._flags[slot] = state  # type: ignore[index]
+
+    def get(self, slot: int) -> int:
+        """Read ``slot`` (the worker-side sample)."""
+        return int(self._flags[slot])
+
+    def flags(self) -> "Sequence[int]":
+        """The raw flag array, for building per-request samplers.
+
+        On :class:`SharedAbortBoard` this is the shared-memory array to
+        ship to worker processes at spawn; here it is the plain list the
+        in-process fleet threads into :func:`make_abort_check`.
+        """
+        return self._flags
+
+
+class SharedAbortBoard(LocalAbortBoard):
+    """Abort board over a shared-memory int array.
+
+    The flag array is a lock-free ``multiprocessing.Array`` visible to
+    every worker; the free-slot pool stays coordinator-local (workers
+    only ever *read* their assigned slot).  :meth:`flags` hands out the
+    raw array for passing to child processes at spawn.
+    """
+
+    def __init__(self, slots: int) -> None:
+        super().__init__(slots)
+        # single-int stores/loads are atomic at the hardware level; the
+        # protocol tolerates a late write by design, so no lock.
+        self._flags = multiprocessing.Array("i", slots, lock=False)
+
+
+def make_abort_check(
+    flags: "Sequence[int]", slot: int, request_id: str
+) -> "Callable[[str], None]":
+    """Build the worker-side sampler for one request's slot.
+
+    The returned callable matches the
+    :attr:`~repro.service.pipeline.ServiceRequest.abort_check` contract:
+    called with a stage name at every pipeline and engine stage
+    boundary, raising :class:`~repro.exceptions.DeadlineExceededError`
+    once the coordinator has flagged the slot.
+    """
+
+    def check(stage: str) -> None:
+        if int(flags[slot]) == ABORT_DEADLINE:
+            raise DeadlineExceededError(
+                f"request {request_id!r}: coordinator deadline abort at "
+                f"stage {stage!r} (shared-memory flag, slot {slot})",
+                request_id=request_id,
+                stage=stage,
+            )
+
+    return check

@@ -1,0 +1,500 @@
+"""``FleetCoordinator``: N worker processes behind one JSONL front door.
+
+The production-shaped counterpart to
+:class:`~repro.fleet.simfleet.SimulatedFleet` — same consistent-hash
+routing, same shared abort-flag deadline protocol, same crash and drain
+semantics, but the shards are real child processes
+(:func:`~repro.fleet.worker.worker_main`) spawned with the ``spawn``
+start method so each hosts a genuinely independent engine + cache.
+
+Division of labour:
+
+* the **coordinator** parses each request line once (for validity and
+  the routing fingerprint), owns every deadline timer on *its* clock,
+  and forwards the raw line + an abort-board slot to the owning shard;
+* the **worker** re-parses, strips the deadline, samples the shared
+  flag between stages, and ships back a finished response line;
+* worker death is detected as pipe EOF (plus ``is_alive`` heartbeat
+  sweeps): in-flight requests on the dead shard are re-routed to the
+  next live shard on the ring or completed as typed ``lost_shard``
+  responses — never silently dropped — and a cold replacement respawns
+  on the same ring position after ``restart_delay_s``;
+* :meth:`FleetCoordinator.drain` finishes everything in flight, asks
+  every live worker to drain (each returns its stats, metrics snapshot,
+  and span dump), and folds those into one merged
+  :class:`~repro.obs.metrics.MetricsRegistry` and one shard-tagged
+  combined journal.
+
+Everything here runs on real time and real processes, so it is
+exercised by a small smoke test; the determinism gates run against the
+simulated fleet, which shares all routing/abort/drain logic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.exceptions import (
+    ConfigurationError,
+    InvalidServiceRequestError,
+    ServiceClosedError,
+)
+from repro.fleet.abort import ABORT_DEADLINE, SharedAbortBoard
+from repro.fleet.ring import HashRing
+from repro.fleet.simfleet import FleetConfig, combined_journal_records
+from repro.fleet.worker import worker_main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.record import Recorder
+from repro.service.clock import RealClock
+from repro.service.protocol import invalid_line, parse_service_request
+
+__all__ = ["FleetCoordinator", "serve_fleet_lines"]
+
+
+@dataclass
+class _Worker:
+    """One child process plus its coordinator-side bookkeeping."""
+
+    index: int
+    name: str
+    process: "multiprocessing.process.BaseProcess"
+    conn: Any
+    generation: int = 0
+    dead: bool = False
+    drained: "asyncio.Future[dict[str, Any]] | None" = None
+    spans: "list[dict[str, Any]]" = field(default_factory=list)
+    metrics_doc: "dict[str, Any] | None" = None
+    stats_doc: "dict[str, Any] | None" = None
+
+
+@dataclass
+class _InFlight:
+    """One dispatched request awaiting its response line."""
+
+    request_id: str
+    key: str
+    line: str
+    shard: str
+    slot: int
+    future: "asyncio.Future[str]"
+    timer: "asyncio.Task[None] | None" = None
+    tried: "set[str]" = field(default_factory=set)
+
+
+def _lost_shard_line(request_id: str, shard: str) -> str:
+    return json.dumps(
+        {
+            "id": request_id,
+            "outcome": "lost_shard",
+            "error": f"request {request_id!r}: shard {shard!r} crashed mid-flight",
+            "error_type": "LostShardError",
+            "stage": "shard",
+        },
+        sort_keys=True,
+    )
+
+
+class FleetCoordinator:
+    """Spawn, route to, heartbeat, and drain a fleet of worker processes.
+
+    Async context manager (``async with`` drains on exit); must be used
+    from a running event loop on a real clock.  ``cache_dir`` points all
+    workers at one shared disk cache directory (safe: the cache's disk
+    writes are atomic per writer).
+    """
+
+    def __init__(
+        self,
+        config: "FleetConfig | None" = None,
+        *,
+        cache_dir: "str | None" = None,
+        heartbeat_s: float = 0.5,
+    ) -> None:
+        self.config = config if config is not None else FleetConfig()
+        if self.config.cost_model is not None:
+            raise ConfigurationError(
+                "cost models are a virtual-clock device; the process fleet "
+                "runs real solves on real time"
+            )
+        self.cache_dir = cache_dir
+        self.heartbeat_s = heartbeat_s
+        self.clock = RealClock()
+        self.sink = Recorder()
+        self.ring = HashRing(
+            [f"shard-{i}" for i in range(self.config.workers)],
+            vnodes=self.config.vnodes,
+        )
+        self.board = SharedAbortBoard(
+            max(64, self.config.workers * self.config.queue_capacity * 2)
+        )
+        self._mp = multiprocessing.get_context("spawn")
+        self._workers: dict[str, _Worker] = {}
+        self._inflight: dict[str, _InFlight] = {}
+        self._state = "created"
+        self._dispatched = 0
+        self._responded = 0
+        self._rr = 0
+        self._heartbeat: "asyncio.Task[None] | None" = None
+        self._respawns: list["asyncio.Task[None]"] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: created / running / draining / closed."""
+        return self._state
+
+    def _config_doc(self) -> "dict[str, Any]":
+        return {
+            "queue_capacity": self.config.queue_capacity,
+            "policy": self.config.policy,
+            "workers": self.config.shard_workers,
+            "cache_entries": self.config.cache_entries,
+        }
+
+    def _spawn(self, index: int, generation: int) -> _Worker:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=worker_main,
+            args=(
+                index,
+                child_conn,
+                self.board.flags(),
+                self._config_doc(),
+                self.cache_dir,
+            ),
+            name=f"repro-fleet-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(
+            index=index,
+            name=f"shard-{index}",
+            process=process,
+            conn=parent_conn,
+            generation=generation,
+        )
+        loop = asyncio.get_running_loop()
+        loop.create_task(self._listen(worker))
+        return worker
+
+    async def _listen(self, worker: _Worker) -> None:
+        """Pump one worker's pipe until EOF; EOF while running = crash."""
+        loop = asyncio.get_running_loop()
+        conn = worker.conn
+        while True:
+            try:
+                message = await loop.run_in_executor(None, conn.recv)
+            except (EOFError, OSError):
+                break
+            kind, payload = message
+            if kind == "response":
+                self._on_response(worker, payload)
+            elif kind == "pong":
+                worker.stats_doc = payload.get("stats")
+            elif kind == "drained":
+                worker.stats_doc = payload.get("stats")
+                worker.metrics_doc = payload.get("metrics")
+                worker.spans = list(payload.get("spans", ()))
+                if worker.drained is not None and not worker.drained.done():
+                    worker.drained.set_result(payload)
+        if not worker.dead and self._state == "running":
+            self._on_worker_death(worker)
+
+    async def start(self) -> None:
+        """Spawn every worker and start the heartbeat sweep (idempotent)."""
+        if self._state in ("draining", "closed"):
+            raise ServiceClosedError("fleet has been drained; create a new one")
+        if self._state == "running":
+            return
+        self._state = "running"
+        for i in range(self.config.workers):
+            worker = self._spawn(i, generation=0)
+            self._workers[worker.name] = worker
+        self._heartbeat = asyncio.get_running_loop().create_task(
+            self._heartbeat_sweep()
+        )
+
+    async def __aenter__(self) -> "FleetCoordinator":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.drain()
+
+    def stats(self) -> "dict[str, int]":
+        """Fleet acceptance accounting; ``lost`` must always be 0."""
+        in_flight = len(self._inflight)
+        return {
+            "dispatched": self._dispatched,
+            "responded": self._responded,
+            "in_flight": in_flight,
+            "lost": self._dispatched - self._responded - in_flight,
+        }
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+
+    def _pick_shard(self, key: str, tried: "set[str]") -> "str | None":
+        dead = {name for name, w in self._workers.items() if w.dead} | tried
+        if self.config.router == "ring":
+            try:
+                return self.ring.route(key, exclude=dead)
+            except ConfigurationError:
+                return None
+        live = [n for n in self.ring.shards if n not in dead]
+        if not live:
+            return None
+        chosen = live[self._rr % len(live)]
+        self._rr += 1
+        return chosen
+
+    def _dispatch(self, entry: _InFlight) -> bool:
+        """Send ``entry`` to its shard; False when no live shard remains."""
+        shard = self._pick_shard(entry.key, entry.tried)
+        if shard is None:
+            return False
+        entry.shard = shard
+        self.sink.incr("fleet.routed")
+        self.sink.incr(f"fleet.routed.{shard}")
+        self._workers[shard].conn.send(
+            ("request", {"line": entry.line, "slot": entry.slot})
+        )
+        return True
+
+    async def handle_line(self, line: str, *, line_number: int = 0) -> str:
+        """Serve one raw JSONL request line; returns the response line.
+
+        Parse failures return typed ``invalid`` lines (never raise);
+        everything else is routed by solve fingerprint, deadline-armed,
+        and dispatched.  A crash mid-flight follows ``on_crash``.
+        """
+        if self._state == "created":
+            await self.start()
+        if self._state != "running":
+            return json.dumps(
+                {
+                    "id": f"line-{line_number}",
+                    "outcome": "rejected_closed",
+                    "error": f"fleet is {self._state}",
+                    "error_type": "ServiceClosedError",
+                },
+                sort_keys=True,
+            )
+        try:
+            parsed = parse_service_request(line, line_number=line_number)
+        except InvalidServiceRequestError as exc:
+            return invalid_line(exc)
+        self._dispatched += 1
+        self.sink.incr("fleet.dispatched")
+        budget = (
+            parsed.deadline_s
+            if parsed.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        slot = self.board.acquire()
+        loop = asyncio.get_running_loop()
+        entry = _InFlight(
+            request_id=parsed.request_id,
+            key=parsed.solve.fingerprint(),
+            line=line,
+            shard="",
+            slot=slot,
+            future=loop.create_future(),
+        )
+        if budget is not None:
+            entry.timer = loop.create_task(self._deadline_timer(slot, budget))
+        self._inflight[parsed.request_id] = entry
+        try:
+            if not self._dispatch(entry):
+                self.sink.incr("fleet.lost_shard")
+                return _lost_shard_line(parsed.request_id, "none-live")
+            return await entry.future
+        finally:
+            self._inflight.pop(parsed.request_id, None)
+            if entry.timer is not None:
+                entry.timer.cancel()
+            self.board.release(slot)
+            self._responded += 1
+
+    async def _deadline_timer(self, slot: int, budget: float) -> None:
+        await self.clock.sleep(budget)
+        self.board.set(slot, ABORT_DEADLINE)
+
+    def _on_response(self, worker: _Worker, payload: "dict[str, Any]") -> None:
+        entry = self._inflight.get(str(payload.get("id")))
+        if entry is None or entry.future.done():
+            return  # late/duplicate response (e.g. raced a reroute)
+        self.sink.incr(f"fleet.responded.{worker.name}")
+        entry.future.set_result(str(payload["line"]))
+
+    # ------------------------------------------------------------------
+    # crash + restart
+    # ------------------------------------------------------------------
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        if worker.dead:
+            return
+        worker.dead = True
+        self.sink.incr("fleet.crashes")
+        stranded = [e for e in self._inflight.values() if e.shard == worker.name]
+        with self.sink.span(
+            "fleet.crash", shard=worker.name, in_flight=len(stranded)
+        ):
+            for entry in stranded:
+                if entry.future.done():
+                    continue
+                entry.tried.add(worker.name)
+                if self.config.on_crash == "reroute" and self._dispatch(entry):
+                    self.sink.incr("fleet.rerouted")
+                    continue
+                self.sink.incr("fleet.lost_shard")
+                entry.future.set_result(
+                    _lost_shard_line(entry.request_id, worker.name)
+                )
+        if self._state == "running":
+            self._respawns.append(
+                asyncio.get_running_loop().create_task(self._respawn(worker))
+            )
+
+    async def _respawn(self, dead: _Worker) -> None:
+        await self.clock.sleep(self.config.restart_delay_s)
+        if self._state != "running":
+            return
+        replacement = self._spawn(dead.index, generation=dead.generation + 1)
+        self._workers[replacement.name] = replacement
+        self.sink.incr("fleet.restarts")
+
+    async def _heartbeat_sweep(self) -> None:
+        """Poll worker liveness; the pipe EOF path catches most deaths
+        first, this sweep is the backstop (and keeps pongs flowing)."""
+        seq = 0
+        while self._state == "running":
+            await self.clock.sleep(self.heartbeat_s)
+            seq += 1
+            for worker in list(self._workers.values()):
+                if worker.dead:
+                    continue
+                if not worker.process.is_alive():
+                    self._on_worker_death(worker)
+                    continue
+                try:
+                    worker.conn.send(("ping", seq))
+                except (OSError, ValueError):
+                    self._on_worker_death(worker)
+
+    # ------------------------------------------------------------------
+    # drain + rollup
+    # ------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Fleet-wide graceful drain; afterwards ``stats()["lost"] == 0``.
+
+        Finishes everything in flight, cancels respawns and the
+        heartbeat, asks each live worker to drain (collecting its
+        stats/metrics/spans), and joins the processes.  Idempotent.
+        """
+        if self._state in ("draining", "closed"):
+            return
+        self._state = "draining"
+        pending = [e.future for e in self._inflight.values()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+        for task in self._respawns:
+            task.cancel()
+        loop = asyncio.get_running_loop()
+        for worker in self._workers.values():
+            if worker.dead:
+                continue
+            worker.drained = loop.create_future()
+            try:
+                worker.conn.send(("drain", None))
+            except (OSError, ValueError):
+                worker.dead = True
+                worker.drained = None
+        waits = [
+            w.drained
+            for w in self._workers.values()
+            if w.drained is not None
+        ]
+        if waits:
+            await asyncio.wait(waits, timeout=30.0)
+        for worker in self._workers.values():
+            worker.conn.close()
+            if worker.process.is_alive():
+                await loop.run_in_executor(None, worker.process.join, 5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+        self._state = "closed"
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Fleet counters + every drained worker's registry, merged."""
+        merged = MetricsRegistry()
+        merged.merge(self.sink.metrics)
+        for worker in self._workers.values():
+            if worker.metrics_doc is not None:
+                merged.merge(MetricsRegistry.from_snapshot(worker.metrics_doc))
+        return merged
+
+    def journal_records(
+        self, meta: "dict[str, object] | None" = None
+    ) -> "list[dict[str, object]]":
+        """The combined shard-tagged journal across all drained workers."""
+        tagged = [
+            (name, self._workers[name].spans) for name in sorted(self._workers)
+        ]
+        tagged.append(
+            ("fleet", [span.to_dict() for span in self.sink.tracer.spans])
+        )
+        return combined_journal_records(
+            tagged, metrics=self.merged_metrics(), meta=meta
+        )
+
+    def fleet_report(self) -> "dict[str, Any]":
+        """One JSON document: fleet stats, per-shard stats, merged metrics."""
+        return {
+            "schema": 1,
+            "workers": self.config.workers,
+            "router": self.config.router,
+            "stats": self.stats(),
+            "shards": {
+                name: {
+                    "generation": worker.generation,
+                    "dead": worker.dead,
+                    "stats": worker.stats_doc,
+                }
+                for name, worker in sorted(self._workers.items())
+            },
+            "metrics": self.merged_metrics().snapshot(),
+        }
+
+
+async def serve_fleet_lines(
+    coordinator: FleetCoordinator, lines: "Iterable[str]"
+) -> "list[str]":
+    """Serve a JSONL stream through the fleet; responses in input order.
+
+    The fleet counterpart of :func:`repro.service.protocol.serve_lines`
+    — same skip-blank / invalid-line semantics, same diffable output
+    ordering, but each request lands on its consistent-hash shard.
+    """
+    loop = asyncio.get_running_loop()
+    tasks: "list[asyncio.Task[str]]" = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        tasks.append(
+            loop.create_task(coordinator.handle_line(line, line_number=number))
+        )
+    return [await task for task in tasks]

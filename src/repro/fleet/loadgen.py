@@ -1,0 +1,180 @@
+"""Fleet load soaks: the single-service harness, sharded.
+
+:func:`run_fleet_load` is :func:`repro.service.loadgen.run_load` for a
+:class:`~repro.fleet.simfleet.SimulatedFleet`: the same seeded request
+stream (via :func:`~repro.service.loadgen.build_requests`, so a fleet
+soak and a single-service soak over the same profile see *identical*
+requests), the same open/closed arrival disciplines, the same virtual
+clock determinism contract — plus crash injection and the per-shard
+locality block in :attr:`~repro.service.loadgen.LoadReport.shards`.
+
+``repro load --fleet N`` and ``make fleet-smoke`` sit on top of this;
+the double-run determinism gate compares two reports' ``outcome_by_id``
+maps byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.fleet.simfleet import CrashPlan, FleetConfig, SimulatedFleet
+from repro.obs.record import Recorder
+from repro.service.clock import Clock, RealClock, VirtualClock, run_virtual
+from repro.service.loadgen import LoadProfile, LoadReport, build_requests
+from repro.service.pipeline import (
+    DEFAULT_PRIORITIES,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.utils.rng import as_rng
+
+__all__ = ["run_fleet_load"]
+
+
+async def _drive_open(
+    fleet: SimulatedFleet,
+    clock: Clock,
+    profile: LoadProfile,
+    requests: "list[ServiceRequest]",
+) -> "list[ServiceResponse]":
+    """Open-loop driver: seeded exponential interarrivals at ``rate``/s."""
+    rng = as_rng(profile.seed + 1)  # same arrival stream as run_load
+    gaps = [float(g) for g in rng.exponential(1.0 / profile.rate, len(requests))]
+    tasks: list[asyncio.Task[ServiceResponse]] = []
+    loop = asyncio.get_running_loop()
+    for request, gap in zip(requests, gaps):
+        await clock.sleep(gap)
+        tasks.append(loop.create_task(fleet.handle(request)))
+    return list(await asyncio.gather(*tasks))
+
+
+async def _drive_closed(
+    fleet: SimulatedFleet,
+    profile: LoadProfile,
+    requests: "list[ServiceRequest]",
+) -> "list[ServiceResponse]":
+    """Closed-loop driver: ``concurrency`` clients, one in flight each."""
+    pending = list(reversed(requests))
+    responses: dict[str, ServiceResponse] = {}
+
+    async def client() -> None:
+        while pending:
+            request = pending.pop()
+            responses[request.request_id] = await fleet.handle(request)
+
+    await asyncio.gather(*(client() for _ in range(profile.concurrency)))
+    return [responses[r.request_id] for r in requests]
+
+
+def _quantiles(recorder: Recorder, name: str) -> "dict[str, float]":
+    hist = recorder.metrics.histogram(name)
+    if hist is None or hist.count == 0:
+        return {}
+    out: dict[str, float] = {}
+    for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+        value = hist.quantile(q)
+        if value is not None:
+            out[label] = float(value)
+    out["mean"] = hist.sum / hist.count
+    out["max"] = float(hist.max if hist.max is not None else 0.0)
+    return out
+
+
+def run_fleet_load(
+    profile: LoadProfile,
+    *,
+    config: "FleetConfig | None" = None,
+    crashes: "tuple[CrashPlan, ...] | list[CrashPlan]" = (),
+    virtual: bool = True,
+    journal_path: "str | None" = None,
+) -> LoadReport:
+    """Run one fleet soak and return its :class:`~repro.service.loadgen.LoadReport`.
+
+    A fresh fleet (every shard with its own engine and cold cache) is
+    built per run, driven with the profile's arrival schedule, crash
+    plans are armed on the shared clock, and the fleet drains before the
+    report is cut — so ``lost == 0`` holds even across an injected
+    mid-run shard crash.  ``virtual=True`` runs the whole soak on the
+    :class:`~repro.service.clock.VirtualClock` (deterministic,
+    near-instant); ``journal_path`` additionally writes the combined
+    shard-tagged journal.
+    """
+    base = config if config is not None else FleetConfig()
+    requests, costs = build_requests(profile, dict(DEFAULT_PRIORITIES))
+    fleet_config = FleetConfig(
+        workers=base.workers,
+        vnodes=base.vnodes,
+        router=base.router,
+        queue_capacity=base.queue_capacity,
+        policy=base.policy,
+        shard_workers=base.shard_workers,
+        default_deadline_s=base.default_deadline_s,
+        cost_model=lambda req: costs[req.request_id],
+        on_crash=base.on_crash,
+        restart_delay_s=base.restart_delay_s,
+        cache_entries=base.cache_entries,
+    )
+    clock: Clock = VirtualClock() if virtual else RealClock()
+    fleet = SimulatedFleet(fleet_config, clock=clock, crashes=crashes)
+
+    async def soak() -> "tuple[list[ServiceResponse], float]":
+        start = clock.now()
+        async with fleet:
+            if profile.mode == "open":
+                responses = await _drive_open(fleet, clock, profile, requests)
+            else:
+                responses = await _drive_closed(fleet, profile, requests)
+        return responses, clock.now() - start
+
+    async def main() -> "tuple[list[ServiceResponse], float]":
+        if isinstance(clock, VirtualClock):
+            return await run_virtual(clock, soak())
+        return await soak()
+
+    responses, duration = asyncio.run(main())
+
+    outcomes: dict[str, int] = {}
+    outcome_by_id: dict[str, str] = {}
+    for response in responses:
+        outcomes[response.outcome] = outcomes.get(response.outcome, 0) + 1
+        outcome_by_id[response.request_id] = response.outcome
+    stats = fleet.stats()
+    merged = Recorder(metrics=fleet.merged_metrics())
+    counters: dict[str, int] = {
+        name: value
+        for name, value in merged.metrics.counters().items()
+        if name.startswith(("service.", "fleet."))
+    }
+    shards: dict[str, Any] = fleet.shard_report()
+    if journal_path is not None:
+        from repro.fleet.simfleet import write_fleet_journal
+
+        write_fleet_journal(
+            journal_path,
+            fleet.journal_records(
+                meta={
+                    "kind": "fleet-load",
+                    "workers": fleet_config.workers,
+                    "router": fleet_config.router,
+                    "requests": profile.requests,
+                    "seed": profile.seed,
+                }
+            ),
+        )
+    return LoadReport(
+        requests=profile.requests,
+        seed=profile.seed,
+        mode=profile.mode,
+        virtual=virtual,
+        duration_s=duration,
+        accepted=stats["dispatched"],
+        responded=stats["responded"],
+        lost=stats["lost"],
+        outcomes=outcomes,
+        outcome_by_id=outcome_by_id,
+        latency=_quantiles(merged, "service.latency.seconds"),
+        queue_wait=_quantiles(merged, "service.queue_wait.seconds"),
+        counters=counters,
+        shards=shards,
+    )

@@ -1,0 +1,128 @@
+"""Consistent-hash ring: fingerprint -> shard routing with vnodes.
+
+The fleet's cache-locality story rests on this module: requests are
+keyed by their solve fingerprint, and the ring maps each fingerprint to
+one shard so repeated requests for a hot instance always land on the
+same worker — whose two-tier :class:`~repro.engine.cache.ResultCache`
+then answers them from memory.  Round-robin routing would spread a hot
+fingerprint over every shard, paying one cold solve *per shard* and
+evicting N times as much; the ``fleet.shard_affinity`` perf workload
+pins the measured gap.
+
+Each shard contributes :data:`DEFAULT_VNODES` virtual points placed by
+a keyed BLAKE2b hash (stable across processes and Python versions —
+never the salted builtin ``hash``).  Lookups bisect the sorted point
+list and walk clockwise; :meth:`HashRing.route` accepts an ``exclude``
+set so a dead shard's keys spill to the next live point on the ring
+(and *only* its keys move — the minimal-remapping property the fleet's
+restart path and the property tests both rely on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "stable_hash_64"]
+
+#: virtual nodes per shard; 128 keeps the max/min shard-load ratio
+#: under ~1.6 for small fleets (the balance property test's bound).
+DEFAULT_VNODES = 128
+
+
+def stable_hash_64(text: str) -> int:
+    """64-bit BLAKE2b hash of ``text`` — stable across processes.
+
+    The builtin ``hash`` is salted per interpreter (PYTHONHASHSEED), so
+    ring placement built on it would differ between the coordinator and
+    its workers; every ring point and key goes through this instead.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over named shards.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard names (order-insensitive; placement depends only
+        on the names themselves).
+    vnodes:
+        Virtual points per shard.  More vnodes = better balance at the
+        cost of a larger sorted point list; lookups stay O(log(S * V)).
+    """
+
+    def __init__(
+        self, shards: "list[str] | tuple[str, ...]" = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._shards: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for shard in shards:
+            self.add(shard)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    @property
+    def shards(self) -> "list[str]":
+        """Member shard names, sorted."""
+        return sorted(self._shards)
+
+    def add(self, shard: str) -> None:
+        """Add ``shard`` (all its vnodes) to the ring."""
+        if not shard:
+            raise ConfigurationError("shard name must be non-empty")
+        if shard in self._shards:
+            raise ConfigurationError(f"shard {shard!r} is already on the ring")
+        self._shards.add(shard)
+        for v in range(self.vnodes):
+            self._points.append((stable_hash_64(f"{shard}#{v}"), shard))
+        self._points.sort()
+
+    def remove(self, shard: str) -> None:
+        """Remove ``shard``; only its keys remap (to their next points)."""
+        if shard not in self._shards:
+            raise ConfigurationError(f"shard {shard!r} is not on the ring")
+        self._shards.discard(shard)
+        self._points = [(p, s) for p, s in self._points if s != shard]
+
+    def route(self, key: str, *, exclude: "frozenset[str] | set[str]" = frozenset()) -> str:
+        """Shard owning ``key``: first ring point clockwise of its hash.
+
+        ``exclude`` skips (temporarily) dead shards without mutating the
+        ring, so keys owned by live shards keep their placement and only
+        the dead shard's keys spill to their next live point — restart
+        then restores the original routing exactly.
+        """
+        candidates = self._shards - set(exclude)
+        if not candidates:
+            raise ConfigurationError(
+                "no live shard to route to "
+                f"(ring has {sorted(self._shards)}, excluded {sorted(exclude)})"
+            )
+        point = stable_hash_64(key)
+        start = bisect_right(self._points, (point, "￿"))
+        n = len(self._points)
+        for i in range(n):
+            _, shard = self._points[(start + i) % n]
+            if shard in candidates:
+                return shard
+        raise ConfigurationError("unreachable: candidates verified non-empty")
+
+    def load_map(self, keys: "list[str]") -> "dict[str, int]":
+        """Keys-per-shard histogram for ``keys`` (balance diagnostics)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

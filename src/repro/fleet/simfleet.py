@@ -1,0 +1,644 @@
+"""The deterministic in-process fleet: N sharded services, one clock.
+
+The real fleet (:mod:`repro.fleet.coordinator`) runs workers in child
+processes and therefore cannot run under the
+:class:`~repro.service.clock.VirtualClock` — cross-process scheduling
+is not a pure function of the workload.  This module is the fleet's
+*simulation twin*: the same consistent-hash routing, the same
+abort-flag protocol (via :class:`~repro.fleet.abort.LocalAbortBoard`),
+the same crash/restart and drain semantics — but every shard is an
+in-process :class:`~repro.service.pipeline.SolveService` sharing one
+clock, so a 2,000-request soak with a mid-run shard crash executes in
+milliseconds and produces byte-identical outcome maps across runs.
+``repro load --fleet N --check`` and ``make fleet-smoke`` are built on
+it.
+
+Shard lifecycle under crash injection:
+
+* a :class:`CrashPlan` kills shard *i* at virtual time *t*: its service
+  is hard-stopped (:meth:`~repro.service.pipeline.SolveService.kill`),
+  its in-flight dispatches are cancelled, and each affected request is
+  either **re-routed** to the next live shard on the ring or completed
+  as a typed ``lost_shard`` response — never silently dropped;
+* while the shard is down (the modelled detection + restart window),
+  the ring's ``exclude`` routing spills *only its keys* to their next
+  points — every other shard's cache stays warm;
+* the replacement shard comes back cold on the same ring position, so
+  routing converges to the original placement the moment it is live.
+
+Observability rolls up at drain: per-shard ``service.*`` registries
+merge into one fleet registry
+(:meth:`~repro.obs.metrics.MetricsRegistry.merge` with identical-bucket
+validation) and per-shard spans concatenate into a single combined
+journal with a ``shard`` attribute on every span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import MatchingEngine
+from repro.exceptions import ConfigurationError, ReproError, ServiceClosedError
+from repro.fleet.abort import ABORT_DEADLINE, LocalAbortBoard, make_abort_check
+from repro.fleet.ring import DEFAULT_VNODES, HashRing
+from repro.obs.journal import JOURNAL_SCHEMA
+from repro.obs.metrics import DEFAULT_TIME_EDGES, MetricsRegistry
+from repro.obs.record import Recorder
+from repro.service.clock import Clock, RealClock
+from repro.service.pipeline import (
+    DEFAULT_PRIORITIES,
+    OUTCOMES,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+    SolveService,
+)
+
+__all__ = [
+    "FLEET_OUTCOMES",
+    "ROUTERS",
+    "CrashPlan",
+    "FleetConfig",
+    "SimulatedFleet",
+    "combined_journal_records",
+    "write_fleet_journal",
+]
+
+#: every terminal outcome a fleet response can carry: the service
+#: outcomes plus ``lost_shard`` (in flight on a crashed shard, not
+#: re-routed).
+FLEET_OUTCOMES = OUTCOMES + ("lost_shard",)
+
+#: request-routing disciplines.  ``ring`` is the production consistent
+#: hash; ``round_robin`` exists as the locality-blind baseline the
+#: ``fleet.shard_affinity`` perf workload measures against.
+ROUTERS = ("ring", "round_robin")
+
+#: crash-recovery disciplines for requests in flight on a dead shard.
+ON_CRASH = ("reroute", "lost_shard")
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Deterministic crash injection: kill ``shard_index`` at ``at_s``.
+
+    ``at_s`` is a clock reading (virtual seconds under the load
+    harness).  One plan kills one shard once; the fleet restarts it
+    after the configured detection window.
+    """
+
+    shard_index: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.shard_index < 0:
+            raise ConfigurationError(
+                f"shard_index must be >= 0, got {self.shard_index}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError(f"at_s must be >= 0, got {self.at_s}")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunables for one fleet (simulated or real).
+
+    Attributes
+    ----------
+    workers:
+        Shard count (each shard hosts a full service + engine + cache).
+    vnodes:
+        Virtual points per shard on the consistent-hash ring.
+    router:
+        ``ring`` (consistent hashing on the solve fingerprint) or
+        ``round_robin`` (locality-blind baseline).
+    queue_capacity / policy / shard_workers:
+        Per-shard :class:`~repro.service.pipeline.ServiceConfig` knobs.
+    default_deadline_s:
+        Fleet-enforced deadline budget for requests without one; the
+        coordinator owns the timer and aborts through the shared flag.
+    cost_model:
+        Optional modelled service time, threaded into every shard.
+    on_crash:
+        ``reroute`` re-dispatches a dead shard's in-flight requests to
+        the next live shard; ``lost_shard`` completes them with the
+        typed ``lost_shard`` outcome.
+    restart_delay_s:
+        Modelled crash-detection + restart window; while it runs, the
+        dead shard's keys spill to their next ring points.
+    cache_entries:
+        Per-shard in-memory result-cache bound.
+    """
+
+    workers: int = 4
+    vnodes: int = DEFAULT_VNODES
+    router: str = "ring"
+    queue_capacity: int = 64
+    policy: str = "reject"
+    shard_workers: int = 2
+    default_deadline_s: "float | None" = None
+    cost_model: "Callable[[ServiceRequest], float] | None" = None
+    on_crash: str = "reroute"
+    restart_delay_s: float = 0.05
+    cache_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.router not in ROUTERS:
+            raise ConfigurationError(
+                f"unknown router {self.router!r}; choose from {ROUTERS}"
+            )
+        if self.on_crash not in ON_CRASH:
+            raise ConfigurationError(
+                f"unknown on_crash policy {self.on_crash!r}; choose from {ON_CRASH}"
+            )
+        if self.restart_delay_s < 0:
+            raise ConfigurationError(
+                f"restart_delay_s must be >= 0, got {self.restart_delay_s}"
+            )
+
+    def service_config(self) -> ServiceConfig:
+        """The per-shard service configuration this fleet config implies.
+
+        Deadlines are deliberately *not* delegated to the shard: the
+        fleet owns the timer and cancels through the abort flag, which
+        is the protocol that also works across a process boundary.
+        """
+        return ServiceConfig(
+            queue_capacity=self.queue_capacity,
+            policy=self.policy,
+            workers=self.shard_workers,
+            priorities=dict(DEFAULT_PRIORITIES),
+            cost_model=self.cost_model,
+        )
+
+
+@dataclass
+class _Shard:
+    """One live shard: service + engine + its own observability."""
+
+    name: str
+    service: SolveService
+    engine: MatchingEngine
+    recorder: Recorder
+    dead: bool = False
+    generation: int = 0
+    routed: int = 0
+    #: request_id -> the inner dispatch task, cancelled on crash.
+    pending: dict[str, "asyncio.Task[ServiceResponse]"] = field(default_factory=dict)
+
+
+def _lost_shard_response(request: ServiceRequest, shard: str) -> ServiceResponse:
+    """The typed terminal response for a request that died with its shard."""
+    return ServiceResponse(
+        request_id=request.request_id,
+        outcome="lost_shard",
+        priority=request.priority,
+        client=request.client,
+        error=f"request {request.request_id!r}: shard {shard!r} crashed mid-flight",
+        error_type="LostShardError",
+        stage="shard",
+    )
+
+
+class SimulatedFleet:
+    """N sharded solve services behind one consistent-hash router.
+
+    Parameters
+    ----------
+    config:
+        :class:`FleetConfig` tunables.
+    clock:
+        Shared time source for every shard (pass a
+        :class:`~repro.service.clock.VirtualClock` for deterministic
+        soaks; defaults to real time).
+    crashes:
+        :class:`CrashPlan` injections, armed at :meth:`start`.
+
+    The fleet is an async context manager: ``async with`` drains on
+    exit.  ``stats()["lost"]`` must be 0 after every drain — the fleet
+    extends the single-service zero-lost invariant across shard crashes
+    by construction (every dispatched request terminates as a normal
+    response, a typed rejection, a re-routed solve, or ``lost_shard``).
+    """
+
+    def __init__(
+        self,
+        config: "FleetConfig | None" = None,
+        *,
+        clock: "Clock | None" = None,
+        crashes: "tuple[CrashPlan, ...] | list[CrashPlan]" = (),
+    ) -> None:
+        self.config = config if config is not None else FleetConfig()
+        self.clock = clock if clock is not None else RealClock()
+        self.crashes = tuple(crashes)
+        for plan in self.crashes:
+            if plan.shard_index >= self.config.workers:
+                raise ConfigurationError(
+                    f"crash plan targets shard {plan.shard_index} but the "
+                    f"fleet has {self.config.workers} workers"
+                )
+        self.sink = Recorder()  # fleet-level metrics + spans
+        self.ring = HashRing(
+            [self._shard_name(i) for i in range(self.config.workers)],
+            vnodes=self.config.vnodes,
+        )
+        self.board = LocalAbortBoard(
+            max(1, self.config.workers * self.config.queue_capacity * 2)
+        )
+        self._shards: dict[str, _Shard] = {}
+        #: crashed generations, kept so their spans/metrics still roll up
+        self._retired: list[_Shard] = []
+        self._rr = 0  # round-robin cursor (router="round_robin")
+        self._state = "created"
+        self._dispatched = 0
+        self._responded = 0
+        self._crash_tasks: list[asyncio.Task[None]] = []
+        self._restart_tasks: list[asyncio.Task[None]] = []
+
+    @staticmethod
+    def _shard_name(index: int) -> str:
+        return f"shard-{index}"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: created / running / draining / closed."""
+        return self._state
+
+    def _build_shard(self, name: str, generation: int = 0) -> _Shard:
+        recorder = Recorder()
+        recorder.metrics.register_histogram(
+            "service.latency.seconds", DEFAULT_TIME_EDGES
+        )
+        recorder.metrics.register_histogram(
+            "service.queue_wait.seconds", DEFAULT_TIME_EDGES
+        )
+        engine = MatchingEngine(
+            backend="serial",
+            cache=ResultCache(max_entries=self.config.cache_entries),
+            sink=recorder,
+        )
+        service = SolveService(
+            engine,
+            config=self.config.service_config(),
+            clock=self.clock,
+            sink=recorder,
+        )
+        return _Shard(
+            name=name,
+            service=service,
+            engine=engine,
+            recorder=recorder,
+            generation=generation,
+        )
+
+    def start(self) -> None:
+        """Build and start every shard; arm the crash plans (idempotent)."""
+        if self._state in ("draining", "closed"):
+            raise ServiceClosedError("fleet has been drained; create a new one")
+        if self._state == "running":
+            return
+        self._state = "running"
+        loop = asyncio.get_running_loop()
+        for i in range(self.config.workers):
+            name = self._shard_name(i)
+            shard = self._build_shard(name)
+            shard.service.start()
+            self._shards[name] = shard
+        for plan in self.crashes:
+            self._crash_tasks.append(loop.create_task(self._crash_after(plan)))
+
+    async def drain(self) -> None:
+        """Fleet-wide graceful drain: finish everything, join every shard.
+
+        Admission closes first; every dispatched request completes
+        (response, typed rejection, re-route, or ``lost_shard``), then
+        each live shard's own zero-lost drain runs, pending restarts are
+        cancelled, and engines shut down.  Idempotent.
+        """
+        if self._state == "closed":
+            return
+        self._state = "draining"
+        pending = [
+            task for shard in self._shards.values() for task in shard.pending.values()
+        ]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for task in self._crash_tasks + self._restart_tasks:
+            task.cancel()
+        if self._crash_tasks or self._restart_tasks:
+            await asyncio.gather(
+                *self._crash_tasks, *self._restart_tasks, return_exceptions=True
+            )
+        self._crash_tasks = []
+        self._restart_tasks = []
+        for shard in self._shards.values():
+            if not shard.dead:
+                await shard.service.drain()
+            shard.engine.close()
+        self._state = "closed"
+
+    async def __aenter__(self) -> "SimulatedFleet":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.drain()
+
+    def stats(self) -> "dict[str, int]":
+        """Fleet-level acceptance accounting (zero-lost invariant).
+
+        ``dispatched`` counts requests entering the router;
+        ``responded`` counts terminal responses returned to callers.
+        ``lost`` must be 0 at all times — a crashed shard converts its
+        in-flight work to re-routes or ``lost_shard`` responses, never
+        to silence.
+        """
+        in_flight = sum(len(s.pending) for s in self._shards.values())
+        return {
+            "dispatched": self._dispatched,
+            "responded": self._responded,
+            "in_flight": in_flight,
+            "lost": self._dispatched - self._responded - in_flight,
+        }
+
+    # ------------------------------------------------------------------
+    # routing + dispatch
+    # ------------------------------------------------------------------
+
+    def _dead_names(self) -> "set[str]":
+        return {name for name, shard in self._shards.items() if shard.dead}
+
+    def route_key(self, request: ServiceRequest) -> str:
+        """The routing key: the request's content-addressed fingerprint."""
+        return request.solve.fingerprint()
+
+    def _pick_shard(self, request: ServiceRequest, exclude: "set[str]") -> str:
+        dead = self._dead_names() | exclude
+        if self.config.router == "ring":
+            return self.ring.route(self.route_key(request), exclude=dead)
+        live = [n for n in self.ring.shards if n not in dead]
+        if not live:
+            raise ConfigurationError("no live shard to route to")
+        chosen = live[self._rr % len(live)]
+        self._rr += 1
+        return chosen
+
+    async def handle(self, request: ServiceRequest) -> ServiceResponse:
+        """Route ``request`` to its shard and return the terminal response.
+
+        Rejections surface as typed outcome responses (the
+        :meth:`~repro.service.pipeline.SolveService.handle` contract).
+        A crash mid-flight follows the configured ``on_crash`` policy;
+        re-routing excludes the crashed shard for that retry only.
+        """
+        if self._state == "created":
+            self.start()
+        if self._state != "running":
+            self.sink.incr("fleet.rejected.closed")
+            return ServiceResponse(
+                request_id=request.request_id,
+                outcome="rejected_closed",
+                priority=request.priority,
+                client=request.client,
+                error=f"request {request.request_id!r}: fleet is {self._state}",
+                error_type="ServiceClosedError",
+            )
+        self._dispatched += 1
+        self.sink.incr("fleet.dispatched")
+        tried: set[str] = set()
+        while True:
+            try:
+                name = self._pick_shard(request, tried)
+            except ConfigurationError:
+                # every shard dead or already tried: terminal lost_shard
+                self.sink.incr("fleet.lost_shard")
+                response = _lost_shard_response(request, "|".join(sorted(tried)))
+                self._responded += 1
+                return response
+            shard = self._shards[name]
+            shard.routed += 1
+            self.sink.incr("fleet.routed")
+            self.sink.incr(f"fleet.routed.{name}")
+            response = await self._dispatch_on(shard, request)
+            if response is not None:
+                self._responded += 1
+                self.sink.incr(f"fleet.outcome.{response.outcome}")
+                return response
+            # shard died under this request
+            tried.add(name)
+            if self.config.on_crash == "lost_shard":
+                self.sink.incr("fleet.lost_shard")
+                self._responded += 1
+                return _lost_shard_response(request, name)
+            self.sink.incr("fleet.rerouted")
+
+    async def _dispatch_on(
+        self, shard: _Shard, request: ServiceRequest
+    ) -> "ServiceResponse | None":
+        """Run ``request`` on ``shard``; ``None`` means the shard died.
+
+        The fleet owns the deadline: the inner request carries no
+        ``deadline_s`` but samples an abort-board slot the fleet's
+        timer flags at expiry — the exact protocol the process fleet
+        uses, so the simulation exercises the same code path.
+        """
+        budget = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        slot = self.board.acquire()
+        inner = ServiceRequest(
+            request_id=request.request_id,
+            solve=request.solve,
+            priority=request.priority,
+            client=request.client,
+            deadline_s=None,
+            abort_check=make_abort_check(self.board.flags(), slot, request.request_id),
+        )
+        loop = asyncio.get_running_loop()
+        timer: "asyncio.Task[None] | None" = None
+        if budget is not None:
+            timer = loop.create_task(self._deadline_timer(slot, budget))
+        task = loop.create_task(shard.service.handle(inner))
+        shard.pending[request.request_id] = task
+        try:
+            return await task
+        except asyncio.CancelledError:
+            if shard.dead:
+                return None  # crash path: the caller applies on_crash
+            raise
+        except ReproError:
+            # handle() maps ReproErrors already; anything escaping here
+            # is a dead-shard artifact (closed queue mid-dispatch)
+            if shard.dead:
+                return None
+            raise
+        finally:
+            shard.pending.pop(request.request_id, None)
+            if timer is not None:
+                timer.cancel()
+            self.board.release(slot)
+
+    async def _deadline_timer(self, slot: int, budget: float) -> None:
+        """The coordinator-side deadline: flag the slot after ``budget``."""
+        await self.clock.sleep(budget)
+        self.board.set(slot, ABORT_DEADLINE)
+
+    # ------------------------------------------------------------------
+    # crash + restart
+    # ------------------------------------------------------------------
+
+    async def _crash_after(self, plan: CrashPlan) -> None:
+        await self.clock.sleep(plan.at_s)
+        self.crash(self._shard_name(plan.shard_index))
+
+    def crash(self, name: str) -> None:
+        """Kill shard ``name`` now: cancel its work, schedule the restart."""
+        shard = self._shards[name]
+        if shard.dead:
+            return
+        shard.dead = True
+        self.sink.incr("fleet.crashes")
+        with self.sink.span(
+            "fleet.crash", shard=name, in_flight=len(shard.pending)
+        ):
+            shard.service.kill()
+            shard.engine.close()
+            for task in list(shard.pending.values()):
+                task.cancel()
+        if self._state == "running":
+            self._restart_tasks.append(
+                asyncio.get_running_loop().create_task(self._restart(name))
+            )
+
+    async def _restart(self, name: str) -> None:
+        """Modelled detection + restart: a cold replacement on the same ring slot."""
+        await self.clock.sleep(self.config.restart_delay_s)
+        old = self._shards[name]
+        self._retired.append(old)
+        replacement = self._build_shard(name, generation=old.generation + 1)
+        replacement.routed = old.routed
+        replacement.service.start()
+        self._shards[name] = replacement
+        self.sink.incr("fleet.restarts")
+
+    # ------------------------------------------------------------------
+    # observability rollup
+    # ------------------------------------------------------------------
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """One registry: fleet counters + every shard's ``service.*`` block.
+
+        Built on :meth:`~repro.obs.metrics.MetricsRegistry.merge`, so
+        histogram bucket edges are validated identical across shards —
+        the structural guarantee that makes the merged latency
+        quantiles meaningful.
+        """
+        merged = MetricsRegistry()
+        merged.merge(self.sink.metrics)
+        for shard in self._retired:
+            merged.merge(shard.recorder.metrics)
+        for shard in self._shards.values():
+            merged.merge(shard.recorder.metrics)
+        return merged
+
+    def shard_report(self) -> "dict[str, dict[str, Any]]":
+        """Per-shard routing, acceptance, and warm-cache locality stats."""
+        report: dict[str, dict[str, Any]] = {}
+        for name in sorted(self._shards):
+            shard = self._shards[name]
+            stats = shard.engine.cache.stats
+            lookups = stats.hits + stats.misses
+            service_stats = shard.service.stats()
+            report[name] = {
+                "routed": shard.routed,
+                "generation": shard.generation,
+                "responded": service_stats["responded"],
+                "cache_hits": stats.hits,
+                "cache_misses": stats.misses,
+                "cache_hit_rate": (stats.hits / lookups) if lookups else 0.0,
+                "dead": shard.dead,
+            }
+        return report
+
+    def journal_records(self, meta: "dict[str, object] | None" = None) -> list:
+        """The combined fleet journal (see :func:`combined_journal_records`)."""
+
+        def spans_of(recorder: Recorder) -> "list[dict[str, object]]":
+            return [span.to_dict() for span in recorder.tracer.spans]
+
+        tagged = [
+            (f"{shard.name}@{shard.generation}", spans_of(shard.recorder))
+            for shard in self._retired
+        ]
+        tagged.extend(
+            (shard.name, spans_of(shard.recorder))
+            for _, shard in sorted(self._shards.items())
+        )
+        tagged.append(("fleet", spans_of(self.sink)))
+        return combined_journal_records(
+            tagged, metrics=self.merged_metrics(), meta=meta
+        )
+
+
+def combined_journal_records(
+    shard_spans: "list[tuple[str, list[dict[str, Any]]]]",
+    *,
+    metrics: "MetricsRegistry | None" = None,
+    meta: "dict[str, object] | None" = None,
+) -> "list[dict[str, object]]":
+    """Concatenate per-shard traces into one shard-tagged journal.
+
+    ``shard_spans`` pairs a shard name with that shard's span payloads
+    (:meth:`repro.obs.trace.Span.to_dict` dicts — which is also exactly
+    what a worker process ships back over its pipe at drain).  Every
+    span record gains a ``shard`` attribute and its indexes are rebased
+    so the combined stream has globally unique, dense span ids — the
+    same line grammar :func:`repro.obs.journal.validate_journal` checks,
+    with exactly one merged metrics line.
+    """
+    records: list[dict[str, object]] = [
+        {"event": "run", "schema": JOURNAL_SCHEMA, "meta": dict(meta or {})}
+    ]
+    offset = 0
+    total = 0
+    for shard_name, spans in shard_spans:
+        for span in spans:
+            record: dict[str, object] = dict(span)
+            record["event"] = "span"
+            record["index"] = int(record["index"]) + offset  # type: ignore[arg-type]
+            if record["parent"] is not None:
+                record["parent"] = int(record["parent"]) + offset  # type: ignore[arg-type]
+            record["children"] = [int(c) + offset for c in record["children"]]  # type: ignore[union-attr]
+            attributes = dict(record["attributes"])  # type: ignore[arg-type]
+            attributes["shard"] = shard_name
+            record["attributes"] = attributes
+            records.append(record)
+        offset += len(spans)
+        total += len(spans)
+    registry = metrics if metrics is not None else MetricsRegistry()
+    records.append({"event": "metrics", "snapshot": registry.snapshot()})
+    records.append({"event": "end", "spans": total, "lines": total + 3})
+    return records
+
+
+def write_fleet_journal(
+    path: "str | Any", records: "list[dict[str, object]]"
+) -> int:
+    """Write combined journal ``records`` as JSONL; returns the line count."""
+    from pathlib import Path
+
+    text = "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n"
+    Path(path).write_text(text)
+    return len(records)

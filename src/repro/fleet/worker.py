@@ -1,0 +1,179 @@
+"""The fleet worker: one child process hosting a full solve service.
+
+Each worker owns a complete serving stack — a
+:class:`~repro.engine.jobs.MatchingEngine` with its own two-tier
+:class:`~repro.engine.cache.ResultCache`, a
+:class:`~repro.service.pipeline.SolveService`, and a
+:class:`~repro.obs.record.Recorder` — and speaks a tiny message
+protocol with the coordinator over a :mod:`multiprocessing` pipe:
+
+coordinator -> worker
+    ``("request", {"line": <raw JSONL request>, "slot": int})``
+        serve one request; the slot indexes the shared abort-flag array
+        the worker samples between pipeline and engine stages;
+    ``("ping", seq)``
+        heartbeat probe;
+    ``("drain", None)``
+        graceful shutdown: finish everything, ship observability, exit.
+
+worker -> coordinator
+    ``("response", {"id": ..., "line": <response JSONL>})``
+    ``("pong", {"seq": ..., "stats": service.stats()})``
+    ``("drained", {"stats": ..., "metrics": <registry snapshot>,
+    "spans": [<span dicts>]})``
+
+Requests travel as raw protocol lines (re-parsed here with
+:func:`~repro.service.protocol.parse_service_request`), never as
+pickled objects — the wire format is the contract, and a malformed
+line degrades to a typed ``invalid`` response exactly as it would on a
+single-service ``repro serve``.  The request's own ``deadline_s`` is
+*stripped* before dispatch: the coordinator owns every deadline timer
+and cancels through the shared abort flag, so worker clocks never need
+to agree with the coordinator's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import MatchingEngine
+from repro.exceptions import InvalidServiceRequestError
+from repro.fleet.abort import make_abort_check
+from repro.obs.metrics import DEFAULT_TIME_EDGES
+from repro.obs.record import Recorder
+from repro.service.pipeline import ServiceConfig, ServiceRequest, SolveService
+from repro.service.protocol import (
+    invalid_line,
+    parse_service_request,
+    response_line,
+)
+
+__all__ = ["worker_main"]
+
+
+def worker_main(
+    index: int,
+    conn: Any,
+    flags: "Sequence[int]",
+    config_doc: "dict[str, Any]",
+    cache_dir: "str | None" = None,
+) -> None:
+    """Child-process entry point: serve until drained or the pipe closes.
+
+    ``conn`` is the worker end of the coordinator's duplex pipe;
+    ``flags`` is the shared abort array (zero-copy view of the
+    coordinator's :class:`~repro.fleet.abort.SharedAbortBoard`);
+    ``config_doc`` carries the plain-data
+    :class:`~repro.service.pipeline.ServiceConfig` fields (the cost
+    model is not picklable and fleets do not model costs on real
+    clocks).  ``cache_dir`` optionally points every worker at one
+    shared disk cache directory — safe because the cache's writes are
+    atomic per writer.
+    """
+    asyncio.run(_serve(index, conn, flags, config_doc, cache_dir))
+
+
+async def _serve(
+    index: int,
+    conn: Any,
+    flags: "Sequence[int]",
+    config_doc: "dict[str, Any]",
+    cache_dir: "str | None",
+) -> None:
+    recorder = Recorder()
+    recorder.metrics.register_histogram("service.latency.seconds", DEFAULT_TIME_EDGES)
+    recorder.metrics.register_histogram(
+        "service.queue_wait.seconds", DEFAULT_TIME_EDGES
+    )
+    engine = MatchingEngine(
+        backend="serial",
+        cache=ResultCache(
+            max_entries=int(config_doc.get("cache_entries", 1024)),
+            disk_dir=cache_dir,
+        ),
+        sink=recorder,
+    )
+    service = SolveService(
+        engine,
+        config=ServiceConfig(
+            queue_capacity=int(config_doc.get("queue_capacity", 64)),
+            policy=str(config_doc.get("policy", "reject")),
+            workers=int(config_doc.get("workers", 2)),
+        ),
+        sink=recorder,
+    )
+    service.start()
+
+    loop = asyncio.get_running_loop()
+    inbox: "asyncio.Queue[tuple[str, Any]]" = asyncio.Queue()
+
+    def pump() -> None:
+        # blocking pipe reads happen on this thread; messages hop onto
+        # the event loop thread-safely.  EOF means the coordinator is
+        # gone (or crashed) — treated as an implicit drain.
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                loop.call_soon_threadsafe(inbox.put_nowait, ("eof", None))
+                return
+            loop.call_soon_threadsafe(inbox.put_nowait, message)
+
+    threading.Thread(target=pump, name=f"fleet-worker-{index}-pump", daemon=True).start()
+
+    async def handle_one(payload: "dict[str, Any]") -> None:
+        line = str(payload["line"])
+        slot = int(payload["slot"])
+        try:
+            parsed = parse_service_request(line)
+        except InvalidServiceRequestError as exc:
+            conn.send(("response", {"id": exc.request_id, "line": invalid_line(exc)}))
+            return
+        request = ServiceRequest(
+            request_id=parsed.request_id,
+            solve=parsed.solve,
+            priority=parsed.priority,
+            client=parsed.client,
+            deadline_s=None,  # the coordinator owns the timer
+            abort_check=make_abort_check(flags, slot, parsed.request_id),
+        )
+        response = await service.handle(request)
+        conn.send(
+            ("response", {"id": request.request_id, "line": response_line(response)})
+        )
+
+    pending: "set[asyncio.Task[None]]" = set()
+    try:
+        while True:
+            kind, payload = await inbox.get()
+            if kind == "request":
+                task = loop.create_task(handle_one(payload))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            elif kind == "ping":
+                conn.send(("pong", {"seq": payload, "stats": service.stats()}))
+            elif kind in ("drain", "eof"):
+                break
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        await service.drain()
+        engine.close()
+        if kind == "drain":
+            conn.send(
+                (
+                    "drained",
+                    {
+                        "stats": service.stats(),
+                        "metrics": recorder.metrics.snapshot(),
+                        "spans": [span.to_dict() for span in recorder.tracer.spans],
+                    },
+                )
+            )
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -211,6 +211,48 @@ class MetricsRegistry(ObsSink):
 
     # -- aggregation and export ----------------------------------------
 
+    @classmethod
+    def from_snapshot(cls, doc: "dict[str, object]") -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` document.
+
+        The inverse of :meth:`snapshot`, used by the fleet coordinator
+        to roll worker-process metrics (which arrive as plain JSON) back
+        into live registries for :meth:`merge`.  Histogram edges are
+        restored verbatim, so merging a round-tripped registry hits the
+        same identical-bucket validation as a live one.
+        """
+        registry = cls()
+        counters = doc.get("counters")
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                registry.incr(str(name), int(value))
+        gauges = doc.get("gauges")
+        if isinstance(gauges, dict):
+            for name, value in gauges.items():
+                registry.gauge(str(name), float(value))
+        histograms = doc.get("histograms")
+        if isinstance(histograms, dict):
+            for name, hdoc in histograms.items():
+                if not isinstance(hdoc, dict):
+                    raise ConfigurationError(
+                        f"snapshot histogram {name!r} is not an object"
+                    )
+                hist = Histogram(
+                    edges=tuple(float(e) for e in hdoc["edges"]),
+                    counts=[int(c) for c in hdoc["counts"]],
+                    count=int(hdoc["count"]),
+                    sum=float(hdoc["sum"]),
+                    min=None if hdoc["min"] is None else float(hdoc["min"]),
+                    max=None if hdoc["max"] is None else float(hdoc["max"]),
+                )
+                if len(hist.counts) != len(hist.edges) + 1:
+                    raise ConfigurationError(
+                        f"snapshot histogram {name!r} has {len(hist.counts)} "
+                        f"buckets for {len(hist.edges)} edges"
+                    )
+                registry._histograms[str(name)] = hist
+        return registry
+
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other`` into this registry.
 

@@ -37,6 +37,7 @@ from repro.perf.reference import (
     reference_gs_textbook,
     reference_rank_rows,
 )
+from repro.utils.rng import as_rng
 
 __all__ = ["Workload", "WORKLOADS", "resolve_workloads"]
 
@@ -321,6 +322,70 @@ def _run_engine_batch(state: Mapping[str, object]) -> dict[str, int]:
     return {name: tel.count(name) - before[name] for name in sorted(before)}
 
 
+def _build_fleet_state() -> Mapping[str, object]:
+    """A Zipfian request stream plus its ring and round-robin shard plans.
+
+    30 distinct small instances, 160 requests drawn with Zipf(s=1.1)
+    popularity (seeded), and two precomputed dispatch plans over 4
+    shards: consistent-hash routing on the solve fingerprint versus
+    locality-blind round-robin.  The run/reference pair executes the
+    *same* requests against the same number of fresh engines — only the
+    placement differs, so the measured gap is purely warm-cache hit
+    rate.
+    """
+    # lazy import: fleet sits above perf in the layering table, and this
+    # workload only needs the ring, not the serving machinery
+    from repro.fleet.ring import HashRing
+
+    rng = as_rng(_SEED + 20)
+    pool = [random_instance(3, 6, seed=_SEED + 100 + i) for i in range(30)]
+    raw = [1.0 / (i + 1) ** 1.1 for i in range(len(pool))]
+    total = sum(raw)
+    weights = [w / total for w in raw]
+    requests = [
+        SolveRequest(
+            instance=pool[int(rng.choice(len(pool), p=weights))],
+            label=f"fleet{i}",
+        )
+        for i in range(160)
+    ]
+    shards = [f"shard-{i}" for i in range(4)]
+    ring = HashRing(shards)
+    index = {name: i for i, name in enumerate(shards)}
+    ring_plan = [index[ring.route(r.fingerprint())] for r in requests]
+    rr_plan = [i % len(shards) for i in range(len(requests))]
+    return {"requests": requests, "ring_plan": ring_plan, "rr_plan": rr_plan}
+
+
+def _run_fleet_plan(
+    state: Mapping[str, object], plan_key: str
+) -> dict[str, int]:
+    """Dispatch the stream over 4 fresh engines along ``plan_key``."""
+    requests = state["requests"]
+    plan = state[plan_key]
+    engines = [MatchingEngine() for _ in range(4)]
+    try:
+        for request, shard in zip(requests, plan):  # type: ignore[call-overload]
+            engines[shard].submit(request)
+        return {
+            "cache_hits": sum(e.telemetry.count("cache_hits") for e in engines),
+            "solver_invocations": sum(
+                e.telemetry.count("solver_invocations") for e in engines
+            ),
+        }
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+def _run_fleet_ring(state: Mapping[str, object]) -> dict[str, int]:
+    return _run_fleet_plan(state, "ring_plan")
+
+
+def _ref_fleet_round_robin(state: Mapping[str, object]) -> object:
+    return _run_fleet_plan(state, "rr_plan")
+
+
 WORKLOADS: dict[str, Workload] = {
     w.name: w
     for w in (
@@ -434,6 +499,19 @@ WORKLOADS: dict[str, Workload] = {
             # acceptance floor from the v2 issue: a warm incremental run
             # must stay >= 3x faster than cold, or caching has rotted.
             min_speedup=3.0,
+        ),
+        Workload(
+            name="fleet.shard_affinity",
+            description=(
+                "consistent-hash shard routing vs round-robin for a "
+                "seeded Zipfian stream over 4 cold engines: warm-cache "
+                "locality is the entire measured gap"
+            ),
+            build=_build_fleet_state,
+            run=_run_fleet_ring,
+            reference=_ref_fleet_round_robin,
+            reps=1,
+            min_speedup=1.1,
         ),
         Workload(
             name="engine.batch.cached",

@@ -9,7 +9,14 @@ under a virtual clock.  See docs/SERVICE.md for the architecture tour.
 """
 
 from repro.service.clock import Clock, RealClock, VirtualClock, run_virtual
-from repro.service.loadgen import ARRIVAL_MODES, LoadProfile, LoadReport, run_load
+from repro.service.loadgen import (
+    ARRIVAL_MODES,
+    POPULARITY_MODES,
+    LoadProfile,
+    LoadReport,
+    popularity_weights,
+    run_load,
+)
 from repro.service.pipeline import (
     DEFAULT_PRIORITIES,
     OUTCOMES,
@@ -28,6 +35,7 @@ __all__ = [
     "BACKPRESSURE_POLICIES",
     "DEFAULT_PRIORITIES",
     "OUTCOMES",
+    "POPULARITY_MODES",
     "AdmissionQueue",
     "Clock",
     "Deadline",
@@ -42,6 +50,7 @@ __all__ = [
     "TokenBucket",
     "VirtualClock",
     "parse_service_request",
+    "popularity_weights",
     "run_load",
     "run_virtual",
     "serve_lines",

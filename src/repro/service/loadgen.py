@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -48,10 +49,23 @@ from repro.service.pipeline import (
 )
 from repro.utils.rng import as_rng
 
-__all__ = ["ARRIVAL_MODES", "LoadProfile", "LoadReport", "run_load"]
+__all__ = [
+    "ARRIVAL_MODES",
+    "POPULARITY_MODES",
+    "LoadProfile",
+    "LoadReport",
+    "popularity_weights",
+    "run_load",
+]
 
 #: supported arrival disciplines.
 ARRIVAL_MODES = ("open", "closed")
+
+#: supported instance-popularity disciplines (how requests draw from
+#: the instance pool).  ``uniform`` is the historical behaviour;
+#: ``zipfian`` and ``hotspot`` re-request hot fingerprints the way real
+#: traffic does, which is what exercises per-shard cache locality.
+POPULARITY_MODES = ("uniform", "zipfian", "hotspot")
 
 
 @dataclass(frozen=True)
@@ -87,6 +101,21 @@ class LoadProfile:
         (deterministic per request id).
     clients:
         Client names cycled for rate-limiting attribution.
+    popularity:
+        Instance-popularity discipline, one of
+        :data:`POPULARITY_MODES`.  ``uniform`` draws every pool index
+        with equal probability (stream-identical to the historical
+        behaviour); ``zipfian`` draws index ``i`` with probability
+        proportional to ``1 / (i + 1) ** zipf_s``; ``hotspot`` sends
+        ``hotspot_weight`` of the traffic to the first
+        ``ceil(hotspot_fraction * pool)`` instances (uniform within
+        each side).
+    zipf_s:
+        Zipf exponent for ``popularity="zipfian"`` (larger = hotter
+        head).
+    hotspot_fraction / hotspot_weight:
+        Hot-set size (fraction of the pool) and the probability mass
+        routed to it for ``popularity="hotspot"``.
     """
 
     requests: int = 100
@@ -105,8 +134,27 @@ class LoadProfile:
     cost_base_s: float = 0.01
     cost_jitter_s: float = 0.02
     clients: tuple[str, ...] = ("alpha", "beta", "gamma")
+    popularity: str = "uniform"
+    zipf_s: float = 1.1
+    hotspot_fraction: float = 0.125
+    hotspot_weight: float = 0.9
 
     def __post_init__(self) -> None:
+        if self.popularity not in POPULARITY_MODES:
+            raise ConfigurationError(
+                f"unknown popularity mode {self.popularity!r}; choose from "
+                f"{POPULARITY_MODES}"
+            )
+        if self.zipf_s <= 0:
+            raise ConfigurationError(f"zipf_s must be positive, got {self.zipf_s}")
+        if not 0.0 < self.hotspot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hotspot_fraction must be in (0, 1], got {self.hotspot_fraction}"
+            )
+        if not 0.0 <= self.hotspot_weight <= 1.0:
+            raise ConfigurationError(
+                f"hotspot_weight must be in [0, 1], got {self.hotspot_weight}"
+            )
         if self.requests < 1:
             raise ConfigurationError(f"requests must be >= 1, got {self.requests}")
         if self.mode not in ARRIVAL_MODES:
@@ -130,7 +178,11 @@ class LoadReport:
 
     ``outcome_by_id`` maps every request id to its terminal outcome —
     the object the determinism check compares across runs.  ``lost``
-    must be 0 after every drain (the zero-lost invariant).
+    must be 0 after every drain (the zero-lost invariant).  ``shards``
+    is populated by fleet runs only: one entry per shard carrying its
+    routed/responded counts and warm-cache hit rate (the per-shard
+    locality the consistent-hash ring exists to protect); single-service
+    runs leave it empty.
     """
 
     requests: int
@@ -146,6 +198,7 @@ class LoadReport:
     latency: dict[str, float] = field(default_factory=dict)
     queue_wait: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    shards: dict[str, Any] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -169,12 +222,37 @@ class LoadReport:
             "latency": self.latency,
             "queue_wait": self.queue_wait,
             "counters": dict(sorted(self.counters.items())),
+            "shards": {name: self.shards[name] for name in sorted(self.shards)},
             "outcome_by_id": dict(sorted(self.outcome_by_id.items())),
         }
 
     def to_json(self, **dump_kwargs: Any) -> str:
         """Serialize :meth:`to_dict` as JSON."""
         return json.dumps(self.to_dict(), **dump_kwargs)
+
+
+def popularity_weights(profile: LoadProfile) -> "list[float] | None":
+    """Pool-index draw probabilities for ``profile``, or ``None`` = uniform.
+
+    A pure function of the profile (no RNG), so routing studies can
+    reason about the exact distribution the stream was drawn from.
+    Index 0 is always the most popular instance.
+    """
+    if profile.popularity == "uniform":
+        return None
+    if profile.popularity == "zipfian":
+        raw = [1.0 / (i + 1) ** profile.zipf_s for i in range(profile.pool)]
+    else:  # hotspot
+        hot = min(profile.pool, max(1, math.ceil(profile.hotspot_fraction * profile.pool)))
+        cold = profile.pool - hot
+        raw = [
+            (profile.hotspot_weight / hot)
+            if i < hot
+            else ((1.0 - profile.hotspot_weight) / cold if cold else 0.0)
+            for i in range(profile.pool)
+        ]
+    total = sum(raw)
+    return [w / total for w in raw]
 
 
 def build_requests(
@@ -192,6 +270,7 @@ def build_requests(
         k = int(rng.choice(list(profile.k_choices)))
         n = int(rng.choice(list(profile.n_choices)))
         instances.append(random_instance(k, n, seed=int(rng.integers(2**31))))
+    weights = popularity_weights(profile)
     priority_names = sorted(priorities)
     requests: list[ServiceRequest] = []
     costs: dict[str, float] = {}
@@ -199,11 +278,17 @@ def build_requests(
         request_id = f"req-{i:05d}"
         solver = str(rng.choice(list(profile.solvers)))
         tight = bool(rng.random() < profile.tight_fraction)
+        if weights is None:
+            # keep the exact historical RNG call so uniform streams stay
+            # byte-identical to pre-popularity baselines
+            pool_index = int(rng.integers(profile.pool))
+        else:
+            pool_index = int(rng.choice(profile.pool, p=weights))
         requests.append(
             ServiceRequest(
                 request_id=request_id,
                 solve=SolveRequest(
-                    instance=instances[int(rng.integers(profile.pool))],
+                    instance=instances[pool_index],
                     solver=solver,
                     verify=bool(rng.random() < profile.verify_fraction),
                     label=request_id,

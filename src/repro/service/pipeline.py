@@ -178,13 +178,24 @@ class ServiceConfig:
 
 @dataclass(frozen=True)
 class ServiceRequest:
-    """One request to the service: an engine job plus serving metadata."""
+    """One request to the service: an engine job plus serving metadata.
+
+    ``abort_check`` is an optional extra cooperative-cancellation hook,
+    called with the stage name alongside the request's own deadline
+    checks (including between engine stages).  The fleet layer uses it
+    to sample a shared-memory abort flag so a coordinator in another
+    process can cancel work mid-solve; it never participates in
+    equality or the wire format.
+    """
 
     request_id: str
     solve: SolveRequest
     priority: str = "normal"
     client: str = "default"
     deadline_s: "float | None" = None
+    abort_check: "Callable[[str], None] | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -355,6 +366,22 @@ class SolveService:
             self._workers = []
         self._state = "closed"
 
+    def kill(self) -> None:
+        """Simulate a crash: hard-stop without completing anything.
+
+        The opposite contract to :meth:`drain` — workers are cancelled
+        mid-flight, queued entries are abandoned, and futures never
+        resolve.  Only the fleet layer calls this (crash injection for
+        the lost-shard / re-route paths); the killed service's
+        accounting is dead with it, and the *fleet's* accounting is
+        what must stay zero-lost.
+        """
+        self._state = "closed"
+        self._queue.close()
+        for task in self._workers:
+            task.cancel()
+        self._workers = []
+
     async def __aenter__(self) -> "SolveService":
         self.start()
         return self
@@ -479,6 +506,24 @@ class SolveService:
             finally:
                 self._in_flight -= 1
 
+    def _stage_check(self, entry: _Entry, stage: str) -> None:
+        """One cooperative checkpoint: the deadline plus any abort hook."""
+        entry.deadline.check(stage)
+        if entry.request.abort_check is not None:
+            entry.request.abort_check(stage)
+
+    def _engine_check_for(self, entry: _Entry) -> "Callable[[str], None]":
+        """The between-engine-stages hook: deadline + abort, both sampled."""
+        if entry.request.abort_check is None:
+            return entry.deadline.engine_check
+        abort = entry.request.abort_check
+
+        def check(stage: str) -> None:
+            entry.deadline.engine_check(stage)
+            abort(f"engine.{stage}")
+
+        return check
+
     async def _process(self, entry: _Entry) -> None:
         request = entry.request
         entry.dequeued_s = self.clock.now()
@@ -486,12 +531,12 @@ class SolveService:
             "service.queue_wait.seconds", entry.dequeued_s - entry.admitted_s
         )
         try:
-            entry.deadline.check("dequeue")
+            self._stage_check(entry, "dequeue")
             if self.config.cost_model is not None:
                 cost = self.config.cost_model(request)
                 if cost > 0:
                     await self.clock.sleep(cost)
-            entry.deadline.check("solve")
+            self._stage_check(entry, "solve")
             with self.sink.span(
                 "service.solve",
                 request_id=request.request_id,
@@ -506,9 +551,9 @@ class SolveService:
                 # pending()==0 and no ready callbacks, raising
                 # SimulationError.  See repro/service/clock.py.
                 result = self.engine.submit(  # statan: ignore[async-safety] -- virtual-clock determinism requires the solve inline; see comment above
-                    request.solve, check=entry.deadline.engine_check
+                    request.solve, check=self._engine_check_for(entry)
                 )
-            entry.deadline.check("respond")
+            self._stage_check(entry, "respond")
         except ReproError as exc:
             self._complete_error(entry, exc)
             return

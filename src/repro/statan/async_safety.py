@@ -5,9 +5,11 @@ virtual-clock harness both assume the asyncio event loop never blocks:
 a ``time.sleep`` or file read three frames below an ``async def``
 handler stalls every in-flight request and skews latency measurements.
 This rule walks the phase-1 call graph from every ``async def`` in
-``repro.service`` and flags blocking calls reached *without an executor
-hop* (``run_in_executor`` / ``asyncio.to_thread`` / pool ``submit``
-hand work to a thread, which is the sanctioned escape hatch).
+``repro.service`` and ``repro.fleet`` (the fleet coordinator and the
+simulated shards share the service's event loop and virtual-clock
+contract) and flags blocking calls reached *without an executor hop*
+(``run_in_executor`` / ``asyncio.to_thread`` / pool ``submit`` hand
+work to a thread, which is the sanctioned escape hatch).
 
 Blocking patterns (conservative, matched on resolved call targets):
 
@@ -60,8 +62,10 @@ _IO_METHODS = frozenset(
 #: attribute calls on an engine-like receiver that run a full solve.
 _ENGINE_BLOCKING = frozenset({"submit", "solve_many"})
 
-#: where the async roots live.
-_SERVICE_PREFIX = "repro.service"
+#: where the async roots live: the in-process service layer plus the
+#: fleet (whose coordinator and simulated shards run on the same loop
+#: and the same virtual-clock determinism contract).
+_SERVICE_PREFIXES = ("repro.service", "repro.fleet")
 
 
 def _blocking_reason(resolved: "str | None", call: CallSite) -> "str | None":
@@ -98,8 +102,8 @@ class AsyncSafetyRule(ProjectRule):
     name = "async-safety"
     description = (
         "no blocking call (sleep, file/socket/subprocess I/O, synchronous "
-        "engine solve) reachable from an async def in repro.service "
-        "without an executor hop"
+        "engine solve) reachable from an async def in repro.service or "
+        "repro.fleet without an executor hop"
     )
 
     def check_project(
@@ -108,7 +112,7 @@ class AsyncSafetyRule(ProjectRule):
         roots = sorted(
             node
             for node, (summary, fn) in graph.nodes.items()
-            if fn.is_async and summary.module.startswith(_SERVICE_PREFIX)
+            if fn.is_async and summary.module.startswith(_SERVICE_PREFIXES)
         )
         if not roots:
             return

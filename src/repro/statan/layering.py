@@ -97,6 +97,18 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "obs",
         }
     ),
+    # the fleet layer: shards N services behind a consistent-hash ring;
+    # sits above service, and nothing below the CLI may import it.
+    "fleet": frozenset(
+        {
+            "exceptions",
+            "utils",
+            "model",
+            "engine",
+            "obs",
+            "service",
+        }
+    ),
     "cli": frozenset(
         {
             "exceptions",
@@ -115,6 +127,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "perf",
             "service",
             "obs",
+            "fleet",
         }
     ),
     "__init__": None,  # the facade may import everything

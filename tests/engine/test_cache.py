@@ -82,3 +82,62 @@ class TestDiskTier:
         cache.put("a", {"v": 1})
         cache.clear(disk=True)
         assert cache.get("a") is None
+
+
+class TestConcurrentWriters:
+    """The disk tier must tolerate many writers sharing one directory."""
+
+    def test_threaded_writers_same_keys_no_torn_reads(self, tmp_path):
+        import threading
+
+        disk = tmp_path / "shared"
+        caches = [ResultCache(disk_dir=disk) for _ in range(4)]
+        errors = []
+
+        def hammer(cache, worker):
+            try:
+                for round_no in range(50):
+                    for key in ("alpha", "beta", "gamma"):
+                        cache.put(key, {"worker": worker, "round": round_no})
+                        doc = cache.get(key)
+                        # never a torn/partial document: either a full
+                        # record from some writer, or (transiently) None
+                        if doc is not None:
+                            assert set(doc) == {"worker", "round"}
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(cache, i))
+            for i, cache in enumerate(caches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        # every key readable by a cold cache, and no orphaned temp files
+        fresh = ResultCache(disk_dir=disk)
+        for key in ("alpha", "beta", "gamma"):
+            assert set(fresh.get(key)) == {"worker", "round"}
+        assert not list(disk.glob(".*.tmp"))
+
+    def test_temp_names_are_per_writer(self, tmp_path):
+        a = ResultCache(disk_dir=tmp_path / "d")
+        b = ResultCache(disk_dir=tmp_path / "d")
+        # same key from two writers: last replace wins, no exception
+        a.put("k", {"v": "a"})
+        b.put("k", {"v": "b"})
+        assert ResultCache(disk_dir=tmp_path / "d").get("k") == {"v": "b"}
+        assert a.stats.disk_write_errors == 0
+        assert b.stats.disk_write_errors == 0
+
+    def test_orphaned_tmp_swept_by_clear(self, tmp_path):
+        disk = tmp_path / "d"
+        cache = ResultCache(disk_dir=disk)
+        cache.put("k", {"v": 1})
+        (disk / ".k.json.999-0.tmp").write_text("{")  # a dead writer's debris
+        cache.clear(disk=True)
+        assert not list(disk.glob(".*.tmp"))
+        assert not list(disk.glob("*.json"))

@@ -1,0 +1,88 @@
+"""Abort board slot pool and the worker-side sampler contract."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DeadlineExceededError
+from repro.fleet.abort import (
+    ABORT_DEADLINE,
+    CLEAR,
+    LocalAbortBoard,
+    SharedAbortBoard,
+    make_abort_check,
+)
+
+
+class TestSlotPool:
+    def test_acquire_release_cycle(self):
+        board = LocalAbortBoard(2)
+        assert board.free_slots == 2
+        a = board.acquire()
+        b = board.acquire()
+        assert board.free_slots == 0
+        assert a != b
+        board.release(a)
+        assert board.free_slots == 1
+        assert board.acquire() == a  # LIFO reuse
+
+    def test_exhaustion_is_an_error(self):
+        board = LocalAbortBoard(1)
+        board.acquire()
+        with pytest.raises(ConfigurationError):
+            board.acquire()
+
+    def test_release_clears_the_flag(self):
+        board = LocalAbortBoard(1)
+        slot = board.acquire()
+        board.set(slot, ABORT_DEADLINE)
+        assert board.get(slot) == ABORT_DEADLINE
+        board.release(slot)
+        slot = board.acquire()
+        assert board.get(slot) == CLEAR
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalAbortBoard(0)
+
+
+class TestAbortCheck:
+    def test_clear_flag_is_a_no_op(self):
+        board = LocalAbortBoard(1)
+        slot = board.acquire()
+        check = make_abort_check(board.flags(), slot, "req-1")
+        check("solve")  # must not raise
+
+    def test_flagged_slot_raises_with_stage_and_id(self):
+        board = LocalAbortBoard(1)
+        slot = board.acquire()
+        check = make_abort_check(board.flags(), slot, "req-1")
+        board.set(slot, ABORT_DEADLINE)
+        with pytest.raises(DeadlineExceededError) as err:
+            check("engine.solve")
+        assert "req-1" in str(err.value)
+        assert "engine.solve" in str(err.value)
+
+    def test_sampler_tracks_the_live_flag(self):
+        """The check samples the array every call — no snapshotting."""
+        board = LocalAbortBoard(1)
+        slot = board.acquire()
+        check = make_abort_check(board.flags(), slot, "r")
+        check("a")
+        board.set(slot, ABORT_DEADLINE)
+        with pytest.raises(DeadlineExceededError):
+            check("b")
+        board.set(slot, CLEAR)
+        check("c")
+
+
+class TestSharedBoard:
+    def test_shared_array_has_identical_semantics(self):
+        board = SharedAbortBoard(4)
+        slot = board.acquire()
+        check = make_abort_check(board.flags(), slot, "req-9")
+        check("solve")
+        board.set(slot, ABORT_DEADLINE)
+        with pytest.raises(DeadlineExceededError):
+            check("solve")
+        board.release(slot)
+        assert board.get(slot) == CLEAR
+        assert len(board) == 4

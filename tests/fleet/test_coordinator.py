@@ -1,0 +1,121 @@
+"""Real-process fleet: spawn, route, crash a worker, drain cleanly.
+
+These tests fork actual worker processes (spawn start method), so they
+are kept small: a handful of requests over 2 workers.  The heavy soak
+coverage lives in ``test_simfleet.py`` on the virtual clock; here we
+only prove the process plumbing — pipes, shared abort flags, heartbeat
+death detection — carries the same contract.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fleet.coordinator import FleetCoordinator, serve_fleet_lines
+from repro.fleet.simfleet import FleetConfig
+from repro.obs.journal import validate_journal
+
+
+def line(i, *, seed=None, deadline_s=None):
+    doc = {
+        "id": f"r-{i:03d}",
+        "generate": {"k": 3, "n": 5, "seed": seed if seed is not None else i},
+    }
+    if deadline_s is not None:
+        doc["deadline_s"] = deadline_s
+    return json.dumps(doc)
+
+
+def test_cost_model_rejected():
+    with pytest.raises(ConfigurationError):
+        FleetCoordinator(FleetConfig(workers=1, cost_model=lambda req: 1.0))
+
+
+def test_small_fleet_serves_and_drains(tmp_path):
+    lines = [line(i, seed=i) for i in range(10)] + ["not json"]
+
+    async def drive():
+        async with FleetCoordinator(
+            FleetConfig(workers=2), heartbeat_s=0.2
+        ) as fleet:
+            responses = await serve_fleet_lines(fleet, lines)
+            stats = fleet.stats()
+        report = fleet.fleet_report()
+        records = fleet.journal_records(meta={"kind": "test"})
+        return responses, stats, report, records, fleet
+
+    responses, stats, report, records, fleet = asyncio.run(drive())
+
+    docs = [json.loads(r) for r in responses]
+    assert [d["id"] for d in docs[:10]] == [f"r-{i:03d}" for i in range(10)]
+    assert all(d["outcome"] == "ok" for d in docs[:10])
+    assert docs[10]["outcome"] == "invalid"
+
+    assert stats["lost"] == 0
+    assert stats["dispatched"] == 10
+    assert stats["responded"] == 10
+
+    assert report["schema"] == 1
+    assert set(report["shards"]) == {"shard-0", "shard-1"}
+    for doc in report["shards"].values():
+        assert doc["generation"] == 0
+        assert not doc["dead"]
+        assert doc["stats"] is not None  # drained workers ship final stats
+
+    counters = fleet.merged_metrics().counters()
+    assert counters["fleet.dispatched"] == 10
+    assert counters["service.completed"] == 10
+
+    validate_journal(records)
+    shard_tags = {
+        r["attributes"]["shard"] for r in records if r.get("event") == "span"
+    }
+    assert {"shard-0", "shard-1"} <= shard_tags
+
+    assert fleet.state == "closed"
+
+
+def test_worker_crash_reroutes_and_restarts():
+    async def drive():
+        async with FleetCoordinator(
+            FleetConfig(workers=2, restart_delay_s=0.05), heartbeat_s=0.1
+        ) as fleet:
+            warm = await serve_fleet_lines(
+                fleet, [line(i, seed=i) for i in range(4)]
+            )
+            victim = fleet._workers["shard-0"]
+            victim.process.kill()
+            await asyncio.sleep(0.8)  # heartbeat notices, respawn fires
+            after = await serve_fleet_lines(
+                fleet, [line(100 + i, seed=i) for i in range(4)]
+            )
+            stats = fleet.stats()
+            report = fleet.fleet_report()
+        return warm, after, stats, report
+
+    warm, after, stats, report = asyncio.run(drive())
+    assert all(json.loads(r)["outcome"] == "ok" for r in warm)
+    assert all(json.loads(r)["outcome"] == "ok" for r in after)
+    assert stats["lost"] == 0
+    assert report["shards"]["shard-0"]["generation"] == 1
+    assert report["metrics"]["counters"]["fleet.crashes"] == 1
+    assert report["metrics"]["counters"]["fleet.restarts"] == 1
+
+
+def test_shared_cache_dir_survives_concurrent_workers(tmp_path):
+    cache_dir = tmp_path / "cache"
+    repeated = [line(i, seed=7) for i in range(6)]
+
+    async def drive():
+        async with FleetCoordinator(
+            FleetConfig(workers=2, router="round_robin"),
+            cache_dir=str(cache_dir),
+        ) as fleet:
+            return await serve_fleet_lines(fleet, repeated)
+
+    responses = asyncio.run(drive())
+    assert all(json.loads(r)["outcome"] == "ok" for r in responses)
+    assert list(cache_dir.glob("*.json"))
+    assert not list(cache_dir.glob(".*.tmp"))

@@ -1,0 +1,324 @@
+"""Simulated fleet: routing affinity, aborts, crashes, drain, rollup."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine.jobs import SolveRequest
+from repro.exceptions import ConfigurationError
+from repro.fleet.loadgen import run_fleet_load
+from repro.fleet.simfleet import (
+    FLEET_OUTCOMES,
+    CrashPlan,
+    FleetConfig,
+    SimulatedFleet,
+    combined_journal_records,
+    write_fleet_journal,
+)
+from repro.model.generators import random_instance
+from repro.obs.journal import validate_journal
+from repro.obs.metrics import MetricsRegistry
+from repro.service.clock import VirtualClock, run_virtual
+from repro.service.loadgen import LoadProfile
+from repro.service.pipeline import OUTCOMES, ServiceRequest
+
+
+def run_fleet(coro_factory, clock=None):
+    clock = clock if clock is not None else VirtualClock()
+    return asyncio.run(run_virtual(clock, coro_factory(clock)))
+
+
+def request(i, *, seed=None, deadline_s=None):
+    return ServiceRequest(
+        request_id=f"r-{i:04d}",
+        solve=SolveRequest(
+            instance=random_instance(3, 5, seed=seed if seed is not None else i),
+            label=f"r-{i:04d}",
+        ),
+        deadline_s=deadline_s,
+    )
+
+
+class TestConfig:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(router="random")
+        with pytest.raises(ConfigurationError):
+            FleetConfig(on_crash="panic")
+        with pytest.raises(ConfigurationError):
+            FleetConfig(restart_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            CrashPlan(shard_index=-1, at_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CrashPlan(shard_index=0, at_s=-1.0)
+
+    def test_crash_plan_must_target_a_real_shard(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedFleet(FleetConfig(workers=2), crashes=[CrashPlan(5, 0.1)])
+
+    def test_fleet_outcomes_extend_service_outcomes(self):
+        assert set(OUTCOMES) < set(FLEET_OUTCOMES)
+        assert "lost_shard" in FLEET_OUTCOMES
+
+
+class TestRoutingAffinity:
+    def test_same_fingerprint_same_shard(self):
+        async def soak(clock):
+            async with SimulatedFleet(
+                FleetConfig(workers=4), clock=clock
+            ) as fleet:
+                for i in range(12):
+                    # 12 requests over 3 distinct instances
+                    await fleet.handle(request(i, seed=i % 3))
+                report = fleet.shard_report()
+            return report
+
+        report = run_fleet(soak)
+        used = {n: doc for n, doc in report.items() if doc["routed"]}
+        # 3 fingerprints can land on at most 3 shards, and repeats hit
+        assert len(used) <= 3
+        assert sum(d["cache_hits"] for d in report.values()) == 9
+        assert sum(d["cache_misses"] for d in report.values()) == 3
+
+    def test_round_robin_spreads_instead(self):
+        async def soak(clock):
+            async with SimulatedFleet(
+                FleetConfig(workers=4, router="round_robin"), clock=clock
+            ) as fleet:
+                for i in range(12):
+                    await fleet.handle(request(i, seed=0))
+                report = fleet.shard_report()
+            return report
+
+        report = run_fleet(soak)
+        assert [d["routed"] for d in report.values()] == [3, 3, 3, 3]
+        # one cold solve per shard instead of one for the whole fleet
+        assert sum(d["cache_misses"] for d in report.values()) == 4
+
+
+class TestDeadlineAbort:
+    def test_fleet_owned_timer_aborts_via_the_board(self):
+        config = FleetConfig(
+            workers=2, cost_model=lambda req: 1.0  # every solve "takes" 1s
+        )
+
+        async def soak(clock):
+            async with SimulatedFleet(config, clock=clock) as fleet:
+                fast = await fleet.handle(request(0, deadline_s=10.0))
+                slow = await fleet.handle(request(1, deadline_s=0.5))
+            return fast, slow
+
+        fast, slow = run_fleet(soak)
+        assert fast.outcome == "ok"
+        assert slow.outcome == "deadline"
+        assert slow.error_type == "DeadlineExceededError"
+        # the abort came from the board sampler, not the service's own
+        # deadline (the inner request carries none)
+        assert "shared-memory flag" in slow.error
+
+    def test_default_deadline_applies(self):
+        config = FleetConfig(
+            workers=1, default_deadline_s=0.5, cost_model=lambda req: 1.0
+        )
+
+        async def soak(clock):
+            async with SimulatedFleet(config, clock=clock) as fleet:
+                return await fleet.handle(request(0))
+
+        assert run_fleet(soak).outcome == "deadline"
+
+
+class TestCrash:
+    def test_lost_shard_policy_types_the_loss(self):
+        config = FleetConfig(
+            workers=2, on_crash="lost_shard", cost_model=lambda req: 1.0
+        )
+
+        async def soak(clock):
+            async with SimulatedFleet(config, clock=clock) as fleet:
+                tasks = [
+                    asyncio.get_running_loop().create_task(
+                        fleet.handle(request(i, seed=i))
+                    )
+                    for i in range(8)
+                ]
+                await clock.sleep(0.2)  # all in flight (cost model = 1s)
+                fleet.crash("shard-0")
+                fleet.crash("shard-1")
+                responses = await asyncio.gather(*tasks)
+                stats = fleet.stats()
+            return responses, stats
+
+        responses, stats = run_fleet(soak)
+        assert stats["lost"] == 0
+        assert stats["responded"] == 8
+        assert {r.outcome for r in responses} == {"lost_shard"}
+        assert all(r.error_type == "LostShardError" for r in responses)
+
+    def test_reroute_policy_finishes_on_a_live_shard(self):
+        config = FleetConfig(workers=2, cost_model=lambda req: 1.0)
+
+        async def soak(clock):
+            async with SimulatedFleet(config, clock=clock) as fleet:
+                tasks = [
+                    asyncio.get_running_loop().create_task(
+                        fleet.handle(request(i, seed=i))
+                    )
+                    for i in range(8)
+                ]
+                await clock.sleep(0.2)
+                fleet.crash("shard-0")
+                responses = await asyncio.gather(*tasks)
+                stats = fleet.stats()
+            return responses, stats
+
+        responses, stats = run_fleet(soak)
+        assert stats["lost"] == 0
+        assert all(r.outcome in ("ok", "no_stable") for r in responses)
+
+    def test_restart_brings_a_cold_replacement(self):
+        config = FleetConfig(workers=2, restart_delay_s=0.05)
+
+        async def soak(clock):
+            async with SimulatedFleet(config, clock=clock) as fleet:
+                await fleet.handle(request(0, seed=0))
+                fleet.crash("shard-0")
+                fleet.crash("shard-1")
+                await clock.sleep(0.2)  # past restart_delay_s
+                response = await fleet.handle(request(1, seed=0))
+                report = fleet.shard_report()
+            return response, report
+
+        response, report = run_fleet(soak)
+        assert response.outcome == "ok"
+        assert {d["generation"] for d in report.values()} == {1}
+        assert all(not d["dead"] for d in report.values())
+
+
+class TestDrain:
+    def test_drain_is_idempotent_and_closes(self):
+        async def soak(clock):
+            fleet = SimulatedFleet(FleetConfig(workers=2), clock=clock)
+            async with fleet:
+                await fleet.handle(request(0))
+            await fleet.drain()  # second drain: no-op
+            return fleet.state, fleet.stats()
+
+        state, stats = run_fleet(soak)
+        assert state == "closed"
+        assert stats["lost"] == 0
+
+    def test_closed_fleet_rejects_typed(self):
+        async def soak(clock):
+            fleet = SimulatedFleet(FleetConfig(workers=1), clock=clock)
+            async with fleet:
+                pass
+            return await fleet.handle(request(0))
+
+        response = run_fleet(soak)
+        assert response.outcome == "rejected_closed"
+
+
+class TestObservabilityRollup:
+    def test_merged_metrics_and_journal(self, tmp_path):
+        async def soak(clock):
+            async with SimulatedFleet(
+                FleetConfig(workers=3), clock=clock
+            ) as fleet:
+                for i in range(9):
+                    await fleet.handle(request(i, seed=i % 2))
+            return fleet
+
+        fleet = run_fleet(soak)
+        merged = fleet.merged_metrics()
+        counters = merged.counters()
+        assert counters["service.completed"] == 9
+        assert counters["fleet.dispatched"] == 9
+        records = fleet.journal_records(meta={"kind": "test"})
+        validate_journal(records)
+        shards = {
+            r["attributes"]["shard"]
+            for r in records
+            if r.get("event") == "span"
+        }
+        assert "fleet" in shards or len(shards) >= 1
+        path = tmp_path / "journal.jsonl"
+        count = write_fleet_journal(path, records)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        validate_journal([json.loads(line) for line in lines])
+
+    def test_combined_journal_rebases_span_indexes(self):
+        span = {
+            "index": 0,
+            "parent": None,
+            "depth": 0,
+            "name": "s",
+            "attributes": {},
+            "duration_s": 0.0,
+            "children": [],
+        }
+        records = combined_journal_records(
+            [("a", [dict(span)]), ("b", [dict(span)])],
+            metrics=MetricsRegistry(),
+        )
+        validate_journal(records)
+        spans = [r for r in records if r["event"] == "span"]
+        assert [s["index"] for s in spans] == [0, 1]
+        assert [s["attributes"]["shard"] for s in spans] == ["a", "b"]
+
+
+class TestFleetLoadSoak:
+    """The fleet-smoke contract, scaled down for the unit suite."""
+
+    PROFILE = LoadProfile(
+        requests=400, seed=13, mode="open", rate=600.0, pool=16,
+        popularity="zipfian",
+    )
+    CONFIG = FleetConfig(workers=4)
+    CRASHES = (CrashPlan(shard_index=2, at_s=0.15),)
+
+    def test_soak_with_crash_is_deterministic_and_lossless(self):
+        first = run_fleet_load(
+            self.PROFILE, config=self.CONFIG, crashes=self.CRASHES
+        )
+        second = run_fleet_load(
+            self.PROFILE, config=self.CONFIG, crashes=self.CRASHES
+        )
+        assert first.outcome_by_id == second.outcome_by_id
+        assert first.lost == 0 and second.lost == 0
+        assert first.accepted == 400
+        assert first.counters["fleet.crashes"] == 1
+        assert first.counters.get("fleet.restarts", 0) == 1
+        assert first.outcomes.get("deadline", 0) > 0  # abort-flag path live
+        assert set(first.shards) == {f"shard-{i}" for i in range(4)}
+        crashed = first.shards["shard-2"]
+        assert crashed["generation"] == 1
+
+    def test_report_schema_carries_shards(self):
+        report = run_fleet_load(
+            LoadProfile(requests=40, seed=1), config=FleetConfig(workers=2)
+        )
+        doc = report.to_dict()
+        assert doc["schema"] == 1
+        assert set(doc["shards"]) == {"shard-0", "shard-1"}
+        for shard_doc in doc["shards"].values():
+            assert {"routed", "cache_hits", "cache_hit_rate"} <= set(shard_doc)
+
+    def test_ring_beats_round_robin_on_hit_rate_for_zipfian(self):
+        profile = LoadProfile(
+            requests=300, seed=5, pool=12, popularity="zipfian", rate=500.0
+        )
+
+        def total_hit_rate(router):
+            report = run_fleet_load(
+                profile, config=FleetConfig(workers=4, router=router)
+            )
+            hits = sum(d["cache_hits"] for d in report.shards.values())
+            misses = sum(d["cache_misses"] for d in report.shards.values())
+            return hits / (hits + misses)
+
+        assert total_hit_rate("ring") > total_hit_rate("round_robin")

@@ -92,3 +92,75 @@ class TestVirtualSoak:
         report = run_load(PROFILE, config=config)
         assert report.lost == 0
         assert report.outcomes.get("shed", 0) > 0  # tiny queue actually sheds
+
+
+class TestPopularityModes:
+    def test_uniform_has_no_weight_table(self):
+        from repro.service.loadgen import popularity_weights
+
+        assert popularity_weights(LoadProfile(requests=10)) is None
+
+    def test_zipfian_weights_decreasing_and_normalized(self):
+        from repro.service.loadgen import popularity_weights
+
+        weights = popularity_weights(
+            LoadProfile(requests=10, pool=8, popularity="zipfian", zipf_s=1.2)
+        )
+        assert len(weights) == 8
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_hotspot_mass_lands_on_the_hot_set(self):
+        from repro.service.loadgen import popularity_weights
+
+        weights = popularity_weights(
+            LoadProfile(
+                requests=10,
+                pool=10,
+                popularity="hotspot",
+                hotspot_fraction=0.2,
+                hotspot_weight=0.9,
+            )
+        )
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert abs(sum(weights[:2]) - 0.9) < 1e-9  # ceil(0.2 * 10) = 2 hot
+        assert all(w == weights[2] for w in weights[2:])
+
+    def test_zipfian_stream_concentrates_on_few_instances(self):
+        uniform, _ = build_requests(
+            LoadProfile(requests=200, seed=3, pool=16), DEFAULT_PRIORITIES
+        )
+        zipfian, _ = build_requests(
+            LoadProfile(requests=200, seed=3, pool=16, popularity="zipfian"),
+            DEFAULT_PRIORITIES,
+        )
+
+        def top_share(requests):
+            counts = {}
+            for r in requests:
+                fp = r.solve.fingerprint()
+                counts[fp] = counts.get(fp, 0) + 1
+            return max(counts.values()) / len(requests)
+
+        assert top_share(zipfian) > top_share(uniform)
+
+    def test_popularity_streams_are_deterministic(self):
+        profile = LoadProfile(
+            requests=80, seed=5, pool=12, popularity="hotspot"
+        )
+        a, a_costs = build_requests(profile, DEFAULT_PRIORITIES)
+        b, b_costs = build_requests(profile, DEFAULT_PRIORITIES)
+        assert [r.solve.fingerprint() for r in a] == [
+            r.solve.fingerprint() for r in b
+        ]
+        assert a_costs == b_costs
+
+    def test_popularity_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(requests=1, popularity="power-law")
+        with pytest.raises(ConfigurationError):
+            LoadProfile(requests=1, popularity="zipfian", zipf_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(requests=1, popularity="hotspot", hotspot_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(requests=1, popularity="hotspot", hotspot_weight=1.5)

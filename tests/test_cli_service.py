@@ -116,3 +116,73 @@ class TestLoad:
         rc = main(["load", "--requests", "30", "--seed", "2", "--mode", "closed"])
         assert rc == 0
         assert json.loads(capsys.readouterr().out)["mode"] == "closed"
+
+
+class TestServeFleet:
+    def test_round_trip_across_worker_processes(self, stream, capsys):
+        path = stream(
+            [
+                request_line("f1", solver="kary"),
+                request_line("f2", solver="priority"),
+                "{not json",
+            ]
+        )
+        rc = main(["serve", "--input", path, "--fleet", "2"])
+        out_lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 1  # the invalid line drives the exit code
+        assert [d["id"] for d in out_lines[:2]] == ["f1", "f2"]
+        assert all(d["outcome"] == "ok" for d in out_lines[:2])
+        assert out_lines[2]["outcome"] == "invalid"
+
+    def test_fleet_is_incompatible_with_virtual(self, stream, capsys):
+        path = stream([request_line("x")])
+        rc = main(["serve", "--input", path, "--fleet", "2", "--virtual"])
+        assert rc == 2
+        assert "incompatible" in capsys.readouterr().err
+
+
+class TestLoadFleet:
+    def test_check_with_crash_passes_and_reports_shards(self, tmp_path, capsys):
+        out = tmp_path / "fleet-report.json"
+        journal = tmp_path / "fleet-journal.jsonl"
+        rc = main(
+            [
+                "load", "--fleet", "4", "--requests", "200", "--seed", "11",
+                "--pool", "16", "--popularity", "zipfian",
+                "--crash-shard", "2", "--crash-at", "0.2",
+                "--check", "--out", str(out),
+                "--fleet-journal", str(journal),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "fleet load check OK" in captured.out
+        assert "1 crash(es) injected" in captured.out
+        doc = json.loads(out.read_text())
+        assert doc["lost"] == 0
+        assert set(doc["shards"]) == {f"shard-{i}" for i in range(4)}
+        assert doc["shards"]["shard-2"]["generation"] == 1
+        assert all(
+            "cache_hit_rate" in shard for shard in doc["shards"].values()
+        )
+        from repro.obs.journal import validate_journal
+
+        records = [
+            json.loads(l) for l in journal.read_text().splitlines()
+        ]
+        validate_journal(records)
+        assert records[0]["meta"]["kind"] == "fleet-load"
+
+    def test_crash_flags_must_be_paired(self, capsys):
+        rc = main(
+            ["load", "--fleet", "2", "--requests", "20", "--crash-shard", "0"]
+        )
+        assert rc == 2
+        assert "--crash-at" in capsys.readouterr().err
+
+    def test_popularity_flag_without_fleet_still_works(self, capsys):
+        rc = main(
+            ["load", "--requests", "30", "--seed", "2", "--popularity", "hotspot"]
+        )
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["requests"] == 30
