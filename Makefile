@@ -42,8 +42,13 @@ bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
 
 # fast CI gate on the serving-layer claims (dedup, cache, retry telemetry)
+# plus the stacked-GS floors: the arena engine must hold its min_speedup
+# over the per-instance loop (2.0x at 256xn=32, 1.5x on the n=512 ensemble)
 bench-smoke:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/test_bench_e24_engine.py -x -q
+	PYTHONPATH=src $(PY) -m repro perf check --baseline BENCH_perf.json \
+		--workloads gs.batch.c256n32,gs.batch.mertens.n512 \
+		--trials 3 --tolerance 0.6 -o BENCH_perf_measured.json
 
 # re-measure all workloads and refresh the committed baseline
 perf:

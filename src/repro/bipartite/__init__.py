@@ -18,6 +18,12 @@ matching:
 """
 
 from repro.bipartite.gale_shapley import GSResult, gale_shapley, ENGINES
+from repro.bipartite.gale_shapley_batch import (
+    GSBatchResult,
+    gale_shapley_batch,
+    resolve_batch_strategy,
+    BATCH_CROSSOVER_WORK,
+)
 from repro.bipartite.verify import blocking_pairs, is_stable, assert_perfect
 from repro.bipartite.enumerate import all_stable_matchings, count_stable_matchings
 from repro.bipartite.lattice import (
@@ -57,6 +63,10 @@ __all__ = [
     "GSResult",
     "gale_shapley",
     "ENGINES",
+    "GSBatchResult",
+    "gale_shapley_batch",
+    "resolve_batch_strategy",
+    "BATCH_CROSSOVER_WORK",
     "blocking_pairs",
     "is_stable",
     "assert_perfect",

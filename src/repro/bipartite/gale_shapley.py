@@ -44,6 +44,7 @@ __all__ = [
     "gale_shapley",
     "resolve_auto_engine",
     "AUTO_CROSSOVER_N",
+    "BATCH_CROSSOVER_WORK",
     "ENGINES",
 ]
 
@@ -265,6 +266,15 @@ ENGINES = {
 #: by 1.8-2.7x up to n=384; vectorized wins by ~1.2-1.3x from n=512 on.
 #: See docs/PERFORMANCE.md ("Engine crossover and auto routing").
 AUTO_CROSSOVER_N = 512
+
+#: measured crossover for routing a same-shape *batch* to the stacked
+#: arena engine (:func:`repro.bipartite.gale_shapley_batch.gale_shapley_batch`)
+#: instead of a per-instance loop: the stack wins once total work
+#: ``count * n`` clears this constant — and earlier when per-call
+#: dispatch dominates (``count >= 2n``) or the vectorized kernel wins
+#: even solo (``n >= AUTO_CROSSOVER_N // 2``).  Measured on this box,
+#: 2026-08; see docs/PERFORMANCE.md ("Batched solving") for the grid.
+BATCH_CROSSOVER_WORK = 2048
 
 
 def resolve_auto_engine(n: int) -> str:

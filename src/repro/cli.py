@@ -436,6 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard across N worker processes (consistent-hash routing; "
         "stdin/file mode only, incompatible with --virtual/--socket)",
     )
+    serve.add_argument(
+        "--engine-backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="executor backend for the solve stage (with --fleet: "
+        "each shard gets its own pool of this kind)",
+    )
 
     load = sub.add_parser(
         "load",
@@ -444,10 +451,19 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--requests", type=int, default=200, help="stream length")
     load.add_argument("--seed", type=int, default=0, help="workload seed")
     load.add_argument(
-        "--mode", choices=("open", "closed"), default="open", help="arrival discipline"
+        "--mode",
+        choices=("open", "closed", "bursty", "sequential"),
+        default="open",
+        help="arrival discipline",
     )
     load.add_argument(
         "--rate", type=float, default=200.0, help="open-loop arrivals per second"
+    )
+    load.add_argument(
+        "--burst-size",
+        type=float,
+        default=8.0,
+        help="bursty mode: mean requests per burst train",
     )
     load.add_argument(
         "--concurrency", type=int, default=8, help="closed-loop clients in flight"
@@ -779,7 +795,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         default_deadline_s=args.default_deadline,
     )
     clock = VirtualClock() if args.virtual else RealClock()
-    engine = MatchingEngine(backend="serial")
+    engine = MatchingEngine(backend=args.engine_backend)
     service = SolveService(engine, config=config, clock=clock)
 
     if args.socket is not None:
@@ -831,6 +847,7 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
         policy=args.policy,
         shard_workers=args.workers,
         default_deadline_s=args.default_deadline,
+        engine_backend=args.engine_backend,
     )
     if args.input is not None:
         lines = args.input.read_text().splitlines()
@@ -861,6 +878,7 @@ def _run_load(args: argparse.Namespace) -> int:
         rate=args.rate,
         concurrency=args.concurrency,
         pool=args.pool,
+        burst_size=args.burst_size,
         popularity=args.popularity,
     )
     if args.fleet:

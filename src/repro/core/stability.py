@@ -34,7 +34,10 @@ exponential), the derived structures are aggressively reused:
   mutually-improving partner in some other gender, so a gender whose
   candidate domain is empty proves stability without touching the
   O(n^k) DFS.  Chain-bound matchings (Theorem 2's construction) almost
-  always exit here;
+  always exit here.  The weakened search runs the same prescreen with
+  semantics-appropriate masks (mutual improvement for ``"mutual"``,
+  either-direction improvement for ``"literal"`` — see
+  :func:`_weakened_domains` for the lead/same-family-group argument);
 * :func:`is_stable_kary` accepts the binding tree that produced the
   matching and routes through :func:`certify_tree_stability` first —
   the Theorem 2 certificate is a handful of (n, n) array operations.
@@ -117,6 +120,11 @@ class _StabilityScratch:
     matching: KAryMatching
     improves: np.ndarray
     strong: "tuple | None" = field(default=None)
+    #: weakened-search prescreen domains per semantics, same lazy
+    #: contract as ``strong``: ``()`` = prescreen proved stability,
+    #: ``(domains,)`` = per-gender candidate lists for the DFS.
+    weak_mutual: "tuple | None" = field(default=None)
+    weak_literal: "tuple | None" = field(default=None)
 
 
 #: keyed cache of derived verification structures; small because each
@@ -295,6 +303,55 @@ def find_blocking_family(
     )
 
 
+def _weakened_domains(
+    instance: KPartiteInstance, matching: KAryMatching, semantics: str
+) -> tuple:
+    """Prescreen for the weakened DFS (lazily memoized per semantics).
+
+    The strong prescreen's argument ports to the weakened search because
+    a witness holds one member per gender, so the lead of any *other*
+    same-family group is always another-gender member:
+
+    * ``"mutual"`` — every witness member either is a group lead (and
+      must mutually improve with every cross-group member) or faces at
+      least one other group's lead (and must mutually improve with it);
+      either way it needs a cross-family **mutually** improving partner
+      in some other gender — the same viability mask as the strong
+      search;
+    * ``"literal"`` — only the leads' preferences are constrained, so a
+      non-lead merely needs *incoming* improvement (some cross-family
+      member prefers it) and a lead needs *outgoing* improvement; the
+      sound union is "any cross-family improvement in either
+      direction".
+
+    A gender whose domain is empty therefore proves weakened-stability
+    in O(k²·n²) without entering the O(n^k) DFS.  Returns ``()`` for
+    that early exit, else ``(domains,)``; cached on the
+    (instance, matching) scratch entry (priorities never affect the
+    domains, so the semantics name is the whole key).
+    """
+    scratch = _scratch_for(instance, matching)
+    attr = "weak_mutual" if semantics == "mutual" else "weak_literal"
+    cached = getattr(scratch, attr)
+    if cached is not None:
+        return cached
+    improves = scratch.improves
+    fam_of = matching.tuple_index_array()
+    k = improves.shape[0]
+    if semantics == "mutual":
+        cand = improves & improves.transpose(1, 0, 3, 2)
+    else:
+        cand = improves | improves.transpose(1, 0, 3, 2)
+    cand = cand & (fam_of[:, None, :, None] != fam_of[None, :, None, :])
+    viable = cand.any(axis=(0, 2))  # (g, i): any partner in any gender
+    if not bool(viable.any(axis=1).all()):
+        result: tuple = ()
+    else:
+        result = ([np.flatnonzero(viable[g]).tolist() for g in range(k)],)
+    setattr(scratch, attr, result)
+    return result
+
+
 def find_weakened_blocking_family(
     instance: KPartiteInstance,
     matching: KAryMatching,
@@ -308,6 +365,9 @@ def find_weakened_blocking_family(
     first member placed from each source family is that group's lead.
     ``None`` means the matching is weakened-stable (hence also strongly
     stable, since every strong blocking family is a weakened one).
+    Candidates come from the memoized per-gender prescreen domains
+    (:func:`_weakened_domains`); an empty domain for any gender proves
+    stability without entering the DFS.
 
     Semantics — a reproduction finding
     ----------------------------------
@@ -324,7 +384,7 @@ def find_weakened_blocking_family(
     prefer the *leads* of other groups), and under it Theorem 5 holds,
     as E14 verifies exhaustively.  Default is ``"mutual"``.
     """
-    k, n = instance.k, instance.n
+    k = instance.k
     if priorities is None:
         priorities = list(range(k))
     if len(priorities) != k or len(set(priorities)) != k:
@@ -337,6 +397,10 @@ def find_weakened_blocking_family(
         )
     mutual = semantics == "mutual"
     order = sorted(range(k), key=lambda g: -priorities[g])
+    structures = _weakened_domains(instance, matching, semantics)
+    if structures == ():
+        return None  # some gender has no viable candidate at all
+    (domains,) = structures
     improves = _improvement_matrices(instance, matching)
     fam_of = matching.tuple_index_array()
     chosen: list[tuple[int, int, int, bool]] = []  # (gender, index, family, is_lead)
@@ -348,7 +412,7 @@ def find_weakened_blocking_family(
             members = sorted((g, i) for g, i, _, _ in chosen)
             return tuple(Member(g, i) for g, i in members)
         g = order[step]
-        for i in range(n):
+        for i in domains[g]:
             f = int(fam_of[g, i])
             is_lead = all(cf != f for _, _, cf, _ in chosen)
             ok = True

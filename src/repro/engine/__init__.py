@@ -36,7 +36,14 @@ from repro.engine.jobs import (
 )
 from repro.engine.telemetry import EngineTelemetry, matching_quality
 
+# re-exported so layers above the engine (service, fleet, CLI) can
+# validate backend names without importing repro.parallel directly —
+# the layering table routes everything serving-side through here.
+from repro.parallel.executor import BACKENDS, validate_backend
+
 __all__ = [
+    "BACKENDS",
+    "validate_backend",
     "CacheStats",
     "ResultCache",
     "FINGERPRINT_SCHEMA",

@@ -1,0 +1,164 @@
+"""Cross-instance arena batching for the engine's serial solve path.
+
+``MatchingEngine.solve_many`` historically solved every unique job with
+its own ``iterative_binding`` call — per-instance Python dispatch that
+dominates wall time when production traffic is thousands of *small*
+same-shape instances.  This module is the solve-stage middle layer that
+fixes it: after the cache and dedup stages have trimmed the batch, the
+surviving ``kary`` jobs are grouped by arena shape — ``(k, n)`` plus the
+resolved binding-tree edges — and every group the measured crossover
+(:func:`~repro.bipartite.gale_shapley_batch.resolve_batch_strategy`)
+says is worth stacking is packed into one ``(count, n, n)`` preference
+arena per tree edge and solved by the stacked GS kernel in a single
+vectorized pass per edge.
+
+Contracts preserved exactly (pinned by ``tests/engine/test_arena.py``):
+
+* payloads are byte-identical to the per-instance path (same matching
+  by proposer-optimality, same proposal totals by schedule invariance,
+  same quality block), so cache entries are interchangeable;
+* ``fault_hook`` fires once per job per attempt and a raising hook
+  fails only that job — the rest of its group still solves;
+* the ``solver_invocations`` / ``transient_failures`` telemetry
+  counters tick per *job*, exactly as the loop path does, so existing
+  op-counter gates in BENCH_perf.json are unaffected.
+
+Only the serial backend stacks: pool backends already overlap jobs
+across workers, and shipping arenas through pickled futures would
+serialize the win away.  Cache hits never reach this layer (the
+pipeline filters them before the solve stage).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.bipartite.gale_shapley_batch import (
+    gale_shapley_batch,
+    resolve_batch_strategy,
+)
+from repro.core.binding_tree import BindingTree
+from repro.core.kary_matching import KAryMatching
+from repro.engine.telemetry import EngineTelemetry, matching_quality
+from repro.exceptions import TransientWorkerError
+from repro.model.members import Member
+from repro.model.serialize import matching_to_dict
+from repro.obs.sink import NULL_SINK, ObsSink
+
+__all__ = ["stack_key", "solve_stacked_serial"]
+
+
+def stack_key(request: Any) -> "tuple | None":
+    """Arena-group key for a solve request, or ``None`` if unstackable.
+
+    Two jobs share an arena iff they are ``kary`` solves over instances
+    of the same ``(k, n)`` bound along the same resolved tree edges —
+    the GS engine choice is *not* part of the key because every engine
+    returns the identical matching and proposal total.
+    """
+    if request.solver != "kary":
+        return None
+    inst = request.instance
+    spec = request.spec()
+    tree = BindingTree.from_spec(inst.k, spec["tree"], spec.get("tree_seed"))
+    return (inst.k, inst.n, tree.edges)
+
+
+def _solve_group(
+    group: "list[Any]",
+    edges: "tuple[tuple[int, int], ...]",
+    sink: "ObsSink",
+    timer: Callable[[], float],
+) -> None:
+    """Solve one same-shape job group stacked; fill each job's payload."""
+    count = len(group)
+    instances = [job.request.instance for job in group]
+    n = instances[0].n
+    start = timer()
+    pairs: list[list[tuple[Member, Member]]] = [[] for _ in range(count)]
+    proposals = np.zeros(count, dtype=np.int64)
+    with sink.span(
+        "engine.stack", count=count, n=n, edges=[list(e) for e in edges]
+    ) as span:
+        for g, h in edges:
+            views = [inst.bipartite_view(g, h) for inst in instances]
+            p_stack = np.stack([v.proposer_prefs for v in views])
+            r_stack = np.stack([v.responder_ranks for v in views])
+            res = gale_shapley_batch(
+                p_stack, responder_ranks=r_stack, trusted=True, sink=sink
+            )
+            proposals += res.proposals
+            for c in range(count):
+                pairs[c].extend(
+                    (Member(g, i), Member(h, int(j)))
+                    for i, j in enumerate(res.matchings[c])
+                )
+        span.set(proposals=int(proposals.sum()))
+    elapsed = timer() - start
+    tree_edges = [list(e) for e in edges]
+    for c, job in enumerate(group):
+        matching = KAryMatching.from_pairs(instances[c], pairs[c])
+        job.payload = {
+            "status": "ok",
+            "solver": "kary",
+            "matching": matching_to_dict(matching),
+            "proposals": int(proposals[c]),
+            "rotations": 0,
+            "tree_edges": tree_edges,
+            "quality": matching_quality(matching),
+        }
+        job.seconds = elapsed / count
+
+
+def solve_stacked_serial(
+    jobs: "Sequence[Any]",
+    *,
+    telemetry: EngineTelemetry,
+    sink: "ObsSink | None",
+    fault_hook: "Callable[[Any, int], None] | None",
+    timer: Callable[[], float],
+    attempt: int,
+) -> "tuple[list[Any], list[Any]]":
+    """Stack-solve the eligible jobs of one serial dispatch round.
+
+    Groups the ``kary`` jobs by :func:`stack_key`, solves every group
+    the measured crossover favors as one arena (filling ``job.payload``
+    / ``job.seconds`` / ``job.attempts`` in place), and returns
+    ``(leftover, failed)``: jobs the per-instance loop must still solve,
+    and jobs whose ``fault_hook`` raised
+    :class:`~repro.exceptions.TransientWorkerError` this attempt.
+    """
+    obs = sink if sink is not None else NULL_SINK
+    groups: dict[tuple, list[Any]] = {}
+    leftover: list[Any] = []
+    for job in jobs:
+        key = stack_key(job.request)
+        if key is None:
+            leftover.append(job)
+        else:
+            groups.setdefault(key, []).append(job)
+    failed: list[Any] = []
+    for (_k, n, edges), group in groups.items():
+        if resolve_batch_strategy(len(group), n) != "stacked":
+            leftover.extend(group)
+            continue
+        survivors: list[Any] = []
+        for job in group:
+            job.attempts = attempt + 1
+            try:
+                if fault_hook is not None:
+                    fault_hook(job.request, attempt)
+            except TransientWorkerError:
+                telemetry.incr("transient_failures")
+                failed.append(job)
+                continue
+            telemetry.incr("solver_invocations")
+            survivors.append(job)
+        if not survivors:
+            continue
+        _solve_group(survivors, edges, obs, timer)
+        telemetry.incr("stack_groups")
+        telemetry.incr("stack_jobs", len(survivors))
+    return leftover, failed

@@ -42,6 +42,7 @@ from repro.core.binding_tree import BindingTree
 from repro.core.iterative_binding import iterative_binding
 from repro.core.priority_binding import priority_binding
 from repro.core.stability import find_blocking_family
+from repro.engine.arena import solve_stacked_serial
 from repro.engine.cache import ResultCache
 from repro.engine.fingerprint import instance_digest, solve_fingerprint
 from repro.engine.telemetry import EngineTelemetry, matching_quality
@@ -559,7 +560,20 @@ class MatchingEngine:
         failed: list[_Job] = []
         dispatched: list[tuple[_Job, Future[dict[str, Any]] | None]] = []
         with self.telemetry.timer("solve"):
-            for job in jobs:
+            singles: list[_Job] = jobs
+            if pool is None:
+                # serial backend: same-shape kary jobs stack into one
+                # arena solve; the rest fall through to the loop below
+                singles, stack_failed = solve_stacked_serial(
+                    jobs,
+                    telemetry=self.telemetry,
+                    sink=self.sink,
+                    fault_hook=self._fault_hook,
+                    timer=self._timer,
+                    attempt=attempt,
+                )
+                failed.extend(stack_failed)
+            for job in singles:
                 job.attempts = attempt + 1
                 start = self._timer()
                 task = (

@@ -156,10 +156,14 @@ class FleetCoordinator:
             "policy": self.config.policy,
             "workers": self.config.shard_workers,
             "cache_entries": self.config.cache_entries,
+            "engine_backend": self.config.engine_backend,
         }
 
     def _spawn(self, index: int, generation: int) -> _Worker:
         parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        # daemonic processes cannot have children, so a worker whose
+        # engine dispatches on a process pool must be non-daemonic; the
+        # drain/EOF protocol still reaps it on every exit path.
         process = self._mp.Process(
             target=worker_main,
             args=(
@@ -170,7 +174,7 @@ class FleetCoordinator:
                 self.cache_dir,
             ),
             name=f"repro-fleet-worker-{index}",
-            daemon=True,
+            daemon=self.config.engine_backend != "process",
         )
         process.start()
         child_conn.close()

@@ -4,7 +4,9 @@
 :class:`~repro.fleet.simfleet.SimulatedFleet`: the same seeded request
 stream (via :func:`~repro.service.loadgen.build_requests`, so a fleet
 soak and a single-service soak over the same profile see *identical*
-requests), the same open/closed arrival disciplines, the same virtual
+requests), the same arrival disciplines (open / closed / bursty /
+sequential, via the shared
+:func:`~repro.service.loadgen.arrival_gaps` schedule), the same virtual
 clock determinism contract — plus crash injection and the per-shard
 locality block in :attr:`~repro.service.loadgen.LoadReport.shards`.
 
@@ -21,26 +23,29 @@ from typing import Any
 from repro.fleet.simfleet import CrashPlan, FleetConfig, SimulatedFleet
 from repro.obs.record import Recorder
 from repro.service.clock import Clock, RealClock, VirtualClock, run_virtual
-from repro.service.loadgen import LoadProfile, LoadReport, build_requests
+from repro.service.loadgen import (
+    LoadProfile,
+    LoadReport,
+    arrival_gaps,
+    build_requests,
+)
 from repro.service.pipeline import (
     DEFAULT_PRIORITIES,
     ServiceRequest,
     ServiceResponse,
 )
-from repro.utils.rng import as_rng
 
 __all__ = ["run_fleet_load"]
 
 
-async def _drive_open(
+async def _drive_timed(
     fleet: SimulatedFleet,
     clock: Clock,
     profile: LoadProfile,
     requests: "list[ServiceRequest]",
 ) -> "list[ServiceResponse]":
-    """Open-loop driver: seeded exponential interarrivals at ``rate``/s."""
-    rng = as_rng(profile.seed + 1)  # same arrival stream as run_load
-    gaps = [float(g) for g in rng.exponential(1.0 / profile.rate, len(requests))]
+    """Schedule-driven driver: the same gap stream as ``run_load``."""
+    gaps = arrival_gaps(profile, len(requests))
     tasks: list[asyncio.Task[ServiceResponse]] = []
     loop = asyncio.get_running_loop()
     for request, gap in zip(requests, gaps):
@@ -114,6 +119,7 @@ def run_fleet_load(
         on_crash=base.on_crash,
         restart_delay_s=base.restart_delay_s,
         cache_entries=base.cache_entries,
+        engine_backend=base.engine_backend,
     )
     clock: Clock = VirtualClock() if virtual else RealClock()
     fleet = SimulatedFleet(fleet_config, clock=clock, crashes=crashes)
@@ -121,10 +127,10 @@ def run_fleet_load(
     async def soak() -> "tuple[list[ServiceResponse], float]":
         start = clock.now()
         async with fleet:
-            if profile.mode == "open":
-                responses = await _drive_open(fleet, clock, profile, requests)
-            else:
+            if profile.mode == "closed":
                 responses = await _drive_closed(fleet, profile, requests)
+            else:
+                responses = await _drive_timed(fleet, clock, profile, requests)
         return responses, clock.now() - start
 
     async def main() -> "tuple[list[ServiceResponse], float]":

@@ -40,6 +40,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.engine import validate_backend
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import MatchingEngine
 from repro.exceptions import ConfigurationError, ReproError, ServiceClosedError
@@ -132,6 +133,11 @@ class FleetConfig:
         dead shard's keys spill to their next ring points.
     cache_entries:
         Per-shard in-memory result-cache bound.
+    engine_backend:
+        Executor backend each shard's :class:`MatchingEngine` dispatches
+        solves on — one of :data:`repro.engine.BACKENDS`.  ``serial``
+        (the default) solves inline on the shard's event-loop thread;
+        ``thread``/``process`` give every shard its own pool.
     """
 
     workers: int = 4
@@ -145,8 +151,10 @@ class FleetConfig:
     on_crash: str = "reroute"
     restart_delay_s: float = 0.05
     cache_entries: int = 1024
+    engine_backend: str = "serial"
 
     def __post_init__(self) -> None:
+        validate_backend(self.engine_backend)
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         if self.router not in ROUTERS:
@@ -283,7 +291,7 @@ class SimulatedFleet:
             "service.queue_wait.seconds", DEFAULT_TIME_EDGES
         )
         engine = MatchingEngine(
-            backend="serial",
+            backend=self.config.engine_backend,
             cache=ResultCache(max_entries=self.config.cache_entries),
             sink=recorder,
         )

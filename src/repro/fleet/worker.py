@@ -89,7 +89,7 @@ async def _serve(
         "service.queue_wait.seconds", DEFAULT_TIME_EDGES
     )
     engine = MatchingEngine(
-        backend="serial",
+        backend=str(config_doc.get("engine_backend", "serial")),
         cache=ResultCache(
             max_entries=int(config_doc.get("cache_entries", 1024)),
             disk_dir=cache_dir,

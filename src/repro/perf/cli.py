@@ -10,8 +10,10 @@ main CLI).
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 from pathlib import Path
 
+from repro.exceptions import ConfigurationError
 from repro.perf.baseline import (
     compare_reports,
     load_baseline,
@@ -70,11 +72,25 @@ def run_perf(args: argparse.Namespace) -> int:
         return _report_failures(current, baseline, args)
     if args.perf_command == "history":
         return _run_history(args)
-    # check: re-measure, then gate against the committed baseline
+    # check: re-measure, then gate against the committed baseline.  A
+    # --workloads filter narrows the gate to the selected entries so a
+    # targeted smoke run is not failed for the workloads it skipped.
     baseline = load_baseline(args.baseline)
-    names = args.workloads if args.workloads is not None else ",".join(
-        baseline.results
-    )
+    if args.workloads is not None:
+        names = args.workloads
+        wanted = [w.strip() for w in names.split(",") if w.strip()]
+        missing = [w for w in wanted if w not in baseline.results]
+        if missing:
+            raise ConfigurationError(
+                f"workload(s) not in baseline {args.baseline}: "
+                + ", ".join(missing)
+            )
+        baseline = replace(
+            baseline,
+            results={w: baseline.results[w] for w in wanted},
+        )
+    else:
+        names = ",".join(baseline.results)
     current = run_workloads(names, trials=args.trials, warmup=args.warmup)
     print(format_report(current))
     if args.output is not None:

@@ -14,6 +14,7 @@ from repro.service.loadgen import (
     POPULARITY_MODES,
     LoadProfile,
     LoadReport,
+    arrival_gaps,
     popularity_weights,
     run_load,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "TokenBucket",
     "VirtualClock",
     "parse_service_request",
+    "arrival_gaps",
     "popularity_weights",
     "run_load",
     "run_virtual",

@@ -8,13 +8,20 @@ times, and modelled service costs are all drawn from one
 :class:`LoadProfile` always produces the same requests in the same
 order.
 
-Two arrival disciplines are supported:
+Four arrival disciplines are supported:
 
 * **open loop** — arrivals follow a seeded exponential interarrival
   schedule at ``rate`` requests/second, regardless of completions (the
   discipline that actually exposes queueing collapse);
 * **closed loop** — ``concurrency`` synthetic clients each keep exactly
-  one request in flight (classic think-time-free closed system).
+  one request in flight (classic think-time-free closed system);
+* **bursty** — seeded burst trains: geometric burst sizes (mean
+  ``burst_size``) arrive back-to-back, separated by exponential gaps
+  stretched so the long-run average rate still matches ``rate`` — the
+  shape that stresses admission control hardest at a given throughput;
+* **sequential** — the deterministic isochronous schedule, exactly one
+  arrival every ``1/rate`` seconds with no randomness at all (the
+  clean baseline the other disciplines are compared against).
 
 Under a :class:`~repro.service.clock.VirtualClock` the whole soak runs
 in simulated time — a thousand-request, minutes-long schedule executes
@@ -54,12 +61,15 @@ __all__ = [
     "POPULARITY_MODES",
     "LoadProfile",
     "LoadReport",
+    "arrival_gaps",
     "popularity_weights",
     "run_load",
 ]
 
-#: supported arrival disciplines.
-ARRIVAL_MODES = ("open", "closed")
+#: supported arrival disciplines.  ``open`` and ``closed`` are the
+#: historical pair; ``bursty`` and ``sequential`` share the open-loop
+#: driver with a different gap schedule (see :func:`arrival_gaps`).
+ARRIVAL_MODES = ("open", "closed", "bursty", "sequential")
 
 #: supported instance-popularity disciplines (how requests draw from
 #: the instance pool).  ``uniform`` is the historical behaviour;
@@ -78,8 +88,15 @@ class LoadProfile:
         Stream length and the single seed every random choice derives
         from.
     mode:
-        ``open`` (seeded Poisson arrivals at ``rate``/s) or ``closed``
-        (``concurrency`` clients, one request in flight each).
+        Arrival discipline, one of :data:`ARRIVAL_MODES`: ``open``
+        (seeded Poisson arrivals at ``rate``/s), ``closed``
+        (``concurrency`` clients, one request in flight each),
+        ``bursty`` (seeded burst trains averaging ``rate``/s), or
+        ``sequential`` (fixed ``1/rate`` gaps, no randomness).
+    burst_size:
+        Mean burst length for ``mode="bursty"`` (geometric burst sizes
+        are drawn with success probability ``1/burst_size``); other
+        modes ignore it.
     pool:
         Number of distinct instances; requests draw from the pool, so a
         smaller pool drives more engine cache/dedup hits.
@@ -134,6 +151,7 @@ class LoadProfile:
     cost_base_s: float = 0.01
     cost_jitter_s: float = 0.02
     clients: tuple[str, ...] = ("alpha", "beta", "gamma")
+    burst_size: float = 8.0
     popularity: str = "uniform"
     zipf_s: float = 1.1
     hotspot_fraction: float = 0.125
@@ -169,6 +187,10 @@ class LoadProfile:
         if not 0.0 <= self.tight_fraction <= 1.0:
             raise ConfigurationError(
                 f"tight_fraction must be in [0, 1], got {self.tight_fraction}"
+            )
+        if self.burst_size < 1.0:
+            raise ConfigurationError(
+                f"burst_size must be >= 1, got {self.burst_size}"
             )
 
 
@@ -304,15 +326,53 @@ def build_requests(
     return requests, costs
 
 
-async def _drive_open(
+def arrival_gaps(profile: LoadProfile, count: int) -> list[float]:
+    """Sleep gap before each of ``count`` arrivals, per the discipline.
+
+    A pure function of the profile (one ``seed + 1`` RNG stream,
+    independent of request content), shared by the single-service and
+    fleet drivers so both soak harnesses see identical schedules:
+
+    * ``open`` — seeded exponential interarrivals at ``rate``/s; the
+      exact historical draw, so pre-existing open-loop streams stay
+      byte-identical;
+    * ``sequential`` — a constant ``1/rate`` gap, no RNG at all;
+    * ``bursty`` — geometric burst sizes (mean ``burst_size``) arrive
+      back-to-back (zero gap within a burst); inter-burst gaps are
+      exponential with mean ``burst_size / rate`` so the long-run
+      average rate still matches ``rate``.
+
+    ``closed`` has no arrival schedule (completions drive admissions)
+    and is rejected here.
+    """
+    if profile.mode == "open":
+        rng = as_rng(profile.seed + 1)
+        return [float(g) for g in rng.exponential(1.0 / profile.rate, count)]
+    if profile.mode == "sequential":
+        return [1.0 / profile.rate] * count
+    if profile.mode == "bursty":
+        rng = as_rng(profile.seed + 1)
+        gaps: list[float] = []
+        while len(gaps) < count:
+            size = min(
+                int(rng.geometric(1.0 / profile.burst_size)), count - len(gaps)
+            )
+            gaps.append(float(rng.exponential(profile.burst_size / profile.rate)))
+            gaps.extend([0.0] * (size - 1))
+        return gaps
+    raise ConfigurationError(
+        f"mode {profile.mode!r} has no arrival schedule"
+    )
+
+
+async def _drive_timed(
     service: SolveService,
     clock: Clock,
     profile: LoadProfile,
     requests: list[ServiceRequest],
 ) -> list[ServiceResponse]:
-    """Open-loop driver: seeded exponential interarrivals at ``rate``/s."""
-    rng = as_rng(profile.seed + 1)  # arrival stream, independent of content
-    gaps = [float(g) for g in rng.exponential(1.0 / profile.rate, len(requests))]
+    """Schedule-driven driver for the open/bursty/sequential disciplines."""
+    gaps = arrival_gaps(profile, len(requests))
     tasks: list[asyncio.Task[ServiceResponse]] = []
     loop = asyncio.get_running_loop()
     for request, gap in zip(requests, gaps):
@@ -396,10 +456,10 @@ def run_load(
     async def soak() -> tuple[list[ServiceResponse], float]:
         start = clock.now()
         async with service:
-            if profile.mode == "open":
-                responses = await _drive_open(service, clock, profile, requests)
-            else:
+            if profile.mode == "closed":
                 responses = await _drive_closed(service, profile, requests)
+            else:
+                responses = await _drive_timed(service, clock, profile, requests)
         return responses, clock.now() - start
 
     async def main() -> tuple[list[ServiceResponse], float]:

@@ -1,0 +1,170 @@
+"""Property tests: the stacked arena engine is observationally identical.
+
+The batched engine runs one synchronous proposal round across every
+instance in the stack; a converged instance simply has no free
+proposers left.  Two schedule-invariant quantities pin equivalence with
+the single-instance engines (the same argument as
+``test_engine_equivalence.py``): the proposer-optimal matching and the
+per-instance proposal total — each proposer proposes to exactly the
+prefix of its list ending at its final partner, so the totals must
+match ``_gs_textbook`` exactly, instance by instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bipartite import (
+    BATCH_CROSSOVER_WORK,
+    gale_shapley,
+    gale_shapley_batch,
+    resolve_batch_strategy,
+)
+from repro.bipartite.verify import is_stable
+from repro.exceptions import InvalidInstanceError
+from repro.model.generators import random_smp
+
+
+def _stack(count, n, seed):
+    """(count, n, n) proposer and responder preference stacks."""
+    views = [random_smp(n, seed=seed + c).bipartite_view(0, 1) for c in range(count)]
+    p = np.stack([v.proposer_prefs for v in views])
+    r = np.stack([v.responder_prefs for v in views])
+    rr = np.stack([v.responder_ranks for v in views])
+    return p, r, rr
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 16, 64])
+    def test_matchings_and_proposals_match_textbook(self, count):
+        n = 12
+        p, r, _ = _stack(count, n, seed=3000 + count)
+        res = gale_shapley_batch(p, r)
+        assert res.count == count and res.n == n
+        for c in range(count):
+            solo = gale_shapley(p[c], r[c], engine="textbook")
+            assert tuple(res.matchings[c].tolist()) == solo.matching
+            assert int(res.proposals[c]) == solo.proposals
+            assert is_stable(p[c], r[c], res.matchings[c].tolist())
+
+    @pytest.mark.parametrize("n", list(range(2, 33)))
+    def test_full_small_n_range(self, n):
+        count = 5
+        p, r, _ = _stack(count, n, seed=4000 + n)
+        res = gale_shapley_batch(p, r)
+        for c in range(count):
+            solo = gale_shapley(p[c], r[c], engine="textbook")
+            assert tuple(res.matchings[c].tolist()) == solo.matching
+            assert int(res.proposals[c]) == solo.proposals
+
+    def test_mixed_ragged_shapes_solved_as_separate_stacks(self):
+        # a ragged batch can't share one arena; each shape group must
+        # independently agree with the per-instance engines (this is the
+        # contract the engine's shape-grouping relies on)
+        for count, n in [(3, 4), (2, 9), (4, 17), (1, 2)]:
+            p, r, _ = _stack(count, n, seed=5000 + 31 * count + n)
+            res = gale_shapley_batch(p, r)
+            for c in range(count):
+                solo = gale_shapley(p[c], r[c], engine="textbook")
+                assert tuple(res.matchings[c].tolist()) == solo.matching
+                assert int(res.proposals[c]) == solo.proposals
+
+    def test_precomputed_rank_path_identical(self):
+        p, r, rr = _stack(9, 11, seed=6000)
+        via_prefs = gale_shapley_batch(p, r)
+        via_ranks = gale_shapley_batch(p, responder_ranks=rr, trusted=True)
+        assert (via_prefs.matchings == via_ranks.matchings).all()
+        assert (via_prefs.proposals == via_ranks.proposals).all()
+        assert (via_prefs.rounds == via_ranks.rounds).all()
+
+    def test_rounds_match_solo_vectorized_engine(self):
+        # per-instance round counts equal the instance's solo
+        # round-synchronous schedule: the stack adds no extra rounds
+        p, r, _ = _stack(8, 10, seed=7000)
+        res = gale_shapley_batch(p, r)
+        for c in range(8):
+            solo = gale_shapley(p[c], r[c], engine="vectorized")
+            assert int(res.rounds[c]) == solo.rounds
+        assert res.rounds_total == int(res.rounds.max())
+
+
+class TestMaskedConvergence:
+    def test_instance_finishing_in_round_one_is_masked_out(self):
+        # instance 0: everyone agrees — all matched in round 1, done.
+        # instance 1: contested — takes several rounds.  The finished
+        # instance must contribute no further proposals or rounds.
+        n = 6
+        aligned = np.stack([np.roll(np.arange(n), -i) for i in range(n)])
+        _, r1, _ = _stack(1, n, seed=8000)
+        p = np.stack([aligned, r1[0]])  # r1[0] reused as a contested pref
+        contested_r = np.stack(
+            [np.roll(np.arange(n), i) for i in range(n)]
+        )  # everyone ranked differently per row
+        r = np.stack([aligned, contested_r])
+        res = gale_shapley_batch(p, r)
+        assert int(res.rounds[0]) == 1
+        assert int(res.proposals[0]) == n  # first choices only
+        solo = gale_shapley(p[1], r[1], engine="vectorized")
+        assert int(res.rounds[1]) == solo.rounds
+        assert int(res.proposals[1]) == solo.proposals
+        assert tuple(res.matchings[1].tolist()) == solo.matching
+
+    def test_result_accessor_round_trips(self):
+        p, r, _ = _stack(3, 5, seed=9000)
+        res = gale_shapley_batch(p, r)
+        one = res.result(1)
+        assert one.engine == "stacked"
+        assert one.matching == tuple(res.matchings[1].tolist())
+        assert one.proposals == int(res.proposals[1])
+
+
+class TestBatchValidation:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="count, n, n"):
+            gale_shapley_batch(np.zeros((2, 3, 4), dtype=np.int64), np.zeros((2, 3, 4), dtype=np.int64))
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="at least one"):
+            gale_shapley_batch(
+                np.zeros((0, 2, 2), dtype=np.int64), np.zeros((0, 2, 2), dtype=np.int64)
+            )
+
+    def test_bad_proposer_row_names_instance_and_proposer(self):
+        p, r, _ = _stack(3, 4, seed=10_000)
+        p = p.copy()
+        p[2, 1] = [0, 0, 1, 2]
+        with pytest.raises(InvalidInstanceError, match=r"instance 2 proposer 1"):
+            gale_shapley_batch(p, r)
+
+    def test_bad_responder_row_names_instance_and_responder(self):
+        p, r, _ = _stack(3, 4, seed=11_000)
+        r = r.copy()
+        r[1, 3] = [3, 3, 0, 1]
+        with pytest.raises(InvalidInstanceError, match=r"instance 1 responder 3"):
+            gale_shapley_batch(p, r)
+
+    def test_both_responder_inputs_rejected(self):
+        p, r, rr = _stack(2, 3, seed=12_000)
+        with pytest.raises(InvalidInstanceError, match="exactly one"):
+            gale_shapley_batch(p, r, responder_ranks=rr)
+        with pytest.raises(InvalidInstanceError, match="exactly one"):
+            gale_shapley_batch(p)
+
+    def test_mismatched_responder_shape_rejected(self):
+        p, _, _ = _stack(2, 3, seed=13_000)
+        _, r, _ = _stack(2, 4, seed=13_000)
+        with pytest.raises(InvalidInstanceError, match="must match"):
+            gale_shapley_batch(p, r)
+
+
+class TestBatchRouting:
+    def test_tiny_batches_route_to_loop(self):
+        assert resolve_batch_strategy(1, 4096) == "loop"
+        assert resolve_batch_strategy(4, 8) == "loop"
+        assert resolve_batch_strategy(16, 32) == "loop"
+
+    def test_dispatch_bound_volume_and_large_n_regimes_stack(self):
+        assert resolve_batch_strategy(8, 4) == "stacked"  # count >= 2n
+        assert resolve_batch_strategy(256, 32) == "stacked"  # count*n volume
+        assert resolve_batch_strategy(2, 512) == "stacked"  # large n
+        assert resolve_batch_strategy(64, 32) == "stacked"
+        assert 64 * 32 == BATCH_CROSSOVER_WORK

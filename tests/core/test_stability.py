@@ -174,6 +174,128 @@ class TestWeakenedBlocking:
         assert violations > 0
 
 
+def weakened_witness_exists(inst, matching, priorities, semantics):
+    """Independent exhaustive weakened-blocking check (no prescreen).
+
+    Evaluates the lead/same-family-group conditions directly from rank
+    lookups: the lead of every group must prefer each other-group
+    member to its current partner of that gender; under ``mutual``,
+    each other-group member must prefer the lead back.
+    """
+    for combo in itertools.product(range(inst.n), repeat=inst.k):
+        members = tuple(Member(g, i) for g, i in enumerate(combo))
+        fams = [matching.tuple_index(m) for m in members]
+        groups = set(fams)
+        if len(groups) < 2:
+            continue
+        lead_of = {
+            f: max(
+                (m for m, mf in zip(members, fams) if mf == f),
+                key=lambda m: priorities[m.gender],
+            )
+            for f in groups
+        }
+        ok = True
+        for f in groups:
+            lead = lead_of[f]
+            for y, yf in zip(members, fams):
+                if yf == f:
+                    continue
+                cur = matching.partner(lead, y.gender)
+                if not inst.rank(lead, y) < inst.rank(lead, cur):
+                    ok = False
+                    break
+                if semantics == "mutual":
+                    back = matching.partner(y, lead.gender)
+                    if not inst.rank(y, lead) < inst.rank(y, back):
+                        ok = False
+                        break
+            if not ok:
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestWeakenedPrescreenSoundness:
+    """The mutual-improvement prescreen must never change the answer.
+
+    ``find_weakened_blocking_family`` restricts the DFS to per-gender
+    candidate domains (and proves stability outright when a domain is
+    empty); these tests pin its verdict to an unprescreened exhaustive
+    evaluation of the lead/same-family-group semantics.
+    """
+
+    @staticmethod
+    def random_matching(inst, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        perms = [rng.permutation(inst.n) for _ in range(inst.k)]
+        return KAryMatching.from_tuples(
+            inst,
+            [
+                tuple(Member(g, int(perms[g][i])) for g in range(inst.k))
+                for i in range(inst.n)
+            ],
+        )
+
+    @pytest.mark.parametrize("semantics", ["literal", "mutual"])
+    def test_verdict_matches_exhaustive_search(self, semantics):
+        priorities = [0, 1, 2]
+        for seed in range(20):
+            inst = random_instance(3, 3, seed=100 + seed)
+            matching = self.random_matching(inst, seed)
+            expected = weakened_witness_exists(
+                inst, matching, priorities, semantics
+            )
+            witness = find_weakened_blocking_family(
+                inst, matching, priorities, semantics=semantics
+            )
+            assert (witness is not None) == expected, (seed, semantics)
+
+    @pytest.mark.parametrize("semantics", ["literal", "mutual"])
+    def test_verdict_matches_under_permuted_priorities(self, semantics):
+        priorities = [1, 2, 0]  # gender 1 leads mixed groups
+        for seed in range(12):
+            inst = random_instance(3, 3, seed=300 + seed)
+            matching = self.random_matching(inst, 40 + seed)
+            expected = weakened_witness_exists(
+                inst, matching, priorities, semantics
+            )
+            witness = find_weakened_blocking_family(
+                inst, matching, priorities, semantics=semantics
+            )
+            assert (witness is not None) == expected, (seed, semantics)
+
+    def test_stable_binding_output_exits_via_empty_domain(self):
+        """Chain-bound matchings are weakened(mutual)-stable and should
+        be proved so by the prescreen alone (domains cached as ())."""
+        from repro.core.stability import _scratch_for
+
+        inst = random_instance(3, 4, seed=9)
+        res = iterative_binding(inst, BindingTree.chain(3))
+        assert find_weakened_blocking_family(inst, res.matching) is None
+        assert _scratch_for(inst, res.matching).weak_mutual == ()
+
+    def test_domains_cached_per_semantics(self):
+        from repro.core.stability import _scratch_for
+
+        inst = random_instance(3, 3, seed=123)
+        matching = self.random_matching(inst, 7)
+        find_weakened_blocking_family(inst, matching, semantics="mutual")
+        find_weakened_blocking_family(inst, matching, semantics="literal")
+        scratch = _scratch_for(inst, matching)
+        assert scratch.weak_mutual is not None
+        assert scratch.weak_literal is not None
+        # literal relaxes the mask, so its domains are supersets
+        if scratch.weak_mutual != () and scratch.weak_literal != ():
+            for got, relaxed in zip(
+                scratch.weak_mutual[0], scratch.weak_literal[0]
+            ):
+                assert set(got) <= set(relaxed)
+
+
 class TestBlockingPairsBetween:
     def test_no_pairs_on_bound_edges(self):
         inst = random_instance(3, 4, seed=1)

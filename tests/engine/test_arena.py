@@ -1,0 +1,204 @@
+"""Arena batching in the engine's serial solve path.
+
+These tests pin the contracts the stacked solve stage must preserve:
+payload byte-parity with the per-instance path (cache entries are
+interchangeable), per-job fault injection and telemetry, shape-group
+routing, and the crossover rule deciding loop vs stack.
+"""
+
+import pytest
+
+from repro.core.binding_tree import BindingTree
+from repro.core.iterative_binding import iterative_binding
+from repro.engine import MatchingEngine, ResultCache, RetryPolicy, SolveRequest
+from repro.engine.arena import stack_key
+from repro.engine.telemetry import matching_quality
+from repro.exceptions import TransientWorkerError
+from repro.model.generators import random_instance
+from repro.model.serialize import matching_to_dict
+
+K, N = 3, 4
+#: enough same-shape jobs that resolve_batch_strategy says "stacked"
+COUNT = 24
+
+
+@pytest.fixture
+def fleet_of_instances():
+    return [random_instance(K, N, seed=s) for s in range(COUNT)]
+
+
+def _expected_payload(inst, tree):
+    direct = iterative_binding(inst, tree)
+    return {
+        "status": "ok",
+        "solver": "kary",
+        "matching": matching_to_dict(direct.matching),
+        "proposals": direct.total_proposals,
+        "rotations": 0,
+        "tree_edges": [list(e) for e in direct.tree.edges],
+        "quality": matching_quality(direct.matching),
+    }
+
+
+class TestStackedPayloadParity:
+    def test_payloads_identical_to_per_instance_path(self, fleet_of_instances):
+        engine = MatchingEngine()
+        results = engine.solve_many(
+            [SolveRequest(instance=i) for i in fleet_of_instances]
+        )
+        assert engine.telemetry.count("stack_groups") == 1
+        assert engine.telemetry.count("stack_jobs") == COUNT
+        assert engine.telemetry.count("solver_invocations") == COUNT
+        tree = BindingTree.chain(K)
+        for res, inst in zip(results, fleet_of_instances):
+            assert dict(res.payload) == _expected_payload(inst, tree)
+            assert res.attempts == 1
+            assert res.seconds >= 0.0
+
+    def test_star_tree_groups_separately_from_chain(self, fleet_of_instances):
+        engine = MatchingEngine()
+        reqs = [SolveRequest(instance=i) for i in fleet_of_instances]
+        reqs += [SolveRequest(instance=i, tree="star") for i in fleet_of_instances]
+        results = engine.solve_many(reqs)
+        assert engine.telemetry.count("stack_groups") == 2
+        star = BindingTree.star(K)
+        for res, inst in zip(results[COUNT:], fleet_of_instances):
+            assert dict(res.payload) == _expected_payload(inst, star)
+
+    def test_gs_engine_choice_shares_one_stack(self, fleet_of_instances):
+        # all GS engines return the identical matching and proposal
+        # total, so the engine field is deliberately not in the group key
+        engine = MatchingEngine()
+        half = COUNT // 2
+        reqs = [SolveRequest(instance=i) for i in fleet_of_instances[:half]]
+        reqs += [
+            SolveRequest(instance=i, gs_engine="vectorized")
+            for i in fleet_of_instances[half:]
+        ]
+        results = engine.solve_many(reqs)
+        assert engine.telemetry.count("stack_groups") == 1
+        tree = BindingTree.chain(K)
+        for res, inst in zip(results, fleet_of_instances):
+            assert dict(res.payload) == _expected_payload(inst, tree)
+
+    def test_stacked_results_verify_stable(self, fleet_of_instances):
+        engine = MatchingEngine()
+        results = engine.solve_many(
+            [SolveRequest(instance=i, verify=True) for i in fleet_of_instances]
+        )
+        assert all(r.stable is True for r in results)
+
+
+class TestCacheInterchangeability:
+    def test_stacked_entries_hit_from_per_instance_path(self, fleet_of_instances):
+        cache = ResultCache()
+        batch_engine = MatchingEngine(cache=cache)
+        batch_engine.solve_many([SolveRequest(instance=i) for i in fleet_of_instances])
+        solo_engine = MatchingEngine(cache=cache)
+        res = solo_engine.submit(SolveRequest(instance=fleet_of_instances[0]))
+        assert res.from_cache
+        assert solo_engine.telemetry.count("solver_invocations") == 0
+
+    def test_per_instance_entries_exclude_jobs_from_the_stack(
+        self, fleet_of_instances
+    ):
+        cache = ResultCache()
+        warm = MatchingEngine(cache=cache)
+        warm.solve_many([SolveRequest(instance=i) for i in fleet_of_instances[:5]])
+        engine = MatchingEngine(cache=cache)
+        results = engine.solve_many(
+            [SolveRequest(instance=i) for i in fleet_of_instances]
+        )
+        assert engine.telemetry.count("cache_hits") == 5
+        # only the 19 misses were stacked — below COUNT but above crossover
+        assert engine.telemetry.count("stack_jobs") == COUNT - 5
+        assert all(r.from_cache for r in results[:5])
+        assert not any(r.from_cache for r in results[5:])
+
+
+class TestStackedFaults:
+    def test_hook_fails_only_its_job_rest_of_group_solves(self, fleet_of_instances):
+        cursed = SolveRequest(instance=fleet_of_instances[3]).fingerprint()
+
+        def hook(request, attempt):
+            if request.fingerprint() == cursed:
+                raise TransientWorkerError("cursed job")
+
+        engine = MatchingEngine(
+            fault_hook=hook, retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0)
+        )
+        with pytest.raises(TransientWorkerError) as exc_info:
+            engine.solve_many([SolveRequest(instance=i) for i in fleet_of_instances])
+        assert exc_info.value.attempts == 2
+        # the other jobs of the group solved and stayed cached
+        assert SolveRequest(instance=fleet_of_instances[0]).fingerprint() in engine.cache
+        assert engine.telemetry.count("stack_jobs") == COUNT - 1
+
+    def test_transient_group_member_retries_into_the_next_round(
+        self, fleet_of_instances
+    ):
+        flaky = SolveRequest(instance=fleet_of_instances[3]).fingerprint()
+        seen = []
+
+        def hook(request, attempt):
+            if request.fingerprint() == flaky:
+                seen.append(attempt)
+                if attempt == 0:
+                    raise TransientWorkerError("first attempt lost")
+
+        engine = MatchingEngine(
+            fault_hook=hook,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        )
+        results = engine.solve_many(
+            [SolveRequest(instance=i) for i in fleet_of_instances]
+        )
+        assert seen == [0, 1]
+        assert all(r.ok for r in results)
+        assert results[3].attempts == 2
+        assert engine.telemetry.count("retries") == 1
+
+
+class TestRoutingIntoTheStack:
+    def test_small_batches_keep_the_loop_path(self, fleet_of_instances):
+        engine = MatchingEngine()
+        results = engine.solve_many(
+            [SolveRequest(instance=i) for i in fleet_of_instances[:3]]
+        )
+        assert all(r.ok for r in results)
+        assert engine.telemetry.count("stack_groups") == 0
+        assert engine.telemetry.count("solver_invocations") == 3
+
+    def test_non_kary_solvers_never_stack(self, fleet_of_instances):
+        engine = MatchingEngine()
+        results = engine.solve_many(
+            [SolveRequest(instance=i, solver="priority") for i in fleet_of_instances]
+        )
+        assert all(r.ok for r in results)
+        assert engine.telemetry.count("stack_groups") == 0
+
+    def test_thread_backend_never_stacks(self, fleet_of_instances):
+        with MatchingEngine(backend="thread", max_workers=2) as engine:
+            results = engine.solve_many(
+                [SolveRequest(instance=i) for i in fleet_of_instances]
+            )
+        assert all(r.ok for r in results)
+        assert engine.telemetry.count("stack_groups") == 0
+
+    def test_mixed_shapes_group_independently(self):
+        small = [random_instance(K, N, seed=s) for s in range(COUNT)]
+        other = [random_instance(K, 5, seed=100 + s) for s in range(COUNT)]
+        engine = MatchingEngine()
+        reqs = [SolveRequest(instance=i) for i in small + other]
+        results = engine.solve_many(reqs)
+        assert all(r.ok for r in results)
+        assert engine.telemetry.count("stack_groups") == 2
+        assert engine.telemetry.count("stack_jobs") == 2 * COUNT
+
+    def test_stack_key_none_for_binary_and_distinct_per_tree(self, fleet_of_instances):
+        inst = fleet_of_instances[0]
+        assert stack_key(SolveRequest(instance=inst, solver="binary")) is None
+        chain = stack_key(SolveRequest(instance=inst))
+        star = stack_key(SolveRequest(instance=inst, tree="star"))
+        assert chain is not None and star is not None and chain != star
+        assert chain == (K, N, BindingTree.chain(K).edges)

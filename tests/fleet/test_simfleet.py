@@ -51,6 +51,8 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             FleetConfig(restart_delay_s=-1.0)
         with pytest.raises(ConfigurationError):
+            FleetConfig(engine_backend="fiber")
+        with pytest.raises(ConfigurationError):
             CrashPlan(shard_index=-1, at_s=0.0)
         with pytest.raises(ConfigurationError):
             CrashPlan(shard_index=0, at_s=-1.0)

@@ -37,12 +37,14 @@ class TestBuildRequests:
         with pytest.raises(ConfigurationError):
             LoadProfile(requests=0)
         with pytest.raises(ConfigurationError):
-            LoadProfile(mode="bursty")
+            LoadProfile(mode="lockstep")
         with pytest.raises(ConfigurationError):
             LoadProfile(rate=0.0)
         with pytest.raises(ConfigurationError):
             LoadProfile(tight_fraction=1.5)
-        assert ARRIVAL_MODES == ("open", "closed")
+        with pytest.raises(ConfigurationError):
+            LoadProfile(burst_size=0.5)
+        assert ARRIVAL_MODES == ("open", "closed", "bursty", "sequential")
 
 
 class TestVirtualSoak:
@@ -92,6 +94,77 @@ class TestVirtualSoak:
         report = run_load(PROFILE, config=config)
         assert report.lost == 0
         assert report.outcomes.get("shed", 0) > 0  # tiny queue actually sheds
+
+
+class TestArrivalDisciplines:
+    def test_open_schedule_is_byte_identical_to_the_historical_stream(self):
+        # the refactor into arrival_gaps must not perturb a single draw:
+        # open mode keeps the exact seed+1 exponential stream
+        from repro.service.loadgen import arrival_gaps
+        from repro.utils.rng import as_rng
+
+        gaps = arrival_gaps(PROFILE, PROFILE.requests)
+        rng = as_rng(PROFILE.seed + 1)
+        expected = [
+            float(g) for g in rng.exponential(1.0 / PROFILE.rate, PROFILE.requests)
+        ]
+        assert gaps == expected
+
+    def test_sequential_schedule_is_isochronous(self):
+        from repro.service.loadgen import arrival_gaps
+
+        profile = LoadProfile(requests=10, seed=3, mode="sequential", rate=50.0)
+        assert arrival_gaps(profile, 10) == [1.0 / 50.0] * 10
+
+    def test_bursty_schedule_shape(self):
+        from repro.service.loadgen import arrival_gaps
+
+        profile = LoadProfile(
+            requests=200, seed=5, mode="bursty", rate=100.0, burst_size=8.0
+        )
+        gaps = arrival_gaps(profile, 200)
+        assert len(gaps) == 200
+        assert gaps == arrival_gaps(profile, 200)  # pure function of the profile
+        zeros = sum(1 for g in gaps if g == 0.0)
+        positive = [g for g in gaps if g > 0.0]
+        # trains exist: most arrivals ride inside a burst, and every
+        # burst leader carries a strictly positive inter-burst gap
+        assert zeros > 100
+        assert gaps[0] > 0.0
+        # long-run average rate stays near the configured rate: total
+        # span is (requests / rate) in expectation
+        assert sum(positive) == pytest.approx(200 / 100.0, rel=0.5)
+
+    def test_closed_mode_has_no_schedule(self):
+        from repro.service.loadgen import arrival_gaps
+
+        with pytest.raises(ConfigurationError):
+            arrival_gaps(LoadProfile(requests=10, mode="closed"), 10)
+
+    def test_bursty_soak_is_deterministic_and_loses_nothing(self):
+        profile = LoadProfile(requests=60, seed=9, mode="bursty", burst_size=6.0)
+        first = run_load(profile)
+        second = run_load(profile)
+        assert first.outcome_by_id == second.outcome_by_id
+        assert first.duration_s == second.duration_s
+        assert first.lost == 0 and first.mode == "bursty"
+
+    def test_sequential_soak_is_deterministic_and_loses_nothing(self):
+        profile = LoadProfile(requests=40, seed=4, mode="sequential", rate=150.0)
+        first = run_load(profile)
+        second = run_load(profile)
+        assert first.outcome_by_id == second.outcome_by_id
+        assert first.lost == 0 and first.mode == "sequential"
+
+    def test_fleet_soak_supports_the_new_disciplines(self):
+        from repro.fleet import FleetConfig, run_fleet_load
+
+        profile = LoadProfile(requests=60, seed=9, mode="bursty", burst_size=6.0)
+        report = run_fleet_load(profile, config=FleetConfig(workers=2))
+        rerun = run_fleet_load(profile, config=FleetConfig(workers=2))
+        assert report.outcome_by_id == rerun.outcome_by_id
+        assert report.lost == 0
+        assert len(report.shards) == 2
 
 
 class TestPopularityModes:

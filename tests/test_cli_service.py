@@ -140,6 +140,34 @@ class TestServeFleet:
         assert rc == 2
         assert "incompatible" in capsys.readouterr().err
 
+    def test_fleet_shards_on_thread_engine_backend(self, stream, capsys):
+        path = stream(
+            [
+                request_line("t1", solver="kary", verify=True),
+                request_line("t2", solver="priority"),
+                request_line("t3", solver="kary"),
+            ]
+        )
+        rc = main(
+            [
+                "serve", "--input", path, "--fleet", "2",
+                "--engine-backend", "thread",
+            ]
+        )
+        out_lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 0
+        assert [d["id"] for d in out_lines] == ["t1", "t2", "t3"]
+        assert all(d["outcome"] == "ok" for d in out_lines)
+        assert out_lines[0]["stable"] is True
+
+    def test_unknown_engine_backend_is_an_argparse_error(self, stream):
+        path = stream([request_line("x")])
+        with pytest.raises(SystemExit):
+            main(
+                ["serve", "--input", path, "--fleet", "2",
+                 "--engine-backend", "fiber"]
+            )
+
 
 class TestLoadFleet:
     def test_check_with_crash_passes_and_reports_shards(self, tmp_path, capsys):
