@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint lint-strict lint-sarif typecheck test bench bench-smoke perf perf-smoke perf-history trace-smoke service-smoke fleet-smoke examples fast slow all clean
+.PHONY: install lint lint-strict lint-sarif typecheck test bench bench-smoke perf perf-smoke perf-history trace-smoke service-smoke fleet-smoke replay-smoke examples fast slow all clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -93,6 +93,24 @@ fleet-smoke:
 		--seed 20260806 --pool 16 --popularity zipfian \
 		--crash-shard 2 --crash-at 0.5 \
 		--check --out fleet_load_report.json
+
+# record & replay gate: capture the wire traffic of a 1k-request seeded
+# virtual soak, then re-drive the capture through a fresh serving stack.
+# `replay --check` runs the replay twice and fails unless both runs
+# agree byte-for-byte on the LoadReport, the metrics snapshot, and the
+# journal; the final diff pins the stronger contract — the replayed
+# report must be byte-identical to the *original* soak's report
+replay-smoke:
+	PYTHONPATH=src $(PY) -m repro load --requests 1000 --seed 20260806 \
+		--capture replay_capture.jsonl --out replay_original_report.json
+	PYTHONPATH=src $(PY) -m repro replay replay_capture.jsonl --check \
+		--out replay_replayed_report.json
+	@$(PY) -c "import json, sys; \
+a = json.load(open('replay_original_report.json')); \
+b = json.load(open('replay_replayed_report.json')); \
+sys.exit('replay-smoke FAILED: replayed report differs from original' \
+    if json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True) else 0); \
+" && echo "replay-smoke OK: replayed report byte-identical to original"
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; \

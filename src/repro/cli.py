@@ -42,6 +42,11 @@ Subcommands
     Seeded open/closed-loop load generation against an in-process
     service; emits the latency/throughput report, optionally
     double-runs for the determinism check (``--check``).
+``replay``
+    Re-drive a traffic capture (``serve --capture`` /
+    ``load --capture``) through a fresh serving stack under the
+    virtual clock; ``--check`` gates byte-identical reproduction
+    (see docs/SERVICE.md, "Record & replay").
 """
 
 from __future__ import annotations
@@ -443,6 +448,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor backend for the solve stage (with --fleet: "
         "each shard gets its own pool of this kind)",
     )
+    serve.add_argument(
+        "--capture",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record every inbound request (and its outcome) to this "
+        "capture file for `repro replay`",
+    )
+    serve.add_argument(
+        "--shared-disk-cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="fleet only: share one disk-backed result-cache directory "
+        "across all shards (cross-shard warm hits survive crashes)",
+    )
 
     load = sub.add_parser(
         "load",
@@ -532,6 +553,56 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="fleet only: write the combined shard-tagged journal here",
+    )
+    load.add_argument(
+        "--capture",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record the soak's wire traffic to this capture file for "
+        "`repro replay` (with --check, only the first run is captured)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-drive a recorded traffic capture deterministically",
+    )
+    replay.add_argument(
+        "capture", type=Path, help="capture file (from serve/load --capture)"
+    )
+    replay.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay against a simulated N-shard fleet (default: the "
+        "topology recorded in the capture header)",
+    )
+    replay.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="compress the arrival schedule by X (2.0 = twice as fast); "
+        "only 1.0 reproduces the captured run byte-for-byte",
+    )
+    replay.add_argument(
+        "--check",
+        action="store_true",
+        help="replay twice and fail unless the two runs agree "
+        "byte-for-byte on report, metrics snapshot, and journal",
+    )
+    replay.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the replayed JSON load report here (default: stdout)",
+    )
+    replay.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="write the replayed combined journal (JSONL) here",
     )
     return parser
 
@@ -779,6 +850,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             "--virtual needs a bounded input stream; it cannot drive a socket"
         )
+    if args.shared_disk_cache is not None and not args.fleet:
+        raise ConfigurationError(
+            "--shared-disk-cache is a fleet device; it requires --fleet N"
+        )
     if args.fleet:
         if args.socket is not None or args.virtual:
             raise ConfigurationError(
@@ -798,11 +873,25 @@ def _run_serve(args: argparse.Namespace) -> int:
     engine = MatchingEngine(backend=args.engine_backend)
     service = SolveService(engine, config=config, clock=clock)
 
+    tap = None
+    if args.capture is not None:
+        from repro.obs import CaptureWriter
+        from repro.service import capture_context
+
+        tap = CaptureWriter(
+            args.capture,
+            now=clock.now,
+            start=0.0 if args.virtual else None,
+            context=capture_context(
+                kind="serve", virtual=args.virtual, config=config
+            ),
+        )
+
     if args.socket is not None:
 
         async def run_socket() -> None:
             async with service:
-                server = await serve_socket(service, str(args.socket))
+                server = await serve_socket(service, str(args.socket), tap=tap)
                 async with server:
                     await server.serve_forever()
 
@@ -810,6 +899,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             asyncio.run(run_socket())
         except KeyboardInterrupt:
             pass
+        finally:
+            if tap is not None:
+                tap.close()
         return 0
 
     if args.input is not None:
@@ -819,14 +911,18 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     async def run_stream() -> list[str]:
         async with service:
-            return await serve_lines(service, lines)
+            return await serve_lines(service, lines, tap=tap)
 
     async def run_main() -> list[str]:
         if isinstance(clock, VirtualClock):
             return await run_virtual(clock, run_stream())
         return await run_stream()
 
-    out = asyncio.run(run_main())
+    try:
+        out = asyncio.run(run_main())
+    finally:
+        if tap is not None:
+            tap.close()
     exit_code = 0
     for line in out:
         print(line)
@@ -854,11 +950,33 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
     else:
         lines = sys.stdin.read().splitlines()
 
+    tap = None
+    if args.capture is not None:
+        from repro.fleet import fleet_capture_context
+        from repro.obs import CaptureWriter
+
+        tap = CaptureWriter(
+            args.capture,
+            context=fleet_capture_context(
+                kind="serve-fleet", virtual=False, profile=None, config=config
+            ),
+        )
+    cache_dir = (
+        str(args.shared_disk_cache)
+        if args.shared_disk_cache is not None
+        else None
+    )
+
     async def run_stream() -> list[str]:
-        async with FleetCoordinator(config) as fleet:
+        coordinator = FleetCoordinator(config, cache_dir=cache_dir, tap=tap)
+        async with coordinator as fleet:
             return await serve_fleet_lines(fleet, lines)
 
-    out = asyncio.run(run_stream())
+    try:
+        out = asyncio.run(run_stream())
+    finally:
+        if tap is not None:
+            tap.close()
     exit_code = 0
     for line in out:
         print(line)
@@ -889,7 +1007,9 @@ def _run_load(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     virtual = not args.real
-    report = run_load(profile, config=config, virtual=virtual)
+    report = run_load(
+        profile, config=config, virtual=virtual, capture=args.capture
+    )
     if args.check:
         failures: list[str] = []
         rerun = run_load(profile, config=config, virtual=virtual)
@@ -960,7 +1080,7 @@ def _run_load_fleet(args: argparse.Namespace, profile: "Any") -> int:
     journal = str(args.fleet_journal) if args.fleet_journal is not None else None
     report = run_fleet_load(
         profile, config=config, crashes=crashes, virtual=virtual,
-        journal_path=journal,
+        journal_path=journal, capture=args.capture,
     )
     if args.check:
         failures: list[str] = []
@@ -1010,6 +1130,38 @@ def _run_load_fleet(args: argparse.Namespace, profile: "Any") -> int:
         f"fleet soak: {report.responded}/{report.accepted} responded in "
         f"{report.duration_s:.3f}s ({'virtual' if report.virtual else 'wall'}); "
         f"warm-cache hit rates: {hit_rates}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    """``repro replay``: re-drive a capture; ``--check`` gates determinism."""
+    from repro.replay import replay_capture, replay_check
+
+    if args.check:
+        check = replay_check(args.capture, fleet=args.fleet, speed=args.speed)
+        if not check.ok:
+            for mismatch in check.mismatches:
+                print(f"replay check FAILED: {mismatch}", file=sys.stderr)
+            return 1
+        result = check.first
+        print(
+            f"replay check OK: {result.report.requests} requests, two "
+            f"replays byte-identical (report, metrics snapshot, journal)"
+        )
+    else:
+        result = replay_capture(args.capture, fleet=args.fleet, speed=args.speed)
+    if args.journal is not None:
+        args.journal.write_text("\n".join(result.journal_lines()) + "\n")
+    _emit(result.report.to_json(indent=2), args.out)
+    summary = ", ".join(
+        f"{name}={count}" for name, count in sorted(result.report.outcomes.items())
+    )
+    print(
+        f"replayed {result.kind} capture: {result.report.responded}/"
+        f"{result.report.accepted} responded in "
+        f"{result.report.duration_s:.3f}s (virtual): {summary}",
         file=sys.stderr,
     )
     return 0
@@ -1071,6 +1223,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "load":
         try:
             return _run_load(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "replay":
+        try:
+            return _run_replay(args)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

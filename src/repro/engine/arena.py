@@ -23,10 +23,15 @@ Contracts preserved exactly (pinned by ``tests/engine/test_arena.py``):
   counters tick per *job*, exactly as the loop path does, so existing
   op-counter gates in BENCH_perf.json are unaffected.
 
-Only the serial backend stacks: pool backends already overlap jobs
-across workers, and shipping arenas through pickled futures would
-serialize the win away.  Cache hits never reach this layer (the
-pipeline filters them before the solve stage).
+Pool backends stack too, one arena per *worker*: the eligible jobs are
+split into per-worker sub-chunks (each gated by the same crossover at
+its own chunk size), and every chunk ships as a single picklable pool
+task (:func:`solve_stacked_chunk`) — so a worker amortizes dispatch
+across its whole chunk instead of paying one future round-trip per
+instance.  Per-job timeouts cannot be enforced inside a shared chunk,
+so only timeout-free jobs are chunked; the rest keep the per-job
+future path.  Cache hits never reach this layer (the pipeline filters
+them before the solve stage).
 """
 
 from __future__ import annotations
@@ -44,10 +49,15 @@ from repro.core.kary_matching import KAryMatching
 from repro.engine.telemetry import EngineTelemetry, matching_quality
 from repro.exceptions import TransientWorkerError
 from repro.model.members import Member
-from repro.model.serialize import matching_to_dict
+from repro.model.serialize import instance_from_json, matching_to_dict
 from repro.obs.sink import NULL_SINK, ObsSink
 
-__all__ = ["stack_key", "solve_stacked_serial"]
+__all__ = [
+    "stack_key",
+    "solve_stacked_serial",
+    "plan_stacked_pool",
+    "solve_stacked_chunk",
+]
 
 
 def stack_key(request: Any) -> "tuple | None":
@@ -66,6 +76,52 @@ def stack_key(request: Any) -> "tuple | None":
     return (inst.k, inst.n, tree.edges)
 
 
+def _arena_payloads(
+    instances: "list[Any]",
+    edges: "tuple[tuple[int, int], ...]",
+    sink: "ObsSink",
+) -> "tuple[list[dict[str, Any]], int]":
+    """Solve same-shape instances as one arena; return per-instance payloads.
+
+    The shared numeric core behind both the serial group solve and the
+    pool-worker chunk entry: one stacked GS pass per tree edge, then
+    per-instance payload assembly (byte-identical to the per-instance
+    loop path).  Returns ``(payloads, total_proposals)``.
+    """
+    count = len(instances)
+    pairs: list[list[tuple[Member, Member]]] = [[] for _ in range(count)]
+    proposals = np.zeros(count, dtype=np.int64)
+    for g, h in edges:
+        views = [inst.bipartite_view(g, h) for inst in instances]
+        p_stack = np.stack([v.proposer_prefs for v in views])
+        r_stack = np.stack([v.responder_ranks for v in views])
+        res = gale_shapley_batch(
+            p_stack, responder_ranks=r_stack, trusted=True, sink=sink
+        )
+        proposals += res.proposals
+        for c in range(count):
+            pairs[c].extend(
+                (Member(g, i), Member(h, int(j)))
+                for i, j in enumerate(res.matchings[c])
+            )
+    tree_edges = [list(e) for e in edges]
+    payloads: list[dict[str, Any]] = []
+    for c, inst in enumerate(instances):
+        matching = KAryMatching.from_pairs(inst, pairs[c])
+        payloads.append(
+            {
+                "status": "ok",
+                "solver": "kary",
+                "matching": matching_to_dict(matching),
+                "proposals": int(proposals[c]),
+                "rotations": 0,
+                "tree_edges": tree_edges,
+                "quality": matching_quality(matching),
+            }
+        )
+    return payloads, int(proposals.sum())
+
+
 def _solve_group(
     group: "list[Any]",
     edges: "tuple[tuple[int, int], ...]",
@@ -77,39 +133,32 @@ def _solve_group(
     instances = [job.request.instance for job in group]
     n = instances[0].n
     start = timer()
-    pairs: list[list[tuple[Member, Member]]] = [[] for _ in range(count)]
-    proposals = np.zeros(count, dtype=np.int64)
     with sink.span(
         "engine.stack", count=count, n=n, edges=[list(e) for e in edges]
     ) as span:
-        for g, h in edges:
-            views = [inst.bipartite_view(g, h) for inst in instances]
-            p_stack = np.stack([v.proposer_prefs for v in views])
-            r_stack = np.stack([v.responder_ranks for v in views])
-            res = gale_shapley_batch(
-                p_stack, responder_ranks=r_stack, trusted=True, sink=sink
-            )
-            proposals += res.proposals
-            for c in range(count):
-                pairs[c].extend(
-                    (Member(g, i), Member(h, int(j)))
-                    for i, j in enumerate(res.matchings[c])
-                )
-        span.set(proposals=int(proposals.sum()))
+        payloads, total = _arena_payloads(instances, edges, sink)
+        span.set(proposals=total)
     elapsed = timer() - start
-    tree_edges = [list(e) for e in edges]
-    for c, job in enumerate(group):
-        matching = KAryMatching.from_pairs(instances[c], pairs[c])
-        job.payload = {
-            "status": "ok",
-            "solver": "kary",
-            "matching": matching_to_dict(matching),
-            "proposals": int(proposals[c]),
-            "rotations": 0,
-            "tree_edges": tree_edges,
-            "quality": matching_quality(matching),
-        }
+    for job, payload in zip(group, payloads):
+        job.payload = payload
         job.seconds = elapsed / count
+
+
+def solve_stacked_chunk(
+    edges: "tuple[tuple[int, int], ...]",
+    instance_jsons: "list[str]",
+) -> "list[dict[str, Any]]":
+    """Pool-worker entry: solve one pickled same-shape chunk stacked.
+
+    Mirrors ``_solve_worker``'s contract (top-level and picklable, no
+    sink — pool workers stay sink-free) but solves the whole chunk as
+    one arena, returning one payload per instance in chunk order.
+    """
+    instances = [instance_from_json(text) for text in instance_jsons]
+    payloads, _ = _arena_payloads(
+        instances, tuple(tuple(e) for e in edges), NULL_SINK
+    )
+    return payloads
 
 
 def solve_stacked_serial(
@@ -162,3 +211,63 @@ def solve_stacked_serial(
         telemetry.incr("stack_groups")
         telemetry.incr("stack_jobs", len(survivors))
     return leftover, failed
+
+
+def plan_stacked_pool(
+    jobs: "Sequence[Any]",
+    *,
+    workers: int,
+    telemetry: EngineTelemetry,
+    fault_hook: "Callable[[Any, int], None] | None",
+    attempt: int,
+) -> "tuple[list[Any], list[Any], list[tuple[list[Any], tuple]]]":
+    """Plan one pool dispatch round's stacked chunks.
+
+    Groups the eligible jobs by :func:`stack_key` — jobs carrying a
+    per-job ``timeout`` are never chunked, since a shared future cannot
+    enforce one job's deadline — and splits each group into at most
+    ``workers`` sub-chunks.  A group only stacks when the crossover
+    favors arenas *at the sub-chunk size* (a group that stacks serially
+    may still loop here: splitting across workers shrinks each arena).
+
+    ``fault_hook`` fires per job in the parent process, exactly like
+    the per-job paths, so an injected failure fails only that job and
+    never poisons its chunk.  Returns ``(leftover, failed, chunks)``:
+    jobs for the per-job future path, jobs failed by the hook, and
+    ``(chunk_jobs, edges)`` tasks to submit via
+    :func:`solve_stacked_chunk`.
+    """
+    groups: dict[tuple, list[Any]] = {}
+    leftover: list[Any] = []
+    for job in jobs:
+        key = stack_key(job.request) if job.request.timeout is None else None
+        if key is None:
+            leftover.append(job)
+        else:
+            groups.setdefault(key, []).append(job)
+    failed: list[Any] = []
+    chunks: list[tuple[list[Any], tuple]] = []
+    slots = max(1, workers)
+    for (_k, n, edges), group in groups.items():
+        chunk_size = -(-len(group) // slots)  # ceil division
+        if resolve_batch_strategy(chunk_size, n) != "stacked":
+            leftover.extend(group)
+            continue
+        survivors: list[Any] = []
+        for job in group:
+            job.attempts = attempt + 1
+            try:
+                if fault_hook is not None:
+                    fault_hook(job.request, attempt)
+            except TransientWorkerError:
+                telemetry.incr("transient_failures")
+                failed.append(job)
+                continue
+            telemetry.incr("solver_invocations")
+            survivors.append(job)
+        for i in range(0, len(survivors), chunk_size):
+            chunk = survivors[i : i + chunk_size]
+            chunks.append((chunk, edges))
+            telemetry.incr("stack_groups")
+            telemetry.incr("stack_jobs", len(chunk))
+    return leftover, failed, chunks

@@ -26,6 +26,7 @@ loss on chosen attempts.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -42,7 +43,11 @@ from repro.core.binding_tree import BindingTree
 from repro.core.iterative_binding import iterative_binding
 from repro.core.priority_binding import priority_binding
 from repro.core.stability import find_blocking_family
-from repro.engine.arena import solve_stacked_serial
+from repro.engine.arena import (
+    plan_stacked_pool,
+    solve_stacked_chunk,
+    solve_stacked_serial,
+)
 from repro.engine.cache import ResultCache
 from repro.engine.fingerprint import instance_digest, solve_fingerprint
 from repro.engine.telemetry import EngineTelemetry, matching_quality
@@ -378,6 +383,21 @@ class MatchingEngine:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _pool_slots(self) -> int:
+        """The pool's worker count — the stacked-chunk fan-out target.
+
+        Mirrors the executors' own defaults when ``max_workers`` is
+        unset (process pools default to the CPU count, thread pools to
+        ``min(32, cpus + 4)``), so chunk planning matches the real
+        parallelism instead of under- or over-splitting.
+        """
+        if self.max_workers is not None:
+            return self.max_workers
+        cpus = os.cpu_count() or 1
+        if self.backend == "process":
+            return cpus
+        return min(32, cpus + 4)
+
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
@@ -561,6 +581,7 @@ class MatchingEngine:
         dispatched: list[tuple[_Job, Future[dict[str, Any]] | None]] = []
         with self.telemetry.timer("solve"):
             singles: list[_Job] = jobs
+            stacked: list[tuple[list[_Job], Future[list[dict[str, Any]]]]] = []
             if pool is None:
                 # serial backend: same-shape kary jobs stack into one
                 # arena solve; the rest fall through to the loop below
@@ -573,6 +594,25 @@ class MatchingEngine:
                     attempt=attempt,
                 )
                 failed.extend(stack_failed)
+            else:
+                # pool backends: same-shape timeout-free kary jobs ship
+                # as one stacked chunk per worker instead of one future
+                # per instance; the rest keep the per-job path below
+                singles, stack_failed, chunks = plan_stacked_pool(
+                    jobs,
+                    workers=self._pool_slots(),
+                    telemetry=self.telemetry,
+                    fault_hook=self._fault_hook,
+                    attempt=attempt,
+                )
+                failed.extend(stack_failed)
+                for chunk, edges in chunks:
+                    texts = [
+                        instance_to_json(job.request.instance) for job in chunk
+                    ]
+                    stacked.append(
+                        (chunk, pool.submit(solve_stacked_chunk, edges, texts))
+                    )
             for job in singles:
                 job.attempts = attempt + 1
                 start = self._timer()
@@ -612,6 +652,21 @@ class MatchingEngine:
                 except TransientWorkerError:
                     self.telemetry.incr("transient_failures")
                     failed.append(job)
+            for chunk, chunk_future in stacked:
+                start = self._timer()
+                try:
+                    payloads = chunk_future.result()
+                    elapsed = self._timer() - start
+                    for job, payload in zip(chunk, payloads):
+                        job.payload = payload
+                        job.seconds = elapsed / len(chunk)
+                except BrokenExecutor:
+                    self._reset_pool()
+                    self.telemetry.incr("transient_failures", len(chunk))
+                    failed.extend(chunk)
+                except TransientWorkerError:
+                    self.telemetry.incr("transient_failures", len(chunk))
+                    failed.extend(chunk)
         for job in jobs:
             if job.payload is not None and not job.from_cache:
                 self.cache.put(job.fingerprint, job.payload)

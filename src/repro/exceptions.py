@@ -24,6 +24,7 @@ __all__ = [
     "InvalidBindingTreeError",
     "InvalidMatchingError",
     "NoStableMatchingError",
+    "ReplayDivergenceError",
     "ScheduleConflictError",
     "SimulationError",
     "BudgetExhaustedError",
@@ -96,6 +97,16 @@ class ScheduleConflictError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The distributed / PRAM simulator reached an inconsistent state."""
+
+
+class ReplayDivergenceError(ReproError, RuntimeError):
+    """Two replays of one capture disagreed byte-for-byte.
+
+    Raised by the ``repro replay --check`` gate when the replayed
+    :class:`~repro.service.loadgen.LoadReport`, metrics snapshot, or
+    combined journal differs between two runs of the same capture —
+    the signal that nondeterminism crept into the serving stack.
+    """
 
 
 class TransientWorkerError(ReproError, RuntimeError):

@@ -32,7 +32,7 @@ from repro.fleet.abort import (
     make_abort_check,
 )
 from repro.fleet.coordinator import FleetCoordinator, serve_fleet_lines
-from repro.fleet.loadgen import run_fleet_load
+from repro.fleet.loadgen import fleet_capture_context, run_fleet_load
 from repro.fleet.ring import DEFAULT_VNODES, HashRing, stable_hash_64
 from repro.fleet.simfleet import (
     FLEET_OUTCOMES,
@@ -58,6 +58,7 @@ __all__ = [
     "SharedAbortBoard",
     "SimulatedFleet",
     "combined_journal_records",
+    "fleet_capture_context",
     "make_abort_check",
     "run_fleet_load",
     "serve_fleet_lines",

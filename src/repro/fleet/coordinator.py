@@ -69,6 +69,7 @@ class _Worker:
     spans: "list[dict[str, Any]]" = field(default_factory=list)
     metrics_doc: "dict[str, Any] | None" = None
     stats_doc: "dict[str, Any] | None" = None
+    cache_doc: "dict[str, Any] | None" = None
 
 
 @dataclass
@@ -104,7 +105,15 @@ class FleetCoordinator:
     Async context manager (``async with`` drains on exit); must be used
     from a running event loop on a real clock.  ``cache_dir`` points all
     workers at one shared disk cache directory (safe: the cache's disk
-    writes are atomic per writer).
+    writes are atomic per writer), turning one shard's solve into every
+    shard's disk hit — the ``--shared-disk-cache`` serve flag; the
+    per-shard ``disk_hits`` rollup in :meth:`fleet_report` shows how
+    much actually crossed shards.  ``tap`` is the wire-boundary capture
+    hook (duck-typed to :class:`repro.obs.capture.CaptureWriter`):
+    every inbound line is recorded in global arrival order, tagged with
+    the shard it was dispatched to, and every terminal outcome —
+    ``invalid`` and ``lost_shard`` included — is recorded as it
+    resolves.
     """
 
     def __init__(
@@ -113,6 +122,7 @@ class FleetCoordinator:
         *,
         cache_dir: "str | None" = None,
         heartbeat_s: float = 0.5,
+        tap: Any = None,
     ) -> None:
         self.config = config if config is not None else FleetConfig()
         if self.config.cost_model is not None:
@@ -122,6 +132,7 @@ class FleetCoordinator:
             )
         self.cache_dir = cache_dir
         self.heartbeat_s = heartbeat_s
+        self.tap = tap
         self.clock = RealClock()
         self.sink = Recorder()
         self.ring = HashRing(
@@ -206,6 +217,7 @@ class FleetCoordinator:
             elif kind == "drained":
                 worker.stats_doc = payload.get("stats")
                 worker.metrics_doc = payload.get("metrics")
+                worker.cache_doc = payload.get("cache")
                 worker.spans = list(payload.get("spans", ()))
                 if worker.drained is not None and not worker.drained.done():
                     worker.drained.set_result(payload)
@@ -296,6 +308,9 @@ class FleetCoordinator:
         try:
             parsed = parse_service_request(line, line_number=line_number)
         except InvalidServiceRequestError as exc:
+            if self.tap is not None:
+                seq = self.tap.request(line)
+                self.tap.response(seq, exc.request_id, "invalid")
             return invalid_line(exc)
         self._dispatched += 1
         self.sink.incr("fleet.dispatched")
@@ -320,8 +335,26 @@ class FleetCoordinator:
         try:
             if not self._dispatch(entry):
                 self.sink.incr("fleet.lost_shard")
+                if self.tap is not None:
+                    seq = self.tap.request(line)
+                    self.tap.response(seq, parsed.request_id, "lost_shard")
                 return _lost_shard_line(parsed.request_id, "none-live")
-            return await entry.future
+            # recorded post-dispatch so the event carries the shard it
+            # actually landed on; still synchronous, so seqs stay in
+            # global arrival order across the whole stream.
+            seq = (
+                self.tap.request(line, shard=entry.shard)
+                if self.tap is not None
+                else -1
+            )
+            response = await entry.future
+            if self.tap is not None:
+                try:
+                    outcome = str(json.loads(response).get("outcome", "unknown"))
+                except ValueError:
+                    outcome = "unknown"
+                self.tap.response(seq, parsed.request_id, outcome)
+            return response
         finally:
             self._inflight.pop(parsed.request_id, None)
             if entry.timer is not None:
@@ -476,6 +509,7 @@ class FleetCoordinator:
                     "generation": worker.generation,
                     "dead": worker.dead,
                     "stats": worker.stats_doc,
+                    "cache": worker.cache_doc,
                 }
                 for name, worker in sorted(self._workers.items())
             },

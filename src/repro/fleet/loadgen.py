@@ -18,24 +18,103 @@ maps byte-for-byte.
 from __future__ import annotations
 
 import asyncio
-from typing import Any
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Mapping
 
 from repro.fleet.simfleet import CrashPlan, FleetConfig, SimulatedFleet
+from repro.obs.capture import CaptureWriter
 from repro.obs.record import Recorder
 from repro.service.clock import Clock, RealClock, VirtualClock, run_virtual
 from repro.service.loadgen import (
     LoadProfile,
     LoadReport,
-    arrival_gaps,
+    arrival_times,
     build_requests,
+    capture_context,
 )
 from repro.service.pipeline import (
     DEFAULT_PRIORITIES,
     ServiceRequest,
     ServiceResponse,
 )
+from repro.service.protocol import request_line
 
-__all__ = ["run_fleet_load"]
+__all__ = ["fleet_capture_context", "run_fleet_load"]
+
+#: dispatch-time capture hooks (see ``_fleet_capture_hooks``).
+_CaptureHooks = tuple[
+    Callable[[ServiceRequest], int],
+    Callable[[int, "asyncio.Task[ServiceResponse]"], None],
+]
+
+
+def fleet_capture_context(
+    *,
+    kind: str,
+    virtual: bool,
+    profile: "LoadProfile | None",
+    config: FleetConfig,
+    crashes: "tuple[CrashPlan, ...] | list[CrashPlan]" = (),
+) -> "dict[str, Any]":
+    """Capture context header for a fleet run.
+
+    Extends the single-service :func:`~repro.service.loadgen.
+    capture_context` shape with the fleet topology and the armed crash
+    plans, so a replay can rebuild the same ring, the same per-shard
+    services, and re-arm the same mid-run crash.
+    """
+    context = capture_context(kind=kind, virtual=virtual, profile=profile)
+    context["fleet"] = {
+        "workers": config.workers,
+        "vnodes": config.vnodes,
+        "router": config.router,
+        "queue_capacity": config.queue_capacity,
+        "policy": config.policy,
+        "shard_workers": config.shard_workers,
+        "default_deadline_s": config.default_deadline_s,
+        "on_crash": config.on_crash,
+        "restart_delay_s": config.restart_delay_s,
+        "cache_entries": config.cache_entries,
+        "engine_backend": config.engine_backend,
+    }
+    context["crashes"] = [
+        {"shard_index": plan.shard_index, "at_s": plan.at_s} for plan in crashes
+    ]
+    return context
+
+
+def _fleet_capture_hooks(
+    tap: CaptureWriter,
+    fleet: SimulatedFleet,
+    requests: "list[ServiceRequest]",
+    costs: "Mapping[str, float]",
+) -> _CaptureHooks:
+    """Wire-boundary recording for the fleet drivers.
+
+    Each request event is tagged with its *home* ring shard (the pure
+    routing function of its fingerprint — independent of transient
+    crash state), which is what the per-shard capture merge sorts on.
+    """
+    lines = {r.request_id: request_line(r) for r in requests}
+
+    def record(request: ServiceRequest) -> int:
+        shard = None
+        if fleet.config.router == "ring":
+            shard = fleet.ring.route(fleet.route_key(request))
+        return tap.request(
+            lines[request.request_id],
+            shard=shard,
+            cost_s=costs[request.request_id],
+        )
+
+    def on_done(seq: int, task: "asyncio.Task[ServiceResponse]") -> None:
+        if task.cancelled() or task.exception() is not None:
+            return
+        response = task.result()
+        tap.response(seq, response.request_id, response.outcome)
+
+    return record, on_done
 
 
 async def _drive_timed(
@@ -43,14 +122,22 @@ async def _drive_timed(
     clock: Clock,
     profile: LoadProfile,
     requests: "list[ServiceRequest]",
+    *,
+    hooks: "_CaptureHooks | None" = None,
 ) -> "list[ServiceResponse]":
-    """Schedule-driven driver: the same gap stream as ``run_load``."""
-    gaps = arrival_gaps(profile, len(requests))
+    """Schedule-driven driver: the same arrival timeline as ``run_load``."""
+    times = arrival_times(profile, len(requests))
     tasks: list[asyncio.Task[ServiceResponse]] = []
     loop = asyncio.get_running_loop()
-    for request, gap in zip(requests, gaps):
-        await clock.sleep(gap)
-        tasks.append(loop.create_task(fleet.handle(request)))
+    origin = clock.now()
+    for request, due in zip(requests, times):
+        await clock.sleep_until(origin + due)
+        task = loop.create_task(fleet.handle(request))
+        if hooks is not None:
+            record, on_done = hooks
+            seq = record(request)
+            task.add_done_callback(lambda t, _seq=seq: on_done(_seq, t))
+        tasks.append(task)
     return list(await asyncio.gather(*tasks))
 
 
@@ -58,15 +145,25 @@ async def _drive_closed(
     fleet: SimulatedFleet,
     profile: LoadProfile,
     requests: "list[ServiceRequest]",
+    *,
+    hooks: "_CaptureHooks | None" = None,
 ) -> "list[ServiceResponse]":
     """Closed-loop driver: ``concurrency`` clients, one in flight each."""
     pending = list(reversed(requests))
     responses: dict[str, ServiceResponse] = {}
+    loop = asyncio.get_running_loop()
 
     async def client() -> None:
         while pending:
             request = pending.pop()
-            responses[request.request_id] = await fleet.handle(request)
+            if hooks is not None:
+                record, on_done = hooks
+                seq = record(request)
+                task = loop.create_task(fleet.handle(request))
+                task.add_done_callback(lambda t, _seq=seq: on_done(_seq, t))
+                responses[request.request_id] = await task
+            else:
+                responses[request.request_id] = await fleet.handle(request)
 
     await asyncio.gather(*(client() for _ in range(profile.concurrency)))
     return [responses[r.request_id] for r in requests]
@@ -93,6 +190,7 @@ def run_fleet_load(
     crashes: "tuple[CrashPlan, ...] | list[CrashPlan]" = (),
     virtual: bool = True,
     journal_path: "str | None" = None,
+    capture: "str | Path | None" = None,
 ) -> LoadReport:
     """Run one fleet soak and return its :class:`~repro.service.loadgen.LoadReport`.
 
@@ -103,34 +201,46 @@ def run_fleet_load(
     mid-run shard crash.  ``virtual=True`` runs the whole soak on the
     :class:`~repro.service.clock.VirtualClock` (deterministic,
     near-instant); ``journal_path`` additionally writes the combined
-    shard-tagged journal.
+    shard-tagged journal; ``capture`` records the soak at the wire
+    boundary (every request tagged with its home ring shard, the armed
+    crash plans in the context header) for ``repro replay``.
     """
     base = config if config is not None else FleetConfig()
     requests, costs = build_requests(profile, dict(DEFAULT_PRIORITIES))
-    fleet_config = FleetConfig(
-        workers=base.workers,
-        vnodes=base.vnodes,
-        router=base.router,
-        queue_capacity=base.queue_capacity,
-        policy=base.policy,
-        shard_workers=base.shard_workers,
-        default_deadline_s=base.default_deadline_s,
-        cost_model=lambda req: costs[req.request_id],
-        on_crash=base.on_crash,
-        restart_delay_s=base.restart_delay_s,
-        cache_entries=base.cache_entries,
-        engine_backend=base.engine_backend,
-    )
+    # replace() keeps every future FleetConfig field instead of a
+    # field-by-field rebuild that would silently drop new ones.
+    fleet_config = replace(base, cost_model=lambda req: costs[req.request_id])
     clock: Clock = VirtualClock() if virtual else RealClock()
     fleet = SimulatedFleet(fleet_config, clock=clock, crashes=crashes)
+
+    writer: "CaptureWriter | None" = None
+    hooks: "_CaptureHooks | None" = None
+    if capture is not None:
+        writer = CaptureWriter(
+            capture,
+            now=clock.now,
+            start=0.0 if virtual else None,
+            context=fleet_capture_context(
+                kind="fleet-load",
+                virtual=virtual,
+                profile=profile,
+                config=base,
+                crashes=crashes,
+            ),
+        )
+        hooks = _fleet_capture_hooks(writer, fleet, requests, costs)
 
     async def soak() -> "tuple[list[ServiceResponse], float]":
         start = clock.now()
         async with fleet:
             if profile.mode == "closed":
-                responses = await _drive_closed(fleet, profile, requests)
+                responses = await _drive_closed(
+                    fleet, profile, requests, hooks=hooks
+                )
             else:
-                responses = await _drive_timed(fleet, clock, profile, requests)
+                responses = await _drive_timed(
+                    fleet, clock, profile, requests, hooks=hooks
+                )
         return responses, clock.now() - start
 
     async def main() -> "tuple[list[ServiceResponse], float]":
@@ -138,7 +248,11 @@ def run_fleet_load(
             return await run_virtual(clock, soak())
         return await soak()
 
-    responses, duration = asyncio.run(main())
+    try:
+        responses, duration = asyncio.run(main())
+    finally:
+        if writer is not None:
+            writer.close()
 
     outcomes: dict[str, int] = {}
     outcome_by_id: dict[str, str] = {}

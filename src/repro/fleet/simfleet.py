@@ -49,6 +49,7 @@ from repro.fleet.ring import DEFAULT_VNODES, HashRing
 from repro.obs.journal import JOURNAL_SCHEMA
 from repro.obs.metrics import DEFAULT_TIME_EDGES, MetricsRegistry
 from repro.obs.record import Recorder
+from repro.obs.trace import Tracer
 from repro.service.clock import Clock, RealClock
 from repro.service.pipeline import (
     DEFAULT_PRIORITIES,
@@ -138,6 +139,17 @@ class FleetConfig:
         solves on — one of :data:`repro.engine.BACKENDS`.  ``serial``
         (the default) solves inline on the shard's event-loop thread;
         ``thread``/``process`` give every shard its own pool.
+    shared_cache_dir:
+        Optional directory every shard's :class:`ResultCache` spills to
+        and reads from — the cross-shard warm-start tier (one shard's
+        solve becomes every shard's disk hit).  ``None`` keeps caches
+        strictly shard-private.
+    deterministic_spans:
+        Time span durations with the fleet clock instead of the
+        wall-clock ``perf_counter``.  Under a virtual clock this makes
+        the combined journal byte-identical across runs — durations
+        included — which is what lets ``repro replay --check`` diff
+        whole journals instead of just their structure.
     """
 
     workers: int = 4
@@ -152,6 +164,8 @@ class FleetConfig:
     restart_delay_s: float = 0.05
     cache_entries: int = 1024
     engine_backend: str = "serial"
+    shared_cache_dir: "str | None" = None
+    deterministic_spans: bool = False
 
     def __post_init__(self) -> None:
         validate_backend(self.engine_backend)
@@ -251,7 +265,7 @@ class SimulatedFleet:
                     f"crash plan targets shard {plan.shard_index} but the "
                     f"fleet has {self.config.workers} workers"
                 )
-        self.sink = Recorder()  # fleet-level metrics + spans
+        self.sink = self._build_recorder()  # fleet-level metrics + spans
         self.ring = HashRing(
             [self._shard_name(i) for i in range(self.config.workers)],
             vnodes=self.config.vnodes,
@@ -282,8 +296,14 @@ class SimulatedFleet:
         """Lifecycle state: created / running / draining / closed."""
         return self._state
 
+    def _build_recorder(self) -> Recorder:
+        """A recorder on the fleet's duration clock (see ``deterministic_spans``)."""
+        if self.config.deterministic_spans:
+            return Recorder(tracer=Tracer(timer=self.clock.now))
+        return Recorder()
+
     def _build_shard(self, name: str, generation: int = 0) -> _Shard:
-        recorder = Recorder()
+        recorder = self._build_recorder()
         recorder.metrics.register_histogram(
             "service.latency.seconds", DEFAULT_TIME_EDGES
         )
@@ -292,7 +312,10 @@ class SimulatedFleet:
         )
         engine = MatchingEngine(
             backend=self.config.engine_backend,
-            cache=ResultCache(max_entries=self.config.cache_entries),
+            cache=ResultCache(
+                max_entries=self.config.cache_entries,
+                disk_dir=self.config.shared_cache_dir,
+            ),
             sink=recorder,
         )
         service = SolveService(
@@ -576,6 +599,8 @@ class SimulatedFleet:
                 "cache_hits": stats.hits,
                 "cache_misses": stats.misses,
                 "cache_hit_rate": (stats.hits / lookups) if lookups else 0.0,
+                "disk_hits": stats.disk_hits,
+                "disk_stores": stats.disk_stores,
                 "dead": shard.dead,
             }
         return report

@@ -20,7 +20,7 @@ worker -> coordinator
     ``("response", {"id": ..., "line": <response JSONL>})``
     ``("pong", {"seq": ..., "stats": service.stats()})``
     ``("drained", {"stats": ..., "metrics": <registry snapshot>,
-    "spans": [<span dicts>]})``
+    "cache": <CacheStats.to_dict()>, "spans": [<span dicts>]})``
 
 Requests travel as raw protocol lines (re-parsed here with
 :func:`~repro.service.protocol.parse_service_request`), never as
@@ -168,6 +168,7 @@ async def _serve(
                     {
                         "stats": service.stats(),
                         "metrics": recorder.metrics.snapshot(),
+                        "cache": engine.cache.stats.to_dict(),
                         "spans": [span.to_dict() for span in recorder.tracer.spans],
                     },
                 )

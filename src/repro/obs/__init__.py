@@ -14,6 +14,8 @@ docs/OBSERVABILITY.md for the span taxonomy and schemas):
 * :mod:`repro.obs.record` — :class:`Recorder`: the composite sink the
   CLI and engine hand to instrumented code;
 * :mod:`repro.obs.journal` — the JSONL run journal;
+* :mod:`repro.obs.capture` — schema-versioned traffic captures: the
+  wire-boundary recording the :mod:`repro.replay` subsystem replays;
 * :mod:`repro.obs.export` — the Chrome-trace
   (``chrome://tracing`` / Perfetto) exporter and its validator.
 
@@ -28,6 +30,13 @@ Quick tour::
         print(span.attributes["edge"], span.attributes["proposals"])
 """
 
+from repro.obs.capture import (
+    CAPTURE_SCHEMA,
+    Capture,
+    CaptureWriter,
+    read_capture,
+    validate_capture,
+)
 from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.journal import (
     JOURNAL_SCHEMA,
@@ -57,6 +66,11 @@ __all__ = [
     "DEFAULT_COUNT_EDGES",
     "DEFAULT_TIME_EDGES",
     "Recorder",
+    "CAPTURE_SCHEMA",
+    "Capture",
+    "CaptureWriter",
+    "read_capture",
+    "validate_capture",
     "JOURNAL_SCHEMA",
     "write_journal",
     "read_journal",

@@ -1,0 +1,294 @@
+"""Traffic captures: the schema-versioned record of a service's inbound wire.
+
+A *capture* is a JSONL artifact written at the service wire boundary
+(``repro serve --capture`` / ``repro load --capture``) and consumed by
+the :mod:`repro.replay` subsystem.  The line grammar (schema
+:data:`CAPTURE_SCHEMA`):
+
+header (first line)
+    ``{"event": "capture", "schema": 1, "context": {...}}`` — the
+    free-form ``context`` block records everything a replayer needs to
+    rebuild the serving stack: the capture kind (``load`` /
+    ``fleet-load`` / ``serve`` / ``serve-fleet``), the clock kind, the
+    service or fleet configuration, armed crash plans, and (for load
+    captures) the profile header fields the
+    :class:`~repro.service.loadgen.LoadReport` echoes back.
+request
+    ``{"event": "request", "seq": N, "t_s": <float>, "line": <raw
+    JSONL request line>}`` plus optional ``"shard"`` (fleet captures:
+    the ring-home shard at arrival) and ``"cost_s"`` (load captures:
+    the modelled service cost, so a replay can re-charge it).  ``t_s``
+    is monotonic-clock-relative: seconds since the capture started on
+    whatever clock the service ran (virtual soaks record virtual
+    seconds).  ``seq`` is dense from 0 in arrival order — for a fleet
+    this is the *global* arrival order at the coordinator, which is how
+    per-shard traffic merges into one totally-ordered capture.
+response
+    ``{"event": "response", "seq": N, "t_s": <float>, "id": ...,
+    "outcome": ...}`` — completion events in completion order,
+    referencing the request's ``seq``.
+footer (last line)
+    ``{"event": "end", "requests": N, "responses": M}``.
+
+Requests are recorded **verbatim** (the raw line string, not a
+re-serialization) so a replay feeds byte-identical request documents
+back through the parser.  The writer flushes per event, so a capture
+of an interrupted live socket session is still a useful (if
+footer-less) incident artifact; :func:`validate_capture` is strict and
+:func:`read_capture` tolerant by the same split journals use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, IO
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "CAPTURE_SCHEMA",
+    "Capture",
+    "CaptureWriter",
+    "read_capture",
+    "validate_capture",
+]
+
+#: capture artifact schema version (bump on incompatible grammar changes).
+CAPTURE_SCHEMA = 1
+
+
+@dataclass
+class Capture:
+    """One parsed capture: header context plus event records in file order.
+
+    ``requests`` and ``responses`` keep their file (arrival /
+    completion) order; ``context`` is the header's context block.
+    """
+
+    context: dict[str, Any] = field(default_factory=dict)
+    requests: list[dict[str, Any]] = field(default_factory=list)
+    responses: list[dict[str, Any]] = field(default_factory=list)
+    complete: bool = False  # footer present and counts consistent
+
+    @property
+    def kind(self) -> str:
+        """Capture kind: ``load`` / ``fleet-load`` / ``serve`` / ``serve-fleet``."""
+        return str(self.context.get("kind", "serve"))
+
+    def request_lines(self) -> list[str]:
+        """The raw request lines, in arrival order."""
+        return [str(r["line"]) for r in self.requests]
+
+    def times(self) -> list[float]:
+        """Arrival timestamps (capture-relative seconds), in arrival order."""
+        return [float(r["t_s"]) for r in self.requests]
+
+    def costs(self) -> "list[float] | None":
+        """Per-request modelled costs, or ``None`` when any is missing."""
+        out: list[float] = []
+        for record in self.requests:
+            if "cost_s" not in record:
+                return None
+            out.append(float(record["cost_s"]))
+        return out
+
+
+class CaptureWriter:
+    """Incremental capture sink: the tap object the wire boundary calls.
+
+    The service layers (:func:`repro.service.protocol.serve_lines`,
+    :class:`repro.fleet.coordinator.FleetCoordinator`, the load
+    drivers) accept any object with this duck-typed surface — they
+    never import this module, which keeps the layering table clean:
+
+    * ``request(line, shard=..., cost_s=...) -> seq``
+    * ``response(seq, request_id, outcome)``
+
+    ``now`` is the clock read used for ``t_s`` (pass the serving
+    clock's ``now`` so virtual soaks record virtual time); the origin
+    is the first event unless ``start`` pins it (the load drivers pin
+    0.0 so capture times equal virtual clock readings exactly).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        now: Callable[[], float] = time.monotonic,
+        start: "float | None" = None,
+        context: "dict[str, Any] | None" = None,
+    ) -> None:
+        self.path = Path(path)
+        self._now = now
+        self._start = start
+        self._seq = 0
+        self._responses = 0
+        self._closed = False
+        self._fh: "IO[str]" = self.path.open("w")
+        self._write(
+            {
+                "event": "capture",
+                "schema": CAPTURE_SCHEMA,
+                "context": dict(context or {}),
+            }
+        )
+
+    def _write(self, record: "dict[str, Any]") -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def _t(self) -> float:
+        if self._start is None:
+            self._start = self._now()
+        return self._now() - self._start
+
+    def request(
+        self,
+        line: str,
+        *,
+        shard: "str | None" = None,
+        cost_s: "float | None" = None,
+    ) -> int:
+        """Record one inbound request line; returns its ``seq``."""
+        seq = self._seq
+        self._seq += 1
+        record: dict[str, Any] = {
+            "event": "request",
+            "seq": seq,
+            "t_s": self._t(),
+            "line": line,
+        }
+        if shard is not None:
+            record["shard"] = shard
+        if cost_s is not None:
+            record["cost_s"] = cost_s
+        self._write(record)
+        return seq
+
+    def response(self, seq: int, request_id: str, outcome: str) -> None:
+        """Record the terminal outcome of request ``seq``."""
+        self._responses += 1
+        self._write(
+            {
+                "event": "response",
+                "seq": seq,
+                "t_s": self._t(),
+                "id": request_id,
+                "outcome": outcome,
+            }
+        )
+
+    def close(self) -> None:
+        """Write the footer and close the file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._write(
+            {"event": "end", "requests": self._seq, "responses": self._responses}
+        )
+        self._fh.close()
+
+    def __enter__(self) -> "CaptureWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_capture(path: "str | Path") -> Capture:
+    """Parse a capture file into a :class:`Capture` (tolerant of no footer)."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read capture {path}: {exc}") from exc
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"capture {path} line {lineno}: malformed JSON: {exc.msg}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ConfigurationError(
+                f"capture {path} line {lineno}: expected an object"
+            )
+        records.append(doc)
+    if not records:
+        raise ConfigurationError(f"capture {path} is empty")
+    head = records[0]
+    if head.get("event") != "capture":
+        raise ConfigurationError(
+            f"capture {path} must start with a 'capture' header, "
+            f"got {head.get('event')!r}"
+        )
+    if head.get("schema") != CAPTURE_SCHEMA:
+        raise ConfigurationError(
+            f"capture {path}: unsupported schema {head.get('schema')!r} "
+            f"(this build reads schema {CAPTURE_SCHEMA})"
+        )
+    capture = Capture(context=dict(head.get("context", {})))
+    for doc in records[1:]:
+        event = doc.get("event")
+        if event == "request":
+            capture.requests.append(doc)
+        elif event == "response":
+            capture.responses.append(doc)
+        elif event == "end":
+            capture.complete = (
+                doc.get("requests") == len(capture.requests)
+                and doc.get("responses") == len(capture.responses)
+            )
+    return capture
+
+
+def validate_capture(capture: Capture) -> None:
+    """Strict grammar check; raises :class:`ConfigurationError`.
+
+    Checks the footer counts, dense 0-based ``seq`` assignment in file
+    order, non-decreasing non-negative arrival timestamps, and that
+    every response references a recorded request.  This is the gate the
+    replayer runs before trusting a capture.
+    """
+    if not capture.complete:
+        raise ConfigurationError(
+            "capture has no consistent 'end' footer: it was truncated or "
+            "the recording was interrupted"
+        )
+    last_t = 0.0
+    for position, record in enumerate(capture.requests):
+        if record.get("seq") != position:
+            raise ConfigurationError(
+                f"capture request #{position} carries seq "
+                f"{record.get('seq')!r}; seqs must be dense from 0 in "
+                "arrival order"
+            )
+        t_s = record.get("t_s")
+        if not isinstance(t_s, (int, float)) or t_s < 0:
+            raise ConfigurationError(
+                f"capture request #{position}: bad t_s {t_s!r}"
+            )
+        if t_s < last_t:
+            raise ConfigurationError(
+                f"capture request #{position}: t_s {t_s} is earlier than "
+                f"its predecessor ({last_t}); arrivals must be "
+                "time-ordered"
+            )
+        last_t = float(t_s)
+        if not isinstance(record.get("line"), str) or not record["line"].strip():
+            raise ConfigurationError(
+                f"capture request #{position}: missing raw request line"
+            )
+    known = range(len(capture.requests))
+    for position, record in enumerate(capture.responses):
+        seq = record.get("seq")
+        if not isinstance(seq, int) or seq not in known:
+            raise ConfigurationError(
+                f"capture response #{position} references unknown request "
+                f"seq {seq!r}"
+            )

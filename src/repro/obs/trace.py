@@ -6,7 +6,10 @@ assigns each span a sequential ``index`` in *entry order*.  Because
 solver control flow is deterministic under a fixed seed, two runs of
 the same workload produce **identical span trees** — same names, same
 order, same attributes — differing only in the measured
-``duration_s`` (monotonic clock, :func:`time.perf_counter`).
+``duration_s`` (monotonic clock, :func:`time.perf_counter` by
+default).  The duration clock is injectable: the replay harness passes
+the virtual clock's ``now`` so two replays of one capture produce
+byte-identical journals, durations included.
 :meth:`Tracer.structure` is exactly that duration-free projection, and
 what the determinism tests assert on.
 
@@ -20,7 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from types import TracebackType
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.exceptions import SimulationError
 from repro.obs.sink import ObsSink, SpanHandle
@@ -148,13 +151,16 @@ class Tracer(ObsSink):
 
     ``spans`` lists every *finished or open* span in entry order;
     ``roots`` lists the top-level spans.  The tracer is re-entrant but
-    not thread-safe — one tracer per worker.
+    not thread-safe — one tracer per worker.  ``timer`` is the duration
+    clock (a deterministic source — e.g. a virtual clock's ``now`` —
+    makes the full journal reproducible, not just its structure).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, timer: Callable[[], float] = time.perf_counter) -> None:
         self.spans: list[Span] = []
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self._timer = timer
 
     def span(self, name: str, **attributes: object) -> SpanHandle:
         """Create a child span of the currently open span (or a root)."""
@@ -175,10 +181,10 @@ class Tracer(ObsSink):
 
     def _push(self, span: Span) -> None:
         self._stack.append(span)
-        span.start_s = time.perf_counter()
+        span.start_s = self._timer()
 
     def _pop(self, span: Span) -> None:
-        span.duration_s = time.perf_counter() - span.start_s
+        span.duration_s = self._timer() - span.start_s
         if not self._stack or self._stack[-1] is not span:
             raise SimulationError(
                 f"span {span.name!r} closed out of order; spans must nest"

@@ -79,6 +79,15 @@ def run_perf(args: argparse.Namespace) -> int:
     if args.workloads is not None:
         names = args.workloads
         wanted = [w.strip() for w in names.split(",") if w.strip()]
+        # Unknown names fail against the catalogue, not the baseline —
+        # a typo should name the valid choices, not claim the baseline
+        # file is stale.
+        unknown = [w for w in wanted if w not in WORKLOADS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown workload(s) {unknown}; choose from "
+                f"{sorted(WORKLOADS)}"
+            )
         missing = [w for w in wanted if w not in baseline.results]
         if missing:
             raise ConfigurationError(

@@ -1,0 +1,28 @@
+"""``repro.replay``: deterministic traffic replay for incident repro.
+
+The consumer side of :mod:`repro.obs.capture`: take a capture recorded
+at the service wire boundary (``repro serve --capture`` /
+``repro load --capture``) and re-drive it through a fresh serving stack
+under the virtual clock — same request bytes, same arrival instants,
+same modelled costs, same crash plans — so a production incident
+becomes a millisecond-scale, bit-reproducible experiment.
+
+* :func:`~repro.replay.replayer.replay_capture` — one replay, returning
+  the reproduced :class:`~repro.service.loadgen.LoadReport`, merged
+  metrics snapshot, and combined journal;
+* :func:`~repro.replay.replayer.replay_check` — the determinism gate
+  behind ``repro replay --check`` and ``make replay-smoke``: two
+  replays must agree byte-for-byte on all three artifacts.
+
+See docs/SERVICE.md ("Record & replay") for the capture schema, the
+clock-mapping contract, and fleet merge semantics.
+"""
+
+from repro.replay.replayer import (
+    ReplayCheck,
+    ReplayResult,
+    replay_capture,
+    replay_check,
+)
+
+__all__ = ["ReplayCheck", "ReplayResult", "replay_capture", "replay_check"]

@@ -1,0 +1,472 @@
+"""Deterministic capture replay: re-drive recorded traffic, bit-for-bit.
+
+:func:`replay_capture` feeds a :mod:`repro.obs.capture` artifact back
+through a fresh serving stack under the
+:class:`~repro.service.clock.VirtualClock`:
+
+* the serving topology is rebuilt from the capture's context header —
+  a single :class:`~repro.service.pipeline.SolveService` for ``load`` /
+  ``serve`` captures, a :class:`~repro.fleet.simfleet.SimulatedFleet`
+  (with the recorded ring topology and re-armed crash plans) for
+  ``fleet-load`` / ``serve-fleet`` captures;
+* every recorded request line is re-parsed **verbatim** and dispatched
+  at its recorded timestamp via ``sleep_until`` — the virtual clock
+  parks on the absolute recorded float, so the replayed timeline is
+  the captured timeline exactly, not a drifting re-accumulation;
+* recorded per-request costs (``cost_s``) are re-charged through the
+  service cost model, so a captured virtual soak re-executes its exact
+  queueing behaviour;
+* span durations are timed with the virtual clock
+  (:class:`~repro.obs.trace.Tracer` ``timer``), so two replays of one
+  capture produce byte-identical journals — durations included.
+
+That last property is what :func:`replay_check` gates on: it replays
+the capture **twice** and compares the two runs' ``LoadReport`` JSON,
+metrics snapshots, and full journals byte-for-byte (and requires both
+journals to pass :func:`~repro.obs.journal.validate_journal`).  A
+diverging replay means nondeterminism crept into the serving stack —
+exactly the regression ``make replay-smoke`` exists to catch.
+
+``speed`` rescales the arrival schedule (``t / speed``); only
+``speed=1.0`` carries the bit-exactness guarantee (scaled times are new
+floats, still deterministic run-to-run but no longer the captured
+instants).  Deadlines, costs, and restart windows are never rescaled —
+they are service semantics, not traffic shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+
+from repro.engine.jobs import MatchingEngine
+from repro.exceptions import (
+    ConfigurationError,
+    InvalidServiceRequestError,
+    ReplayDivergenceError,
+)
+from repro.fleet.ring import DEFAULT_VNODES
+from repro.fleet.simfleet import (
+    CrashPlan,
+    FleetConfig,
+    SimulatedFleet,
+    combined_journal_records,
+)
+from repro.obs.capture import Capture, read_capture, validate_capture
+from repro.obs.journal import validate_journal
+from repro.obs.metrics import DEFAULT_TIME_EDGES
+from repro.obs.record import Recorder
+from repro.obs.trace import Tracer
+from repro.service.clock import VirtualClock, run_virtual
+from repro.service.loadgen import LoadReport, _quantiles
+from repro.service.pipeline import (
+    DEFAULT_PRIORITIES,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+    SolveService,
+)
+from repro.service.protocol import parse_service_request
+
+__all__ = ["ReplayCheck", "ReplayResult", "replay_capture", "replay_check"]
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replay run produced.
+
+    ``report`` mirrors the original soak's
+    :class:`~repro.service.loadgen.LoadReport` (profile header fields
+    are echoed from the capture context, so replaying a captured
+    ``repro load`` soak at speed 1.0 reproduces the original report
+    byte-for-byte).  ``metrics`` is the full merged registry snapshot
+    and ``journal`` the combined journal records — the two extra
+    artifacts :func:`replay_check` diffs.
+    """
+
+    kind: str
+    report: LoadReport
+    metrics: dict[str, Any] = field(default_factory=dict)
+    journal: list[dict[str, Any]] = field(default_factory=list)
+
+    def report_json(self) -> str:
+        """The report's canonical JSON bytes (the check's diff unit)."""
+        return json.dumps(self.report.to_dict(), sort_keys=True)
+
+    def metrics_json(self) -> str:
+        """The metrics snapshot's canonical JSON bytes."""
+        return json.dumps(self.metrics, sort_keys=True)
+
+    def journal_lines(self) -> list[str]:
+        """The journal as canonical JSONL lines."""
+        return [json.dumps(r, sort_keys=True) for r in self.journal]
+
+
+@dataclass
+class ReplayCheck:
+    """Outcome of the determinism gate: two replays, diffed."""
+
+    ok: bool
+    mismatches: list[str]
+    first: ReplayResult
+    second: ReplayResult
+
+    def raise_on_divergence(self) -> None:
+        """Raise :class:`~repro.exceptions.ReplayDivergenceError` if not ok."""
+        if not self.ok:
+            raise ReplayDivergenceError(
+                "replay diverged between two runs of the same capture: "
+                + ", ".join(self.mismatches)
+            )
+
+
+def _load_capture(source: "str | Path | Capture") -> Capture:
+    capture = source if isinstance(source, Capture) else read_capture(source)
+    validate_capture(capture)
+    return capture
+
+
+def _parse_events(
+    capture: Capture,
+) -> "list[tuple[str, ServiceRequest | InvalidServiceRequestError]]":
+    """Re-parse every captured line (verbatim) ahead of the drive.
+
+    Unparseable lines replay as they served: an ``invalid`` outcome
+    without ever touching the service.
+    """
+    entries: "list[tuple[str, ServiceRequest | InvalidServiceRequestError]]" = []
+    for event in capture.requests:
+        line = str(event["line"])
+        try:
+            entries.append(
+                ("request", parse_service_request(line, line_number=int(event["seq"]) + 1))
+            )
+        except InvalidServiceRequestError as exc:
+            entries.append(("invalid", exc))
+    return entries
+
+
+def _cost_model(
+    capture: Capture,
+    entries: "list[tuple[str, ServiceRequest | InvalidServiceRequestError]]",
+) -> "Callable[[ServiceRequest], float] | None":
+    """Rebuild the recorded cost model, keyed per parsed request.
+
+    Returns ``None`` when any request lacks ``cost_s`` (live ``serve``
+    captures: the replay re-executes real solves instead of charging a
+    modelled cost).
+    """
+    costs = capture.costs()
+    if costs is None:
+        return None
+    by_id: dict[str, float] = {}
+    for (kind, parsed), cost in zip(entries, costs):
+        if kind == "request":
+            by_id[parsed.request_id] = cost  # type: ignore[union-attr]
+    return lambda request: by_id[request.request_id]
+
+
+async def _drive(
+    handle: "Callable[[ServiceRequest], Awaitable[ServiceResponse]]",
+    clock: VirtualClock,
+    sink: Recorder,
+    capture: Capture,
+    entries: "list[tuple[str, ServiceRequest | InvalidServiceRequestError]]",
+    speed: float,
+) -> "tuple[list[ServiceResponse], dict[str, str]]":
+    """Dispatch every captured arrival at its recorded (scaled) instant."""
+    tasks: list[asyncio.Task[ServiceResponse]] = []
+    invalid: dict[str, str] = {}
+    loop = asyncio.get_running_loop()
+    origin = clock.now()
+    for event, (kind, parsed) in zip(capture.requests, entries):
+        due = float(event["t_s"])
+        if speed != 1.0:
+            due = due / speed
+        await clock.sleep_until(origin + due)
+        sink.incr("replay.requests")
+        if kind == "invalid":
+            sink.incr("replay.invalid")
+            invalid[parsed.request_id] = "invalid"  # type: ignore[union-attr]
+            continue
+        tasks.append(loop.create_task(handle(parsed)))  # type: ignore[arg-type]
+    return list(await asyncio.gather(*tasks)), invalid
+
+
+def _profile_header(capture: Capture) -> "tuple[int, int, str]":
+    """(requests, seed, mode) the replayed report echoes.
+
+    Load captures carry the original profile header so the replayed
+    report can be compared byte-for-byte against the original; live
+    ``serve`` captures have no profile and fall back to the capture's
+    own shape.
+    """
+    profile = capture.context.get("profile", {})
+    return (
+        int(profile.get("requests", len(capture.requests))),
+        int(profile.get("seed", 0)),
+        str(profile.get("mode", "replay")),
+    )
+
+
+def _assemble_report(
+    capture: Capture,
+    *,
+    duration: float,
+    responses: "list[ServiceResponse]",
+    invalid: "dict[str, str]",
+    stats: "dict[str, int]",
+    recorder: Recorder,
+    counter_prefixes: "tuple[str, ...]",
+    shards: "dict[str, Any] | None" = None,
+) -> LoadReport:
+    requests_n, seed, mode = _profile_header(capture)
+    outcomes: dict[str, int] = {}
+    outcome_by_id: dict[str, str] = dict(invalid)
+    for outcome in invalid.values():
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    for response in responses:
+        outcomes[response.outcome] = outcomes.get(response.outcome, 0) + 1
+        outcome_by_id[response.request_id] = response.outcome
+    return LoadReport(
+        requests=requests_n,
+        seed=seed,
+        mode=mode,
+        virtual=True,
+        duration_s=duration,
+        accepted=stats["accepted"] if "accepted" in stats else stats["dispatched"],
+        responded=stats["responded"],
+        lost=stats["lost"],
+        outcomes=outcomes,
+        outcome_by_id=outcome_by_id,
+        latency=_quantiles(recorder, "service.latency.seconds"),
+        queue_wait=_quantiles(recorder, "service.queue_wait.seconds"),
+        counters={
+            name: value
+            for name, value in recorder.metrics.counters().items()
+            if name.startswith(counter_prefixes)
+        },
+        shards=shards if shards is not None else {},
+    )
+
+
+def _journal_meta(capture: Capture, speed: float) -> "dict[str, object]":
+    requests_n, seed, _ = _profile_header(capture)
+    return {
+        "kind": "replay",
+        "capture_kind": capture.kind,
+        "requests": requests_n,
+        "seed": seed,
+        "speed": speed,
+    }
+
+
+def _priorities(doc: "dict[str, Any]") -> "dict[str, int]":
+    """Priority weights from the context, in recorded *insertion* order.
+
+    Captures store them as a pair list because the weighted round-robin
+    dequeue breaks ties in class-insertion order — a sorted mapping
+    would silently reorder ties and shift the replayed dequeue stream.
+    """
+    recorded = doc.get("priorities", DEFAULT_PRIORITIES)
+    pairs = recorded.items() if isinstance(recorded, dict) else recorded
+    return {str(name): int(weight) for name, weight in pairs}
+
+
+def _replay_service(capture: Capture, speed: float) -> ReplayResult:
+    clock = VirtualClock()
+    sink = Recorder(tracer=Tracer(timer=clock.now))
+    sink.metrics.register_histogram("service.latency.seconds", DEFAULT_TIME_EDGES)
+    sink.metrics.register_histogram("service.queue_wait.seconds", DEFAULT_TIME_EDGES)
+    entries = _parse_events(capture)
+    doc = capture.context.get("service", {})
+    priorities = _priorities(doc)
+    config = ServiceConfig(
+        queue_capacity=int(doc.get("queue_capacity", 64)),
+        policy=str(doc.get("policy", "reject")),
+        workers=int(doc.get("workers", 4)),
+        priorities=priorities,
+        rate_capacity=doc.get("rate_capacity"),
+        rate_refill_per_s=float(doc.get("rate_refill_per_s", 10.0)),
+        default_deadline_s=doc.get("default_deadline_s"),
+        cost_model=_cost_model(capture, entries),
+    )
+    backend = str(capture.context.get("engine", {}).get("backend", "serial"))
+    engine = MatchingEngine(backend=backend, sink=sink)
+    service = SolveService(engine, config=config, clock=clock, sink=sink)
+
+    async def soak() -> "tuple[list[ServiceResponse], dict[str, str], float]":
+        start = clock.now()
+        async with service:
+            responses, invalid = await _drive(
+                service.handle, clock, sink, capture, entries, speed
+            )
+        return responses, invalid, clock.now() - start
+
+    try:
+        responses, invalid, duration = asyncio.run(run_virtual(clock, soak()))
+    finally:
+        engine.close()
+    with sink.span(
+        "replay.run",
+        kind=capture.kind,
+        requests=len(capture.requests),
+        speed=speed,
+    ):
+        pass  # post-drain marker span: attributes only, no children
+    report = _assemble_report(
+        capture,
+        duration=duration,
+        responses=responses,
+        invalid=invalid,
+        stats=service.stats(),
+        recorder=sink,
+        counter_prefixes=("service.",),
+    )
+    journal = combined_journal_records(
+        [("service", [span.to_dict() for span in sink.tracer.spans])],
+        metrics=sink.metrics,
+        meta=_journal_meta(capture, speed),
+    )
+    return ReplayResult(
+        kind=capture.kind,
+        report=report,
+        metrics=sink.metrics.snapshot(),
+        journal=journal,
+    )
+
+
+def _replay_fleet(
+    capture: Capture, speed: float, workers_override: "int | None"
+) -> ReplayResult:
+    clock = VirtualClock()
+    entries = _parse_events(capture)
+    doc = capture.context.get("fleet", {})
+    config = FleetConfig(
+        workers=(
+            workers_override
+            if workers_override is not None
+            else int(doc.get("workers", 4))
+        ),
+        vnodes=int(doc.get("vnodes", DEFAULT_VNODES)),
+        router=str(doc.get("router", "ring")),
+        queue_capacity=int(doc.get("queue_capacity", 64)),
+        policy=str(doc.get("policy", "reject")),
+        shard_workers=int(doc.get("shard_workers", 2)),
+        default_deadline_s=doc.get("default_deadline_s"),
+        cost_model=_cost_model(capture, entries),
+        on_crash=str(doc.get("on_crash", "reroute")),
+        restart_delay_s=float(doc.get("restart_delay_s", 0.05)),
+        cache_entries=int(doc.get("cache_entries", 1024)),
+        engine_backend=str(doc.get("engine_backend", "serial")),
+        deterministic_spans=True,
+    )
+    crashes = tuple(
+        CrashPlan(
+            shard_index=int(plan["shard_index"]),
+            at_s=(
+                float(plan["at_s"])
+                if speed == 1.0
+                else float(plan["at_s"]) / speed
+            ),
+        )
+        for plan in capture.context.get("crashes", ())
+    )
+    fleet = SimulatedFleet(config, clock=clock, crashes=crashes)
+
+    async def soak() -> "tuple[list[ServiceResponse], dict[str, str], float]":
+        start = clock.now()
+        async with fleet:
+            responses, invalid = await _drive(
+                fleet.handle, clock, fleet.sink, capture, entries, speed
+            )
+        return responses, invalid, clock.now() - start
+
+    responses, invalid, duration = asyncio.run(run_virtual(clock, soak()))
+    with fleet.sink.span(
+        "replay.run",
+        kind=capture.kind,
+        requests=len(capture.requests),
+        speed=speed,
+    ):
+        pass  # post-drain marker span: attributes only, no children
+    merged = Recorder(metrics=fleet.merged_metrics())
+    report = _assemble_report(
+        capture,
+        duration=duration,
+        responses=responses,
+        invalid=invalid,
+        stats=fleet.stats(),
+        recorder=merged,
+        counter_prefixes=("service.", "fleet."),
+        shards=fleet.shard_report(),
+    )
+    journal = fleet.journal_records(meta=_journal_meta(capture, speed))
+    return ReplayResult(
+        kind=capture.kind,
+        report=report,
+        metrics=fleet.merged_metrics().snapshot(),
+        journal=journal,
+    )
+
+
+def replay_capture(
+    source: "str | Path | Capture",
+    *,
+    fleet: "int | None" = None,
+    speed: float = 1.0,
+) -> ReplayResult:
+    """Replay a capture through a fresh virtual-clock serving stack.
+
+    The topology comes from the capture's context header; ``fleet``
+    overrides the shard count (or forces a single-service capture
+    through an N-shard fleet — useful for "would more shards have
+    absorbed this incident?" studies, at the price of the byte-exact
+    comparison against the original report).  ``speed`` rescales the
+    arrival schedule; 1.0 (the default) replays the captured instants
+    exactly.
+    """
+    if speed <= 0:
+        raise ConfigurationError(f"speed must be positive, got {speed}")
+    capture = _load_capture(source)
+    if fleet is not None or capture.kind in ("fleet-load", "serve-fleet"):
+        return _replay_fleet(capture, speed, fleet)
+    return _replay_service(capture, speed)
+
+
+def replay_check(
+    source: "str | Path | Capture",
+    *,
+    fleet: "int | None" = None,
+    speed: float = 1.0,
+) -> ReplayCheck:
+    """The replay determinism gate: two replays must agree byte-for-byte.
+
+    Replays the capture twice and diffs the canonical JSON of the
+    :class:`~repro.service.loadgen.LoadReport`, the metrics snapshot,
+    and the combined journal; both journals must also pass
+    :func:`~repro.obs.journal.validate_journal`.  Returns a
+    :class:`ReplayCheck` (call :meth:`ReplayCheck.raise_on_divergence`
+    to turn a failure into a typed error).
+    """
+    capture = _load_capture(source)
+    first = replay_capture(capture, fleet=fleet, speed=speed)
+    second = replay_capture(capture, fleet=fleet, speed=speed)
+    mismatches: list[str] = []
+    if first.report_json() != second.report_json():
+        mismatches.append("LoadReport JSON differs between replays")
+    if first.metrics_json() != second.metrics_json():
+        mismatches.append("metrics snapshot differs between replays")
+    if first.journal_lines() != second.journal_lines():
+        mismatches.append("journal differs between replays")
+    for label, result in (("first", first), ("second", second)):
+        try:
+            validate_journal(result.journal)
+        except Exception as exc:  # noqa: BLE001 — surfaced as a mismatch
+            mismatches.append(f"{label} replay journal invalid: {exc}")
+    return ReplayCheck(
+        ok=not mismatches, mismatches=mismatches, first=first, second=second
+    )

@@ -15,6 +15,8 @@ from repro.service.loadgen import (
     LoadProfile,
     LoadReport,
     arrival_gaps,
+    arrival_times,
+    capture_context,
     popularity_weights,
     run_load,
 )
@@ -27,7 +29,12 @@ from repro.service.pipeline import (
     ServiceResponse,
     SolveService,
 )
-from repro.service.protocol import parse_service_request, serve_lines, serve_socket
+from repro.service.protocol import (
+    parse_service_request,
+    request_line,
+    serve_lines,
+    serve_socket,
+)
 from repro.service.queue import BACKPRESSURE_POLICIES, AdmissionQueue
 from repro.service.ratelimit import RateLimiter, TokenBucket
 
@@ -51,7 +58,10 @@ __all__ = [
     "TokenBucket",
     "VirtualClock",
     "parse_service_request",
+    "request_line",
     "arrival_gaps",
+    "arrival_times",
+    "capture_context",
     "popularity_weights",
     "run_load",
     "run_virtual",

@@ -41,6 +41,16 @@ class Clock:
         """Suspend the calling coroutine for ``seconds``."""
         raise NotImplementedError
 
+    async def sleep_until(self, when_s: float) -> None:
+        """Suspend until the clock reads ``when_s`` (past targets yield once).
+
+        The base implementation sleeps the remaining delta; the virtual
+        clock overrides it to park on the *absolute* target, which is
+        what lets a replayed schedule hit recorded timestamps exactly
+        (no float drift from re-accumulating gaps).
+        """
+        await self.sleep(when_s - self.now())
+
 
 class RealClock(Clock):
     """Wall-clock implementation: ``time.monotonic`` + ``asyncio.sleep``."""
@@ -82,8 +92,23 @@ class VirtualClock(Clock):
         if seconds <= 0:
             await asyncio.sleep(0)
             return
+        await self._park(self._now + seconds)
+
+    async def sleep_until(self, when_s: float) -> None:
+        """Park on the absolute due time ``when_s`` (exact, no delta math).
+
+        ``_advance`` sets ``now`` to the due value itself, so a waiter
+        parked on a recorded timestamp wakes with ``now()`` equal to
+        that exact float — the replay determinism contract.
+        """
+        if when_s <= self._now:
+            await asyncio.sleep(0)
+            return
+        await self._park(float(when_s))
+
+    async def _park(self, due: float) -> None:
         future: asyncio.Future[None] = asyncio.get_running_loop().create_future()
-        heapq.heappush(self._sleepers, (self._now + seconds, next(self._seq), future))
+        heapq.heappush(self._sleepers, (due, next(self._seq), future))
         await future
 
     def pending(self) -> int:

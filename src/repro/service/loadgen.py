@@ -8,7 +8,7 @@ times, and modelled service costs are all drawn from one
 :class:`LoadProfile` always produces the same requests in the same
 order.
 
-Four arrival disciplines are supported:
+Five arrival disciplines are supported:
 
 * **open loop** — arrivals follow a seeded exponential interarrival
   schedule at ``rate`` requests/second, regardless of completions (the
@@ -21,7 +21,17 @@ Four arrival disciplines are supported:
   shape that stresses admission control hardest at a given throughput;
 * **sequential** — the deterministic isochronous schedule, exactly one
   arrival every ``1/rate`` seconds with no randomness at all (the
-  clean baseline the other disciplines are compared against).
+  clean baseline the other disciplines are compared against);
+* **replay** — arrivals follow an explicit recorded timestamp list
+  (``LoadProfile.replay_times``, typically lifted from a
+  :mod:`repro.obs.capture` artifact), so a captured incident's exact
+  arrival pattern can be re-driven against a synthetic request pool.
+
+Passing ``capture=`` to :func:`run_load` records the soak itself at
+the wire boundary — every request serialized verbatim
+(:func:`~repro.service.protocol.request_line`) with its virtual-clock
+arrival time and modelled cost — producing the artifact
+``repro replay`` feeds back through a fresh service byte-for-byte.
 
 Under a :class:`~repro.service.clock.VirtualClock` the whole soak runs
 in simulated time — a thousand-request, minutes-long schedule executes
@@ -38,12 +48,14 @@ from __future__ import annotations
 import asyncio
 import json
 import math
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping
 
 from repro.engine.jobs import MatchingEngine, SolveRequest
 from repro.exceptions import ConfigurationError
 from repro.model.generators import random_instance
+from repro.obs.capture import CaptureWriter
 from repro.obs.metrics import DEFAULT_TIME_EDGES
 from repro.obs.record import Recorder
 from repro.service.clock import Clock, RealClock, VirtualClock, run_virtual
@@ -54,6 +66,7 @@ from repro.service.pipeline import (
     ServiceResponse,
     SolveService,
 )
+from repro.service.protocol import request_line
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -62,14 +75,18 @@ __all__ = [
     "LoadProfile",
     "LoadReport",
     "arrival_gaps",
+    "arrival_times",
+    "capture_context",
     "popularity_weights",
     "run_load",
 ]
 
 #: supported arrival disciplines.  ``open`` and ``closed`` are the
 #: historical pair; ``bursty`` and ``sequential`` share the open-loop
-#: driver with a different gap schedule (see :func:`arrival_gaps`).
-ARRIVAL_MODES = ("open", "closed", "bursty", "sequential")
+#: driver with a different gap schedule (see :func:`arrival_gaps`);
+#: ``replay`` drives the timed driver from an explicit recorded
+#: timestamp list instead of a seeded draw.
+ARRIVAL_MODES = ("open", "closed", "bursty", "sequential", "replay")
 
 #: supported instance-popularity disciplines (how requests draw from
 #: the instance pool).  ``uniform`` is the historical behaviour;
@@ -156,6 +173,10 @@ class LoadProfile:
     zipf_s: float = 1.1
     hotspot_fraction: float = 0.125
     hotspot_weight: float = 0.9
+    #: mode="replay" only: explicit arrival timestamps (seconds from
+    #: soak start, non-decreasing, one per request) — the recorded
+    #: schedule an incident capture contributes as an arrival source.
+    replay_times: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.popularity not in POPULARITY_MODES:
@@ -192,6 +213,20 @@ class LoadProfile:
             raise ConfigurationError(
                 f"burst_size must be >= 1, got {self.burst_size}"
             )
+        if self.mode == "replay":
+            if len(self.replay_times) < self.requests:
+                raise ConfigurationError(
+                    f"mode='replay' needs one arrival time per request; got "
+                    f"{len(self.replay_times)} time(s) for {self.requests} "
+                    "request(s)"
+                )
+            last = 0.0
+            for t in self.replay_times[: self.requests]:
+                if t < last:
+                    raise ConfigurationError(
+                        "replay_times must be non-negative and non-decreasing"
+                    )
+                last = float(t)
 
 
 @dataclass
@@ -342,9 +377,17 @@ def arrival_gaps(profile: LoadProfile, count: int) -> list[float]:
       exponential with mean ``burst_size / rate`` so the long-run
       average rate still matches ``rate``.
 
+    ``replay`` returns the successive differences of
+    ``profile.replay_times`` (first gap = first timestamp); drivers
+    should prefer :func:`arrival_times` for replay so recorded absolute
+    timestamps are hit exactly rather than re-accumulated.
+
     ``closed`` has no arrival schedule (completions drive admissions)
     and is rejected here.
     """
+    if profile.mode == "replay":
+        times = [float(t) for t in profile.replay_times[:count]]
+        return [b - a for a, b in zip([0.0] + times, times)]
     if profile.mode == "open":
         rng = as_rng(profile.seed + 1)
         return [float(g) for g in rng.exponential(1.0 / profile.rate, count)]
@@ -365,19 +408,89 @@ def arrival_gaps(profile: LoadProfile, count: int) -> list[float]:
     )
 
 
+def arrival_times(profile: LoadProfile, count: int) -> list[float]:
+    """Absolute arrival timestamps (seconds from soak start) per discipline.
+
+    For ``replay`` this is the recorded schedule verbatim — no float
+    re-accumulation, so a replayed soak parks on the exact captured
+    timestamps.  For the synthetic modes it is the running sum of
+    :func:`arrival_gaps`, which under a virtual clock reproduces the
+    historical gap-by-gap timeline bit-for-bit (each wakeup lands on
+    its exact due value, so the next due is the same float either way).
+    """
+    if profile.mode == "replay":
+        return [float(t) for t in profile.replay_times[:count]]
+    times: list[float] = []
+    t = 0.0
+    for gap in arrival_gaps(profile, count):
+        t += gap
+        times.append(t)
+    return times
+
+
+#: dispatch-time capture hooks: ``record(request) -> seq`` at arrival,
+#: ``on_done(seq, task)`` once the response task settles.
+_CaptureHooks = tuple[
+    Callable[[ServiceRequest], int],
+    Callable[[int, "asyncio.Task[ServiceResponse]"], None],
+]
+
+
+def _capture_hooks(
+    tap: CaptureWriter,
+    requests: list[ServiceRequest],
+    costs: Mapping[str, float],
+) -> _CaptureHooks:
+    """Wire-boundary recording for the load drivers.
+
+    Requests are serialized up front (``request_line``) so the capture
+    carries the exact bytes a replayed service will re-parse; the
+    modelled cost rides along so the replayer can re-charge the same
+    service time without regenerating the stream.
+    """
+    lines = {r.request_id: request_line(r) for r in requests}
+
+    def record(request: ServiceRequest) -> int:
+        return tap.request(
+            lines[request.request_id], cost_s=costs[request.request_id]
+        )
+
+    def on_done(seq: int, task: "asyncio.Task[ServiceResponse]") -> None:
+        if task.cancelled() or task.exception() is not None:
+            return
+        response = task.result()
+        tap.response(seq, response.request_id, response.outcome)
+
+    return record, on_done
+
+
 async def _drive_timed(
     service: SolveService,
     clock: Clock,
     profile: LoadProfile,
     requests: list[ServiceRequest],
+    *,
+    hooks: "_CaptureHooks | None" = None,
 ) -> list[ServiceResponse]:
-    """Schedule-driven driver for the open/bursty/sequential disciplines."""
-    gaps = arrival_gaps(profile, len(requests))
+    """Schedule-driven driver for the open/bursty/sequential/replay modes.
+
+    Arrivals park on *absolute* due times (``sleep_until``) so a replay
+    schedule hits its recorded timestamps exactly; for the synthetic
+    modes the absolute schedule is float-identical to the historical
+    gap accumulation under a virtual clock (see :func:`arrival_times`).
+    """
+    times = arrival_times(profile, len(requests))
     tasks: list[asyncio.Task[ServiceResponse]] = []
     loop = asyncio.get_running_loop()
-    for request, gap in zip(requests, gaps):
-        await clock.sleep(gap)
-        tasks.append(loop.create_task(service.handle(request)))
+    origin = clock.now()
+    for request, due in zip(requests, times):
+        await clock.sleep_until(origin + due)
+        task = loop.create_task(service.handle(request))
+        if hooks is not None:
+            record, on_done = hooks
+            seq = record(request)
+            task.add_done_callback(lambda t, _seq=seq: on_done(_seq, t))
+        tasks.append(task)
     return list(await asyncio.gather(*tasks))
 
 
@@ -385,18 +498,72 @@ async def _drive_closed(
     service: SolveService,
     profile: LoadProfile,
     requests: list[ServiceRequest],
+    *,
+    hooks: "_CaptureHooks | None" = None,
 ) -> list[ServiceResponse]:
     """Closed-loop driver: ``concurrency`` clients, one in flight each."""
     pending = list(reversed(requests))
     responses: dict[str, ServiceResponse] = {}
+    loop = asyncio.get_running_loop()
 
     async def client() -> None:
         while pending:
             request = pending.pop()
-            responses[request.request_id] = await service.handle(request)
+            if hooks is not None:
+                record, on_done = hooks
+                seq = record(request)
+                task = loop.create_task(service.handle(request))
+                task.add_done_callback(lambda t, _seq=seq: on_done(_seq, t))
+                responses[request.request_id] = await task
+            else:
+                responses[request.request_id] = await service.handle(request)
 
     await asyncio.gather(*(client() for _ in range(profile.concurrency)))
     return [responses[r.request_id] for r in requests]
+
+
+def capture_context(
+    *,
+    kind: str,
+    virtual: bool,
+    profile: "LoadProfile | None" = None,
+    config: "ServiceConfig | None" = None,
+) -> dict[str, Any]:
+    """Context header for a traffic capture (single-service shape).
+
+    Records what a replay needs to rebuild the run: the capture kind
+    (``load``, ``serve``, …), the clock discipline, the profile header
+    fields the replayed :class:`LoadReport` echoes, and the service
+    configuration (minus the non-serializable cost model — captured
+    per-request as ``cost_s`` instead).  The fleet layer extends this
+    dict with its own topology fields.
+    """
+    context: dict[str, Any] = {
+        "kind": kind,
+        "clock": "virtual" if virtual else "real",
+    }
+    if profile is not None:
+        context["profile"] = {
+            "requests": profile.requests,
+            "seed": profile.seed,
+            "mode": profile.mode,
+        }
+    if config is not None:
+        context["service"] = {
+            "queue_capacity": config.queue_capacity,
+            "policy": config.policy,
+            "workers": config.workers,
+            # a pair list, not a mapping: the canonical sort_keys dump
+            # would reorder a mapping, and the queue's weighted
+            # round-robin breaks ties in class *insertion* order
+            "priorities": [
+                [name, weight] for name, weight in config.priorities.items()
+            ],
+            "rate_capacity": config.rate_capacity,
+            "rate_refill_per_s": config.rate_refill_per_s,
+            "default_deadline_s": config.default_deadline_s,
+        }
+    return context
 
 
 def _quantiles(recorder: Recorder, name: str) -> dict[str, float]:
@@ -419,6 +586,7 @@ def run_load(
     config: "ServiceConfig | None" = None,
     virtual: bool = True,
     recorder: "Recorder | None" = None,
+    capture: "str | Path | None" = None,
 ) -> LoadReport:
     """Run one full load soak and return its :class:`LoadReport`.
 
@@ -428,6 +596,15 @@ def run_load(
     the :class:`~repro.service.clock.VirtualClock` — deterministic and
     near-instant; ``virtual=False`` uses wall-clock time.  Pass a
     ``recorder`` to keep the trace/metrics for export.
+
+    ``capture`` records the soak at the wire boundary into a
+    schema-versioned JSONL artifact (:mod:`repro.obs.capture`): every
+    request serialized verbatim with its clock-relative arrival time
+    and modelled cost, every terminal outcome, plus a context header
+    carrying the profile/service configuration the replayer needs to
+    rebuild this exact run.  Under a virtual clock the capture start is
+    pinned to 0.0 so recorded ``t_s`` values equal ``clock.now()`` at
+    dispatch bit-for-bit.
     """
     sink = recorder if recorder is not None else Recorder()
     clock: Clock = VirtualClock() if virtual else RealClock()
@@ -438,14 +615,11 @@ def run_load(
         priorities=dict(DEFAULT_PRIORITIES),
     )
     requests, costs = build_requests(profile, base.priorities)
-    service_config = ServiceConfig(
-        queue_capacity=base.queue_capacity,
-        policy=base.policy,
-        workers=base.workers,
+    # replace() keeps every future ServiceConfig field instead of a
+    # field-by-field rebuild that would silently drop new ones.
+    service_config = replace(
+        base,
         priorities=dict(base.priorities),
-        rate_capacity=base.rate_capacity,
-        rate_refill_per_s=base.rate_refill_per_s,
-        default_deadline_s=base.default_deadline_s,
         cost_model=lambda req: costs[req.request_id],
     )
     sink.metrics.register_histogram("service.latency.seconds", DEFAULT_TIME_EDGES)
@@ -453,13 +627,30 @@ def run_load(
     engine = MatchingEngine(backend="serial", sink=sink)
     service = SolveService(engine, config=service_config, clock=clock, sink=sink)
 
+    writer: "CaptureWriter | None" = None
+    hooks: "_CaptureHooks | None" = None
+    if capture is not None:
+        writer = CaptureWriter(
+            capture,
+            now=clock.now,
+            start=0.0 if virtual else None,
+            context=capture_context(
+                kind="load", profile=profile, config=base, virtual=virtual
+            ),
+        )
+        hooks = _capture_hooks(writer, requests, costs)
+
     async def soak() -> tuple[list[ServiceResponse], float]:
         start = clock.now()
         async with service:
             if profile.mode == "closed":
-                responses = await _drive_closed(service, profile, requests)
+                responses = await _drive_closed(
+                    service, profile, requests, hooks=hooks
+                )
             else:
-                responses = await _drive_timed(service, clock, profile, requests)
+                responses = await _drive_timed(
+                    service, clock, profile, requests, hooks=hooks
+                )
         return responses, clock.now() - start
 
     async def main() -> tuple[list[ServiceResponse], float]:
@@ -471,6 +662,8 @@ def run_load(
         responses, duration = asyncio.run(main())
     finally:
         engine.close()
+        if writer is not None:
+            writer.close()
 
     outcomes: dict[str, int] = {}
     outcome_by_id: dict[str, str] = {}

@@ -32,11 +32,12 @@ from typing import Any, Iterable
 from repro.engine.jobs import SolveRequest
 from repro.exceptions import InvalidServiceRequestError, ReproError
 from repro.model.generators import random_instance
-from repro.model.serialize import instance_from_dict
+from repro.model.serialize import instance_from_dict, instance_to_dict
 from repro.service.pipeline import ServiceRequest, ServiceResponse, SolveService
 
 __all__ = [
     "parse_service_request",
+    "request_line",
     "response_line",
     "invalid_line",
     "serve_lines",
@@ -127,6 +128,35 @@ def parse_service_request(line: str, *, line_number: int = 0) -> ServiceRequest:
         ) from exc
 
 
+def request_line(request: ServiceRequest) -> str:
+    """Serialize a :class:`ServiceRequest` as one wire-protocol line.
+
+    The inverse of :func:`parse_service_request` (modulo the
+    ``generate`` shorthand, which always serializes as a full
+    ``instance`` document): parsing the returned line reconstructs an
+    equal request — same fingerprint, same serving metadata.  This is
+    how the load harness turns its in-memory request stream into a
+    capture the replayer can feed back verbatim.
+    """
+    solve = request.solve
+    doc: dict[str, Any] = {
+        "id": request.request_id,
+        "solver": solve.solver,
+        "tree": solve.tree,
+        "gs_engine": solve.gs_engine,
+        "linearization": solve.linearization,
+        "verify": solve.verify,
+        "priority": request.priority,
+        "client": request.client,
+        "instance": instance_to_dict(solve.instance),
+    }
+    if solve.tree_seed is not None:
+        doc["tree_seed"] = solve.tree_seed
+    if request.deadline_s is not None:
+        doc["deadline_s"] = request.deadline_s
+    return json.dumps(doc, sort_keys=True)
+
+
 def response_line(response: ServiceResponse) -> str:
     """Serialize one response as a stable single JSON line."""
     return json.dumps(response.to_dict(), sort_keys=True)
@@ -145,7 +175,17 @@ def invalid_line(exc: InvalidServiceRequestError) -> str:
     )
 
 
-async def serve_lines(service: SolveService, lines: Iterable[str]) -> list[str]:
+def _tap_response(tap: Any, seq: int, task: "asyncio.Task[ServiceResponse]") -> None:
+    """Record a completed request's outcome on the capture tap."""
+    if task.cancelled() or task.exception() is not None:
+        return  # a dying stream has no terminal outcome to record
+    response = task.result()
+    tap.response(seq, response.request_id, response.outcome)
+
+
+async def serve_lines(
+    service: SolveService, lines: Iterable[str], *, tap: Any = None
+) -> list[str]:
     """Serve a JSONL request stream; returns one response line per input.
 
     Requests are submitted concurrently (so priorities, deadlines, and
@@ -153,6 +193,12 @@ async def serve_lines(service: SolveService, lines: Iterable[str]) -> list[str]:
     order, which keeps the output diffable.  Blank lines are skipped;
     unparseable lines yield ``invalid`` responses without stopping the
     stream.
+
+    ``tap`` is the wire-boundary capture hook (duck-typed to
+    :class:`repro.obs.capture.CaptureWriter` so this layer never
+    imports the replay stack): every non-blank inbound line is recorded
+    verbatim at decode time, and every terminal outcome — including
+    ``invalid`` — is recorded as it completes.
     """
     loop = asyncio.get_running_loop()
     slots: list[asyncio.Task[ServiceResponse] | str] = []
@@ -160,12 +206,20 @@ async def serve_lines(service: SolveService, lines: Iterable[str]) -> list[str]:
         line = raw.strip()
         if not line:
             continue
+        seq = tap.request(line) if tap is not None else -1
         try:
             request = parse_service_request(line, line_number=number)
         except InvalidServiceRequestError as exc:
+            if tap is not None:
+                tap.response(seq, exc.request_id, "invalid")
             slots.append(invalid_line(exc))
             continue
-        slots.append(loop.create_task(service.handle(request)))
+        task = loop.create_task(service.handle(request))
+        if tap is not None:
+            task.add_done_callback(
+                lambda t, _seq=seq: _tap_response(tap, _seq, t)
+            )
+        slots.append(task)
     out: list[str] = []
     for slot in slots:
         if isinstance(slot, str):
@@ -175,13 +229,17 @@ async def serve_lines(service: SolveService, lines: Iterable[str]) -> list[str]:
     return out
 
 
-async def serve_socket(service: SolveService, path: str) -> "asyncio.AbstractServer":
+async def serve_socket(
+    service: SolveService, path: str, *, tap: Any = None
+) -> "asyncio.AbstractServer":
     """Start a unix-socket JSONL server for ``service`` at ``path``.
 
     Each connection speaks the same line protocol as :func:`serve_lines`
     but responses are written per-connection in that connection's input
     order.  Returns the started server; the caller owns its lifetime
-    (``server.close()`` / ``wait_closed``).
+    (``server.close()`` / ``wait_closed``).  ``tap`` captures traffic
+    across *all* connections into one stream (seqs stay globally dense
+    in decode order).
     """
 
     async def handle_connection(
@@ -194,7 +252,7 @@ async def serve_socket(service: SolveService, path: str) -> "asyncio.AbstractSer
                 if not raw:
                     break
                 lines.append(raw.decode("utf-8"))
-            for line in await serve_lines(service, lines):
+            for line in await serve_lines(service, lines, tap=tap):
                 writer.write(line.encode("utf-8") + b"\n")
             await writer.drain()
         finally:

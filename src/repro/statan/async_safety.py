@@ -62,10 +62,11 @@ _IO_METHODS = frozenset(
 #: attribute calls on an engine-like receiver that run a full solve.
 _ENGINE_BLOCKING = frozenset({"submit", "solve_many"})
 
-#: where the async roots live: the in-process service layer plus the
-#: fleet (whose coordinator and simulated shards run on the same loop
-#: and the same virtual-clock determinism contract).
-_SERVICE_PREFIXES = ("repro.service", "repro.fleet")
+#: where the async roots live: the in-process service layer, the fleet
+#: (whose coordinator and simulated shards run on the same loop and the
+#: same virtual-clock determinism contract), and the replayer (which
+#: re-drives captures on that loop).
+_SERVICE_PREFIXES = ("repro.service", "repro.fleet", "repro.replay")
 
 
 def _blocking_reason(resolved: "str | None", call: CallSite) -> "str | None":

@@ -109,6 +109,19 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "service",
         }
     ),
+    # the replay layer: consumes obs captures and re-drives them through
+    # service/fleet stacks; only the CLI sits above it.
+    "replay": frozenset(
+        {
+            "exceptions",
+            "utils",
+            "model",
+            "engine",
+            "obs",
+            "service",
+            "fleet",
+        }
+    ),
     "cli": frozenset(
         {
             "exceptions",
@@ -128,6 +141,7 @@ LAYERS: dict[str, frozenset[str] | None] = {
             "service",
             "obs",
             "fleet",
+            "replay",
         }
     ),
     "__init__": None,  # the facade may import everything

@@ -1,9 +1,11 @@
-"""Arena batching in the engine's serial solve path.
+"""Arena batching in the engine's solve stage (serial and pool paths).
 
 These tests pin the contracts the stacked solve stage must preserve:
 payload byte-parity with the per-instance path (cache entries are
 interchangeable), per-job fault injection and telemetry, shape-group
-routing, and the crossover rule deciding loop vs stack.
+routing, the crossover rule deciding loop vs stack, and the pool
+backends' per-worker chunking (timeout-carrying jobs keep per-job
+futures; fault hooks fire in the parent and fail only their job).
 """
 
 import pytest
@@ -177,13 +179,81 @@ class TestRoutingIntoTheStack:
         assert all(r.ok for r in results)
         assert engine.telemetry.count("stack_groups") == 0
 
-    def test_thread_backend_never_stacks(self, fleet_of_instances):
+    def test_thread_backend_stacks_per_worker_chunks(self, fleet_of_instances):
+        # 24 jobs over 2 workers → two 12-job chunks, both above the
+        # crossover at n=4, each shipped as one stacked pool task
         with MatchingEngine(backend="thread", max_workers=2) as engine:
             results = engine.solve_many(
                 [SolveRequest(instance=i) for i in fleet_of_instances]
             )
         assert all(r.ok for r in results)
+        assert engine.telemetry.count("stack_groups") == 2
+        assert engine.telemetry.count("stack_jobs") == COUNT
+        assert engine.telemetry.count("solver_invocations") == COUNT
+        tree = BindingTree.chain(K)
+        for res, inst in zip(results, fleet_of_instances):
+            assert dict(res.payload) == _expected_payload(inst, tree)
+
+    def test_pool_chunks_below_crossover_keep_per_job_futures(
+        self, fleet_of_instances
+    ):
+        # 24 jobs over 8 workers → 3-job chunks, below the crossover at
+        # n=4 (3 < 2n and trivial work), so the whole group loops
+        with MatchingEngine(backend="thread", max_workers=8) as engine:
+            results = engine.solve_many(
+                [SolveRequest(instance=i) for i in fleet_of_instances]
+            )
+        assert all(r.ok for r in results)
         assert engine.telemetry.count("stack_groups") == 0
+        assert engine.telemetry.count("solver_invocations") == COUNT
+
+    def test_pool_jobs_with_timeouts_never_chunk(self, fleet_of_instances):
+        # a shared chunk future cannot enforce one job's deadline
+        with MatchingEngine(backend="thread", max_workers=2) as engine:
+            results = engine.solve_many(
+                [
+                    SolveRequest(instance=i, timeout=30.0)
+                    for i in fleet_of_instances
+                ]
+            )
+        assert all(r.ok for r in results)
+        assert engine.telemetry.count("stack_groups") == 0
+
+    def test_pool_hook_fails_only_its_job_rest_of_chunk_solves(
+        self, fleet_of_instances
+    ):
+        flaky = SolveRequest(instance=fleet_of_instances[3]).fingerprint()
+        seen = []
+
+        def hook(request, attempt):
+            if request.fingerprint() == flaky:
+                seen.append(attempt)
+                if attempt == 0:
+                    raise TransientWorkerError("first attempt lost")
+
+        with MatchingEngine(
+            backend="thread",
+            max_workers=2,
+            fault_hook=hook,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        ) as engine:
+            results = engine.solve_many(
+                [SolveRequest(instance=i) for i in fleet_of_instances]
+            )
+        assert seen == [0, 1]
+        assert all(r.ok for r in results)
+        assert results[3].attempts == 2
+        assert engine.telemetry.count("retries") == 1
+
+    def test_process_backend_chunk_payload_parity(self, fleet_of_instances):
+        with MatchingEngine(backend="process", max_workers=2) as engine:
+            results = engine.solve_many(
+                [SolveRequest(instance=i) for i in fleet_of_instances]
+            )
+        assert engine.telemetry.count("stack_groups") == 2
+        tree = BindingTree.chain(K)
+        for res, inst in zip(results, fleet_of_instances):
+            assert dict(res.payload) == _expected_payload(inst, tree)
 
     def test_mixed_shapes_group_independently(self):
         small = [random_instance(K, N, seed=s) for s in range(COUNT)]

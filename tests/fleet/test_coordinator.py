@@ -119,3 +119,36 @@ def test_shared_cache_dir_survives_concurrent_workers(tmp_path):
     assert all(json.loads(r)["outcome"] == "ok" for r in responses)
     assert list(cache_dir.glob("*.json"))
     assert not list(cache_dir.glob(".*.tmp"))
+
+
+def test_shared_disk_cache_hits_across_shards(tmp_path):
+    # One shard solves and stores; the *other* shard's cold memory tier
+    # misses but the shared disk tier hits — the cross-shard sharing the
+    # per-shard cache rollup in fleet_report makes visible.
+    cache_dir = tmp_path / "cache"
+
+    async def drive():
+        async with FleetCoordinator(
+            FleetConfig(workers=2, router="round_robin"),
+            cache_dir=str(cache_dir),
+        ) as fleet:
+            # sequential batches pin the round-robin targets: shard-0
+            # solves seed=7 and persists it before shard-1 sees it
+            first = await serve_fleet_lines(fleet, [line(0, seed=7)])
+            second = await serve_fleet_lines(fleet, [line(1, seed=7)])
+        return first, second, fleet.fleet_report()
+
+    first, second, report = asyncio.run(drive())
+    assert json.loads(first[0])["outcome"] == "ok"
+    assert json.loads(second[0])["outcome"] == "ok"
+    caches = {
+        name: doc["cache"] for name, doc in report["shards"].items()
+    }
+    assert set(caches) == {"shard-0", "shard-1"}
+    assert all(doc is not None for doc in caches.values())
+    assert sum(doc["disk_stores"] for doc in caches.values()) >= 1
+    assert sum(doc["disk_hits"] for doc in caches.values()) >= 1
+    # the hit happened on a shard that never solved that fingerprint
+    hit_shards = {n for n, d in caches.items() if d["disk_hits"] > 0}
+    store_shards = {n for n, d in caches.items() if d["disk_stores"] > 0}
+    assert hit_shards - store_shards or hit_shards != store_shards

@@ -308,7 +308,36 @@ class TestFleetLoadSoak:
         assert doc["schema"] == 1
         assert set(doc["shards"]) == {"shard-0", "shard-1"}
         for shard_doc in doc["shards"].values():
-            assert {"routed", "cache_hits", "cache_hit_rate"} <= set(shard_doc)
+            assert {
+                "routed",
+                "cache_hits",
+                "cache_hit_rate",
+                "disk_hits",
+                "disk_stores",
+            } <= set(shard_doc)
+
+    def test_shared_disk_cache_shares_results_across_shards(self, tmp_path):
+        # round-robin spreads one hot fingerprint over both shards;
+        # with a shared disk tier the second shard disk-hits the first
+        # shard's stored result instead of re-solving
+        async def soak(clock):
+            config = FleetConfig(
+                workers=2,
+                router="round_robin",
+                shared_cache_dir=str(tmp_path / "cache"),
+            )
+            async with SimulatedFleet(config, clock=clock) as fleet:
+                for i in range(4):
+                    await fleet.handle(request(i, seed=7))
+                report = fleet.shard_report()
+            return report
+
+        report = run_fleet(lambda clock: soak(clock))
+        assert sum(d["disk_stores"] for d in report.values()) >= 1
+        assert sum(d["disk_hits"] for d in report.values()) >= 1
+        hit = {n for n, d in report.items() if d["disk_hits"] > 0}
+        stored = {n for n, d in report.items() if d["disk_stores"] > 0}
+        assert hit != stored or hit - stored
 
     def test_ring_beats_round_robin_on_hit_rate_for_zipfian(self):
         profile = LoadProfile(

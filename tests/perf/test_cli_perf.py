@@ -80,6 +80,31 @@ class TestPerfCheck:
         ) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_check_unknown_workload_lists_the_catalogue(self, baseline, capsys):
+        # a typo must fail against the catalogue (naming valid choices),
+        # not masquerade as a stale-baseline complaint
+        assert main(
+            ["perf", "check", "--baseline", str(baseline),
+             "--workloads", "no.such.workload"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert FAST in err
+
+    def test_check_known_workload_absent_from_baseline_still_errors(
+        self, baseline, capsys
+    ):
+        # a real workload the baseline never measured is a different
+        # failure: the baseline file is named, not the catalogue
+        payload = json.loads(baseline.read_text())
+        payload["workloads"] = {}
+        baseline.write_text(json.dumps(payload))
+        assert main(
+            ["perf", "check", "--baseline", str(baseline),
+             "--workloads", FAST]
+        ) == 2
+        assert "not in baseline" in capsys.readouterr().err
+
 
 class TestCommittedBaseline:
     def test_repo_baseline_meets_acceptance_floors(self):

@@ -1,0 +1,121 @@
+"""Capture artifacts: writer grammar, tolerant reads, strict validation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.capture import (
+    CAPTURE_SCHEMA,
+    CaptureWriter,
+    read_capture,
+    validate_capture,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def now(self):
+        return self.t
+
+
+class TestWriterGrammar:
+    def test_round_trip_with_shard_and_cost(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        clock = FakeClock()
+        writer = CaptureWriter(
+            path, now=clock.now, start=0.0, context={"kind": "load"}
+        )
+        assert writer.request('{"id": "a"}', cost_s=0.25) == 0
+        clock.t = 0.5
+        assert writer.request('{"id": "b"}', shard="shard-1") == 1
+        writer.response(0, "a", "ok")
+        clock.t = 0.75
+        writer.response(1, "b", "deadline")
+        writer.close()
+
+        capture = read_capture(path)
+        assert capture.complete
+        assert capture.kind == "load"
+        assert capture.request_lines() == ['{"id": "a"}', '{"id": "b"}']
+        assert capture.times() == [0.0, 0.5]
+        assert capture.requests[1]["shard"] == "shard-1"
+        assert capture.requests[0]["cost_s"] == 0.25
+        assert [r["outcome"] for r in capture.responses] == ["ok", "deadline"]
+        validate_capture(capture)
+
+    def test_header_schema_and_footer_counts(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        with CaptureWriter(path, now=FakeClock().now, start=0.0) as writer:
+            writer.request('{"id": "x"}')
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["event"] == "capture"
+        assert lines[0]["schema"] == CAPTURE_SCHEMA
+        assert lines[-1] == {"event": "end", "requests": 1, "responses": 0}
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        writer = CaptureWriter(path, now=FakeClock().now, start=0.0)
+        writer.close()
+        writer.close()
+        assert sum(1 for l in path.read_text().splitlines() if l) == 2
+
+    def test_costs_none_when_any_request_missing_one(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        with CaptureWriter(path, now=FakeClock().now, start=0.0) as writer:
+            writer.request('{"id": "a"}', cost_s=0.1)
+            writer.request('{"id": "b"}')
+        capture = read_capture(path)
+        assert capture.costs() is None
+
+    def test_pinned_start_makes_times_absolute(self, tmp_path):
+        # the load drivers pin start=0.0 so t_s equals the virtual
+        # clock reading exactly — no origin subtraction, no float drift
+        path = tmp_path / "cap.jsonl"
+        clock = FakeClock(t=1.25)
+        with CaptureWriter(path, now=clock.now, start=0.0) as writer:
+            writer.request('{"id": "a"}')
+        assert read_capture(path).times() == [1.25]
+
+
+class TestReadTolerance:
+    def test_footerless_capture_reads_incomplete(self, tmp_path):
+        # a crashed live session leaves no footer; the read still works
+        path = tmp_path / "cap.jsonl"
+        writer = CaptureWriter(path, now=FakeClock().now, start=0.0)
+        writer.request('{"id": "a"}')
+        writer._fh.flush()
+        capture = read_capture(path)
+        assert not capture.complete
+        assert len(capture.requests) == 1
+        with pytest.raises(ConfigurationError):
+            validate_capture(capture)
+        writer.close()
+
+    def test_missing_file_and_empty_file_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_capture(tmp_path / "nope.jsonl")
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ConfigurationError):
+            read_capture(empty)
+
+    def test_malformed_json_names_the_line(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        path.write_text('{"event": "capture", "schema": 1, "context": {}}\n{oops\n')
+        with pytest.raises(ConfigurationError, match="line 2"):
+            read_capture(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        path.write_text('{"event": "capture", "schema": 99, "context": {}}\n')
+        with pytest.raises(ConfigurationError, match="schema"):
+            read_capture(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        path.write_text('{"event": "request", "seq": 0, "t_s": 0.0, "line": "x"}\n')
+        with pytest.raises(ConfigurationError, match="header"):
+            read_capture(path)

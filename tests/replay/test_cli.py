@@ -1,0 +1,146 @@
+"""CLI surface: `load/serve --capture` and the `repro replay` subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def jsonl_requests(count):
+    return "\n".join(
+        json.dumps(
+            {"id": f"r{i}", "generate": {"k": 2, "n": 4, "seed": i}, "solver": "kary"}
+        )
+        for i in range(count)
+    )
+
+
+class TestLoadCaptureReplay:
+    def test_load_capture_then_replay_check_reproduces(self, tmp_path, capsys):
+        cap = tmp_path / "cap.jsonl"
+        rep1 = tmp_path / "rep1.json"
+        rep2 = tmp_path / "rep2.json"
+        assert (
+            main(
+                [
+                    "load",
+                    "--requests",
+                    "100",
+                    "--seed",
+                    "42",
+                    "--capture",
+                    str(cap),
+                    "--out",
+                    str(rep1),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "replay",
+                    str(cap),
+                    "--check",
+                    "--out",
+                    str(rep2),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replay check OK" in out
+        a = json.loads(rep1.read_text())
+        b = json.loads(rep2.read_text())
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_fleet_load_capture_then_replay_check(self, tmp_path, capsys):
+        cap = tmp_path / "cap.jsonl"
+        rep1 = tmp_path / "rep1.json"
+        rep2 = tmp_path / "rep2.json"
+        journal = tmp_path / "journal.jsonl"
+        assert (
+            main(
+                [
+                    "load",
+                    "--fleet",
+                    "3",
+                    "--requests",
+                    "150",
+                    "--seed",
+                    "6",
+                    "--crash-shard",
+                    "1",
+                    "--crash-at",
+                    "0.3",
+                    "--capture",
+                    str(cap),
+                    "--out",
+                    str(rep1),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "replay",
+                    str(cap),
+                    "--check",
+                    "--out",
+                    str(rep2),
+                    "--journal",
+                    str(journal),
+                ]
+            )
+            == 0
+        )
+        assert "replay check OK" in capsys.readouterr().out
+        assert json.dumps(json.loads(rep1.read_text()), sort_keys=True) == json.dumps(
+            json.loads(rep2.read_text()), sort_keys=True
+        )
+        assert journal.read_text().strip()
+
+    def test_missing_capture_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeCapture:
+    def test_serve_virtual_capture_then_replay(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(jsonl_requests(8) + "\n")
+        cap = tmp_path / "cap.jsonl"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--input",
+                    str(requests),
+                    "--virtual",
+                    "--capture",
+                    str(cap),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", str(cap), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "replay check OK" in out
+
+    def test_shared_disk_cache_without_fleet_rejected(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(jsonl_requests(2) + "\n")
+        assert (
+            main(
+                [
+                    "serve",
+                    "--input",
+                    str(requests),
+                    "--shared-disk-cache",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 2
+        )
+        assert "requires --fleet" in capsys.readouterr().err

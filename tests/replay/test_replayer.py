@@ -1,0 +1,122 @@
+"""Replay: byte-for-byte reproduction of captured soaks, single and fleet."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReplayDivergenceError
+from repro.fleet.loadgen import run_fleet_load
+from repro.fleet.simfleet import CrashPlan, FleetConfig
+from repro.obs.journal import validate_journal
+from repro.replay import ReplayCheck, replay_capture, replay_check
+from repro.service.loadgen import LoadProfile, run_load
+from repro.service.pipeline import ServiceConfig
+
+
+def report_bytes(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+class TestSingleServiceRoundTrip:
+    def test_replay_reproduces_the_load_report_byte_for_byte(self, tmp_path):
+        cap = tmp_path / "cap.jsonl"
+        original = run_load(LoadProfile(requests=120, seed=42), capture=cap)
+        result = replay_capture(cap)
+        assert result.kind == "load"
+        assert report_bytes(result.report) == report_bytes(original)
+
+    def test_replay_check_passes_and_artifacts_validate(self, tmp_path):
+        cap = tmp_path / "cap.jsonl"
+        run_load(LoadProfile(requests=80, seed=3), capture=cap)
+        check = replay_check(cap)
+        assert check.ok and check.mismatches == []
+        assert check.first.report_json() == check.second.report_json()
+        assert check.first.metrics_json() == check.second.metrics_json()
+        assert check.first.journal_lines() == check.second.journal_lines()
+        validate_journal(check.first.journal)
+        check.raise_on_divergence()  # no-op when ok
+
+    def test_custom_priority_order_survives_the_capture(self, tmp_path):
+        # regression: the writer dumps context with sort_keys=True, which
+        # would reorder a priorities *mapping* — and the admission queue's
+        # weighted round-robin breaks ties in class insertion order, so a
+        # reordered rebuild diverges by one request's timing.  The pair
+        # list in the context must preserve the original order.
+        cap = tmp_path / "cap.jsonl"
+        config = ServiceConfig(
+            priorities={"batch": 1, "interactive": 4, "normal": 2}
+        )
+        original = run_load(
+            LoadProfile(requests=100, seed=11), config=config, capture=cap
+        )
+        result = replay_capture(cap)
+        assert report_bytes(result.report) == report_bytes(original)
+
+    def test_speed_scaled_replay_is_deterministic(self, tmp_path):
+        cap = tmp_path / "cap.jsonl"
+        original = run_load(LoadProfile(requests=60, seed=9), capture=cap)
+        check = replay_check(cap, speed=4.0)
+        assert check.ok
+        # same traffic, same outcomes per request id — only timing moved
+        fast = check.first.report
+        assert fast.requests == original.requests
+
+    def test_bad_speed_rejected(self, tmp_path):
+        cap = tmp_path / "cap.jsonl"
+        run_load(LoadProfile(requests=10, seed=0), capture=cap)
+        with pytest.raises(ConfigurationError):
+            replay_capture(cap, speed=0.0)
+
+    def test_divergence_error_carries_the_mismatches(self):
+        check = ReplayCheck(
+            ok=False,
+            mismatches=["report bytes differ"],
+            first=None,
+            second=None,
+        )
+        with pytest.raises(ReplayDivergenceError, match="report bytes differ"):
+            check.raise_on_divergence()
+
+
+class TestFleetRoundTrip:
+    def test_fleet_capture_with_mid_run_crash_reproduces(self, tmp_path):
+        cap = tmp_path / "cap.jsonl"
+        original = run_fleet_load(
+            LoadProfile(requests=200, seed=5, pool=16, popularity="zipfian"),
+            config=FleetConfig(workers=4),
+            crashes=(CrashPlan(shard_index=2, at_s=0.4),),
+            capture=cap,
+        )
+        result = replay_capture(cap)
+        assert result.kind == "fleet-load"
+        assert report_bytes(result.report) == report_bytes(original)
+        # the crash genuinely replayed: the counter survived the rebuild
+        assert result.report.counters.get("fleet.crashes") == 1
+
+    def test_fleet_replay_check_is_byte_stable(self, tmp_path):
+        cap = tmp_path / "cap.jsonl"
+        run_fleet_load(
+            LoadProfile(requests=120, seed=8),
+            config=FleetConfig(workers=3),
+            capture=cap,
+        )
+        check = replay_check(cap)
+        assert check.ok, check.mismatches
+        validate_journal(check.first.journal)
+        shard_tags = {
+            r["attributes"].get("shard")
+            for r in check.first.journal
+            if r.get("event") == "span"
+        }
+        assert {"shard-0", "shard-1", "shard-2"} <= shard_tags
+
+    def test_fleet_override_reroutes_a_single_service_capture(self, tmp_path):
+        cap = tmp_path / "cap.jsonl"
+        original = run_load(LoadProfile(requests=60, seed=2), capture=cap)
+        result = replay_capture(cap, fleet=2)
+        assert result.kind == "load"  # kind echoes the *capture*, not the override
+        assert result.report.requests == original.requests
+        assert set(result.report.shards) == {"shard-0", "shard-1"}
+        # what-if replays are still deterministic, just not byte-equal
+        # to the single-service original
+        assert replay_check(cap, fleet=2).ok

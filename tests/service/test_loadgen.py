@@ -44,7 +44,11 @@ class TestBuildRequests:
             LoadProfile(tight_fraction=1.5)
         with pytest.raises(ConfigurationError):
             LoadProfile(burst_size=0.5)
-        assert ARRIVAL_MODES == ("open", "closed", "bursty", "sequential")
+        assert ARRIVAL_MODES == ("open", "closed", "bursty", "sequential", "replay")
+        with pytest.raises(ConfigurationError):
+            LoadProfile(mode="replay", requests=2, replay_times=(0.1,))
+        with pytest.raises(ConfigurationError):
+            LoadProfile(mode="replay", requests=2, replay_times=(0.2, 0.1))
 
 
 class TestVirtualSoak:
